@@ -1,0 +1,318 @@
+package dosas
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"dosas/internal/core"
+	"dosas/internal/metrics"
+	"dosas/internal/pfs"
+	"dosas/internal/transport"
+)
+
+// Scheme selects how clients issue analysis reads — the paper's three
+// evaluated schemes.
+type Scheme int
+
+// Client schemes.
+const (
+	// DOSAS requests active I/O and lets each storage node's dynamic
+	// policy accept, bounce, or interrupt it (the paper's contribution).
+	DOSAS Scheme = iota
+	// AS always requests active I/O (classic active storage).
+	AS
+	// TS never requests active I/O: raw reads plus local compute
+	// (traditional storage).
+	TS
+)
+
+// String names the scheme as the paper abbreviates it.
+func (s Scheme) String() string { return s.core().String() }
+
+func (s Scheme) core() core.Scheme {
+	switch s {
+	case AS:
+		return core.SchemeAS
+	case TS:
+		return core.SchemeTS
+	default:
+		return core.SchemeDOSAS
+	}
+}
+
+// Policy selects a storage node's server-side scheduling behaviour.
+type Policy int
+
+// Server policies.
+const (
+	// Dynamic is DOSAS scheduling: the Contention Estimator's policy
+	// decides per request.
+	Dynamic Policy = iota
+	// AlwaysAccept runs every active request on the storage node.
+	AlwaysAccept
+	// AlwaysBounce rejects every active request.
+	AlwaysBounce
+)
+
+func (p Policy) mode() core.Mode {
+	switch p {
+	case AlwaysAccept:
+		return core.ModeAlwaysAccept
+	case AlwaysBounce:
+		return core.ModeAlwaysBounce
+	default:
+		return core.ModeDynamic
+	}
+}
+
+// Options configures StartCluster.
+type Options struct {
+	// DataServers is the number of storage nodes (default 4).
+	DataServers int
+	// Policy is the storage nodes' scheduling behaviour (default
+	// Dynamic).
+	Policy Policy
+	// StripeSize is the default stripe size for new files (default
+	// 64 KiB).
+	StripeSize uint32
+	// TCP switches from the in-process transport to real TCP loopback
+	// sockets (one listener per server).
+	TCP bool
+	// TCPBasePort, when positive with TCP set, binds the metadata server
+	// to 127.0.0.1:TCPBasePort and storage node i to TCPBasePort+1+i.
+	// Zero picks ephemeral ports.
+	TCPBasePort int
+	// LinkRate, when positive, shapes each server's link to this many
+	// bytes/second — set 118e6 to emulate the paper's measured Gigabit
+	// Ethernet on a fast host.
+	LinkRate float64
+	// NetworkBandwidth is what the Contention Estimator assumes for bw;
+	// defaults to LinkRate when shaped, else 118 MB/s.
+	NetworkBandwidth float64
+	// Pace throttles kernel execution to the calibrated per-core rates,
+	// emulating the paper's hardware timing in live runs.
+	Pace bool
+	// TotalCores and IOReservedCores size each storage node (defaults:
+	// 2 and 1, the paper's simulated storage nodes).
+	TotalCores      int
+	IOReservedCores int
+	// EstimatorPeriod is how often each storage node's Contention
+	// Estimator re-probes and re-evaluates its policy (default 50 ms).
+	EstimatorPeriod time.Duration
+	// DataDir, when set, backs stripe stores with files under this
+	// directory (one subdirectory per storage node) and journals
+	// metadata, making the cluster durable across restarts.
+	DataDir string
+}
+
+// Cluster is a running DOSAS deployment: one metadata server plus
+// DataServers storage nodes, each running the pfs data service with an
+// Active I/O Runtime attached.
+type Cluster struct {
+	net       transport.Network
+	metaAddr  string
+	dataAddrs []string
+	servers   []*pfs.Server
+	runtimes  []*core.Runtime
+	meta      *pfs.MetaServer
+	stores    []pfs.Store
+}
+
+// StartCluster boots an in-process (or TCP-loopback) cluster and returns
+// once every server is accepting connections.
+func StartCluster(o Options) (*Cluster, error) {
+	if o.DataServers <= 0 {
+		o.DataServers = 4
+	}
+	if o.NetworkBandwidth == 0 {
+		if o.LinkRate > 0 {
+			o.NetworkBandwidth = o.LinkRate
+		} else {
+			o.NetworkBandwidth = 118e6
+		}
+	}
+
+	var net transport.Network
+	if o.TCP {
+		net = transport.TCP{}
+	} else {
+		net = transport.NewInproc()
+	}
+	if o.LinkRate > 0 {
+		net = transport.NewShaped(net, o.LinkRate)
+	}
+
+	c := &Cluster{net: net}
+	ok := false
+	defer func() {
+		if !ok {
+			c.Close()
+		}
+	}()
+
+	metaCfg := pfs.MetaConfig{
+		NumDataServers:    o.DataServers,
+		DefaultStripeSize: o.StripeSize,
+	}
+	if o.DataDir != "" {
+		metaCfg.JournalPath = filepath.Join(o.DataDir, "meta.wal")
+	}
+	meta, err := pfs.NewMetaServer(metaCfg)
+	if err != nil {
+		return nil, err
+	}
+	c.meta = meta
+	ml, err := net.Listen(o.listenAddr("meta", 0))
+	if err != nil {
+		return nil, err
+	}
+	ms := pfs.NewServer(ml, meta)
+	ms.Start()
+	c.servers = append(c.servers, ms)
+	c.metaAddr = ms.Addr()
+
+	for i := 0; i < o.DataServers; i++ {
+		var store pfs.Store
+		if o.DataDir != "" {
+			fs, err := pfs.NewFileStore(filepath.Join(o.DataDir, fmt.Sprintf("data-%d", i)))
+			if err != nil {
+				return nil, err
+			}
+			store = fs
+		} else {
+			store = pfs.NewMemStore()
+		}
+		c.stores = append(c.stores, store)
+		reg := metrics.NewRegistry()
+		ds, err := pfs.NewDataServer(pfs.DataConfig{Store: store, Metrics: reg})
+		if err != nil {
+			return nil, err
+		}
+		rt, err := core.NewRuntime(core.RuntimeConfig{
+			Store: store,
+			Mode:  o.Policy.mode(),
+			Estimator: core.EstimatorConfig{
+				BW:              o.NetworkBandwidth,
+				TotalCores:      o.TotalCores,
+				IOReservedCores: o.IOReservedCores,
+				Period:          o.EstimatorPeriod,
+			},
+			Pace:    o.Pace,
+			Metrics: reg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.runtimes = append(c.runtimes, rt)
+		ds.SetActiveHandler(rt)
+		dl, err := net.Listen(o.listenAddr(fmt.Sprintf("data-%d", i), i+1))
+		if err != nil {
+			return nil, err
+		}
+		srv := pfs.NewServer(dl, ds)
+		srv.Start()
+		c.servers = append(c.servers, srv)
+		c.dataAddrs = append(c.dataAddrs, srv.Addr())
+	}
+	ok = true
+	return c, nil
+}
+
+// listenAddr picks the bind address for a server under either transport.
+// slot 0 is the metadata server; storage node i uses slot i+1.
+func (o Options) listenAddr(name string, slot int) string {
+	if !o.TCP {
+		return name
+	}
+	if o.TCPBasePort > 0 {
+		return fmt.Sprintf("127.0.0.1:%d", o.TCPBasePort+slot)
+	}
+	return "127.0.0.1:0"
+}
+
+// MetaAddr returns the metadata server's address.
+func (c *Cluster) MetaAddr() string { return c.metaAddr }
+
+// DataAddrs returns the storage nodes' addresses in layout order.
+func (c *Cluster) DataAddrs() []string { return append([]string(nil), c.dataAddrs...) }
+
+// Connect returns a client file system bound to this cluster using the
+// given scheme.
+func (c *Cluster) Connect(scheme Scheme) (*FS, error) {
+	return connect(c.net, c.metaAddr, c.dataAddrs, scheme, false)
+}
+
+// ConnectPaced is Connect with client-side kernel pacing enabled,
+// matching a cluster started with Options.Pace.
+func (c *Cluster) ConnectPaced(scheme Scheme) (*FS, error) {
+	return connect(c.net, c.metaAddr, c.dataAddrs, scheme, true)
+}
+
+// TraceDump renders storage node i's request-lifecycle trace: one line
+// per arrival, scheduling decision, kernel start, interruption,
+// migration, and completion — why the node did what it did.
+func (c *Cluster) TraceDump(node int) (string, error) {
+	if node < 0 || node >= len(c.runtimes) {
+		return "", fmt.Errorf("dosas: no storage node %d", node)
+	}
+	var sb strings.Builder
+	if _, err := c.runtimes[node].Trace().WriteTo(&sb); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+// Close stops every server and releases stores. Safe to call more than
+// once.
+func (c *Cluster) Close() {
+	for _, rt := range c.runtimes {
+		rt.Close()
+	}
+	c.runtimes = nil
+	for _, s := range c.servers {
+		s.Close()
+	}
+	c.servers = nil
+	for _, st := range c.stores {
+		st.Close()
+	}
+	c.stores = nil
+	if c.meta != nil {
+		c.meta.Close()
+		c.meta = nil
+	}
+}
+
+// ClientOptions configures Connect for clusters whose servers run in
+// other processes (started with cmd/dosas-meta and cmd/dosas-server).
+type ClientOptions struct {
+	// MetaAddr is the metadata server's TCP address.
+	MetaAddr string
+	// DataAddrs are the storage nodes' TCP addresses, in cluster order
+	// (the order servers were registered; layouts index into it).
+	DataAddrs []string
+	// Scheme selects TS / AS / DOSAS client behaviour.
+	Scheme Scheme
+	// Pace throttles client-side kernel execution to calibrated rates.
+	Pace bool
+}
+
+// Connect dials an externally managed cluster over TCP.
+func Connect(o ClientOptions) (*FS, error) {
+	return connect(transport.TCP{}, o.MetaAddr, o.DataAddrs, o.Scheme, o.Pace)
+}
+
+func connect(net transport.Network, metaAddr string, dataAddrs []string, scheme Scheme, pace bool) (*FS, error) {
+	pc, err := pfs.NewClient(pfs.ClientConfig{Net: net, MetaAddr: metaAddr, DataAddrs: dataAddrs})
+	if err != nil {
+		return nil, err
+	}
+	asc, err := core.NewClient(core.ClientConfig{FS: pc, Scheme: scheme.core(), Pace: pace})
+	if err != nil {
+		pc.Close()
+		return nil, err
+	}
+	return &FS{pc: pc, asc: asc, scheme: scheme}, nil
+}

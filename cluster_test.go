@@ -1,0 +1,108 @@
+package dosas_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dosas"
+	"dosas/internal/workload"
+)
+
+func TestClusterDefaults(t *testing.T) {
+	c := startCluster(t, dosas.Options{})
+	if got := len(c.DataAddrs()); got != 4 {
+		t.Fatalf("default data servers = %d, want 4", got)
+	}
+	if c.MetaAddr() == "" {
+		t.Fatal("no metadata address")
+	}
+}
+
+func TestClusterCloseIsIdempotent(t *testing.T) {
+	c, err := dosas.StartCluster(dosas.Options{DataServers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	c.Close() // must not panic or hang
+}
+
+func TestClusterTCPBasePort(t *testing.T) {
+	c, err := dosas.StartCluster(dosas.Options{DataServers: 2, TCP: true, TCPBasePort: 39100})
+	if err != nil {
+		t.Skipf("port range busy: %v", err)
+	}
+	defer c.Close()
+	if c.MetaAddr() != "127.0.0.1:39100" {
+		t.Errorf("meta addr = %s", c.MetaAddr())
+	}
+	addrs := c.DataAddrs()
+	if addrs[0] != "127.0.0.1:39101" || addrs[1] != "127.0.0.1:39102" {
+		t.Errorf("data addrs = %v", addrs)
+	}
+}
+
+func TestClusterShapedAndPaced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	// A 2 MB transfer through a 10 MB/s shaped link takes ≥ ~0.2 s.
+	c := startCluster(t, dosas.Options{DataServers: 1, LinkRate: 10e6})
+	fs := connect(t, c, dosas.TS)
+	f, err := fs.Create("shaped/x", dosas.CreateOptions{Width: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := workload.RandomBytes(2<<20, 1)
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	buf := make([]byte, len(data))
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 120*time.Millisecond {
+		t.Errorf("2 MB through a 10 MB/s link took only %v", elapsed)
+	}
+}
+
+func TestClusterEstimatorPeriodOption(t *testing.T) {
+	// Just a wiring smoke test: a cluster with a non-default period
+	// serves requests normally.
+	c := startCluster(t, dosas.Options{DataServers: 1, EstimatorPeriod: 5 * time.Millisecond})
+	fs := connect(t, c, dosas.DOSAS)
+	f, err := fs.Create("period/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("abc"), 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.ReadEx("sum8", nil, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dosas.SumResult(res.Output) != uint64('a'+'b'+'c') {
+		t.Fatal("wrong sum")
+	}
+}
+
+func TestSchemeAndPolicyStrings(t *testing.T) {
+	if dosas.DOSAS.String() != "DOSAS" || dosas.AS.String() != "AS" || dosas.TS.String() != "TS" {
+		t.Error("scheme names wrong")
+	}
+}
+
+func TestTraceDumpMentionsOps(t *testing.T) {
+	c := startCluster(t, dosas.Options{DataServers: 1})
+	fs := connect(t, c, dosas.AS)
+	f, _ := fs.Create("td/x", dosas.CreateOptions{Width: 1})
+	f.WriteAt([]byte("xyz"), 0)
+	f.ReadEx("histogram", nil, 0, 3)
+	dump, err := c.TraceDump(0)
+	if err != nil || !strings.Contains(dump, "op=histogram") {
+		t.Fatalf("dump = %q, %v", dump, err)
+	}
+}

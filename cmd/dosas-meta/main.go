@@ -1,0 +1,76 @@
+// Command dosas-meta runs a DOSAS metadata server: the namespace and
+// stripe-layout service of the parallel file system.
+//
+// Usage:
+//
+//	dosas-meta -addr :7700 -data-servers 4 [-journal meta.wal] [-stripe 65536]
+//
+// SIGHUP compacts the journal in place (snapshot of the live namespace).
+//
+// The -data-servers count fixes the size of the cluster's data-server
+// table; file layouts stripe over indices [0, N). Clients and dosasctl
+// must be given the data servers' addresses in the same order everywhere.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"dosas/internal/pfs"
+	"dosas/internal/transport"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+	log.SetPrefix("dosas-meta: ")
+
+	addr := flag.String("addr", ":7700", "TCP listen address")
+	nData := flag.Int("data-servers", 4, "number of data servers in the cluster")
+	stripe := flag.Uint("stripe", pfs.DefaultStripeSize, "default stripe size in bytes")
+	journal := flag.String("journal", "", "write-ahead journal path (empty = volatile namespace)")
+	flag.Parse()
+
+	meta, err := pfs.NewMetaServer(pfs.MetaConfig{
+		NumDataServers:    *nData,
+		DefaultStripeSize: uint32(*stripe),
+		JournalPath:       *journal,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer meta.Close()
+
+	l, err := transport.TCP{}.Listen(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := pfs.NewServer(l, meta)
+	log.Printf("serving %d-server namespace on %s (journal=%q)", *nData, srv.Addr(), *journal)
+
+	go func() {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		for range hup {
+			if err := meta.CompactJournal(); err != nil {
+				log.Printf("journal compaction failed: %v", err)
+			} else {
+				log.Print("journal compacted")
+			}
+		}
+	}()
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Fprintln(os.Stderr)
+		log.Print("shutting down")
+		srv.Close()
+	}()
+	if err := srv.Run(); err != transport.ErrClosed {
+		log.Fatal(err)
+	}
+}

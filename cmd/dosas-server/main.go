@@ -1,0 +1,108 @@
+// Command dosas-server runs one DOSAS storage node: the pfs data service
+// plus the Active I/O Runtime with its Contention Estimator.
+//
+// Usage:
+//
+//	dosas-server -addr :7710 [-store /var/dosas/objs] [-policy dosas|as|ts]
+//	             [-bw 118e6] [-cores 2] [-reserved 1] [-pace]
+//
+// With -store empty, stripes live in memory. The -policy flag selects the
+// scheduling behaviour: "dosas" (dynamic), "as" (always run kernels here),
+// or "ts" (always bounce). -pace throttles kernels to their calibrated
+// rates, useful when emulating the paper's testbed on faster hardware.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"dosas/internal/core"
+	"dosas/internal/metrics"
+	"dosas/internal/pfs"
+	"dosas/internal/transport"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+	log.SetPrefix("dosas-server: ")
+
+	addr := flag.String("addr", ":7710", "TCP listen address")
+	storeDir := flag.String("store", "", "stripe store directory (empty = in-memory)")
+	policy := flag.String("policy", "dosas", "scheduling policy: dosas, as, or ts")
+	bw := flag.Float64("bw", 118e6, "network bandwidth the estimator assumes, bytes/second")
+	cores := flag.Int("cores", 2, "storage node core count")
+	reserved := flag.Int("reserved", 1, "cores reserved for normal I/O service")
+	pace := flag.Bool("pace", false, "pace kernels at calibrated per-core rates")
+	flag.Parse()
+
+	var mode core.Mode
+	switch *policy {
+	case "dosas":
+		mode = core.ModeDynamic
+	case "as":
+		mode = core.ModeAlwaysAccept
+	case "ts":
+		mode = core.ModeAlwaysBounce
+	default:
+		log.Fatalf("unknown -policy %q (want dosas, as, or ts)", *policy)
+	}
+
+	var store pfs.Store
+	if *storeDir == "" {
+		store = pfs.NewMemStore()
+	} else {
+		fs, err := pfs.NewFileStore(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		store = fs
+	}
+	defer store.Close()
+
+	reg := metrics.NewRegistry()
+	ds, err := pfs.NewDataServer(pfs.DataConfig{Store: store, Metrics: reg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt, err := core.NewRuntime(core.RuntimeConfig{
+		Store: store,
+		Mode:  mode,
+		Estimator: core.EstimatorConfig{
+			BW:              *bw,
+			TotalCores:      *cores,
+			IOReservedCores: *reserved,
+		},
+		Pace:    *pace,
+		Metrics: reg,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+	ds.SetActiveHandler(rt)
+
+	l, err := transport.TCP{}.Listen(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := pfs.NewServer(l, ds)
+	log.Printf("serving stripes on %s (policy=%s cores=%d reserved=%d bw=%.0fMB/s pace=%v store=%q)",
+		srv.Addr(), mode, *cores, *reserved, *bw/1e6, *pace, *storeDir)
+
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Fprintln(os.Stderr)
+		log.Print("shutting down")
+		log.Printf("final metrics:\n%s", reg.Dump())
+		srv.Close()
+	}()
+	if err := srv.Run(); err != transport.ErrClosed {
+		log.Fatal(err)
+	}
+}

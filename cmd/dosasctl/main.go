@@ -1,0 +1,319 @@
+// Command dosasctl is the operator CLI for a running DOSAS cluster.
+//
+// Usage:
+//
+//	dosasctl -meta HOST:PORT -data HOST:PORT[,HOST:PORT...] [-scheme dosas] COMMAND ...
+//
+// Commands:
+//
+//	ls [PREFIX]                      list files
+//	stat NAME                        show file metadata
+//	put LOCAL NAME [WIDTH [REPLICAS]] upload a local file (WIDTH storage nodes; 0 = all)
+//	get NAME LOCAL                   download a file
+//	rm NAME                          remove a file
+//	readex NAME OP [OFF LEN]         run a kernel over a file range
+//	fsck NAME [deep]                 verify stripe/replica consistency
+//	repair NAME                      restore damaged replicas from intact copies
+//	ops                              list available kernels
+//	calibrate OP                     measure this host's kernel rate (Table III style)
+//	probe                            dump every storage node's load status
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"dosas"
+	"dosas/internal/pfs"
+	"dosas/internal/transport"
+	"dosas/internal/wire"
+)
+
+func usageExit() {
+	fmt.Fprintln(os.Stderr, "usage: dosasctl -meta ADDR -data ADDR[,ADDR...] [-scheme dosas|as|ts] COMMAND ...")
+	fmt.Fprintln(os.Stderr, "commands: ls, stat, put, get, rm, readex, fsck, repair, ops, calibrate, probe")
+	os.Exit(2)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dosasctl: ")
+
+	meta := flag.String("meta", "127.0.0.1:7700", "metadata server address")
+	data := flag.String("data", "", "comma-separated data server addresses, in cluster order")
+	schemeName := flag.String("scheme", "dosas", "client scheme for readex: dosas, as, or ts")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usageExit()
+	}
+
+	var scheme dosas.Scheme
+	switch *schemeName {
+	case "dosas":
+		scheme = dosas.DOSAS
+	case "as":
+		scheme = dosas.AS
+	case "ts":
+		scheme = dosas.TS
+	default:
+		log.Fatalf("unknown -scheme %q", *schemeName)
+	}
+
+	// Local commands that need no cluster.
+	switch args[0] {
+	case "ops":
+		for _, op := range dosas.Ops() {
+			fmt.Printf("%-12s %8.1f MB/s/core (calibrated default)\n", op, dosas.RateFor(op)/1e6)
+		}
+		return
+	case "calibrate":
+		if len(args) != 2 {
+			log.Fatal("usage: calibrate OP")
+		}
+		rate, err := dosas.Calibrate(args[1], 64<<20, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %.1f MB/s per core on this host\n", args[1], rate/1e6)
+		return
+	}
+
+	dataAddrs := strings.Split(*data, ",")
+	if *data == "" || len(dataAddrs) == 0 {
+		log.Fatal("need -data with at least one storage server address")
+	}
+	fs, err := dosas.Connect(dosas.ClientOptions{
+		MetaAddr:  *meta,
+		DataAddrs: dataAddrs,
+		Scheme:    scheme,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fs.Close()
+
+	switch args[0] {
+	case "ls":
+		prefix := ""
+		if len(args) > 1 {
+			prefix = args[1]
+		}
+		names, err := fs.List(prefix)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+	case "stat":
+		if len(args) != 2 {
+			log.Fatal("usage: stat NAME")
+		}
+		fi, err := fs.Stat(args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("name:    %s\nsize:    %d bytes\nstripe:  %d bytes\nwidth:   %d servers\nreplicas: %d\nmtime:   %s\n",
+			fi.Name, fi.Size, fi.StripeSize, fi.Width, fi.Replicas, fi.ModTime.Format("2006-01-02 15:04:05"))
+	case "put":
+		if len(args) < 3 {
+			log.Fatal("usage: put LOCAL NAME [WIDTH [REPLICAS]]")
+		}
+		width, replicas := 0, 0
+		if len(args) > 3 {
+			w, err := strconv.Atoi(args[3])
+			if err != nil {
+				log.Fatalf("bad WIDTH %q", args[3])
+			}
+			width = w
+		}
+		if len(args) > 4 {
+			r, err := strconv.Atoi(args[4])
+			if err != nil {
+				log.Fatalf("bad REPLICAS %q", args[4])
+			}
+			replicas = r
+		}
+		blob, err := os.ReadFile(args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := fs.Create(args[2], dosas.CreateOptions{Width: width, Replicas: replicas})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := f.WriteAt(blob, 0); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("stored %d bytes as %s over %d server(s), %d replica(s)\n",
+			len(blob), args[2], f.StripeWidth(), f.Replicas())
+	case "get":
+		if len(args) != 3 {
+			log.Fatal("usage: get NAME LOCAL")
+		}
+		f, err := fs.Open(args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		blob, err := f.ReadAll()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(args[2], blob, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("fetched %d bytes\n", len(blob))
+	case "rm":
+		if len(args) != 2 {
+			log.Fatal("usage: rm NAME")
+		}
+		if err := fs.Remove(args[1]); err != nil {
+			log.Fatal(err)
+		}
+	case "readex":
+		if len(args) < 3 {
+			log.Fatal("usage: readex NAME OP [OFF LEN]")
+		}
+		f, err := fs.Open(args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		off, length := uint64(0), f.Size()
+		if len(args) >= 5 {
+			o, err1 := strconv.ParseUint(args[3], 10, 64)
+			l, err2 := strconv.ParseUint(args[4], 10, 64)
+			if err1 != nil || err2 != nil {
+				log.Fatal("bad OFF/LEN")
+			}
+			off, length = o, l
+		}
+		res, err := f.ReadEx(args[2], opParams(args[2]), off, length)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printResult(args[2], res)
+	case "fsck":
+		if len(args) < 2 {
+			log.Fatal("usage: fsck NAME [deep]")
+		}
+		deep := len(args) > 2 && args[2] == "deep"
+		rep, err := fs.Verify(args[1], deep)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printReport(rep)
+		if !rep.OK() {
+			os.Exit(1)
+		}
+	case "repair":
+		if len(args) != 2 {
+			log.Fatal("usage: repair NAME")
+		}
+		rep, err := fs.Repair(args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		printReport(rep)
+		if !rep.OK() {
+			os.Exit(1)
+		}
+	case "probe":
+		probeAll(*meta, dataAddrs)
+	default:
+		usageExit()
+	}
+}
+
+// opParams supplies sensible CLI defaults for parameterised kernels.
+func opParams(op string) []byte {
+	switch op {
+	case "gaussian2d":
+		return dosas.GaussianParams(1024, false)
+	case "count":
+		return []byte("data")
+	case "downsample":
+		return dosas.DownsampleParams(16)
+	case "kmeans1d":
+		return dosas.KMeansParams(4, 0, 256)
+	default:
+		return nil
+	}
+}
+
+func printResult(op string, res *dosas.Result) {
+	fmt.Printf("elapsed: %v, shipped %d raw bytes\n", res.Elapsed, res.BytesShipped())
+	for _, p := range res.Parts {
+		fmt.Printf("  server %d: %d bytes ran %s\n", p.Server, p.Bytes, p.Where)
+	}
+	switch op {
+	case "sum8":
+		fmt.Printf("sum = %d\n", dosas.SumResult(res.Output))
+	case "sum64":
+		fmt.Printf("sum = %g\n", dosas.Sum64Result(res.Output))
+	case "count", "wordcount":
+		fmt.Printf("count = %d\n", dosas.CountResult(res.Output))
+	case "minmax":
+		mn, mx, err := dosas.MinMaxResult(res.Output)
+		if err == nil {
+			fmt.Printf("min = %g, max = %g\n", mn, mx)
+		}
+	case "moments":
+		if m, err := dosas.MomentsResult(res.Output); err == nil {
+			fmt.Printf("count = %d, mean = %g, variance = %g\n", m.Count, m.Mean(), m.Variance())
+		}
+	case "kmeans1d":
+		if cs, err := dosas.KMeansResult(res.Output); err == nil {
+			for _, c := range cs {
+				fmt.Printf("centroid %.4f: %d samples\n", c.Centroid, c.Count)
+			}
+		}
+	case "gaussian2d":
+		if d, err := dosas.GaussianDigestResult(res.Output); err == nil {
+			fmt.Printf("pixels = %d, mean = %.2f, min = %d, max = %d\n",
+				d.Pixels, float64(d.Sum)/float64(d.Pixels), d.Min, d.Max)
+		}
+	default:
+		fmt.Printf("result: %d bytes\n", len(res.Output))
+	}
+}
+
+func printReport(rep *dosas.VerifyReport) {
+	if rep.OK() {
+		fmt.Printf("%s: OK (%d bytes deep-checked)\n", rep.Name, rep.BytesChecked)
+		return
+	}
+	fmt.Printf("%s: %d issue(s)\n", rep.Name, len(rep.Issues))
+	for _, is := range rep.Issues {
+		fmt.Printf("  %s\n", is)
+	}
+}
+
+// probeAll dumps every storage node's estimator snapshot.
+func probeAll(meta string, dataAddrs []string) {
+	pool := pfs.NewPool(transport.TCP{})
+	defer pool.Close()
+	if _, err := pool.Call(meta, &wire.Ping{Seq: 1}); err != nil {
+		log.Printf("meta %s: unreachable: %v", meta, err)
+	} else {
+		fmt.Printf("meta %s: alive\n", meta)
+	}
+	for i, addr := range dataAddrs {
+		resp, err := pool.Call(addr, &wire.ProbeReq{})
+		if err != nil {
+			log.Printf("data[%d] %s: unreachable: %v", i, addr, err)
+			continue
+		}
+		p, ok := resp.(*wire.ProbeResp)
+		if !ok {
+			log.Printf("data[%d] %s: unexpected response", i, addr)
+			continue
+		}
+		fmt.Printf("data[%d] %s: queue normal=%d active=%d, cores busy=%.1f/%d, queued=%d bytes\n",
+			i, addr, p.QueueLen, p.ActiveQueueLen, p.BusyCores, p.TotalCores, p.BytesQueued)
+	}
+}

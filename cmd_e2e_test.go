@@ -1,0 +1,161 @@
+package dosas_test
+
+// End-to-end smoke test of the shipped binaries: builds dosas-meta,
+// dosas-server and dosasctl, boots a real multi-process cluster over TCP
+// loopback, and drives it through the CLI.
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// freePort reserves a TCP port and releases it for the child process.
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port
+}
+
+// waitDialable polls until addr accepts connections.
+func waitDialable(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		c, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+		if err == nil {
+			c.Close()
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("server at %s never came up", addr)
+}
+
+func TestBinariesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs binaries")
+	}
+	bin := t.TempDir()
+	build := exec.Command("go", "build", "-o", bin,
+		"./cmd/dosas-meta", "./cmd/dosas-server", "./cmd/dosasctl")
+	build.Dir = "."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	metaAddr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	dataAddr0 := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	dataAddr1 := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	dataList := dataAddr0 + "," + dataAddr1
+
+	startDaemon := func(name string, args ...string) {
+		cmd := exec.Command(filepath.Join(bin, name), args...)
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start %s: %v", name, err)
+		}
+		t.Cleanup(func() {
+			cmd.Process.Kill()
+			cmd.Wait()
+		})
+	}
+	startDaemon("dosas-meta", "-addr", metaAddr, "-data-servers", "2",
+		"-journal", filepath.Join(t.TempDir(), "meta.wal"))
+	startDaemon("dosas-server", "-addr", dataAddr0, "-store", t.TempDir())
+	startDaemon("dosas-server", "-addr", dataAddr1, "-store", t.TempDir())
+	waitDialable(t, metaAddr)
+	waitDialable(t, dataAddr0)
+	waitDialable(t, dataAddr1)
+
+	ctl := func(args ...string) string {
+		t.Helper()
+		full := append([]string{"-meta", metaAddr, "-data", dataList}, args...)
+		out, err := exec.Command(filepath.Join(bin, "dosasctl"), full...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("dosasctl %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	// put / stat / ls
+	local := filepath.Join(t.TempDir(), "payload.bin")
+	payload := make([]byte, 300_000)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	if err := os.WriteFile(local, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := ctl("put", local, "e2e/payload.bin")
+	if !strings.Contains(out, "stored 300000 bytes") {
+		t.Fatalf("put output: %s", out)
+	}
+	out = ctl("stat", "e2e/payload.bin")
+	if !strings.Contains(out, "size:    300000") || !strings.Contains(out, "width:   2") {
+		t.Fatalf("stat output: %s", out)
+	}
+	out = ctl("ls", "e2e/")
+	if strings.TrimSpace(out) != "e2e/payload.bin" {
+		t.Fatalf("ls output: %q", out)
+	}
+
+	// readex: the sum must match, computed where the cluster chooses.
+	var want uint64
+	for _, b := range payload {
+		want += uint64(b)
+	}
+	out = ctl("readex", "e2e/payload.bin", "sum8")
+	if !strings.Contains(out, fmt.Sprintf("sum = %d", want)) {
+		t.Fatalf("readex output lacks sum %d: %s", want, out)
+	}
+
+	// get round-trips the bytes.
+	fetched := filepath.Join(t.TempDir(), "fetched.bin")
+	ctl("get", "e2e/payload.bin", fetched)
+	got, err := os.ReadFile(fetched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(payload) {
+		t.Fatalf("fetched %d bytes", len(got))
+	}
+	for i := range got {
+		if got[i] != payload[i] {
+			t.Fatalf("fetched byte %d differs", i)
+		}
+	}
+
+	// probe reaches every server.
+	out = ctl("probe")
+	if !strings.Contains(out, "meta "+metaAddr+": alive") ||
+		!strings.Contains(out, "data[0]") || !strings.Contains(out, "data[1]") {
+		t.Fatalf("probe output: %s", out)
+	}
+
+	// fsck on a replicated file.
+	ctl("put", local, "e2e/replicated.bin", "2", "2")
+	out = ctl("fsck", "e2e/replicated.bin", "deep")
+	if !strings.Contains(out, "OK") {
+		t.Fatalf("fsck output: %s", out)
+	}
+	out = ctl("repair", "e2e/replicated.bin")
+	if !strings.Contains(out, "OK") {
+		t.Fatalf("repair output: %s", out)
+	}
+
+	// rm removes and ls confirms.
+	ctl("rm", "e2e/payload.bin")
+	if out := ctl("ls", "e2e/"); !strings.Contains(out, "e2e/replicated.bin") ||
+		strings.Contains(out, "payload") {
+		t.Fatalf("ls after rm: %q", out)
+	}
+}

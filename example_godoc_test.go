@@ -1,0 +1,108 @@
+package dosas_test
+
+// Testable godoc examples for the public API.
+
+import (
+	"fmt"
+	"log"
+
+	"dosas"
+)
+
+// ExampleStartCluster boots a cluster, stores data, and runs an active sum.
+func ExampleStartCluster() {
+	cluster, err := dosas.StartCluster(dosas.Options{DataServers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	fs, err := cluster.Connect(dosas.DOSAS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fs.Close()
+
+	f, err := fs.Create("demo/data")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{1, 2, 3, 4}, 0); err != nil {
+		log.Fatal(err)
+	}
+	res, err := f.ReadEx("sum8", nil, 0, f.Size())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(dosas.SumResult(res.Output))
+	// Output: 10
+}
+
+// ExampleFileReadEx shows the paper's MPI-IO-style extended call.
+func ExampleFileReadEx() {
+	cluster, err := dosas.StartCluster(dosas.Options{DataServers: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	fs, err := cluster.Connect(dosas.AS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fs.Close()
+
+	f, err := fs.Create("demo/mpi")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("one two three"), 0); err != nil {
+		log.Fatal(err)
+	}
+
+	fh, err := dosas.FileOpen(fs, "demo/mpi")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var result dosas.ExResult
+	var status dosas.Status
+	if err := dosas.FileReadEx(fh, &result, int(fh.Size()), dosas.Byte,
+		"wordcount", nil, &status); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(dosas.CountResult(result.Buf), result.Completed)
+	// Output: 3 true
+}
+
+// ExampleFS_ReadExMany aggregates one statistic across a whole dataset.
+func ExampleFS_ReadExMany() {
+	cluster, err := dosas.StartCluster(dosas.Options{DataServers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	fs, err := cluster.Connect(dosas.DOSAS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fs.Close()
+
+	for i, blob := range [][]byte{{1, 1}, {2, 2}, {3}} {
+		f, err := fs.Create(fmt.Sprintf("set/part-%d", i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := f.WriteAt(blob, 0); err != nil {
+			log.Fatal(err)
+		}
+	}
+	names, err := fs.List("set/")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := fs.ReadExMany(names, "sum8", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(dosas.SumResult(res.Output))
+	// Output: 9
+}

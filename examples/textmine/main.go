@@ -1,0 +1,147 @@
+// Textmine: log analytics inside the storage cluster — grep-style pattern
+// counting and word statistics over striped log files, plus 1-D k-means
+// clustering of request latencies, all without shipping the logs to the
+// client.
+//
+//	go run ./examples/textmine
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"dosas"
+)
+
+const (
+	logFiles    = 4
+	linesPerLog = 40_000
+)
+
+var services = []string{"auth", "billing", "search", "ingest", "gateway"}
+
+// synthLog fabricates one service's log: mostly INFO lines, occasional
+// ERRORs, with a per-line latency field.
+func synthLog(seed int64) (text []byte, latencies []float64, errors int) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < linesPerLog; i++ {
+		svc := services[rng.Intn(len(services))]
+		level := "INFO"
+		if rng.Float64() < 0.03 {
+			level = "ERROR"
+			errors++
+		}
+		// Bimodal latency: fast cache hits around 5 ms, slow backend
+		// calls around 80 ms.
+		var lat float64
+		if rng.Float64() < 0.7 {
+			lat = 5 + rng.NormFloat64()*1.5
+		} else {
+			lat = 80 + rng.NormFloat64()*12
+		}
+		if lat < 0.1 {
+			lat = 0.1
+		}
+		latencies = append(latencies, lat)
+		text = append(text, fmt.Sprintf("%s svc=%s req=%06d latency_ms=%.2f msg=handled\n",
+			level, svc, i, lat)...)
+	}
+	return text, latencies, errors
+}
+
+func main() {
+	log.SetFlags(0)
+	cluster, err := dosas.StartCluster(dosas.Options{DataServers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	fs, err := cluster.Connect(dosas.DOSAS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fs.Close()
+
+	// Ingest logs (striped) and latency columns (width 1, for k-means).
+	wantErrors := make([]int, logFiles)
+	var totalBytes uint64
+	for i := 0; i < logFiles; i++ {
+		text, lats, errs := synthLog(int64(i + 1))
+		wantErrors[i] = errs
+		lf, err := fs.Create(fmt.Sprintf("logs/service-%d.log", i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := lf.WriteAt(text, 0); err != nil {
+			log.Fatal(err)
+		}
+		totalBytes += uint64(len(text))
+		col, err := fs.Create(fmt.Sprintf("logs/service-%d.lat", i), dosas.CreateOptions{Width: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		raw := make([]byte, len(lats)*8)
+		for j, v := range lats {
+			binary.LittleEndian.PutUint64(raw[j*8:], math.Float64bits(v))
+		}
+		if _, err := col.WriteAt(raw, 0); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("ingested %d log files (%.1f MB) plus latency columns\n\n",
+		logFiles, float64(totalBytes)/(1<<20))
+
+	// Pattern count: grep -c ERROR, executed next to the data.
+	fmt.Printf("%-22s %8s %8s %10s %12s\n", "file", "errors", "want", "words", "shipped")
+	for i := 0; i < logFiles; i++ {
+		f, err := fs.Open(fmt.Sprintf("logs/service-%d.log", i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		errRes, err := f.ReadEx("count", []byte("ERROR"), 0, f.Size())
+		if err != nil {
+			log.Fatal(err)
+		}
+		wcRes, err := f.ReadEx("wordcount", nil, 0, f.Size())
+		if err != nil {
+			log.Fatal(err)
+		}
+		got := dosas.CountResult(errRes.Output)
+		if got != uint64(wantErrors[i]) {
+			log.Fatalf("file %d: counted %d errors, want %d", i, got, wantErrors[i])
+		}
+		fmt.Printf("%-22s %8d %8d %10d %11dB\n",
+			fmt.Sprintf("logs/service-%d.log", i), got, wantErrors[i],
+			dosas.CountResult(wcRes.Output), errRes.BytesShipped()+wcRes.BytesShipped())
+	}
+
+	// Latency clustering: the bimodal shape must fall out of k-means run
+	// on the storage node holding each column.
+	fmt.Printf("\nlatency clusters (k-means on the storage nodes):\n")
+	for i := 0; i < logFiles; i++ {
+		f, err := fs.Open(fmt.Sprintf("logs/service-%d.lat", i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := f.ReadEx("kmeans1d", dosas.KMeansParams(2, 0, 120), 0, f.Size())
+		if err != nil {
+			log.Fatal(err)
+		}
+		cs, err := dosas.KMeansResult(res.Output)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  service-%d:", i)
+		for _, c := range cs {
+			fmt.Printf("  %.1fms ×%d", c.Centroid, c.Count)
+		}
+		fmt.Println()
+		if len(cs) == 2 && (math.Abs(cs[0].Centroid-5) > 3 || math.Abs(cs[1].Centroid-80) > 8) {
+			log.Fatalf("service-%d clusters off: %+v", i, cs)
+		}
+	}
+	fmt.Println("\nall counts verified against ground truth; logs never left the storage nodes")
+}

@@ -1,0 +1,3 @@
+module dosas
+
+go 1.22

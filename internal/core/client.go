@@ -1,0 +1,607 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dosas/internal/kernels"
+	"dosas/internal/metrics"
+	"dosas/internal/pfs"
+	"dosas/internal/wire"
+)
+
+// Scheme selects how the client issues analysis reads — the three schemes
+// the paper evaluates (Section IV-A3).
+type Scheme int
+
+// Analysis schemes.
+const (
+	// SchemeDOSAS requests active I/O and lets the storage node's
+	// dynamic policy accept, bounce, or interrupt it.
+	SchemeDOSAS Scheme = iota
+	// SchemeAS requests active I/O unconditionally (classic active
+	// storage); a refusing server is still honoured by local fallback.
+	SchemeAS
+	// SchemeTS never requests active I/O: raw data is read and the
+	// kernel runs on the compute node (traditional storage).
+	SchemeTS
+)
+
+// String names the scheme as the paper abbreviates it.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeDOSAS:
+		return "DOSAS"
+	case SchemeAS:
+		return "AS"
+	case SchemeTS:
+		return "TS"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// ClientConfig configures an Active Storage Client.
+type ClientConfig struct {
+	// FS is the parallel file system client; required.
+	FS *pfs.Client
+	// Scheme selects TS / AS / DOSAS behaviour. Default SchemeDOSAS.
+	Scheme Scheme
+	// ChunkSize is the read granularity for client-side kernel
+	// execution. Defaults to 1 MiB.
+	ChunkSize int
+	// Pace throttles client-side kernel execution to the calibrated
+	// per-core rate, emulating the paper's compute nodes on fast hosts.
+	Pace bool
+	// RateFor overrides the kernel rate lookup used for pacing; defaults
+	// to kernels.RateFor.
+	RateFor func(op string) float64
+	// Metrics receives client counters; optional.
+	Metrics *metrics.Registry
+}
+
+// Client is the Active Storage Client (ASC): it runs on compute nodes,
+// offers the active I/O entry point, and completes requests locally when a
+// storage node bounces or interrupts them — without application
+// involvement, as in paper Section III-B.
+type Client struct {
+	cfg    ClientConfig
+	reg    *metrics.Registry
+	nextID atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]pendingReq // the paper's local registration table
+}
+
+// pendingReq mirrors the paper's ASC-side registration of each active I/O:
+// operation, I/O size, and file handle.
+type pendingReq struct {
+	op     string
+	bytes  uint64
+	handle uint64
+}
+
+// NewClient builds an ASC over an existing pfs client.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.FS == nil {
+		return nil, fmt.Errorf("core: client needs a pfs.Client")
+	}
+	if cfg.ChunkSize <= 0 {
+		cfg.ChunkSize = 1 << 20
+	}
+	if cfg.RateFor == nil {
+		cfg.RateFor = kernels.RateFor
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	return &Client{cfg: cfg, reg: cfg.Metrics, pending: make(map[uint64]pendingReq)}, nil
+}
+
+// Scheme returns the client's configured scheme.
+func (c *Client) Scheme() Scheme { return c.cfg.Scheme }
+
+// Metrics returns the client's metric registry.
+func (c *Client) Metrics() *metrics.Registry { return c.reg }
+
+// Where records where the work of one per-server part was executed.
+type Where uint8
+
+// Execution sites.
+const (
+	// OnStorage: the kernel ran fully on the storage node.
+	OnStorage Where = iota
+	// OnCompute: the request was bounced and the kernel ran here.
+	OnCompute
+	// Migrated: the kernel started on the storage node, was interrupted,
+	// and finished here from its checkpoint.
+	Migrated
+)
+
+// String names the execution site.
+func (w Where) String() string {
+	switch w {
+	case OnStorage:
+		return "storage"
+	case OnCompute:
+		return "compute"
+	case Migrated:
+		return "migrated"
+	default:
+		return fmt.Sprintf("where(%d)", int(w))
+	}
+}
+
+// PartInfo describes one per-storage-node part of an active read.
+type PartInfo struct {
+	Server        uint32
+	Bytes         uint64 // input bytes the part covered
+	Where         Where
+	BytesShipped  uint64 // raw bytes moved over the network for this part
+	ServerElapsed time.Duration
+}
+
+// Result is what an active read returns: the paper's struct result plus
+// execution provenance. Completed is always true by the time the call
+// returns — the ASC transparently finishes bounced work — and mirrors the
+// paper's completed flag after ASC post-processing.
+type Result struct {
+	Completed bool
+	Output    []byte
+	Parts     []PartInfo
+	Elapsed   time.Duration
+}
+
+// BytesShipped totals raw data movement across parts.
+func (r *Result) BytesShipped() uint64 {
+	var n uint64
+	for _, p := range r.Parts {
+		n += p.BytesShipped
+	}
+	return n
+}
+
+// ActiveRead runs operation op (with kernel parameters params) over the
+// file range [off, off+length) and returns the combined result. Per the
+// configured scheme it either ships the computation to the storage nodes
+// holding the range's stripes, reads raw data and computes locally, or
+// lets DOSAS decide per storage node.
+func (c *Client) ActiveRead(f *pfs.File, off, length uint64, op string, params []byte) (*Result, error) {
+	if length == 0 {
+		return nil, fmt.Errorf("core: zero-length active read")
+	}
+	if size := f.Size(); off+length > size {
+		return nil, fmt.Errorf("core: active read [%d,%d) beyond file size %d", off, off+length, size)
+	}
+	ranges := localRanges(f, off, length)
+	if len(ranges) > 1 && !kernels.CanCombine(op) {
+		return nil, fmt.Errorf("core: operation %q spans %d storage nodes but is not combinable", op, len(ranges))
+	}
+	start := time.Now()
+	type partOut struct {
+		idx  int
+		info PartInfo
+		out  []byte
+		err  error
+	}
+	results := make(chan partOut, len(ranges))
+	for i, lr := range ranges {
+		go func(i int, lr localRange) {
+			info, out, err := c.processRange(f, lr, op, params)
+			results <- partOut{idx: i, info: info, out: out, err: err}
+		}(i, lr)
+	}
+	parts := make([][]byte, len(ranges))
+	infos := make([]PartInfo, len(ranges))
+	var firstErr error
+	for range ranges {
+		po := <-results
+		if po.err != nil && firstErr == nil {
+			firstErr = po.err
+		}
+		parts[po.idx] = po.out
+		infos[po.idx] = po.info
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	combined, err := kernels.Combine(op, parts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Completed: true,
+		Output:    combined,
+		Parts:     infos,
+		Elapsed:   time.Since(start),
+	}, nil
+}
+
+// ActiveReadMany runs the same combinable operation over several whole
+// files concurrently and combines all per-file outputs into one result —
+// the ensemble/sweep pattern (e.g. global statistics over every member of
+// a dataset directory) as a single call.
+func (c *Client) ActiveReadMany(files []*pfs.File, op string, params []byte) (*Result, error) {
+	if len(files) == 0 {
+		return nil, fmt.Errorf("core: no files to read")
+	}
+	if !kernels.CanCombine(op) {
+		return nil, fmt.Errorf("core: operation %q is not combinable across files", op)
+	}
+	start := time.Now()
+	type out struct {
+		idx int
+		res *Result
+		err error
+	}
+	results := make(chan out, len(files))
+	for i, f := range files {
+		go func(i int, f *pfs.File) {
+			res, err := c.ActiveRead(f, 0, f.Size(), op, params)
+			results <- out{idx: i, res: res, err: err}
+		}(i, f)
+	}
+	parts := make([][]byte, len(files))
+	combined := &Result{Completed: true}
+	var firstErr error
+	for range files {
+		o := <-results
+		if o.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("core: %s: %w", files[o.idx].Name(), o.err)
+			}
+			continue
+		}
+		parts[o.idx] = o.res.Output
+		combined.Parts = append(combined.Parts, o.res.Parts...)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	output, err := kernels.Combine(op, parts)
+	if err != nil {
+		return nil, err
+	}
+	combined.Output = output
+	combined.Elapsed = time.Since(start)
+	return combined, nil
+}
+
+// localRange is the contiguous server-local byte range a file range
+// occupies on one storage node (slot identifies the layout position, from
+// which each replica's server follows).
+type localRange struct {
+	slot   int
+	server uint32
+	offset uint64
+	length uint64
+}
+
+// localRanges groups the stripe segments of [off, off+length) by server.
+// Because round-robin striping maps consecutive owned stripes to
+// consecutive local stripes, each server's share of a contiguous file
+// range is itself contiguous in local space.
+func localRanges(f *pfs.File, off, length uint64) []localRange {
+	segs := pfs.Segments(f.Layout(), off, length)
+	byServer := make(map[uint32]*localRange)
+	var order []uint32
+	for _, seg := range segs {
+		lr, ok := byServer[seg.Server]
+		if !ok {
+			byServer[seg.Server] = &localRange{slot: seg.Slot, server: seg.Server, offset: seg.LocalOffset, length: seg.Length}
+			order = append(order, seg.Server)
+			continue
+		}
+		if seg.LocalOffset < lr.offset {
+			lr.length += lr.offset - seg.LocalOffset
+			lr.offset = seg.LocalOffset
+		}
+		if end := seg.LocalOffset + seg.Length; end > lr.offset+lr.length {
+			lr.length = end - lr.offset
+		}
+	}
+	out := make([]localRange, 0, len(order))
+	for _, s := range order {
+		out = append(out, *byServer[s])
+	}
+	return out
+}
+
+// processRange handles one storage node's share of an active read
+// according to the scheme: offload, fall back, or compute locally. When
+// the file is replicated and a replica's server fails, the part retries
+// on the next replica (same local offsets, by chained placement).
+func (c *Client) processRange(f *pfs.File, lr localRange, op string, params []byte) (PartInfo, []byte, error) {
+	layout := f.Layout()
+	var lastInfo PartInfo
+	var lastErr error
+	for r := 0; r < layout.ReplicaCount(); r++ {
+		server := pfs.ReplicaServer(layout, lr.slot, r)
+		info, out, err := c.processRangeReplica(f, lr, server, pfs.ReplicaHandle(f.Handle(), r), op, params)
+		if err == nil {
+			return info, out, nil
+		}
+		if r+1 < layout.ReplicaCount() {
+			c.reg.Counter("asc.replica_failover").Inc()
+		}
+		lastInfo, lastErr = info, err
+	}
+	return lastInfo, nil, lastErr
+}
+
+// processRangeReplica runs one part against a specific replica.
+func (c *Client) processRangeReplica(f *pfs.File, lr localRange, server uint32, handle uint64, op string, params []byte) (PartInfo, []byte, error) {
+	info := PartInfo{Server: server, Bytes: lr.length}
+	addr, err := c.cfg.FS.DataAddr(server)
+	if err != nil {
+		return info, nil, err
+	}
+	if c.cfg.Scheme == SchemeTS {
+		info.Where = OnCompute
+		out, shipped, err := c.computeLocally(addr, handle, lr.offset, lr.length, op, params, nil)
+		info.BytesShipped = shipped
+		return info, out, err
+	}
+
+	reqID := c.nextID.Add(1)
+	c.register(reqID, op, lr.length, handle)
+	defer c.unregister(reqID)
+
+	serverStart := time.Now()
+	resp, err := c.cfg.FS.Pool().Call(addr, &wire.ActiveReadReq{
+		RequestID: reqID,
+		Handle:    handle,
+		Offset:    lr.offset,
+		Length:    lr.length,
+		Op:        op,
+		Params:    params,
+	})
+	info.ServerElapsed = time.Since(serverStart)
+	if err != nil {
+		var re *pfs.RemoteError
+		if errors.As(err, &re) && re.Code == wire.StatusUnsupported {
+			// Plain data server with no active runtime: degrade to TS.
+			info.Where = OnCompute
+			out, shipped, lerr := c.computeLocally(addr, handle, lr.offset, lr.length, op, params, nil)
+			info.BytesShipped = shipped
+			return info, out, lerr
+		}
+		return info, nil, err
+	}
+	ar, ok := resp.(*wire.ActiveReadResp)
+	if !ok {
+		return info, nil, fmt.Errorf("core: active read: unexpected response %v", resp.Type())
+	}
+	switch ar.Disposition {
+	case wire.ActiveDone:
+		c.reg.Counter("asc.completed_on_storage").Inc()
+		info.Where = OnStorage
+		info.BytesShipped = uint64(len(ar.Result))
+		return info, ar.Result, nil
+	case wire.ActiveRejected:
+		c.reg.Counter("asc.bounced").Inc()
+		info.Where = OnCompute
+		out, shipped, err := c.computeLocally(addr, handle, lr.offset, lr.length, op, params, nil)
+		info.BytesShipped = shipped
+		return info, out, err
+	case wire.ActiveInterrupted:
+		c.reg.Counter("asc.migrated").Inc()
+		info.Where = Migrated
+		out, shipped, err := c.computeLocally(addr, handle, lr.offset+ar.Processed, lr.length-ar.Processed, op, params, ar.State)
+		info.BytesShipped = shipped
+		return info, out, err
+	default:
+		return info, nil, fmt.Errorf("core: active read: unknown disposition %d", ar.Disposition)
+	}
+}
+
+// computeLocally reads [offset, offset+length) of the server's local
+// stream for handle into a buffer and then runs the kernel on the compute
+// node, optionally resuming from a checkpoint. It returns the kernel
+// output and the raw bytes shipped.
+//
+// Transfer and computation are deliberately NOT pipelined: this is the
+// paper's workload model ("the workload of an application consists of two
+// separate parts: computation ... and data movement"), matching what an
+// MPI_File_read followed by a local kernel does — read into the user
+// buffer, then process. The crossover behaviour the scheduler reasons
+// about depends on these phases being serial.
+func (c *Client) computeLocally(addr string, handle, offset, length uint64, op string, params, resumeState []byte) ([]byte, uint64, error) {
+	k, err := kernels.New(op)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := k.Configure(params); err != nil {
+		return nil, 0, err
+	}
+	if len(resumeState) > 0 {
+		if err := k.Restore(resumeState); err != nil {
+			return nil, 0, err
+		}
+	}
+	// Phase 1: data movement.
+	buf := make([]byte, length)
+	var done uint64
+	for done < length {
+		n := uint32(c.cfg.ChunkSize)
+		if length-done < uint64(n) {
+			n = uint32(length - done)
+		}
+		resp, err := c.cfg.FS.Pool().Call(addr, &wire.ReadReq{Handle: handle, Offset: offset + done, Length: n})
+		if err != nil {
+			return nil, done, err
+		}
+		rr, ok := resp.(*wire.ReadResp)
+		if !ok {
+			return nil, done, fmt.Errorf("core: local compute read: unexpected response %v", resp.Type())
+		}
+		if len(rr.Data) == 0 {
+			return nil, done, fmt.Errorf("core: local compute read past end of local stream at %d", offset+done)
+		}
+		copy(buf[done:], rr.Data)
+		done += uint64(len(rr.Data))
+		c.reg.Counter("asc.bytes_shipped").Add(int64(len(rr.Data)))
+	}
+	// Phase 2: computation.
+	start := time.Now()
+	var processed uint64
+	for processed < length {
+		n := uint64(c.cfg.ChunkSize)
+		if length-processed < n {
+			n = length - processed
+		}
+		if err := k.Process(buf[processed : processed+n]); err != nil {
+			return nil, done, err
+		}
+		processed += n
+		if c.cfg.Pace {
+			c.pace(op, processed, start)
+		}
+	}
+	out, err := k.Result()
+	if err != nil {
+		return nil, done, err
+	}
+	c.reg.Counter("asc.completed_on_compute").Inc()
+	return out, done, nil
+}
+
+// pace mirrors the runtime's pacing for client-side kernel execution.
+func (c *Client) pace(op string, done uint64, start time.Time) {
+	rate := c.cfg.RateFor(op)
+	if rate <= 0 {
+		return
+	}
+	want := time.Duration(float64(done) / rate * float64(time.Second))
+	if elapsed := time.Since(start); want > elapsed {
+		time.Sleep(want - elapsed)
+	}
+}
+
+func (c *Client) register(id uint64, op string, bytes, handle uint64) {
+	c.mu.Lock()
+	c.pending[id] = pendingReq{op: op, bytes: bytes, handle: handle}
+	c.mu.Unlock()
+}
+
+func (c *Client) unregister(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// Pending reports how many active requests this client is waiting on.
+func (c *Client) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// TransformResult reports one completed active transform.
+type TransformResult struct {
+	// BytesWritten is the total output written across storage nodes.
+	BytesWritten uint64
+	// Parts records per-node input sizes.
+	Parts   []PartInfo
+	Elapsed time.Duration
+}
+
+// Transform runs a size-preserving operation over all of src on its
+// storage nodes, writing the output to a freshly created file dstName
+// with the same stripe layout — active write-back: neither the input nor
+// the output ever crosses the network. Only operations with
+// h(x) = x (e.g. full-image gaussian2d) qualify; others return an error.
+func (c *Client) Transform(src *pfs.File, dstName, op string, params []byte) (*pfs.File, *TransformResult, error) {
+	k, err := kernels.New(op)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := k.Configure(params); err != nil {
+		return nil, nil, err
+	}
+	for _, probe := range []uint64{1 << 12, 1 << 20, 3 << 19} {
+		if k.ResultSize(probe) != probe {
+			return nil, nil, fmt.Errorf("core: transform requires a size-preserving operation; %q maps %d bytes to %d",
+				op, probe, k.ResultSize(probe))
+		}
+	}
+	size := src.Size()
+	if size == 0 {
+		return nil, nil, fmt.Errorf("core: transform of empty file %q", src.Name())
+	}
+	layout := src.Layout()
+	if layout.ReplicaCount() > 1 {
+		return nil, nil, fmt.Errorf("core: transform of replicated file %q is not supported "+
+			"(the output would exist on one replica only)", src.Name())
+	}
+	dst, err := c.cfg.FS.CreatePlaced(dstName, layout.StripeSize, layout.Servers)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	start := time.Now()
+	ranges := localRanges(src, 0, size)
+	type partOut struct {
+		idx     int
+		info    PartInfo
+		written uint64
+		err     error
+	}
+	results := make(chan partOut, len(ranges))
+	for i, lr := range ranges {
+		go func(i int, lr localRange) {
+			po := partOut{idx: i, info: PartInfo{Server: lr.server, Bytes: lr.length, Where: OnStorage}}
+			addr, err := c.cfg.FS.DataAddr(lr.server)
+			if err != nil {
+				po.err = err
+				results <- po
+				return
+			}
+			resp, err := c.cfg.FS.Pool().Call(addr, &wire.TransformReq{
+				RequestID: c.nextID.Add(1),
+				SrcHandle: src.Handle(),
+				Offset:    lr.offset,
+				Length:    lr.length,
+				Op:        op,
+				Params:    params,
+				DstHandle: dst.Handle(),
+				DstOffset: lr.offset, // identical layouts: local offsets line up
+			})
+			if err != nil {
+				po.err = err
+				results <- po
+				return
+			}
+			tr, ok := resp.(*wire.TransformResp)
+			if !ok {
+				po.err = fmt.Errorf("core: transform: unexpected response %v", resp.Type())
+				results <- po
+				return
+			}
+			po.written = tr.Written
+			results <- po
+		}(i, lr)
+	}
+	res := &TransformResult{Parts: make([]PartInfo, len(ranges))}
+	var firstErr error
+	for range ranges {
+		po := <-results
+		if po.err != nil && firstErr == nil {
+			firstErr = po.err
+		}
+		res.Parts[po.idx] = po.info
+		res.BytesWritten += po.written
+	}
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	if err := dst.SetSize(size); err != nil {
+		return nil, nil, err
+	}
+	res.Elapsed = time.Since(start)
+	c.reg.Counter("asc.transforms").Inc()
+	return dst, res, nil
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dosas/internal/kernels"
+	"dosas/internal/pfs"
+)
+
+func TestLocalRangesContiguityAndCoverage(t *testing.T) {
+	c := startActiveCluster(t, clusterOpts{nData: 3, mode: ModeAlwaysAccept, scheme: SchemeAS})
+	// 10 stripes of 64 KiB over 3 servers.
+	f, _ := writeFile(t, c.fs, "lr/x", 10*64<<10, 3)
+
+	cases := []struct {
+		off, length uint64
+	}{
+		{0, f.Size()},    // whole file
+		{0, 64 << 10},    // exactly one stripe
+		{1000, 64 << 10}, // crosses one stripe boundary
+		{3 * 64 << 10, 128 << 10},
+		{5000, 5*64<<10 + 1234}, // messy interior range
+	}
+	for _, tc := range cases {
+		ranges := localRanges(f, tc.off, tc.length)
+		var total uint64
+		seen := map[uint32]bool{}
+		for _, lr := range ranges {
+			if seen[lr.server] {
+				t.Errorf("range [%d,%d): server %d appears twice", tc.off, tc.off+tc.length, lr.server)
+			}
+			seen[lr.server] = true
+			total += lr.length
+			// Every byte the range claims must be covered by segments of
+			// the same request on that server: the local range must equal
+			// [min, max) over that server's segments.
+			var lo, hi uint64
+			first := true
+			for _, seg := range pfs.Segments(f.Layout(), tc.off, tc.length) {
+				if seg.Server != lr.server {
+					continue
+				}
+				if first || seg.LocalOffset < lo {
+					lo = seg.LocalOffset
+				}
+				if end := seg.LocalOffset + seg.Length; first || end > hi {
+					hi = end
+				}
+				first = false
+			}
+			if lr.offset != lo || lr.offset+lr.length != hi {
+				t.Errorf("range [%d,%d) server %d: local [%d,%d), want [%d,%d)",
+					tc.off, tc.off+tc.length, lr.server, lr.offset, lr.offset+lr.length, lo, hi)
+			}
+		}
+		if total != tc.length {
+			t.Errorf("range [%d,%d): local ranges cover %d bytes", tc.off, tc.off+tc.length, total)
+		}
+	}
+}
+
+func TestActiveReadSurvivesOneKilledServerAsError(t *testing.T) {
+	// Killing the storage node mid-request must surface as an error, not
+	// a hang or a wrong answer.
+	c := startActiveCluster(t, clusterOpts{
+		nData: 1, mode: ModeAlwaysAccept, scheme: SchemeAS,
+		rate: 1e6, pace: true,
+	})
+	f, _ := writeFile(t, c.fs, "kill/x", 512<<10, 1)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.asc.ActiveRead(f, 0, f.Size(), "sum8", nil)
+		done <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	c.servers[0].Close() // the only data server
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("active read succeeded after its server died mid-kernel")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("active read hung after server death")
+	}
+}
+
+func TestActiveReadFailsOverToReplica(t *testing.T) {
+	c := startActiveCluster(t, clusterOpts{nData: 3, mode: ModeAlwaysAccept, scheme: SchemeAS})
+	f, err := c.fs.CreateReplicated("rep/active", 64<<10, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 9*64<<10)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	var want uint64
+	for _, b := range data {
+		want += uint64(b)
+	}
+
+	// Healthy cluster first.
+	res, err := c.asc.ActiveRead(f, 0, f.Size(), "sum8", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kernels.Sum8Result(res.Output) != want {
+		t.Fatal("healthy replicated sum wrong")
+	}
+
+	// Kill one storage node; every part it owned must fail over and the
+	// result stay exact.
+	c.servers[1].Close()
+	res, err = c.asc.ActiveRead(f, 0, f.Size(), "sum8", nil)
+	if err != nil {
+		t.Fatalf("active read after node death: %v", err)
+	}
+	if kernels.Sum8Result(res.Output) != want {
+		t.Fatal("degraded replicated sum wrong")
+	}
+	if c.asc.Metrics().Counter("asc.replica_failover").Value() == 0 {
+		t.Error("failover not counted")
+	}
+}
+
+func TestTransformOnReplicatedFileRejected(t *testing.T) {
+	c := startActiveCluster(t, clusterOpts{nData: 2, mode: ModeAlwaysAccept, scheme: SchemeAS})
+	f, err := c.fs.CreateReplicated("rep/xform", 64<<10, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(make([]byte, 1024), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.asc.Transform(f, "rep/xform-out", "gaussian2d", kernels.GaussianParams(32, true)); err == nil {
+		t.Fatal("transform of replicated file accepted")
+	}
+}
+
+func TestClientSchemeAccessors(t *testing.T) {
+	c := startActiveCluster(t, clusterOpts{nData: 1, mode: ModeDynamic, scheme: SchemeDOSAS})
+	if c.asc.Scheme() != SchemeDOSAS {
+		t.Error("scheme accessor wrong")
+	}
+	if c.asc.Metrics() == nil {
+		t.Error("metrics accessor nil")
+	}
+	if c.asc.Pending() != 0 {
+		t.Error("pending should be zero at rest")
+	}
+}
+
+func TestClientConfigValidation(t *testing.T) {
+	if _, err := NewClient(ClientConfig{}); err == nil || !strings.Contains(err.Error(), "pfs.Client") {
+		t.Fatalf("err = %v", err)
+	}
+}

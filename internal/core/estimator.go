@@ -1,0 +1,201 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"dosas/internal/ioqueue"
+	"dosas/internal/kernels"
+	"dosas/internal/metrics"
+	"dosas/internal/wire"
+)
+
+// EstimatorConfig tunes the Contention Estimator.
+type EstimatorConfig struct {
+	// BW is the measured storage→compute network bandwidth in
+	// bytes/second (the paper's bw; 118 MB/s on Discfarm).
+	BW float64
+	// TotalCores is the storage node's core count (2 in the paper's
+	// simulated storage nodes).
+	TotalCores int
+	// IOReservedCores are cores kept for normal I/O service and never
+	// counted toward kernel capacity. Defaults to 1, which reproduces
+	// the paper's observed behaviour: of the 2-core storage node,
+	// effectively one core's worth of throughput serves active I/O.
+	// Set to -1 to reserve no cores.
+	IOReservedCores int
+	// ComputeCores is how many cores one compute node dedicates to a
+	// bounced request (1 per requesting process in the paper).
+	ComputeCores int
+	// LoadAlpha scales how strongly normal-I/O pressure discounts the
+	// storage rate: S = maxS / (1 + LoadAlpha · normalLoad). Defaults
+	// to 1.
+	LoadAlpha float64
+	// Period is how often the CE re-probes and refreshes its cached
+	// environment (and how often the runtime re-evaluates its policy).
+	// Defaults to 50 ms.
+	Period time.Duration
+	// RateFor overrides the per-core kernel rate lookup; defaults to
+	// kernels.RateFor. Tests inject synthetic rates here.
+	RateFor func(op string) float64
+	// MemBudget bounds the kernel working memory the runtime may hold at
+	// once; above MemHighWater of it, dynamic scheduling bounces new
+	// active requests. Defaults to 1 GiB.
+	MemBudget uint64
+}
+
+func (c *EstimatorConfig) applyDefaults() {
+	if c.TotalCores <= 0 {
+		c.TotalCores = 2
+	}
+	switch {
+	case c.IOReservedCores < 0:
+		c.IOReservedCores = 0
+	case c.IOReservedCores == 0:
+		c.IOReservedCores = 1
+	}
+	if c.IOReservedCores >= c.TotalCores {
+		c.IOReservedCores = c.TotalCores - 1
+	}
+	if c.ComputeCores <= 0 {
+		c.ComputeCores = 1
+	}
+	if c.LoadAlpha == 0 {
+		c.LoadAlpha = 1
+	}
+	if c.Period <= 0 {
+		c.Period = 50 * time.Millisecond
+	}
+	if c.RateFor == nil {
+		c.RateFor = kernels.RateFor
+	}
+	if c.MemBudget == 0 {
+		c.MemBudget = 1 << 30
+	}
+}
+
+// Estimator is the Contention Estimator (CE): it monitors the storage
+// node's I/O queue, core occupancy and memory use, and converts them into
+// the Env the scheduling algorithm consumes. The value of S_{C,op} is
+// derived from the kernel's calibrated maximum rate discounted by the
+// current system environment, as in paper Section III-D.
+type Estimator struct {
+	cfg   EstimatorConfig
+	queue *ioqueue.Queue
+	reg   *metrics.Registry
+
+	mu        sync.Mutex
+	busyCores float64 // cores currently running kernels
+	memUsed   uint64  // kernel working-set bytes in use
+	memBudget uint64
+}
+
+// NewEstimator builds a CE over the node's queue and metrics registry.
+// The registry's "data.inflight" gauge (maintained by the pfs data server)
+// supplies normal-I/O pressure.
+func NewEstimator(cfg EstimatorConfig, q *ioqueue.Queue, reg *metrics.Registry) *Estimator {
+	cfg.applyDefaults()
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &Estimator{cfg: cfg, queue: q, reg: reg, memBudget: cfg.MemBudget}
+}
+
+// Config returns the estimator's effective (defaulted) configuration.
+func (e *Estimator) Config() EstimatorConfig { return e.cfg }
+
+// KernelStarted accounts a kernel occupying one core.
+func (e *Estimator) KernelStarted() {
+	e.mu.Lock()
+	e.busyCores++
+	e.mu.Unlock()
+}
+
+// KernelFinished releases the core accounting of KernelStarted.
+func (e *Estimator) KernelFinished() {
+	e.mu.Lock()
+	if e.busyCores > 0 {
+		e.busyCores--
+	}
+	e.mu.Unlock()
+}
+
+// MemReserve accounts kernel working memory.
+func (e *Estimator) MemReserve(n uint64) {
+	e.mu.Lock()
+	e.memUsed += n
+	e.mu.Unlock()
+}
+
+// MemRelease undoes MemReserve.
+func (e *Estimator) MemRelease(n uint64) {
+	e.mu.Lock()
+	if e.memUsed >= n {
+		e.memUsed -= n
+	} else {
+		e.memUsed = 0
+	}
+	e.mu.Unlock()
+}
+
+// MemPressure reports the fraction of the kernel memory budget in use
+// (may exceed 1 when a transform's output buffer overshoots the budget).
+func (e *Estimator) MemPressure() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.memBudget == 0 {
+		return 0
+	}
+	return float64(e.memUsed) / float64(e.memBudget)
+}
+
+// normalLoad is the normal-I/O pressure signal: in-flight normal requests
+// per storage-node core.
+func (e *Estimator) normalLoad() float64 {
+	inflight := float64(e.reg.Gauge("data.inflight").Value())
+	if inflight < 0 {
+		inflight = 0
+	}
+	return inflight / float64(e.cfg.TotalCores)
+}
+
+// Env produces the scheduling environment for one operation, applying the
+// paper's estimation rule: S_{C,op} starts from the kernel's calibrated
+// maximum (activeCores × per-core rate) and is discounted by current
+// normal-I/O pressure.
+func (e *Estimator) Env(op string) Env {
+	maxRate := e.cfg.RateFor(op)
+	activeCores := e.cfg.TotalCores - e.cfg.IOReservedCores
+	if activeCores < 1 {
+		activeCores = 1
+	}
+	s := maxRate * float64(activeCores)
+	if load := e.normalLoad(); load > 0 {
+		s /= 1 + e.cfg.LoadAlpha*load
+	}
+	return Env{
+		BW:          e.cfg.BW,
+		StorageRate: s,
+		ComputeRate: maxRate * float64(e.cfg.ComputeCores),
+	}
+}
+
+// Probe snapshots the node state in the wire format served to remote
+// probes (and recorded by the benchmarks).
+func (e *Estimator) Probe() *wire.ProbeResp {
+	st := e.queue.Stats()
+	e.mu.Lock()
+	busy := e.busyCores
+	mem := e.memUsed
+	budget := e.memBudget
+	e.mu.Unlock()
+	return &wire.ProbeResp{
+		QueueLen:       uint32(st.NormalLen),
+		ActiveQueueLen: uint32(st.ActiveLen),
+		BusyCores:      busy,
+		TotalCores:     uint32(e.cfg.TotalCores),
+		MemUsed:        mem,
+		MemTotal:       budget,
+		BytesQueued:    st.NormalBytes + st.ActiveBytes,
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+
+	"dosas/internal/kernels"
+	"dosas/internal/pfs"
+)
+
+// maxConcurrentBands bounds how many stripe bands are filtered at once.
+const maxConcurrentBands = 8
+
+// FilteredImage runs a bit-exact 3×3 Gaussian filter over a striped 8-bit
+// image of the given row width. This solves the striped-file problem of
+// active storage (cf. Piernas et al.): each stripe holds whole rows (the
+// stripe size must be a multiple of the row width), so every stripe band
+// is filtered on the storage node that owns it, with one-row halos
+// fetched from the neighbouring bands — two rows of network traffic per
+// stripe instead of the whole image. The filtered bands are exact: their
+// concatenation equals a whole-image filter.
+//
+// The result is the full filtered image, so this call ships the output
+// back (h(x) = x); pair it with Transform-style write-back workflows when
+// the output should stay in the cluster.
+func (c *Client) FilteredImage(f *pfs.File, width uint32) ([]byte, error) {
+	size := f.Size()
+	if size == 0 {
+		return nil, fmt.Errorf("core: filtered image of empty file %q", f.Name())
+	}
+	if width < 3 {
+		return nil, fmt.Errorf("core: image width %d below minimum 3", width)
+	}
+	ss := uint64(f.Layout().StripeSize)
+	if ss%uint64(width) != 0 {
+		return nil, fmt.Errorf("core: stripe size %d is not a multiple of row width %d; "+
+			"recreate the file with an aligned stripe size", ss, width)
+	}
+	if size%uint64(width) != 0 {
+		return nil, fmt.Errorf("core: image size %d is not a multiple of row width %d", size, width)
+	}
+
+	numStripes := int((size + ss - 1) / ss)
+	out := make([]byte, size)
+	sem := make(chan struct{}, maxConcurrentBands)
+	errs := make(chan error, numStripes)
+	for g := 0; g < numStripes; g++ {
+		sem <- struct{}{}
+		go func(g int) {
+			defer func() { <-sem }()
+			errs <- c.filterBand(f, width, uint64(g)*ss, ss, size, out)
+		}(g)
+	}
+	var first error
+	for g := 0; g < numStripes; g++ {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	if first != nil {
+		return nil, first
+	}
+	return out, nil
+}
+
+// filterBand filters the band starting at file offset off (at most ss
+// bytes) and writes the result into out at the same offset.
+func (c *Client) filterBand(f *pfs.File, width uint32, off, ss, size uint64, out []byte) error {
+	length := ss
+	if off+length > size {
+		length = size - off
+	}
+	// Halo rows from the neighbouring bands.
+	var top, bottom []byte
+	if off > 0 {
+		top = make([]byte, width)
+		if _, err := f.ReadAt(top, off-uint64(width)); err != nil {
+			return fmt.Errorf("core: top halo at %d: %w", off-uint64(width), err)
+		}
+	}
+	if end := off + length; end < size {
+		bottom = make([]byte, width)
+		if _, err := f.ReadAt(bottom, end); err != nil {
+			return fmt.Errorf("core: bottom halo at %d: %w", end, err)
+		}
+	}
+	params := kernels.GaussianParamsHalo(width, true, top, bottom)
+	res, err := c.ActiveRead(f, off, length, "gaussian2d", params)
+	if err != nil {
+		return err
+	}
+	if uint64(len(res.Output)) != length {
+		return fmt.Errorf("core: band at %d: filtered %d bytes, want %d", off, len(res.Output), length)
+	}
+	copy(out[off:off+length], res.Output)
+	return nil
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"dosas/internal/kernels"
+)
+
+// refFilter is an independent whole-image 3×3 Gaussian with edge
+// replication, the ground truth for the striped band filter.
+func refFilter(img []byte, w int) []byte {
+	h := len(img) / w
+	out := make([]byte, len(img))
+	at := func(x, y int) uint32 {
+		if x < 0 {
+			x = 0
+		}
+		if x >= w {
+			x = w - 1
+		}
+		if y < 0 {
+			y = 0
+		}
+		if y >= h {
+			y = h - 1
+		}
+		return uint32(img[y*w+x])
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			acc := 1*at(x-1, y-1) + 2*at(x, y-1) + 1*at(x+1, y-1) +
+				2*at(x-1, y) + 4*at(x, y) + 2*at(x+1, y) +
+				1*at(x-1, y+1) + 2*at(x, y+1) + 1*at(x+1, y+1)
+			out[y*w+x] = uint8(acc / 16)
+		}
+	}
+	return out
+}
+
+func TestGaussianHaloBandMatchesWholeImage(t *testing.T) {
+	// Kernel-level check: filtering the middle band with halos must equal
+	// the same rows of the whole-image filter.
+	const w, h = 16, 12
+	img := make([]byte, w*h)
+	rand.New(rand.NewSource(4)).Read(img)
+	want := refFilter(img, w)
+
+	const bandStart, bandRows = 4, 4
+	top := img[(bandStart-1)*w : bandStart*w]
+	bottom := img[(bandStart+bandRows)*w : (bandStart+bandRows+1)*w]
+	k, err := kernels.New("gaussian2d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Configure(kernels.GaussianParamsHalo(w, true, top, bottom)); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Process(img[bandStart*w : (bandStart+bandRows)*w]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := k.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want[bandStart*w:(bandStart+bandRows)*w]) {
+		t.Fatal("halo band disagrees with whole-image filter")
+	}
+}
+
+func TestFilteredImageStripedExact(t *testing.T) {
+	c := startActiveCluster(t, clusterOpts{nData: 3, mode: ModeAlwaysAccept, scheme: SchemeAS})
+	const w = 256
+	const h = 7 * 256 // 7 stripes of 64 KiB (w*256 rows each) spread over 3 nodes
+	img := make([]byte, w*h)
+	rand.New(rand.NewSource(9)).Read(img)
+	f, err := c.fs.Create("img/striped", 64<<10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(img, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.asc.FilteredImage(f, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, refFilter(img, w)) {
+		t.Fatal("striped filtered image disagrees with whole-image reference")
+	}
+}
+
+func TestFilteredImagePartialLastStripe(t *testing.T) {
+	c := startActiveCluster(t, clusterOpts{nData: 2, mode: ModeAlwaysAccept, scheme: SchemeAS})
+	const w = 128
+	// 2.5 stripes: the last band is partial.
+	rows := (64<<10)/w*5/2 + 3
+	img := make([]byte, w*rows)
+	rand.New(rand.NewSource(10)).Read(img)
+	f, err := c.fs.Create("img/partial", 64<<10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(img, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.asc.FilteredImage(f, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, refFilter(img, w)) {
+		t.Fatal("partial-stripe filtered image disagrees with reference")
+	}
+}
+
+func TestFilteredImageWorksUnderBounce(t *testing.T) {
+	// Even when every band bounces to the client, the result must be
+	// identical — the halo mechanism is placement-independent.
+	c := startActiveCluster(t, clusterOpts{nData: 2, mode: ModeAlwaysBounce, scheme: SchemeDOSAS})
+	const w = 128
+	img := make([]byte, w*1024)
+	rand.New(rand.NewSource(11)).Read(img)
+	f, err := c.fs.Create("img/bounced", 64<<10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(img, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.asc.FilteredImage(f, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, refFilter(img, w)) {
+		t.Fatal("bounced filtered image disagrees with reference")
+	}
+}
+
+func TestFilteredImageValidation(t *testing.T) {
+	c := startActiveCluster(t, clusterOpts{nData: 1, mode: ModeAlwaysAccept, scheme: SchemeAS})
+	f, _ := writeFile(t, c.fs, "img/bad", 64<<10, 1) // stripe 64 KiB
+	// Width not dividing the stripe size.
+	if _, err := c.asc.FilteredImage(f, 1000); err == nil {
+		t.Error("unaligned stripe size accepted")
+	}
+	// Width below minimum.
+	if _, err := c.asc.FilteredImage(f, 2); err == nil {
+		t.Error("width 2 accepted")
+	}
+	// Size not a multiple of the width.
+	g, _ := writeFile(t, c.fs, "img/badsize", 64<<10+7, 1)
+	if _, err := c.asc.FilteredImage(g, 128); err == nil {
+		t.Error("ragged image size accepted")
+	}
+	// Empty file.
+	e, err := c.fs.Create("img/empty", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.asc.FilteredImage(e, 128); err == nil {
+		t.Error("empty image accepted")
+	}
+}
+
+func TestGaussianHaloRejectsBadSizes(t *testing.T) {
+	k, _ := kernels.New("gaussian2d")
+	if err := k.Configure(kernels.GaussianParamsHalo(16, true, make([]byte, 5), nil)); err == nil {
+		t.Error("short top halo accepted")
+	}
+	if err := k.Configure(kernels.GaussianParamsHalo(16, true, nil, make([]byte, 17))); err == nil {
+		t.Error("long bottom halo accepted")
+	}
+}

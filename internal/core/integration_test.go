@@ -1,0 +1,404 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"dosas/internal/kernels"
+	"dosas/internal/metrics"
+	"dosas/internal/pfs"
+	"dosas/internal/transport"
+	"dosas/internal/wire"
+)
+
+// activeCluster is a full in-process DOSAS deployment: metadata server,
+// data servers with active runtimes attached, and an ASC.
+type activeCluster struct {
+	fs       *pfs.Client
+	asc      *Client
+	runtimes []*Runtime
+	servers  []*pfs.Server
+}
+
+type clusterOpts struct {
+	nData  int
+	mode   Mode
+	scheme Scheme
+	rate   float64 // injected kernel rate for estimation AND pacing
+	pace   bool
+	bw     float64
+	period time.Duration
+}
+
+func startActiveCluster(t *testing.T, o clusterOpts) *activeCluster {
+	t.Helper()
+	if o.nData == 0 {
+		o.nData = 1
+	}
+	if o.bw == 0 {
+		o.bw = 118e6
+	}
+	net := transport.NewInproc()
+	meta, err := pfs.NewMetaServer(pfs.MetaConfig{NumDataServers: o.nData})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml, _ := net.Listen("meta")
+	ms := pfs.NewServer(ml, meta)
+	ms.Start()
+	t.Cleanup(ms.Close)
+
+	rateFor := kernels.RateFor
+	if o.rate > 0 {
+		rateFor = func(string) float64 { return o.rate }
+	}
+
+	var dataAddrs []string
+	var runtimes []*Runtime
+	var servers []*pfs.Server
+	for i := 0; i < o.nData; i++ {
+		reg := metrics.NewRegistry()
+		store := pfs.NewMemStore()
+		ds, err := pfs.NewDataServer(pfs.DataConfig{Store: store, Metrics: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := NewRuntime(RuntimeConfig{
+			Store: store,
+			Mode:  o.mode,
+			Estimator: EstimatorConfig{
+				BW:      o.bw,
+				RateFor: rateFor,
+				Period:  o.period,
+			},
+			ChunkSize: 64 << 10,
+			Pace:      o.pace,
+			Metrics:   reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(rt.Close)
+		ds.SetActiveHandler(rt)
+		addr := fmt.Sprintf("data-%d", i)
+		dl, _ := net.Listen(addr)
+		srv := pfs.NewServer(dl, ds)
+		srv.Start()
+		t.Cleanup(srv.Close)
+		dataAddrs = append(dataAddrs, addr)
+		runtimes = append(runtimes, rt)
+		servers = append(servers, srv)
+	}
+
+	fs, err := pfs.NewClient(pfs.ClientConfig{Net: net, MetaAddr: "meta", DataAddrs: dataAddrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fs.Close)
+	asc, err := NewClient(ClientConfig{FS: fs, Scheme: o.scheme, ChunkSize: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &activeCluster{fs: fs, asc: asc, runtimes: runtimes, servers: servers}
+}
+
+// writeFile creates a striped file with deterministic pseudo-random bytes.
+func writeFile(t *testing.T, fs *pfs.Client, name string, size int, width int) (*pfs.File, []byte) {
+	t.Helper()
+	f, err := fs.Create(name, 64<<10, width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, size)
+	rand.New(rand.NewSource(42)).Read(data)
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	return f, data
+}
+
+func byteSum(data []byte) uint64 {
+	var s uint64
+	for _, b := range data {
+		s += uint64(b)
+	}
+	return s
+}
+
+func TestActiveReadOnStorageAS(t *testing.T) {
+	c := startActiveCluster(t, clusterOpts{nData: 1, mode: ModeAlwaysAccept, scheme: SchemeAS})
+	f, data := writeFile(t, c.fs, "as/sum", 300_000, 1)
+	res, err := c.asc.ActiveRead(f, 0, uint64(len(data)), "sum8", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := kernels.Sum8Result(res.Output); got != byteSum(data) {
+		t.Errorf("sum = %d, want %d", got, byteSum(data))
+	}
+	if len(res.Parts) != 1 || res.Parts[0].Where != OnStorage {
+		t.Errorf("parts = %+v, want storage execution", res.Parts)
+	}
+	// Active storage's whole point: only the 8-byte result moved.
+	if res.BytesShipped() != 8 {
+		t.Errorf("shipped %d bytes, want 8", res.BytesShipped())
+	}
+}
+
+func TestActiveReadMultiServerCombines(t *testing.T) {
+	c := startActiveCluster(t, clusterOpts{nData: 4, mode: ModeAlwaysAccept, scheme: SchemeAS})
+	f, data := writeFile(t, c.fs, "as/striped", 1_000_000, 4)
+	res, err := c.asc.ActiveRead(f, 0, uint64(len(data)), "sum8", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := kernels.Sum8Result(res.Output); got != byteSum(data) {
+		t.Errorf("striped sum = %d, want %d", got, byteSum(data))
+	}
+	if len(res.Parts) != 4 {
+		t.Errorf("parts = %d, want 4", len(res.Parts))
+	}
+	for _, p := range res.Parts {
+		if p.Where != OnStorage {
+			t.Errorf("part on server %d ran %v", p.Server, p.Where)
+		}
+	}
+}
+
+func TestActiveReadSubrange(t *testing.T) {
+	c := startActiveCluster(t, clusterOpts{nData: 2, mode: ModeAlwaysAccept, scheme: SchemeAS})
+	f, data := writeFile(t, c.fs, "as/subrange", 500_000, 2)
+	off, n := uint64(123_456), uint64(100_000)
+	res, err := c.asc.ActiveRead(f, off, n, "sum8", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := kernels.Sum8Result(res.Output), byteSum(data[off:off+n]); got != want {
+		t.Errorf("subrange sum = %d, want %d", got, want)
+	}
+}
+
+func TestTSSchemeComputesLocally(t *testing.T) {
+	c := startActiveCluster(t, clusterOpts{nData: 2, mode: ModeAlwaysAccept, scheme: SchemeTS})
+	f, data := writeFile(t, c.fs, "ts/sum", 400_000, 2)
+	res, err := c.asc.ActiveRead(f, 0, uint64(len(data)), "sum8", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := kernels.Sum8Result(res.Output); got != byteSum(data) {
+		t.Errorf("sum = %d, want %d", got, byteSum(data))
+	}
+	for _, p := range res.Parts {
+		if p.Where != OnCompute {
+			t.Errorf("TS part ran %v", p.Where)
+		}
+	}
+	// TS ships all raw bytes.
+	if res.BytesShipped() != uint64(len(data)) {
+		t.Errorf("shipped %d, want %d", res.BytesShipped(), len(data))
+	}
+}
+
+func TestServerBounceFallsBackTransparently(t *testing.T) {
+	c := startActiveCluster(t, clusterOpts{nData: 1, mode: ModeAlwaysBounce, scheme: SchemeDOSAS})
+	f, data := writeFile(t, c.fs, "bounce/sum", 200_000, 1)
+	res, err := c.asc.ActiveRead(f, 0, uint64(len(data)), "sum8", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := kernels.Sum8Result(res.Output); got != byteSum(data) {
+		t.Errorf("sum = %d, want %d", got, byteSum(data))
+	}
+	if res.Parts[0].Where != OnCompute {
+		t.Errorf("bounced part ran %v", res.Parts[0].Where)
+	}
+}
+
+func TestGaussianActiveMatchesLocal(t *testing.T) {
+	c := startActiveCluster(t, clusterOpts{nData: 1, mode: ModeAlwaysAccept, scheme: SchemeAS})
+	const w, h = 256, 128
+	f, data := writeFile(t, c.fs, "as/img", w*h, 1)
+	params := kernels.GaussianParams(w, false)
+	res, err := c.asc.ActiveRead(f, 0, uint64(len(data)), "gaussian2d", params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: run the kernel directly over the same bytes.
+	k, _ := kernels.New("gaussian2d")
+	k.Configure(params)
+	k.Process(data)
+	want, _ := k.Result()
+	if !bytes.Equal(res.Output, want) {
+		t.Error("storage-side gaussian digest disagrees with local reference")
+	}
+}
+
+func TestDownsampleMultiServerRejected(t *testing.T) {
+	c := startActiveCluster(t, clusterOpts{nData: 2, mode: ModeAlwaysAccept, scheme: SchemeAS})
+	f, _ := writeFile(t, c.fs, "as/ds", 400_000, 2)
+	_, err := c.asc.ActiveRead(f, 0, f.Size(), "downsample", kernels.DownsampleParams(4))
+	if err == nil {
+		t.Fatal("uncombinable op over 2 servers must fail fast")
+	}
+}
+
+func TestDownsampleSingleServerWorks(t *testing.T) {
+	c := startActiveCluster(t, clusterOpts{nData: 2, mode: ModeAlwaysAccept, scheme: SchemeAS})
+	vals := make([]float64, 10_000)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	raw := make([]byte, 0, len(vals)*8)
+	for _, v := range vals {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		raw = append(raw, b[:]...)
+	}
+	f, err := c.fs.Create("as/ds1", 64<<10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(raw, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.asc.ActiveRead(f, 0, f.Size(), "downsample", kernels.DownsampleParams(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := kernels.DownsampleResult(res.Output)
+	if len(got) != 100 {
+		t.Fatalf("samples = %d", len(got))
+	}
+	if got[0] != 49.5 { // mean of 0..99
+		t.Errorf("first sample = %v", got[0])
+	}
+}
+
+func TestDynamicBouncesUnderContention(t *testing.T) {
+	// Slow kernels (2 MB/s) against a fast network: the solver should
+	// accept the first request and bounce the pile-up, as in Figure 1's
+	// contention scenario.
+	c := startActiveCluster(t, clusterOpts{
+		nData: 1, mode: ModeDynamic, scheme: SchemeDOSAS,
+		rate: 2e6, pace: true, period: 10 * time.Millisecond,
+	})
+	const size = 256 << 10
+	const n = 6
+	files := make([]*pfs.File, n)
+	datas := make([][]byte, n)
+	for i := range files {
+		files[i], datas[i] = writeFile(t, c.fs, fmt.Sprintf("dyn/%d", i), size, 1)
+	}
+	var wg sync.WaitGroup
+	wheres := make([]Where, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := c.asc.ActiveRead(files[i], 0, size, "sum8", nil)
+			if err != nil {
+				t.Errorf("req %d: %v", i, err)
+				return
+			}
+			if got := kernels.Sum8Result(res.Output); got != byteSum(datas[i]) {
+				t.Errorf("req %d: wrong sum", i)
+			}
+			wheres[i] = res.Parts[0].Where
+		}(i)
+	}
+	wg.Wait()
+	var onCompute int
+	for _, w := range wheres {
+		if w == OnCompute || w == Migrated {
+			onCompute++
+		}
+	}
+	if onCompute == 0 {
+		t.Errorf("no request was bounced under contention: %v", wheres)
+	}
+}
+
+func TestCancelMigratesRunningKernel(t *testing.T) {
+	// A slow paced kernel is cancelled mid-flight; the ASC must finish it
+	// locally from the checkpoint with a correct result.
+	c := startActiveCluster(t, clusterOpts{
+		nData: 1, mode: ModeAlwaysAccept, scheme: SchemeDOSAS,
+		rate: 1e6, pace: true, period: time.Hour, // no policy interference
+	})
+	const size = 512 << 10 // ~0.5 s at 1 MB/s
+	f, data := writeFile(t, c.fs, "cancel/sum", size, 1)
+
+	type out struct {
+		res *Result
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		res, err := c.asc.ActiveRead(f, 0, size, "sum8", nil)
+		done <- out{res, err}
+	}()
+	// Let the kernel get partway, then cancel server-side.
+	time.Sleep(150 * time.Millisecond)
+	addr, _ := c.fs.DataAddr(0)
+	resp, err := c.fs.Pool().Call(addr, &wire.CancelReq{RequestID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.(*wire.CancelResp).Found {
+		t.Log("cancel raced completion; treating as flaky-tolerant")
+	}
+	o := <-done
+	if o.err != nil {
+		t.Fatal(o.err)
+	}
+	if got := kernels.Sum8Result(o.res.Output); got != byteSum(data) {
+		t.Errorf("migrated sum = %d, want %d", got, byteSum(data))
+	}
+}
+
+func TestProbeOverWire(t *testing.T) {
+	c := startActiveCluster(t, clusterOpts{nData: 1, mode: ModeDynamic, scheme: SchemeDOSAS})
+	addr, _ := c.fs.DataAddr(0)
+	resp, err := c.fs.Pool().Call(addr, &wire.ProbeReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := resp.(*wire.ProbeResp)
+	if !ok {
+		t.Fatalf("resp = %T", resp)
+	}
+	if p.TotalCores != 2 {
+		t.Errorf("cores = %d", p.TotalCores)
+	}
+}
+
+func TestActiveReadValidation(t *testing.T) {
+	c := startActiveCluster(t, clusterOpts{nData: 1, mode: ModeAlwaysAccept, scheme: SchemeAS})
+	f, _ := writeFile(t, c.fs, "val/x", 1000, 1)
+	if _, err := c.asc.ActiveRead(f, 0, 0, "sum8", nil); err == nil {
+		t.Error("zero length accepted")
+	}
+	if _, err := c.asc.ActiveRead(f, 0, 2000, "sum8", nil); err == nil {
+		t.Error("read beyond EOF accepted")
+	}
+	if _, err := c.asc.ActiveRead(f, 0, 1000, "no-such-kernel", nil); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
+
+func TestUnknownOpRejectedByRuntime(t *testing.T) {
+	c := startActiveCluster(t, clusterOpts{nData: 1, mode: ModeAlwaysAccept, scheme: SchemeAS})
+	f, _ := writeFile(t, c.fs, "unk/x", 100, 1)
+	addr, _ := c.fs.DataAddr(0)
+	_, err := c.fs.Pool().Call(addr, &wire.ActiveReadReq{
+		Handle: f.Handle(), Length: 100, Op: "bogus",
+	})
+	if err == nil {
+		t.Fatal("runtime accepted unknown op")
+	}
+}

@@ -1,0 +1,115 @@
+// Package core implements the DOSAS architecture itself: the scheduling
+// cost model and solvers (paper Section III-D), the Contention Estimator,
+// the Active I/O Runtime that executes or bounces kernels on storage
+// nodes, and the Active Storage Client that issues active I/O and finishes
+// bounced work on compute nodes.
+package core
+
+// Env is the system environment the Contention Estimator supplies to the
+// scheduling algorithm — the paper's S_{C,op}, C_{C,op} and bw (Table II).
+// All rates are bytes/second.
+type Env struct {
+	// BW is the storage→compute network bandwidth (the paper's bw,
+	// 118 MB/s on Discfarm).
+	BW float64
+	// StorageRate is S_{C,op}: the rate at which this storage node can
+	// currently execute the operation, already discounted for normal-I/O
+	// pressure and core availability.
+	StorageRate float64
+	// ComputeRate is C_{C,op}: the rate at which one compute node
+	// executes the operation on bounced data.
+	ComputeRate float64
+}
+
+// Valid reports whether the environment has usable (positive) rates.
+func (e Env) Valid() bool {
+	return e.BW > 0 && e.StorageRate > 0 && e.ComputeRate > 0
+}
+
+// Request is one active I/O request as the scheduler sees it: its
+// remaining data size d_i and its estimated result size h(d_i). The
+// optional per-request rates support mixed-operation queues, where each
+// request's kernel has its own S and C; zero fields fall back to Env.
+type Request struct {
+	ID          uint64
+	Bytes       uint64 // d_i: bytes still to process
+	ResultBytes uint64 // h(d_i): bytes shipped back if processed actively
+	StorageRate float64
+	ComputeRate float64
+}
+
+func (e Env) storageRate(r Request) float64 {
+	if r.StorageRate > 0 {
+		return r.StorageRate
+	}
+	return e.StorageRate
+}
+
+func (e Env) computeRate(r Request) float64 {
+	if r.ComputeRate > 0 {
+		return r.ComputeRate
+	}
+	return e.ComputeRate
+}
+
+// XCost is x_i (Eq. 5): the time to serve request r as active I/O —
+// process d_i bytes on the storage node and ship the h(d_i)-byte result.
+func (e Env) XCost(r Request) float64 {
+	return float64(r.Bytes)/e.storageRate(r) + float64(r.ResultBytes)/e.BW
+}
+
+// YCost is y_i (Eq. 6): the time to ship request r's raw data to the
+// compute node when it is bounced to normal I/O.
+func (e Env) YCost(r Request) float64 {
+	return float64(r.Bytes) / e.BW
+}
+
+// ClientCost is request r's contribution to z (Eq. 7): the time its
+// compute node needs to process the bounced data. Bounced requests compute
+// in parallel, so z is the maximum ClientCost over the bounced set.
+func (e Env) ClientCost(r Request) float64 {
+	return float64(r.Bytes) / e.computeRate(r)
+}
+
+// Gain is x_i − y_i: how much serial storage-node time bouncing request r
+// saves (positive when the network ships its bytes faster than the storage
+// node can process them).
+func (e Env) Gain(r Request) float64 {
+	return e.XCost(r) - e.YCost(r)
+}
+
+// TotalTime evaluates the paper's objective (Eq. 4) for an assignment:
+// accept[i] == true means request i runs as active I/O on the storage
+// node, false means it is bounced. Storage-node processing and transfers
+// serialise on the node (Σ terms); bounced requests then compute in
+// parallel on their own compute nodes (max term).
+func (e Env) TotalTime(reqs []Request, accept []bool) float64 {
+	var t, z float64
+	for i, r := range reqs {
+		if accept[i] {
+			t += e.XCost(r)
+		} else {
+			t += e.YCost(r)
+			if c := e.ClientCost(r); c > z {
+				z = c
+			}
+		}
+	}
+	return t + z
+}
+
+// TimeAllActive is T_A (Eq. 1) restricted to the active queue (D_N = 0):
+// every request processed on the storage node.
+func (e Env) TimeAllActive(reqs []Request) float64 {
+	accept := make([]bool, len(reqs))
+	for i := range accept {
+		accept[i] = true
+	}
+	return e.TotalTime(reqs, accept)
+}
+
+// TimeAllNormal is T_N (Eq. 3): every request shipped raw and processed in
+// parallel on the compute nodes.
+func (e Env) TimeAllNormal(reqs []Request) float64 {
+	return e.TotalTime(reqs, make([]bool, len(reqs)))
+}

@@ -1,0 +1,694 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dosas/internal/ioqueue"
+	"dosas/internal/kernels"
+	"dosas/internal/metrics"
+	"dosas/internal/pfs"
+	"dosas/internal/trace"
+	"dosas/internal/wire"
+)
+
+// Mode selects the server-side scheduling behaviour of a storage node.
+type Mode int
+
+// Runtime modes.
+const (
+	// ModeDynamic is DOSAS: every arrival and every estimator period the
+	// solver decides which requests run here and which bounce.
+	ModeDynamic Mode = iota
+	// ModeAlwaysAccept is the AS baseline: kernels always run on the
+	// storage node.
+	ModeAlwaysAccept
+	// ModeAlwaysBounce rejects every active request (a TS-only server).
+	ModeAlwaysBounce
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeDynamic:
+		return "dosas"
+	case ModeAlwaysAccept:
+		return "as"
+	case ModeAlwaysBounce:
+		return "ts"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// RuntimeConfig configures the Active I/O Runtime on one storage node.
+type RuntimeConfig struct {
+	// Store is the node's local stripe store (shared with its pfs data
+	// server); required.
+	Store pfs.Store
+	// Estimator parameterises the node's Contention Estimator.
+	Estimator EstimatorConfig
+	// Mode selects dynamic scheduling or a static baseline.
+	Mode Mode
+	// Solver picks the scheduling algorithm for ModeDynamic; defaults to
+	// MaxGain.
+	Solver Solver
+	// ActiveCores is the kernel worker-pool size; defaults to
+	// TotalCores − IOReservedCores.
+	ActiveCores int
+	// ChunkSize is the granularity at which kernels consume stripe data
+	// and at which interruption is detected. Defaults to 1 MiB.
+	ChunkSize int
+	// Pace throttles kernel execution to the calibrated per-core rate
+	// (kernels.RateFor × ActiveCores sharing), so a fast development host
+	// reproduces the Discfarm cluster's timing in live experiments.
+	Pace bool
+	// InterruptMargin is the minimum relative improvement (e.g. 1.15 =
+	// 15 %) the policy must predict before a *running* kernel is
+	// interrupted and migrated; prevents thrash near the break-even
+	// point. Defaults to 1.15.
+	InterruptMargin float64
+	// MemHighWater is the fraction of the estimator's memory budget
+	// above which dynamic scheduling bounces new active requests
+	// (memory is one of the paper's three CE inputs). Defaults to 0.9.
+	MemHighWater float64
+	// Metrics receives runtime counters; shared with the pfs data server
+	// so the estimator sees normal-I/O pressure. Optional.
+	Metrics *metrics.Registry
+	// Trace receives request lifecycle events; a default 1024-event ring
+	// is created when nil.
+	Trace *trace.Recorder
+}
+
+// Runtime is the Active I/O Runtime (R): it queues active requests,
+// executes kernels over local stripe data with a bounded worker pool, and
+// — under the Contention Estimator's policy — bounces or interrupts work
+// back to compute nodes.
+type Runtime struct {
+	cfg   RuntimeConfig
+	est   *Estimator
+	queue *ioqueue.Queue
+	reg   *metrics.Registry
+
+	mu      sync.Mutex
+	running map[uint64]*task // internal id → running task
+	queued  map[uint64]*task
+
+	nextID    atomic.Uint64
+	stop      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// task is one accepted active request moving through the runtime:
+// either an active read (req set) or an active transform (xform set).
+type task struct {
+	id        uint64
+	req       *wire.ActiveReadReq
+	xform     *wire.TransformReq
+	resp      chan taskResult // buffered, capacity 1
+	interrupt atomic.Bool
+	processed atomic.Uint64 // bytes consumed so far
+	op        string
+}
+
+// length returns the task's input size in bytes.
+func (t *task) length() uint64 {
+	if t.xform != nil {
+		return t.xform.Length
+	}
+	return t.req.Length
+}
+
+type taskResult struct {
+	resp wire.Message
+	err  error
+}
+
+// NewRuntime builds and starts a runtime. Call Close to stop its workers.
+func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("core: runtime needs a store")
+	}
+	if cfg.Solver == nil {
+		cfg.Solver = MaxGain{}
+	}
+	if cfg.ChunkSize <= 0 {
+		cfg.ChunkSize = 1 << 20
+	}
+	if cfg.InterruptMargin <= 1 {
+		cfg.InterruptMargin = 1.15
+	}
+	if cfg.MemHighWater <= 0 || cfg.MemHighWater > 1 {
+		cfg.MemHighWater = 0.9
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	if cfg.Trace == nil {
+		cfg.Trace = trace.NewRecorder(1024)
+	}
+	q := ioqueue.New()
+	est := NewEstimator(cfg.Estimator, q, cfg.Metrics)
+	if cfg.ActiveCores <= 0 {
+		c := est.Config()
+		cfg.ActiveCores = c.TotalCores - c.IOReservedCores
+		if cfg.ActiveCores < 1 {
+			cfg.ActiveCores = 1
+		}
+	}
+	rt := &Runtime{
+		cfg:     cfg,
+		est:     est,
+		queue:   q,
+		reg:     cfg.Metrics,
+		running: make(map[uint64]*task),
+		queued:  make(map[uint64]*task),
+		stop:    make(chan struct{}),
+	}
+	for i := 0; i < cfg.ActiveCores; i++ {
+		rt.wg.Add(1)
+		go rt.worker()
+	}
+	if cfg.Mode == ModeDynamic {
+		rt.wg.Add(1)
+		go rt.policyLoop()
+	}
+	return rt, nil
+}
+
+// Close stops workers; queued requests are bounced. Safe to call more
+// than once.
+func (rt *Runtime) Close() {
+	rt.closeOnce.Do(func() {
+		close(rt.stop)
+		rt.queue.Close()
+	})
+	rt.wg.Wait()
+	// Anything still queued bounces so clients are not stranded.
+	for _, it := range rt.queue.DrainActive() {
+		t := it.Payload.(*task)
+		if t.xform != nil {
+			rt.respond(t, nil, fmt.Errorf("%w: runtime shutting down", pfs.ErrUnsupported))
+			continue
+		}
+		rt.respond(t, &wire.ActiveReadResp{
+			RequestID:   t.req.RequestID,
+			Disposition: wire.ActiveRejected,
+		}, nil)
+	}
+}
+
+// Estimator exposes the node's Contention Estimator.
+func (rt *Runtime) Estimator() *Estimator { return rt.est }
+
+// Trace exposes the node's lifecycle-event recorder.
+func (rt *Runtime) Trace() *trace.Recorder { return rt.cfg.Trace }
+
+// Mode returns the runtime's scheduling mode.
+func (rt *Runtime) Mode() Mode { return rt.cfg.Mode }
+
+// HandleActive implements pfs.ActiveHandler: the arrival path of an active
+// I/O request.
+func (rt *Runtime) HandleActive(req *wire.ActiveReadReq) (*wire.ActiveReadResp, error) {
+	rt.reg.Counter("active.arrivals").Inc()
+	rt.cfg.Trace.Record(trace.KindArrive, req.RequestID, req.Op, req.Length, "")
+	if _, err := kernels.New(req.Op); err != nil {
+		return nil, fmt.Errorf("%w: %v", pfs.ErrInvalid, err)
+	}
+	switch rt.cfg.Mode {
+	case ModeAlwaysBounce:
+		rt.reg.Counter("active.rejected").Inc()
+		rt.cfg.Trace.Record(trace.KindReject, req.RequestID, req.Op, req.Length, "static ts policy")
+		return &wire.ActiveReadResp{RequestID: req.RequestID, Disposition: wire.ActiveRejected}, nil
+	case ModeDynamic:
+		if p := rt.est.MemPressure(); p >= rt.cfg.MemHighWater {
+			rt.reg.Counter("active.rejected_memory").Inc()
+			rt.cfg.Trace.Record(trace.KindReject, req.RequestID, req.Op, req.Length,
+				fmt.Sprintf("memory pressure %.0f%%", p*100))
+			return &wire.ActiveReadResp{RequestID: req.RequestID, Disposition: wire.ActiveRejected}, nil
+		}
+		if !rt.admit(req) {
+			rt.reg.Counter("active.rejected").Inc()
+			rt.cfg.Trace.Record(trace.KindReject, req.RequestID, req.Op, req.Length, "policy bounce at arrival")
+			return &wire.ActiveReadResp{RequestID: req.RequestID, Disposition: wire.ActiveRejected}, nil
+		}
+	}
+	rt.cfg.Trace.Record(trace.KindAdmit, req.RequestID, req.Op, req.Length, "")
+	t := &task{
+		id:   rt.nextID.Add(1),
+		req:  req,
+		resp: make(chan taskResult, 1),
+		op:   req.Op,
+	}
+	rt.mu.Lock()
+	rt.queued[t.id] = t
+	rt.mu.Unlock()
+	err := rt.queue.Push(ioqueue.Item{
+		ID:      t.id,
+		Class:   ioqueue.Active,
+		Op:      req.Op,
+		Bytes:   req.Length,
+		Payload: t,
+	})
+	if err != nil {
+		rt.mu.Lock()
+		delete(rt.queued, t.id)
+		rt.mu.Unlock()
+		return &wire.ActiveReadResp{RequestID: req.RequestID, Disposition: wire.ActiveRejected}, nil
+	}
+	res := <-t.resp
+	if res.err != nil {
+		return nil, res.err
+	}
+	ar, ok := res.resp.(*wire.ActiveReadResp)
+	if !ok {
+		return nil, fmt.Errorf("core: internal: %T answered an active read", res.resp)
+	}
+	return ar, nil
+}
+
+// HandleTransform implements pfs.ActiveHandler: active write-back. The
+// transform queues behind other active work (it occupies a kernel core)
+// but is never bounced — its entire purpose is that neither its input nor
+// its output crosses the network.
+func (rt *Runtime) HandleTransform(req *wire.TransformReq) (*wire.TransformResp, error) {
+	rt.reg.Counter("transform.arrivals").Inc()
+	if _, err := kernels.New(req.Op); err != nil {
+		return nil, fmt.Errorf("%w: %v", pfs.ErrInvalid, err)
+	}
+	t := &task{
+		id:    rt.nextID.Add(1),
+		xform: req,
+		resp:  make(chan taskResult, 1),
+		op:    req.Op,
+	}
+	rt.mu.Lock()
+	rt.queued[t.id] = t
+	rt.mu.Unlock()
+	err := rt.queue.Push(ioqueue.Item{
+		ID:      t.id,
+		Class:   ioqueue.Active,
+		Op:      req.Op,
+		Bytes:   req.Length,
+		Payload: t,
+	})
+	if err != nil {
+		rt.mu.Lock()
+		delete(rt.queued, t.id)
+		rt.mu.Unlock()
+		return nil, fmt.Errorf("%w: runtime shutting down", pfs.ErrUnsupported)
+	}
+	res := <-t.resp
+	if res.err != nil {
+		return nil, res.err
+	}
+	tr, ok := res.resp.(*wire.TransformResp)
+	if !ok {
+		return nil, fmt.Errorf("core: internal: %T answered a transform", res.resp)
+	}
+	return tr, nil
+}
+
+// executeTransform streams the local source range through the kernel and
+// writes the output back to the local destination stream.
+func (rt *Runtime) executeTransform(t *task) (wire.Message, error) {
+	req := t.xform
+	rt.est.KernelStarted()
+	defer rt.est.KernelFinished()
+	rt.est.MemReserve(req.Length) // output is buffered until Result
+	defer rt.est.MemRelease(req.Length)
+
+	k, err := kernels.New(req.Op)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", pfs.ErrInvalid, err)
+	}
+	if err := k.Configure(req.Params); err != nil {
+		return nil, fmt.Errorf("%w: %v", pfs.ErrInvalid, err)
+	}
+	buf := make([]byte, rt.cfg.ChunkSize)
+	var done uint64
+	for done < req.Length {
+		chunkStart := time.Now()
+		if t.interrupt.Load() {
+			return nil, fmt.Errorf("%w: transform cancelled", pfs.ErrInvalid)
+		}
+		n := uint64(len(buf))
+		if req.Length-done < n {
+			n = req.Length - done
+		}
+		read, rerr := rt.cfg.Store.ReadAt(req.SrcHandle, buf[:n], req.Offset+done)
+		if rerr != nil {
+			return nil, rerr
+		}
+		if read == 0 {
+			return nil, fmt.Errorf("%w: transform beyond local data (handle %d offset %d)",
+				pfs.ErrInvalid, req.SrcHandle, req.Offset+done)
+		}
+		if err := k.Process(buf[:read]); err != nil {
+			return nil, err
+		}
+		done += uint64(read)
+		t.processed.Store(done)
+		if rt.cfg.Pace {
+			rt.paceChunk(req.Op, read, chunkStart)
+		}
+	}
+	out, err := k.Result()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := rt.cfg.Store.WriteAt(req.DstHandle, out, req.DstOffset); err != nil {
+		return nil, err
+	}
+	rt.reg.Counter("transform.completed").Inc()
+	rt.reg.Counter("transform.bytes_written").Add(int64(len(out)))
+	rt.cfg.Trace.Record(trace.KindTransform, req.RequestID, req.Op, req.Length,
+		fmt.Sprintf("wrote %d bytes locally", len(out)))
+	return &wire.TransformResp{RequestID: req.RequestID, Written: uint64(len(out))}, nil
+}
+
+// admit runs the scheduling algorithm over the node's current active set
+// plus the newcomer and reports whether the newcomer should run here.
+func (rt *Runtime) admit(req *wire.ActiveReadReq) bool {
+	newReq, reqs := rt.schedulerView(req)
+	if len(reqs) == 0 {
+		return true
+	}
+	env := rt.est.Env(req.Op)
+	if !env.Valid() {
+		return true // no calibration: behave like plain active storage
+	}
+	assignment := rt.cfg.Solver.Solve(reqs, env)
+	for i, r := range reqs {
+		if r.ID == newReq {
+			return assignment[i]
+		}
+	}
+	return true
+}
+
+// schedulerView snapshots the runtime's active set as scheduler Requests:
+// running tasks by remaining bytes, queued tasks in full, plus (when
+// newcomer != nil) the arriving request. It returns the newcomer's
+// scheduler ID and the request list.
+func (rt *Runtime) schedulerView(newcomer *wire.ActiveReadReq) (uint64, []Request) {
+	var reqs []Request
+	rt.mu.Lock()
+	for _, t := range rt.running {
+		remaining := t.length() - t.processed.Load()
+		if remaining == 0 || t.interrupt.Load() {
+			continue
+		}
+		reqs = append(reqs, rt.requestFor(t.id, t.op, remaining))
+	}
+	for _, t := range rt.queued {
+		reqs = append(reqs, rt.requestFor(t.id, t.op, t.length()))
+	}
+	rt.mu.Unlock()
+	var newID uint64
+	if newcomer != nil {
+		newID = rt.nextID.Add(1) + 1<<62 // ephemeral id, distinct from tasks
+		reqs = append(reqs, rt.requestFor(newID, newcomer.Op, newcomer.Length))
+	}
+	return newID, reqs
+}
+
+// requestFor builds one scheduler Request with per-op rates.
+func (rt *Runtime) requestFor(id uint64, op string, bytes uint64) Request {
+	env := rt.est.Env(op)
+	k, err := kernels.New(op)
+	var result uint64
+	if err == nil {
+		result = k.ResultSize(bytes)
+	}
+	return Request{
+		ID:          id,
+		Bytes:       bytes,
+		ResultBytes: result,
+		StorageRate: env.StorageRate,
+		ComputeRate: env.ComputeRate,
+	}
+}
+
+// policyLoop is the CE's periodic re-evaluation: it recomputes the optimal
+// assignment over queued and running work and bounces or interrupts
+// whatever no longer belongs on the storage node.
+func (rt *Runtime) policyLoop() {
+	defer rt.wg.Done()
+	period := rt.est.Config().Period
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-ticker.C:
+			rt.reevaluate()
+		}
+	}
+}
+
+// reevaluate applies the current policy to in-flight work. Queued requests
+// assigned "bounce" are rejected immediately; running requests are
+// interrupted only when the predicted improvement clears InterruptMargin.
+func (rt *Runtime) reevaluate() {
+	_, reqs := rt.schedulerView(nil)
+	if len(reqs) == 0 {
+		return
+	}
+	env := rt.est.Env(reqs0Op(rt))
+	if !env.Valid() {
+		return
+	}
+	assignment := rt.cfg.Solver.Solve(reqs, env)
+	allActive := env.TimeAllActive(reqs)
+	chosen := env.TotalTime(reqs, assignment)
+	for i, r := range reqs {
+		if assignment[i] {
+			continue
+		}
+		rt.mu.Lock()
+		if t, ok := rt.queued[r.ID]; ok {
+			if t.xform != nil {
+				// Transforms cannot bounce: their whole point is that
+				// neither input nor output crosses the network.
+				rt.mu.Unlock()
+				continue
+			}
+			if _, found := rt.queue.Remove(t.id); found {
+				delete(rt.queued, t.id)
+				rt.mu.Unlock()
+				rt.reg.Counter("active.bounced_queued").Inc()
+				rt.respond(t, &wire.ActiveReadResp{
+					RequestID:   t.req.RequestID,
+					Disposition: wire.ActiveRejected,
+				}, nil)
+				continue
+			}
+			rt.mu.Unlock()
+			continue
+		}
+		if t, ok := rt.running[r.ID]; ok {
+			// Interrupt running work only when the policy's win is
+			// decisive (paper: "record and interrupt current active I/O
+			// being serviced"). Transforms are never migrated.
+			if t.xform == nil && allActive > chosen*rt.cfg.InterruptMargin {
+				if t.interrupt.CompareAndSwap(false, true) {
+					rt.reg.Counter("active.interrupted").Inc()
+					rt.cfg.Trace.Record(trace.KindInterrupt, t.req.RequestID, t.op, r.Bytes,
+						fmt.Sprintf("policy gain %.2fx", allActive/chosen))
+				}
+			}
+		}
+		rt.mu.Unlock()
+	}
+}
+
+// reqs0Op returns the op of any current task, for the base Env (each
+// request carries its own rates; the base just supplies BW).
+func reqs0Op(rt *Runtime) string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, t := range rt.queued {
+		return t.op
+	}
+	for _, t := range rt.running {
+		return t.op
+	}
+	return "sum8"
+}
+
+// worker executes queued active requests, one kernel per core.
+func (rt *Runtime) worker() {
+	defer rt.wg.Done()
+	for {
+		item, err := rt.queue.Pop()
+		if err != nil {
+			return
+		}
+		t := item.Payload.(*task)
+		rt.mu.Lock()
+		delete(rt.queued, t.id)
+		rt.running[t.id] = t
+		rt.mu.Unlock()
+		var resp wire.Message
+		var rerr error
+		if t.xform != nil {
+			resp, rerr = rt.executeTransform(t)
+		} else {
+			resp, rerr = rt.execute(t)
+		}
+		rt.mu.Lock()
+		delete(rt.running, t.id)
+		rt.mu.Unlock()
+		rt.respond(t, resp, rerr)
+	}
+}
+
+func (rt *Runtime) respond(t *task, resp wire.Message, err error) {
+	select {
+	case t.resp <- taskResult{resp: resp, err: err}:
+	default: // already answered (e.g. cancelled)
+	}
+}
+
+// execute streams local stripe data through the request's kernel,
+// checkpointing out if the interrupt flag is raised between chunks.
+func (rt *Runtime) execute(t *task) (*wire.ActiveReadResp, error) {
+	req := t.req
+	rt.cfg.Trace.Record(trace.KindStart, req.RequestID, req.Op, req.Length, "")
+	rt.est.KernelStarted()
+	defer rt.est.KernelFinished()
+	rt.est.MemReserve(uint64(rt.cfg.ChunkSize))
+	defer rt.est.MemRelease(uint64(rt.cfg.ChunkSize))
+
+	k, err := kernels.New(req.Op)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", pfs.ErrInvalid, err)
+	}
+	if err := k.Configure(req.Params); err != nil {
+		return nil, fmt.Errorf("%w: %v", pfs.ErrInvalid, err)
+	}
+	if len(req.ResumeState) > 0 {
+		if err := k.Restore(req.ResumeState); err != nil {
+			return nil, fmt.Errorf("%w: %v", pfs.ErrInvalid, err)
+		}
+	}
+
+	buf := make([]byte, rt.cfg.ChunkSize)
+	var done uint64
+	for done < req.Length {
+		chunkStart := time.Now()
+		if t.interrupt.Load() {
+			state, cerr := k.Checkpoint()
+			if cerr != nil {
+				return nil, cerr
+			}
+			rt.reg.Counter("active.migrated").Inc()
+			rt.cfg.Trace.Record(trace.KindMigrate, req.RequestID, req.Op, req.Length-done,
+				fmt.Sprintf("checkpointed after %d bytes", done))
+			return &wire.ActiveReadResp{
+				RequestID:   req.RequestID,
+				Disposition: wire.ActiveInterrupted,
+				State:       state,
+				Processed:   done,
+			}, nil
+		}
+		n := uint64(len(buf))
+		if req.Length-done < n {
+			n = req.Length - done
+		}
+		read, rerr := rt.cfg.Store.ReadAt(req.Handle, buf[:n], req.Offset+done)
+		if rerr != nil {
+			return nil, rerr
+		}
+		if read == 0 {
+			return nil, fmt.Errorf("%w: active read beyond local data (handle %d offset %d)",
+				pfs.ErrInvalid, req.Handle, req.Offset+done)
+		}
+		if err := k.Process(buf[:read]); err != nil {
+			return nil, err
+		}
+		done += uint64(read)
+		t.processed.Store(done)
+		rt.reg.Counter("active.bytes_processed").Add(int64(read))
+		if rt.cfg.Pace {
+			rt.paceChunk(req.Op, read, chunkStart)
+		}
+	}
+	out, err := k.Result()
+	if err != nil {
+		return nil, err
+	}
+	rt.reg.Counter("active.completed").Inc()
+	rt.cfg.Trace.Record(trace.KindComplete, req.RequestID, req.Op, req.Length, "")
+	return &wire.ActiveReadResp{
+		RequestID:   req.RequestID,
+		Disposition: wire.ActiveDone,
+		Result:      out,
+		Processed:   done,
+	}, nil
+}
+
+// paceChunk sleeps so the chunk just processed took at least bytes/rate
+// seconds of wall time, emulating the calibrated per-core kernel rate of
+// the paper's hardware on faster hosts. The rate is discounted by current
+// normal-I/O pressure with the same law the Contention Estimator assumes
+// (S = maxS/(1 + α·load)), so in live experiments normal I/O storms
+// really do slow storage-side kernels — the physical contention the paper
+// measures.
+func (rt *Runtime) paceChunk(op string, bytes int, start time.Time) {
+	rate := rt.est.cfg.RateFor(op)
+	if rate <= 0 {
+		return
+	}
+	if load := rt.est.normalLoad(); load > 0 {
+		rate /= 1 + rt.est.cfg.LoadAlpha*load
+	}
+	want := time.Duration(float64(bytes) / rate * float64(time.Second))
+	if elapsed := time.Since(start); want > elapsed {
+		time.Sleep(want - elapsed)
+	}
+}
+
+// HandleProbe implements pfs.ActiveHandler.
+func (rt *Runtime) HandleProbe() (*wire.ProbeResp, error) {
+	return rt.est.Probe(), nil
+}
+
+// HandleCancel implements pfs.ActiveHandler: it withdraws a queued request
+// or interrupts a running one, matching on the client's RequestID.
+func (rt *Runtime) HandleCancel(req *wire.CancelReq) (*wire.CancelResp, error) {
+	rt.mu.Lock()
+	for id, t := range rt.queued {
+		// Transforms (t.req == nil) are not cancellable: their caller
+		// has nothing to fall back to.
+		if t.req != nil && t.req.RequestID == req.RequestID {
+			if _, found := rt.queue.Remove(id); found {
+				delete(rt.queued, id)
+				rt.mu.Unlock()
+				rt.cfg.Trace.Record(trace.KindCancel, req.RequestID, t.op, 0, "withdrawn from queue")
+				rt.respond(t, &wire.ActiveReadResp{
+					RequestID:   req.RequestID,
+					Disposition: wire.ActiveRejected,
+				}, nil)
+				return &wire.CancelResp{Found: true}, nil
+			}
+		}
+	}
+	for _, t := range rt.running {
+		if t.req != nil && t.req.RequestID == req.RequestID {
+			t.interrupt.Store(true)
+			rt.mu.Unlock()
+			rt.cfg.Trace.Record(trace.KindCancel, req.RequestID, t.op, 0, "running kernel flagged")
+			return &wire.CancelResp{Found: true}, nil
+		}
+	}
+	rt.mu.Unlock()
+	return &wire.CancelResp{Found: false}, nil
+}
+
+var _ pfs.ActiveHandler = (*Runtime)(nil)

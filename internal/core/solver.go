@@ -1,0 +1,155 @@
+package core
+
+import (
+	"sort"
+)
+
+// Solver decides, for a queue of active requests, which run on the storage
+// node (true) and which bounce to their compute nodes (false), minimising
+// the paper's objective Eq. 4.
+type Solver interface {
+	// Name identifies the solver in logs and benchmarks.
+	Name() string
+	// Solve returns the accept/bounce assignment for reqs under env. The
+	// returned slice has len(reqs) entries.
+	Solve(reqs []Request, env Env) []bool
+}
+
+// Exhaustive is the paper's reference algorithm: enumerate all 2^k
+// assignments (the A-matrix of Eq. 9–11) and pick the minimum. Exponential;
+// used as the oracle in tests and for small queues. Queues larger than
+// MaxExact fall back to MaxGain, which computes the same optimum.
+type Exhaustive struct{}
+
+// MaxExact bounds the queue size Exhaustive will enumerate.
+const MaxExact = 20
+
+// Name implements Solver.
+func (Exhaustive) Name() string { return "exhaustive" }
+
+// Solve implements Solver.
+func (Exhaustive) Solve(reqs []Request, env Env) []bool {
+	k := len(reqs)
+	if k == 0 {
+		return nil
+	}
+	if k > MaxExact {
+		return MaxGain{}.Solve(reqs, env)
+	}
+	best := make([]bool, k)
+	cur := make([]bool, k)
+	bestT := env.TimeAllNormal(reqs)
+	for mask := uint64(1); mask < 1<<k; mask++ {
+		for i := 0; i < k; i++ {
+			cur[i] = mask&(1<<i) != 0
+		}
+		if t := env.TotalTime(reqs, cur); t < bestT {
+			bestT = t
+			copy(best, cur)
+		}
+	}
+	return best
+}
+
+// MaxGain solves the assignment exactly in O(k log k) by exploiting the
+// objective's structure. Bouncing set B changes the cost relative to
+// all-active by −Σ_{i∈B}(x_i−y_i) + max_{i∈B} d_i/C_i, so the optimum
+// maximises Σ gains − z. Fix which request contributes z (the bounced
+// request with the largest client-side cost): the best B then adds every
+// request with positive gain and no larger client cost. Trying each
+// request as that maximum covers all optima. This replaces the paper's
+// "general constraint programming solver" with a closed-form method that
+// scales to arbitrary queue depths.
+type MaxGain struct{}
+
+// Name implements Solver.
+func (MaxGain) Name() string { return "maxgain" }
+
+// Solve implements Solver.
+func (MaxGain) Solve(reqs []Request, env Env) []bool {
+	k := len(reqs)
+	accept := make([]bool, k)
+	for i := range accept {
+		accept[i] = true
+	}
+	if k == 0 {
+		return accept
+	}
+	// Order by client-side cost ascending; prefix sums of positive gains
+	// let each candidate maximum be evaluated in O(1).
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return env.ClientCost(reqs[idx[a]]) < env.ClientCost(reqs[idx[b]])
+	})
+	posGain := make([]float64, k+1) // posGain[j]: Σ positive gains among idx[:j]
+	for j, id := range idx {
+		g := env.Gain(reqs[id])
+		posGain[j+1] = posGain[j]
+		if g > 0 {
+			posGain[j+1] += g
+		}
+	}
+	bestBenefit := 0.0 // B = ∅ baseline: all active
+	bestM := -1
+	for j, id := range idx {
+		r := reqs[id]
+		g := env.Gain(r)
+		// Candidate: r has the (weakly) largest client cost in B. B then
+		// contains r plus every positive-gain request among idx[:j+1]
+		// (all have client cost ≤ r's by the sort order).
+		benefit := posGain[j+1] - env.ClientCost(r)
+		if g <= 0 {
+			// r's own non-positive gain is not in posGain, but r is
+			// forced into B as the maximum; price it in.
+			benefit += g
+		}
+		if benefit > bestBenefit {
+			bestBenefit = benefit
+			bestM = j
+		}
+	}
+	if bestM < 0 {
+		return accept // keeping everything active is optimal
+	}
+	for j := 0; j <= bestM; j++ {
+		id := idx[j]
+		if env.Gain(reqs[id]) > 0 {
+			accept[id] = false
+		}
+	}
+	// The chosen maximum bounces even when its own gain is non-positive
+	// (it was priced into the benefit above).
+	accept[idx[bestM]] = false
+	return accept
+}
+
+// AllActive is the static AS baseline: every request runs on the storage
+// node (classic active storage).
+type AllActive struct{}
+
+// Name implements Solver.
+func (AllActive) Name() string { return "all-active" }
+
+// Solve implements Solver.
+func (AllActive) Solve(reqs []Request, _ Env) []bool {
+	accept := make([]bool, len(reqs))
+	for i := range accept {
+		accept[i] = true
+	}
+	return accept
+}
+
+// AllNormal is the static TS baseline: every request bounces to its
+// compute node (traditional storage).
+type AllNormal struct{}
+
+// Name implements Solver.
+func (AllNormal) Name() string { return "all-normal" }
+
+// Solve implements Solver.
+func (AllNormal) Solve(reqs []Request, _ Env) []bool {
+	return make([]bool, len(reqs))
+}

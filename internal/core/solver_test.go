@@ -1,0 +1,228 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// paperEnv is the Discfarm environment for the Gaussian benchmark: one
+// effective storage core at 80 MB/s, compute nodes at 80 MB/s, network at
+// 118 MB/s (paper Section IV-A).
+func paperEnv(rate float64) Env {
+	return Env{BW: 118e6, StorageRate: rate, ComputeRate: rate}
+}
+
+const mb = 1 << 20
+
+func homogeneous(n int, bytes uint64, result uint64) []Request {
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = Request{ID: uint64(i + 1), Bytes: bytes, ResultBytes: result}
+	}
+	return reqs
+}
+
+func countAccepted(a []bool) int {
+	n := 0
+	for _, v := range a {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// The paper's headline boundary: for the Gaussian kernel at 128 MB per
+// request, active wins up to 3 concurrent requests per storage node and
+// traditional storage wins from 4 (Figures 2, 4).
+func TestGaussianCrossoverAtFourRequests(t *testing.T) {
+	env := paperEnv(80e6)
+	for n := 1; n <= 8; n++ {
+		reqs := homogeneous(n, 128*mb, 29)
+		ta := env.TimeAllActive(reqs)
+		tn := env.TimeAllNormal(reqs)
+		if n <= 3 && ta >= tn {
+			t.Errorf("n=%d: active %.2fs should beat normal %.2fs", n, ta, tn)
+		}
+		if n >= 4 && tn >= ta {
+			t.Errorf("n=%d: normal %.2fs should beat active %.2fs", n, tn, ta)
+		}
+	}
+}
+
+// SUM's 860 MB/s per core dwarfs the 118 MB/s network: active storage must
+// win at every scale (Figure 6).
+func TestSumAlwaysPrefersActive(t *testing.T) {
+	env := paperEnv(860e6)
+	for _, n := range []int{1, 2, 4, 8, 16, 32, 64} {
+		reqs := homogeneous(n, 128*mb, 8)
+		a := MaxGain{}.Solve(reqs, env)
+		if countAccepted(a) != n {
+			t.Errorf("n=%d: solver bounced %d SUM requests", n, n-countAccepted(a))
+		}
+	}
+}
+
+func TestSolverMatchesSchemeExtremes(t *testing.T) {
+	env := paperEnv(80e6)
+	// Small queue: everything should run on the storage node.
+	a := MaxGain{}.Solve(homogeneous(2, 128*mb, 29), env)
+	if countAccepted(a) != 2 {
+		t.Errorf("small queue: accepted %d of 2", countAccepted(a))
+	}
+	// Deep queue: everything should bounce.
+	a = MaxGain{}.Solve(homogeneous(16, 128*mb, 29), env)
+	if countAccepted(a) != 0 {
+		t.Errorf("deep queue: accepted %d of 16", countAccepted(a))
+	}
+}
+
+func TestExhaustiveEmptyAndSingle(t *testing.T) {
+	env := paperEnv(80e6)
+	if got := (Exhaustive{}).Solve(nil, env); got != nil {
+		t.Errorf("empty queue: %v", got)
+	}
+	a := Exhaustive{}.Solve(homogeneous(1, 128*mb, 29), env)
+	if !a[0] {
+		t.Error("single gaussian request should run actively")
+	}
+}
+
+func TestStaticSolvers(t *testing.T) {
+	reqs := homogeneous(5, mb, 8)
+	env := paperEnv(80e6)
+	if countAccepted(AllActive{}.Solve(reqs, env)) != 5 {
+		t.Error("AllActive must accept everything")
+	}
+	if countAccepted(AllNormal{}.Solve(reqs, env)) != 0 {
+		t.Error("AllNormal must bounce everything")
+	}
+}
+
+// Property: MaxGain achieves exactly the exhaustive optimum's objective
+// value on random mixed workloads (sizes, result sizes, and per-request
+// rates all varying).
+func TestMaxGainMatchesExhaustiveProperty(t *testing.T) {
+	f := func(seed int64, k8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(k8)%10 + 1 // 1..10 requests: exhaustive stays cheap
+		reqs := make([]Request, k)
+		for i := range reqs {
+			bytes := uint64(rng.Intn(1<<28) + 1)
+			reqs[i] = Request{
+				ID:          uint64(i + 1),
+				Bytes:       bytes,
+				ResultBytes: uint64(rng.Intn(int(bytes) + 1)),
+				StorageRate: float64(rng.Intn(900)+20) * 1e6,
+				ComputeRate: float64(rng.Intn(900)+20) * 1e6,
+			}
+		}
+		env := Env{BW: float64(rng.Intn(200)+50) * 1e6, StorageRate: 80e6, ComputeRate: 80e6}
+		want := env.TotalTime(reqs, Exhaustive{}.Solve(reqs, env))
+		got := env.TotalTime(reqs, MaxGain{}.Solve(reqs, env))
+		return math.Abs(got-want) <= 1e-9*math.Max(1, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the solver's chosen assignment never loses to either static
+// baseline.
+func TestSolverDominatesBaselinesProperty(t *testing.T) {
+	f := func(seed int64, k8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(k8)%30 + 1
+		reqs := make([]Request, k)
+		for i := range reqs {
+			bytes := uint64(rng.Intn(1<<30) + 1)
+			reqs[i] = Request{ID: uint64(i + 1), Bytes: bytes, ResultBytes: 29}
+		}
+		env := Env{
+			BW:          float64(rng.Intn(200)+50) * 1e6,
+			StorageRate: float64(rng.Intn(900)+20) * 1e6,
+			ComputeRate: float64(rng.Intn(900)+20) * 1e6,
+		}
+		chosen := env.TotalTime(reqs, MaxGain{}.Solve(reqs, env))
+		eps := 1e-9 * math.Max(1, chosen)
+		return chosen <= env.TimeAllActive(reqs)+eps && chosen <= env.TimeAllNormal(reqs)+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Mixed operations produce genuinely mixed schedules: SUM requests (whose
+// kernels outrun the network, so bouncing never pays) stay active while a
+// pile of Gaussian requests bounces.
+func TestMixedAssignmentOnHeterogeneousOps(t *testing.T) {
+	env := Env{BW: 118e6, StorageRate: 80e6, ComputeRate: 80e6}
+	sum := func(id uint64) Request {
+		return Request{ID: id, Bytes: 128 * mb, ResultBytes: 8, StorageRate: 860e6, ComputeRate: 860e6}
+	}
+	gauss := func(id uint64) Request {
+		return Request{ID: id, Bytes: 512 * mb, ResultBytes: 29, StorageRate: 80e6, ComputeRate: 80e6}
+	}
+	reqs := []Request{sum(1), gauss(2), gauss(3), gauss(4), gauss(5), sum(6)}
+	a := Exhaustive{}.Solve(reqs, env)
+	if !a[0] || !a[5] {
+		t.Errorf("SUM requests should stay active: %v", a)
+	}
+	bouncedGauss := 0
+	for i := 1; i < 5; i++ {
+		if !a[i] {
+			bouncedGauss++
+		}
+	}
+	if bouncedGauss == 0 {
+		t.Errorf("expected Gaussian requests bounced: %v", a)
+	}
+	// MaxGain must agree with the oracle's objective.
+	if got, want := env.TotalTime(reqs, MaxGain{}.Solve(reqs, env)), env.TotalTime(reqs, a); math.Abs(got-want) > 1e-9 {
+		t.Errorf("maxgain %.4f vs exhaustive %.4f", got, want)
+	}
+}
+
+func TestExhaustiveFallsBackBeyondMaxExact(t *testing.T) {
+	env := paperEnv(80e6)
+	reqs := homogeneous(MaxExact+5, 128*mb, 29)
+	a := Exhaustive{}.Solve(reqs, env)
+	if len(a) != len(reqs) {
+		t.Fatalf("assignment length %d", len(a))
+	}
+}
+
+func TestEnvCostIdentities(t *testing.T) {
+	env := Env{BW: 100e6, StorageRate: 50e6, ComputeRate: 200e6}
+	r := Request{Bytes: 100 * mb, ResultBytes: 10 * mb}
+	x := env.XCost(r)
+	wantX := float64(100*mb)/50e6 + float64(10*mb)/100e6
+	if math.Abs(x-wantX) > 1e-9 {
+		t.Errorf("XCost = %v, want %v", x, wantX)
+	}
+	if y := env.YCost(r); math.Abs(y-float64(100*mb)/100e6) > 1e-9 {
+		t.Errorf("YCost = %v", y)
+	}
+	if c := env.ClientCost(r); math.Abs(c-float64(100*mb)/200e6) > 1e-9 {
+		t.Errorf("ClientCost = %v", c)
+	}
+	// Per-request overrides beat the env rates.
+	r2 := Request{Bytes: 100 * mb, StorageRate: 25e6, ComputeRate: 100e6}
+	if math.Abs(env.XCost(r2)-float64(100*mb)/25e6) > 1e-9 {
+		t.Error("StorageRate override ignored")
+	}
+	if math.Abs(env.ClientCost(r2)-float64(100*mb)/100e6) > 1e-9 {
+		t.Error("ComputeRate override ignored")
+	}
+}
+
+func TestEnvValid(t *testing.T) {
+	if (Env{}).Valid() {
+		t.Error("zero env should be invalid")
+	}
+	if !(Env{BW: 1, StorageRate: 1, ComputeRate: 1}).Valid() {
+		t.Error("positive env should be valid")
+	}
+}

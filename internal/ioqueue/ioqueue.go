@@ -1,0 +1,236 @@
+// Package ioqueue provides the two-class I/O request queue a DOSAS storage
+// node schedules from. Normal I/O takes priority over active I/O — the
+// paper's rule "when [the storage node] is fully engaged with I/O services,
+// normal I/O will take the priority" — and the queue exposes the aggregate
+// statistics (lengths, queued bytes) that the Contention Estimator probes.
+package ioqueue
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Class separates normal from active I/O.
+type Class uint8
+
+// Request classes.
+const (
+	Normal Class = iota
+	Active
+)
+
+// String returns "normal" or "active".
+func (c Class) String() string {
+	if c == Active {
+		return "active"
+	}
+	return "normal"
+}
+
+// Item is one queued request.
+type Item struct {
+	ID      uint64
+	Class   Class
+	Op      string // kernel name for active requests
+	Bytes   uint64 // request data size d_i
+	Enqueue time.Time
+	// Payload carries the scheduler-opaque request context (the runtime
+	// stores its task struct here).
+	Payload any
+}
+
+// ErrClosed is returned by Pop after Close.
+var ErrClosed = errors.New("ioqueue: closed")
+
+// Queue is a blocking two-class FIFO. Pop always drains Normal items
+// before Active items; within a class, arrival order is preserved.
+type Queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	normal deque
+	active deque
+	bytes  [2]uint64
+	closed bool
+	now    func() time.Time
+}
+
+// New returns an empty queue.
+func New() *Queue {
+	q := &Queue{now: time.Now}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push enqueues item. It returns ErrClosed after Close.
+func (q *Queue) Push(item Item) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	if item.Enqueue.IsZero() {
+		item.Enqueue = q.now()
+	}
+	if item.Class == Normal {
+		q.normal.push(item)
+	} else {
+		q.active.push(item)
+	}
+	q.bytes[item.Class] += item.Bytes
+	q.cond.Signal()
+	return nil
+}
+
+// Pop blocks until an item is available (normal first) or the queue is
+// closed and drained.
+func (q *Queue) Pop() (Item, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if it, ok := q.popLocked(); ok {
+			return it, nil
+		}
+		if q.closed {
+			return Item{}, ErrClosed
+		}
+		q.cond.Wait()
+	}
+}
+
+// TryPop returns immediately with ok=false when the queue is empty.
+func (q *Queue) TryPop() (Item, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.popLocked()
+}
+
+func (q *Queue) popLocked() (Item, bool) {
+	if it, ok := q.normal.pop(); ok {
+		q.bytes[Normal] -= it.Bytes
+		return it, true
+	}
+	if it, ok := q.active.pop(); ok {
+		q.bytes[Active] -= it.Bytes
+		return it, true
+	}
+	return Item{}, false
+}
+
+// Remove withdraws the queued item with the given id (any class). It
+// reports whether the item was found.
+func (q *Queue) Remove(id uint64) (Item, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if it, ok := q.normal.remove(id); ok {
+		q.bytes[Normal] -= it.Bytes
+		return it, true
+	}
+	if it, ok := q.active.remove(id); ok {
+		q.bytes[Active] -= it.Bytes
+		return it, true
+	}
+	return Item{}, false
+}
+
+// DrainActive removes and returns all queued active items, oldest first.
+// The runtime uses it when the policy flips to bounce-everything.
+func (q *Queue) DrainActive() []Item {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var items []Item
+	for {
+		it, ok := q.active.pop()
+		if !ok {
+			break
+		}
+		q.bytes[Active] -= it.Bytes
+		items = append(items, it)
+	}
+	return items
+}
+
+// Stats is a snapshot of queue occupancy.
+type Stats struct {
+	NormalLen   int
+	ActiveLen   int
+	NormalBytes uint64
+	ActiveBytes uint64
+}
+
+// Stats returns current occupancy.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return Stats{
+		NormalLen:   q.normal.len(),
+		ActiveLen:   q.active.len(),
+		NormalBytes: q.bytes[Normal],
+		ActiveBytes: q.bytes[Active],
+	}
+}
+
+// PendingActive returns copies of all queued active items in arrival
+// order, without removing them — the scheduler's view of the active queue.
+func (q *Queue) PendingActive() []Item {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.active.snapshot()
+}
+
+// Len returns the total number of queued items.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.normal.len() + q.active.len()
+}
+
+// Close wakes all blocked Pops; queued items can still be drained.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// deque is a slice-backed FIFO with O(1) amortised push/pop and O(n)
+// removal by id (rare: cancellations and policy flips only).
+type deque struct {
+	items []Item
+	head  int
+}
+
+func (d *deque) push(it Item) { d.items = append(d.items, it) }
+
+func (d *deque) pop() (Item, bool) {
+	if d.head >= len(d.items) {
+		return Item{}, false
+	}
+	it := d.items[d.head]
+	d.items[d.head] = Item{} // release payload references
+	d.head++
+	if d.head > 64 && d.head*2 >= len(d.items) {
+		d.items = append(d.items[:0], d.items[d.head:]...)
+		d.head = 0
+	}
+	return it, true
+}
+
+func (d *deque) remove(id uint64) (Item, bool) {
+	for i := d.head; i < len(d.items); i++ {
+		if d.items[i].ID == id {
+			it := d.items[i]
+			d.items = append(d.items[:i], d.items[i+1:]...)
+			return it, true
+		}
+	}
+	return Item{}, false
+}
+
+func (d *deque) len() int { return len(d.items) - d.head }
+
+func (d *deque) snapshot() []Item {
+	out := make([]Item, d.len())
+	copy(out, d.items[d.head:])
+	return out
+}

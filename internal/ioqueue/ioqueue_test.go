@@ -1,0 +1,244 @@
+package ioqueue
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFIFOWithinClass(t *testing.T) {
+	q := New()
+	for i := 1; i <= 5; i++ {
+		if err := q.Push(Item{ID: uint64(i), Class: Active}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= 5; i++ {
+		it, err := q.Pop()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if it.ID != uint64(i) {
+			t.Fatalf("pop %d: got id %d", i, it.ID)
+		}
+	}
+}
+
+func TestNormalPriorityOverActive(t *testing.T) {
+	q := New()
+	q.Push(Item{ID: 1, Class: Active})
+	q.Push(Item{ID: 2, Class: Normal})
+	q.Push(Item{ID: 3, Class: Active})
+	q.Push(Item{ID: 4, Class: Normal})
+	var order []uint64
+	for i := 0; i < 4; i++ {
+		it, err := q.Pop()
+		if err != nil {
+			t.Fatal(err)
+		}
+		order = append(order, it.ID)
+	}
+	want := []uint64{2, 4, 1, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestStatsTrackBytesAndLengths(t *testing.T) {
+	q := New()
+	q.Push(Item{ID: 1, Class: Active, Bytes: 100})
+	q.Push(Item{ID: 2, Class: Normal, Bytes: 7})
+	q.Push(Item{ID: 3, Class: Active, Bytes: 50})
+	st := q.Stats()
+	if st.ActiveLen != 2 || st.NormalLen != 1 || st.ActiveBytes != 150 || st.NormalBytes != 7 {
+		t.Fatalf("stats = %+v", st)
+	}
+	q.Pop() // drains the normal item first
+	st = q.Stats()
+	if st.NormalLen != 0 || st.NormalBytes != 0 || st.ActiveBytes != 150 {
+		t.Fatalf("stats after pop = %+v", st)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	q := New()
+	q.Push(Item{ID: 1, Class: Active, Bytes: 10})
+	q.Push(Item{ID: 2, Class: Active, Bytes: 20})
+	q.Push(Item{ID: 3, Class: Active, Bytes: 30})
+	it, ok := q.Remove(2)
+	if !ok || it.Bytes != 20 {
+		t.Fatalf("remove = %+v, %v", it, ok)
+	}
+	if _, ok := q.Remove(2); ok {
+		t.Fatal("double remove succeeded")
+	}
+	if st := q.Stats(); st.ActiveLen != 2 || st.ActiveBytes != 40 {
+		t.Fatalf("stats = %+v", st)
+	}
+	a, _ := q.Pop()
+	b, _ := q.Pop()
+	if a.ID != 1 || b.ID != 3 {
+		t.Fatalf("order after remove: %d, %d", a.ID, b.ID)
+	}
+}
+
+func TestDrainActive(t *testing.T) {
+	q := New()
+	q.Push(Item{ID: 1, Class: Active})
+	q.Push(Item{ID: 2, Class: Normal})
+	q.Push(Item{ID: 3, Class: Active})
+	items := q.DrainActive()
+	if len(items) != 2 || items[0].ID != 1 || items[1].ID != 3 {
+		t.Fatalf("drained = %+v", items)
+	}
+	if st := q.Stats(); st.ActiveLen != 0 || st.NormalLen != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPendingActiveSnapshot(t *testing.T) {
+	q := New()
+	q.Push(Item{ID: 5, Class: Active, Op: "sum8"})
+	q.Push(Item{ID: 6, Class: Active, Op: "gaussian2d"})
+	snap := q.PendingActive()
+	if len(snap) != 2 || snap[0].ID != 5 || snap[1].Op != "gaussian2d" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	// Snapshot must not consume.
+	if q.Len() != 2 {
+		t.Fatalf("len = %d after snapshot", q.Len())
+	}
+}
+
+func TestPopBlocksUntilPush(t *testing.T) {
+	q := New()
+	done := make(chan Item, 1)
+	go func() {
+		it, err := q.Pop()
+		if err == nil {
+			done <- it
+		}
+	}()
+	select {
+	case <-done:
+		t.Fatal("Pop returned before Push")
+	case <-time.After(20 * time.Millisecond):
+	}
+	q.Push(Item{ID: 9, Class: Active})
+	select {
+	case it := <-done:
+		if it.ID != 9 {
+			t.Fatalf("got id %d", it.ID)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Pop never woke")
+	}
+}
+
+func TestCloseWakesPoppers(t *testing.T) {
+	q := New()
+	var wg sync.WaitGroup
+	errs := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := q.Pop()
+			errs <- err
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != ErrClosed {
+			t.Errorf("err = %v, want ErrClosed", err)
+		}
+	}
+	if err := q.Push(Item{ID: 1}); err != ErrClosed {
+		t.Errorf("push after close = %v", err)
+	}
+}
+
+func TestTryPop(t *testing.T) {
+	q := New()
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("TryPop on empty queue succeeded")
+	}
+	q.Push(Item{ID: 1, Class: Active})
+	it, ok := q.TryPop()
+	if !ok || it.ID != 1 {
+		t.Fatalf("TryPop = %+v, %v", it, ok)
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	q := New()
+	const producers, perProducer = 8, 200
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				cls := Normal
+				if i%2 == 0 {
+					cls = Active
+				}
+				q.Push(Item{ID: uint64(p*perProducer + i), Class: cls, Bytes: 1})
+			}
+		}(p)
+	}
+	var consumed sync.WaitGroup
+	total := producers * perProducer
+	seen := make(chan uint64, total)
+	for c := 0; c < 4; c++ {
+		consumed.Add(1)
+		go func() {
+			defer consumed.Done()
+			for {
+				it, err := q.Pop()
+				if err != nil {
+					return
+				}
+				seen <- it.ID
+			}
+		}()
+	}
+	wg.Wait()
+	got := make(map[uint64]bool, total)
+	for i := 0; i < total; i++ {
+		got[<-seen] = true
+	}
+	q.Close()
+	consumed.Wait()
+	if len(got) != total {
+		t.Fatalf("consumed %d unique items, want %d", len(got), total)
+	}
+}
+
+// Deque compaction must not corrupt order after many push/pop cycles.
+func TestDequeCompaction(t *testing.T) {
+	q := New()
+	next := uint64(1)
+	popped := uint64(1)
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 20; i++ {
+			q.Push(Item{ID: next, Class: Active})
+			next++
+		}
+		for i := 0; i < 15; i++ {
+			it, err := q.Pop()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if it.ID != popped {
+				t.Fatalf("round %d: got %d, want %d", round, it.ID, popped)
+			}
+			popped++
+		}
+	}
+}

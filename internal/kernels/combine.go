@@ -1,0 +1,173 @@
+package kernels
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// CombineFunc merges per-storage-node partial results of one operation
+// into the final result, in server order. Only decomposable (associative)
+// operations have combiners; operations whose output depends on global
+// byte order (e.g. downsample over a striped file) do not, and the Active
+// Storage Client restricts those to single-server ranges.
+type CombineFunc func(parts [][]byte) ([]byte, error)
+
+var (
+	combMu    sync.RWMutex
+	combiners = make(map[string]CombineFunc)
+)
+
+// RegisterCombiner installs the combiner for op. Panics on duplicates.
+func RegisterCombiner(op string, f CombineFunc) {
+	combMu.Lock()
+	defer combMu.Unlock()
+	if _, ok := combiners[op]; ok {
+		panic(fmt.Sprintf("kernels: duplicate combiner for %q", op))
+	}
+	combiners[op] = f
+}
+
+// CanCombine reports whether op has a registered combiner.
+func CanCombine(op string) bool {
+	combMu.RLock()
+	defer combMu.RUnlock()
+	_, ok := combiners[op]
+	return ok
+}
+
+// Combine merges parts with op's combiner. A single part passes through
+// untouched regardless of registration.
+func Combine(op string, parts [][]byte) ([]byte, error) {
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	combMu.RLock()
+	f, ok := combiners[op]
+	combMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("kernels: operation %q has no combiner; restrict the request to one storage node", op)
+	}
+	return f(parts)
+}
+
+func init() {
+	sumU64 := func(parts [][]byte) ([]byte, error) {
+		var total uint64
+		for _, p := range parts {
+			if len(p) < 8 {
+				return nil, fmt.Errorf("kernels: combine: short partial result (%d bytes)", len(p))
+			}
+			total += binary.LittleEndian.Uint64(p)
+		}
+		out := make([]byte, 8)
+		binary.LittleEndian.PutUint64(out, total)
+		return out, nil
+	}
+	RegisterCombiner("sum8", sumU64)
+	RegisterCombiner("count", sumU64)
+	RegisterCombiner("wordcount", sumU64) // upper bound: words split at stripe joints count twice
+
+	RegisterCombiner("sum64", func(parts [][]byte) ([]byte, error) {
+		var total float64
+		for _, p := range parts {
+			if len(p) < 8 {
+				return nil, fmt.Errorf("kernels: combine: short partial result (%d bytes)", len(p))
+			}
+			total += f64le(p)
+		}
+		out := make([]byte, 8)
+		binary.LittleEndian.PutUint64(out, math.Float64bits(total))
+		return out, nil
+	})
+
+	RegisterCombiner("minmax", func(parts [][]byte) ([]byte, error) {
+		mn, mx := math.NaN(), math.NaN()
+		for _, p := range parts {
+			pmn, pmx, err := MinMaxResult(p)
+			if err != nil {
+				return nil, err
+			}
+			if math.IsNaN(pmn) {
+				continue // empty partial stream
+			}
+			if math.IsNaN(mn) || pmn < mn {
+				mn = pmn
+			}
+			if math.IsNaN(mx) || pmx > mx {
+				mx = pmx
+			}
+		}
+		out := putF64(nil, mn)
+		return putF64(out, mx), nil
+	})
+
+	RegisterCombiner("moments", func(parts [][]byte) ([]byte, error) {
+		var total Moments
+		for _, p := range parts {
+			m, err := MomentsResult(p)
+			if err != nil {
+				return nil, err
+			}
+			total.Count += m.Count
+			total.Sum += m.Sum
+			total.SumSq += m.SumSq
+		}
+		out := make([]byte, 8, 24)
+		binary.LittleEndian.PutUint64(out, total.Count)
+		out = putF64(out, total.Sum)
+		return putF64(out, total.SumSq), nil
+	})
+
+	RegisterCombiner("histogram", func(parts [][]byte) ([]byte, error) {
+		var total [256]uint64
+		for _, p := range parts {
+			bins, err := HistogramResult(p)
+			if err != nil {
+				return nil, err
+			}
+			for i, v := range bins {
+				total[i] += v
+			}
+		}
+		out := make([]byte, 256*8)
+		for i, v := range total {
+			binary.LittleEndian.PutUint64(out[i*8:], v)
+		}
+		return out, nil
+	})
+
+	// gaussian2d digests combine component-wise. Each storage node filters
+	// its local stripe stream as an independent image (the "partial striped
+	// file support" compromise of Piernas et al.); the CRC of a multi-part
+	// digest is not meaningful and is zeroed.
+	RegisterCombiner("gaussian2d", func(parts [][]byte) ([]byte, error) {
+		var total GaussianDigest
+		first := true
+		for _, p := range parts {
+			d, err := DecodeGaussianDigest(p)
+			if err != nil {
+				return nil, err
+			}
+			total.Pixels += d.Pixels
+			total.Sum += d.Sum
+			total.Rows += d.Rows
+			if first || d.Min < total.Min {
+				total.Min = d.Min
+			}
+			if first || d.Max > total.Max {
+				total.Max = d.Max
+			}
+			first = false
+		}
+		out := make([]byte, 29)
+		binary.LittleEndian.PutUint64(out[0:8], total.Pixels)
+		binary.LittleEndian.PutUint64(out[8:16], total.Sum)
+		out[16] = total.Min
+		out[17] = total.Max
+		binary.LittleEndian.PutUint32(out[18:22], 0)
+		binary.LittleEndian.PutUint32(out[22:26], total.Rows)
+		return out, nil
+	})
+}

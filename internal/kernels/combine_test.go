@@ -1,0 +1,203 @@
+package kernels
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// splitRun processes data split across n independent kernel instances and
+// combines the partial results — what the ASC does when a request spans n
+// storage nodes.
+func splitRun(t *testing.T, op string, params, data []byte, n int) []byte {
+	t.Helper()
+	if n < 1 {
+		n = 1
+	}
+	parts := make([][]byte, 0, n)
+	per := (len(data) + n - 1) / n
+	for i := 0; i < n; i++ {
+		lo := i * per
+		if lo > len(data) {
+			lo = len(data)
+		}
+		hi := lo + per
+		if hi > len(data) {
+			hi = len(data)
+		}
+		parts = append(parts, runWhole(t, op, params, data[lo:hi]))
+	}
+	out, err := Combine(op, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// Property: for every decomposable reduction, computing on shards and
+// combining equals computing on the whole stream. (Shard boundaries are
+// element-aligned, as stripe boundaries are in practice for 8-byte data.)
+func TestCombineEquivalenceProperty(t *testing.T) {
+	cases := []struct {
+		op     string
+		params []byte
+		align  int
+		float  bool // generate finite float64 data; compare tolerantly
+	}{
+		{"sum8", nil, 1, false},
+		{"sum64", nil, 8, true},
+		{"minmax", nil, 8, true},
+		{"moments", nil, 8, true},
+		{"histogram", nil, 1, false},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.op, func(t *testing.T) {
+			f := func(seed int64, nData uint16, shards uint8) bool {
+				rng := rand.New(rand.NewSource(seed))
+				n := (int(nData)%2048 + tc.align) / tc.align * tc.align
+				var data []byte
+				if tc.float {
+					vals := make([]float64, n/8)
+					for i := range vals {
+						vals[i] = rng.NormFloat64() * 1e3
+					}
+					data = floatStream(vals)
+					n = len(data)
+				} else {
+					data = make([]byte, n)
+					rng.Read(data)
+				}
+				want := runWhole(t, tc.op, tc.params, data)
+				// Shard on aligned boundaries.
+				k := int(shards)%4 + 1
+				per := (n/tc.align + k - 1) / k * tc.align
+				if per == 0 {
+					per = tc.align
+				}
+				var parts [][]byte
+				for lo := 0; lo < n; lo += per {
+					hi := lo + per
+					if hi > n {
+						hi = n
+					}
+					parts = append(parts, runWhole(t, tc.op, tc.params, data[lo:hi]))
+				}
+				if len(parts) == 0 {
+					parts = [][]byte{runWhole(t, tc.op, tc.params, nil)}
+				}
+				got, err := Combine(tc.op, parts)
+				if err != nil {
+					return false
+				}
+				if tc.float {
+					// Float addition reassociates across shards:
+					// compare decoded values tolerantly.
+					return floatsClose(t, tc.op, got, want)
+				}
+				return bytes.Equal(got, want)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// floatsClose compares two float-valued kernel outputs with relative
+// tolerance.
+func floatsClose(t *testing.T, op string, got, want []byte) bool {
+	t.Helper()
+	close := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return math.IsNaN(a) == math.IsNaN(b)
+		}
+		return math.Abs(a-b) <= 1e-9*math.Max(1, math.Abs(b))
+	}
+	switch op {
+	case "sum64":
+		return close(Sum64Result(got), Sum64Result(want))
+	case "minmax":
+		gmn, gmx, _ := MinMaxResult(got)
+		wmn, wmx, _ := MinMaxResult(want)
+		return close(gmn, wmn) && close(gmx, wmx)
+	case "moments":
+		g, _ := MomentsResult(got)
+		w, _ := MomentsResult(want)
+		return g.Count == w.Count && close(g.Sum, w.Sum) && close(g.SumSq, w.SumSq)
+	default:
+		return bytes.Equal(got, want)
+	}
+}
+
+func TestCombineCount(t *testing.T) {
+	// Combination is per-shard counting: matches inside shards add up
+	// (cross-shard matches are the documented striping caveat).
+	data := []byte("xxabxx")
+	got := splitRun(t, "count", []byte("ab"), data, 3)
+	if CountResult(got) != 1 {
+		t.Errorf("count = %d", CountResult(got))
+	}
+}
+
+func TestCombineGaussianDigest(t *testing.T) {
+	a := runWhole(t, "gaussian2d", GaussianParams(8, false), bytes.Repeat([]byte{10}, 64))
+	b := runWhole(t, "gaussian2d", GaussianParams(8, false), bytes.Repeat([]byte{200}, 64))
+	out, err := Combine("gaussian2d", [][]byte{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dig, err := DecodeGaussianDigest(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dig.Pixels != 128 || dig.Min != 10 || dig.Max != 200 {
+		t.Errorf("combined digest = %+v", dig)
+	}
+	if dig.Sum != 64*10+64*200 {
+		t.Errorf("combined sum = %d", dig.Sum)
+	}
+}
+
+func TestCombineSinglePartPassthrough(t *testing.T) {
+	// Even uncombinable ops pass through a single part.
+	out, err := Combine("downsample", [][]byte{{1, 2, 3}})
+	if err != nil || !bytes.Equal(out, []byte{1, 2, 3}) {
+		t.Fatalf("single part: %v %v", out, err)
+	}
+}
+
+func TestCombineUncombinableFails(t *testing.T) {
+	if _, err := Combine("downsample", [][]byte{{1}, {2}}); err == nil {
+		t.Fatal("downsample multi-part combine should fail")
+	}
+	if CanCombine("downsample") {
+		t.Error("downsample must not advertise a combiner")
+	}
+	if !CanCombine("sum8") {
+		t.Error("sum8 must advertise a combiner")
+	}
+}
+
+func TestCombineMinMaxSkipsEmptyShards(t *testing.T) {
+	full := runWhole(t, "minmax", nil, floatStream([]float64{5, -3}))
+	empty := runWhole(t, "minmax", nil, nil)
+	out, err := Combine("minmax", [][]byte{empty, full, empty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mn, mx, err := MinMaxResult(out)
+	if err != nil || mn != -3 || mx != 5 {
+		t.Errorf("minmax with empty shards = %v %v %v", mn, mx, err)
+	}
+}
+
+func TestCombineShortPartFails(t *testing.T) {
+	for _, op := range []string{"sum8", "sum64", "minmax", "moments", "histogram", "gaussian2d"} {
+		if _, err := Combine(op, [][]byte{{1}, {2}}); err == nil {
+			t.Errorf("%s: short partial accepted", op)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package kernels
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+func init() {
+	Register("histogram", func() Kernel { return &histogram{} })
+}
+
+// histogram counts byte-value occurrences into 256 bins. Result: 2048
+// bytes of little-endian uint64 counts — a constant-size output regardless
+// of input size, the classic active-storage-friendly shape.
+type histogram struct {
+	bins      [256]uint64
+	processed uint64
+}
+
+func (*histogram) Name() string             { return "histogram" }
+func (*histogram) Configure([]byte) error   { return nil }
+func (*histogram) ResultSize(uint64) uint64 { return 256 * 8 }
+
+func (k *histogram) Process(chunk []byte) error {
+	for _, b := range chunk {
+		k.bins[b]++
+	}
+	k.processed += uint64(len(chunk))
+	return nil
+}
+
+func (k *histogram) Checkpoint() ([]byte, error) {
+	raw := make([]byte, 256*8)
+	for i, v := range k.bins {
+		binary.LittleEndian.PutUint64(raw[i*8:], v)
+	}
+	s := NewState()
+	s.PutBytes("bins", raw)
+	s.PutInt64("processed", int64(k.processed))
+	return s.Encode(k.Name())
+}
+
+func (k *histogram) Restore(state []byte) error {
+	s, err := DecodeState(k.Name(), state)
+	if err != nil {
+		return err
+	}
+	raw, err := s.Bytes("bins")
+	if err != nil {
+		return err
+	}
+	if len(raw) != 256*8 {
+		return fmt.Errorf("%w: histogram bins have %d bytes", ErrStateCorrupt, len(raw))
+	}
+	for i := range k.bins {
+		k.bins[i] = binary.LittleEndian.Uint64(raw[i*8:])
+	}
+	processed, err := s.Int64("processed")
+	if err != nil {
+		return err
+	}
+	k.processed = uint64(processed)
+	return nil
+}
+
+func (k *histogram) Result() ([]byte, error) {
+	out := make([]byte, 256*8)
+	for i, v := range k.bins {
+		binary.LittleEndian.PutUint64(out[i*8:], v)
+	}
+	return out, nil
+}
+
+// HistogramResult decodes a histogram kernel output into 256 bin counts.
+func HistogramResult(out []byte) ([256]uint64, error) {
+	var bins [256]uint64
+	if len(out) < 256*8 {
+		return bins, fmt.Errorf("kernels: histogram result too short (%d bytes)", len(out))
+	}
+	for i := range bins {
+		bins[i] = binary.LittleEndian.Uint64(out[i*8:])
+	}
+	return bins, nil
+}

@@ -1,0 +1,475 @@
+package kernels
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// runWhole streams data through a fresh kernel in one Process call.
+func runWhole(t *testing.T, op string, params, data []byte) []byte {
+	t.Helper()
+	k, err := New(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Configure(params); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Process(data); err != nil {
+		t.Fatal(err)
+	}
+	out, err := k.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// runChunked streams data in pieces of the given sizes (cycled).
+func runChunked(t *testing.T, op string, params, data []byte, sizes []int) []byte {
+	t.Helper()
+	k, err := New(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Configure(params); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for len(data) > 0 {
+		n := sizes[i%len(sizes)]
+		i++
+		if n <= 0 {
+			n = 1
+		}
+		if n > len(data) {
+			n = len(data)
+		}
+		if err := k.Process(data[:n]); err != nil {
+			t.Fatal(err)
+		}
+		data = data[n:]
+	}
+	out, err := k.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// runWithMigration processes data up to splitAt, checkpoints, restores into
+// a fresh kernel (the compute-node side of a migration), and finishes.
+func runWithMigration(t *testing.T, op string, params, data []byte, splitAt int) []byte {
+	t.Helper()
+	k1, err := New(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k1.Configure(params); err != nil {
+		t.Fatal(err)
+	}
+	if splitAt > len(data) {
+		splitAt = len(data)
+	}
+	if err := k1.Process(data[:splitAt]); err != nil {
+		t.Fatal(err)
+	}
+	state, err := k1.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := New(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k2.Configure(params); err != nil {
+		t.Fatal(err)
+	}
+	if err := k2.Restore(state); err != nil {
+		t.Fatal(err)
+	}
+	if err := k2.Process(data[splitAt:]); err != nil {
+		t.Fatal(err)
+	}
+	out, err := k2.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func floatStream(vals []float64) []byte {
+	out := make([]byte, 0, len(vals)*8)
+	for _, v := range vals {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		out = append(out, b[:]...)
+	}
+	return out
+}
+
+func TestSum8Correctness(t *testing.T) {
+	data := []byte{1, 2, 3, 250, 255}
+	out := runWhole(t, "sum8", nil, data)
+	if got := Sum8Result(out); got != 1+2+3+250+255 {
+		t.Errorf("sum8 = %d", got)
+	}
+}
+
+func TestSum64Correctness(t *testing.T) {
+	vals := []float64{1.5, -2.25, 1e12, 0.125}
+	out := runWhole(t, "sum64", nil, floatStream(vals))
+	want := 1.5 - 2.25 + 1e12 + 0.125
+	if got := Sum64Result(out); got != want {
+		t.Errorf("sum64 = %v, want %v", got, want)
+	}
+}
+
+func TestMinMaxCorrectness(t *testing.T) {
+	out := runWhole(t, "minmax", nil, floatStream([]float64{3, -7, 22, 0}))
+	mn, mx, err := MinMaxResult(out)
+	if err != nil || mn != -7 || mx != 22 {
+		t.Errorf("minmax = %v, %v, %v", mn, mx, err)
+	}
+}
+
+func TestMinMaxEmptyStreamIsNaN(t *testing.T) {
+	out := runWhole(t, "minmax", nil, nil)
+	mn, mx, err := MinMaxResult(out)
+	if err != nil || !math.IsNaN(mn) || !math.IsNaN(mx) {
+		t.Errorf("empty minmax = %v, %v, %v", mn, mx, err)
+	}
+}
+
+func TestMomentsCorrectness(t *testing.T) {
+	out := runWhole(t, "moments", nil, floatStream([]float64{2, 4, 6}))
+	m, err := MomentsResult(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Count != 3 || m.Mean() != 4 {
+		t.Errorf("moments = %+v mean=%v", m, m.Mean())
+	}
+	if want := (4.0 + 0 + 4) / 3; math.Abs(m.Variance()-want) > 1e-12 {
+		t.Errorf("variance = %v, want %v", m.Variance(), want)
+	}
+}
+
+func TestHistogramCorrectness(t *testing.T) {
+	data := []byte{0, 0, 7, 255, 7, 7}
+	out := runWhole(t, "histogram", nil, data)
+	bins, err := HistogramResult(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bins[0] != 2 || bins[7] != 3 || bins[255] != 1 {
+		t.Errorf("bins = %d %d %d", bins[0], bins[7], bins[255])
+	}
+}
+
+func TestPatternCountCorrectness(t *testing.T) {
+	data := []byte("abXabXXab")
+	out := runWhole(t, "count", []byte("ab"), data)
+	if got := CountResult(out); got != 3 {
+		t.Errorf("count = %d, want 3", got)
+	}
+}
+
+func TestPatternCountOverlapping(t *testing.T) {
+	out := runWhole(t, "count", []byte("aa"), []byte("aaaa"))
+	if got := CountResult(out); got != 3 {
+		t.Errorf("overlapping count = %d, want 3", got)
+	}
+}
+
+func TestPatternCountAcrossChunks(t *testing.T) {
+	// The match straddles the chunk boundary.
+	out := runChunked(t, "count", []byte("needle"), []byte("xxneedlexx"), []int{5})
+	if got := CountResult(out); got != 1 {
+		t.Errorf("boundary count = %d, want 1", got)
+	}
+}
+
+func TestWordCountCorrectness(t *testing.T) {
+	out := runWhole(t, "wordcount", nil, []byte("  the quick\nbrown\tfox  "))
+	if got := CountResult(out); got != 4 {
+		t.Errorf("wordcount = %d, want 4", got)
+	}
+}
+
+func TestWordCountAcrossChunks(t *testing.T) {
+	// "hello" split across chunks must count once.
+	out := runChunked(t, "wordcount", nil, []byte("hel lo wor ld"), []int{3})
+	if got := CountResult(out); got != 4 {
+		t.Errorf("wordcount = %d, want 4", got)
+	}
+}
+
+func TestDownsampleCorrectness(t *testing.T) {
+	out := runWhole(t, "downsample", DownsampleParams(2), floatStream([]float64{1, 3, 5, 7, 10}))
+	got := DownsampleResult(out)
+	want := []float64{2, 6, 10} // trailing partial group averages itself
+	if len(got) != len(want) {
+		t.Fatalf("downsample = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("sample %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKMeansSeparatesClusters(t *testing.T) {
+	// Two tight blobs around 10 and 100 must yield centroids near them.
+	rng := rand.New(rand.NewSource(6))
+	var vals []float64
+	for i := 0; i < 2000; i++ {
+		if i%2 == 0 {
+			vals = append(vals, 10+rng.NormFloat64())
+		} else {
+			vals = append(vals, 100+rng.NormFloat64())
+		}
+	}
+	out := runWhole(t, "kmeans1d", KMeansParams(2, 0, 120), floatStream(vals))
+	cs, err := KMeansResult(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 2 {
+		t.Fatalf("clusters = %+v", cs)
+	}
+	if math.Abs(cs[0].Centroid-10) > 2 || math.Abs(cs[1].Centroid-100) > 2 {
+		t.Errorf("centroids = %v, %v", cs[0].Centroid, cs[1].Centroid)
+	}
+	if cs[0].Count+cs[1].Count != 2000 {
+		t.Errorf("counts = %d + %d", cs[0].Count, cs[1].Count)
+	}
+}
+
+func TestKMeansRejectsBadParams(t *testing.T) {
+	k, _ := New("kmeans1d")
+	if err := k.Configure(nil); err == nil {
+		t.Error("nil params accepted")
+	}
+	if err := k.Configure(KMeansParams(0, 0, 1)); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if err := k.Configure(KMeansParams(3, 5, 5)); err == nil {
+		t.Error("empty range accepted")
+	}
+	if err := k.Process([]byte{1}); err == nil {
+		t.Error("process before configure accepted")
+	}
+}
+
+func TestGaussianSmoothsConstantImage(t *testing.T) {
+	// A constant image must filter to itself (kernel sums to 16/16).
+	const w, h = 16, 8
+	img := bytes.Repeat([]byte{100}, w*h)
+	out := runWhole(t, "gaussian2d", GaussianParams(w, true), img)
+	if len(out) != w*h {
+		t.Fatalf("output size = %d, want %d", len(out), w*h)
+	}
+	for i, p := range out {
+		if p != 100 {
+			t.Fatalf("pixel %d = %d, want 100", i, p)
+		}
+	}
+}
+
+func TestGaussianDigestMatchesFullImage(t *testing.T) {
+	const w, h = 32, 16
+	img := make([]byte, w*h)
+	rng := rand.New(rand.NewSource(3))
+	rng.Read(img)
+	full := runWhole(t, "gaussian2d", GaussianParams(w, true), img)
+	dig, err := DecodeGaussianDigest(runWhole(t, "gaussian2d", GaussianParams(w, false), img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum uint64
+	mn, mx := full[0], full[0]
+	for _, p := range full {
+		sum += uint64(p)
+		if p < mn {
+			mn = p
+		}
+		if p > mx {
+			mx = p
+		}
+	}
+	if dig.Pixels != uint64(len(full)) || dig.Sum != sum || dig.Min != mn || dig.Max != mx {
+		t.Errorf("digest %+v disagrees with full image (sum=%d min=%d max=%d)", dig, sum, mn, mx)
+	}
+	if dig.Rows != h {
+		t.Errorf("rows = %d, want %d", dig.Rows, h)
+	}
+}
+
+func TestGaussianReferenceConvolution(t *testing.T) {
+	// 3×3 interior check against the hand-computed convolution.
+	img := []byte{
+		10, 20, 30,
+		40, 50, 60,
+		70, 80, 90,
+	}
+	out := runWhole(t, "gaussian2d", GaussianParams(3, true), img)
+	// Centre pixel: (1*10+2*20+1*30 + 2*40+4*50+2*60 + 1*70+2*80+1*90)/16 = 800/16 = 50.
+	if out[4] != 50 {
+		t.Errorf("centre = %d, want 50", out[4])
+	}
+}
+
+func TestGaussianRejectsBadParams(t *testing.T) {
+	k, _ := New("gaussian2d")
+	if err := k.Configure(nil); err == nil {
+		t.Error("nil params accepted")
+	}
+	if err := k.Configure(GaussianParams(2, false)); err == nil {
+		t.Error("width 2 accepted")
+	}
+	if err := k.Process([]byte{1}); err == nil {
+		t.Error("process before configure accepted")
+	}
+}
+
+func TestUnknownKernel(t *testing.T) {
+	if _, err := New("no-such-op"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestNamesIncludesAllRegistered(t *testing.T) {
+	names := Names()
+	want := []string{"count", "downsample", "gaussian2d", "histogram", "kmeans1d", "minmax", "moments", "sum8", "sum64", "wordcount"}
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		set[n] = true
+	}
+	for _, w := range want {
+		if !set[w] {
+			t.Errorf("registry missing %q", w)
+		}
+	}
+}
+
+// kernelCases enumerates every kernel with params usable over arbitrary
+// byte streams, for the cross-cutting properties below.
+func kernelCases() []struct {
+	op     string
+	params []byte
+} {
+	return []struct {
+		op     string
+		params []byte
+	}{
+		{"sum8", nil},
+		{"sum64", nil},
+		{"minmax", nil},
+		{"moments", nil},
+		{"histogram", nil},
+		{"count", []byte{0xAB, 0xCD}},
+		{"wordcount", nil},
+		{"downsample", DownsampleParams(4)},
+		{"kmeans1d", KMeansParams(3, -1000, 1000)},
+		{"gaussian2d", GaussianParams(16, false)},
+		{"gaussian2d", GaussianParams(16, true)},
+		{"gaussian2d", GaussianParamsHalo(16, true,
+			bytes.Repeat([]byte{40}, 16), bytes.Repeat([]byte{200}, 16))},
+	}
+}
+
+// Property: chunking must never change any kernel's result.
+func TestChunkingInvarianceProperty(t *testing.T) {
+	for _, tc := range kernelCases() {
+		tc := tc
+		t.Run(tc.op, func(t *testing.T) {
+			f := func(seed int64, nData uint16, s1, s2, s3 uint8) bool {
+				rng := rand.New(rand.NewSource(seed))
+				data := make([]byte, int(nData)%2048+1)
+				rng.Read(data)
+				want := runWhole(t, tc.op, tc.params, data)
+				sizes := []int{int(s1)%97 + 1, int(s2)%13 + 1, int(s3)%512 + 1}
+				got := runChunked(t, tc.op, tc.params, data, sizes)
+				return bytes.Equal(want, got)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Property: interrupting at any point and resuming from the checkpoint in
+// a fresh kernel must reproduce the uninterrupted result — the invariant
+// DOSAS migration relies on.
+func TestCheckpointMigrationProperty(t *testing.T) {
+	for _, tc := range kernelCases() {
+		tc := tc
+		t.Run(tc.op, func(t *testing.T) {
+			f := func(seed int64, nData uint16, cut uint16) bool {
+				rng := rand.New(rand.NewSource(seed))
+				data := make([]byte, int(nData)%2048+1)
+				rng.Read(data)
+				want := runWhole(t, tc.op, tc.params, data)
+				got := runWithMigration(t, tc.op, tc.params, data, int(cut)%(len(data)+1))
+				return bytes.Equal(want, got)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRestoreRejectsForeignCheckpoint(t *testing.T) {
+	k1, _ := New("sum8")
+	k1.Configure(nil)
+	k1.Process([]byte{1, 2, 3})
+	state, err := k1.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := New("wordcount")
+	k2.Configure(nil)
+	if err := k2.Restore(state); err == nil {
+		t.Fatal("foreign checkpoint accepted")
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	s := NewState()
+	s.PutInt64("i", -5)
+	s.PutFloat64("f", 2.5)
+	s.PutBytes("b", []byte{9, 8})
+	raw, err := s.Encode("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeState("k", raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := got.Int64("i"); v != -5 {
+		t.Errorf("i = %d", v)
+	}
+	if v, _ := got.Float64("f"); v != 2.5 {
+		t.Errorf("f = %v", v)
+	}
+	if v, _ := got.Bytes("b"); !bytes.Equal(v, []byte{9, 8}) {
+		t.Errorf("b = %v", v)
+	}
+	if _, err := got.Int64("missing"); err == nil {
+		t.Error("missing variable fetch succeeded")
+	}
+	if _, err := got.Float64("i"); err == nil {
+		t.Error("wrong-type fetch succeeded")
+	}
+	if _, err := DecodeState("other", raw); err == nil {
+		t.Error("foreign owner accepted")
+	}
+}

@@ -1,0 +1,104 @@
+package kernels
+
+import (
+	"testing"
+)
+
+func TestRateDefaultsMatchPaper(t *testing.T) {
+	ResetRates()
+	if RateFor("sum8") != 860e6 {
+		t.Errorf("sum8 rate = %v, want the paper's 860 MB/s", RateFor("sum8"))
+	}
+	if RateFor("gaussian2d") != 80e6 {
+		t.Errorf("gaussian2d rate = %v, want the paper's 80 MB/s", RateFor("gaussian2d"))
+	}
+	if RateFor("no-such-op") != 0 {
+		t.Error("unknown op should report 0")
+	}
+	// Every registered kernel must have a calibrated default, or the
+	// scheduler cannot cost it.
+	for _, op := range Names() {
+		if RateFor(op) <= 0 {
+			t.Errorf("kernel %q has no default rate", op)
+		}
+	}
+}
+
+func TestSetRateAndReset(t *testing.T) {
+	ResetRates()
+	SetRate("sum8", 123e6)
+	if RateFor("sum8") != 123e6 {
+		t.Fatal("override ignored")
+	}
+	ResetRates()
+	if RateFor("sum8") != 860e6 {
+		t.Fatal("reset did not restore the default")
+	}
+}
+
+func TestCalibrateAllKernels(t *testing.T) {
+	// Every registered kernel must be calibratable with its default
+	// params over arbitrary synthetic data.
+	for _, op := range Names() {
+		rate, err := Calibrate(op, 1<<20, false)
+		if err != nil {
+			t.Errorf("%s: %v", op, err)
+			continue
+		}
+		if rate <= 0 {
+			t.Errorf("%s: rate = %v", op, rate)
+		}
+	}
+}
+
+func TestCalibrateStoreInstallsRate(t *testing.T) {
+	ResetRates()
+	defer ResetRates()
+	rate, err := Calibrate("sum8", 1<<20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RateFor("sum8") != rate {
+		t.Fatalf("stored %v but RateFor gives %v", rate, RateFor("sum8"))
+	}
+}
+
+func TestCalibrateUnknownOp(t *testing.T) {
+	if _, err := Calibrate("bogus", 1024, false); err == nil {
+		t.Fatal("unknown op calibrated")
+	}
+}
+
+// ResultSize drives the scheduler's h(x) term; pin each kernel's contract.
+func TestResultSizeContracts(t *testing.T) {
+	const x = 1 << 20
+	cases := []struct {
+		op     string
+		params []byte
+		want   uint64
+	}{
+		{"sum8", nil, 8},
+		{"sum64", nil, 8},
+		{"minmax", nil, 16},
+		{"moments", nil, 24},
+		{"histogram", nil, 2048},
+		{"count", []byte("z"), 8},
+		{"wordcount", nil, 8},
+		{"downsample", DownsampleParams(16), x / 16},
+		{"kmeans1d", KMeansParams(4, 0, 1), 64},
+		{"gaussian2d", GaussianParams(64, false), 29},
+		{"gaussian2d", GaussianParams(64, true), x},
+	}
+	for _, tc := range cases {
+		k, err := New(tc.op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := k.Configure(tc.params); err != nil {
+			t.Fatal(err)
+		}
+		if got := k.ResultSize(x); got != tc.want {
+			t.Errorf("%s: ResultSize(%d) = %d, want %d", tc.op, x, got, tc.want)
+		}
+	}
+}

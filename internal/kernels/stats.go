@@ -1,0 +1,213 @@
+package kernels
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+func init() {
+	Register("minmax", func() Kernel { return &minmax{} })
+	Register("moments", func() Kernel { return &moments{} })
+}
+
+// minmax tracks the minimum and maximum of a little-endian float64 stream.
+// Result: 16 bytes ⟨min f64, max f64⟩; NaNs when the stream was empty.
+type minmax struct {
+	min, max float64
+	seen     bool
+	c        carry
+}
+
+func (*minmax) Name() string             { return "minmax" }
+func (*minmax) ResultSize(uint64) uint64 { return 16 }
+
+func (k *minmax) Configure([]byte) error {
+	k.c = carry{elem: 8}
+	return nil
+}
+
+func (k *minmax) Process(chunk []byte) error {
+	if k.c.elem == 0 {
+		k.c = carry{elem: 8}
+	}
+	k.c.feed(chunk, func(whole []byte) {
+		for i := 0; i+8 <= len(whole); i += 8 {
+			v := f64le(whole[i:])
+			if !k.seen {
+				k.min, k.max = v, v
+				k.seen = true
+				continue
+			}
+			if v < k.min {
+				k.min = v
+			}
+			if v > k.max {
+				k.max = v
+			}
+		}
+	})
+	return nil
+}
+
+func (k *minmax) Checkpoint() ([]byte, error) {
+	s := NewState()
+	s.PutFloat64("min", k.min)
+	s.PutFloat64("max", k.max)
+	if k.seen {
+		s.PutInt64("seen", 1)
+	} else {
+		s.PutInt64("seen", 0)
+	}
+	s.PutBytes("carry", k.c.buf)
+	return s.Encode(k.Name())
+}
+
+func (k *minmax) Restore(state []byte) error {
+	s, err := DecodeState(k.Name(), state)
+	if err != nil {
+		return err
+	}
+	if k.min, err = s.Float64("min"); err != nil {
+		return err
+	}
+	if k.max, err = s.Float64("max"); err != nil {
+		return err
+	}
+	seen, err := s.Int64("seen")
+	if err != nil {
+		return err
+	}
+	k.seen = seen != 0
+	cb, err := s.Bytes("carry")
+	if err != nil {
+		return err
+	}
+	k.c = carry{elem: 8, buf: append([]byte(nil), cb...)}
+	return nil
+}
+
+func (k *minmax) Result() ([]byte, error) {
+	mn, mx := k.min, k.max
+	if !k.seen {
+		mn, mx = math.NaN(), math.NaN()
+	}
+	out := putF64(nil, mn)
+	return putF64(out, mx), nil
+}
+
+// MinMaxResult decodes a minmax kernel output.
+func MinMaxResult(out []byte) (min, max float64, err error) {
+	if len(out) < 16 {
+		return 0, 0, fmt.Errorf("kernels: minmax result too short (%d bytes)", len(out))
+	}
+	return f64le(out[0:8]), f64le(out[8:16]), nil
+}
+
+// moments accumulates count, sum, and sum of squares of a float64 stream —
+// enough to derive mean and variance on the client from a 24-byte result:
+// ⟨count u64, sum f64, sumsq f64⟩.
+type moments struct {
+	count      uint64
+	sum, sumsq float64
+	c          carry
+}
+
+func (*moments) Name() string             { return "moments" }
+func (*moments) ResultSize(uint64) uint64 { return 24 }
+
+func (k *moments) Configure([]byte) error {
+	k.c = carry{elem: 8}
+	return nil
+}
+
+func (k *moments) Process(chunk []byte) error {
+	if k.c.elem == 0 {
+		k.c = carry{elem: 8}
+	}
+	k.c.feed(chunk, func(whole []byte) {
+		for i := 0; i+8 <= len(whole); i += 8 {
+			v := f64le(whole[i:])
+			k.count++
+			k.sum += v
+			k.sumsq += v * v
+		}
+	})
+	return nil
+}
+
+func (k *moments) Checkpoint() ([]byte, error) {
+	s := NewState()
+	s.PutInt64("count", int64(k.count))
+	s.PutFloat64("sum", k.sum)
+	s.PutFloat64("sumsq", k.sumsq)
+	s.PutBytes("carry", k.c.buf)
+	return s.Encode(k.Name())
+}
+
+func (k *moments) Restore(state []byte) error {
+	s, err := DecodeState(k.Name(), state)
+	if err != nil {
+		return err
+	}
+	count, err := s.Int64("count")
+	if err != nil {
+		return err
+	}
+	k.count = uint64(count)
+	if k.sum, err = s.Float64("sum"); err != nil {
+		return err
+	}
+	if k.sumsq, err = s.Float64("sumsq"); err != nil {
+		return err
+	}
+	cb, err := s.Bytes("carry")
+	if err != nil {
+		return err
+	}
+	k.c = carry{elem: 8, buf: append([]byte(nil), cb...)}
+	return nil
+}
+
+func (k *moments) Result() ([]byte, error) {
+	out := make([]byte, 8, 24)
+	binary.LittleEndian.PutUint64(out, k.count)
+	out = putF64(out, k.sum)
+	return putF64(out, k.sumsq), nil
+}
+
+// Moments is the decoded result of the moments kernel.
+type Moments struct {
+	Count uint64
+	Sum   float64
+	SumSq float64
+}
+
+// Mean returns the arithmetic mean (0 when empty).
+func (m Moments) Mean() float64 {
+	if m.Count == 0 {
+		return 0
+	}
+	return m.Sum / float64(m.Count)
+}
+
+// Variance returns the population variance (0 when empty).
+func (m Moments) Variance() float64 {
+	if m.Count == 0 {
+		return 0
+	}
+	mean := m.Mean()
+	return m.SumSq/float64(m.Count) - mean*mean
+}
+
+// MomentsResult decodes a moments kernel output.
+func MomentsResult(out []byte) (Moments, error) {
+	if len(out) < 24 {
+		return Moments{}, fmt.Errorf("kernels: moments result too short (%d bytes)", len(out))
+	}
+	return Moments{
+		Count: binary.LittleEndian.Uint64(out[0:8]),
+		Sum:   f64le(out[8:16]),
+		SumSq: f64le(out[16:24]),
+	}, nil
+}

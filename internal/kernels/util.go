@@ -1,0 +1,21 @@
+package kernels
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// f64le reads a little-endian float64 from the first 8 bytes of b.
+func f64le(b []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+// f64bits returns the IEEE-754 bits of v.
+func f64bits(v float64) uint64 { return math.Float64bits(v) }
+
+// putF64 appends v to out as little-endian bytes.
+func putF64(out []byte, v float64) []byte {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
+	return append(out, tmp[:]...)
+}

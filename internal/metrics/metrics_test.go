@@ -1,0 +1,169 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("value = %d", c.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 16000 {
+		t.Fatalf("value = %d", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Fatalf("value = %d", g.Value())
+	}
+}
+
+func TestFloatGauge(t *testing.T) {
+	var g FloatGauge
+	g.Set(1.5)
+	g.Add(0.25)
+	if g.Value() != 1.75 {
+		t.Fatalf("value = %v", g.Value())
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Value() != 801.75 {
+		t.Fatalf("concurrent adds = %v", g.Value())
+	}
+}
+
+func TestMeterRate(t *testing.T) {
+	m := NewMeter(time.Second)
+	now := time.Unix(1000, 0)
+	m.now = func() time.Time { return now }
+	m.Mark(500)
+	now = now.Add(100 * time.Millisecond)
+	m.Mark(500)
+	// 1000 units in a 1 s window → 1000/s.
+	if r := m.Rate(); r < 900 || r > 1100 {
+		t.Fatalf("rate = %v", r)
+	}
+	// After the window fully rotates, the rate decays to zero.
+	now = now.Add(2 * time.Second)
+	if r := m.Rate(); r != 0 {
+		t.Fatalf("decayed rate = %v", r)
+	}
+}
+
+func TestMeterPartialDecay(t *testing.T) {
+	m := NewMeter(time.Second)
+	now := time.Unix(2000, 0)
+	m.now = func() time.Time { return now }
+	m.Mark(1600)
+	// Half a window later, the marks are still inside the window.
+	now = now.Add(500 * time.Millisecond)
+	if r := m.Rate(); r < 1500 {
+		t.Fatalf("rate after half-window = %v", r)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{1, 2, 4, 8, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 || s.Min != 1 || s.Max != 1000 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if mean := s.Mean(); mean != 203 {
+		t.Fatalf("mean = %v", mean)
+	}
+	if q := s.Quantile(0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := s.Quantile(1); q != 1000 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := s.Quantile(0.5); q < 2 || q > 16 {
+		t.Fatalf("median estimate = %v", q)
+	}
+}
+
+func TestHistogramEmptyAndNegative(t *testing.T) {
+	var h Histogram
+	if s := h.Snapshot(); s.Quantile(0.5) != 0 || s.Mean() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	h.Observe(-5) // clamps to 0
+	if s := h.Snapshot(); s.Min != 0 {
+		t.Fatalf("min = %v", s.Min)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ops").Add(3)
+	if r.Counter("ops").Value() != 3 {
+		t.Fatal("counter identity lost")
+	}
+	r.Gauge("depth").Set(2)
+	r.Meter("bytes").Mark(10)
+	r.Histogram("lat").Observe(5)
+	dump := r.Dump()
+	for _, want := range []string{"counter ops 3", "gauge depth 2", "meter bytes", "hist lat"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Meter("m").Mark(1)
+				r.Histogram("h").Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Counter("c").Value() != 800 {
+		t.Fatalf("counter = %d", r.Counter("c").Value())
+	}
+}

@@ -1,0 +1,401 @@
+package pfs
+
+import (
+	"fmt"
+	"sync"
+
+	"dosas/internal/transport"
+	"dosas/internal/wire"
+)
+
+// transferChunk bounds a single Read/Write RPC so bulk transfers stay well
+// under the wire frame limit and interleave fairly on shared links.
+const transferChunk = 4 << 20
+
+// ClientConfig tells a client where the cluster lives.
+type ClientConfig struct {
+	// Net is the transport to dial through.
+	Net transport.Network
+	// MetaAddr is the metadata server's address.
+	MetaAddr string
+	// DataAddrs maps data-server indices (as used in layouts) to
+	// addresses. Order matters and must match the cluster configuration.
+	DataAddrs []string
+}
+
+// Client is the file system client: it resolves names at the metadata
+// server and moves stripe data directly to/from the data servers.
+type Client struct {
+	cfg  ClientConfig
+	pool *Pool
+}
+
+// NewClient builds a client for the given cluster.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Net == nil {
+		return nil, fmt.Errorf("%w: client needs a transport", ErrInvalid)
+	}
+	if cfg.MetaAddr == "" {
+		return nil, fmt.Errorf("%w: client needs a metadata address", ErrInvalid)
+	}
+	if len(cfg.DataAddrs) == 0 {
+		return nil, fmt.Errorf("%w: client needs data server addresses", ErrInvalid)
+	}
+	return &Client{cfg: cfg, pool: NewPool(cfg.Net)}, nil
+}
+
+// Close releases pooled connections.
+func (c *Client) Close() { c.pool.Close() }
+
+// Pool exposes the client's connection pool so higher layers (the active
+// storage client) can issue their own RPCs over it.
+func (c *Client) Pool() *Pool { return c.pool }
+
+// DataAddr returns the address of data server idx.
+func (c *Client) DataAddr(idx uint32) (string, error) {
+	if int(idx) >= len(c.cfg.DataAddrs) {
+		return "", fmt.Errorf("%w: data server index %d out of range", ErrInvalid, idx)
+	}
+	return c.cfg.DataAddrs[idx], nil
+}
+
+// NumDataServers returns the size of the configured data-server table.
+func (c *Client) NumDataServers() int { return len(c.cfg.DataAddrs) }
+
+// Create makes a new file. stripeSize and width of 0 take cluster defaults.
+func (c *Client) Create(name string, stripeSize uint32, width int) (*File, error) {
+	return c.create(&wire.CreateReq{Name: name, StripeSize: stripeSize, Width: uint32(width)})
+}
+
+// CreateReplicated makes a new file keeping `replicas` copies of every
+// stripe on distinct servers (chained placement). Reads and active reads
+// fail over to surviving replicas transparently; writes go to all copies.
+func (c *Client) CreateReplicated(name string, stripeSize uint32, width, replicas int) (*File, error) {
+	return c.create(&wire.CreateReq{
+		Name: name, StripeSize: stripeSize, Width: uint32(width), Replicas: uint8(replicas),
+	})
+}
+
+// CreatePlaced makes a new file striped over exactly the given data
+// servers, in order — used to co-locate derived files with their source.
+func (c *Client) CreatePlaced(name string, stripeSize uint32, servers []uint32) (*File, error) {
+	if len(servers) == 0 {
+		return nil, fmt.Errorf("%w: empty placement", ErrInvalid)
+	}
+	return c.create(&wire.CreateReq{
+		Name: name, StripeSize: stripeSize, Placement: append([]uint32(nil), servers...),
+	})
+}
+
+func (c *Client) create(req *wire.CreateReq) (*File, error) {
+	resp, err := c.pool.Call(c.cfg.MetaAddr, req)
+	if err != nil {
+		return nil, err
+	}
+	cr, ok := resp.(*wire.CreateResp)
+	if !ok {
+		return nil, fmt.Errorf("pfs: create: unexpected response %v", resp.Type())
+	}
+	return &File{c: c, name: req.Name, handle: cr.Handle, layout: cr.Layout}, nil
+}
+
+// SetSize records size at the metadata server (max semantics) and updates
+// the local view. Used by layers that write server-local streams directly
+// (active transforms) rather than through WriteAt.
+func (f *File) SetSize(size uint64) error {
+	resp, err := f.c.pool.Call(f.c.cfg.MetaAddr, &wire.SetSizeReq{Handle: f.handle, Size: size})
+	if err != nil {
+		return err
+	}
+	sr, ok := resp.(*wire.SetSizeResp)
+	if !ok {
+		return fmt.Errorf("pfs: setsize: unexpected response %v", resp.Type())
+	}
+	f.mu.Lock()
+	if sr.Size > f.size {
+		f.size = sr.Size
+	}
+	f.mu.Unlock()
+	return nil
+}
+
+// Open looks an existing file up by name.
+func (c *Client) Open(name string) (*File, error) {
+	resp, err := c.pool.Call(c.cfg.MetaAddr, &wire.OpenReq{Name: name})
+	if err != nil {
+		return nil, err
+	}
+	or, ok := resp.(*wire.OpenResp)
+	if !ok {
+		return nil, fmt.Errorf("pfs: open: unexpected response %v", resp.Type())
+	}
+	return &File{c: c, name: name, handle: or.Handle, size: or.Size, layout: or.Layout}, nil
+}
+
+// Stat returns the metadata record for name.
+func (c *Client) Stat(name string) (*wire.StatResp, error) {
+	resp, err := c.pool.Call(c.cfg.MetaAddr, &wire.StatReq{Name: name})
+	if err != nil {
+		return nil, err
+	}
+	sr, ok := resp.(*wire.StatResp)
+	if !ok {
+		return nil, fmt.Errorf("pfs: stat: unexpected response %v", resp.Type())
+	}
+	return sr, nil
+}
+
+// Remove deletes a file: the name at the metadata server and the stripes
+// at every data server in its layout.
+func (c *Client) Remove(name string) error {
+	st, err := c.Stat(name)
+	if err != nil {
+		return err
+	}
+	resp, err := c.pool.Call(c.cfg.MetaAddr, &wire.RemoveReq{Name: name})
+	if err != nil {
+		return err
+	}
+	if _, ok := resp.(*wire.RemoveResp); !ok {
+		return fmt.Errorf("pfs: remove: unexpected response %v", resp.Type())
+	}
+	// Best-effort stripe cleanup (all replicas); the namespace entry is
+	// already gone. Removing an absent stream is a no-op, so every
+	// (server, replica) pair is simply swept.
+	var wg sync.WaitGroup
+	for _, idx := range st.Layout.Servers {
+		addr, aerr := c.DataAddr(idx)
+		if aerr != nil {
+			continue
+		}
+		for r := 0; r < st.Layout.ReplicaCount(); r++ {
+			wg.Add(1)
+			go func(addr string, handle uint64) {
+				defer wg.Done()
+				c.pool.Call(addr, &wire.TruncReq{Handle: handle, Remove: true}) //nolint:errcheck
+			}(addr, ReplicaHandle(st.Handle, r))
+		}
+	}
+	wg.Wait()
+	return nil
+}
+
+// List returns names with the given prefix in lexical order.
+func (c *Client) List(prefix string) ([]string, error) {
+	resp, err := c.pool.Call(c.cfg.MetaAddr, &wire.ListReq{Prefix: prefix})
+	if err != nil {
+		return nil, err
+	}
+	lr, ok := resp.(*wire.ListResp)
+	if !ok {
+		return nil, fmt.Errorf("pfs: list: unexpected response %v", resp.Type())
+	}
+	return lr.Names, nil
+}
+
+// File is an open striped file.
+type File struct {
+	c      *Client
+	name   string
+	handle uint64
+	layout wire.Layout
+
+	mu   sync.Mutex
+	size uint64
+}
+
+// Name returns the file's name.
+func (f *File) Name() string { return f.name }
+
+// Handle returns the file's cluster-wide handle.
+func (f *File) Handle() uint64 { return f.handle }
+
+// Layout returns the file's stripe layout.
+func (f *File) Layout() wire.Layout { return f.layout }
+
+// Size returns the file size as known to this client (updated by writes
+// through this File and by Open).
+func (f *File) Size() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.size
+}
+
+// ReadAt fills p from the file at off, fanning segments out to their data
+// servers in parallel. It returns the number of bytes read; reading past
+// the end returns a short count.
+func (f *File) ReadAt(p []byte, off uint64) (int, error) {
+	size := f.Size()
+	if off >= size {
+		return 0, nil
+	}
+	if max := size - off; uint64(len(p)) > max {
+		p = p[:max]
+	}
+	segs := Segments(f.layout, off, uint64(len(p)))
+	errs := make(chan error, len(segs))
+	for _, seg := range segs {
+		go func(seg Segment) {
+			errs <- f.readSegment(p[seg.FileOffset-off:seg.FileOffset-off+seg.Length], seg)
+		}(seg)
+	}
+	var first error
+	for range segs {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	if first != nil {
+		return 0, first
+	}
+	return len(p), nil
+}
+
+// readSegment pulls one server-local range, chunked under the frame
+// limit, failing over to surviving replicas when a server is unreachable.
+func (f *File) readSegment(dst []byte, seg Segment) error {
+	var lastErr error
+	for r := 0; r < f.layout.ReplicaCount(); r++ {
+		if err := f.readSegmentReplica(dst, seg, r); err != nil {
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	return lastErr
+}
+
+// readSegmentReplica reads the segment from replica r. Chained placement
+// guarantees the replica's local offsets equal the primary's.
+func (f *File) readSegmentReplica(dst []byte, seg Segment, r int) error {
+	addr, err := f.c.DataAddr(ReplicaServer(f.layout, seg.Slot, r))
+	if err != nil {
+		return err
+	}
+	handle := ReplicaHandle(f.handle, r)
+	local := seg.LocalOffset
+	for len(dst) > 0 {
+		n := uint32(transferChunk)
+		if uint64(len(dst)) < uint64(n) {
+			n = uint32(len(dst))
+		}
+		resp, err := f.c.pool.Call(addr, &wire.ReadReq{Handle: handle, Offset: local, Length: n})
+		if err != nil {
+			return err
+		}
+		rr, ok := resp.(*wire.ReadResp)
+		if !ok {
+			return fmt.Errorf("pfs: read: unexpected response %v", resp.Type())
+		}
+		if len(rr.Data) == 0 {
+			return fmt.Errorf("pfs: read: replica %d returned no data at local offset %d", r, local)
+		}
+		k := copy(dst, rr.Data)
+		dst = dst[k:]
+		local += uint64(k)
+	}
+	return nil
+}
+
+// WriteAt stores p at off, fanning segments out in parallel, then records
+// any size extension at the metadata server.
+func (f *File) WriteAt(p []byte, off uint64) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	segs := Segments(f.layout, off, uint64(len(p)))
+	errs := make(chan error, len(segs))
+	for _, seg := range segs {
+		go func(seg Segment) {
+			errs <- f.writeSegment(p[seg.FileOffset-off:seg.FileOffset-off+seg.Length], seg)
+		}(seg)
+	}
+	var first error
+	for range segs {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	if first != nil {
+		return 0, first
+	}
+	end := off + uint64(len(p))
+	f.mu.Lock()
+	grew := end > f.size
+	if grew {
+		f.size = end
+	}
+	f.mu.Unlock()
+	if grew {
+		resp, err := f.c.pool.Call(f.c.cfg.MetaAddr, &wire.SetSizeReq{Handle: f.handle, Size: end})
+		if err != nil {
+			return len(p), err
+		}
+		if sr, ok := resp.(*wire.SetSizeResp); ok {
+			f.mu.Lock()
+			if sr.Size > f.size {
+				f.size = sr.Size
+			}
+			f.mu.Unlock()
+		}
+	}
+	return len(p), nil
+}
+
+// writeSegment stores one segment on every replica. Writes require all
+// replicas reachable; degraded writes would silently diverge the copies.
+func (f *File) writeSegment(src []byte, seg Segment) error {
+	reps := f.layout.ReplicaCount()
+	errs := make(chan error, reps)
+	for r := 0; r < reps; r++ {
+		go func(r int) {
+			errs <- f.writeSegmentReplica(src, seg, r)
+		}(r)
+	}
+	var first error
+	for r := 0; r < reps; r++ {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (f *File) writeSegmentReplica(src []byte, seg Segment, r int) error {
+	addr, err := f.c.DataAddr(ReplicaServer(f.layout, seg.Slot, r))
+	if err != nil {
+		return err
+	}
+	handle := ReplicaHandle(f.handle, r)
+	local := seg.LocalOffset
+	for len(src) > 0 {
+		n := transferChunk
+		if len(src) < n {
+			n = len(src)
+		}
+		resp, err := f.c.pool.Call(addr, &wire.WriteReq{Handle: handle, Offset: local, Data: src[:n]})
+		if err != nil {
+			return err
+		}
+		wr, ok := resp.(*wire.WriteResp)
+		if !ok {
+			return fmt.Errorf("pfs: write: unexpected response %v", resp.Type())
+		}
+		if int(wr.N) != n {
+			return fmt.Errorf("pfs: write: replica %d applied %d of %d bytes", r, wr.N, n)
+		}
+		src = src[n:]
+		local += uint64(n)
+	}
+	return nil
+}
+
+// ReadAll reads the whole file.
+func (f *File) ReadAll() ([]byte, error) {
+	buf := make([]byte, f.Size())
+	n, err := f.ReadAt(buf, 0)
+	if err != nil {
+		return nil, err
+	}
+	return buf[:n], nil
+}

@@ -1,0 +1,155 @@
+package pfs
+
+import (
+	"fmt"
+
+	"dosas/internal/metrics"
+	"dosas/internal/wire"
+)
+
+// ActiveHandler is the extension point through which the core package
+// plugs active-storage processing into a data server. A plain data server
+// (no active runtime attached) rejects active requests with
+// wire.StatusUnsupported, which clients treat as "always bounce" —
+// degrading gracefully to traditional storage.
+type ActiveHandler interface {
+	// HandleActive services one active read; it may block for the full
+	// duration of kernel execution.
+	HandleActive(req *wire.ActiveReadReq) (*wire.ActiveReadResp, error)
+	// HandleProbe reports current load for the Contention Estimator.
+	HandleProbe() (*wire.ProbeResp, error)
+	// HandleCancel withdraws a queued or running active request.
+	HandleCancel(req *wire.CancelReq) (*wire.CancelResp, error)
+	// HandleTransform runs a kernel over local data and writes the
+	// output locally (active write-back).
+	HandleTransform(req *wire.TransformReq) (*wire.TransformResp, error)
+}
+
+// DataConfig configures a data server.
+type DataConfig struct {
+	// Store backs the server's stripe streams; required.
+	Store Store
+	// Metrics receives operation counters; optional.
+	Metrics *metrics.Registry
+}
+
+// DataServer is one storage node's I/O service: it stores the server-local
+// byte streams of striped files and forwards active-storage requests to an
+// attached ActiveHandler.
+type DataServer struct {
+	store  Store
+	reg    *metrics.Registry
+	active ActiveHandler
+}
+
+// NewDataServer builds a data server over cfg.Store.
+func NewDataServer(cfg DataConfig) (*DataServer, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("%w: data server needs a store", ErrInvalid)
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	return &DataServer{store: cfg.Store, reg: cfg.Metrics}, nil
+}
+
+// SetActiveHandler attaches the active-storage runtime. Must be called
+// before the server starts handling requests.
+func (ds *DataServer) SetActiveHandler(h ActiveHandler) { ds.active = h }
+
+// Store exposes the backing store, for the active runtime to read stripes
+// locally (the whole point of active storage: no network hop to the data).
+func (ds *DataServer) Store() Store { return ds.store }
+
+// Metrics returns the server's metric registry.
+func (ds *DataServer) Metrics() *metrics.Registry { return ds.reg }
+
+// Handle implements the Handler interface for wire messages.
+func (ds *DataServer) Handle(msg wire.Message) (wire.Message, error) {
+	switch req := msg.(type) {
+	case *wire.Ping:
+		return &wire.Pong{Seq: req.Seq}, nil
+	case *wire.ReadReq:
+		return ds.read(req)
+	case *wire.WriteReq:
+		return ds.write(req)
+	case *wire.TruncReq:
+		return ds.trunc(req)
+	case *wire.ActiveReadReq:
+		if ds.active == nil {
+			return nil, fmt.Errorf("%w: no active runtime attached", ErrUnsupported)
+		}
+		return ds.active.HandleActive(req)
+	case *wire.ProbeReq:
+		if ds.active == nil {
+			return &wire.ProbeResp{}, nil
+		}
+		return ds.active.HandleProbe()
+	case *wire.CancelReq:
+		if ds.active == nil {
+			return &wire.CancelResp{}, nil
+		}
+		return ds.active.HandleCancel(req)
+	case *wire.TransformReq:
+		if ds.active == nil {
+			return nil, fmt.Errorf("%w: no active runtime attached", ErrUnsupported)
+		}
+		return ds.active.HandleTransform(req)
+	case *wire.LocalSizeReq:
+		return &wire.LocalSizeResp{Size: ds.store.Size(req.Handle)}, nil
+	default:
+		return nil, fmt.Errorf("%w: data server got %v", ErrUnsupported, msg.Type())
+	}
+}
+
+// PostWrite implements the pfs.PostWriter hook: a read or write stays
+// counted as in flight until its response has left the server, so the
+// "data.inflight" pressure gauge covers the transfer time on slow links.
+func (ds *DataServer) PostWrite(req, _ wire.Message) {
+	switch req.(type) {
+	case *wire.ReadReq, *wire.WriteReq:
+		ds.reg.Gauge("data.inflight").Add(-1)
+	}
+}
+
+func (ds *DataServer) read(req *wire.ReadReq) (wire.Message, error) {
+	ds.reg.Counter("data.read").Inc()
+	ds.reg.Gauge("data.inflight").Add(1) // released by PostWrite
+	if req.Length > wire.MaxFrameSize-64 {
+		return nil, fmt.Errorf("%w: read of %d bytes exceeds frame budget", ErrInvalid, req.Length)
+	}
+	size := ds.store.Size(req.Handle)
+	buf := make([]byte, req.Length)
+	n, err := ds.store.ReadAt(req.Handle, buf, req.Offset)
+	if err != nil {
+		return nil, err
+	}
+	ds.reg.Counter("data.bytes_read").Add(int64(n))
+	eof := req.Offset+uint64(n) >= size
+	return &wire.ReadResp{Data: buf[:n], EOF: eof}, nil
+}
+
+func (ds *DataServer) write(req *wire.WriteReq) (wire.Message, error) {
+	ds.reg.Counter("data.write").Inc()
+	ds.reg.Gauge("data.inflight").Add(1) // released by PostWrite
+	n, err := ds.store.WriteAt(req.Handle, req.Data, req.Offset)
+	if err != nil {
+		return nil, err
+	}
+	ds.reg.Counter("data.bytes_written").Add(int64(n))
+	return &wire.WriteResp{N: uint32(n)}, nil
+}
+
+func (ds *DataServer) trunc(req *wire.TruncReq) (wire.Message, error) {
+	ds.reg.Counter("data.trunc").Inc()
+	if req.Remove {
+		if err := ds.store.Remove(req.Handle); err != nil {
+			return nil, err
+		}
+		return &wire.TruncResp{}, nil
+	}
+	if err := ds.store.Truncate(req.Handle, req.Size); err != nil {
+		return nil, err
+	}
+	return &wire.TruncResp{}, nil
+}

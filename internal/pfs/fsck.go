@@ -1,0 +1,238 @@
+package pfs
+
+import (
+	"bytes"
+	"fmt"
+
+	"dosas/internal/wire"
+)
+
+// Issue is one inconsistency found by Verify: a (slot, replica) stream
+// whose length or content disagrees with what the file's layout implies.
+type Issue struct {
+	Slot    int
+	Replica int
+	Server  uint32
+	// Kind is "size" (stream length wrong) or "content" (replica bytes
+	// diverge from the reference copy).
+	Kind string
+	Want uint64
+	Got  uint64
+}
+
+// String renders the issue for operators.
+func (i Issue) String() string {
+	return fmt.Sprintf("slot %d replica %d on server %d: %s want=%d got=%d",
+		i.Slot, i.Replica, i.Server, i.Kind, i.Want, i.Got)
+}
+
+// Report summarises a verification pass over one file.
+type Report struct {
+	Name         string
+	BytesChecked uint64
+	Issues       []Issue
+}
+
+// OK reports whether the file verified clean.
+func (r *Report) OK() bool { return len(r.Issues) == 0 }
+
+// Verify checks a file's on-cluster consistency: every (slot, replica)
+// stream must have exactly the local length the layout implies for the
+// file's size, and — with deep set — every replica stream must be
+// byte-identical to its slot's reference copy. Unreachable servers are
+// reported as size issues with Got = 0.
+func (c *Client) Verify(name string, deep bool) (*Report, error) {
+	st, err := c.Stat(name)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Name: name}
+	layout := st.Layout
+	for slot := range layout.Servers {
+		want := LocalSize(layout, st.Size, slot)
+		sizes := make([]uint64, layout.ReplicaCount())
+		for r := 0; r < layout.ReplicaCount(); r++ {
+			server := ReplicaServer(layout, slot, r)
+			got, err := c.localSize(server, ReplicaHandle(st.Handle, r))
+			if err != nil {
+				got = 0
+			}
+			sizes[r] = got
+			if got != want {
+				rep.Issues = append(rep.Issues, Issue{
+					Slot: slot, Replica: r, Server: server,
+					Kind: "size", Want: want, Got: got,
+				})
+			}
+		}
+		if !deep || want == 0 {
+			continue
+		}
+		// Deep pass: pick the first size-correct copy as reference and
+		// compare the others byte-for-byte.
+		ref := -1
+		for r, got := range sizes {
+			if got == want {
+				ref = r
+				break
+			}
+		}
+		if ref < 0 {
+			continue // nothing sound to compare against
+		}
+		refData, err := c.readLocalStream(ReplicaServer(layout, slot, ref),
+			ReplicaHandle(st.Handle, ref), want)
+		if err != nil {
+			continue
+		}
+		rep.BytesChecked += want
+		for r, got := range sizes {
+			if r == ref || got != want {
+				continue
+			}
+			data, err := c.readLocalStream(ReplicaServer(layout, slot, r),
+				ReplicaHandle(st.Handle, r), want)
+			if err != nil || !bytes.Equal(data, refData) {
+				rep.Issues = append(rep.Issues, Issue{
+					Slot: slot, Replica: r, Server: ReplicaServer(layout, slot, r),
+					Kind: "content", Want: want, Got: got,
+				})
+			} else {
+				rep.BytesChecked += want
+			}
+		}
+	}
+	return rep, nil
+}
+
+// Repair restores diverged or missing replica streams from an intact copy
+// of the same slot. It returns the post-repair verification report, which
+// is clean unless a slot has no intact copy left (data loss) or a server
+// is unreachable.
+func (c *Client) Repair(name string) (*Report, error) {
+	before, err := c.Verify(name, true)
+	if err != nil {
+		return nil, err
+	}
+	if before.OK() {
+		return before, nil
+	}
+	st, err := c.Stat(name)
+	if err != nil {
+		return nil, err
+	}
+	layout := st.Layout
+	broken := make(map[int]map[int]bool) // slot → replica → needs repair
+	for _, is := range before.Issues {
+		if broken[is.Slot] == nil {
+			broken[is.Slot] = make(map[int]bool)
+		}
+		broken[is.Slot][is.Replica] = true
+	}
+	for slot, reps := range broken {
+		want := LocalSize(layout, st.Size, slot)
+		// Find an intact source copy for this slot.
+		src := -1
+		for r := 0; r < layout.ReplicaCount(); r++ {
+			if !reps[r] {
+				src = r
+				break
+			}
+		}
+		if src < 0 {
+			continue // all copies damaged: unrepairable, surfaces in re-verify
+		}
+		data, err := c.readLocalStream(ReplicaServer(layout, slot, src),
+			ReplicaHandle(st.Handle, src), want)
+		if err != nil {
+			continue
+		}
+		for r := range reps {
+			server := ReplicaServer(layout, slot, r)
+			handle := ReplicaHandle(st.Handle, r)
+			if err := c.writeLocalStream(server, handle, data); err != nil {
+				continue
+			}
+			// Cut any excess bytes beyond the correct length.
+			addr, err := c.DataAddr(server)
+			if err != nil {
+				continue
+			}
+			c.pool.Call(addr, &wire.TruncReq{Handle: handle, Size: want}) //nolint:errcheck
+		}
+	}
+	return c.Verify(name, true)
+}
+
+// localSize queries one server's stream length.
+func (c *Client) localSize(server uint32, handle uint64) (uint64, error) {
+	addr, err := c.DataAddr(server)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.pool.Call(addr, &wire.LocalSizeReq{Handle: handle})
+	if err != nil {
+		return 0, err
+	}
+	sr, ok := resp.(*wire.LocalSizeResp)
+	if !ok {
+		return 0, fmt.Errorf("pfs: localsize: unexpected response %v", resp.Type())
+	}
+	return sr.Size, nil
+}
+
+// readLocalStream fetches [0, length) of a server's local stream.
+func (c *Client) readLocalStream(server uint32, handle, length uint64) ([]byte, error) {
+	addr, err := c.DataAddr(server)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, length)
+	var done uint64
+	for done < length {
+		n := uint32(transferChunk)
+		if length-done < uint64(n) {
+			n = uint32(length - done)
+		}
+		resp, err := c.pool.Call(addr, &wire.ReadReq{Handle: handle, Offset: done, Length: n})
+		if err != nil {
+			return nil, err
+		}
+		rr, ok := resp.(*wire.ReadResp)
+		if !ok {
+			return nil, fmt.Errorf("pfs: fsck read: unexpected response %v", resp.Type())
+		}
+		if len(rr.Data) == 0 {
+			return nil, fmt.Errorf("pfs: fsck read: stream ends at %d, want %d", done, length)
+		}
+		copy(out[done:], rr.Data)
+		done += uint64(len(rr.Data))
+	}
+	return out, nil
+}
+
+// writeLocalStream stores data at offset 0 of a server's local stream.
+func (c *Client) writeLocalStream(server uint32, handle uint64, data []byte) error {
+	addr, err := c.DataAddr(server)
+	if err != nil {
+		return err
+	}
+	var done int
+	for done < len(data) {
+		n := transferChunk
+		if len(data)-done < n {
+			n = len(data) - done
+		}
+		resp, err := c.pool.Call(addr, &wire.WriteReq{
+			Handle: handle, Offset: uint64(done), Data: data[done : done+n],
+		})
+		if err != nil {
+			return err
+		}
+		if _, ok := resp.(*wire.WriteResp); !ok {
+			return fmt.Errorf("pfs: fsck write: unexpected response %v", resp.Type())
+		}
+		done += n
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+package pfs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"time"
+
+	"dosas/internal/wire"
+)
+
+// Journal entry opcodes. On-disk values; append only.
+const (
+	entryCreate uint8 = iota + 1
+	entryRemove
+	entrySetSize
+)
+
+// journal is the metadata server's write-ahead log. Each entry is
+//
+//	+---------+--------+-------+------------------+
+//	| len u32 | crc u32| op u8 | payload (len-1) B |
+//	+---------+--------+-------+------------------+
+//
+// where crc covers op+payload. Replay stops cleanly at the first torn or
+// corrupt entry (a crash mid-append), truncating the tail, so a restart
+// after power loss recovers every fully written mutation.
+type journal struct {
+	f *os.File
+}
+
+func openJournal(path string) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pfs: journal open: %w", err)
+	}
+	return &journal{f: f}, nil
+}
+
+func (j *journal) close() error { return j.f.Close() }
+
+// append encodes and durably writes one entry.
+func (j *journal) append(op uint8, rec *FileRec) error {
+	var e wire.Encoder
+	e.PutU8(op)
+	encodeFileRec(&e, rec)
+	body := e.Bytes()
+	if err := e.Err(); err != nil {
+		return err
+	}
+	buf := make([]byte, 8+len(body))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(body))
+	copy(buf[8:], body)
+	if _, err := j.f.Write(buf); err != nil {
+		return fmt.Errorf("pfs: journal append: %w", err)
+	}
+	// The WAL contract: the mutation must be on stable storage before it
+	// is acknowledged.
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("pfs: journal sync: %w", err)
+	}
+	return nil
+}
+
+// replay feeds every intact entry to apply, then truncates any torn tail.
+func (j *journal) replay(apply func(op uint8, rec *FileRec) error) error {
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	var offset int64
+	hdr := make([]byte, 8)
+	for {
+		if _, err := io.ReadFull(j.f, hdr); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			// Torn header: truncate and stop.
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				break
+			}
+			return err
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if n == 0 || n > 1<<20 {
+			break // corrupt length: stop at last good entry
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(j.f, body); err != nil {
+			break // torn payload
+		}
+		if crc32.ChecksumIEEE(body) != want {
+			break // corrupt payload
+		}
+		d := wire.NewDecoder(body)
+		op := d.U8()
+		rec, err := decodeFileRec(d)
+		if err != nil {
+			break
+		}
+		if err := apply(op, rec); err != nil {
+			return err
+		}
+		offset += int64(8 + n)
+	}
+	// Drop anything after the last intact entry so future appends are
+	// never interleaved with garbage.
+	if err := j.f.Truncate(offset); err != nil {
+		return err
+	}
+	_, err := j.f.Seek(offset, io.SeekStart)
+	return err
+}
+
+// compact rewrites the journal as one create entry per live record (the
+// current snapshot), dropping the history of removed files and superseded
+// size updates. The rewrite goes through a temp file + rename so a crash
+// mid-compaction leaves the old journal intact.
+func (j *journal) compact(path string, records []*FileRec) error {
+	tmp := path + ".compact"
+	nj, err := openJournal(tmp)
+	if err != nil {
+		return err
+	}
+	for _, rec := range records {
+		if err := nj.append(entryCreate, rec); err != nil {
+			nj.close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := nj.close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Swap the live file descriptor to the new journal, positioned at
+	// its end for subsequent appends.
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return err
+	}
+	old := j.f
+	j.f = f
+	old.Close()
+	return nil
+}
+
+func encodeFileRec(e *wire.Encoder, rec *FileRec) {
+	e.PutU64(rec.Handle)
+	e.PutString(rec.Name)
+	e.PutU64(rec.Size)
+	e.PutI64(rec.ModTime.UnixNano())
+	e.PutU32(rec.Layout.StripeSize)
+	e.PutU8(rec.Layout.Replicas)
+	e.PutU32(uint32(len(rec.Layout.Servers)))
+	for _, s := range rec.Layout.Servers {
+		e.PutU32(s)
+	}
+}
+
+func decodeFileRec(d *wire.Decoder) (*FileRec, error) {
+	rec := &FileRec{}
+	rec.Handle = d.U64()
+	rec.Name = d.String()
+	rec.Size = d.U64()
+	rec.ModTime = time.Unix(0, d.I64())
+	rec.Layout.StripeSize = d.U32()
+	rec.Layout.Replicas = d.U8()
+	n := int(d.U32())
+	if n < 0 || n*4 > d.Remaining() {
+		return nil, wire.ErrShortPayload
+	}
+	rec.Layout.Servers = make([]uint32, n)
+	for i := range rec.Layout.Servers {
+		rec.Layout.Servers[i] = d.U32()
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}

@@ -1,0 +1,188 @@
+package pfs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dosas/internal/wire"
+)
+
+func newMetaWithJournal(t *testing.T, path string) *MetaServer {
+	t.Helper()
+	m, err := NewMetaServer(MetaConfig{NumDataServers: 4, JournalPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+func TestJournalReplayRestoresNamespace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "meta.wal")
+	m1 := newMetaWithJournal(t, path)
+
+	resp, err := m1.Handle(&wire.CreateReq{Name: "alpha", StripeSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := resp.(*wire.CreateResp).Handle
+	if _, err := m1.Handle(&wire.SetSizeReq{Handle: h, Size: 999}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m1.Handle(&wire.CreateReq{Name: "beta"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m1.Handle(&wire.RemoveReq{Name: "beta"}); err != nil {
+		t.Fatal(err)
+	}
+	m1.Close()
+
+	m2 := newMetaWithJournal(t, path)
+	st, err := m2.Handle(&wire.StatReq{Name: "alpha"})
+	if err != nil {
+		t.Fatalf("alpha lost after replay: %v", err)
+	}
+	sr := st.(*wire.StatResp)
+	if sr.Size != 999 || sr.Handle != h || sr.Layout.StripeSize != 1024 {
+		t.Errorf("replayed record = %+v", sr)
+	}
+	if _, err := m2.Handle(&wire.OpenReq{Name: "beta"}); !IsNotFound(err) {
+		t.Errorf("beta should stay removed, err = %v", err)
+	}
+	// Handle allocation must not reuse replayed handles.
+	cr, err := m2.Handle(&wire.CreateReq{Name: "gamma"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cr.(*wire.CreateResp).Handle; got <= h {
+		t.Errorf("new handle %d not beyond replayed %d", got, h)
+	}
+}
+
+func TestJournalTornTailIsDiscarded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.wal")
+	m1 := newMetaWithJournal(t, path)
+	if _, err := m1.Handle(&wire.CreateReq{Name: "keep"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m1.Handle(&wire.CreateReq{Name: "alsokeep"}); err != nil {
+		t.Fatal(err)
+	}
+	m1.Close()
+
+	// Simulate a crash mid-append: chop bytes off the end.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := newMetaWithJournal(t, path)
+	if _, err := m2.Handle(&wire.OpenReq{Name: "keep"}); err != nil {
+		t.Errorf("first entry lost: %v", err)
+	}
+	if _, err := m2.Handle(&wire.OpenReq{Name: "alsokeep"}); !IsNotFound(err) {
+		t.Errorf("torn entry should be discarded, err = %v", err)
+	}
+	// The journal must keep working after truncation.
+	if _, err := m2.Handle(&wire.CreateReq{Name: "after"}); err != nil {
+		t.Fatal(err)
+	}
+	m2.Close()
+	m3 := newMetaWithJournal(t, path)
+	if _, err := m3.Handle(&wire.OpenReq{Name: "after"}); err != nil {
+		t.Errorf("post-recovery append lost: %v", err)
+	}
+}
+
+func TestJournalCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "compact.wal")
+	m1 := newMetaWithJournal(t, path)
+	// Generate history: creates, removals, repeated size growth.
+	for i := 0; i < 20; i++ {
+		name := "f" + string(rune('a'+i))
+		resp, err := m1.Handle(&wire.CreateReq{Name: name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := resp.(*wire.CreateResp).Handle
+		for s := uint64(1); s <= 5; s++ {
+			if _, err := m1.Handle(&wire.SetSizeReq{Handle: h, Size: s * 1000}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%2 == 1 {
+			if _, err := m1.Handle(&wire.RemoveReq{Name: name}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.CompactJournal(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size() {
+		t.Errorf("compaction did not shrink the journal: %d → %d", before.Size(), after.Size())
+	}
+	// The journal must keep accepting appends after compaction...
+	if _, err := m1.Handle(&wire.CreateReq{Name: "post-compact"}); err != nil {
+		t.Fatal(err)
+	}
+	m1.Close()
+	// ...and a replay must reconstruct exactly the live namespace.
+	m2 := newMetaWithJournal(t, path)
+	files := m2.Files()
+	if len(files) != 11 { // 10 surviving + post-compact
+		t.Fatalf("replayed %d files, want 11", len(files))
+	}
+	for _, f := range files {
+		if f.Name == "post-compact" {
+			continue
+		}
+		if f.Size != 5000 {
+			t.Errorf("file %s size = %d, want 5000", f.Name, f.Size)
+		}
+	}
+	if _, err := m2.Handle(&wire.OpenReq{Name: "fb"}); !IsNotFound(err) {
+		t.Error("removed file resurrected by compaction")
+	}
+}
+
+func TestJournalCorruptEntryStopsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corrupt.wal")
+	m1 := newMetaWithJournal(t, path)
+	if _, err := m1.Handle(&wire.CreateReq{Name: "good"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m1.Handle(&wire.CreateReq{Name: "bad"}); err != nil {
+		t.Fatal(err)
+	}
+	m1.Close()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF // flip a bit in the last entry's payload
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := newMetaWithJournal(t, path)
+	if _, err := m2.Handle(&wire.OpenReq{Name: "good"}); err != nil {
+		t.Errorf("intact entry lost: %v", err)
+	}
+	if _, err := m2.Handle(&wire.OpenReq{Name: "bad"}); !IsNotFound(err) {
+		t.Errorf("corrupt entry should be discarded, err = %v", err)
+	}
+}

@@ -1,0 +1,319 @@
+package pfs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dosas/internal/metrics"
+	"dosas/internal/wire"
+)
+
+// FileRec is the metadata server's record for one file.
+type FileRec struct {
+	Handle  uint64
+	Name    string
+	Size    uint64
+	ModTime time.Time
+	Layout  wire.Layout
+}
+
+// MetaConfig configures a metadata server.
+type MetaConfig struct {
+	// NumDataServers is the size of the cluster's data-server table;
+	// layouts stripe over indices [0, NumDataServers).
+	NumDataServers int
+	// DefaultStripeSize is used when a create does not specify one.
+	// Defaults to 64 KiB.
+	DefaultStripeSize uint32
+	// JournalPath, when non-empty, makes the namespace durable: every
+	// mutation is appended to a write-ahead journal that is replayed on
+	// startup.
+	JournalPath string
+	// Metrics receives operation counters; optional.
+	Metrics *metrics.Registry
+}
+
+// DefaultStripeSize is the stripe size used when callers pass zero.
+const DefaultStripeSize = 64 << 10
+
+// MetaServer implements the namespace half of the parallel file system:
+// create/open/stat/remove/list plus size tracking, with round-robin layout
+// assignment over the cluster's data servers.
+type MetaServer struct {
+	cfg MetaConfig
+	reg *metrics.Registry
+
+	mu         sync.Mutex
+	byName     map[string]*FileRec
+	byHandle   map[uint64]*FileRec
+	nextHandle uint64
+	journal    *journal
+	now        func() time.Time
+}
+
+// NewMetaServer builds a metadata server, replaying the journal when one is
+// configured.
+func NewMetaServer(cfg MetaConfig) (*MetaServer, error) {
+	if cfg.NumDataServers <= 0 {
+		return nil, fmt.Errorf("%w: metadata server needs at least one data server", ErrInvalid)
+	}
+	if cfg.DefaultStripeSize == 0 {
+		cfg.DefaultStripeSize = DefaultStripeSize
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	m := &MetaServer{
+		cfg:        cfg,
+		reg:        cfg.Metrics,
+		byName:     make(map[string]*FileRec),
+		byHandle:   make(map[uint64]*FileRec),
+		nextHandle: 1,
+		now:        time.Now,
+	}
+	if cfg.JournalPath != "" {
+		j, err := openJournal(cfg.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		m.journal = j
+		if err := j.replay(m.applyEntry); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Close releases the journal.
+func (m *MetaServer) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.journal != nil {
+		return m.journal.close()
+	}
+	return nil
+}
+
+// Handle implements the Handler interface for wire messages.
+func (m *MetaServer) Handle(msg wire.Message) (wire.Message, error) {
+	switch req := msg.(type) {
+	case *wire.Ping:
+		return &wire.Pong{Seq: req.Seq}, nil
+	case *wire.CreateReq:
+		return m.create(req)
+	case *wire.OpenReq:
+		return m.open(req)
+	case *wire.StatReq:
+		return m.stat(req)
+	case *wire.RemoveReq:
+		return m.remove(req)
+	case *wire.ListReq:
+		return m.list(req)
+	case *wire.SetSizeReq:
+		return m.setSize(req)
+	default:
+		return nil, fmt.Errorf("%w: metadata server got %v", ErrUnsupported, msg.Type())
+	}
+}
+
+func (m *MetaServer) create(req *wire.CreateReq) (wire.Message, error) {
+	m.reg.Counter("meta.create").Inc()
+	if req.Name == "" {
+		return nil, fmt.Errorf("%w: empty file name", ErrInvalid)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.byName[req.Name]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrExists, req.Name)
+	}
+	ss := req.StripeSize
+	if ss == 0 {
+		ss = m.cfg.DefaultStripeSize
+	}
+	var servers []uint32
+	if len(req.Placement) > 0 {
+		// Explicit placement: validate and honour as-is.
+		for _, idx := range req.Placement {
+			if int(idx) >= m.cfg.NumDataServers {
+				return nil, fmt.Errorf("%w: placement index %d out of range", ErrInvalid, idx)
+			}
+		}
+		servers = append([]uint32(nil), req.Placement...)
+	} else {
+		width := int(req.Width)
+		if width <= 0 || width > m.cfg.NumDataServers {
+			width = m.cfg.NumDataServers
+		}
+		// Rotate the starting server with the handle so small files
+		// spread across the cluster instead of hammering server 0.
+		start := int(m.nextHandle) % m.cfg.NumDataServers
+		servers = make([]uint32, width)
+		for i := range servers {
+			servers[i] = uint32((start + i) % m.cfg.NumDataServers)
+		}
+	}
+	reps := int(req.Replicas)
+	if reps < 1 {
+		reps = 1
+	}
+	if reps > len(servers) {
+		return nil, fmt.Errorf("%w: %d replicas exceed stripe width %d", ErrInvalid, reps, len(servers))
+	}
+	handle := m.nextHandle
+	m.nextHandle++
+	rec := &FileRec{
+		Handle:  handle,
+		Name:    req.Name,
+		ModTime: m.now(),
+		Layout:  wire.Layout{StripeSize: ss, Servers: servers, Replicas: uint8(reps)},
+	}
+	if err := m.logEntry(entryCreate, rec); err != nil {
+		return nil, err
+	}
+	m.byName[rec.Name] = rec
+	m.byHandle[rec.Handle] = rec
+	return &wire.CreateResp{Handle: rec.Handle, Layout: rec.Layout}, nil
+}
+
+func (m *MetaServer) open(req *wire.OpenReq) (wire.Message, error) {
+	m.reg.Counter("meta.open").Inc()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.byName[req.Name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, req.Name)
+	}
+	return &wire.OpenResp{Handle: rec.Handle, Size: rec.Size, Layout: rec.Layout}, nil
+}
+
+func (m *MetaServer) stat(req *wire.StatReq) (wire.Message, error) {
+	m.reg.Counter("meta.stat").Inc()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.byName[req.Name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, req.Name)
+	}
+	return &wire.StatResp{
+		Handle:   rec.Handle,
+		Size:     rec.Size,
+		ModUnixN: rec.ModTime.UnixNano(),
+		Layout:   rec.Layout,
+	}, nil
+}
+
+func (m *MetaServer) remove(req *wire.RemoveReq) (wire.Message, error) {
+	m.reg.Counter("meta.remove").Inc()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.byName[req.Name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, req.Name)
+	}
+	if err := m.logEntry(entryRemove, rec); err != nil {
+		return nil, err
+	}
+	delete(m.byName, rec.Name)
+	delete(m.byHandle, rec.Handle)
+	return &wire.RemoveResp{Handle: rec.Handle}, nil
+}
+
+func (m *MetaServer) list(req *wire.ListReq) (wire.Message, error) {
+	m.reg.Counter("meta.list").Inc()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var names []string
+	for name := range m.byName {
+		if strings.HasPrefix(name, req.Prefix) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return &wire.ListResp{Names: names}, nil
+}
+
+func (m *MetaServer) setSize(req *wire.SetSizeReq) (wire.Message, error) {
+	m.reg.Counter("meta.setsize").Inc()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.byHandle[req.Handle]
+	if !ok {
+		return nil, fmt.Errorf("%w: handle %d", ErrNotFound, req.Handle)
+	}
+	// Max semantics: concurrent extending writers converge without
+	// coordination, and a stale smaller update can never shrink the file.
+	if req.Size > rec.Size {
+		prev := rec.Size
+		rec.Size = req.Size
+		rec.ModTime = m.now()
+		if err := m.logEntry(entrySetSize, rec); err != nil {
+			rec.Size = prev
+			return nil, err
+		}
+	}
+	return &wire.SetSizeResp{Size: rec.Size}, nil
+}
+
+// logEntry appends a journal entry when a journal is configured. Called
+// with m.mu held.
+func (m *MetaServer) logEntry(op uint8, rec *FileRec) error {
+	if m.journal == nil {
+		return nil
+	}
+	return m.journal.append(op, rec)
+}
+
+// applyEntry rebuilds in-memory state from one replayed journal entry.
+func (m *MetaServer) applyEntry(op uint8, rec *FileRec) error {
+	switch op {
+	case entryCreate:
+		m.byName[rec.Name] = rec
+		m.byHandle[rec.Handle] = rec
+		if rec.Handle >= m.nextHandle {
+			m.nextHandle = rec.Handle + 1
+		}
+	case entryRemove:
+		delete(m.byName, rec.Name)
+		delete(m.byHandle, rec.Handle)
+	case entrySetSize:
+		if cur, ok := m.byHandle[rec.Handle]; ok {
+			cur.Size = rec.Size
+			cur.ModTime = rec.ModTime
+		}
+	default:
+		return fmt.Errorf("pfs: journal: unknown entry op %d", op)
+	}
+	return nil
+}
+
+// CompactJournal rewrites the write-ahead journal as a snapshot of the
+// live namespace, reclaiming the space of removed files and superseded
+// updates. No-op when the server runs without a journal.
+func (m *MetaServer) CompactJournal() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.journal == nil {
+		return nil
+	}
+	records := make([]*FileRec, 0, len(m.byName))
+	for _, rec := range m.byName {
+		records = append(records, rec)
+	}
+	sort.Slice(records, func(i, j int) bool { return records[i].Handle < records[j].Handle })
+	return m.journal.compact(m.cfg.JournalPath, records)
+}
+
+// Files returns a snapshot of all records, for inspection and tests.
+func (m *MetaServer) Files() []FileRec {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]FileRec, 0, len(m.byName))
+	for _, rec := range m.byName {
+		out = append(out, *rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,136 @@
+package pfs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"dosas/internal/wire"
+)
+
+func TestReplicaHandleTagging(t *testing.T) {
+	h := uint64(12345)
+	if ReplicaHandle(h, 0) != h {
+		t.Error("replica 0 must be the raw handle")
+	}
+	if ReplicaHandle(h, 1) == h || ReplicaHandle(h, 2) == ReplicaHandle(h, 1) {
+		t.Error("replica handles must be distinct")
+	}
+}
+
+func TestReplicaServerChainedPlacement(t *testing.T) {
+	l := wire.Layout{StripeSize: 4096, Servers: []uint32{5, 7, 9}, Replicas: 2}
+	if ReplicaServer(l, 0, 0) != 5 || ReplicaServer(l, 0, 1) != 7 {
+		t.Error("slot 0 replicas misplaced")
+	}
+	if ReplicaServer(l, 2, 1) != 5 { // wraps around
+		t.Error("slot 2 replica 1 should wrap to server 5")
+	}
+	// Replicas of the same slot must land on distinct servers.
+	for slot := 0; slot < 3; slot++ {
+		if ReplicaServer(l, slot, 0) == ReplicaServer(l, slot, 1) {
+			t.Errorf("slot %d replicas collide", slot)
+		}
+	}
+}
+
+func TestReplicatedWritePopulatesAllCopies(t *testing.T) {
+	tc := startCluster(t, 3)
+	f, err := tc.client.CreateReplicated("rep/x", 4096, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 6*4096)
+	rand.New(rand.NewSource(1)).Read(data)
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Every server must hold both a primary stream and a replica stream,
+	// each with the per-slot share of the file.
+	for i, ds := range tc.datas {
+		primary := ds.Store().Size(f.Handle())
+		replica := ds.Store().Size(ReplicaHandle(f.Handle(), 1))
+		if primary != 2*4096 || replica != 2*4096 {
+			t.Errorf("server %d: primary=%d replica=%d, want %d each", i, primary, replica, 2*4096)
+		}
+	}
+	// Replica streams hold the same bytes as their primaries (rotated).
+	for slot := 0; slot < 3; slot++ {
+		p := tc.datas[f.Layout().Servers[slot]].Store()
+		r := tc.datas[ReplicaServer(f.Layout(), slot, 1)].Store()
+		pb := make([]byte, 2*4096)
+		rb := make([]byte, 2*4096)
+		p.ReadAt(f.Handle(), pb, 0)
+		r.ReadAt(ReplicaHandle(f.Handle(), 1), rb, 0)
+		if !bytes.Equal(pb, rb) {
+			t.Errorf("slot %d: replica bytes diverge from primary", slot)
+		}
+	}
+}
+
+func TestReplicatedReadFailsOverToSurvivor(t *testing.T) {
+	tc := startCluster(t, 3)
+	f, err := tc.client.CreateReplicated("rep/failover", 4096, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 9*4096)
+	rand.New(rand.NewSource(2)).Read(data)
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Kill data server 1; its stripes survive as replicas on server 2.
+	tc.servers[1].Close()
+
+	got, err := f.ReadAll()
+	if err != nil {
+		t.Fatalf("read after server death: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("failover read corrupted data")
+	}
+}
+
+func TestUnreplicatedReadFailsWhenServerDies(t *testing.T) {
+	tc := startCluster(t, 3)
+	f, err := tc.client.Create("rep/none", 4096, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 9*4096)
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	tc.servers[1].Close()
+	if _, err := f.ReadAll(); err == nil {
+		t.Fatal("read of unreplicated file succeeded after its server died")
+	}
+}
+
+func TestReplicasExceedingWidthRejected(t *testing.T) {
+	tc := startCluster(t, 2)
+	if _, err := tc.client.CreateReplicated("rep/toowide", 0, 2, 3); err == nil {
+		t.Fatal("3 replicas over width 2 accepted")
+	}
+}
+
+func TestReplicatedRemoveSweepsAllCopies(t *testing.T) {
+	tc := startCluster(t, 2)
+	f, err := tc.client.CreateReplicated("rep/rm", 4096, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(make([]byte, 4*4096), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.client.Remove("rep/rm"); err != nil {
+		t.Fatal(err)
+	}
+	for i, ds := range tc.datas {
+		for r := 0; r < 2; r++ {
+			if got := ds.Store().Size(ReplicaHandle(f.Handle(), r)); got != 0 {
+				t.Errorf("server %d replica %d still holds %d bytes", i, r, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,291 @@
+// Package pfs implements the parallel file system DOSAS runs on: a PVFS2-
+// style design with one metadata server (namespace and stripe layout), N
+// data servers (stripe storage plus, when wrapped by the core package,
+// active-storage processing), and a striping client that converts file
+// ranges into parallel per-server transfers.
+package pfs
+
+import (
+	"errors"
+	"fmt"
+
+	"net"
+	"sync"
+
+	"dosas/internal/transport"
+	"dosas/internal/wire"
+)
+
+// RemoteError is a failure reported by a peer over the wire.
+type RemoteError struct {
+	Code   uint32
+	Op     string
+	Detail string
+}
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("pfs: remote %s: code=%d %s", e.Op, e.Code, e.Detail)
+}
+
+// IsNotFound reports whether err is a not-found failure, local or remote.
+func IsNotFound(err error) bool {
+	if errors.Is(err, ErrNotFound) {
+		return true
+	}
+	var re *RemoteError
+	return errors.As(err, &re) && re.Code == wire.StatusNotFound
+}
+
+// IsExists reports whether err is an already-exists failure, local or
+// remote.
+func IsExists(err error) bool {
+	if errors.Is(err, ErrExists) {
+		return true
+	}
+	var re *RemoteError
+	return errors.As(err, &re) && re.Code == wire.StatusExists
+}
+
+// Pool is a client-side connection pool. Each in-flight Call owns one
+// connection (requests and responses are strictly paired per connection, as
+// in HTTP/1.1), so concurrency is bounded only by how many connections the
+// peer accepts.
+type Pool struct {
+	Net transport.Network
+
+	mu     sync.Mutex
+	idle   map[string][]net.Conn
+	closed bool
+}
+
+// NewPool returns a pool dialing through n.
+func NewPool(n transport.Network) *Pool {
+	return &Pool{Net: n, idle: make(map[string][]net.Conn)}
+}
+
+// maxIdlePerAddr bounds how many spare connections are kept per peer.
+const maxIdlePerAddr = 8
+
+// Call sends req to addr and waits for the response. A wire.ErrorMsg
+// response is converted into a *RemoteError. When a pooled connection
+// turns out to be stale (its server restarted since it was idled), the
+// call transparently retries once on a fresh dial; a failure on a fresh
+// connection is reported as-is.
+func (p *Pool) Call(addr string, req wire.Message) (wire.Message, error) {
+	for {
+		c, pooled, err := p.get(addr)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := p.roundTrip(c, req)
+		if err != nil {
+			c.Close()
+			if pooled {
+				continue // stale idle connection: retry on a fresh dial
+			}
+			return nil, fmt.Errorf("pfs: call %s %v: %w", addr, req.Type(), err)
+		}
+		p.put(addr, c)
+		if em, ok := resp.(*wire.ErrorMsg); ok {
+			return nil, &RemoteError{Code: em.Code, Op: em.Op, Detail: em.Detail}
+		}
+		return resp, nil
+	}
+}
+
+func (p *Pool) roundTrip(c net.Conn, req wire.Message) (wire.Message, error) {
+	if err := wire.WriteMessage(c, req); err != nil {
+		return nil, err
+	}
+	return wire.ReadMessage(c)
+}
+
+func (p *Pool) get(addr string) (net.Conn, bool, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, false, transport.ErrClosed
+	}
+	conns := p.idle[addr]
+	if n := len(conns); n > 0 {
+		c := conns[n-1]
+		p.idle[addr] = conns[:n-1]
+		p.mu.Unlock()
+		return c, true, nil
+	}
+	p.mu.Unlock()
+	c, err := p.Net.Dial(addr)
+	return c, false, err
+}
+
+func (p *Pool) put(addr string, c net.Conn) {
+	p.mu.Lock()
+	if !p.closed && len(p.idle[addr]) < maxIdlePerAddr {
+		p.idle[addr] = append(p.idle[addr], c)
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	c.Close()
+}
+
+// Close drops all idle connections. In-flight calls are unaffected.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	for _, conns := range p.idle {
+		for _, c := range conns {
+			c.Close()
+		}
+	}
+	p.idle = make(map[string][]net.Conn)
+}
+
+// Handler processes one request message and returns the response. Returning
+// an error sends a wire.ErrorMsg built with ToErrorMsg.
+type Handler interface {
+	Handle(m wire.Message) (wire.Message, error)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(m wire.Message) (wire.Message, error)
+
+// Handle calls f(m).
+func (f HandlerFunc) Handle(m wire.Message) (wire.Message, error) { return f(m) }
+
+// PostWriter is implemented by handlers that need a callback after the
+// response has been written to the connection. The data server uses it to
+// keep a request counted as in flight for the full service time — handler
+// plus response transfer — which is what the Contention Estimator's
+// normal-I/O pressure signal must reflect on slow (shaped) links.
+type PostWriter interface {
+	PostWrite(req, resp wire.Message)
+}
+
+// ToErrorMsg converts err into the wire error response for operation op,
+// preserving the code of a RemoteError being relayed.
+func ToErrorMsg(op string, err error) *wire.ErrorMsg {
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return &wire.ErrorMsg{Code: re.Code, Op: op, Detail: re.Detail}
+	}
+	code := wire.StatusInternal
+	switch {
+	case errors.Is(err, ErrNotFound):
+		code = wire.StatusNotFound
+	case errors.Is(err, ErrExists):
+		code = wire.StatusExists
+	case errors.Is(err, ErrInvalid):
+		code = wire.StatusInvalid
+	case errors.Is(err, ErrUnsupported):
+		code = wire.StatusUnsupported
+	}
+	return &wire.ErrorMsg{Code: code, Op: op, Detail: err.Error()}
+}
+
+// Sentinel errors mapped onto wire status codes.
+var (
+	ErrNotFound    = errors.New("pfs: not found")
+	ErrExists      = errors.New("pfs: already exists")
+	ErrInvalid     = errors.New("pfs: invalid argument")
+	ErrUnsupported = errors.New("pfs: unsupported operation")
+)
+
+// Server accepts connections on a listener and dispatches each request to
+// a Handler, one goroutine per connection.
+type Server struct {
+	l       transport.Listener
+	h       Handler
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	closing bool
+	done    chan struct{}
+}
+
+// NewServer returns a server ready to Run.
+func NewServer(l transport.Listener, h Handler) *Server {
+	return &Server{l: l, h: h, conns: make(map[net.Conn]struct{}), done: make(chan struct{})}
+}
+
+// Addr returns the listener's bound address.
+func (s *Server) Addr() string { return s.l.Addr() }
+
+// Run accepts connections until Close is called. It always returns a
+// non-nil error; after Close the error is transport.ErrClosed.
+func (s *Server) Run() error {
+	defer close(s.done)
+	for {
+		c, err := s.l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closing := s.closing
+			s.mu.Unlock()
+			if closing {
+				return transport.ErrClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closing {
+			s.mu.Unlock()
+			c.Close()
+			return transport.ErrClosed
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(c)
+	}
+}
+
+// Start runs the server in a new goroutine and returns immediately.
+func (s *Server) Start() { go s.Run() } //nolint:errcheck // accept-loop errors surface via Close
+
+func (s *Server) serveConn(c net.Conn) {
+	defer func() {
+		c.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+	}()
+	pw, _ := s.h.(PostWriter)
+	for {
+		req, err := wire.ReadMessage(c)
+		if err != nil {
+			return // EOF or protocol error: drop the connection
+		}
+		resp, herr := s.h.Handle(req)
+		if herr != nil {
+			resp = ToErrorMsg(req.Type().String(), herr)
+		}
+		if resp == nil {
+			return
+		}
+		werr := wire.WriteMessage(c, resp)
+		if pw != nil {
+			pw.PostWrite(req, resp)
+		}
+		if werr != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting, closes all live connections, and waits for the
+// accept loop to exit.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		<-s.done
+		return
+	}
+	s.closing = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.l.Close()
+	<-s.done
+}

@@ -1,0 +1,223 @@
+package pfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Store is a data server's backing object store: one sparse byte stream per
+// file handle (the concatenation of the stripes this server owns, in
+// server-local order). Implementations must be safe for concurrent use.
+type Store interface {
+	// ReadAt fills p from the stream at off. Bytes beyond the stream end
+	// are reported by a short count; holes read as zeros.
+	ReadAt(handle uint64, p []byte, off uint64) (int, error)
+	// WriteAt stores p at off, extending the stream as needed.
+	WriteAt(handle uint64, p []byte, off uint64) (int, error)
+	// Size returns the current stream length for handle (0 if absent).
+	Size(handle uint64) uint64
+	// Truncate cuts the stream to size bytes.
+	Truncate(handle uint64, size uint64) error
+	// Remove deletes the stream entirely.
+	Remove(handle uint64) error
+	// Close releases resources.
+	Close() error
+}
+
+// MemStore keeps streams in memory. It is the default for tests, examples,
+// and benchmarks where durability is irrelevant.
+type MemStore struct {
+	mu      sync.RWMutex
+	streams map[uint64][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{streams: make(map[uint64][]byte)}
+}
+
+// ReadAt implements Store.
+func (s *MemStore) ReadAt(handle uint64, p []byte, off uint64) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data := s.streams[handle]
+	if off >= uint64(len(data)) {
+		return 0, nil
+	}
+	return copy(p, data[off:]), nil
+}
+
+// WriteAt implements Store.
+func (s *MemStore) WriteAt(handle uint64, p []byte, off uint64) (int, error) {
+	if len(p) == 0 {
+		return 0, nil // zero-length writes do not extend (POSIX pwrite)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data := s.streams[handle]
+	end := off + uint64(len(p))
+	if end > uint64(len(data)) {
+		grown := make([]byte, end)
+		copy(grown, data)
+		data = grown
+	}
+	copy(data[off:], p)
+	s.streams[handle] = data
+	return len(p), nil
+}
+
+// Size implements Store.
+func (s *MemStore) Size(handle uint64) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return uint64(len(s.streams[handle]))
+}
+
+// Truncate implements Store.
+func (s *MemStore) Truncate(handle uint64, size uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.streams[handle]
+	if !ok {
+		return nil
+	}
+	if size < uint64(len(data)) {
+		s.streams[handle] = data[:size:size]
+	}
+	return nil
+}
+
+// Remove implements Store.
+func (s *MemStore) Remove(handle uint64) error {
+	s.mu.Lock()
+	delete(s.streams, handle)
+	s.mu.Unlock()
+	return nil
+}
+
+// Close implements Store.
+func (s *MemStore) Close() error { return nil }
+
+// FileStore keeps each handle's stream in one file under a directory,
+// giving a data server durability across restarts.
+type FileStore struct {
+	dir string
+
+	mu    sync.Mutex
+	files map[uint64]*os.File
+}
+
+// NewFileStore opens (creating if needed) a store rooted at dir.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("pfs: filestore: %w", err)
+	}
+	return &FileStore{dir: dir, files: make(map[uint64]*os.File)}, nil
+}
+
+func (s *FileStore) path(handle uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("h%016x.dat", handle))
+}
+
+// file returns the open *os.File for handle, opening or creating it.
+func (s *FileStore) file(handle uint64, create bool) (*os.File, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.files[handle]; ok {
+		return f, nil
+	}
+	flags := os.O_RDWR
+	if create {
+		flags |= os.O_CREATE
+	}
+	f, err := os.OpenFile(s.path(handle), flags, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s.files[handle] = f
+	return f, nil
+}
+
+// ReadAt implements Store.
+func (s *FileStore) ReadAt(handle uint64, p []byte, off uint64) (int, error) {
+	f, err := s.file(handle, false)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	n, err := f.ReadAt(p, int64(off))
+	if errors.Is(err, io.EOF) {
+		// Short read at end of stream is not an error at this layer.
+		return n, nil
+	}
+	return n, err
+}
+
+// WriteAt implements Store.
+func (s *FileStore) WriteAt(handle uint64, p []byte, off uint64) (int, error) {
+	f, err := s.file(handle, true)
+	if err != nil {
+		return 0, err
+	}
+	return f.WriteAt(p, int64(off))
+}
+
+// Size implements Store.
+func (s *FileStore) Size(handle uint64) uint64 {
+	f, err := s.file(handle, false)
+	if err != nil {
+		return 0
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return 0
+	}
+	return uint64(fi.Size())
+}
+
+// Truncate implements Store.
+func (s *FileStore) Truncate(handle uint64, size uint64) error {
+	f, err := s.file(handle, false)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	return f.Truncate(int64(size))
+}
+
+// Remove implements Store.
+func (s *FileStore) Remove(handle uint64) error {
+	s.mu.Lock()
+	if f, ok := s.files[handle]; ok {
+		f.Close()
+		delete(s.files, handle)
+	}
+	s.mu.Unlock()
+	err := os.Remove(s.path(handle))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// Close implements Store.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for h, f := range s.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(s.files, h)
+	}
+	return first
+}

@@ -1,0 +1,109 @@
+package pfs
+
+import (
+	"dosas/internal/wire"
+)
+
+// Segment maps one contiguous piece of a file range onto a single data
+// server's local byte stream. The striping client turns a (offset, length)
+// file range into a list of segments and issues them in parallel.
+type Segment struct {
+	Slot        int    // index into Layout.Servers
+	Server      uint32 // cluster data-server index (Layout.Servers[Slot])
+	FileOffset  uint64 // where this piece starts in the file
+	LocalOffset uint64 // where it starts in the server's local stream
+	Length      uint64
+}
+
+// Segments maps the file range [off, off+length) onto per-server segments
+// under the round-robin striping of layout. Segments are returned in file
+// order; adjacent pieces that land contiguously on the same server (the
+// width-1 case) are coalesced.
+func Segments(layout wire.Layout, off, length uint64) []Segment {
+	if length == 0 || len(layout.Servers) == 0 || layout.StripeSize == 0 {
+		return nil
+	}
+	ss := uint64(layout.StripeSize)
+	w := uint64(len(layout.Servers))
+	segs := make([]Segment, 0, length/ss+2)
+	for length > 0 {
+		g := off / ss      // global stripe index
+		slot := g % w      // which server owns it
+		local := g / w     // server-local stripe index
+		within := off % ss // offset inside the stripe
+		n := ss - within   // bytes left in this stripe
+		if n > length {
+			n = length
+		}
+		seg := Segment{
+			Slot:        int(slot),
+			Server:      layout.Servers[slot],
+			FileOffset:  off,
+			LocalOffset: local*ss + within,
+			Length:      n,
+		}
+		if k := len(segs); k > 0 &&
+			segs[k-1].Slot == seg.Slot &&
+			segs[k-1].LocalOffset+segs[k-1].Length == seg.LocalOffset &&
+			segs[k-1].FileOffset+segs[k-1].Length == seg.FileOffset {
+			segs[k-1].Length += n
+		} else {
+			segs = append(segs, seg)
+		}
+		off += n
+		length -= n
+	}
+	return segs
+}
+
+// LocalSize returns how many bytes of a file of fileSize bytes live on the
+// server occupying the given slot of layout.
+func LocalSize(layout wire.Layout, fileSize uint64, slot int) uint64 {
+	if len(layout.Servers) == 0 || layout.StripeSize == 0 {
+		return 0
+	}
+	ss := uint64(layout.StripeSize)
+	w := uint64(len(layout.Servers))
+	full := fileSize / ss // number of complete stripes
+	rem := fileSize % ss
+	mine := full / w
+	if full%w > uint64(slot) {
+		mine++
+	}
+	n := mine * ss
+	if full%w == uint64(slot) {
+		n += rem
+	}
+	return n
+}
+
+// FileOffsetOf inverts the stripe mapping: given a server slot and a
+// server-local offset, it returns the file offset the byte corresponds to.
+func FileOffsetOf(layout wire.Layout, slot int, local uint64) uint64 {
+	ss := uint64(layout.StripeSize)
+	w := uint64(len(layout.Servers))
+	localStripe := local / ss
+	within := local % ss
+	g := localStripe*w + uint64(slot)
+	return g*ss + within
+}
+
+// replicaTagShift positions the replica index inside a stripe-stream
+// handle. File handles stay below 2^56, so the tag never collides.
+const replicaTagShift = 56
+
+// ReplicaHandle returns the data-server stream handle for replica r of a
+// file. Replica 0 is the file handle itself.
+func ReplicaHandle(handle uint64, r int) uint64 {
+	return handle | uint64(r)<<replicaTagShift
+}
+
+// ReplicaServer returns the cluster server index holding replica r of the
+// stripes owned by slot. Chained placement: each successive replica lives
+// one slot further around the layout's server ring, so the r-th copy of a
+// slot's stripes occupies a contiguous local stream with exactly the same
+// local offsets as the primary.
+func ReplicaServer(layout wire.Layout, slot, r int) uint32 {
+	w := len(layout.Servers)
+	return layout.Servers[(slot+r)%w]
+}

@@ -1,0 +1,146 @@
+package pfs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dosas/internal/wire"
+)
+
+func layoutFor(stripe uint32, width int) wire.Layout {
+	servers := make([]uint32, width)
+	for i := range servers {
+		servers[i] = uint32(i)
+	}
+	return wire.Layout{StripeSize: stripe, Servers: servers}
+}
+
+func TestSegmentsSimple(t *testing.T) {
+	l := layoutFor(10, 3)
+	segs := Segments(l, 0, 35)
+	// Stripes: s0→srv0 local0, s1→srv1 local0, s2→srv2 local0,
+	// s3→srv0 local10 (i.e. local stripe 1), 5 bytes of it.
+	want := []Segment{
+		{Slot: 0, Server: 0, FileOffset: 0, LocalOffset: 0, Length: 10},
+		{Slot: 1, Server: 1, FileOffset: 10, LocalOffset: 0, Length: 10},
+		{Slot: 2, Server: 2, FileOffset: 20, LocalOffset: 0, Length: 10},
+		{Slot: 0, Server: 0, FileOffset: 30, LocalOffset: 10, Length: 5},
+	}
+	if len(segs) != len(want) {
+		t.Fatalf("got %d segments, want %d: %+v", len(segs), len(want), segs)
+	}
+	for i, w := range want {
+		if segs[i] != w {
+			t.Errorf("seg[%d] = %+v, want %+v", i, segs[i], w)
+		}
+	}
+}
+
+func TestSegmentsUnaligned(t *testing.T) {
+	l := layoutFor(10, 2)
+	segs := Segments(l, 15, 10)
+	// Offset 15 is inside stripe 1 (srv1, local 0..10), 5 bytes left;
+	// then stripe 2 (srv0, local stripe 1 → local 10..20), 5 bytes.
+	want := []Segment{
+		{Slot: 1, Server: 1, FileOffset: 15, LocalOffset: 5, Length: 5},
+		{Slot: 0, Server: 0, FileOffset: 20, LocalOffset: 10, Length: 5},
+	}
+	for i, w := range want {
+		if segs[i] != w {
+			t.Errorf("seg[%d] = %+v, want %+v", i, segs[i], w)
+		}
+	}
+}
+
+func TestSegmentsWidthOneCoalesces(t *testing.T) {
+	l := layoutFor(8, 1)
+	segs := Segments(l, 3, 40)
+	if len(segs) != 1 {
+		t.Fatalf("width-1 range should coalesce to 1 segment, got %d: %+v", len(segs), segs)
+	}
+	s := segs[0]
+	if s.LocalOffset != 3 || s.Length != 40 || s.FileOffset != 3 {
+		t.Errorf("coalesced segment wrong: %+v", s)
+	}
+}
+
+func TestSegmentsEmptyInputs(t *testing.T) {
+	if Segments(layoutFor(10, 2), 5, 0) != nil {
+		t.Error("zero length should return nil")
+	}
+	if Segments(wire.Layout{}, 0, 10) != nil {
+		t.Error("empty layout should return nil")
+	}
+}
+
+// Property: segments exactly partition the requested file range — in
+// order, contiguous, and with correct per-server inverse mapping.
+func TestSegmentsPartitionProperty(t *testing.T) {
+	f := func(stripePow uint8, width8 uint8, off uint32, length uint16) bool {
+		stripe := uint32(1) << (stripePow%10 + 1) // 2..1024
+		width := int(width8%7) + 1
+		l := layoutFor(stripe, width)
+		segs := Segments(l, uint64(off), uint64(length))
+		if length == 0 {
+			return segs == nil
+		}
+		pos := uint64(off)
+		for _, s := range segs {
+			if s.FileOffset != pos || s.Length == 0 {
+				return false
+			}
+			if s.Server != l.Servers[s.Slot] {
+				return false
+			}
+			// Inverse mapping must agree with the forward mapping.
+			if FileOffsetOf(l, s.Slot, s.LocalOffset) != s.FileOffset {
+				return false
+			}
+			pos += s.Length
+		}
+		return pos == uint64(off)+uint64(length)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the per-server local sizes of a file sum to the file size.
+func TestLocalSizeSumsProperty(t *testing.T) {
+	f := func(stripePow uint8, width8 uint8, size uint32) bool {
+		stripe := uint32(1) << (stripePow%10 + 1)
+		width := int(width8%7) + 1
+		l := layoutFor(stripe, width)
+		var total uint64
+		for slot := 0; slot < width; slot++ {
+			total += LocalSize(l, uint64(size), slot)
+		}
+		return total == uint64(size)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LocalSize agrees with the segment decomposition of the whole
+// file.
+func TestLocalSizeMatchesSegments(t *testing.T) {
+	f := func(stripePow uint8, width8 uint8, size uint16) bool {
+		stripe := uint32(1) << (stripePow%8 + 1)
+		width := int(width8%5) + 1
+		l := layoutFor(stripe, width)
+		perSlot := make(map[int]uint64)
+		for _, s := range Segments(l, 0, uint64(size)) {
+			perSlot[s.Slot] += s.Length
+		}
+		for slot := 0; slot < width; slot++ {
+			if LocalSize(l, uint64(size), slot) != perSlot[slot] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

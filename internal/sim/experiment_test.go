@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestDecideMatchesClosedFormBoundaries(t *testing.T) {
+	// The whole-queue decision must flip exactly where the closed-form
+	// crossover says: Gaussian flips between n=3 and n=4, SUM never.
+	cases := []struct {
+		op   string
+		n    int
+		want string
+	}{
+		{"gaussian2d", 1, "Active"},
+		{"gaussian2d", 2, "Active"},
+		{"gaussian2d", 3, "Active"},
+		{"gaussian2d", 4, "Normal"},
+		{"gaussian2d", 64, "Normal"},
+		{"sum8", 1, "Active"},
+		{"sum8", 64, "Active"},
+	}
+	for _, tc := range cases {
+		got, err := decide(tc.op, tc.n, 128*MB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("decide(%s, n=%d) = %s, want %s", tc.op, tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestDecideUnknownOpFails(t *testing.T) {
+	if _, err := decide("bogus", 1, MB); err == nil {
+		t.Fatal("unknown op decided")
+	}
+}
+
+func TestAccuracyRateEdges(t *testing.T) {
+	if AccuracyRate(nil) != 0 {
+		t.Error("empty situations should rate 0")
+	}
+	sits := []Situation{{Correct: true}, {Correct: false}, {Correct: true}, {Correct: true}}
+	if got := AccuracyRate(sits); got != 0.75 {
+		t.Errorf("rate = %v", got)
+	}
+}
+
+func TestSeriesRejectsBadOp(t *testing.T) {
+	if _, err := Series("bogus", MB, PaperSchemes, Noise{}, 0); err == nil {
+		t.Fatal("bad op accepted")
+	}
+}
+
+func TestScheduleAccuracyDeterministicPerSeed(t *testing.T) {
+	a, err := ScheduleAccuracy(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ScheduleAccuracy(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("situation %d differs across identical seeds", i)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package sim
+
+import "container/heap"
+
+// pool is a c-server FCFS resource in virtual time: the storage node's
+// kernel cores (c = active cores) or its NIC (c = 1). Jobs must be offered
+// in non-decreasing ready order for strict FCFS semantics; both call sites
+// do so (arrival order / readiness-sorted).
+type pool struct {
+	freeAt freeHeap
+}
+
+func newPool(servers int) *pool {
+	if servers < 1 {
+		servers = 1
+	}
+	p := &pool{freeAt: make(freeHeap, servers)}
+	heap.Init(&p.freeAt)
+	return p
+}
+
+// schedule assigns a job that becomes ready at `ready` and occupies a
+// server for `dur` seconds; it returns the start and end times.
+func (p *pool) schedule(ready, dur float64) (start, end float64) {
+	start = p.freeAt[0]
+	if ready > start {
+		start = ready
+	}
+	end = start + dur
+	p.freeAt[0] = end
+	heap.Fix(&p.freeAt, 0)
+	return start, end
+}
+
+// freeHeap is a min-heap of server free times.
+type freeHeap []float64
+
+func (h freeHeap) Len() int           { return len(h) }
+func (h freeHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h freeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *freeHeap) Push(x any)        { *h = append(*h, x.(float64)) }
+func (h *freeHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }

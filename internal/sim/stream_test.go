@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dosas/internal/core"
+	"dosas/internal/workload"
+)
+
+func gaussStream(n int, bytes uint64, interarrival float64, seed int64) []workload.Request {
+	return workload.Stream(workload.StreamConfig{
+		Apps:             1,
+		RequestsPerApp:   n,
+		ActiveFraction:   1,
+		Ops:              []string{"gaussian2d"},
+		MeanInterarrival: interarrival,
+		MinBytes:         bytes,
+		MaxBytes:         bytes,
+		Seed:             seed,
+	})
+}
+
+func TestRunStreamBatchMatchesRun(t *testing.T) {
+	// A stream of simultaneous homogeneous active requests must behave
+	// like the batch simulator (which models exactly that), modulo the
+	// batch model's migration (disabled here via scheme AS/TS).
+	for _, scheme := range []core.Scheme{core.SchemeAS, core.SchemeTS} {
+		reqs := gaussStream(8, 128*MB, 0, 1)
+		sm, err := RunStream(StreamConfig{Scheme: scheme}, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off := false
+		bm, err := Run(Config{Scheme: scheme, Requests: 8, BytesPerRequest: 128 * MB,
+			Op: "gaussian2d", Migration: &off, ArrivalStagger: 1e-12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := (sm.Makespan - bm.Makespan) / bm.Makespan
+		if rel < -0.02 || rel > 0.02 {
+			t.Errorf("%v: stream makespan %.3f vs batch %.3f", scheme, sm.Makespan, bm.Makespan)
+		}
+	}
+}
+
+func TestRunStreamDOSASBeatsStaticsOnMixedLoad(t *testing.T) {
+	reqs := workload.Stream(workload.StreamConfig{
+		Apps:             4,
+		RequestsPerApp:   8,
+		ActiveFraction:   0.75,
+		Ops:              []string{"gaussian2d", "sum8"},
+		MeanInterarrival: 0.2,
+		MinBytes:         64 * MB,
+		MaxBytes:         512 * MB,
+		Seed:             7,
+	})
+	var makespans []float64
+	for _, scheme := range PaperSchemes {
+		m, err := RunStream(StreamConfig{Scheme: scheme, Seed: 7}, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		makespans = append(makespans, m.Makespan)
+	}
+	ts, as, do := makespans[0], makespans[1], makespans[2]
+	best := ts
+	if as < best {
+		best = as
+	}
+	if do > best*1.05 {
+		t.Errorf("DOSAS %.2f exceeds best static %.2f by >5%% on mixed load", do, best)
+	}
+}
+
+func TestRunStreamNormalRequestsMoveRawBytes(t *testing.T) {
+	reqs := workload.Stream(workload.StreamConfig{
+		Apps: 1, RequestsPerApp: 4, ActiveFraction: 0,
+		MinBytes: 10 * MB, MaxBytes: 10 * MB, Seed: 3,
+	})
+	m, err := RunStream(StreamConfig{Scheme: core.SchemeDOSAS}, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RawBytesMoved != 4*10*MB {
+		t.Errorf("moved %d", m.RawBytesMoved)
+	}
+	if m.Accepted != 0 || m.Bounced != 0 {
+		t.Errorf("plain reads misclassified: %+v", m)
+	}
+	if m.MeanNormalLatency == 0 {
+		t.Error("normal latency not recorded")
+	}
+}
+
+func TestRunStreamValidation(t *testing.T) {
+	if _, err := RunStream(StreamConfig{Scheme: core.SchemeAS}, nil); err == nil {
+		t.Error("empty stream accepted")
+	}
+	bad := []workload.Request{{Active: true, Op: "bogus", Bytes: 1}}
+	if _, err := RunStream(StreamConfig{Scheme: core.SchemeAS}, bad); err == nil {
+		t.Error("unknown op accepted")
+	}
+}
+
+// Property: stream simulation is deterministic and latencies are
+// consistent (done ≥ arrival, makespan = max completion).
+func TestRunStreamConsistencyProperty(t *testing.T) {
+	f := func(seed int64, apps8, per8, frac uint8, scheme8 uint8) bool {
+		reqs := workload.Stream(workload.StreamConfig{
+			Apps:             int(apps8)%3 + 1,
+			RequestsPerApp:   int(per8)%10 + 1,
+			ActiveFraction:   float64(frac%101) / 100,
+			Ops:              []string{"gaussian2d", "sum8", "histogram"},
+			MeanInterarrival: 0.1,
+			MinBytes:         MB,
+			MaxBytes:         64 * MB,
+			Seed:             seed,
+		})
+		scheme := PaperSchemes[int(scheme8)%3]
+		a, err1 := RunStream(StreamConfig{Scheme: scheme, Seed: seed, Noise: DiscfarmNoise()}, reqs)
+		b, err2 := RunStream(StreamConfig{Scheme: scheme, Seed: seed, Noise: DiscfarmNoise()}, reqs)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if a.Makespan != b.Makespan || a.Accepted != b.Accepted {
+			return false
+		}
+		return a.MaxLatency >= 0 && a.MeanLatency <= a.MaxLatency+1e-9 &&
+			a.Accepted+a.Bounced <= len(reqs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

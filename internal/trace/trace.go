@@ -1,0 +1,179 @@
+// Package trace records per-request lifecycle events on DOSAS storage
+// nodes: arrival, scheduling decision, kernel start, interruption,
+// migration, completion. The recorder is a fixed-capacity ring so it can
+// stay enabled in production; operators dump it to reconstruct exactly
+// why the Contention Estimator bounced or migrated a request.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Kind classifies a lifecycle event.
+type Kind uint8
+
+// Event kinds.
+const (
+	// KindArrive: an active request reached the node.
+	KindArrive Kind = iota + 1
+	// KindAdmit: the policy accepted it for storage-side execution.
+	KindAdmit
+	// KindReject: the policy bounced it at arrival.
+	KindReject
+	// KindStart: a kernel began executing.
+	KindStart
+	// KindInterrupt: the policy interrupted a running kernel.
+	KindInterrupt
+	// KindMigrate: the interrupted kernel's checkpoint left the node.
+	KindMigrate
+	// KindComplete: the kernel finished on this node.
+	KindComplete
+	// KindCancel: the client withdrew the request.
+	KindCancel
+	// KindTransform: an active write-back completed.
+	KindTransform
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindArrive:
+		return "arrive"
+	case KindAdmit:
+		return "admit"
+	case KindReject:
+		return "reject"
+	case KindStart:
+		return "start"
+	case KindInterrupt:
+		return "interrupt"
+	case KindMigrate:
+		return "migrate"
+	case KindComplete:
+		return "complete"
+	case KindCancel:
+		return "cancel"
+	case KindTransform:
+		return "transform"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one recorded lifecycle step.
+type Event struct {
+	Seq   uint64
+	Time  time.Time
+	Kind  Kind
+	ReqID uint64
+	Op    string
+	Bytes uint64
+	Note  string
+}
+
+// Recorder is a fixed-capacity ring of events. A nil *Recorder is valid
+// and records nothing, so callers need no nil checks at call sites.
+type Recorder struct {
+	mu   sync.Mutex
+	ring []Event
+	next int
+	full bool
+	seq  uint64
+	now  func() time.Time
+}
+
+// NewRecorder returns a recorder keeping the last capacity events
+// (minimum 16).
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Recorder{ring: make([]Event, capacity), now: time.Now}
+}
+
+// Record appends an event, evicting the oldest when full.
+func (r *Recorder) Record(kind Kind, reqID uint64, op string, bytes uint64, note string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.seq++
+	r.ring[r.next] = Event{
+		Seq:   r.seq,
+		Time:  r.now(),
+		Kind:  kind,
+		ReqID: reqID,
+		Op:    op,
+		Bytes: bytes,
+		Note:  note,
+	}
+	r.next++
+	if r.next == len(r.ring) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained events in chronological order.
+func (r *Recorder) Snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Event
+	if r.full {
+		out = append(out, r.ring[r.next:]...)
+	}
+	out = append(out, r.ring[:r.next]...)
+	// Trim zero entries (not yet written when !full).
+	trimmed := out[:0]
+	for _, e := range out {
+		if e.Seq != 0 {
+			trimmed = append(trimmed, e)
+		}
+	}
+	return trimmed
+}
+
+// Len reports how many events are retained.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.ring)
+	}
+	return r.next
+}
+
+// WriteTo dumps the retained events as one line each.
+func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for _, e := range r.Snapshot() {
+		n, err := fmt.Fprintf(w, "%s seq=%d req=%d %-9s op=%s bytes=%d %s\n",
+			e.Time.Format("15:04:05.000"), e.Seq, e.ReqID, e.Kind, e.Op, e.Bytes, e.Note)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// History reconstructs one request's event sequence.
+func (r *Recorder) History(reqID uint64) []Event {
+	var out []Event
+	for _, e := range r.Snapshot() {
+		if e.ReqID == reqID {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecordAndSnapshot(t *testing.T) {
+	r := NewRecorder(64)
+	r.Record(KindArrive, 1, "sum8", 100, "")
+	r.Record(KindAdmit, 1, "sum8", 100, "")
+	r.Record(KindComplete, 1, "sum8", 100, "ok")
+	evs := r.Snapshot()
+	if len(evs) != 3 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].Kind != KindArrive || evs[2].Kind != KindComplete {
+		t.Errorf("order wrong: %v, %v", evs[0].Kind, evs[2].Kind)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Error("sequence numbers not increasing")
+		}
+	}
+	if r.Len() != 3 {
+		t.Errorf("len = %d", r.Len())
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := NewRecorder(16)
+	for i := 0; i < 40; i++ {
+		r.Record(KindArrive, uint64(i), "op", 1, "")
+	}
+	evs := r.Snapshot()
+	if len(evs) != 16 {
+		t.Fatalf("retained %d, want 16", len(evs))
+	}
+	if evs[0].ReqID != 24 || evs[15].ReqID != 39 {
+		t.Errorf("retained window [%d, %d]", evs[0].ReqID, evs[15].ReqID)
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(KindArrive, 1, "x", 0, "") // must not panic
+	if r.Snapshot() != nil || r.Len() != 0 {
+		t.Error("nil recorder should be empty")
+	}
+}
+
+func TestHistoryFiltersByRequest(t *testing.T) {
+	r := NewRecorder(64)
+	r.Record(KindArrive, 1, "a", 0, "")
+	r.Record(KindArrive, 2, "b", 0, "")
+	r.Record(KindComplete, 1, "a", 0, "")
+	h := r.History(1)
+	if len(h) != 2 || h[0].Kind != KindArrive || h[1].Kind != KindComplete {
+		t.Fatalf("history = %+v", h)
+	}
+}
+
+func TestWriteTo(t *testing.T) {
+	r := NewRecorder(16)
+	r.now = func() time.Time { return time.Unix(0, 0) }
+	r.Record(KindInterrupt, 7, "gaussian2d", 1024, "policy flip")
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"req=7", "interrupt", "op=gaussian2d", "bytes=1024", "policy flip"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{KindArrive, KindAdmit, KindReject, KindStart,
+		KindInterrupt, KindMigrate, KindComplete, KindCancel, KindTransform}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+		if seen[s] {
+			t.Errorf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRecorder(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record(KindArrive, uint64(g), "op", 1, "")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 128 {
+		t.Errorf("len = %d", r.Len())
+	}
+	evs := r.Snapshot()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatal("snapshot not in sequence order after concurrent writes")
+		}
+	}
+}

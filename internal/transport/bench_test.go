@@ -1,0 +1,107 @@
+package transport
+
+import (
+	"io"
+	"net"
+	"testing"
+)
+
+// benchPipe measures raw throughput of the in-process buffered pipe.
+func BenchmarkPipeThroughput(b *testing.B) {
+	c, s := Pipe("bench")
+	defer c.Close()
+	const chunk = 64 << 10
+	go func() {
+		buf := make([]byte, chunk)
+		for {
+			if _, err := s.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	payload := make([]byte, chunk)
+	b.SetBytes(chunk)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Write(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInprocDialRoundTrip(b *testing.B) {
+	n := NewInproc()
+	l, err := n.Listen("bench-server")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				io.Copy(c, c)
+				c.Close()
+			}(c)
+		}
+	}()
+	msg := make([]byte, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := n.Dial("bench-server")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Write(msg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.ReadFull(c, msg); err != nil {
+			b.Fatal(err)
+		}
+		c.Close()
+	}
+}
+
+func BenchmarkShapedOverhead(b *testing.B) {
+	// Shaping at an effectively unlimited rate measures the shaper's
+	// bookkeeping cost alone.
+	n := NewShaped(NewInproc(), 1e12)
+	l, err := n.Listen("shaped-bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				buf := make([]byte, 64<<10)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+	c, err := n.Dial("shaped-bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	payload := make([]byte, 64<<10)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Write(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

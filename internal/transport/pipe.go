@@ -1,0 +1,194 @@
+package transport
+
+import (
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// pipeBufSize is the per-direction buffer of an in-process pipe. Writes
+// beyond it block until the reader drains, which preserves backpressure —
+// important because the shaper and the pfs flow control both rely on it.
+const pipeBufSize = 256 << 10
+
+// Pipe returns the two ends of a buffered, full-duplex in-memory
+// connection. Unlike net.Pipe it is asynchronous: writes complete as soon
+// as they fit in the buffer, which matches socket semantics closely enough
+// for protocol code to be tested against it.
+func Pipe(addr string) (client, server net.Conn) {
+	ab := newHalf()
+	ba := newHalf()
+	c := &pipeConn{rd: ba, wr: ab, local: pipeAddr("client->" + addr), remote: pipeAddr(addr)}
+	s := &pipeConn{rd: ab, wr: ba, local: pipeAddr(addr), remote: pipeAddr("client->" + addr)}
+	return c, s
+}
+
+// half is one direction of a pipe: a ring buffer with blocking reads and
+// writes, close semantics, and per-direction deadlines.
+type half struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	buf      []byte
+	start    int // index of first unread byte
+	n        int // bytes buffered
+	wclosed  bool
+	rclosed  bool
+	deadline time.Time // read deadline (set on the reading side)
+	wdead    time.Time // write deadline (set on the writing side)
+}
+
+func newHalf() *half {
+	h := &half{buf: make([]byte, pipeBufSize)}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+func (h *half) read(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for h.n == 0 {
+		if h.rclosed {
+			return 0, io.ErrClosedPipe
+		}
+		if h.wclosed {
+			return 0, io.EOF
+		}
+		if !h.deadline.IsZero() && !time.Now().Before(h.deadline) {
+			return 0, os.ErrDeadlineExceeded
+		}
+		h.waitLocked(h.deadline)
+	}
+	n := copy(p, h.window())
+	h.start = (h.start + n) % len(h.buf)
+	h.n -= n
+	h.cond.Broadcast()
+	return n, nil
+}
+
+// window returns the contiguous readable region starting at start.
+func (h *half) window() []byte {
+	end := h.start + h.n
+	if end > len(h.buf) {
+		end = len(h.buf)
+	}
+	return h.buf[h.start:end]
+}
+
+func (h *half) write(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var written int
+	for len(p) > 0 {
+		if h.wclosed || h.rclosed {
+			return written, io.ErrClosedPipe
+		}
+		if !h.wdead.IsZero() && !time.Now().Before(h.wdead) {
+			return written, os.ErrDeadlineExceeded
+		}
+		free := len(h.buf) - h.n
+		if free == 0 {
+			h.waitLocked(h.wdead)
+			continue
+		}
+		// Copy into at most two contiguous regions of the ring.
+		pos := (h.start + h.n) % len(h.buf)
+		span := len(h.buf) - pos
+		if span > free {
+			span = free
+		}
+		k := copy(h.buf[pos:pos+span], p)
+		h.n += k
+		p = p[k:]
+		written += k
+		h.cond.Broadcast()
+	}
+	return written, nil
+}
+
+// waitLocked blocks on the condition variable, waking early when a deadline
+// is set. The extra goroutine per timed wait is acceptable: deadlines are
+// rare on the in-process transport (tests only).
+func (h *half) waitLocked(deadline time.Time) {
+	if deadline.IsZero() {
+		h.cond.Wait()
+		return
+	}
+	t := time.AfterFunc(time.Until(deadline), func() {
+		h.mu.Lock()
+		h.cond.Broadcast()
+		h.mu.Unlock()
+	})
+	h.cond.Wait()
+	t.Stop()
+}
+
+func (h *half) closeWrite() {
+	h.mu.Lock()
+	h.wclosed = true
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+func (h *half) closeRead() {
+	h.mu.Lock()
+	h.rclosed = true
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+func (h *half) setReadDeadline(t time.Time) {
+	h.mu.Lock()
+	h.deadline = t
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+func (h *half) setWriteDeadline(t time.Time) {
+	h.mu.Lock()
+	h.wdead = t
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+type pipeConn struct {
+	rd, wr        *half
+	local, remote pipeAddr
+	closeOnce     sync.Once
+}
+
+func (c *pipeConn) Read(p []byte) (int, error)  { return c.rd.read(p) }
+func (c *pipeConn) Write(p []byte) (int, error) { return c.wr.write(p) }
+
+func (c *pipeConn) Close() error {
+	c.closeOnce.Do(func() {
+		c.wr.closeWrite()
+		c.rd.closeRead()
+	})
+	return nil
+}
+
+func (c *pipeConn) LocalAddr() net.Addr  { return c.local }
+func (c *pipeConn) RemoteAddr() net.Addr { return c.remote }
+
+func (c *pipeConn) SetDeadline(t time.Time) error {
+	c.rd.setReadDeadline(t)
+	c.wr.setWriteDeadline(t)
+	return nil
+}
+
+func (c *pipeConn) SetReadDeadline(t time.Time) error {
+	c.rd.setReadDeadline(t)
+	return nil
+}
+
+func (c *pipeConn) SetWriteDeadline(t time.Time) error {
+	c.wr.setWriteDeadline(t)
+	return nil
+}
+
+type pipeAddr string
+
+func (pipeAddr) Network() string  { return "inproc" }
+func (a pipeAddr) String() string { return string(a) }

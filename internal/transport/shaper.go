@@ -1,0 +1,155 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Shaped wraps an inner Network so that all traffic through each listening
+// node's connections shares a token bucket of rate bytes/second. This
+// emulates the physical NIC of a storage node: when 16 clients pull stripes
+// from one server concurrently, they split the server's link — exactly the
+// contention the paper measures on its 1 GbE Discfarm network (118 MB/s).
+//
+// Shaping is applied on the listener side in both directions, because the
+// experiments' bottleneck link is always the storage node's NIC (many
+// compute nodes per storage node); the dialing side passes through
+// unshaped.
+type Shaped struct {
+	inner Network
+	rate  float64 // bytes per second per listening node
+	burst float64 // bucket capacity in bytes
+
+	mu      sync.Mutex
+	buckets map[string]*bucket // one per listener address
+}
+
+// NewShaped wraps inner with per-listener shaping at rate bytes/second.
+// Rate must be positive.
+func NewShaped(inner Network, rate float64) *Shaped {
+	if rate <= 0 {
+		panic("transport: non-positive shaping rate")
+	}
+	return &Shaped{
+		inner: inner,
+		rate:  rate,
+		// A ~20 ms burst keeps small control messages cheap while bulk
+		// transfers converge to the configured rate quickly.
+		burst:   rate * 0.02,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// Rate returns the configured per-node link rate in bytes/second.
+func (s *Shaped) Rate() float64 { return s.rate }
+
+// Listen binds addr on the inner network and attaches a shared bucket.
+func (s *Shaped) Listen(addr string) (Listener, error) {
+	l, err := s.inner.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	b, ok := s.buckets[l.Addr()]
+	if !ok {
+		b = newBucket(s.rate, s.burst)
+		s.buckets[l.Addr()] = b
+	}
+	s.mu.Unlock()
+	return &shapedListener{Listener: l, b: b}, nil
+}
+
+// Dial connects through the inner network; the dialing direction is not
+// additionally shaped (the listener end already limits the shared link).
+func (s *Shaped) Dial(addr string) (net.Conn, error) {
+	return s.inner.Dial(addr)
+}
+
+type shapedListener struct {
+	Listener
+	b *bucket
+}
+
+func (l *shapedListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &shapedConn{Conn: c, b: l.b}, nil
+}
+
+// shapedConn charges every byte read or written against the node bucket.
+type shapedConn struct {
+	net.Conn
+	b *bucket
+}
+
+// shapeChunk bounds how many bytes are charged to the bucket at once, so
+// concurrent connections interleave fairly instead of one large transfer
+// monopolising the link.
+const shapeChunk = 64 << 10
+
+func (c *shapedConn) Read(p []byte) (int, error) {
+	if len(p) > shapeChunk {
+		p = p[:shapeChunk]
+	}
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.b.take(float64(n))
+	}
+	return n, err
+}
+
+func (c *shapedConn) Write(p []byte) (int, error) {
+	var written int
+	for len(p) > 0 {
+		chunk := p
+		if len(chunk) > shapeChunk {
+			chunk = chunk[:shapeChunk]
+		}
+		c.b.take(float64(len(chunk)))
+		n, err := c.Conn.Write(chunk)
+		written += n
+		if err != nil {
+			return written, err
+		}
+		p = p[n:]
+	}
+	return written, nil
+}
+
+// bucket is a blocking token bucket. take(n) debits n tokens, sleeping
+// until the refill (rate tokens/second, capacity burst) covers the debt.
+// It tolerates short negative balances so a single oversized request
+// cannot deadlock; the sleep brings the balance back before the next take.
+type bucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newBucket(rate, burst float64) *bucket {
+	return &bucket{rate: rate, burst: burst, tokens: burst, last: time.Now()}
+}
+
+func (b *bucket) take(n float64) {
+	b.mu.Lock()
+	now := time.Now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+	b.tokens -= n
+	var wait time.Duration
+	if b.tokens < 0 {
+		wait = time.Duration(-b.tokens / b.rate * float64(time.Second))
+	}
+	b.mu.Unlock()
+	if wait > 0 {
+		time.Sleep(wait)
+	}
+}

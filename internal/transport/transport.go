@@ -1,0 +1,57 @@
+// Package transport abstracts how DOSAS nodes reach each other. The pfs and
+// core layers speak wire messages over net.Conn values obtained here, so a
+// cluster can run over real TCP between processes, over an in-process
+// network inside one test binary, or over either of those wrapped in a
+// token-bucket shaper that emulates a slower physical link (the paper's
+// 118 MB/s Gigabit Ethernet).
+package transport
+
+import (
+	"errors"
+	"net"
+)
+
+// ErrClosed is returned by operations on a closed listener or network.
+var ErrClosed = errors.New("transport: closed")
+
+// Listener accepts inbound connections for one node address.
+type Listener interface {
+	// Accept blocks until a peer connects or the listener closes.
+	Accept() (net.Conn, error)
+	// Close releases the address. Pending Accepts fail with ErrClosed.
+	Close() error
+	// Addr returns the bound address in the network's own format.
+	Addr() string
+}
+
+// Network creates listeners and dials peers. Implementations must be safe
+// for concurrent use.
+type Network interface {
+	// Listen binds addr. For TCP, addr is host:port (":0" picks a port,
+	// recoverable from Addr). For the in-process network, addr is any
+	// non-empty string key ("" picks a fresh unique name).
+	Listen(addr string) (Listener, error)
+	// Dial connects to a listening addr.
+	Dial(addr string) (net.Conn, error)
+}
+
+// TCP is the production transport: plain TCP sockets.
+type TCP struct{}
+
+// Listen binds a TCP address.
+func (TCP) Listen(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return tcpListener{l}, nil
+}
+
+// Dial connects to a TCP address.
+func (TCP) Dial(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr)
+}
+
+type tcpListener struct{ net.Listener }
+
+func (l tcpListener) Addr() string { return l.Listener.Addr().String() }

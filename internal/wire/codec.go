@@ -1,0 +1,277 @@
+package wire
+
+import (
+	"errors"
+	"math"
+)
+
+// Encoding limits.
+const (
+	// MaxStringLen bounds any single length-prefixed string or byte
+	// field. Bulk stripe data travels as Bytes fields and is bounded by
+	// the frame size instead.
+	MaxStringLen = 1 << 16
+)
+
+var (
+	errStringTooLong = errors.New("wire: string field exceeds MaxStringLen")
+	errNegativeLen   = errors.New("wire: negative length prefix")
+)
+
+// Encoder serialises primitive values into a growing buffer. Errors are
+// sticky: after the first failure every subsequent Put is a no-op, and the
+// error is reported once at the end (mirroring the bufio.Writer pattern, so
+// message Encode methods stay free of error plumbing).
+type Encoder struct {
+	buf []byte
+	err error
+}
+
+// Bytes returns the encoded buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Err returns the first error encountered while encoding.
+func (e *Encoder) Err() error { return e.err }
+
+// PutU8 appends a single byte.
+func (e *Encoder) PutU8(v uint8) {
+	if e.err != nil {
+		return
+	}
+	e.buf = append(e.buf, v)
+}
+
+// PutBool appends a boolean as one byte (0 or 1).
+func (e *Encoder) PutBool(v bool) {
+	if v {
+		e.PutU8(1)
+	} else {
+		e.PutU8(0)
+	}
+}
+
+// PutU16 appends a little-endian uint16.
+func (e *Encoder) PutU16(v uint16) {
+	if e.err != nil {
+		return
+	}
+	e.buf = append(e.buf, byte(v), byte(v>>8))
+}
+
+// PutU32 appends a little-endian uint32.
+func (e *Encoder) PutU32(v uint32) {
+	if e.err != nil {
+		return
+	}
+	e.buf = append(e.buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// PutU64 appends a little-endian uint64.
+func (e *Encoder) PutU64(v uint64) {
+	if e.err != nil {
+		return
+	}
+	e.buf = append(e.buf,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// PutI64 appends a little-endian int64.
+func (e *Encoder) PutI64(v int64) { e.PutU64(uint64(v)) }
+
+// PutF64 appends an IEEE-754 float64.
+func (e *Encoder) PutF64(v float64) { e.PutU64(math.Float64bits(v)) }
+
+// PutString appends a length-prefixed UTF-8 string.
+func (e *Encoder) PutString(s string) {
+	if e.err != nil {
+		return
+	}
+	if len(s) > MaxStringLen {
+		e.err = errStringTooLong
+		return
+	}
+	e.PutU32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// PutBytes appends a length-prefixed byte slice. Bulk data path: bounded
+// only by the frame size.
+func (e *Encoder) PutBytes(b []byte) {
+	if e.err != nil {
+		return
+	}
+	e.PutU32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// PutU64s appends a length-prefixed slice of uint64.
+func (e *Encoder) PutU64s(vs []uint64) {
+	e.PutU32(uint32(len(vs)))
+	for _, v := range vs {
+		e.PutU64(v)
+	}
+}
+
+// PutStrings appends a length-prefixed slice of strings.
+func (e *Encoder) PutStrings(ss []string) {
+	e.PutU32(uint32(len(ss)))
+	for _, s := range ss {
+		e.PutString(s)
+	}
+}
+
+// Decoder reads primitive values out of a buffer. Like Encoder, errors are
+// sticky; once the buffer underflows every Get returns a zero value.
+type Decoder struct {
+	buf []byte
+	err error
+	off int
+}
+
+// NewDecoder returns a decoder over buf.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Err returns the first error encountered while decoding.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining reports how many bytes are left unread.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if len(d.buf)-d.off < n {
+		d.err = ErrShortPayload
+		return false
+	}
+	return true
+}
+
+// U8 reads a single byte.
+func (d *Decoder) U8() uint8 {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+// Bool reads a one-byte boolean.
+func (d *Decoder) Bool() bool { return d.U8() != 0 }
+
+// U16 reads a little-endian uint16.
+func (d *Decoder) U16() uint16 {
+	if !d.need(2) {
+		return 0
+	}
+	v := uint16(d.buf[d.off]) | uint16(d.buf[d.off+1])<<8
+	d.off += 2
+	return v
+}
+
+// U32 reads a little-endian uint32.
+func (d *Decoder) U32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	b := d.buf[d.off:]
+	v := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	d.off += 4
+	return v
+}
+
+// U64 reads a little-endian uint64.
+func (d *Decoder) U64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	b := d.buf[d.off:]
+	v := uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+	d.off += 8
+	return v
+}
+
+// I64 reads a little-endian int64.
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+// F64 reads an IEEE-754 float64.
+func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	n := int(d.U32())
+	if d.err != nil {
+		return ""
+	}
+	if n > MaxStringLen {
+		d.err = errStringTooLong
+		return ""
+	}
+	if !d.need(n) {
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+// Bytes reads a length-prefixed byte slice. The returned slice aliases the
+// decoder's buffer; callers that retain it beyond the message lifetime must
+// copy.
+func (d *Decoder) Bytes() []byte {
+	n := int(d.U32())
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 {
+		d.err = errNegativeLen
+		return nil
+	}
+	if !d.need(n) {
+		return nil
+	}
+	b := d.buf[d.off : d.off+n : d.off+n]
+	d.off += n
+	return b
+}
+
+// U64s reads a length-prefixed slice of uint64.
+func (d *Decoder) U64s() []uint64 {
+	n := int(d.U32())
+	if d.err != nil {
+		return nil
+	}
+	// Each element takes 8 bytes; reject lengths the payload cannot hold
+	// before allocating.
+	if n*8 > d.Remaining() {
+		d.err = ErrShortPayload
+		return nil
+	}
+	vs := make([]uint64, n)
+	for i := range vs {
+		vs[i] = d.U64()
+	}
+	return vs
+}
+
+// Strings reads a length-prefixed slice of strings.
+func (d *Decoder) Strings() []string {
+	n := int(d.U32())
+	if d.err != nil {
+		return nil
+	}
+	// Each element needs at least a 4-byte length prefix.
+	if n*4 > d.Remaining() {
+		d.err = ErrShortPayload
+		return nil
+	}
+	ss := make([]string, n)
+	for i := range ss {
+		ss[i] = d.String()
+	}
+	return ss
+}

@@ -1,0 +1,144 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncoderDecoderRoundTrip(t *testing.T) {
+	var e Encoder
+	e.PutU8(0xAB)
+	e.PutBool(true)
+	e.PutBool(false)
+	e.PutU16(0xBEEF)
+	e.PutU32(0xDEADBEEF)
+	e.PutU64(0x0102030405060708)
+	e.PutI64(-42)
+	e.PutF64(3.14159)
+	e.PutString("hello, 世界")
+	e.PutBytes([]byte{1, 2, 3})
+	e.PutU64s([]uint64{7, 8, 9})
+	e.PutStrings([]string{"a", "", "c"})
+	if err := e.Err(); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+
+	d := NewDecoder(e.Bytes())
+	if got := d.U8(); got != 0xAB {
+		t.Errorf("U8 = %#x", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("Bool sequence wrong")
+	}
+	if got := d.U16(); got != 0xBEEF {
+		t.Errorf("U16 = %#x", got)
+	}
+	if got := d.U32(); got != 0xDEADBEEF {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := d.U64(); got != 0x0102030405060708 {
+		t.Errorf("U64 = %#x", got)
+	}
+	if got := d.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := d.F64(); got != 3.14159 {
+		t.Errorf("F64 = %v", got)
+	}
+	if got := d.String(); got != "hello, 世界" {
+		t.Errorf("String = %q", got)
+	}
+	if got := d.Bytes(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("Bytes = %v", got)
+	}
+	u := d.U64s()
+	if len(u) != 3 || u[0] != 7 || u[2] != 9 {
+		t.Errorf("U64s = %v", u)
+	}
+	s := d.Strings()
+	if len(s) != 3 || s[0] != "a" || s[1] != "" || s[2] != "c" {
+		t.Errorf("Strings = %v", s)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", d.Remaining())
+	}
+}
+
+// Property: every (u64, i64, f64, string, bytes) tuple survives a
+// round trip through the codec.
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(a uint64, b int64, c float64, s string, raw []byte) bool {
+		if len(s) > MaxStringLen {
+			s = s[:MaxStringLen]
+		}
+		var e Encoder
+		e.PutU64(a)
+		e.PutI64(b)
+		e.PutF64(c)
+		e.PutString(s)
+		e.PutBytes(raw)
+		if e.Err() != nil {
+			return false
+		}
+		d := NewDecoder(e.Bytes())
+		ga, gb, gc := d.U64(), d.I64(), d.F64()
+		gs, graw := d.String(), d.Bytes()
+		if d.Err() != nil || d.Remaining() != 0 {
+			return false
+		}
+		sameF := gc == c || (math.IsNaN(gc) && math.IsNaN(c))
+		return ga == a && gb == b && sameF && gs == s && bytes.Equal(graw, raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecoderUnderflowIsSticky(t *testing.T) {
+	d := NewDecoder([]byte{1, 2})
+	_ = d.U32()
+	if d.Err() != ErrShortPayload {
+		t.Fatalf("err = %v, want ErrShortPayload", d.Err())
+	}
+	// Every subsequent read must return zero values, not panic.
+	if d.U64() != 0 || d.String() != "" || d.Bytes() != nil {
+		t.Error("reads after error returned non-zero values")
+	}
+}
+
+func TestDecoderRejectsOversizedCollections(t *testing.T) {
+	// A length prefix claiming more elements than the payload can hold
+	// must fail before allocating.
+	var e Encoder
+	e.PutU32(1 << 30) // absurd element count
+	d := NewDecoder(e.Bytes())
+	if got := d.U64s(); got != nil {
+		t.Errorf("U64s = %v, want nil", got)
+	}
+	if d.Err() == nil {
+		t.Error("expected error for oversized U64s")
+	}
+
+	var e2 Encoder
+	e2.PutU32(1 << 30)
+	d2 := NewDecoder(e2.Bytes())
+	if got := d2.Strings(); got != nil {
+		t.Errorf("Strings = %v, want nil", got)
+	}
+	if d2.Err() == nil {
+		t.Error("expected error for oversized Strings")
+	}
+}
+
+func TestStringLengthLimit(t *testing.T) {
+	var e Encoder
+	e.PutString(string(make([]byte, MaxStringLen+1)))
+	if e.Err() == nil {
+		t.Fatal("expected error encoding oversized string")
+	}
+}

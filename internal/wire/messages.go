@@ -1,0 +1,579 @@
+package wire
+
+// Status codes carried by ErrorMsg. These travel on the wire; append only.
+const (
+	StatusOK uint32 = iota
+	StatusNotFound
+	StatusExists
+	StatusInvalid
+	StatusOverloaded
+	StatusInternal
+	StatusUnsupported
+	StatusCancelled
+)
+
+// ErrorMsg is the generic failure response for any request.
+type ErrorMsg struct {
+	Code   uint32 // one of the Status* codes
+	Op     string // the operation that failed, e.g. "open"
+	Detail string // human-readable context
+}
+
+func (*ErrorMsg) Type() MsgType { return MsgError }
+
+func (m *ErrorMsg) Encode(e *Encoder) {
+	e.PutU32(m.Code)
+	e.PutString(m.Op)
+	e.PutString(m.Detail)
+}
+
+func (m *ErrorMsg) Decode(d *Decoder) {
+	m.Code = d.U32()
+	m.Op = d.String()
+	m.Detail = d.String()
+}
+
+// Ping is a liveness probe; the peer answers with Pong echoing Seq.
+type Ping struct{ Seq uint64 }
+
+func (*Ping) Type() MsgType       { return MsgPing }
+func (m *Ping) Encode(e *Encoder) { e.PutU64(m.Seq) }
+func (m *Ping) Decode(d *Decoder) { m.Seq = d.U64() }
+
+// Pong answers a Ping.
+type Pong struct{ Seq uint64 }
+
+func (*Pong) Type() MsgType       { return MsgPong }
+func (m *Pong) Encode(e *Encoder) { e.PutU64(m.Seq) }
+func (m *Pong) Decode(d *Decoder) { m.Seq = d.U64() }
+
+// Layout describes how a file's bytes are striped across data servers:
+// round-robin stripes of StripeSize bytes over Servers, in order. With
+// Replicas > 1, replica r of the stripe owned by slot s lives on
+// Servers[(s+r) mod len(Servers)] under a replica-tagged handle.
+type Layout struct {
+	StripeSize uint32
+	Servers    []uint32 // indices into the cluster's data-server table
+	Replicas   uint8    // copies of each stripe; 0 and 1 both mean one
+}
+
+// ReplicaCount normalises Replicas (0 means 1).
+func (l Layout) ReplicaCount() int {
+	if l.Replicas < 1 {
+		return 1
+	}
+	return int(l.Replicas)
+}
+
+func (l *Layout) encode(e *Encoder) {
+	e.PutU32(l.StripeSize)
+	e.PutU8(l.Replicas)
+	e.PutU32(uint32(len(l.Servers)))
+	for _, s := range l.Servers {
+		e.PutU32(s)
+	}
+}
+
+func (l *Layout) decode(d *Decoder) {
+	l.StripeSize = d.U32()
+	l.Replicas = d.U8()
+	n := int(d.U32())
+	if n*4 > d.Remaining() {
+		d.err = ErrShortPayload
+		return
+	}
+	l.Servers = make([]uint32, n)
+	for i := range l.Servers {
+		l.Servers[i] = d.U32()
+	}
+}
+
+// CreateReq asks the metadata server to create a file.
+type CreateReq struct {
+	Name       string
+	StripeSize uint32 // 0 means the server default
+	Width      uint32 // number of data servers to stripe over; 0 means all
+	// Placement, when non-empty, pins the stripe layout to exactly these
+	// data-server indices in order (Width is then ignored). Used to
+	// co-locate a transform's output with its input.
+	Placement []uint32
+	// Replicas asks for this many copies of every stripe (0 and 1 both
+	// mean no redundancy). Must not exceed the stripe width.
+	Replicas uint8
+}
+
+func (*CreateReq) Type() MsgType { return MsgCreateReq }
+
+func (m *CreateReq) Encode(e *Encoder) {
+	e.PutString(m.Name)
+	e.PutU32(m.StripeSize)
+	e.PutU32(m.Width)
+	e.PutU32(uint32(len(m.Placement)))
+	for _, s := range m.Placement {
+		e.PutU32(s)
+	}
+	e.PutU8(m.Replicas)
+}
+
+func (m *CreateReq) Decode(d *Decoder) {
+	m.Name = d.String()
+	m.StripeSize = d.U32()
+	m.Width = d.U32()
+	n := int(d.U32())
+	if n*4 > d.Remaining() {
+		d.err = ErrShortPayload
+		return
+	}
+	if n > 0 {
+		m.Placement = make([]uint32, n)
+		for i := range m.Placement {
+			m.Placement[i] = d.U32()
+		}
+	}
+	m.Replicas = d.U8()
+}
+
+// CreateResp returns the handle and layout of a newly created file.
+type CreateResp struct {
+	Handle uint64
+	Layout Layout
+}
+
+func (*CreateResp) Type() MsgType { return MsgCreateResp }
+
+func (m *CreateResp) Encode(e *Encoder) {
+	e.PutU64(m.Handle)
+	m.Layout.encode(e)
+}
+
+func (m *CreateResp) Decode(d *Decoder) {
+	m.Handle = d.U64()
+	m.Layout.decode(d)
+}
+
+// OpenReq looks a file up by name.
+type OpenReq struct{ Name string }
+
+func (*OpenReq) Type() MsgType       { return MsgOpenReq }
+func (m *OpenReq) Encode(e *Encoder) { e.PutString(m.Name) }
+func (m *OpenReq) Decode(d *Decoder) { m.Name = d.String() }
+
+// OpenResp returns everything a client needs to address a file's stripes.
+type OpenResp struct {
+	Handle uint64
+	Size   uint64
+	Layout Layout
+}
+
+func (*OpenResp) Type() MsgType { return MsgOpenResp }
+
+func (m *OpenResp) Encode(e *Encoder) {
+	e.PutU64(m.Handle)
+	e.PutU64(m.Size)
+	m.Layout.encode(e)
+}
+
+func (m *OpenResp) Decode(d *Decoder) {
+	m.Handle = d.U64()
+	m.Size = d.U64()
+	m.Layout.decode(d)
+}
+
+// StatReq asks for file metadata by name.
+type StatReq struct{ Name string }
+
+func (*StatReq) Type() MsgType       { return MsgStatReq }
+func (m *StatReq) Encode(e *Encoder) { e.PutString(m.Name) }
+func (m *StatReq) Decode(d *Decoder) { m.Name = d.String() }
+
+// StatResp carries file metadata.
+type StatResp struct {
+	Handle   uint64
+	Size     uint64
+	ModUnixN int64 // modification time, Unix nanoseconds
+	Layout   Layout
+}
+
+func (*StatResp) Type() MsgType { return MsgStatResp }
+
+func (m *StatResp) Encode(e *Encoder) {
+	e.PutU64(m.Handle)
+	e.PutU64(m.Size)
+	e.PutI64(m.ModUnixN)
+	m.Layout.encode(e)
+}
+
+func (m *StatResp) Decode(d *Decoder) {
+	m.Handle = d.U64()
+	m.Size = d.U64()
+	m.ModUnixN = d.I64()
+	m.Layout.decode(d)
+}
+
+// RemoveReq deletes a file by name.
+type RemoveReq struct{ Name string }
+
+func (*RemoveReq) Type() MsgType       { return MsgRemoveReq }
+func (m *RemoveReq) Encode(e *Encoder) { e.PutString(m.Name) }
+func (m *RemoveReq) Decode(d *Decoder) { m.Name = d.String() }
+
+// RemoveResp acknowledges a Remove. Handle lets storage servers be told to
+// drop the file's stripes.
+type RemoveResp struct{ Handle uint64 }
+
+func (*RemoveResp) Type() MsgType       { return MsgRemoveResp }
+func (m *RemoveResp) Encode(e *Encoder) { e.PutU64(m.Handle) }
+func (m *RemoveResp) Decode(d *Decoder) { m.Handle = d.U64() }
+
+// ListReq enumerates files whose names start with Prefix.
+type ListReq struct{ Prefix string }
+
+func (*ListReq) Type() MsgType       { return MsgListReq }
+func (m *ListReq) Encode(e *Encoder) { e.PutString(m.Prefix) }
+func (m *ListReq) Decode(d *Decoder) { m.Prefix = d.String() }
+
+// ListResp carries matching names in lexical order.
+type ListResp struct{ Names []string }
+
+func (*ListResp) Type() MsgType       { return MsgListResp }
+func (m *ListResp) Encode(e *Encoder) { e.PutStrings(m.Names) }
+func (m *ListResp) Decode(d *Decoder) { m.Names = d.Strings() }
+
+// SetSizeReq extends a file's recorded size after a write. The metadata
+// server keeps the maximum of the current and requested sizes, so
+// concurrent writers converge without coordination.
+type SetSizeReq struct {
+	Handle uint64
+	Size   uint64
+}
+
+func (*SetSizeReq) Type() MsgType { return MsgSetSizeReq }
+
+func (m *SetSizeReq) Encode(e *Encoder) {
+	e.PutU64(m.Handle)
+	e.PutU64(m.Size)
+}
+
+func (m *SetSizeReq) Decode(d *Decoder) {
+	m.Handle = d.U64()
+	m.Size = d.U64()
+}
+
+// SetSizeResp returns the size now on record.
+type SetSizeResp struct{ Size uint64 }
+
+func (*SetSizeResp) Type() MsgType       { return MsgSetSizeResp }
+func (m *SetSizeResp) Encode(e *Encoder) { e.PutU64(m.Size) }
+func (m *SetSizeResp) Decode(d *Decoder) { m.Size = d.U64() }
+
+// ReadReq reads Length bytes at Offset from a data server's local byte
+// stream for Handle. Offsets are server-local: the striping client maps
+// file offsets to (server, local offset) pairs.
+type ReadReq struct {
+	Handle uint64
+	Offset uint64
+	Length uint32
+}
+
+func (*ReadReq) Type() MsgType { return MsgReadReq }
+
+func (m *ReadReq) Encode(e *Encoder) {
+	e.PutU64(m.Handle)
+	e.PutU64(m.Offset)
+	e.PutU32(m.Length)
+}
+
+func (m *ReadReq) Decode(d *Decoder) {
+	m.Handle = d.U64()
+	m.Offset = d.U64()
+	m.Length = d.U32()
+}
+
+// ReadResp returns the requested bytes. A short Data with EOF set means the
+// local stream ended.
+type ReadResp struct {
+	Data []byte
+	EOF  bool
+}
+
+func (*ReadResp) Type() MsgType { return MsgReadResp }
+
+func (m *ReadResp) Encode(e *Encoder) {
+	e.PutBytes(m.Data)
+	e.PutBool(m.EOF)
+}
+
+func (m *ReadResp) Decode(d *Decoder) {
+	m.Data = d.Bytes()
+	m.EOF = d.Bool()
+}
+
+// WriteReq writes Data at the server-local Offset for Handle.
+type WriteReq struct {
+	Handle uint64
+	Offset uint64
+	Data   []byte
+}
+
+func (*WriteReq) Type() MsgType { return MsgWriteReq }
+
+func (m *WriteReq) Encode(e *Encoder) {
+	e.PutU64(m.Handle)
+	e.PutU64(m.Offset)
+	e.PutBytes(m.Data)
+}
+
+func (m *WriteReq) Decode(d *Decoder) {
+	m.Handle = d.U64()
+	m.Offset = d.U64()
+	m.Data = d.Bytes()
+}
+
+// WriteResp acknowledges the number of bytes durably applied.
+type WriteResp struct{ N uint32 }
+
+func (*WriteResp) Type() MsgType       { return MsgWriteResp }
+func (m *WriteResp) Encode(e *Encoder) { e.PutU32(m.N) }
+func (m *WriteResp) Decode(d *Decoder) { m.N = d.U32() }
+
+// TruncReq truncates (or removes, when Size is 0 and Remove is set) the
+// server-local stream for Handle.
+type TruncReq struct {
+	Handle uint64
+	Size   uint64
+	Remove bool
+}
+
+func (*TruncReq) Type() MsgType { return MsgTruncReq }
+
+func (m *TruncReq) Encode(e *Encoder) {
+	e.PutU64(m.Handle)
+	e.PutU64(m.Size)
+	e.PutBool(m.Remove)
+}
+
+func (m *TruncReq) Decode(d *Decoder) {
+	m.Handle = d.U64()
+	m.Size = d.U64()
+	m.Remove = d.Bool()
+}
+
+// TruncResp acknowledges a TruncReq.
+type TruncResp struct{}
+
+func (*TruncResp) Type() MsgType   { return MsgTruncResp }
+func (*TruncResp) Encode(*Encoder) {}
+func (*TruncResp) Decode(*Decoder) {}
+
+// ActiveReadReq asks a storage server to run kernel Op over the
+// server-local byte range [Offset, Offset+Length) of Handle and return the
+// (small) result instead of the raw bytes. This is the wire form of the
+// paper's MPI_File_read_ex.
+type ActiveReadReq struct {
+	RequestID uint64 // client-chosen id, used by CancelReq
+	Handle    uint64
+	Offset    uint64
+	Length    uint64
+	Op        string // kernel name in the registry, e.g. "sum64"
+	Params    []byte // kernel-specific parameters (encoded by the kernel)
+	// ResumeState carries a kernel checkpoint when the client re-issues a
+	// previously interrupted request; empty for fresh requests.
+	ResumeState []byte
+}
+
+func (*ActiveReadReq) Type() MsgType { return MsgActiveReadReq }
+
+func (m *ActiveReadReq) Encode(e *Encoder) {
+	e.PutU64(m.RequestID)
+	e.PutU64(m.Handle)
+	e.PutU64(m.Offset)
+	e.PutU64(m.Length)
+	e.PutString(m.Op)
+	e.PutBytes(m.Params)
+	e.PutBytes(m.ResumeState)
+}
+
+func (m *ActiveReadReq) Decode(d *Decoder) {
+	m.RequestID = d.U64()
+	m.Handle = d.U64()
+	m.Offset = d.U64()
+	m.Length = d.U64()
+	m.Op = d.String()
+	m.Params = d.Bytes()
+	m.ResumeState = d.Bytes()
+}
+
+// Dispositions of an active read, carried in ActiveReadResp.Disposition.
+const (
+	// ActiveDone: the kernel ran to completion on the storage node;
+	// Result holds the final output (paper: completed = 1).
+	ActiveDone uint8 = iota
+	// ActiveRejected: the scheduling policy bounced the request before it
+	// started; the client must do a normal read and run the kernel
+	// locally (paper: completed = 0, buf = null).
+	ActiveRejected
+	// ActiveInterrupted: the kernel started but was preempted; State
+	// holds its checkpoint and Processed the bytes already consumed
+	// (paper: completed = 0, buf = saved status).
+	ActiveInterrupted
+)
+
+// ActiveReadResp answers an ActiveReadReq. It is the wire form of the
+// paper's struct result (Table I).
+type ActiveReadResp struct {
+	RequestID   uint64
+	Disposition uint8  // ActiveDone, ActiveRejected, or ActiveInterrupted
+	Result      []byte // kernel output when Disposition == ActiveDone
+	State       []byte // kernel checkpoint when ActiveInterrupted
+	Processed   uint64 // bytes already consumed by the kernel
+}
+
+func (*ActiveReadResp) Type() MsgType { return MsgActiveReadResp }
+
+func (m *ActiveReadResp) Encode(e *Encoder) {
+	e.PutU64(m.RequestID)
+	e.PutU8(m.Disposition)
+	e.PutBytes(m.Result)
+	e.PutBytes(m.State)
+	e.PutU64(m.Processed)
+}
+
+func (m *ActiveReadResp) Decode(d *Decoder) {
+	m.RequestID = d.U64()
+	m.Disposition = d.U8()
+	m.Result = d.Bytes()
+	m.State = d.Bytes()
+	m.Processed = d.U64()
+}
+
+// ProbeReq asks a storage server for its load status (the Contention
+// Estimator's periodic probe).
+type ProbeReq struct{}
+
+func (*ProbeReq) Type() MsgType   { return MsgProbeReq }
+func (*ProbeReq) Encode(*Encoder) {}
+func (*ProbeReq) Decode(*Decoder) {}
+
+// ProbeResp is a snapshot of a storage server's load: the inputs the paper
+// lists for the CE — I/O queue, CPU utilisation, memory utilisation.
+type ProbeResp struct {
+	QueueLen       uint32  // normal I/O requests queued or in flight
+	ActiveQueueLen uint32  // active I/O requests queued or in flight
+	BusyCores      float64 // cores currently executing kernels
+	TotalCores     uint32  // cores available to the active runtime
+	MemUsed        uint64  // bytes of kernel working memory in use
+	MemTotal       uint64  // configured memory budget
+	BytesQueued    uint64  // total request bytes awaiting service
+}
+
+func (*ProbeResp) Type() MsgType { return MsgProbeResp }
+
+func (m *ProbeResp) Encode(e *Encoder) {
+	e.PutU32(m.QueueLen)
+	e.PutU32(m.ActiveQueueLen)
+	e.PutF64(m.BusyCores)
+	e.PutU32(m.TotalCores)
+	e.PutU64(m.MemUsed)
+	e.PutU64(m.MemTotal)
+	e.PutU64(m.BytesQueued)
+}
+
+func (m *ProbeResp) Decode(d *Decoder) {
+	m.QueueLen = d.U32()
+	m.ActiveQueueLen = d.U32()
+	m.BusyCores = d.F64()
+	m.TotalCores = d.U32()
+	m.MemUsed = d.U64()
+	m.MemTotal = d.U64()
+	m.BytesQueued = d.U64()
+}
+
+// CancelReq withdraws a pending or running active read.
+type CancelReq struct{ RequestID uint64 }
+
+func (*CancelReq) Type() MsgType       { return MsgCancelReq }
+func (m *CancelReq) Encode(e *Encoder) { e.PutU64(m.RequestID) }
+func (m *CancelReq) Decode(d *Decoder) { m.RequestID = d.U64() }
+
+// CancelResp reports whether the request was found (still pending or
+// running) when the cancel arrived.
+type CancelResp struct{ Found bool }
+
+func (*CancelResp) Type() MsgType       { return MsgCancelResp }
+func (m *CancelResp) Encode(e *Encoder) { e.PutBool(m.Found) }
+func (m *CancelResp) Decode(d *Decoder) { m.Found = d.Bool() }
+
+// TransformReq asks a storage server to run kernel Op over the
+// server-local range [Offset, Offset+Length) of SrcHandle and write the
+// output to the server-local stream of DstHandle at DstOffset — active
+// write-back: neither input nor output crosses the network. The source
+// and destination files must share a stripe layout and the operation must
+// be size-preserving, which the client validates before issuing.
+type TransformReq struct {
+	RequestID uint64
+	SrcHandle uint64
+	Offset    uint64
+	Length    uint64
+	Op        string
+	Params    []byte
+	DstHandle uint64
+	DstOffset uint64
+}
+
+func (*TransformReq) Type() MsgType { return MsgTransformReq }
+
+func (m *TransformReq) Encode(e *Encoder) {
+	e.PutU64(m.RequestID)
+	e.PutU64(m.SrcHandle)
+	e.PutU64(m.Offset)
+	e.PutU64(m.Length)
+	e.PutString(m.Op)
+	e.PutBytes(m.Params)
+	e.PutU64(m.DstHandle)
+	e.PutU64(m.DstOffset)
+}
+
+func (m *TransformReq) Decode(d *Decoder) {
+	m.RequestID = d.U64()
+	m.SrcHandle = d.U64()
+	m.Offset = d.U64()
+	m.Length = d.U64()
+	m.Op = d.String()
+	m.Params = d.Bytes()
+	m.DstHandle = d.U64()
+	m.DstOffset = d.U64()
+}
+
+// LocalSizeReq asks a data server for the length of its local stream for
+// Handle — the inspection primitive behind fsck and replica repair.
+type LocalSizeReq struct{ Handle uint64 }
+
+func (*LocalSizeReq) Type() MsgType       { return MsgLocalSizeReq }
+func (m *LocalSizeReq) Encode(e *Encoder) { e.PutU64(m.Handle) }
+func (m *LocalSizeReq) Decode(d *Decoder) { m.Handle = d.U64() }
+
+// LocalSizeResp returns the local stream length (0 when absent).
+type LocalSizeResp struct{ Size uint64 }
+
+func (*LocalSizeResp) Type() MsgType       { return MsgLocalSizeResp }
+func (m *LocalSizeResp) Encode(e *Encoder) { e.PutU64(m.Size) }
+func (m *LocalSizeResp) Decode(d *Decoder) { m.Size = d.U64() }
+
+// TransformResp acknowledges a TransformReq with the number of output
+// bytes written locally.
+type TransformResp struct {
+	RequestID uint64
+	Written   uint64
+}
+
+func (*TransformResp) Type() MsgType { return MsgTransformResp }
+
+func (m *TransformResp) Encode(e *Encoder) {
+	e.PutU64(m.RequestID)
+	e.PutU64(m.Written)
+}
+
+func (m *TransformResp) Decode(d *Decoder) {
+	m.RequestID = d.U64()
+	m.Written = d.U64()
+}

@@ -1,0 +1,155 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// roundTrip writes m through the framing layer and reads it back.
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, m); err != nil {
+		t.Fatalf("WriteMessage(%v): %v", m.Type(), err)
+	}
+	got, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatalf("ReadMessage(%v): %v", m.Type(), err)
+	}
+	return got
+}
+
+func TestAllMessagesRoundTrip(t *testing.T) {
+	layout := Layout{StripeSize: 4096, Servers: []uint32{2, 0, 1}}
+	msgs := []Message{
+		&ErrorMsg{Code: StatusNotFound, Op: "open", Detail: "no such file"},
+		&Ping{Seq: 7},
+		&Pong{Seq: 7},
+		&CreateReq{Name: "a/b", StripeSize: 1 << 16, Width: 4},
+		&CreateReq{Name: "placed", StripeSize: 1 << 16, Placement: []uint32{2, 0}},
+		&CreateResp{Handle: 9, Layout: layout},
+		&OpenReq{Name: "a/b"},
+		&OpenResp{Handle: 9, Size: 1 << 30, Layout: layout},
+		&StatReq{Name: "a/b"},
+		&StatResp{Handle: 9, Size: 12345, ModUnixN: -99, Layout: layout},
+		&RemoveReq{Name: "x"},
+		&RemoveResp{Handle: 3},
+		&ListReq{Prefix: "data/"},
+		&ListResp{Names: []string{"data/a", "data/b"}},
+		&SetSizeReq{Handle: 4, Size: 77},
+		&SetSizeResp{Size: 77},
+		&ReadReq{Handle: 1, Offset: 8192, Length: 4096},
+		&ReadResp{Data: []byte{9, 9, 9}, EOF: true},
+		&WriteReq{Handle: 1, Offset: 0, Data: []byte("payload")},
+		&WriteResp{N: 7},
+		&TruncReq{Handle: 5, Size: 10, Remove: true},
+		&TruncResp{},
+		&ActiveReadReq{RequestID: 11, Handle: 2, Offset: 64, Length: 1 << 20,
+			Op: "sum8", Params: []byte{1}, ResumeState: []byte{2, 3}},
+		&ActiveReadResp{RequestID: 11, Disposition: ActiveInterrupted,
+			Result: []byte{4}, State: []byte{5, 6}, Processed: 512},
+		&ProbeReq{},
+		&ProbeResp{QueueLen: 3, ActiveQueueLen: 2, BusyCores: 1.5, TotalCores: 2,
+			MemUsed: 100, MemTotal: 1000, BytesQueued: 4096},
+		&CancelReq{RequestID: 11},
+		&CancelResp{Found: true},
+		&TransformReq{RequestID: 12, SrcHandle: 2, Offset: 64, Length: 1 << 20,
+			Op: "gaussian2d", Params: []byte{7}, DstHandle: 3, DstOffset: 64},
+		&TransformResp{RequestID: 12, Written: 1 << 20},
+		&LocalSizeReq{Handle: 9},
+		&LocalSizeResp{Size: 1 << 30},
+	}
+	seen := make(map[MsgType]bool)
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		if !reflect.DeepEqual(normalise(got), normalise(m)) {
+			t.Errorf("%v: round trip mismatch:\n got %#v\nwant %#v", m.Type(), got, m)
+		}
+		seen[m.Type()] = true
+	}
+	// Every registered message type must be covered above, so new
+	// messages cannot ship without a round-trip test.
+	for tt := MsgType(1); tt < msgSentinel; tt++ {
+		if !seen[tt] {
+			t.Errorf("message type %v has no round-trip coverage", tt)
+		}
+	}
+}
+
+// normalise maps nil and empty slices to a canonical form so DeepEqual
+// compares semantic content (the codec does not distinguish them).
+func normalise(m Message) Message {
+	v := reflect.ValueOf(m).Elem()
+	normaliseValue(v)
+	return m
+}
+
+func normaliseValue(v reflect.Value) {
+	switch v.Kind() {
+	case reflect.Slice:
+		if v.Len() == 0 && !v.IsNil() {
+			v.Set(reflect.Zero(v.Type()))
+		}
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			normaliseValue(v.Field(i))
+		}
+	}
+}
+
+func TestReadMessageRejectsHugeFrame(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0})
+	if _, err := ReadMessage(&buf); err != ErrFrameTooLarge {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadMessageRejectsUnknownType(t *testing.T) {
+	var buf bytes.Buffer
+	// length=2 (type only), type=9999
+	buf.Write([]byte{2, 0, 0, 0, 0x0F, 0x27})
+	_, err := ReadMessage(&buf)
+	if err == nil {
+		t.Fatal("expected error for unknown message type")
+	}
+}
+
+func TestReadMessageTruncatedPayload(t *testing.T) {
+	var full bytes.Buffer
+	if err := WriteMessage(&full, &OpenReq{Name: "abcdef"}); err != nil {
+		t.Fatal(err)
+	}
+	raw := full.Bytes()
+	if _, err := ReadMessage(bytes.NewReader(raw[:len(raw)-2])); err != io.ErrUnexpectedEOF {
+		t.Fatalf("err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestReadMessageTrailingBytes(t *testing.T) {
+	// Hand-build a Ping frame with 2 extra payload bytes.
+	var e Encoder
+	e.buf = make([]byte, 6)
+	e.PutU64(1)
+	e.PutU16(0xABCD) // trailing garbage
+	raw := e.Bytes()
+	raw[0] = byte(len(raw) - 4)
+	raw[4] = byte(MsgPing)
+	if _, err := ReadMessage(bytes.NewReader(raw)); err != ErrTrailingBytes {
+		t.Fatalf("err = %v, want ErrTrailingBytes", err)
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	if MsgOpenReq.String() != "open.req" {
+		t.Errorf("MsgOpenReq.String() = %q", MsgOpenReq.String())
+	}
+	if MsgType(9999).String() == "" {
+		t.Error("unknown type should still render")
+	}
+	if MsgInvalid.Valid() || !MsgPing.Valid() || msgSentinel.Valid() {
+		t.Error("Valid() boundaries wrong")
+	}
+}

@@ -1,0 +1,188 @@
+// Package workload generates the synthetic datasets and request streams
+// the examples and benchmarks run against. The paper's evaluation uses
+// opaque benchmark data; these generators produce data with realistic
+// structure for each kernel's domain — smooth grayscale imagery for the
+// Gaussian filter (medical imaging / GIS, per the paper's motivation),
+// autocorrelated float series for climate-style reductions, and word-like
+// text for the counting kernels.
+package workload
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// SyntheticImage produces a w×h 8-bit grayscale image: a smooth
+// low-frequency field (tissue/terrain) with additive noise, the kind of
+// input a 2-D Gaussian filter exists to denoise.
+func SyntheticImage(w, h int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	img := make([]byte, w*h)
+	// Random low-frequency components.
+	fx := 2 * math.Pi / float64(w) * (1 + rng.Float64()*3)
+	fy := 2 * math.Pi / float64(h) * (1 + rng.Float64()*3)
+	px := rng.Float64() * 2 * math.Pi
+	py := rng.Float64() * 2 * math.Pi
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			base := 128 +
+				60*math.Sin(float64(x)*fx+px)*math.Cos(float64(y)*fy+py) +
+				20*math.Sin(float64(x+y)*fx*0.5)
+			noisy := base + rng.NormFloat64()*12
+			if noisy < 0 {
+				noisy = 0
+			}
+			if noisy > 255 {
+				noisy = 255
+			}
+			img[y*w+x] = uint8(noisy)
+		}
+	}
+	return img
+}
+
+// FloatSeries produces n float64 samples of an autocorrelated signal —
+// trend + seasonal cycle + AR(1) noise — resembling a climate-model
+// variable (e.g. surface temperature anomalies).
+func FloatSeries(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	ar := 0.0
+	trend := rng.Float64() * 0.001
+	season := 2 * math.Pi / (365.25)
+	for i := range out {
+		ar = 0.9*ar + rng.NormFloat64()*0.5
+		out[i] = 15 + trend*float64(i) + 8*math.Sin(float64(i)*season) + ar
+	}
+	return out
+}
+
+// Float64Bytes encodes samples as the little-endian stream the float
+// kernels consume.
+func Float64Bytes(samples []float64) []byte {
+	out := make([]byte, len(samples)*8)
+	for i, v := range samples {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
+	}
+	return out
+}
+
+// wordStems are combined into pseudo-words for TextCorpus.
+var wordStems = []string{
+	"data", "node", "storage", "active", "kernel", "stripe", "queue",
+	"filter", "gauss", "sum", "flux", "grid", "mesh", "tile", "block",
+	"shard", "probe", "trace", "event", "cycle", "phase", "epoch",
+}
+
+// TextCorpus produces roughly size bytes of whitespace-separated
+// word-like text for the count/wordcount kernels.
+func TextCorpus(size int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, 0, size+16)
+	for len(out) < size {
+		stem := wordStems[rng.Intn(len(wordStems))]
+		out = append(out, stem...)
+		if rng.Intn(4) == 0 {
+			out = append(out, wordStems[rng.Intn(len(wordStems))]...)
+		}
+		if rng.Intn(12) == 0 {
+			out = append(out, '\n')
+		} else {
+			out = append(out, ' ')
+		}
+	}
+	return out[:size]
+}
+
+// RandomBytes produces size bytes of seeded pseudo-random data.
+func RandomBytes(size int, seed int64) []byte {
+	out := make([]byte, size)
+	rand.New(rand.NewSource(seed)).Read(out)
+	return out
+}
+
+// Request is one element of a generated request stream.
+type Request struct {
+	// ArrivalOffset is the request's arrival time relative to stream
+	// start, in seconds.
+	ArrivalOffset float64
+	// Active marks an active I/O request (vs a plain read).
+	Active bool
+	// Op is the kernel for active requests.
+	Op string
+	// Bytes is the request size.
+	Bytes uint64
+	// App identifies which simulated application issued it.
+	App int
+}
+
+// StreamConfig parameterises a multi-application request mix — the
+// scenario of the paper's Figure 1, where several applications' normal
+// and active I/O converge on the same storage node.
+type StreamConfig struct {
+	// Apps is the number of concurrent applications.
+	Apps int
+	// RequestsPerApp is how many requests each application issues.
+	RequestsPerApp int
+	// ActiveFraction is the probability a request is active I/O.
+	ActiveFraction float64
+	// Ops is the kernel population for active requests (uniform draw).
+	Ops []string
+	// MeanInterarrival is the per-app exponential inter-arrival mean in
+	// seconds (0 = all requests at time zero).
+	MeanInterarrival float64
+	// MinBytes/MaxBytes bound uniformly drawn request sizes.
+	MinBytes, MaxBytes uint64
+	// Seed makes the stream reproducible.
+	Seed int64
+}
+
+// Stream generates the merged, arrival-ordered request stream.
+func Stream(cfg StreamConfig) []Request {
+	if cfg.Apps <= 0 {
+		cfg.Apps = 1
+	}
+	if cfg.RequestsPerApp <= 0 {
+		cfg.RequestsPerApp = 1
+	}
+	if len(cfg.Ops) == 0 {
+		cfg.Ops = []string{"sum8"}
+	}
+	if cfg.MinBytes == 0 {
+		cfg.MinBytes = 1 << 20
+	}
+	if cfg.MaxBytes < cfg.MinBytes {
+		cfg.MaxBytes = cfg.MinBytes
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var out []Request
+	for app := 0; app < cfg.Apps; app++ {
+		t := 0.0
+		for i := 0; i < cfg.RequestsPerApp; i++ {
+			if cfg.MeanInterarrival > 0 {
+				t += rng.ExpFloat64() * cfg.MeanInterarrival
+			}
+			span := cfg.MaxBytes - cfg.MinBytes
+			var size uint64
+			if span == 0 {
+				size = cfg.MinBytes
+			} else {
+				size = cfg.MinBytes + uint64(rng.Int63n(int64(span+1)))
+			}
+			out = append(out, Request{
+				ArrivalOffset: t,
+				Active:        rng.Float64() < cfg.ActiveFraction,
+				Op:            cfg.Ops[rng.Intn(len(cfg.Ops))],
+				Bytes:         size,
+				App:           app,
+			})
+		}
+	}
+	// Merge the per-app streams by arrival time.
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].ArrivalOffset < out[j].ArrivalOffset
+	})
+	return out
+}

@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSyntheticImageShapeAndDeterminism(t *testing.T) {
+	a := SyntheticImage(64, 32, 7)
+	if len(a) != 64*32 {
+		t.Fatalf("len = %d", len(a))
+	}
+	b := SyntheticImage(64, 32, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different images")
+		}
+	}
+	c := SyntheticImage(64, 32, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical images")
+	}
+}
+
+func TestSyntheticImageHasStructure(t *testing.T) {
+	// A structured image is smoother than white noise: neighbouring
+	// pixels must correlate.
+	const w, h = 128, 128
+	img := SyntheticImage(w, h, 1)
+	var diffSum, n float64
+	for y := 0; y < h; y++ {
+		for x := 1; x < w; x++ {
+			d := float64(img[y*w+x]) - float64(img[y*w+x-1])
+			diffSum += d * d
+			n++
+		}
+	}
+	rmsStep := math.Sqrt(diffSum / n)
+	// White noise over [0,255] would give an RMS step of ~100; the
+	// generator must sit far below that.
+	if rmsStep > 40 {
+		t.Errorf("RMS neighbour step = %.1f, image looks like white noise", rmsStep)
+	}
+}
+
+func TestFloatSeries(t *testing.T) {
+	s := FloatSeries(10_000, 3)
+	if len(s) != 10_000 {
+		t.Fatalf("len = %d", len(s))
+	}
+	var sum float64
+	for _, v := range s {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("non-finite sample")
+		}
+		sum += v
+	}
+	mean := sum / float64(len(s))
+	// Centred around the 15-degree baseline.
+	if mean < 5 || mean > 25 {
+		t.Errorf("mean = %.2f, expected near 15", mean)
+	}
+}
+
+func TestFloat64BytesRoundTrip(t *testing.T) {
+	raw := Float64Bytes([]float64{1.5, -2.5})
+	if len(raw) != 16 {
+		t.Fatalf("len = %d", len(raw))
+	}
+}
+
+func TestTextCorpus(t *testing.T) {
+	text := TextCorpus(10_000, 5)
+	if len(text) != 10_000 {
+		t.Fatalf("len = %d", len(text))
+	}
+	spaces := 0
+	for _, b := range text {
+		if b == ' ' || b == '\n' {
+			spaces++
+		}
+	}
+	if spaces == 0 {
+		t.Fatal("corpus has no separators")
+	}
+	// Word-like: separators are a modest fraction, not the majority.
+	if frac := float64(spaces) / float64(len(text)); frac > 0.5 {
+		t.Errorf("separator fraction = %.2f", frac)
+	}
+}
+
+func TestStreamProperties(t *testing.T) {
+	f := func(seed int64, apps8, per8 uint8, frac uint8) bool {
+		cfg := StreamConfig{
+			Apps:             int(apps8)%5 + 1,
+			RequestsPerApp:   int(per8)%20 + 1,
+			ActiveFraction:   float64(frac%101) / 100,
+			Ops:              []string{"sum8", "gaussian2d"},
+			MeanInterarrival: 0.5,
+			MinBytes:         1 << 10,
+			MaxBytes:         1 << 20,
+			Seed:             seed,
+		}
+		reqs := Stream(cfg)
+		if len(reqs) != cfg.Apps*cfg.RequestsPerApp {
+			return false
+		}
+		for i, r := range reqs {
+			if i > 0 && r.ArrivalOffset < reqs[i-1].ArrivalOffset {
+				return false // must be arrival-ordered
+			}
+			if r.Bytes < cfg.MinBytes || r.Bytes > cfg.MaxBytes {
+				return false
+			}
+			if r.App < 0 || r.App >= cfg.Apps {
+				return false
+			}
+			if r.Op != "sum8" && r.Op != "gaussian2d" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamActiveFractionExtremes(t *testing.T) {
+	all := Stream(StreamConfig{Apps: 2, RequestsPerApp: 50, ActiveFraction: 1, Seed: 1})
+	for _, r := range all {
+		if !r.Active {
+			t.Fatal("ActiveFraction=1 produced a normal request")
+		}
+	}
+	none := Stream(StreamConfig{Apps: 2, RequestsPerApp: 50, ActiveFraction: 0, Seed: 1})
+	for _, r := range none {
+		if r.Active {
+			t.Fatal("ActiveFraction=0 produced an active request")
+		}
+	}
+}
+
+func TestStreamZeroInterarrivalIsSimultaneous(t *testing.T) {
+	reqs := Stream(StreamConfig{Apps: 3, RequestsPerApp: 4, Seed: 2})
+	for _, r := range reqs {
+		if r.ArrivalOffset != 0 {
+			t.Fatalf("offset = %v", r.ArrivalOffset)
+		}
+	}
+}
+
+func TestStreamDefaults(t *testing.T) {
+	reqs := Stream(StreamConfig{Seed: 9})
+	if len(reqs) != 1 || reqs[0].Op != "sum8" || reqs[0].Bytes != 1<<20 {
+		t.Fatalf("defaults = %+v", reqs)
+	}
+}

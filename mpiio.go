@@ -1,0 +1,174 @@
+package dosas
+
+import (
+	"fmt"
+	"io"
+)
+
+// This file provides the MPI-IO-flavoured interface of the paper's
+// Table I. It is a thin veneer over FS/File so applications written
+// against MPI_File_* call shapes can migrate mechanically:
+//
+//	MPI_File_read(fh, buf, count, datatype, &status)
+//	  → dosas.FileRead(fh, buf, count, dosas.Byte, &status)
+//	MPI_File_read_ex(fh, &result, count, datatype, op, &status)
+//	  → dosas.FileReadEx(fh, &result, count, dosas.Byte, op, params, &status)
+
+// Datatype is the element type of an MPI-style transfer.
+type Datatype int
+
+// Basic datatypes.
+const (
+	Byte Datatype = iota
+	Int32
+	Int64
+	Float32
+	Float64
+)
+
+// Size returns the datatype's width in bytes.
+func (d Datatype) Size() int {
+	switch d {
+	case Byte:
+		return 1
+	case Int32, Float32:
+		return 4
+	case Int64, Float64:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// String names the datatype in MPI style.
+func (d Datatype) String() string {
+	switch d {
+	case Byte:
+		return "MPI_BYTE"
+	case Int32:
+		return "MPI_INT32"
+	case Int64:
+		return "MPI_INT64"
+	case Float32:
+		return "MPI_FLOAT"
+	case Float64:
+		return "MPI_DOUBLE"
+	default:
+		return fmt.Sprintf("datatype(%d)", int(d))
+	}
+}
+
+// Status reports what a transfer accomplished, like MPI_Status.
+type Status struct {
+	// Count is the number of datatype elements transferred or, for
+	// FileReadEx, consumed by the operation.
+	Count int
+	// Where records execution sites for FileReadEx parts.
+	Where []Where
+}
+
+// ExResult is the paper's `struct result` (Table I): the target of
+// FileReadEx. Completed reports whether the storage side finished the
+// operation (1 in the paper); when the ASC had to finish it locally the
+// flag is still delivered as true to the application, with provenance in
+// Status.Where — applications never manage partial results themselves.
+type ExResult struct {
+	Completed bool
+	// Buf holds the operation's output.
+	Buf []byte
+	// FH is the file the operation ran on.
+	FH *File
+	// Offset is the file position after the operation.
+	Offset int64
+}
+
+// FileOpen opens an existing file, like MPI_File_open.
+func FileOpen(fs *FS, name string) (*File, error) { return fs.Open(name) }
+
+// FileClose releases a file handle, like MPI_File_close. (Handles hold no
+// server state; this exists for call-shape parity.)
+func FileClose(f **File) error {
+	*f = nil
+	return nil
+}
+
+// FileRead reads count elements of datatype at the file cursor into buf,
+// like MPI_File_read. buf must have at least count×size bytes.
+func FileRead(fh *File, buf []byte, count int, datatype Datatype, status *Status) error {
+	want := count * datatype.Size()
+	if want == 0 {
+		if status != nil {
+			status.Count = 0
+		}
+		return nil
+	}
+	if len(buf) < want {
+		return fmt.Errorf("dosas: FileRead buffer holds %d bytes, need %d", len(buf), want)
+	}
+	n, err := io.ReadFull(fh, buf[:want])
+	if status != nil {
+		status.Count = n / datatype.Size()
+	}
+	if err == io.ErrUnexpectedEOF || err == io.EOF {
+		return nil // short count is reported via status, as in MPI
+	}
+	return err
+}
+
+// FileReadAt is FileRead at an explicit offset, like
+// MPI_File_read_at.
+func FileReadAt(fh *File, offset int64, buf []byte, count int, datatype Datatype, status *Status) error {
+	want := count * datatype.Size()
+	if len(buf) < want {
+		return fmt.Errorf("dosas: FileReadAt buffer holds %d bytes, need %d", len(buf), want)
+	}
+	n, err := fh.ReadAt(buf[:want], uint64(offset))
+	if status != nil {
+		status.Count = n / datatype.Size()
+	}
+	return err
+}
+
+// FileWrite writes count elements of datatype from buf at the file
+// cursor, like MPI_File_write.
+func FileWrite(fh *File, buf []byte, count int, datatype Datatype, status *Status) error {
+	want := count * datatype.Size()
+	if len(buf) < want {
+		return fmt.Errorf("dosas: FileWrite buffer holds %d bytes, need %d", len(buf), want)
+	}
+	n, err := fh.Write(buf[:want])
+	if status != nil {
+		status.Count = n / datatype.Size()
+	}
+	return err
+}
+
+// FileReadEx is the paper's extended MPI-IO call: read count elements of
+// datatype at the file cursor and apply `operation` to them, on the
+// storage nodes when the system's scheduling policy permits, otherwise on
+// the compute node. The operation's output lands in result.Buf; where the
+// work ran lands in status.Where.
+func FileReadEx(fh *File, result *ExResult, count int, datatype Datatype,
+	operation string, params []byte, status *Status) error {
+	if result == nil {
+		return fmt.Errorf("dosas: FileReadEx needs a result target")
+	}
+	length := uint64(count) * uint64(datatype.Size())
+	res, err := fh.ReadEx(operation, params, fh.pos, length)
+	if err != nil {
+		return err
+	}
+	fh.pos += length
+	result.Completed = res.Completed
+	result.Buf = res.Output
+	result.FH = fh
+	result.Offset = int64(fh.pos)
+	if status != nil {
+		status.Count = count
+		status.Where = status.Where[:0]
+		for _, p := range res.Parts {
+			status.Where = append(status.Where, p.Where)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package dosas_test
+
+import (
+	"testing"
+
+	"dosas"
+	"dosas/internal/workload"
+)
+
+func mpiFixture(t *testing.T, size int) (*dosas.FS, *dosas.File, []byte) {
+	t.Helper()
+	c := startCluster(t, dosas.Options{DataServers: 2})
+	fs := connect(t, c, dosas.DOSAS)
+	f, err := fs.Create("mpiio/fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := workload.RandomBytes(size, 11)
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	g, err := dosas.FileOpen(fs, "mpiio/fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, g, data
+}
+
+func TestFileReadShortCountAtEOF(t *testing.T) {
+	_, f, _ := mpiFixture(t, 1000)
+	var st dosas.Status
+	buf := make([]byte, 4096)
+	// Ask for more elements than remain: MPI semantics report the short
+	// count via status, not an error.
+	if err := dosas.FileRead(f, buf, 4096, dosas.Byte, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Count != 1000 {
+		t.Errorf("count = %d, want 1000", st.Count)
+	}
+}
+
+func TestFileReadBufferTooSmall(t *testing.T) {
+	_, f, _ := mpiFixture(t, 100)
+	buf := make([]byte, 10)
+	if err := dosas.FileRead(f, buf, 100, dosas.Byte, nil); err == nil {
+		t.Fatal("undersized buffer accepted")
+	}
+	if err := dosas.FileWrite(f, buf, 100, dosas.Byte, nil); err == nil {
+		t.Fatal("undersized write buffer accepted")
+	}
+	if err := dosas.FileReadAt(f, 0, buf, 100, dosas.Byte, nil); err == nil {
+		t.Fatal("undersized ReadAt buffer accepted")
+	}
+}
+
+func TestFileReadZeroCount(t *testing.T) {
+	_, f, _ := mpiFixture(t, 100)
+	var st dosas.Status
+	if err := dosas.FileRead(f, nil, 0, dosas.Byte, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Count != 0 {
+		t.Errorf("count = %d", st.Count)
+	}
+}
+
+func TestFileReadAtDoesNotMoveCursor(t *testing.T) {
+	_, f, data := mpiFixture(t, 2000)
+	var st dosas.Status
+	buf := make([]byte, 100)
+	if err := dosas.FileReadAt(f, 500, buf, 100, dosas.Byte, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Count != 100 || buf[0] != data[500] {
+		t.Fatalf("ReadAt wrong: count=%d", st.Count)
+	}
+	// The cursor must still be at 0.
+	if err := dosas.FileRead(f, buf, 100, dosas.Byte, &st); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != data[0] {
+		t.Error("FileReadAt moved the cursor")
+	}
+}
+
+func TestFileReadExAdvancesCursor(t *testing.T) {
+	_, f, data := mpiFixture(t, 4000)
+	var result dosas.ExResult
+	var st dosas.Status
+	if err := dosas.FileReadEx(f, &result, 1000, dosas.Byte, "sum8", nil, &st); err != nil {
+		t.Fatal(err)
+	}
+	if err := dosas.FileReadEx(f, &result, 1000, dosas.Byte, "sum8", nil, &st); err != nil {
+		t.Fatal(err)
+	}
+	var want uint64
+	for _, b := range data[1000:2000] {
+		want += uint64(b)
+	}
+	if got := dosas.SumResult(result.Buf); got != want {
+		t.Errorf("second ReadEx sum = %d, want %d (cursor wrong)", got, want)
+	}
+	if result.Offset != 2000 {
+		t.Errorf("offset = %d", result.Offset)
+	}
+}
+
+func TestFileReadExNilResult(t *testing.T) {
+	_, f, _ := mpiFixture(t, 100)
+	if err := dosas.FileReadEx(f, nil, 10, dosas.Byte, "sum8", nil, nil); err == nil {
+		t.Fatal("nil result accepted")
+	}
+}
+
+func TestFileReadExFloat64Count(t *testing.T) {
+	c := startCluster(t, dosas.Options{DataServers: 1})
+	fs := connect(t, c, dosas.AS)
+	f, err := fs.Create("mpiio/f64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []float64{1, 2, 3, 4, 5}
+	if _, err := f.WriteAt(workload.Float64Bytes(vals), 0); err != nil {
+		t.Fatal(err)
+	}
+	fh, _ := dosas.FileOpen(fs, "mpiio/f64")
+	var result dosas.ExResult
+	var st dosas.Status
+	// Only the first 3 elements.
+	if err := dosas.FileReadEx(fh, &result, 3, dosas.Float64, "sum64", nil, &st); err != nil {
+		t.Fatal(err)
+	}
+	if got := dosas.Sum64Result(result.Buf); got != 6 {
+		t.Errorf("partial sum = %v, want 6", got)
+	}
+	if st.Count != 3 {
+		t.Errorf("status count = %d", st.Count)
+	}
+}

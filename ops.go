@@ -1,0 +1,86 @@
+package dosas
+
+import (
+	"dosas/internal/kernels"
+)
+
+// Ops returns the names of every registered processing kernel.
+func Ops() []string { return kernels.Names() }
+
+// GaussianParams encodes parameters for the "gaussian2d" kernel: the image
+// row width in pixels and whether to return the full filtered image
+// (emitFull) or a small digest.
+func GaussianParams(width uint32, emitFull bool) []byte {
+	return kernels.GaussianParams(width, emitFull)
+}
+
+// GaussianParamsHalo is GaussianParams plus explicit one-row halos used
+// as the neighbours above and below the band (nil keeps edge replication
+// on that side). See File.FilterImage for the high-level striped-image
+// filter built on it.
+func GaussianParamsHalo(width uint32, emitFull bool, top, bottom []byte) []byte {
+	return kernels.GaussianParamsHalo(width, emitFull, top, bottom)
+}
+
+// DownsampleParams encodes parameters for the "downsample" kernel.
+func DownsampleParams(factor uint32) []byte { return kernels.DownsampleParams(factor) }
+
+// SumResult decodes the output of the "sum8" kernel.
+func SumResult(out []byte) uint64 { return kernels.Sum8Result(out) }
+
+// Sum64Result decodes the output of the "sum64" kernel.
+func Sum64Result(out []byte) float64 { return kernels.Sum64Result(out) }
+
+// CountResult decodes the output of the "count" and "wordcount" kernels.
+func CountResult(out []byte) uint64 { return kernels.CountResult(out) }
+
+// MinMaxResult decodes the output of the "minmax" kernel.
+func MinMaxResult(out []byte) (min, max float64, err error) {
+	return kernels.MinMaxResult(out)
+}
+
+// Moments is the decoded output of the "moments" kernel.
+type Moments = kernels.Moments
+
+// MomentsResult decodes the output of the "moments" kernel.
+func MomentsResult(out []byte) (Moments, error) { return kernels.MomentsResult(out) }
+
+// GaussianDigest is the decoded digest-mode output of "gaussian2d".
+type GaussianDigest = kernels.GaussianDigest
+
+// GaussianDigestResult decodes a digest-mode "gaussian2d" output.
+func GaussianDigestResult(out []byte) (GaussianDigest, error) {
+	return kernels.DecodeGaussianDigest(out)
+}
+
+// DownsampleResult decodes the output of the "downsample" kernel.
+func DownsampleResult(out []byte) []float64 { return kernels.DownsampleResult(out) }
+
+// KMeansParams encodes parameters for the "kmeans1d" kernel: k clusters
+// with initial centroids spread evenly over [lo, hi].
+func KMeansParams(k uint32, lo, hi float64) []byte { return kernels.KMeansParams(k, lo, hi) }
+
+// KMeansCluster is one decoded "kmeans1d" output record.
+type KMeansCluster = kernels.KMeansCluster
+
+// KMeansResult decodes the output of the "kmeans1d" kernel.
+func KMeansResult(out []byte) ([]KMeansCluster, error) { return kernels.KMeansResult(out) }
+
+// HistogramResult decodes the output of the "histogram" kernel.
+func HistogramResult(out []byte) ([256]uint64, error) { return kernels.HistogramResult(out) }
+
+// Calibrate measures the local host's single-core processing rate for op
+// (bytes/second) by streaming sampleBytes of synthetic data through its
+// kernel, regenerating the paper's Table III for this machine. With store
+// set, the measured rate replaces the compiled-in default used by the
+// Contention Estimator and by pacing.
+func Calibrate(op string, sampleBytes int, store bool) (float64, error) {
+	return kernels.Calibrate(op, sampleBytes, store)
+}
+
+// RateFor reports the configured per-core processing rate for op in
+// bytes/second.
+func RateFor(op string) float64 { return kernels.RateFor(op) }
+
+// SetRate overrides the per-core processing rate for op.
+func SetRate(op string, bytesPerSecond float64) { kernels.SetRate(op, bytesPerSecond) }
