@@ -1,0 +1,31 @@
+# Developer entry points. `make check` is the full gate: vet plus the
+# race-enabled test suite. CI and pre-commit should run exactly that.
+
+GO ?= go
+
+.PHONY: all build test vet race check bench clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check: vet race
+
+# Regenerate the paper's tables/figures (simulated experiments) and the
+# live per-scheme decision metrics (BENCH_live.json).
+bench:
+	$(GO) run ./cmd/dosas-bench
+
+clean:
+	$(GO) clean ./...
+	rm -f BENCH_*.json

@@ -9,6 +9,7 @@ import (
 	"dosas/internal/core"
 	"dosas/internal/metrics"
 	"dosas/internal/pfs"
+	"dosas/internal/trace"
 	"dosas/internal/transport"
 )
 
@@ -185,8 +186,11 @@ func StartCluster(o Options) (*Cluster, error) {
 			store = pfs.NewMemStore()
 		}
 		c.stores = append(c.stores, store)
+		node := fmt.Sprintf("data-%d", i)
 		reg := metrics.NewRegistry()
-		ds, err := pfs.NewDataServer(pfs.DataConfig{Store: store, Metrics: reg})
+		tr := trace.NewRecorder(4096)
+		tr.SetNode(node)
+		ds, err := pfs.NewDataServer(pfs.DataConfig{Store: store, Metrics: reg, Node: node, Trace: tr})
 		if err != nil {
 			return nil, err
 		}
@@ -201,6 +205,8 @@ func StartCluster(o Options) (*Cluster, error) {
 			},
 			Pace:    o.Pace,
 			Metrics: reg,
+			Trace:   tr,
+			Node:    node,
 		})
 		if err != nil {
 			return nil, err

@@ -34,6 +34,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -49,13 +50,20 @@ import (
 	"dosas/internal/workload"
 )
 
+// benchJSONOut is where the live experiment writes its per-scheme
+// decision metrics ("" disables). Set from -json-out in main.
+var benchJSONOut string
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dosas-bench: ")
 	exp := flag.String("exp", "all", "experiment id (see -h)")
 	seed := flag.Int64("seed", 2012, "base random seed")
 	runs := flag.Int("runs", 10, "noisy repetitions for table4")
+	jsonOut := flag.String("json-out", "BENCH_live.json",
+		"file for the live experiment's per-scheme decision metrics (empty disables)")
 	flag.Parse()
+	benchJSONOut = *jsonOut
 
 	all := map[string]func(){
 		"table3": table3,
@@ -482,6 +490,15 @@ func live() {
 	kernels.SetRate("sum8", 20e6)
 	defer kernels.ResetRates()
 
+	// liveEntry is one (scheme, scale) cell with the storage nodes'
+	// scheduling-decision metrics for that run.
+	type liveEntry struct {
+		Requests  int                   `json:"requests"`
+		Seconds   float64               `json:"seconds"`
+		Decisions dosas.DecisionMetrics `json:"decisions"`
+	}
+	report := make(map[string][]liveEntry)
+
 	fmt.Printf("%-8s", "scheme")
 	for _, n := range scales {
 		fmt.Printf("%10s", fmt.Sprintf("n=%d", n))
@@ -490,18 +507,55 @@ func live() {
 	for _, scheme := range []dosas.Scheme{dosas.TS, dosas.AS, dosas.DOSAS} {
 		fmt.Printf("%-8s", scheme)
 		for _, n := range scales {
-			elapsed, err := liveRun(scheme, n, d)
+			elapsed, dm, err := liveRun(scheme, n, d)
 			if err != nil {
 				log.Fatal(err)
 			}
+			report[scheme.String()] = append(report[scheme.String()], liveEntry{
+				Requests: n, Seconds: elapsed.Seconds(), Decisions: dm,
+			})
 			fmt.Printf("%9.2fs", elapsed.Seconds())
 		}
 		fmt.Println()
 	}
+	fmt.Println("\nper-scheme scheduling decisions (all scales):")
+	for _, scheme := range []dosas.Scheme{dosas.TS, dosas.AS, dosas.DOSAS} {
+		var agg dosas.DecisionMetrics
+		var errSum float64
+		for _, e := range report[scheme.String()] {
+			agg.Arrivals += e.Decisions.Arrivals
+			agg.Completed += e.Decisions.Completed
+			agg.Bounced += e.Decisions.Bounced
+			agg.Interrupted += e.Decisions.Interrupted
+			agg.Migrated += e.Decisions.Migrated
+			agg.EstimatorSamples += e.Decisions.EstimatorSamples
+			errSum += e.Decisions.EstimatorErrPct * float64(e.Decisions.EstimatorSamples)
+		}
+		if agg.Arrivals > 0 {
+			agg.BounceRate = float64(agg.Bounced) / float64(agg.Arrivals)
+			agg.InterruptRate = float64(agg.Interrupted) / float64(agg.Arrivals)
+		}
+		if agg.EstimatorSamples > 0 {
+			agg.EstimatorErrPct = errSum / float64(agg.EstimatorSamples)
+		}
+		fmt.Printf("  %-8s arrivals=%d bounce=%.0f%% interrupt=%.0f%% migrated=%d estimator-err=%.0f%% (%d samples)\n",
+			scheme, agg.Arrivals, agg.BounceRate*100, agg.InterruptRate*100,
+			agg.Migrated, agg.EstimatorErrPct, agg.EstimatorSamples)
+	}
+	if benchJSONOut != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(benchJSONOut, blob, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote per-scheme decision metrics to %s\n", benchJSONOut)
+	}
 	fmt.Println("\n(expect AS to win for n<3 and TS beyond; DOSAS tracks the winner)")
 }
 
-func liveRun(scheme dosas.Scheme, n, reqBytes int) (time.Duration, error) {
+func liveRun(scheme dosas.Scheme, n, reqBytes int) (time.Duration, dosas.DecisionMetrics, error) {
 	policy := dosas.Dynamic
 	switch scheme {
 	case dosas.AS:
@@ -516,20 +570,20 @@ func liveRun(scheme dosas.Scheme, n, reqBytes int) (time.Duration, error) {
 		Pace:        true,
 	})
 	if err != nil {
-		return 0, err
+		return 0, dosas.DecisionMetrics{}, err
 	}
 	defer cluster.Close()
 	fs, err := cluster.ConnectPaced(scheme)
 	if err != nil {
-		return 0, err
+		return 0, dosas.DecisionMetrics{}, err
 	}
 	defer fs.Close()
 	f, err := fs.Create("live/data", dosas.CreateOptions{Width: 1})
 	if err != nil {
-		return 0, err
+		return 0, dosas.DecisionMetrics{}, err
 	}
 	if _, err := f.WriteAt(workload.RandomBytes(n*reqBytes, 7), 0); err != nil {
-		return 0, err
+		return 0, dosas.DecisionMetrics{}, err
 	}
 	start := time.Now()
 	done := make(chan error, n)
@@ -541,8 +595,8 @@ func liveRun(scheme dosas.Scheme, n, reqBytes int) (time.Duration, error) {
 	}
 	for r := 0; r < n; r++ {
 		if err := <-done; err != nil {
-			return 0, err
+			return 0, dosas.DecisionMetrics{}, err
 		}
 	}
-	return time.Since(start), nil
+	return time.Since(start), cluster.DecisionMetrics(), nil
 }

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	dosas-server -addr :7710 [-store /var/dosas/objs] [-policy dosas|as|ts]
-//	             [-bw 118e6] [-cores 2] [-reserved 1] [-pace]
+//	             [-bw 118e6] [-cores 2] [-reserved 1] [-pace] [-node data-0]
 //
 // With -store empty, stripes live in memory. The -policy flag selects the
 // scheduling behaviour: "dosas" (dynamic), "as" (always run kernels here),
@@ -23,6 +23,7 @@ import (
 	"dosas/internal/core"
 	"dosas/internal/metrics"
 	"dosas/internal/pfs"
+	"dosas/internal/trace"
 	"dosas/internal/transport"
 )
 
@@ -37,7 +38,11 @@ func main() {
 	cores := flag.Int("cores", 2, "storage node core count")
 	reserved := flag.Int("reserved", 1, "cores reserved for normal I/O service")
 	pace := flag.Bool("pace", false, "pace kernels at calibrated per-core rates")
+	node := flag.String("node", "", "node name stamped on stats and trace exports (default data@ADDR)")
 	flag.Parse()
+	if *node == "" {
+		*node = "data@" + *addr
+	}
 
 	var mode core.Mode
 	switch *policy {
@@ -64,7 +69,9 @@ func main() {
 	defer store.Close()
 
 	reg := metrics.NewRegistry()
-	ds, err := pfs.NewDataServer(pfs.DataConfig{Store: store, Metrics: reg})
+	tr := trace.NewRecorder(4096)
+	tr.SetNode(*node)
+	ds, err := pfs.NewDataServer(pfs.DataConfig{Store: store, Metrics: reg, Node: *node, Trace: tr})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -78,6 +85,8 @@ func main() {
 		},
 		Pace:    *pace,
 		Metrics: reg,
+		Trace:   tr,
+		Node:    *node,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -17,25 +17,31 @@
 //	ops                              list available kernels
 //	calibrate OP                     measure this host's kernel rate (Table III style)
 //	probe                            dump every storage node's load status
+//	stats [-json]                    dump every node's metric snapshot
+//	trace ID                         stitch the cross-node timeline of one request
+//	                                 (ID is a request id or a distributed trace id)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
 	"dosas"
 	"dosas/internal/pfs"
+	"dosas/internal/trace"
 	"dosas/internal/transport"
 	"dosas/internal/wire"
 )
 
 func usageExit() {
 	fmt.Fprintln(os.Stderr, "usage: dosasctl -meta ADDR -data ADDR[,ADDR...] [-scheme dosas|as|ts] COMMAND ...")
-	fmt.Fprintln(os.Stderr, "commands: ls, stat, put, get, rm, readex, fsck, repair, ops, calibrate, probe")
+	fmt.Fprintln(os.Stderr, "commands: ls, stat, put, get, rm, readex, fsck, repair, ops, calibrate, probe, stats, trace")
 	os.Exit(2)
 }
 
@@ -224,6 +230,18 @@ func main() {
 		}
 	case "probe":
 		probeAll(*meta, dataAddrs)
+	case "stats":
+		asJSON := len(args) > 1 && args[1] == "-json"
+		statsAll(*meta, dataAddrs, asJSON)
+	case "trace":
+		if len(args) != 2 {
+			log.Fatal("usage: trace ID  (request id or trace id)")
+		}
+		id, err := strconv.ParseUint(args[1], 10, 64)
+		if err != nil {
+			log.Fatalf("bad ID %q", args[1])
+		}
+		traceOne(dataAddrs, id)
 	default:
 		usageExit()
 	}
@@ -291,6 +309,125 @@ func printReport(rep *dosas.VerifyReport) {
 	for _, is := range rep.Issues {
 		fmt.Printf("  %s\n", is)
 	}
+}
+
+// statsAll dumps every node's metric snapshot, human-readable or as one
+// JSON object keyed by node name.
+func statsAll(meta string, dataAddrs []string, asJSON bool) {
+	pool := pfs.NewPool(transport.TCP{})
+	defer pool.Close()
+	type nodeStats struct {
+		Addr  string          `json:"addr"`
+		Role  string          `json:"role"`
+		Mode  string          `json:"mode,omitempty"`
+		Stats json.RawMessage `json:"stats"`
+	}
+	collected := make(map[string]nodeStats)
+	var order []string
+	fetch := func(fallbackName, addr string) {
+		resp, err := pool.Call(addr, &wire.StatsReq{})
+		if err != nil {
+			log.Printf("%s %s: unreachable: %v", fallbackName, addr, err)
+			return
+		}
+		sr, ok := resp.(*wire.StatsResp)
+		if !ok {
+			log.Printf("%s %s: unexpected response %v", fallbackName, addr, resp.Type())
+			return
+		}
+		name := sr.Node
+		if name == "" {
+			name = fallbackName
+		}
+		collected[name] = nodeStats{Addr: addr, Role: sr.Role, Mode: sr.Mode, Stats: sr.Stats}
+		order = append(order, name)
+	}
+	fetch("meta", meta)
+	for i, addr := range dataAddrs {
+		fetch(fmt.Sprintf("data-%d", i), addr)
+	}
+	if asJSON {
+		out, err := json.MarshalIndent(collected, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(out))
+		return
+	}
+	for _, name := range order {
+		ns := collected[name]
+		head := fmt.Sprintf("%s (%s", name, ns.Role)
+		if ns.Mode != "" {
+			head += ", mode " + ns.Mode
+		}
+		fmt.Printf("%s) @ %s\n", head, ns.Addr)
+		var snap dosas.StatsSnapshot
+		if err := json.Unmarshal(ns.Stats, &snap); err != nil {
+			log.Printf("  bad stats payload: %v", err)
+			continue
+		}
+		printSnapshot(snap)
+	}
+}
+
+// printSnapshot renders one node's metrics in sorted "name value" lines.
+func printSnapshot(s dosas.StatsSnapshot) {
+	var lines []string
+	for n, v := range s.Counters {
+		lines = append(lines, fmt.Sprintf("  counter %-28s %d", n, v))
+	}
+	for n, v := range s.Gauges {
+		lines = append(lines, fmt.Sprintf("  gauge   %-28s %d", n, v))
+	}
+	for n, v := range s.Meters {
+		lines = append(lines, fmt.Sprintf("  meter   %-28s %.3f/s", n, v))
+	}
+	for n, h := range s.Histograms {
+		lines = append(lines, fmt.Sprintf("  hist    %-28s count=%d mean=%.2f p50=%.2f p99=%.2f",
+			n, h.Count, h.Mean, h.P50, h.P99))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+}
+
+// traceOne fetches one request's events from every storage node and
+// prints the stitched cross-node timeline. The ID is tried first as a
+// wire-level request id, then as a distributed trace id.
+func traceOne(dataAddrs []string, id uint64) {
+	pool := pfs.NewPool(transport.TCP{})
+	defer pool.Close()
+	fetch := func(req *wire.TraceFetchReq) []dosas.TraceEvent {
+		var sets [][]dosas.TraceEvent
+		for i, addr := range dataAddrs {
+			resp, err := pool.Call(addr, req)
+			if err != nil {
+				log.Printf("data[%d] %s: unreachable: %v", i, addr, err)
+				continue
+			}
+			tr, ok := resp.(*wire.TraceFetchResp)
+			if !ok {
+				log.Printf("data[%d] %s: unexpected response %v", i, addr, resp.Type())
+				continue
+			}
+			evs, err := trace.DecodeEvents(tr.Events)
+			if err != nil {
+				log.Printf("data[%d] %s: bad trace payload: %v", i, addr, err)
+				continue
+			}
+			sets = append(sets, evs)
+		}
+		return dosas.StitchTimeline(sets...)
+	}
+	evs := fetch(&wire.TraceFetchReq{ReqID: id})
+	if len(evs) == 0 {
+		evs = fetch(&wire.TraceFetchReq{TraceID: id})
+	}
+	if len(evs) == 0 {
+		log.Fatalf("no events recorded for id %d on any storage node", id)
+	}
+	fmt.Print(dosas.FormatTimeline(evs))
 }
 
 // probeAll dumps every storage node's estimator snapshot.

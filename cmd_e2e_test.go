@@ -118,6 +118,32 @@ func TestBinariesEndToEnd(t *testing.T) {
 		t.Fatalf("readex output lacks sum %d: %s", want, out)
 	}
 
+	// stats aggregates every node's metrics; the readex shows up as an
+	// active arrival on a storage node.
+	out = ctl("stats")
+	if !strings.Contains(out, "meta (meta)") || !strings.Contains(out, "active.arrivals") {
+		t.Fatalf("stats output: %s", out)
+	}
+	out = ctl("stats", "-json")
+	if !strings.Contains(out, `"role": "data"`) || !strings.Contains(out, `"counters"`) {
+		t.Fatalf("stats -json output: %s", out)
+	}
+
+	// trace stitches the readex's storage-side timeline (each dosasctl run
+	// is a fresh client, so its first active request has id 1). The output
+	// must carry the node identity and the scheduling decision.
+	out = ctl("trace", "1")
+	if !strings.Contains(out, "req=1") {
+		t.Fatalf("trace output lacks request events: %s", out)
+	}
+	if !strings.Contains(out, "data@"+dataAddr0) && !strings.Contains(out, "data@"+dataAddr1) {
+		t.Fatalf("trace output lacks node identity: %s", out)
+	}
+	if !strings.Contains(out, "arrive") ||
+		(!strings.Contains(out, "admit") && !strings.Contains(out, "reject")) {
+		t.Fatalf("trace output lacks scheduling decision: %s", out)
+	}
+
 	// get round-trips the bytes.
 	fetched := filepath.Join(t.TempDir(), "fetched.bin")
 	ctl("get", "e2e/payload.bin", fetched)

@@ -162,7 +162,7 @@ func (fs *FS) ReadExMany(names []string, op string, params []byte) (*Result, err
 	if err != nil {
 		return nil, err
 	}
-	out := &Result{Completed: res.Completed, Output: res.Output, Elapsed: res.Elapsed}
+	out := &Result{Completed: res.Completed, Output: res.Output, Elapsed: res.Elapsed, TraceID: res.TraceID}
 	for _, p := range res.Parts {
 		out.Parts = append(out.Parts, Part{
 			Server: p.Server, Bytes: p.Bytes, Where: p.Where, BytesShipped: p.BytesShipped,
@@ -202,6 +202,10 @@ type Result struct {
 	Output    []byte
 	Parts     []Part
 	Elapsed   time.Duration
+	// TraceID identifies the distributed trace this read produced; feed
+	// it to FS.TraceEvents / Cluster.TraceTimeline to reconstruct the
+	// cross-node timeline.
+	TraceID uint64
 }
 
 // BytesShipped totals raw network movement across parts.
@@ -333,6 +337,7 @@ func (f *File) ReadEx(op string, params []byte, off, length uint64) (*Result, er
 		Completed: res.Completed,
 		Output:    res.Output,
 		Elapsed:   res.Elapsed,
+		TraceID:   res.TraceID,
 		Parts:     make([]Part, len(res.Parts)),
 	}
 	for i, p := range res.Parts {

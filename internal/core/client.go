@@ -1,6 +1,8 @@
 package core
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -10,6 +12,7 @@ import (
 	"dosas/internal/kernels"
 	"dosas/internal/metrics"
 	"dosas/internal/pfs"
+	"dosas/internal/trace"
 	"dosas/internal/wire"
 )
 
@@ -61,6 +64,10 @@ type ClientConfig struct {
 	RateFor func(op string) float64
 	// Metrics receives client counters; optional.
 	Metrics *metrics.Registry
+	// Trace receives client-side lifecycle events (issue, response,
+	// transfer, local execution); a default 1024-event ring stamped with
+	// node "client" is created when nil.
+	Trace *trace.Recorder
 }
 
 // Client is the Active Storage Client (ASC): it runs on compute nodes,
@@ -68,9 +75,11 @@ type ClientConfig struct {
 // storage node bounces or interrupts them — without application
 // involvement, as in paper Section III-B.
 type Client struct {
-	cfg    ClientConfig
-	reg    *metrics.Registry
-	nextID atomic.Uint64
+	cfg       ClientConfig
+	reg       *metrics.Registry
+	nextID    atomic.Uint64
+	traceSeed uint64 // random high bits distinguishing this client process
+	nextTrace atomic.Uint64
 
 	mu      sync.Mutex
 	pending map[uint64]pendingReq // the paper's local registration table
@@ -98,8 +107,31 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.NewRegistry()
 	}
-	return &Client{cfg: cfg, reg: cfg.Metrics, pending: make(map[uint64]pendingReq)}, nil
+	if cfg.Trace == nil {
+		cfg.Trace = trace.NewRecorder(1024)
+	}
+	if cfg.Trace.Node() == "" {
+		cfg.Trace.SetNode("client")
+	}
+	var seed [4]byte
+	_, _ = crand.Read(seed[:]) // on failure the counter alone keeps IDs nonzero
+	return &Client{
+		cfg:       cfg,
+		reg:       cfg.Metrics,
+		traceSeed: uint64(binary.LittleEndian.Uint32(seed[:])) << 32,
+		pending:   make(map[uint64]pendingReq),
+	}, nil
 }
+
+// mintTraceID returns a new cluster-unique distributed trace id: random
+// per-process high bits plus a local counter, never zero (zero means
+// "untraced" on the wire).
+func (c *Client) mintTraceID() uint64 {
+	return c.traceSeed | uint64(c.nextTrace.Add(1))
+}
+
+// Trace exposes the client-side lifecycle-event recorder.
+func (c *Client) Trace() *trace.Recorder { return c.cfg.Trace }
 
 // Scheme returns the client's configured scheme.
 func (c *Client) Scheme() Scheme { return c.cfg.Scheme }
@@ -153,6 +185,9 @@ type Result struct {
 	Output    []byte
 	Parts     []PartInfo
 	Elapsed   time.Duration
+	// TraceID is the distributed trace id minted for this read; every
+	// client- and storage-side event it produced carries it.
+	TraceID uint64
 }
 
 // BytesShipped totals raw data movement across parts.
@@ -180,6 +215,7 @@ func (c *Client) ActiveRead(f *pfs.File, off, length uint64, op string, params [
 	if len(ranges) > 1 && !kernels.CanCombine(op) {
 		return nil, fmt.Errorf("core: operation %q spans %d storage nodes but is not combinable", op, len(ranges))
 	}
+	traceID := c.mintTraceID()
 	start := time.Now()
 	type partOut struct {
 		idx  int
@@ -190,7 +226,7 @@ func (c *Client) ActiveRead(f *pfs.File, off, length uint64, op string, params [
 	results := make(chan partOut, len(ranges))
 	for i, lr := range ranges {
 		go func(i int, lr localRange) {
-			info, out, err := c.processRange(f, lr, op, params)
+			info, out, err := c.processRange(f, lr, op, params, traceID)
 			results <- partOut{idx: i, info: info, out: out, err: err}
 		}(i, lr)
 	}
@@ -217,6 +253,7 @@ func (c *Client) ActiveRead(f *pfs.File, off, length uint64, op string, params [
 		Output:    combined,
 		Parts:     infos,
 		Elapsed:   time.Since(start),
+		TraceID:   traceID,
 	}, nil
 }
 
@@ -314,13 +351,13 @@ func localRanges(f *pfs.File, off, length uint64) []localRange {
 // according to the scheme: offload, fall back, or compute locally. When
 // the file is replicated and a replica's server fails, the part retries
 // on the next replica (same local offsets, by chained placement).
-func (c *Client) processRange(f *pfs.File, lr localRange, op string, params []byte) (PartInfo, []byte, error) {
+func (c *Client) processRange(f *pfs.File, lr localRange, op string, params []byte, traceID uint64) (PartInfo, []byte, error) {
 	layout := f.Layout()
 	var lastInfo PartInfo
 	var lastErr error
 	for r := 0; r < layout.ReplicaCount(); r++ {
 		server := pfs.ReplicaServer(layout, lr.slot, r)
-		info, out, err := c.processRangeReplica(f, lr, server, pfs.ReplicaHandle(f.Handle(), r), op, params)
+		info, out, err := c.processRangeReplica(f, lr, server, pfs.ReplicaHandle(f.Handle(), r), op, params, traceID)
 		if err == nil {
 			return info, out, nil
 		}
@@ -333,7 +370,7 @@ func (c *Client) processRange(f *pfs.File, lr localRange, op string, params []by
 }
 
 // processRangeReplica runs one part against a specific replica.
-func (c *Client) processRangeReplica(f *pfs.File, lr localRange, server uint32, handle uint64, op string, params []byte) (PartInfo, []byte, error) {
+func (c *Client) processRangeReplica(f *pfs.File, lr localRange, server uint32, handle uint64, op string, params []byte, traceID uint64) (PartInfo, []byte, error) {
 	info := PartInfo{Server: server, Bytes: lr.length}
 	addr, err := c.cfg.FS.DataAddr(server)
 	if err != nil {
@@ -341,7 +378,7 @@ func (c *Client) processRangeReplica(f *pfs.File, lr localRange, server uint32, 
 	}
 	if c.cfg.Scheme == SchemeTS {
 		info.Where = OnCompute
-		out, shipped, err := c.computeLocally(addr, handle, lr.offset, lr.length, op, params, nil)
+		out, shipped, err := c.computeLocally(addr, handle, lr.offset, lr.length, op, params, nil, traceID, 0)
 		info.BytesShipped = shipped
 		return info, out, err
 	}
@@ -350,6 +387,11 @@ func (c *Client) processRangeReplica(f *pfs.File, lr localRange, server uint32, 
 	c.register(reqID, op, lr.length, handle)
 	defer c.unregister(reqID)
 
+	c.cfg.Trace.RecordEvent(trace.Event{
+		Kind: trace.KindIssue, TraceID: traceID,
+		ReqID: reqID, Op: op, Bytes: lr.length,
+		Note: fmt.Sprintf("server %d", server),
+	})
 	serverStart := time.Now()
 	resp, err := c.cfg.FS.Pool().Call(addr, &wire.ActiveReadReq{
 		RequestID: reqID,
@@ -358,6 +400,7 @@ func (c *Client) processRangeReplica(f *pfs.File, lr localRange, server uint32, 
 		Length:    lr.length,
 		Op:        op,
 		Params:    params,
+		TraceID:   traceID,
 	})
 	info.ServerElapsed = time.Since(serverStart)
 	if err != nil {
@@ -365,7 +408,7 @@ func (c *Client) processRangeReplica(f *pfs.File, lr localRange, server uint32, 
 		if errors.As(err, &re) && re.Code == wire.StatusUnsupported {
 			// Plain data server with no active runtime: degrade to TS.
 			info.Where = OnCompute
-			out, shipped, lerr := c.computeLocally(addr, handle, lr.offset, lr.length, op, params, nil)
+			out, shipped, lerr := c.computeLocally(addr, handle, lr.offset, lr.length, op, params, nil, traceID, reqID)
 			info.BytesShipped = shipped
 			return info, out, lerr
 		}
@@ -375,6 +418,12 @@ func (c *Client) processRangeReplica(f *pfs.File, lr localRange, server uint32, 
 	if !ok {
 		return info, nil, fmt.Errorf("core: active read: unexpected response %v", resp.Type())
 	}
+	c.cfg.Trace.RecordEvent(trace.Event{
+		Kind: trace.KindRespond, TraceID: traceID,
+		ReqID: reqID, Op: op, Bytes: lr.length,
+		Dur:  info.ServerElapsed,
+		Note: fmt.Sprintf("disposition %s", dispositionName(ar.Disposition)),
+	})
 	switch ar.Disposition {
 	case wire.ActiveDone:
 		c.reg.Counter("asc.completed_on_storage").Inc()
@@ -384,17 +433,31 @@ func (c *Client) processRangeReplica(f *pfs.File, lr localRange, server uint32, 
 	case wire.ActiveRejected:
 		c.reg.Counter("asc.bounced").Inc()
 		info.Where = OnCompute
-		out, shipped, err := c.computeLocally(addr, handle, lr.offset, lr.length, op, params, nil)
+		out, shipped, err := c.computeLocally(addr, handle, lr.offset, lr.length, op, params, nil, traceID, reqID)
 		info.BytesShipped = shipped
 		return info, out, err
 	case wire.ActiveInterrupted:
 		c.reg.Counter("asc.migrated").Inc()
 		info.Where = Migrated
-		out, shipped, err := c.computeLocally(addr, handle, lr.offset+ar.Processed, lr.length-ar.Processed, op, params, ar.State)
+		out, shipped, err := c.computeLocally(addr, handle, lr.offset+ar.Processed, lr.length-ar.Processed, op, params, ar.State, traceID, reqID)
 		info.BytesShipped = shipped
 		return info, out, err
 	default:
 		return info, nil, fmt.Errorf("core: active read: unknown disposition %d", ar.Disposition)
+	}
+}
+
+// dispositionName names an ActiveReadResp disposition for trace notes.
+func dispositionName(d uint8) string {
+	switch d {
+	case wire.ActiveDone:
+		return "done"
+	case wire.ActiveRejected:
+		return "rejected"
+	case wire.ActiveInterrupted:
+		return "interrupted"
+	default:
+		return fmt.Sprintf("disposition(%d)", d)
 	}
 }
 
@@ -409,7 +472,7 @@ func (c *Client) processRangeReplica(f *pfs.File, lr localRange, server uint32, 
 // MPI_File_read followed by a local kernel does — read into the user
 // buffer, then process. The crossover behaviour the scheduler reasons
 // about depends on these phases being serial.
-func (c *Client) computeLocally(addr string, handle, offset, length uint64, op string, params, resumeState []byte) ([]byte, uint64, error) {
+func (c *Client) computeLocally(addr string, handle, offset, length uint64, op string, params, resumeState []byte, traceID, reqID uint64) ([]byte, uint64, error) {
 	k, err := kernels.New(op)
 	if err != nil {
 		return nil, 0, err
@@ -423,6 +486,7 @@ func (c *Client) computeLocally(addr string, handle, offset, length uint64, op s
 		}
 	}
 	// Phase 1: data movement.
+	xferStart := time.Now()
 	buf := make([]byte, length)
 	var done uint64
 	for done < length {
@@ -445,6 +509,11 @@ func (c *Client) computeLocally(addr string, handle, offset, length uint64, op s
 		done += uint64(len(rr.Data))
 		c.reg.Counter("asc.bytes_shipped").Add(int64(len(rr.Data)))
 	}
+	c.cfg.Trace.RecordEvent(trace.Event{
+		Kind: trace.KindTransfer, TraceID: traceID,
+		ReqID: reqID, Op: op, Bytes: done,
+		Phase: trace.PhaseTransfer, Dur: time.Since(xferStart),
+	})
 	// Phase 2: computation.
 	start := time.Now()
 	var processed uint64
@@ -466,6 +535,16 @@ func (c *Client) computeLocally(addr string, handle, offset, length uint64, op s
 		return nil, done, err
 	}
 	c.reg.Counter("asc.completed_on_compute").Inc()
+	note := "computed on client"
+	if len(resumeState) > 0 {
+		note = "resumed from checkpoint on client"
+	}
+	c.cfg.Trace.RecordEvent(trace.Event{
+		Kind: trace.KindComplete, TraceID: traceID,
+		ReqID: reqID, Op: op, Bytes: length,
+		Phase: trace.PhaseKernel, Dur: time.Since(start),
+		Note: note,
+	})
 	return out, done, nil
 }
 
@@ -542,6 +621,7 @@ func (c *Client) Transform(src *pfs.File, dstName, op string, params []byte) (*p
 		return nil, nil, err
 	}
 
+	traceID := c.mintTraceID()
 	start := time.Now()
 	ranges := localRanges(src, 0, size)
 	type partOut struct {
@@ -569,6 +649,7 @@ func (c *Client) Transform(src *pfs.File, dstName, op string, params []byte) (*p
 				Params:    params,
 				DstHandle: dst.Handle(),
 				DstOffset: lr.offset, // identical layouts: local offsets line up
+				TraceID:   traceID,
 			})
 			if err != nil {
 				po.err = err

@@ -80,6 +80,9 @@ type RuntimeConfig struct {
 	// Trace receives request lifecycle events; a default 1024-event ring
 	// is created when nil.
 	Trace *trace.Recorder
+	// Node is this storage node's identity, stamped on trace events
+	// (e.g. "data-0"). Optional.
+	Node string
 }
 
 // Runtime is the Active I/O Runtime (R): it queues active requests,
@@ -112,6 +115,9 @@ type task struct {
 	interrupt atomic.Bool
 	processed atomic.Uint64 // bytes consumed so far
 	op        string
+	traceID   uint64
+	arrived   time.Time     // when the task entered the queue
+	predicted time.Duration // estimator's forecast kernel time
 }
 
 // length returns the task's input size in bytes.
@@ -149,6 +155,9 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
 	}
 	if cfg.Trace == nil {
 		cfg.Trace = trace.NewRecorder(1024)
+	}
+	if cfg.Node != "" && cfg.Trace.Node() == "" {
+		cfg.Trace.SetNode(cfg.Node)
 	}
 	q := ioqueue.New()
 	est := NewEstimator(cfg.Estimator, q, cfg.Metrics)
@@ -197,6 +206,7 @@ func (rt *Runtime) Close() {
 		rt.respond(t, &wire.ActiveReadResp{
 			RequestID:   t.req.RequestID,
 			Disposition: wire.ActiveRejected,
+			TraceID:     t.traceID,
 		}, nil)
 	}
 }
@@ -210,38 +220,69 @@ func (rt *Runtime) Trace() *trace.Recorder { return rt.cfg.Trace }
 // Mode returns the runtime's scheduling mode.
 func (rt *Runtime) Mode() Mode { return rt.cfg.Mode }
 
+// ModeName names the scheduling mode ("dosas", "as", "ts"). The pfs data
+// server discovers it through an anonymous interface assertion, so the
+// name — not the core.Mode type — is what crosses the package boundary.
+func (rt *Runtime) ModeName() string { return rt.cfg.Mode.String() }
+
+// Metrics exposes the runtime's metrics registry (shared with the pfs
+// data server when configured that way).
+func (rt *Runtime) Metrics() *metrics.Registry { return rt.reg }
+
 // HandleActive implements pfs.ActiveHandler: the arrival path of an active
 // I/O request.
 func (rt *Runtime) HandleActive(req *wire.ActiveReadReq) (*wire.ActiveReadResp, error) {
 	rt.reg.Counter("active.arrivals").Inc()
-	rt.cfg.Trace.Record(trace.KindArrive, req.RequestID, req.Op, req.Length, "")
+	rt.cfg.Trace.RecordEvent(trace.Event{
+		Kind: trace.KindArrive, TraceID: req.TraceID,
+		ReqID: req.RequestID, Op: req.Op, Bytes: req.Length,
+	})
 	if _, err := kernels.New(req.Op); err != nil {
 		return nil, fmt.Errorf("%w: %v", pfs.ErrInvalid, err)
 	}
-	switch rt.cfg.Mode {
-	case ModeAlwaysBounce:
-		rt.reg.Counter("active.rejected").Inc()
-		rt.cfg.Trace.Record(trace.KindReject, req.RequestID, req.Op, req.Length, "static ts policy")
-		return &wire.ActiveReadResp{RequestID: req.RequestID, Disposition: wire.ActiveRejected}, nil
-	case ModeDynamic:
-		if p := rt.est.MemPressure(); p >= rt.cfg.MemHighWater {
-			rt.reg.Counter("active.rejected_memory").Inc()
-			rt.cfg.Trace.Record(trace.KindReject, req.RequestID, req.Op, req.Length,
-				fmt.Sprintf("memory pressure %.0f%%", p*100))
-			return &wire.ActiveReadResp{RequestID: req.RequestID, Disposition: wire.ActiveRejected}, nil
-		}
-		if !rt.admit(req) {
-			rt.reg.Counter("active.rejected").Inc()
-			rt.cfg.Trace.Record(trace.KindReject, req.RequestID, req.Op, req.Length, "policy bounce at arrival")
-			return &wire.ActiveReadResp{RequestID: req.RequestID, Disposition: wire.ActiveRejected}, nil
+	reject := func(counter, note string, decided time.Duration) *wire.ActiveReadResp {
+		rt.reg.Counter(counter).Inc()
+		rt.cfg.Trace.RecordEvent(trace.Event{
+			Kind: trace.KindReject, TraceID: req.TraceID,
+			ReqID: req.RequestID, Op: req.Op, Bytes: req.Length,
+			Phase: trace.PhaseDecision, Dur: decided, Note: note,
+		})
+		return &wire.ActiveReadResp{
+			RequestID: req.RequestID, Disposition: wire.ActiveRejected, TraceID: req.TraceID,
 		}
 	}
-	rt.cfg.Trace.Record(trace.KindAdmit, req.RequestID, req.Op, req.Length, "")
+	decisionStart := time.Now()
+	var admitNote string
+	switch rt.cfg.Mode {
+	case ModeAlwaysBounce:
+		return reject("active.rejected", "static ts policy", time.Since(decisionStart)), nil
+	case ModeAlwaysAccept:
+		admitNote = "static as policy"
+	case ModeDynamic:
+		if p := rt.est.MemPressure(); p >= rt.cfg.MemHighWater {
+			return reject("active.rejected_memory",
+				fmt.Sprintf("memory pressure %.0f%%", p*100), time.Since(decisionStart)), nil
+		}
+		ok, note := rt.admit(req)
+		admitNote = note
+		if !ok {
+			return reject("active.rejected", note, time.Since(decisionStart)), nil
+		}
+	}
+	rt.cfg.Trace.RecordEvent(trace.Event{
+		Kind: trace.KindAdmit, TraceID: req.TraceID,
+		ReqID: req.RequestID, Op: req.Op, Bytes: req.Length,
+		Phase: trace.PhaseDecision, Dur: time.Since(decisionStart),
+		Predicted: rt.predictKernel(req.Op, req.Length), Note: admitNote,
+	})
 	t := &task{
-		id:   rt.nextID.Add(1),
-		req:  req,
-		resp: make(chan taskResult, 1),
-		op:   req.Op,
+		id:        rt.nextID.Add(1),
+		req:       req,
+		resp:      make(chan taskResult, 1),
+		op:        req.Op,
+		traceID:   req.TraceID,
+		arrived:   time.Now(),
+		predicted: rt.predictKernel(req.Op, req.Length),
 	}
 	rt.mu.Lock()
 	rt.queued[t.id] = t
@@ -257,7 +298,9 @@ func (rt *Runtime) HandleActive(req *wire.ActiveReadReq) (*wire.ActiveReadResp, 
 		rt.mu.Lock()
 		delete(rt.queued, t.id)
 		rt.mu.Unlock()
-		return &wire.ActiveReadResp{RequestID: req.RequestID, Disposition: wire.ActiveRejected}, nil
+		return &wire.ActiveReadResp{
+			RequestID: req.RequestID, Disposition: wire.ActiveRejected, TraceID: req.TraceID,
+		}, nil
 	}
 	res := <-t.resp
 	if res.err != nil {
@@ -280,10 +323,12 @@ func (rt *Runtime) HandleTransform(req *wire.TransformReq) (*wire.TransformResp,
 		return nil, fmt.Errorf("%w: %v", pfs.ErrInvalid, err)
 	}
 	t := &task{
-		id:    rt.nextID.Add(1),
-		xform: req,
-		resp:  make(chan taskResult, 1),
-		op:    req.Op,
+		id:      rt.nextID.Add(1),
+		xform:   req,
+		resp:    make(chan taskResult, 1),
+		op:      req.Op,
+		traceID: req.TraceID,
+		arrived: time.Now(),
 	}
 	rt.mu.Lock()
 	rt.queued[t.id] = t
@@ -365,29 +410,49 @@ func (rt *Runtime) executeTransform(t *task) (wire.Message, error) {
 	}
 	rt.reg.Counter("transform.completed").Inc()
 	rt.reg.Counter("transform.bytes_written").Add(int64(len(out)))
-	rt.cfg.Trace.Record(trace.KindTransform, req.RequestID, req.Op, req.Length,
-		fmt.Sprintf("wrote %d bytes locally", len(out)))
+	rt.cfg.Trace.RecordEvent(trace.Event{
+		Kind: trace.KindTransform, TraceID: t.traceID,
+		ReqID: req.RequestID, Op: req.Op, Bytes: req.Length,
+		Phase: trace.PhaseKernel, Dur: time.Since(t.arrived),
+		Note: fmt.Sprintf("wrote %d bytes locally", len(out)),
+	})
 	return &wire.TransformResp{RequestID: req.RequestID, Written: uint64(len(out))}, nil
 }
 
 // admit runs the scheduling algorithm over the node's current active set
-// plus the newcomer and reports whether the newcomer should run here.
-func (rt *Runtime) admit(req *wire.ActiveReadReq) bool {
+// plus the newcomer and reports whether the newcomer should run here,
+// along with the estimator's reasoning for the trace.
+func (rt *Runtime) admit(req *wire.ActiveReadReq) (bool, string) {
 	newReq, reqs := rt.schedulerView(req)
 	if len(reqs) == 0 {
-		return true
+		return true, "empty active set"
 	}
 	env := rt.est.Env(req.Op)
 	if !env.Valid() {
-		return true // no calibration: behave like plain active storage
+		return true, "no calibration" // behave like plain active storage
 	}
 	assignment := rt.cfg.Solver.Solve(reqs, env)
 	for i, r := range reqs {
 		if r.ID == newReq {
-			return assignment[i]
+			// The estimator's reasoning: serve actively here (x) vs
+			// ship raw and compute on the client (y), over k requests.
+			note := fmt.Sprintf("x=%.3fs y=%.3fs gain=%.3fs k=%d",
+				env.XCost(r), env.YCost(r), env.Gain(r), len(reqs))
+			return assignment[i], note
 		}
 	}
-	return true
+	return true, "newcomer not in scheduler view"
+}
+
+// predictKernel is the estimator's forecast of storage-side kernel time
+// for one request: bytes over the currently discounted storage rate
+// (S_{C,op}). Zero when the node has no calibration for op.
+func (rt *Runtime) predictKernel(op string, bytes uint64) time.Duration {
+	env := rt.est.Env(op)
+	if env.StorageRate <= 0 {
+		return 0
+	}
+	return time.Duration(float64(bytes) / env.StorageRate * float64(time.Second))
 }
 
 // schedulerView snapshots the runtime's active set as scheduler Requests:
@@ -482,9 +547,16 @@ func (rt *Runtime) reevaluate() {
 				delete(rt.queued, t.id)
 				rt.mu.Unlock()
 				rt.reg.Counter("active.bounced_queued").Inc()
+				rt.cfg.Trace.RecordEvent(trace.Event{
+					Kind: trace.KindReject, TraceID: t.traceID,
+					ReqID: t.req.RequestID, Op: t.op, Bytes: r.Bytes,
+					Phase: trace.PhaseDecision,
+					Note:  fmt.Sprintf("bounced from queue at re-evaluation, gain %.2fx", allActive/chosen),
+				})
 				rt.respond(t, &wire.ActiveReadResp{
 					RequestID:   t.req.RequestID,
 					Disposition: wire.ActiveRejected,
+					TraceID:     t.traceID,
 				}, nil)
 				continue
 			}
@@ -498,8 +570,12 @@ func (rt *Runtime) reevaluate() {
 			if t.xform == nil && allActive > chosen*rt.cfg.InterruptMargin {
 				if t.interrupt.CompareAndSwap(false, true) {
 					rt.reg.Counter("active.interrupted").Inc()
-					rt.cfg.Trace.Record(trace.KindInterrupt, t.req.RequestID, t.op, r.Bytes,
-						fmt.Sprintf("policy gain %.2fx", allActive/chosen))
+					rt.cfg.Trace.RecordEvent(trace.Event{
+						Kind: trace.KindInterrupt, TraceID: t.traceID,
+						ReqID: t.req.RequestID, Op: t.op, Bytes: r.Bytes,
+						Phase: trace.PhaseDecision,
+						Note:  fmt.Sprintf("policy gain %.2fx", allActive/chosen),
+					})
 				}
 			}
 		}
@@ -559,7 +635,17 @@ func (rt *Runtime) respond(t *task, resp wire.Message, err error) {
 // checkpointing out if the interrupt flag is raised between chunks.
 func (rt *Runtime) execute(t *task) (*wire.ActiveReadResp, error) {
 	req := t.req
-	rt.cfg.Trace.Record(trace.KindStart, req.RequestID, req.Op, req.Length, "")
+	var queueWait time.Duration
+	if !t.arrived.IsZero() {
+		queueWait = time.Since(t.arrived)
+	}
+	execStart := time.Now()
+	rt.cfg.Trace.RecordEvent(trace.Event{
+		Kind: trace.KindStart, TraceID: t.traceID,
+		ReqID: req.RequestID, Op: req.Op, Bytes: req.Length,
+		Phase: trace.PhaseQueueWait, Dur: queueWait, Predicted: t.predicted,
+	})
+	rt.reg.Histogram("active.queue_wait_us").Observe(float64(queueWait.Microseconds()))
 	rt.est.KernelStarted()
 	defer rt.est.KernelFinished()
 	rt.est.MemReserve(uint64(rt.cfg.ChunkSize))
@@ -588,13 +674,18 @@ func (rt *Runtime) execute(t *task) (*wire.ActiveReadResp, error) {
 				return nil, cerr
 			}
 			rt.reg.Counter("active.migrated").Inc()
-			rt.cfg.Trace.Record(trace.KindMigrate, req.RequestID, req.Op, req.Length-done,
-				fmt.Sprintf("checkpointed after %d bytes", done))
+			rt.cfg.Trace.RecordEvent(trace.Event{
+				Kind: trace.KindMigrate, TraceID: t.traceID,
+				ReqID: req.RequestID, Op: req.Op, Bytes: req.Length - done,
+				Phase: trace.PhaseKernel, Dur: time.Since(execStart), Predicted: t.predicted,
+				Note: fmt.Sprintf("checkpointed after %d bytes", done),
+			})
 			return &wire.ActiveReadResp{
 				RequestID:   req.RequestID,
 				Disposition: wire.ActiveInterrupted,
 				State:       state,
 				Processed:   done,
+				TraceID:     t.traceID,
 			}, nil
 		}
 		n := uint64(len(buf))
@@ -624,12 +715,27 @@ func (rt *Runtime) execute(t *task) (*wire.ActiveReadResp, error) {
 		return nil, err
 	}
 	rt.reg.Counter("active.completed").Inc()
-	rt.cfg.Trace.Record(trace.KindComplete, req.RequestID, req.Op, req.Length, "")
+	elapsed := time.Since(execStart)
+	var note string
+	if t.predicted > 0 {
+		// Predicted-vs-actual kernel cost is a first-class metric: the
+		// estimator's whole job is making this forecast accurate.
+		errPct := 100 * (elapsed - t.predicted).Abs().Seconds() / t.predicted.Seconds()
+		rt.reg.Histogram("est.kernel_error_pct").Observe(errPct)
+		note = fmt.Sprintf("estimator error %.0f%%", errPct)
+	}
+	rt.cfg.Trace.RecordEvent(trace.Event{
+		Kind: trace.KindComplete, TraceID: t.traceID,
+		ReqID: req.RequestID, Op: req.Op, Bytes: req.Length,
+		Phase: trace.PhaseKernel, Dur: elapsed, Predicted: t.predicted,
+		Note: note,
+	})
 	return &wire.ActiveReadResp{
 		RequestID:   req.RequestID,
 		Disposition: wire.ActiveDone,
 		Result:      out,
 		Processed:   done,
+		TraceID:     t.traceID,
 	}, nil
 }
 
@@ -670,10 +776,14 @@ func (rt *Runtime) HandleCancel(req *wire.CancelReq) (*wire.CancelResp, error) {
 			if _, found := rt.queue.Remove(id); found {
 				delete(rt.queued, id)
 				rt.mu.Unlock()
-				rt.cfg.Trace.Record(trace.KindCancel, req.RequestID, t.op, 0, "withdrawn from queue")
+				rt.cfg.Trace.RecordEvent(trace.Event{
+					Kind: trace.KindCancel, TraceID: t.traceID,
+					ReqID: req.RequestID, Op: t.op, Note: "withdrawn from queue",
+				})
 				rt.respond(t, &wire.ActiveReadResp{
 					RequestID:   req.RequestID,
 					Disposition: wire.ActiveRejected,
+					TraceID:     t.traceID,
 				}, nil)
 				return &wire.CancelResp{Found: true}, nil
 			}
@@ -683,7 +793,10 @@ func (rt *Runtime) HandleCancel(req *wire.CancelReq) (*wire.CancelResp, error) {
 		if t.req != nil && t.req.RequestID == req.RequestID {
 			t.interrupt.Store(true)
 			rt.mu.Unlock()
-			rt.cfg.Trace.Record(trace.KindCancel, req.RequestID, t.op, 0, "running kernel flagged")
+			rt.cfg.Trace.RecordEvent(trace.Event{
+				Kind: trace.KindCancel, TraceID: t.traceID,
+				ReqID: req.RequestID, Op: t.op, Note: "running kernel flagged",
+			})
 			return &wire.CancelResp{Found: true}, nil
 		}
 	}

@@ -75,8 +75,14 @@ func NewMeter(window time.Duration) *Meter {
 	if window <= 0 {
 		window = time.Second
 	}
+	slotWidth := window / 16
+	if slotWidth <= 0 {
+		// Windows shorter than 16 ns would make slotWidth zero and
+		// advanceLocked divide by it; clamp to the finest resolution.
+		slotWidth = 1
+	}
 	return &Meter{
-		slotWidth: window / 16,
+		slotWidth: slotWidth,
 		slots:     make([]float64, 16),
 		now:       time.Now,
 	}
@@ -286,6 +292,72 @@ func (r *Registry) Histogram(name string) *Histogram {
 		r.hists[name] = h
 	}
 	return h
+}
+
+// HistogramStats is the JSON-friendly digest of one histogram, as
+// exported in Snapshot.
+type HistogramStats struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot is a consistent, JSON-encodable copy of a registry's state —
+// the structured export behind wire.StatsResp and dosasctl stats.
+type Snapshot struct {
+	Counters   map[string]int64          `json:"counters,omitempty"`
+	Gauges     map[string]int64          `json:"gauges,omitempty"`
+	Meters     map[string]float64        `json:"meters,omitempty"`
+	Histograms map[string]HistogramStats `json:"histograms,omitempty"`
+}
+
+// Counter reads a counter from the snapshot (0 when absent), sparing
+// callers the nil-map check.
+func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
+
+// Snapshot captures every registered metric's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{}
+	if len(r.counts) > 0 {
+		s.Counters = make(map[string]int64, len(r.counts))
+		for n, c := range r.counts {
+			s.Counters[n] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for n, g := range r.gauges {
+			s.Gauges[n] = g.Value()
+		}
+	}
+	if len(r.meters) > 0 {
+		s.Meters = make(map[string]float64, len(r.meters))
+		for n, m := range r.meters {
+			s.Meters[n] = m.Rate()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramStats, len(r.hists))
+		for n, h := range r.hists {
+			hs := h.Snapshot()
+			s.Histograms[n] = HistogramStats{
+				Count: hs.Count,
+				Mean:  hs.Mean(),
+				Min:   hs.Min,
+				Max:   hs.Max,
+				P50:   hs.Quantile(0.5),
+				P90:   hs.Quantile(0.9),
+				P99:   hs.Quantile(0.99),
+			}
+		}
+	}
+	return s
 }
 
 // Dump renders all metrics as "name value" lines in sorted order.

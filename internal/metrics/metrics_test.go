@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"encoding/json"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -165,5 +167,128 @@ func TestRegistryConcurrentAccess(t *testing.T) {
 	wg.Wait()
 	if r.Counter("c").Value() != 800 {
 		t.Fatalf("counter = %d", r.Counter("c").Value())
+	}
+}
+
+func TestMeterTinyWindowDoesNotPanic(t *testing.T) {
+	// Windows under 16 ns used to make the slot width zero and crash
+	// advance with a divide-by-zero; they must clamp to 1 ns instead.
+	for _, w := range []time.Duration{1, 15, 16} {
+		m := NewMeter(w)
+		m.Mark(10)
+		if r := m.Rate(); math.IsNaN(r) || math.IsInf(r, 0) {
+			t.Fatalf("window %d: rate = %v", w, r)
+		}
+	}
+}
+
+func TestMeterIdleGapRotation(t *testing.T) {
+	m := NewMeter(time.Second)
+	now := time.Unix(3000, 0)
+	m.now = func() time.Time { return now }
+	m.Mark(1000)
+
+	// An idle gap longer than the whole window must zero every slot and
+	// reset the ring, not walk it slot by slot.
+	now = now.Add(5 * time.Second)
+	if r := m.Rate(); r != 0 {
+		t.Fatalf("rate after idle gap = %v, want 0", r)
+	}
+
+	// The meter must keep working after the reset.
+	m.Mark(800)
+	if r := m.Rate(); r < 700 {
+		t.Fatalf("rate after restart = %v", r)
+	}
+
+	// A partial rotation (less than a full window) keeps in-window marks.
+	now = now.Add(500 * time.Millisecond)
+	if r := m.Rate(); r < 700 {
+		t.Fatalf("rate after partial rotation = %v", r)
+	}
+}
+
+func TestHistogramQuantileBucketBoundaries(t *testing.T) {
+	// Sub-1 values land in bucket 0, whose quantile estimate is 1.
+	var h Histogram
+	h.Observe(0.25)
+	h.Observe(0.5)
+	h.Observe(0.75)
+	if q := h.Snapshot().Quantile(0.5); q != 1 {
+		t.Fatalf("bucket-0 median = %v, want 1", q)
+	}
+
+	// A single observation reports its bucket's upper bound for interior
+	// quantiles, and exact min/max at the edges.
+	var h2 Histogram
+	h2.Observe(1000) // bucket 10: (512, 1024]
+	s := h2.Snapshot()
+	if q := s.Quantile(0.5); q != 1024 {
+		t.Fatalf("median = %v, want bucket upper bound 1024", q)
+	}
+	if s.Quantile(0) != 1000 || s.Quantile(1) != 1000 {
+		t.Fatalf("edge quantiles = %v, %v, want exact value", s.Quantile(0), s.Quantile(1))
+	}
+
+	// Power-of-two observations map to successive buckets: interior
+	// quantile estimates are non-decreasing in q (the edges q=0 and q=1
+	// report exact min/max, which bucket upper bounds may overshoot).
+	var h3 Histogram
+	for _, v := range []float64{1, 2, 4, 8, 16} {
+		h3.Observe(v)
+	}
+	s3 := h3.Snapshot()
+	prev := 0.0
+	for _, q := range []float64{0.2, 0.4, 0.6, 0.8} {
+		v := s3.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile(%v) = %v < quantile at smaller q (%v)", q, v, prev)
+		}
+		prev = v
+	}
+	if s3.Quantile(0) != 1 || s3.Quantile(1) != 16 {
+		t.Fatalf("edges = %v, %v, want exact min/max", s3.Quantile(0), s3.Quantile(1))
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("active.arrivals").Add(7)
+	r.Gauge("depth").Set(3)
+	r.Meter("bytes").Mark(100)
+	r.Histogram("lat").Observe(50)
+
+	s := r.Snapshot()
+	if s.Counter("active.arrivals") != 7 {
+		t.Fatalf("counter = %d", s.Counter("active.arrivals"))
+	}
+	if s.Counter("no.such.counter") != 0 {
+		t.Fatal("missing counter should read 0")
+	}
+	if s.Gauges["depth"] != 3 {
+		t.Fatalf("gauge = %d", s.Gauges["depth"])
+	}
+	h, ok := s.Histograms["lat"]
+	if !ok || h.Count != 1 || h.Min != 50 || h.Max != 50 {
+		t.Fatalf("histogram stats = %+v", h)
+	}
+
+	// The snapshot must be JSON-encodable and round-trip its contents.
+	js, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(js, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counter("active.arrivals") != 7 || back.Histograms["lat"].Count != 1 {
+		t.Fatalf("JSON round trip lost data: %+v", back)
+	}
+
+	// An empty registry snapshots to empty (omitted) maps, not a panic.
+	var empty Snapshot = NewRegistry().Snapshot()
+	if empty.Counter("x") != 0 {
+		t.Fatal("empty snapshot counter should read 0")
 	}
 }

@@ -1,9 +1,11 @@
 package pfs
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"dosas/internal/metrics"
+	"dosas/internal/trace"
 	"dosas/internal/wire"
 )
 
@@ -31,6 +33,13 @@ type DataConfig struct {
 	Store Store
 	// Metrics receives operation counters; optional.
 	Metrics *metrics.Registry
+	// Node is this server's identity in stats and trace exports (e.g.
+	// "data-0"). Optional.
+	Node string
+	// Trace is the node's lifecycle-event ring, served to operators via
+	// TraceFetchReq. Usually shared with the attached active runtime.
+	// Optional.
+	Trace *trace.Recorder
 }
 
 // DataServer is one storage node's I/O service: it stores the server-local
@@ -39,6 +48,8 @@ type DataConfig struct {
 type DataServer struct {
 	store  Store
 	reg    *metrics.Registry
+	node   string
+	trace  *trace.Recorder
 	active ActiveHandler
 }
 
@@ -50,7 +61,7 @@ func NewDataServer(cfg DataConfig) (*DataServer, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.NewRegistry()
 	}
-	return &DataServer{store: cfg.Store, reg: cfg.Metrics}, nil
+	return &DataServer{store: cfg.Store, reg: cfg.Metrics, node: cfg.Node, trace: cfg.Trace}, nil
 }
 
 // SetActiveHandler attaches the active-storage runtime. Must be called
@@ -97,9 +108,50 @@ func (ds *DataServer) Handle(msg wire.Message) (wire.Message, error) {
 		return ds.active.HandleTransform(req)
 	case *wire.LocalSizeReq:
 		return &wire.LocalSizeResp{Size: ds.store.Size(req.Handle)}, nil
+	case *wire.StatsReq:
+		return ds.stats()
+	case *wire.TraceFetchReq:
+		return ds.traceFetch(req)
 	default:
 		return nil, fmt.Errorf("%w: data server got %v", ErrUnsupported, msg.Type())
 	}
+}
+
+// stats answers a StatsReq with the node's full metric snapshot. The
+// scheduling mode is discovered from the active handler without importing
+// core (which imports pfs): any handler naming its mode qualifies.
+func (ds *DataServer) stats() (wire.Message, error) {
+	js, err := json.Marshal(ds.reg.Snapshot())
+	if err != nil {
+		return nil, fmt.Errorf("%w: encoding stats: %v", ErrInvalid, err)
+	}
+	mode := ""
+	if m, ok := ds.active.(interface{ ModeName() string }); ok {
+		mode = m.ModeName()
+	}
+	return &wire.StatsResp{Node: ds.node, Role: "data", Mode: mode, Stats: js}, nil
+}
+
+// traceFetch answers a TraceFetchReq with the node's retained trace
+// events, optionally filtered to one request id or one distributed trace.
+func (ds *DataServer) traceFetch(req *wire.TraceFetchReq) (wire.Message, error) {
+	var evs []trace.Event
+	switch {
+	case ds.trace == nil:
+		// No recorder attached: answer with an empty set rather than an
+		// error, so operators can sweep a mixed cluster.
+	case req.TraceID != 0:
+		evs = ds.trace.HistoryTrace(req.TraceID)
+	case req.ReqID != 0:
+		evs = ds.trace.History(req.ReqID)
+	default:
+		evs = ds.trace.Snapshot()
+	}
+	js, err := trace.EncodeEvents(evs)
+	if err != nil {
+		return nil, fmt.Errorf("%w: encoding trace: %v", ErrInvalid, err)
+	}
+	return &wire.TraceFetchResp{Node: ds.node, Events: js}, nil
 }
 
 // PostWrite implements the pfs.PostWriter hook: a read or write stays

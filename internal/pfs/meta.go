@@ -1,6 +1,7 @@
 package pfs
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -87,6 +88,9 @@ func NewMetaServer(cfg MetaConfig) (*MetaServer, error) {
 	return m, nil
 }
 
+// Metrics returns the server's metric registry.
+func (m *MetaServer) Metrics() *metrics.Registry { return m.reg }
+
 // Close releases the journal.
 func (m *MetaServer) Close() error {
 	m.mu.Lock()
@@ -114,9 +118,24 @@ func (m *MetaServer) Handle(msg wire.Message) (wire.Message, error) {
 		return m.list(req)
 	case *wire.SetSizeReq:
 		return m.setSize(req)
+	case *wire.StatsReq:
+		return m.stats()
+	case *wire.TraceFetchReq:
+		// The metadata server keeps no per-request trace ring; answer
+		// with an empty set so cluster-wide sweeps need no special case.
+		return &wire.TraceFetchResp{Node: "meta", Events: []byte("[]")}, nil
 	default:
 		return nil, fmt.Errorf("%w: metadata server got %v", ErrUnsupported, msg.Type())
 	}
+}
+
+// stats answers a StatsReq with the namespace server's metric snapshot.
+func (m *MetaServer) stats() (wire.Message, error) {
+	js, err := json.Marshal(m.reg.Snapshot())
+	if err != nil {
+		return nil, fmt.Errorf("%w: encoding stats: %v", ErrInvalid, err)
+	}
+	return &wire.StatsResp{Node: "meta", Role: "meta", Stats: js}, nil
 }
 
 func (m *MetaServer) create(req *wire.CreateReq) (wire.Message, error) {

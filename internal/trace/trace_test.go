@@ -1,6 +1,9 @@
 package trace
 
 import (
+	"bytes"
+	"encoding/json"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -115,5 +118,154 @@ func TestConcurrentRecording(t *testing.T) {
 		if evs[i].Seq <= evs[i-1].Seq {
 			t.Fatal("snapshot not in sequence order after concurrent writes")
 		}
+	}
+}
+
+func TestRecordEventFillsIdentity(t *testing.T) {
+	r := NewRecorder(16)
+	r.SetNode("data-3")
+	if r.Node() != "data-3" {
+		t.Fatalf("node = %q", r.Node())
+	}
+	r.RecordEvent(Event{
+		Kind: KindStart, TraceID: 0xBEEF, ReqID: 5, Op: "sum8", Bytes: 4096,
+		Phase: PhaseQueueWait, Dur: 3 * time.Millisecond, Predicted: 2 * time.Millisecond,
+	})
+	evs := r.Snapshot()
+	if len(evs) != 1 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	e := evs[0]
+	if e.Seq == 0 || e.Time.IsZero() {
+		t.Errorf("seq/time not filled: %+v", e)
+	}
+	if e.Node != "data-3" || e.TraceID != 0xBEEF || e.Phase != PhaseQueueWait {
+		t.Errorf("identity fields wrong: %+v", e)
+	}
+	// An explicit Node wins over the recorder's.
+	r.RecordEvent(Event{Kind: KindIssue, Node: "client", ReqID: 6})
+	if got := r.Snapshot()[1].Node; got != "client" {
+		t.Errorf("explicit node overridden: %q", got)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	r := NewRecorder(16)
+	r.SetNode("data-0")
+	r.RecordEvent(Event{
+		Kind: KindComplete, TraceID: 7, ReqID: 1, Op: "gaussian2d", Bytes: 1 << 20,
+		Phase: PhaseKernel, Dur: 10 * time.Millisecond, Predicted: 9 * time.Millisecond,
+		Note: "estimator error 11%",
+	})
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Kind must render as its name, not a bare number.
+	if !strings.Contains(buf.String(), `"kind":"complete"`) {
+		t.Fatalf("kind not a string name:\n%s", buf.String())
+	}
+	evs, err := DecodeEvents(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 {
+		t.Fatalf("decoded %d events", len(evs))
+	}
+	want := r.Snapshot()[0]
+	got := evs[0]
+	// time.Time loses monotonic clock reading through JSON; compare instants.
+	if !got.Time.Equal(want.Time) {
+		t.Errorf("time = %v, want %v", got.Time, want.Time)
+	}
+	got.Time = want.Time
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestEncodeDecodeEvents(t *testing.T) {
+	// nil encodes as an empty array, not JSON null.
+	js, err := EncodeEvents(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(js) != "[]" {
+		t.Fatalf("nil encoded as %q", js)
+	}
+	evs, err := DecodeEvents(js)
+	if err != nil || len(evs) != 0 {
+		t.Fatalf("decode empty array: %v, %d events", err, len(evs))
+	}
+	// An empty payload (absent field) decodes to no events.
+	if evs, err := DecodeEvents(nil); err != nil || evs != nil {
+		t.Fatalf("decode nil payload: %v, %v", err, evs)
+	}
+	if _, err := DecodeEvents([]byte("{not json")); err == nil {
+		t.Fatal("garbage payload accepted")
+	}
+}
+
+func TestHistoryTraceFiltersByTraceID(t *testing.T) {
+	r := NewRecorder(64)
+	r.RecordEvent(Event{Kind: KindArrive, TraceID: 1, ReqID: 10})
+	r.RecordEvent(Event{Kind: KindArrive, TraceID: 2, ReqID: 11})
+	r.RecordEvent(Event{Kind: KindComplete, TraceID: 1, ReqID: 10})
+	h := r.HistoryTrace(1)
+	if len(h) != 2 || h[0].Kind != KindArrive || h[1].Kind != KindComplete {
+		t.Fatalf("history = %+v", h)
+	}
+	if got := r.HistoryTrace(99); len(got) != 0 {
+		t.Fatalf("unknown trace returned %d events", len(got))
+	}
+}
+
+func TestNilRecorderObservability(t *testing.T) {
+	var r *Recorder
+	r.SetNode("x") // must not panic
+	if r.Node() != "" {
+		t.Error("nil recorder node should be empty")
+	}
+	r.RecordEvent(Event{Kind: KindStart, TraceID: 1}) // must not panic
+	if got := r.HistoryTrace(1); got != nil {
+		t.Errorf("nil recorder history = %v", got)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Errorf("nil recorder JSON = %q, want []", buf.String())
+	}
+}
+
+func TestKindJSONRoundTrip(t *testing.T) {
+	for k := range kindNames {
+		js, err := json.Marshal(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Kind
+		if err := json.Unmarshal(js, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != k {
+			t.Errorf("kind %v round-tripped to %v", k, back)
+		}
+	}
+	// Unregistered kinds survive via the kind(N) fallback.
+	js, err := json.Marshal(Kind(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Kind
+	if err := json.Unmarshal(js, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != Kind(200) {
+		t.Errorf("fallback kind = %v", back)
+	}
+	if err := json.Unmarshal([]byte(`"no-such-kind"`), &back); err == nil {
+		t.Error("unknown kind name accepted")
 	}
 }

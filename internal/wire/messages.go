@@ -379,6 +379,10 @@ type ActiveReadReq struct {
 	// ResumeState carries a kernel checkpoint when the client re-issues a
 	// previously interrupted request; empty for fresh requests.
 	ResumeState []byte
+	// TraceID is the distributed trace context minted by the client for
+	// this active read; 0 when the peer predates tracing. Optional
+	// trailing field: old-format frames omit it and still decode.
+	TraceID uint64
 }
 
 func (*ActiveReadReq) Type() MsgType { return MsgActiveReadReq }
@@ -391,6 +395,7 @@ func (m *ActiveReadReq) Encode(e *Encoder) {
 	e.PutString(m.Op)
 	e.PutBytes(m.Params)
 	e.PutBytes(m.ResumeState)
+	e.PutU64(m.TraceID)
 }
 
 func (m *ActiveReadReq) Decode(d *Decoder) {
@@ -401,6 +406,9 @@ func (m *ActiveReadReq) Decode(d *Decoder) {
 	m.Op = d.String()
 	m.Params = d.Bytes()
 	m.ResumeState = d.Bytes()
+	if d.Remaining() > 0 {
+		m.TraceID = d.U64()
+	}
 }
 
 // Dispositions of an active read, carried in ActiveReadResp.Disposition.
@@ -426,6 +434,9 @@ type ActiveReadResp struct {
 	Result      []byte // kernel output when Disposition == ActiveDone
 	State       []byte // kernel checkpoint when ActiveInterrupted
 	Processed   uint64 // bytes already consumed by the kernel
+	// TraceID echoes the request's trace context so responses can be
+	// correlated without a lookup table. Optional trailing field.
+	TraceID uint64
 }
 
 func (*ActiveReadResp) Type() MsgType { return MsgActiveReadResp }
@@ -436,6 +447,7 @@ func (m *ActiveReadResp) Encode(e *Encoder) {
 	e.PutBytes(m.Result)
 	e.PutBytes(m.State)
 	e.PutU64(m.Processed)
+	e.PutU64(m.TraceID)
 }
 
 func (m *ActiveReadResp) Decode(d *Decoder) {
@@ -444,6 +456,9 @@ func (m *ActiveReadResp) Decode(d *Decoder) {
 	m.Result = d.Bytes()
 	m.State = d.Bytes()
 	m.Processed = d.U64()
+	if d.Remaining() > 0 {
+		m.TraceID = d.U64()
+	}
 }
 
 // ProbeReq asks a storage server for its load status (the Contention
@@ -489,11 +504,25 @@ func (m *ProbeResp) Decode(d *Decoder) {
 }
 
 // CancelReq withdraws a pending or running active read.
-type CancelReq struct{ RequestID uint64 }
+type CancelReq struct {
+	RequestID uint64
+	// TraceID is the request's trace context. Optional trailing field.
+	TraceID uint64
+}
 
-func (*CancelReq) Type() MsgType       { return MsgCancelReq }
-func (m *CancelReq) Encode(e *Encoder) { e.PutU64(m.RequestID) }
-func (m *CancelReq) Decode(d *Decoder) { m.RequestID = d.U64() }
+func (*CancelReq) Type() MsgType { return MsgCancelReq }
+
+func (m *CancelReq) Encode(e *Encoder) {
+	e.PutU64(m.RequestID)
+	e.PutU64(m.TraceID)
+}
+
+func (m *CancelReq) Decode(d *Decoder) {
+	m.RequestID = d.U64()
+	if d.Remaining() > 0 {
+		m.TraceID = d.U64()
+	}
+}
 
 // CancelResp reports whether the request was found (still pending or
 // running) when the cancel arrived.
@@ -518,6 +547,8 @@ type TransformReq struct {
 	Params    []byte
 	DstHandle uint64
 	DstOffset uint64
+	// TraceID is the client-minted trace context. Optional trailing field.
+	TraceID uint64
 }
 
 func (*TransformReq) Type() MsgType { return MsgTransformReq }
@@ -531,6 +562,7 @@ func (m *TransformReq) Encode(e *Encoder) {
 	e.PutBytes(m.Params)
 	e.PutU64(m.DstHandle)
 	e.PutU64(m.DstOffset)
+	e.PutU64(m.TraceID)
 }
 
 func (m *TransformReq) Decode(d *Decoder) {
@@ -542,6 +574,9 @@ func (m *TransformReq) Decode(d *Decoder) {
 	m.Params = d.Bytes()
 	m.DstHandle = d.U64()
 	m.DstOffset = d.U64()
+	if d.Remaining() > 0 {
+		m.TraceID = d.U64()
+	}
 }
 
 // LocalSizeReq asks a data server for the length of its local stream for
@@ -576,4 +611,77 @@ func (m *TransformResp) Encode(e *Encoder) {
 func (m *TransformResp) Decode(d *Decoder) {
 	m.RequestID = d.U64()
 	m.Written = d.U64()
+}
+
+// StatsReq asks a server (metadata or storage) for a structured snapshot
+// of its metrics registry — the machine-readable replacement for scraping
+// the free-text Dump.
+type StatsReq struct{}
+
+func (*StatsReq) Type() MsgType   { return MsgStatsReq }
+func (*StatsReq) Encode(*Encoder) {}
+func (*StatsReq) Decode(*Decoder) {}
+
+// StatsResp carries one node's metrics snapshot. Stats is the JSON
+// encoding of a metrics.Snapshot; keeping it opaque here lets the metrics
+// schema evolve without touching the wire format.
+type StatsResp struct {
+	Node  string // node identity, e.g. "data-0" or "meta"
+	Role  string // "data" or "meta"
+	Mode  string // scheduling mode for data nodes ("dosas", "as", "ts")
+	Stats []byte // JSON-encoded metrics.Snapshot
+}
+
+func (*StatsResp) Type() MsgType { return MsgStatsResp }
+
+func (m *StatsResp) Encode(e *Encoder) {
+	e.PutString(m.Node)
+	e.PutString(m.Role)
+	e.PutString(m.Mode)
+	e.PutBytes(m.Stats)
+}
+
+func (m *StatsResp) Decode(d *Decoder) {
+	m.Node = d.String()
+	m.Role = d.String()
+	m.Mode = d.String()
+	m.Stats = d.Bytes()
+}
+
+// TraceFetchReq asks a server for its retained trace events, optionally
+// filtered to one request id or one trace context (0 means no filter).
+type TraceFetchReq struct {
+	ReqID   uint64
+	TraceID uint64
+}
+
+func (*TraceFetchReq) Type() MsgType { return MsgTraceFetchReq }
+
+func (m *TraceFetchReq) Encode(e *Encoder) {
+	e.PutU64(m.ReqID)
+	e.PutU64(m.TraceID)
+}
+
+func (m *TraceFetchReq) Decode(d *Decoder) {
+	m.ReqID = d.U64()
+	m.TraceID = d.U64()
+}
+
+// TraceFetchResp returns the matching events as a JSON array of
+// trace.Event, stamped with the serving node's identity.
+type TraceFetchResp struct {
+	Node   string
+	Events []byte // JSON-encoded []trace.Event
+}
+
+func (*TraceFetchResp) Type() MsgType { return MsgTraceFetchResp }
+
+func (m *TraceFetchResp) Encode(e *Encoder) {
+	e.PutString(m.Node)
+	e.PutBytes(m.Events)
+}
+
+func (m *TraceFetchResp) Decode(d *Decoder) {
+	m.Node = d.String()
+	m.Events = d.Bytes()
 }

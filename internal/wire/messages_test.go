@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"io"
 	"reflect"
 	"testing"
@@ -47,19 +48,24 @@ func TestAllMessagesRoundTrip(t *testing.T) {
 		&TruncReq{Handle: 5, Size: 10, Remove: true},
 		&TruncResp{},
 		&ActiveReadReq{RequestID: 11, Handle: 2, Offset: 64, Length: 1 << 20,
-			Op: "sum8", Params: []byte{1}, ResumeState: []byte{2, 3}},
+			Op: "sum8", Params: []byte{1}, ResumeState: []byte{2, 3}, TraceID: 0xCAFE0001},
 		&ActiveReadResp{RequestID: 11, Disposition: ActiveInterrupted,
-			Result: []byte{4}, State: []byte{5, 6}, Processed: 512},
+			Result: []byte{4}, State: []byte{5, 6}, Processed: 512, TraceID: 0xCAFE0001},
 		&ProbeReq{},
 		&ProbeResp{QueueLen: 3, ActiveQueueLen: 2, BusyCores: 1.5, TotalCores: 2,
 			MemUsed: 100, MemTotal: 1000, BytesQueued: 4096},
-		&CancelReq{RequestID: 11},
+		&CancelReq{RequestID: 11, TraceID: 0xCAFE0001},
 		&CancelResp{Found: true},
 		&TransformReq{RequestID: 12, SrcHandle: 2, Offset: 64, Length: 1 << 20,
-			Op: "gaussian2d", Params: []byte{7}, DstHandle: 3, DstOffset: 64},
+			Op: "gaussian2d", Params: []byte{7}, DstHandle: 3, DstOffset: 64, TraceID: 0xCAFE0002},
 		&TransformResp{RequestID: 12, Written: 1 << 20},
 		&LocalSizeReq{Handle: 9},
 		&LocalSizeResp{Size: 1 << 30},
+		&StatsReq{},
+		&StatsResp{Node: "data-0", Role: "data", Mode: "dosas",
+			Stats: []byte(`{"counters":{"active.arrivals":3}}`)},
+		&TraceFetchReq{ReqID: 7, TraceID: 0xCAFE0001},
+		&TraceFetchResp{Node: "data-0", Events: []byte(`[]`)},
 	}
 	seen := make(map[MsgType]bool)
 	for _, m := range msgs {
@@ -74,6 +80,40 @@ func TestAllMessagesRoundTrip(t *testing.T) {
 	for tt := MsgType(1); tt < msgSentinel; tt++ {
 		if !seen[tt] {
 			t.Errorf("message type %v has no round-trip coverage", tt)
+		}
+	}
+}
+
+// Frames written by peers that predate the trailing TraceID field must
+// still decode, with TraceID defaulting to zero. TraceID is always the
+// final 8 encoded bytes of these messages, so an old-format frame is the
+// new-format frame truncated by 8 with its length prefix reduced to match.
+func TestOldFormatFramesDecode(t *testing.T) {
+	cases := []Message{
+		&ActiveReadReq{RequestID: 11, Handle: 2, Offset: 64, Length: 1 << 20,
+			Op: "sum8", Params: []byte{1}, ResumeState: []byte{2, 3}, TraceID: 0xCAFE},
+		&ActiveReadResp{RequestID: 11, Disposition: ActiveDone,
+			Result: []byte{4}, Processed: 512, TraceID: 0xCAFE},
+		&CancelReq{RequestID: 11, TraceID: 0xCAFE},
+		&TransformReq{RequestID: 12, SrcHandle: 2, Offset: 64, Length: 1 << 20,
+			Op: "gaussian2d", Params: []byte{7}, DstHandle: 3, DstOffset: 64, TraceID: 0xCAFE},
+	}
+	for _, m := range cases {
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatalf("WriteMessage(%v): %v", m.Type(), err)
+		}
+		raw := buf.Bytes()
+		old := append([]byte(nil), raw[:len(raw)-8]...)
+		binary.LittleEndian.PutUint32(old[0:4], uint32(len(old)-4))
+		got, err := ReadMessage(bytes.NewReader(old))
+		if err != nil {
+			t.Fatalf("%v: old-format frame rejected: %v", m.Type(), err)
+		}
+		// Old peers never sent a TraceID, so the decode must yield zero.
+		reflect.ValueOf(m).Elem().FieldByName("TraceID").SetUint(0)
+		if !reflect.DeepEqual(normalise(got), normalise(m)) {
+			t.Errorf("%v: old-format decode mismatch:\n got %#v\nwant %#v", m.Type(), got, m)
 		}
 	}
 }

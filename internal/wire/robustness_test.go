@@ -31,27 +31,35 @@ func TestReadMessageNeverPanicsOnGarbage(t *testing.T) {
 func TestReadMessageSurvivesCorruptedFrames(t *testing.T) {
 	f := func(seed int64, flips uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
-		var buf bytes.Buffer
-		msg := &ActiveReadReq{
-			RequestID: rng.Uint64(),
-			Handle:    rng.Uint64(),
-			Offset:    rng.Uint64(),
-			Length:    rng.Uint64(),
-			Op:        "gaussian2d",
-			Params:    []byte{1, 2, 3},
+		msgs := []Message{
+			&ActiveReadReq{
+				RequestID: rng.Uint64(),
+				Handle:    rng.Uint64(),
+				Offset:    rng.Uint64(),
+				Length:    rng.Uint64(),
+				Op:        "gaussian2d",
+				Params:    []byte{1, 2, 3},
+				TraceID:   rng.Uint64(),
+			},
+			&StatsResp{Node: "data-0", Role: "data", Mode: "dosas",
+				Stats: []byte(`{"counters":{"x":1}}`)},
+			&TraceFetchReq{ReqID: rng.Uint64(), TraceID: rng.Uint64()},
 		}
-		if err := WriteMessage(&buf, msg); err != nil {
-			return false
+		for _, msg := range msgs {
+			var buf bytes.Buffer
+			if err := WriteMessage(&buf, msg); err != nil {
+				return false
+			}
+			raw := buf.Bytes()
+			// Corrupt 1..8 bytes of the payload region (not the length
+			// prefix, which would just change how much we read).
+			for i := 0; i < int(flips)%8+1; i++ {
+				pos := 6 + rng.Intn(len(raw)-6)
+				raw[pos] ^= byte(1 << rng.Intn(8))
+			}
+			_, err := ReadMessage(bytes.NewReader(raw))
+			_ = err
 		}
-		raw := buf.Bytes()
-		// Corrupt 1..8 bytes of the payload region (not the length
-		// prefix, which would just change how much we read).
-		for i := 0; i < int(flips)%8+1; i++ {
-			pos := 6 + rng.Intn(len(raw)-6)
-			raw[pos] ^= byte(1 << rng.Intn(8))
-		}
-		_, err := ReadMessage(bytes.NewReader(raw))
-		_ = err
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {

@@ -73,6 +73,12 @@ const (
 	MsgLocalSizeReq
 	MsgLocalSizeResp
 
+	// Observability: structured metrics and trace export.
+	MsgStatsReq
+	MsgStatsResp
+	MsgTraceFetchReq
+	MsgTraceFetchResp
+
 	msgSentinel // keep last
 )
 
@@ -109,6 +115,10 @@ var msgNames = map[MsgType]string{
 	MsgTransformResp:  "transform.resp",
 	MsgLocalSizeReq:   "localsize.req",
 	MsgLocalSizeResp:  "localsize.resp",
+	MsgStatsReq:       "stats.req",
+	MsgStatsResp:      "stats.resp",
+	MsgTraceFetchReq:  "tracefetch.req",
+	MsgTraceFetchResp: "tracefetch.resp",
 }
 
 // String returns a human-readable name for the message type.
@@ -262,6 +272,14 @@ func New(t MsgType) Message {
 		return new(LocalSizeReq)
 	case MsgLocalSizeResp:
 		return new(LocalSizeResp)
+	case MsgStatsReq:
+		return new(StatsReq)
+	case MsgStatsResp:
+		return new(StatsResp)
+	case MsgTraceFetchReq:
+		return new(TraceFetchReq)
+	case MsgTraceFetchResp:
+		return new(TraceFetchResp)
 	default:
 		return nil
 	}

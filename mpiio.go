@@ -80,6 +80,10 @@ type ExResult struct {
 	FH *File
 	// Offset is the file position after the operation.
 	Offset int64
+	// TraceID names the distributed trace this call produced; feed it to
+	// Cluster.TraceTimeline or `dosasctl trace` to reconstruct where and
+	// why each part ran.
+	TraceID uint64
 }
 
 // FileOpen opens an existing file, like MPI_File_open.
@@ -163,6 +167,7 @@ func FileReadEx(fh *File, result *ExResult, count int, datatype Datatype,
 	result.Buf = res.Output
 	result.FH = fh
 	result.Offset = int64(fh.pos)
+	result.TraceID = res.TraceID
 	if status != nil {
 		status.Count = count
 		status.Where = status.Where[:0]

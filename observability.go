@@ -1,0 +1,185 @@
+package dosas
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dosas/internal/metrics"
+	"dosas/internal/trace"
+)
+
+// TraceEvent is one recorded lifecycle event: a span of a distributed
+// trace, carrying the TraceID minted by the issuing client, the recording
+// node's identity, the phase it measures (queue-wait, kernel-execute,
+// network-transfer, bounce-decision), its measured duration, and — for
+// kernel phases — the Contention Estimator's predicted duration.
+type TraceEvent = trace.Event
+
+// StatsSnapshot is a consistent, JSON-encodable copy of one node's
+// metric registry, as served by the StatsReq wire message.
+type StatsSnapshot = metrics.Snapshot
+
+// TraceEvents returns storage node i's retained lifecycle events in
+// chronological order.
+func (c *Cluster) TraceEvents(node int) ([]TraceEvent, error) {
+	if node < 0 || node >= len(c.runtimes) {
+		return nil, fmt.Errorf("dosas: no storage node %d", node)
+	}
+	return c.runtimes[node].Trace().Snapshot(), nil
+}
+
+// Stats returns every node's metric snapshot, keyed by node name
+// ("meta", "data-0", …) — the cluster-wide aggregate view of what each
+// server has counted.
+func (c *Cluster) Stats() map[string]StatsSnapshot {
+	out := make(map[string]StatsSnapshot, len(c.runtimes)+1)
+	if c.meta != nil {
+		out["meta"] = c.meta.Metrics().Snapshot()
+	}
+	for i, rt := range c.runtimes {
+		out[fmt.Sprintf("data-%d", i)] = rt.Metrics().Snapshot()
+	}
+	return out
+}
+
+// TraceTimeline stitches the storage-side events of one distributed
+// trace across every node into a single chronological timeline. Client
+// recorders are not visible to the cluster; merge FS.TraceEvents output
+// with StitchTimeline for the complete picture.
+func (c *Cluster) TraceTimeline(traceID uint64) []TraceEvent {
+	sets := make([][]TraceEvent, 0, len(c.runtimes))
+	for _, rt := range c.runtimes {
+		sets = append(sets, rt.Trace().HistoryTrace(traceID))
+	}
+	return StitchTimeline(sets...)
+}
+
+// TraceEvents returns this client's retained lifecycle events (issues,
+// responses, transfers, local kernel executions), in chronological order.
+func (fs *FS) TraceEvents() []TraceEvent {
+	return fs.asc.Trace().Snapshot()
+}
+
+// FilterTrace keeps only the events of one distributed trace.
+func FilterTrace(evs []TraceEvent, traceID uint64) []TraceEvent {
+	var out []TraceEvent
+	for _, e := range evs {
+		if e.TraceID == traceID {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// FilterRequest keeps only the events of one wire-level request id.
+func FilterRequest(evs []TraceEvent, reqID uint64) []TraceEvent {
+	var out []TraceEvent
+	for _, e := range evs {
+		if e.ReqID == reqID {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// StitchTimeline merges per-node event sets into one timeline ordered by
+// wall-clock time (ties broken by node, then sequence number). All nodes
+// of an in-process or single-host cluster share a clock, so the order is
+// faithful; across real hosts it is as good as their clock sync.
+func StitchTimeline(sets ...[]TraceEvent) []TraceEvent {
+	var out []TraceEvent
+	for _, s := range sets {
+		out = append(out, s...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if !out[i].Time.Equal(out[j].Time) {
+			return out[i].Time.Before(out[j].Time)
+		}
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// FormatTimeline renders a stitched timeline one event per line, with
+// the recording node called out so cross-node flow reads top to bottom.
+func FormatTimeline(evs []TraceEvent) string {
+	var sb strings.Builder
+	for _, e := range evs {
+		node := e.Node
+		if node == "" {
+			node = "?"
+		}
+		fmt.Fprintf(&sb, "%s %-8s%s\n", e.Time.Format("15:04:05.000"), node, trace.FormatEvent(e))
+	}
+	return sb.String()
+}
+
+// DecisionMetrics aggregates the scheduling decisions a cluster's
+// storage nodes made — the per-scheme numbers the paper's evaluation
+// turns on: how often work bounced back to compute nodes, how often
+// running kernels were interrupted, and how accurate the Contention
+// Estimator's kernel-cost forecasts were.
+type DecisionMetrics struct {
+	Arrivals    int64 `json:"arrivals"`
+	Completed   int64 `json:"completed"`
+	Bounced     int64 `json:"bounced"`
+	Interrupted int64 `json:"interrupted"`
+	Migrated    int64 `json:"migrated"`
+	// BounceRate is Bounced/Arrivals (0 when no arrivals).
+	BounceRate float64 `json:"bounce_rate"`
+	// InterruptRate is Interrupted/Arrivals (0 when no arrivals).
+	InterruptRate float64 `json:"interrupt_rate"`
+	// EstimatorSamples counts kernel completions with a forecast.
+	EstimatorSamples int64 `json:"estimator_samples"`
+	// EstimatorErrPct is the mean |actual−predicted|/predicted error of
+	// the estimator's kernel-cost forecasts, in percent, weighted across
+	// nodes by sample count.
+	EstimatorErrPct float64 `json:"estimator_err_pct"`
+	// EstimatorErrPctP99 is the worst node's 99th-percentile error.
+	EstimatorErrPctP99 float64 `json:"estimator_err_pct_p99"`
+}
+
+// DecisionMetrics aggregates scheduling-decision counters across all
+// storage nodes.
+func (c *Cluster) DecisionMetrics() DecisionMetrics {
+	snaps := make([]StatsSnapshot, 0, len(c.runtimes))
+	for _, rt := range c.runtimes {
+		snaps = append(snaps, rt.Metrics().Snapshot())
+	}
+	return AggregateDecisions(snaps)
+}
+
+// AggregateDecisions computes cluster-wide decision metrics from
+// per-node snapshots (local registries or StatsResp payloads alike).
+func AggregateDecisions(snaps []StatsSnapshot) DecisionMetrics {
+	var m DecisionMetrics
+	var errSum float64
+	for _, s := range snaps {
+		m.Arrivals += s.Counter("active.arrivals")
+		m.Completed += s.Counter("active.completed")
+		m.Bounced += s.Counter("active.rejected") +
+			s.Counter("active.rejected_memory") +
+			s.Counter("active.bounced_queued")
+		m.Interrupted += s.Counter("active.interrupted")
+		m.Migrated += s.Counter("active.migrated")
+		if h, ok := s.Histograms["est.kernel_error_pct"]; ok && h.Count > 0 {
+			m.EstimatorSamples += h.Count
+			errSum += h.Mean * float64(h.Count)
+			if h.P99 > m.EstimatorErrPctP99 {
+				m.EstimatorErrPctP99 = h.P99
+			}
+		}
+	}
+	if m.Arrivals > 0 {
+		m.BounceRate = float64(m.Bounced) / float64(m.Arrivals)
+		m.InterruptRate = float64(m.Interrupted) / float64(m.Arrivals)
+	}
+	if m.EstimatorSamples > 0 {
+		m.EstimatorErrPct = errSum / float64(m.EstimatorSamples)
+	}
+	return m
+}

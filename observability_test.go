@@ -1,0 +1,194 @@
+package dosas_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dosas"
+	"dosas/internal/trace"
+	"dosas/internal/workload"
+)
+
+// writeTestFile creates name on fs and fills it with n random bytes.
+func writeTestFile(t *testing.T, fs *dosas.FS, name string, n int) *dosas.File {
+	t.Helper()
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(workload.RandomBytes(n, 42), 0); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// The tentpole acceptance check: one active read produces a stitched
+// cross-node timeline whose client-side and storage-side spans share the
+// client-minted TraceID.
+func TestStitchedTimelineSharesTraceID(t *testing.T) {
+	c := startCluster(t, dosas.Options{DataServers: 2, Policy: dosas.AlwaysAccept})
+	fs := connect(t, c, dosas.DOSAS)
+	f := writeTestFile(t, fs, "obs/data", 300_000)
+
+	res, err := f.ReadEx("sum8", nil, 0, f.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceID == 0 {
+		t.Fatal("result carries no TraceID")
+	}
+
+	clientEvs := dosas.FilterTrace(fs.TraceEvents(), res.TraceID)
+	if len(clientEvs) == 0 {
+		t.Fatal("client recorded no events for the trace")
+	}
+	storageEvs := c.TraceTimeline(res.TraceID)
+	if len(storageEvs) == 0 {
+		t.Fatal("storage nodes recorded no events for the trace")
+	}
+
+	timeline := dosas.StitchTimeline(clientEvs, storageEvs)
+	var sawClient, sawStorage, sawKernelSpan, sawPredicted bool
+	for _, e := range timeline {
+		if e.TraceID != res.TraceID {
+			t.Fatalf("stitched event from foreign trace: %+v", e)
+		}
+		switch {
+		case e.Node == "client":
+			sawClient = true
+		case strings.HasPrefix(e.Node, "data-"):
+			sawStorage = true
+		}
+		if e.Phase == trace.PhaseKernel && e.Dur > 0 {
+			sawKernelSpan = true
+		}
+		if e.Predicted > 0 {
+			sawPredicted = true
+		}
+	}
+	if !sawClient || !sawStorage {
+		t.Errorf("timeline missing a side: client=%v storage=%v\n%s",
+			sawClient, sawStorage, dosas.FormatTimeline(timeline))
+	}
+	if !sawKernelSpan {
+		t.Errorf("no kernel-execute span with a duration:\n%s", dosas.FormatTimeline(timeline))
+	}
+	if !sawPredicted {
+		t.Errorf("no span records the estimator's predicted cost:\n%s", dosas.FormatTimeline(timeline))
+	}
+
+	// The rendered timeline shows both sides for the operator.
+	out := dosas.FormatTimeline(timeline)
+	for _, want := range []string{"client", "data-", "issue", "complete"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered timeline missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// A bounced request's timeline records the scheduling decision and its
+// reason on the storage side, and the client's local execution spans.
+func TestTraceRecordsRejectDecision(t *testing.T) {
+	c := startCluster(t, dosas.Options{DataServers: 2, Policy: dosas.AlwaysBounce})
+	fs := connect(t, c, dosas.DOSAS)
+	f := writeTestFile(t, fs, "obs/bounce", 200_000)
+
+	res, err := f.ReadEx("sum8", nil, 0, f.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	storageEvs := c.TraceTimeline(res.TraceID)
+	var sawReject bool
+	for _, e := range storageEvs {
+		if e.Kind == trace.KindReject {
+			sawReject = true
+			if e.Phase != trace.PhaseDecision {
+				t.Errorf("reject span has phase %q, want %q", e.Phase, trace.PhaseDecision)
+			}
+			if e.Note == "" {
+				t.Error("reject span records no reason")
+			}
+		}
+	}
+	if !sawReject {
+		t.Fatalf("no reject decision recorded:\n%s", dosas.FormatTimeline(storageEvs))
+	}
+
+	clientEvs := dosas.FilterTrace(fs.TraceEvents(), res.TraceID)
+	var sawTransfer, sawLocal bool
+	for _, e := range clientEvs {
+		if e.Kind == trace.KindTransfer && e.Phase == trace.PhaseTransfer {
+			sawTransfer = true
+		}
+		if e.Kind == trace.KindComplete && strings.Contains(e.Note, "client") {
+			sawLocal = true
+		}
+	}
+	if !sawTransfer || !sawLocal {
+		t.Errorf("client side missing transfer=%v local-compute=%v spans:\n%s",
+			sawTransfer, sawLocal, dosas.FormatTimeline(clientEvs))
+	}
+}
+
+// Cluster-wide stats aggregate per-node snapshots, and the decision
+// metrics reflect the configured policy.
+func TestClusterStatsAndDecisionMetrics(t *testing.T) {
+	c := startCluster(t, dosas.Options{DataServers: 2, Policy: dosas.AlwaysAccept})
+	fs := connect(t, c, dosas.DOSAS)
+	f := writeTestFile(t, fs, "obs/stats", 250_000)
+	for i := 0; i < 3; i++ {
+		if _, err := f.ReadEx("sum8", nil, 0, f.Size()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stats := c.Stats()
+	if _, ok := stats["meta"]; !ok {
+		t.Error("stats missing meta node")
+	}
+	var arrivals int64
+	for i := 0; i < 2; i++ {
+		s, ok := stats[nodeName(i)]
+		if !ok {
+			t.Fatalf("stats missing %s", nodeName(i))
+		}
+		arrivals += s.Counter("active.arrivals")
+	}
+	if arrivals == 0 {
+		t.Error("no active arrivals counted across storage nodes")
+	}
+
+	// Snapshots must be JSON-encodable end to end (the wire payload form).
+	if _, err := json.Marshal(stats); err != nil {
+		t.Fatalf("stats not JSON-encodable: %v", err)
+	}
+
+	dm := c.DecisionMetrics()
+	if dm.Arrivals == 0 || dm.Completed == 0 {
+		t.Errorf("decision metrics empty: %+v", dm)
+	}
+	if dm.BounceRate != 0 {
+		t.Errorf("always-accept cluster bounced: %+v", dm)
+	}
+	if dm.EstimatorSamples == 0 || dm.EstimatorErrPct < 0 {
+		t.Errorf("estimator error not tracked: %+v", dm)
+	}
+
+	// An always-bounce cluster reports a 100% bounce rate.
+	cb := startCluster(t, dosas.Options{DataServers: 1, Policy: dosas.AlwaysBounce})
+	fb := connect(t, cb, dosas.DOSAS)
+	g := writeTestFile(t, fb, "obs/allbounce", 100_000)
+	if _, err := g.ReadEx("sum8", nil, 0, g.Size()); err != nil {
+		t.Fatal(err)
+	}
+	dmb := cb.DecisionMetrics()
+	if dmb.Arrivals == 0 || dmb.Bounced != dmb.Arrivals || dmb.BounceRate != 1 {
+		t.Errorf("always-bounce metrics = %+v", dmb)
+	}
+}
+
+func nodeName(i int) string {
+	return "data-" + string(rune('0'+i))
+}
