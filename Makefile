@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check bench clean
+.PHONY: all build test vet race check bench bench-paper clean
 
 all: check
 
@@ -21,9 +21,15 @@ race:
 
 check: vet race
 
+# Data-path microbenchmarks (fixed iteration count so runs compare
+# across commits) plus the window-vs-serial matrix (writes BENCH_pr2.json).
+bench:
+	$(GO) test ./internal/pfs/ -run '^$$' -bench 'ReadPath|WritePath' -benchtime 15x -benchmem
+	$(GO) run ./cmd/dosas-bench -exp readpath
+
 # Regenerate the paper's tables/figures (simulated experiments) and the
 # live per-scheme decision metrics (BENCH_live.json).
-bench:
+bench-paper:
 	$(GO) run ./cmd/dosas-bench
 
 clean:

@@ -89,6 +89,10 @@ type Options struct {
 	// bytes/second — set 118e6 to emulate the paper's measured Gigabit
 	// Ethernet on a fast host.
 	LinkRate float64
+	// LinkDelay, when positive, adds this one-way propagation delay to
+	// every connection in each direction — cross-rack or datacenter-hop
+	// latency emulation. Composes with LinkRate.
+	LinkDelay time.Duration
 	// NetworkBandwidth is what the Contention Estimator assumes for bw;
 	// defaults to LinkRate when shaped, else 118 MB/s.
 	NetworkBandwidth float64
@@ -106,19 +110,29 @@ type Options struct {
 	// directory (one subdirectory per storage node) and journals
 	// metadata, making the cluster durable across restarts.
 	DataDir string
+	// WindowDepth is how many chunk requests clients connected through
+	// this Cluster keep in flight per server connection during bulk
+	// transfers (default pfs.DefaultWindowDepth; 1 disables pipelining).
+	WindowDepth int
+	// TransferChunk is the per-request chunk size for those bulk
+	// transfers (default pfs.DefaultTransferChunk). Smaller chunks make
+	// the window matter more on high-latency links.
+	TransferChunk int
 }
 
 // Cluster is a running DOSAS deployment: one metadata server plus
 // DataServers storage nodes, each running the pfs data service with an
 // Active I/O Runtime attached.
 type Cluster struct {
-	net       transport.Network
-	metaAddr  string
-	dataAddrs []string
-	servers   []*pfs.Server
-	runtimes  []*core.Runtime
-	meta      *pfs.MetaServer
-	stores    []pfs.Store
+	net         transport.Network
+	metaAddr    string
+	dataAddrs   []string
+	servers     []*pfs.Server
+	runtimes    []*core.Runtime
+	meta          *pfs.MetaServer
+	stores        []pfs.Store
+	windowDepth   int
+	transferChunk int
 }
 
 // StartCluster boots an in-process (or TCP-loopback) cluster and returns
@@ -144,8 +158,11 @@ func StartCluster(o Options) (*Cluster, error) {
 	if o.LinkRate > 0 {
 		net = transport.NewShaped(net, o.LinkRate)
 	}
+	if o.LinkDelay > 0 {
+		net = transport.NewDelayed(net, o.LinkDelay)
+	}
 
-	c := &Cluster{net: net}
+	c := &Cluster{net: net, windowDepth: o.WindowDepth, transferChunk: o.TransferChunk}
 	ok := false
 	defer func() {
 		if !ok {
@@ -247,13 +264,13 @@ func (c *Cluster) DataAddrs() []string { return append([]string(nil), c.dataAddr
 // Connect returns a client file system bound to this cluster using the
 // given scheme.
 func (c *Cluster) Connect(scheme Scheme) (*FS, error) {
-	return connect(c.net, c.metaAddr, c.dataAddrs, scheme, false)
+	return connect(c.net, c.metaAddr, c.dataAddrs, scheme, false, c.windowDepth, c.transferChunk)
 }
 
 // ConnectPaced is Connect with client-side kernel pacing enabled,
 // matching a cluster started with Options.Pace.
 func (c *Cluster) ConnectPaced(scheme Scheme) (*FS, error) {
-	return connect(c.net, c.metaAddr, c.dataAddrs, scheme, true)
+	return connect(c.net, c.metaAddr, c.dataAddrs, scheme, true, c.windowDepth, c.transferChunk)
 }
 
 // TraceDump renders storage node i's request-lifecycle trace: one line
@@ -303,19 +320,29 @@ type ClientOptions struct {
 	Scheme Scheme
 	// Pace throttles client-side kernel execution to calibrated rates.
 	Pace bool
+	// WindowDepth is how many chunk requests bulk transfers keep in
+	// flight per server connection (default pfs.DefaultWindowDepth).
+	WindowDepth int
+	// TransferChunk is the per-request chunk size for bulk transfers
+	// (default pfs.DefaultTransferChunk).
+	TransferChunk int
 }
 
 // Connect dials an externally managed cluster over TCP.
 func Connect(o ClientOptions) (*FS, error) {
-	return connect(transport.TCP{}, o.MetaAddr, o.DataAddrs, o.Scheme, o.Pace)
+	return connect(transport.TCP{}, o.MetaAddr, o.DataAddrs, o.Scheme, o.Pace, o.WindowDepth, o.TransferChunk)
 }
 
-func connect(net transport.Network, metaAddr string, dataAddrs []string, scheme Scheme, pace bool) (*FS, error) {
-	pc, err := pfs.NewClient(pfs.ClientConfig{Net: net, MetaAddr: metaAddr, DataAddrs: dataAddrs})
+func connect(net transport.Network, metaAddr string, dataAddrs []string, scheme Scheme, pace bool, windowDepth, transferChunk int) (*FS, error) {
+	pc, err := pfs.NewClient(pfs.ClientConfig{
+		Net: net, MetaAddr: metaAddr, DataAddrs: dataAddrs, WindowDepth: windowDepth, TransferChunk: transferChunk,
+	})
 	if err != nil {
 		return nil, err
 	}
-	asc, err := core.NewClient(core.ClientConfig{FS: pc, Scheme: scheme.core(), Pace: pace})
+	asc, err := core.NewClient(core.ClientConfig{
+		FS: pc, Scheme: scheme.core(), Pace: pace, WindowDepth: windowDepth,
+	})
 	if err != nil {
 		pc.Close()
 		return nil, err

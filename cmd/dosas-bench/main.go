@@ -25,6 +25,7 @@
 //	trace     trace-driven multi-application mixed stream
 //	live      live-mode TS/AS/DOSAS on a real in-process cluster
 //	ce-period live ablation: Contention Estimator responsiveness
+//	readpath  pipelined read path, window vs serial (writes BENCH_pr2.json)
 //	all       everything simulated (excludes the live experiments)
 //
 // Simulated experiments run the calibrated discrete-event model at full
@@ -99,6 +100,7 @@ func main() {
 		"trace":     trace,
 		"live":      live,
 		"ce-period": cePeriod,
+		"readpath":  readPath,
 	}
 	order := []string{"table3", "fig2", "fig5", "fig6", "table4",
 		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
@@ -599,4 +601,102 @@ func liveRun(scheme dosas.Scheme, n, reqBytes int) (time.Duration, dosas.Decisio
 		}
 	}
 	return time.Since(start), cluster.DecisionMetrics(), nil
+}
+
+// readPath measures the sliding-window data path (PR 2) against the
+// serial chunk-at-a-time loop it replaced, on a latency-shaped in-process
+// cluster (250 µs one way — a datacenter-fabric hop). One row per
+// (range size, stripe width); the window column should approach
+// depth × serial on narrow stripes and stay ahead everywhere.
+func readPath() {
+	header("Read path: pipelined window vs serial transfers (250 µs one-way link delay)")
+	const delay = 250 * time.Microsecond
+	const chunk = 256 << 10 // latency-bound regime: many small round trips
+	const maxMB = 256
+	const runs = 3
+	sizesMB := []int{1, 4, 16, 64, 256}
+	widths := []int{1, 2, 4, 8}
+
+	type cell struct {
+		SizeMB  int     `json:"size_mb"`
+		Width   int     `json:"width"`
+		Depth   int     `json:"depth"`
+		Seconds float64 `json:"seconds"`
+		MBps    float64 `json:"mbps"`
+	}
+	var cells []cell
+
+	measure := func(width, depth int) map[int]float64 {
+		cluster, err := dosas.StartCluster(dosas.Options{
+			DataServers:   width,
+			Policy:        dosas.AlwaysBounce,
+			LinkDelay:     delay,
+			WindowDepth:   depth,
+			TransferChunk: chunk,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cluster.Close()
+		fs, err := cluster.Connect(dosas.TS)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer fs.Close()
+		f, err := fs.Create("bench/readpath", dosas.CreateOptions{Width: width, StripeSize: 1 << 20})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := f.WriteAt(workload.RandomBytes(maxMB<<20, 2), 0); err != nil {
+			log.Fatal(err)
+		}
+		buf := make([]byte, maxMB<<20)
+		out := make(map[int]float64, len(sizesMB))
+		for _, mb := range sizesMB {
+			best := time.Duration(1<<62 - 1)
+			for r := 0; r < runs; r++ {
+				start := time.Now()
+				if _, err := f.ReadAt(buf[:mb<<20], 0); err != nil {
+					log.Fatal(err)
+				}
+				if d := time.Since(start); d < best {
+					best = d
+				}
+			}
+			out[mb] = best.Seconds()
+			cells = append(cells, cell{
+				SizeMB: mb, Width: width, Depth: depth,
+				Seconds: best.Seconds(),
+				MBps:    float64(mb<<20) / best.Seconds() / 1e6,
+			})
+		}
+		return out
+	}
+
+	fmt.Printf("%-10s %-7s %12s %12s %9s\n", "range", "width", "serial", "window", "speedup")
+	for _, width := range widths {
+		serial := measure(width, 1)
+		window := measure(width, 0) // 0 = pfs.DefaultWindowDepth
+		for _, mb := range sizesMB {
+			fmt.Printf("%7dMB %-7d %11.4fs %11.4fs %8.2fx\n",
+				mb, width, serial[mb], window[mb], serial[mb]/window[mb])
+		}
+	}
+
+	blob, err := json.MarshalIndent(map[string]any{
+		"experiment":   "readpath",
+		"one_way_us":   delay.Microseconds(),
+		"chunk_bytes":  chunk,
+		"runs_per_pt":  runs,
+		"serial_depth": 1,
+		"results":      cells,
+	}, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const out = "BENCH_pr2.json"
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote window-vs-serial matrix to %s\n", out)
 }

@@ -56,6 +56,12 @@ type ClientConfig struct {
 	// ChunkSize is the read granularity for client-side kernel
 	// execution. Defaults to 1 MiB.
 	ChunkSize int
+	// WindowDepth is how many chunk reads the transfer phase of local
+	// (bounced/migrated) computation keeps in flight per server. 0 takes
+	// pfs.DefaultWindowDepth. The pipelining stays strictly inside the
+	// transfer phase: transfer and computation remain serial, as the
+	// Contention Estimator's workload model requires.
+	WindowDepth int
 	// Pace throttles client-side kernel execution to the calibrated
 	// per-core rate, emulating the paper's compute nodes on fast hosts.
 	Pace bool
@@ -485,29 +491,16 @@ func (c *Client) computeLocally(addr string, handle, offset, length uint64, op s
 			return nil, 0, err
 		}
 	}
-	// Phase 1: data movement.
+	// Phase 1: data movement, pipelined inside the phase: up to
+	// WindowDepth chunk reads ride the wire concurrently, but the kernel
+	// does not start until the last byte lands.
 	xferStart := time.Now()
 	buf := make([]byte, length)
-	var done uint64
-	for done < length {
-		n := uint32(c.cfg.ChunkSize)
-		if length-done < uint64(n) {
-			n = uint32(length - done)
-		}
-		resp, err := c.cfg.FS.Pool().Call(addr, &wire.ReadReq{Handle: handle, Offset: offset + done, Length: n})
-		if err != nil {
-			return nil, done, err
-		}
-		rr, ok := resp.(*wire.ReadResp)
-		if !ok {
-			return nil, done, fmt.Errorf("core: local compute read: unexpected response %v", resp.Type())
-		}
-		if len(rr.Data) == 0 {
-			return nil, done, fmt.Errorf("core: local compute read past end of local stream at %d", offset+done)
-		}
-		copy(buf[done:], rr.Data)
-		done += uint64(len(rr.Data))
-		c.reg.Counter("asc.bytes_shipped").Add(int64(len(rr.Data)))
+	n, err := c.cfg.FS.Pool().ReadWindowed(addr, handle, buf, offset, c.cfg.WindowDepth, c.cfg.ChunkSize)
+	done := uint64(n)
+	c.reg.Counter("asc.bytes_shipped").Add(int64(n))
+	if err != nil {
+		return nil, done, fmt.Errorf("core: local compute read: %w", err)
 	}
 	c.cfg.Trace.RecordEvent(trace.Event{
 		Kind: trace.KindTransfer, TraceID: traceID,

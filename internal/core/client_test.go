@@ -160,3 +160,69 @@ func TestClientConfigValidation(t *testing.T) {
 		t.Fatalf("err = %v", err)
 	}
 }
+
+// localRanges edge cases: width-1 coalescing, mid-stripe starts, and
+// single-byte tails must each produce exactly one contiguous local range
+// per touched server, with correct local offsets.
+func TestLocalRangesEdgeCases(t *testing.T) {
+	c := startActiveCluster(t, clusterOpts{nData: 3, mode: ModeAlwaysAccept, scheme: SchemeAS})
+
+	// Width 1: everything coalesces to a single range whose local offset
+	// equals the file offset.
+	f1, _ := writeFile(t, c.fs, "lre/w1", 5*64<<10+1, 1)
+	for _, tc := range []struct{ off, length uint64 }{
+		{0, f1.Size()}, {17, 3 * 64 << 10}, {5 * 64 << 10, 1},
+	} {
+		ranges := localRanges(f1, tc.off, tc.length)
+		if len(ranges) != 1 {
+			t.Fatalf("width 1 [%d,%d): %d ranges", tc.off, tc.off+tc.length, len(ranges))
+		}
+		if lr := ranges[0]; lr.offset != tc.off || lr.length != tc.length {
+			t.Fatalf("width 1 [%d,%d): local [%d,%d)", tc.off, tc.off+tc.length, lr.offset, lr.offset+lr.length)
+		}
+	}
+
+	// Single-byte tail on a striped file: one 1-byte range on the slot
+	// that owns the tail stripe.
+	f3, _ := writeFile(t, c.fs, "lre/w3", 3*64<<10+1, 3)
+	tail := localRanges(f3, 3*64<<10, 1)
+	if len(tail) != 1 || tail[0].length != 1 || tail[0].slot != 0 || tail[0].offset != 64<<10 {
+		t.Fatalf("tail ranges = %+v", tail)
+	}
+
+	// Mid-stripe start crossing servers: each server gets one range and
+	// the first keeps its intra-stripe offset.
+	mid := localRanges(f3, 1000, 64<<10)
+	if len(mid) != 2 {
+		t.Fatalf("mid-stripe ranges = %+v", mid)
+	}
+	if mid[0].slot != 0 || mid[0].offset != 1000 || mid[0].length != 64<<10-1000 {
+		t.Fatalf("mid-stripe first range = %+v", mid[0])
+	}
+	if mid[1].slot != 1 || mid[1].offset != 0 || mid[1].length != 1000 {
+		t.Fatalf("mid-stripe second range = %+v", mid[1])
+	}
+
+	// Replicated layout: localRanges describes the primary copy, so the
+	// ranges are identical to the unreplicated case.
+	fr, err := c.fs.CreateReplicated("lre/rep", 64<<10, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 3*64<<10+1)
+	if _, err := fr.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	repRanges := localRanges(fr, 1000, 64<<10)
+	if len(repRanges) != len(mid) {
+		t.Fatalf("replicated ranges = %+v", repRanges)
+	}
+	// Server identities differ (the metadata server rotates placement per
+	// file); the slot-relative geometry must not.
+	for i := range mid {
+		got, want := repRanges[i], mid[i]
+		if got.slot != want.slot || got.offset != want.offset || got.length != want.length {
+			t.Fatalf("replicated range %d = %+v, want geometry of %+v", i, got, want)
+		}
+	}
+}

@@ -373,7 +373,8 @@ func (rt *Runtime) executeTransform(t *task) (wire.Message, error) {
 	if err := k.Configure(req.Params); err != nil {
 		return nil, fmt.Errorf("%w: %v", pfs.ErrInvalid, err)
 	}
-	buf := make([]byte, rt.cfg.ChunkSize)
+	buf := wire.GetBuf(rt.cfg.ChunkSize) // pooled; kernels must not retain chunk slices
+	defer wire.PutBuf(buf)
 	var done uint64
 	for done < req.Length {
 		chunkStart := time.Now()
@@ -664,7 +665,8 @@ func (rt *Runtime) execute(t *task) (*wire.ActiveReadResp, error) {
 		}
 	}
 
-	buf := make([]byte, rt.cfg.ChunkSize)
+	buf := wire.GetBuf(rt.cfg.ChunkSize) // pooled; kernels must not retain chunk slices
+	defer wire.PutBuf(buf)
 	var done uint64
 	for done < req.Length {
 		chunkStart := time.Now()

@@ -8,9 +8,9 @@ import (
 	"dosas/internal/wire"
 )
 
-// transferChunk bounds a single Read/Write RPC so bulk transfers stay well
+// DefaultTransferChunk bounds a single Read/Write RPC so bulk transfers stay well
 // under the wire frame limit and interleave fairly on shared links.
-const transferChunk = 4 << 20
+const DefaultTransferChunk = 4 << 20
 
 // ClientConfig tells a client where the cluster lives.
 type ClientConfig struct {
@@ -21,6 +21,13 @@ type ClientConfig struct {
 	// DataAddrs maps data-server indices (as used in layouts) to
 	// addresses. Order matters and must match the cluster configuration.
 	DataAddrs []string
+	// WindowDepth is how many chunk requests bulk transfers keep in
+	// flight per server connection. 0 takes DefaultWindowDepth; 1 is the
+	// serial request/response loop.
+	WindowDepth int
+	// TransferChunk bounds a single Read/Write RPC in bytes. 0 takes the
+	// 4 MiB default; values are clamped under the wire frame limit.
+	TransferChunk int
 }
 
 // Client is the file system client: it resolves names at the metadata
@@ -265,34 +272,19 @@ func (f *File) readSegment(dst []byte, seg Segment) error {
 	return lastErr
 }
 
-// readSegmentReplica reads the segment from replica r. Chained placement
-// guarantees the replica's local offsets equal the primary's.
+// readSegmentReplica reads the segment from replica r through the
+// sliding-window path, keeping WindowDepth chunks in flight. Chained
+// placement guarantees the replica's local offsets equal the primary's.
 func (f *File) readSegmentReplica(dst []byte, seg Segment, r int) error {
 	addr, err := f.c.DataAddr(ReplicaServer(f.layout, seg.Slot, r))
 	if err != nil {
 		return err
 	}
 	handle := ReplicaHandle(f.handle, r)
-	local := seg.LocalOffset
-	for len(dst) > 0 {
-		n := uint32(transferChunk)
-		if uint64(len(dst)) < uint64(n) {
-			n = uint32(len(dst))
-		}
-		resp, err := f.c.pool.Call(addr, &wire.ReadReq{Handle: handle, Offset: local, Length: n})
-		if err != nil {
-			return err
-		}
-		rr, ok := resp.(*wire.ReadResp)
-		if !ok {
-			return fmt.Errorf("pfs: read: unexpected response %v", resp.Type())
-		}
-		if len(rr.Data) == 0 {
-			return fmt.Errorf("pfs: read: replica %d returned no data at local offset %d", r, local)
-		}
-		k := copy(dst, rr.Data)
-		dst = dst[k:]
-		local += uint64(k)
+	_, err = f.c.pool.ReadWindowed(addr, handle, dst, seg.LocalOffset,
+		f.c.cfg.WindowDepth, f.c.cfg.TransferChunk)
+	if err != nil {
+		return fmt.Errorf("pfs: read replica %d: %w", r, err)
 	}
 	return nil
 }
@@ -361,31 +353,18 @@ func (f *File) writeSegment(src []byte, seg Segment) error {
 	return first
 }
 
+// writeSegmentReplica stores one segment on replica r through the
+// sliding-window path.
 func (f *File) writeSegmentReplica(src []byte, seg Segment, r int) error {
 	addr, err := f.c.DataAddr(ReplicaServer(f.layout, seg.Slot, r))
 	if err != nil {
 		return err
 	}
 	handle := ReplicaHandle(f.handle, r)
-	local := seg.LocalOffset
-	for len(src) > 0 {
-		n := transferChunk
-		if len(src) < n {
-			n = len(src)
-		}
-		resp, err := f.c.pool.Call(addr, &wire.WriteReq{Handle: handle, Offset: local, Data: src[:n]})
-		if err != nil {
-			return err
-		}
-		wr, ok := resp.(*wire.WriteResp)
-		if !ok {
-			return fmt.Errorf("pfs: write: unexpected response %v", resp.Type())
-		}
-		if int(wr.N) != n {
-			return fmt.Errorf("pfs: write: replica %d applied %d of %d bytes", r, wr.N, n)
-		}
-		src = src[n:]
-		local += uint64(n)
+	_, err = f.c.pool.WriteWindowed(addr, handle, src, seg.LocalOffset,
+		f.c.cfg.WindowDepth, f.c.cfg.TransferChunk)
+	if err != nil {
+		return fmt.Errorf("pfs: write replica %d: %w", r, err)
 	}
 	return nil
 }

@@ -157,10 +157,18 @@ func (ds *DataServer) traceFetch(req *wire.TraceFetchReq) (wire.Message, error) 
 // PostWrite implements the pfs.PostWriter hook: a read or write stays
 // counted as in flight until its response has left the server, so the
 // "data.inflight" pressure gauge covers the transfer time on slow links.
-func (ds *DataServer) PostWrite(req, _ wire.Message) {
+// It fires once per handled request, error responses included, keeping
+// the gauge balanced with the increments in read and write. It is also
+// where the read path's pooled buffer is recycled: the response frame is
+// a copy of it, so once the frame has been written the buffer is free.
+func (ds *DataServer) PostWrite(req, resp wire.Message) {
 	switch req.(type) {
 	case *wire.ReadReq, *wire.WriteReq:
 		ds.reg.Gauge("data.inflight").Add(-1)
+	}
+	if rr, ok := resp.(*wire.ReadResp); ok && rr.PoolBuf != nil {
+		wire.PutBuf(rr.PoolBuf)
+		rr.PoolBuf = nil
 	}
 }
 
@@ -171,14 +179,15 @@ func (ds *DataServer) read(req *wire.ReadReq) (wire.Message, error) {
 		return nil, fmt.Errorf("%w: read of %d bytes exceeds frame budget", ErrInvalid, req.Length)
 	}
 	size := ds.store.Size(req.Handle)
-	buf := make([]byte, req.Length)
+	buf := wire.GetBuf(int(req.Length)) // returned to the pool in PostWrite
 	n, err := ds.store.ReadAt(req.Handle, buf, req.Offset)
 	if err != nil {
+		wire.PutBuf(buf) // error response carries no data; recycle now
 		return nil, err
 	}
 	ds.reg.Counter("data.bytes_read").Add(int64(n))
 	eof := req.Offset+uint64(n) >= size
-	return &wire.ReadResp{Data: buf[:n], EOF: eof}, nil
+	return &wire.ReadResp{Data: buf[:n], EOF: eof, PoolBuf: buf}, nil
 }
 
 func (ds *DataServer) write(req *wire.WriteReq) (wire.Message, error) {

@@ -181,58 +181,31 @@ func (c *Client) localSize(server uint32, handle uint64) (uint64, error) {
 	return sr.Size, nil
 }
 
-// readLocalStream fetches [0, length) of a server's local stream.
+// readLocalStream fetches [0, length) of a server's local stream over
+// the same sliding-window path the file data plane uses.
 func (c *Client) readLocalStream(server uint32, handle, length uint64) ([]byte, error) {
 	addr, err := c.DataAddr(server)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]byte, length)
-	var done uint64
-	for done < length {
-		n := uint32(transferChunk)
-		if length-done < uint64(n) {
-			n = uint32(length - done)
-		}
-		resp, err := c.pool.Call(addr, &wire.ReadReq{Handle: handle, Offset: done, Length: n})
-		if err != nil {
-			return nil, err
-		}
-		rr, ok := resp.(*wire.ReadResp)
-		if !ok {
-			return nil, fmt.Errorf("pfs: fsck read: unexpected response %v", resp.Type())
-		}
-		if len(rr.Data) == 0 {
-			return nil, fmt.Errorf("pfs: fsck read: stream ends at %d, want %d", done, length)
-		}
-		copy(out[done:], rr.Data)
-		done += uint64(len(rr.Data))
+	if _, err := c.pool.ReadWindowed(addr, handle, out, 0,
+		c.cfg.WindowDepth, c.cfg.TransferChunk); err != nil {
+		return nil, fmt.Errorf("pfs: fsck read: %w", err)
 	}
 	return out, nil
 }
 
-// writeLocalStream stores data at offset 0 of a server's local stream.
+// writeLocalStream stores data at offset 0 of a server's local stream
+// over the sliding-window path.
 func (c *Client) writeLocalStream(server uint32, handle uint64, data []byte) error {
 	addr, err := c.DataAddr(server)
 	if err != nil {
 		return err
 	}
-	var done int
-	for done < len(data) {
-		n := transferChunk
-		if len(data)-done < n {
-			n = len(data) - done
-		}
-		resp, err := c.pool.Call(addr, &wire.WriteReq{
-			Handle: handle, Offset: uint64(done), Data: data[done : done+n],
-		})
-		if err != nil {
-			return err
-		}
-		if _, ok := resp.(*wire.WriteResp); !ok {
-			return fmt.Errorf("pfs: fsck write: unexpected response %v", resp.Type())
-		}
-		done += n
+	if _, err := c.pool.WriteWindowed(addr, handle, data, 0,
+		c.cfg.WindowDepth, c.cfg.TransferChunk); err != nil {
+		return fmt.Errorf("pfs: fsck write: %w", err)
 	}
 	return nil
 }

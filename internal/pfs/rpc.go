@@ -47,21 +47,34 @@ func IsExists(err error) bool {
 	return errors.As(err, &re) && re.Code == wire.StatusExists
 }
 
-// Pool is a client-side connection pool. Each in-flight Call owns one
-// connection (requests and responses are strictly paired per connection, as
-// in HTTP/1.1), so concurrency is bounded only by how many connections the
-// peer accepts.
+// Pool is a client-side connection pool. Each in-flight Call or Stream
+// owns one connection (requests and responses are strictly paired per
+// connection, as in HTTP/1.1 — including pipelined streams, where the
+// server answers in request order), so concurrency is bounded only by how
+// many connections the peer accepts.
 type Pool struct {
 	Net transport.Network
 
 	mu     sync.Mutex
-	idle   map[string][]net.Conn
+	idle   map[string][]*poolConn
 	closed bool
+}
+
+// poolConn pairs a connection with its frame reader, so the reader's
+// pooled decode buffer survives across the calls that reuse the conn.
+type poolConn struct {
+	c  net.Conn
+	fr *wire.FrameReader
+}
+
+func (pc *poolConn) close() {
+	pc.c.Close()
+	pc.fr.Close()
 }
 
 // NewPool returns a pool dialing through n.
 func NewPool(n transport.Network) *Pool {
-	return &Pool{Net: n, idle: make(map[string][]net.Conn)}
+	return &Pool{Net: n, idle: make(map[string][]*poolConn)}
 }
 
 // maxIdlePerAddr bounds how many spare connections are kept per peer.
@@ -71,22 +84,25 @@ const maxIdlePerAddr = 8
 // response is converted into a *RemoteError. When a pooled connection
 // turns out to be stale (its server restarted since it was idled), the
 // call transparently retries once on a fresh dial; a failure on a fresh
-// connection is reported as-is.
+// connection is reported as-is. The response is detached (wire.Own) from
+// the connection's decode buffer, so callers may retain it freely; bulk
+// transfers that want to avoid that copy use Stream instead.
 func (p *Pool) Call(addr string, req wire.Message) (wire.Message, error) {
 	for {
-		c, pooled, err := p.get(addr)
+		pc, pooled, err := p.get(addr)
 		if err != nil {
 			return nil, err
 		}
-		resp, err := p.roundTrip(c, req)
+		resp, err := p.roundTrip(pc, req)
 		if err != nil {
-			c.Close()
+			pc.close()
 			if pooled {
 				continue // stale idle connection: retry on a fresh dial
 			}
 			return nil, fmt.Errorf("pfs: call %s %v: %w", addr, req.Type(), err)
 		}
-		p.put(addr, c)
+		wire.Own(resp) // detach before the conn (and its buffer) is shared
+		p.put(addr, pc)
 		if em, ok := resp.(*wire.ErrorMsg); ok {
 			return nil, &RemoteError{Code: em.Code, Op: em.Op, Detail: em.Detail}
 		}
@@ -94,14 +110,14 @@ func (p *Pool) Call(addr string, req wire.Message) (wire.Message, error) {
 	}
 }
 
-func (p *Pool) roundTrip(c net.Conn, req wire.Message) (wire.Message, error) {
-	if err := wire.WriteMessage(c, req); err != nil {
+func (p *Pool) roundTrip(pc *poolConn, req wire.Message) (wire.Message, error) {
+	if err := wire.WriteMessage(pc.c, req); err != nil {
 		return nil, err
 	}
-	return wire.ReadMessage(c)
+	return pc.fr.Read()
 }
 
-func (p *Pool) get(addr string) (net.Conn, bool, error) {
+func (p *Pool) get(addr string) (*poolConn, bool, error) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -109,25 +125,28 @@ func (p *Pool) get(addr string) (net.Conn, bool, error) {
 	}
 	conns := p.idle[addr]
 	if n := len(conns); n > 0 {
-		c := conns[n-1]
+		pc := conns[n-1]
 		p.idle[addr] = conns[:n-1]
 		p.mu.Unlock()
-		return c, true, nil
+		return pc, true, nil
 	}
 	p.mu.Unlock()
 	c, err := p.Net.Dial(addr)
-	return c, false, err
+	if err != nil {
+		return nil, false, err
+	}
+	return &poolConn{c: c, fr: wire.NewFrameReader(c)}, false, nil
 }
 
-func (p *Pool) put(addr string, c net.Conn) {
+func (p *Pool) put(addr string, pc *poolConn) {
 	p.mu.Lock()
 	if !p.closed && len(p.idle[addr]) < maxIdlePerAddr {
-		p.idle[addr] = append(p.idle[addr], c)
+		p.idle[addr] = append(p.idle[addr], pc)
 		p.mu.Unlock()
 		return
 	}
 	p.mu.Unlock()
-	c.Close()
+	pc.close()
 }
 
 // Close drops all idle connections. In-flight calls are unaffected.
@@ -136,11 +155,80 @@ func (p *Pool) Close() {
 	defer p.mu.Unlock()
 	p.closed = true
 	for _, conns := range p.idle {
-		for _, c := range conns {
-			c.Close()
+		for _, pc := range conns {
+			pc.close()
 		}
 	}
-	p.idle = make(map[string][]net.Conn)
+	p.idle = make(map[string][]*poolConn)
+}
+
+// Stream is a pipelined exchange on one pooled connection: the caller may
+// Send several requests before Recving their responses, which the server
+// answers strictly in request order. This is how the sliding-window data
+// path keeps multiple chunks in flight per server. A Stream is not safe
+// for concurrent use.
+type Stream struct {
+	p      *Pool
+	addr   string
+	pc     *poolConn
+	pooled bool // conn came from the idle set (may be stale)
+	sent   int  // responses still owed by the server
+	broken bool
+}
+
+// Stream opens a pipelined exchange with addr, reusing an idle pooled
+// connection when one is available. The caller must finish with Release.
+func (p *Pool) Stream(addr string) (*Stream, error) {
+	pc, pooled, err := p.get(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{p: p, addr: addr, pc: pc, pooled: pooled}, nil
+}
+
+// Pooled reports whether the stream rides a previously idle connection —
+// callers use it to decide whether a transport failure warrants one retry
+// on a fresh dial (the connection may simply have gone stale).
+func (s *Stream) Pooled() bool { return s.pooled }
+
+// Send writes one request frame without waiting for its response.
+func (s *Stream) Send(req wire.Message) error {
+	if err := wire.WriteMessage(s.pc.c, req); err != nil {
+		s.broken = true
+		return err
+	}
+	s.sent++
+	return nil
+}
+
+// Recv reads the next response in request order. A wire.ErrorMsg is
+// converted to *RemoteError (the stream stays usable: the server keeps
+// answering pipelined requests after an error response). The returned
+// message may alias the stream's decode buffer and is valid only until
+// the next Recv or Release; callers that retain it must wire.Own it.
+func (s *Stream) Recv() (wire.Message, error) {
+	resp, err := s.pc.fr.Read()
+	if err != nil {
+		s.broken = true
+		return nil, err
+	}
+	s.sent--
+	if em, ok := resp.(*wire.ErrorMsg); ok {
+		return nil, &RemoteError{Code: em.Code, Op: em.Op, Detail: em.Detail}
+	}
+	return resp, nil
+}
+
+// Release finishes the stream. A healthy, fully drained connection (every
+// Send matched by a Recv) returns to the idle pool; anything else — a
+// transport error or responses still in flight — closes it, because the
+// next user could not tell stale responses from its own.
+func (s *Stream) Release() {
+	if s.broken || s.sent != 0 {
+		s.pc.close()
+		return
+	}
+	s.p.put(s.addr, s.pc)
 }
 
 // Handler processes one request message and returns the response. Returning
@@ -250,23 +338,31 @@ func (s *Server) serveConn(c net.Conn) {
 		s.mu.Unlock()
 	}()
 	pw, _ := s.h.(PostWriter)
+	fr := wire.NewFrameReader(c)
+	defer fr.Close()
 	for {
-		req, err := wire.ReadMessage(c)
+		// The request may alias fr's pooled buffer; that is safe because
+		// every handler finishes with the request before returning, and the
+		// next fr.Read happens only after the response is written.
+		req, err := fr.Read()
 		if err != nil {
 			return // EOF or protocol error: drop the connection
 		}
+		var werr error
 		resp, herr := s.h.Handle(req)
 		if herr != nil {
 			resp = ToErrorMsg(req.Type().String(), herr)
 		}
-		if resp == nil {
-			return
+		if resp != nil {
+			werr = wire.WriteMessage(c, resp)
 		}
-		werr := wire.WriteMessage(c, resp)
 		if pw != nil {
+			// Always fires once per handled request — even when the handler
+			// returned nil or the write failed — so per-request accounting
+			// (the data.inflight gauge, pooled read buffers) stays balanced.
 			pw.PostWrite(req, resp)
 		}
-		if werr != nil {
+		if resp == nil || werr != nil {
 			return
 		}
 	}

@@ -144,3 +144,106 @@ func TestLocalSizeMatchesSegments(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Mid-stripe starts: a range beginning inside a stripe must map the first
+// segment's local offset into the stripe interior, and segment boundaries
+// after it must stay stripe-aligned.
+func TestSegmentsMidStripeStart(t *testing.T) {
+	l := layoutFor(100, 4)
+	segs := Segments(l, 237, 400) // starts 37 bytes into global stripe 2
+	if len(segs) != 5 {
+		t.Fatalf("got %d segments, want 5", len(segs))
+	}
+	first := segs[0]
+	if first.Slot != 2 || first.LocalOffset != 37 || first.Length != 63 || first.FileOffset != 237 {
+		t.Fatalf("first segment = %+v", first)
+	}
+	for i, seg := range segs[1:] {
+		if seg.LocalOffset%100 != 0 {
+			t.Errorf("segment %d not stripe-aligned: %+v", i+1, seg)
+		}
+	}
+	var total uint64
+	for _, seg := range segs {
+		total += seg.Length
+	}
+	if total != 400 {
+		t.Fatalf("segments cover %d bytes, want 400", total)
+	}
+}
+
+// Single-byte tails: the last byte of a file whose size is 1 mod stripe
+// lands alone on the next slot in rotation, as a 1-byte segment.
+func TestSegmentsSingleByteTail(t *testing.T) {
+	l := layoutFor(100, 3)
+	segs := Segments(l, 0, 301)
+	last := segs[len(segs)-1]
+	if last.Length != 1 || last.Slot != 0 || last.LocalOffset != 100 || last.FileOffset != 300 {
+		t.Fatalf("tail segment = %+v", last)
+	}
+	// Reading exactly that one byte produces exactly one 1-byte segment.
+	one := Segments(l, 300, 1)
+	if len(one) != 1 || one[0] != last {
+		t.Fatalf("single-byte range = %+v, want %+v", one, last)
+	}
+	// LocalSize agrees: slot 0 holds the extra byte.
+	if got := LocalSize(l, 301, 0); got != 101 {
+		t.Fatalf("LocalSize slot 0 = %d, want 101", got)
+	}
+	if got := LocalSize(l, 301, 1); got != 100 {
+		t.Fatalf("LocalSize slot 1 = %d, want 100", got)
+	}
+}
+
+// Width-1 coalescing composes with odd starts: any range on a one-server
+// layout is a single segment whose local offset equals the file offset.
+func TestSegmentsWidthOneMidStripeCoalesces(t *testing.T) {
+	l := layoutFor(64, 1)
+	for _, tc := range []struct{ off, length uint64 }{
+		{0, 1}, {63, 2}, {37, 1000}, {129, 64}, {1, 12345},
+	} {
+		segs := Segments(l, tc.off, tc.length)
+		if len(segs) != 1 {
+			t.Fatalf("[%d,%d): %d segments, want 1", tc.off, tc.off+tc.length, len(segs))
+		}
+		s := segs[0]
+		if s.LocalOffset != tc.off || s.Length != tc.length || s.Slot != 0 {
+			t.Fatalf("[%d,%d): segment = %+v", tc.off, tc.off+tc.length, s)
+		}
+	}
+}
+
+// Replica layouts: chained placement puts replica r of slot s on server
+// (s+r) mod width, never colliding with a lower replica of the same slot
+// while replicas <= width, and replica handles never collide with file
+// handles or each other.
+func TestReplicaPlacementAndHandles(t *testing.T) {
+	l := layoutFor(100, 4)
+	l.Replicas = 3
+	for slot := 0; slot < 4; slot++ {
+		seen := map[uint32]bool{}
+		for r := 0; r < 3; r++ {
+			server := ReplicaServer(l, slot, r)
+			if server != uint32((slot+r)%4) {
+				t.Fatalf("slot %d replica %d on server %d", slot, r, server)
+			}
+			if seen[server] {
+				t.Fatalf("slot %d: replica collision on server %d", slot, server)
+			}
+			seen[server] = true
+		}
+	}
+	handles := map[uint64]bool{}
+	for _, h := range []uint64{1, 2, 1 << 40} {
+		for r := 0; r < 3; r++ {
+			rh := ReplicaHandle(h, r)
+			if handles[rh] {
+				t.Fatalf("handle collision at h=%d r=%d", h, r)
+			}
+			handles[rh] = true
+			if r == 0 && rh != h {
+				t.Fatalf("replica 0 handle changed: %d -> %d", h, rh)
+			}
+		}
+	}
+}

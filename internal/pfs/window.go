@@ -1,0 +1,204 @@
+package pfs
+
+import (
+	"errors"
+	"fmt"
+
+	"dosas/internal/wire"
+)
+
+// DefaultWindowDepth is how many chunk requests the windowed transfer
+// paths keep in flight per connection when the caller does not choose a
+// depth. Depth 1 degenerates to the serial request/response loop.
+const DefaultWindowDepth = 4
+
+// normWindow applies defaults and clamps the chunk under the frame budget
+// the data server enforces on reads.
+func normWindow(depth, chunk int) (int, int) {
+	if depth <= 0 {
+		depth = DefaultWindowDepth
+	}
+	if chunk <= 0 {
+		chunk = DefaultTransferChunk
+	}
+	if chunk > wire.MaxFrameSize-64 {
+		chunk = wire.MaxFrameSize - 64
+	}
+	return depth, chunk
+}
+
+// ReadWindowed fills dst from the server-local stream of handle at addr,
+// starting at local offset off, keeping up to depth chunk requests of at
+// most chunk bytes pipelined on one connection. It returns the number of
+// bytes received. Like Call, it transparently retries once on a fresh
+// dial when a pooled connection turns out to be stale before anything was
+// received. Depth or chunk <= 0 take the defaults.
+func (p *Pool) ReadWindowed(addr string, handle uint64, dst []byte, off uint64, depth, chunk int) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	depth, chunk = normWindow(depth, chunk)
+	for {
+		s, err := p.Stream(addr)
+		if err != nil {
+			return 0, err
+		}
+		n, err := readStream(s, handle, dst, off, depth, chunk)
+		s.Release()
+		if err == nil {
+			return n, nil
+		}
+		if n == 0 && s.Pooled() && !isRemote(err) {
+			continue // stale idle connection: retry on a fresh dial
+		}
+		if isRemote(err) {
+			return n, err
+		}
+		return n, fmt.Errorf("pfs: windowed read %s: %w", addr, err)
+	}
+}
+
+// WriteWindowed stores src into the server-local stream of handle at
+// addr, starting at local offset off, with the same pipelining and
+// stale-connection retry as ReadWindowed. It returns the number of bytes
+// the server acknowledged applying.
+func (p *Pool) WriteWindowed(addr string, handle uint64, src []byte, off uint64, depth, chunk int) (int, error) {
+	if len(src) == 0 {
+		return 0, nil
+	}
+	depth, chunk = normWindow(depth, chunk)
+	for {
+		s, err := p.Stream(addr)
+		if err != nil {
+			return 0, err
+		}
+		n, err := writeStream(s, handle, src, off, depth, chunk)
+		s.Release()
+		if err == nil {
+			return n, nil
+		}
+		if n == 0 && s.Pooled() && !isRemote(err) {
+			continue // stale idle connection: retry on a fresh dial
+		}
+		if isRemote(err) {
+			return n, err
+		}
+		return n, fmt.Errorf("pfs: windowed write %s: %w", addr, err)
+	}
+}
+
+// readStream runs the sliding read window over one stream. Responses are
+// consumed inside the loop — each chunk is copied into dst before the
+// next Recv reuses the decode buffer — so no Own copy is ever taken.
+//
+// A short-but-nonzero response means the stream held fewer bytes at that
+// offset than requested, which invalidates the offsets of every request
+// already in flight: those are drained and the window restarts from the
+// bytes actually received (resync). Short responses always carry at least
+// one byte, so the resync loop makes progress; an empty response is an
+// error, as in the serial path.
+func readStream(s *Stream, handle uint64, dst []byte, off uint64, depth, chunk int) (int, error) {
+	sent, recvd := 0, 0
+	pending := make([]int, 0, depth)
+	for recvd < len(dst) {
+		for len(pending) < depth && sent < len(dst) {
+			n := min(chunk, len(dst)-sent)
+			req := &wire.ReadReq{Handle: handle, Offset: off + uint64(sent), Length: uint32(n)}
+			if err := s.Send(req); err != nil {
+				return recvd, err
+			}
+			pending = append(pending, n)
+			sent += n
+		}
+		resp, err := s.Recv()
+		if err != nil {
+			if isRemote(err) {
+				drainStream(s, len(pending)-1) //nolint:errcheck // conn health only
+			}
+			return recvd, err
+		}
+		expect := pending[0]
+		pending = pending[1:]
+		rr, ok := resp.(*wire.ReadResp)
+		if !ok {
+			return recvd, fmt.Errorf("read: unexpected response %v", resp.Type())
+		}
+		if len(rr.Data) == 0 {
+			drainStream(s, len(pending)) //nolint:errcheck // conn health only
+			return recvd, fmt.Errorf("read: no data at local offset %d", off+uint64(recvd))
+		}
+		if len(rr.Data) > expect {
+			return recvd, fmt.Errorf("read: got %d bytes for a %d-byte request", len(rr.Data), expect)
+		}
+		k := copy(dst[recvd:], rr.Data)
+		recvd += k
+		if k < expect {
+			if err := drainStream(s, len(pending)); err != nil {
+				return recvd, err
+			}
+			pending = pending[:0]
+			sent = recvd
+		}
+	}
+	return recvd, nil
+}
+
+// writeStream runs the sliding write window over one stream. A short
+// write acknowledgement is an error (as in the serial path: degraded
+// partial writes would silently diverge replicas), but the remaining
+// in-flight responses are drained first so the connection stays poolable.
+func writeStream(s *Stream, handle uint64, src []byte, off uint64, depth, chunk int) (int, error) {
+	sent, acked := 0, 0
+	pending := make([]int, 0, depth)
+	for acked < len(src) {
+		for len(pending) < depth && sent < len(src) {
+			n := min(chunk, len(src)-sent)
+			req := &wire.WriteReq{Handle: handle, Offset: off + uint64(sent), Data: src[sent : sent+n]}
+			if err := s.Send(req); err != nil {
+				return acked, err
+			}
+			pending = append(pending, n)
+			sent += n
+		}
+		resp, err := s.Recv()
+		if err != nil {
+			if isRemote(err) {
+				drainStream(s, len(pending)-1) //nolint:errcheck // conn health only
+			}
+			return acked, err
+		}
+		expect := pending[0]
+		pending = pending[1:]
+		wr, ok := resp.(*wire.WriteResp)
+		if !ok {
+			return acked, fmt.Errorf("write: unexpected response %v", resp.Type())
+		}
+		if int(wr.N) != expect {
+			drainStream(s, len(pending)) //nolint:errcheck // conn health only
+			return acked, fmt.Errorf("write: applied %d of %d bytes at local offset %d", wr.N, expect, off+uint64(acked))
+		}
+		acked += expect
+	}
+	return acked, nil
+}
+
+// drainStream reads and discards n outstanding responses so a stream that
+// hit an application-level failure finishes its exchange balanced and the
+// connection can return to the pool. Remote errors among the drained
+// responses are ignored; a transport error is returned (the connection is
+// unusable anyway).
+func drainStream(s *Stream, n int) error {
+	for i := 0; i < n; i++ {
+		if _, err := s.Recv(); err != nil && !isRemote(err) {
+			return err
+		}
+	}
+	return nil
+}
+
+// isRemote reports whether err is an application-level failure reported
+// by the peer (the connection itself is healthy).
+func isRemote(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re)
+}

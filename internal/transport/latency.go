@@ -1,0 +1,140 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Delayed wraps an inner Network so every byte takes an extra one-way
+// propagation delay to arrive, in both directions. Where Shaped models a
+// link's bandwidth, Delayed models its latency: each request/response
+// round trip costs two one-way delays, which is what makes serial
+// chunk-at-a-time transfers slow and pipelined (windowed) transfers fast.
+// It emulates a datacenter fabric or cross-rack hop on the in-process
+// transport, the regime where the sliding-window data path earns its keep.
+type Delayed struct {
+	inner Network
+	delay time.Duration
+}
+
+// NewDelayed wraps inner with a one-way propagation delay per direction.
+// A zero or negative delay passes conns through untouched.
+func NewDelayed(inner Network, oneWay time.Duration) *Delayed {
+	return &Delayed{inner: inner, delay: oneWay}
+}
+
+// Delay returns the configured one-way delay.
+func (d *Delayed) Delay() time.Duration { return d.delay }
+
+// Listen binds addr on the inner network; accepted conns delay their
+// writes (the server→client direction).
+func (d *Delayed) Listen(addr string) (Listener, error) {
+	l, err := d.inner.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &delayedListener{Listener: l, delay: d.delay}, nil
+}
+
+// Dial connects through the inner network; the returned conn delays its
+// writes (the client→server direction).
+func (d *Delayed) Dial(addr string) (net.Conn, error) {
+	c, err := d.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return newDelayedConn(c, d.delay), nil
+}
+
+type delayedListener struct {
+	Listener
+	delay time.Duration
+}
+
+func (l *delayedListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return newDelayedConn(c, l.delay), nil
+}
+
+// delayedConn releases each written chunk to the inner conn only after the
+// one-way delay has elapsed since the Write call. A single drain goroutine
+// preserves write order; Write copies its argument, so callers may recycle
+// their buffers immediately (the wire layer's pooled frame buffers rely on
+// this). Chunks still queued when the conn closes are dropped — the same
+// fate in-flight bytes meet on a real severed link.
+type delayedConn struct {
+	net.Conn
+	delay time.Duration
+	q     chan delayedChunk
+	stop  chan struct{}
+	once  sync.Once
+	werr  atomic.Value // error from the drain goroutine, if any
+}
+
+type delayedChunk struct {
+	due time.Time
+	p   []byte
+}
+
+func newDelayedConn(c net.Conn, delay time.Duration) net.Conn {
+	if delay <= 0 {
+		return c
+	}
+	dc := &delayedConn{
+		Conn:  c,
+		delay: delay,
+		q:     make(chan delayedChunk, 64),
+		stop:  make(chan struct{}),
+	}
+	go dc.drain()
+	return dc
+}
+
+func (c *delayedConn) drain() {
+	for {
+		select {
+		case <-c.stop:
+			return
+		case ch := <-c.q:
+			if wait := time.Until(ch.due); wait > 0 {
+				time.Sleep(wait)
+			}
+			if _, err := c.Conn.Write(ch.p); err != nil {
+				c.werr.Store(err)
+				c.once.Do(func() { close(c.stop) }) // unblock pending Writes
+				return
+			}
+		}
+	}
+}
+
+func (c *delayedConn) Write(p []byte) (int, error) {
+	select {
+	case <-c.stop: // closed or drain failed; don't race the queue send
+		if err, ok := c.werr.Load().(error); ok {
+			return 0, err
+		}
+		return 0, ErrClosed
+	default:
+	}
+	ch := delayedChunk{due: time.Now().Add(c.delay), p: append([]byte(nil), p...)}
+	select {
+	case c.q <- ch:
+		return len(p), nil
+	case <-c.stop:
+		if err, ok := c.werr.Load().(error); ok {
+			return 0, err
+		}
+		return 0, ErrClosed
+	}
+}
+
+func (c *delayedConn) Close() error {
+	c.once.Do(func() { close(c.stop) })
+	return c.Conn.Close()
+}

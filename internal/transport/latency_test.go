@@ -1,0 +1,173 @@
+package transport
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoAccept runs a one-shot echo server on l.
+func echoAccept(t *testing.T, l Listener) *sync.WaitGroup {
+	t.Helper()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 256)
+		for {
+			n, err := c.Read(buf)
+			if err != nil {
+				return
+			}
+			if _, err := c.Write(buf[:n]); err != nil {
+				return
+			}
+		}
+	}()
+	return &wg
+}
+
+func TestDelayedEchoCorrectness(t *testing.T) {
+	net := NewDelayed(NewInproc(), time.Millisecond)
+	l, err := net.Listen("echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	wg := echoAccept(t, l)
+	c, err := net.Dial("echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		msg := []byte("ping-pong payload")
+		if _, err := c.Write(msg); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(msg))
+		if _, err := io.ReadFull(c, got); err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(msg) {
+			t.Fatalf("round %d: echoed %q", i, got)
+		}
+	}
+	c.Close()
+	wg.Wait()
+}
+
+// Each request/response round trip must cost at least two one-way delays;
+// that is the physics the windowed data path amortises.
+func TestDelayedRoundTripCostsTwoDelays(t *testing.T) {
+	const oneWay = 5 * time.Millisecond
+	net := NewDelayed(NewInproc(), oneWay)
+	l, err := net.Listen("rtt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	wg := echoAccept(t, l)
+	c, err := net.Dial("rtt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 4
+	start := time.Now()
+	one := []byte{0x42}
+	for i := 0; i < rounds; i++ {
+		if _, err := c.Write(one); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.ReadFull(c, one); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	if min := rounds * 2 * oneWay; elapsed < min {
+		t.Fatalf("%d serial round trips took %v, want >= %v", rounds, elapsed, min)
+	}
+	c.Close()
+	wg.Wait()
+}
+
+// Write must copy its argument: the wire layer recycles frame buffers the
+// moment WriteMessage returns, while the delayed conn is still holding
+// the bytes in its queue.
+func TestDelayedWriteCopiesBuffer(t *testing.T) {
+	net := NewDelayed(NewInproc(), 3*time.Millisecond)
+	l, err := net.Listen("copy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	wg := echoAccept(t, l)
+	c, err := net.Dial("copy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("original-bytes")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	copy(msg, "CLOBBERED!!!!!") // caller reuses its buffer immediately
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "original-bytes" {
+		t.Fatalf("delayed write leaked caller buffer reuse: got %q", got)
+	}
+	c.Close()
+	wg.Wait()
+}
+
+func TestDelayedZeroDelayPassesThrough(t *testing.T) {
+	inner := NewInproc()
+	net := NewDelayed(inner, 0)
+	l, err := net.Listen("zero")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	wg := echoAccept(t, l)
+	c, err := net.Dial("zero")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.(*delayedConn); ok {
+		t.Fatal("zero delay should not wrap the conn")
+	}
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	one := make([]byte, 1)
+	if _, err := io.ReadFull(c, one); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	wg.Wait()
+}
+
+func TestDelayedWriteAfterCloseFails(t *testing.T) {
+	net := NewDelayed(NewInproc(), time.Millisecond)
+	l, err := net.Listen("closed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go l.Accept() //nolint:errcheck
+	c, err := net.Dial("closed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if _, err := c.Write([]byte("late")); err == nil {
+		t.Fatal("write after close succeeded")
+	}
+}

@@ -294,6 +294,12 @@ func (m *ReadReq) Decode(d *Decoder) {
 type ReadResp struct {
 	Data []byte
 	EOF  bool
+
+	// PoolBuf is not part of the wire format. When non-nil it is the
+	// pooled buffer Data aliases; the sending data server sets it so the
+	// buffer can be recycled (PutBuf) once the response frame — which is
+	// a copy — has been written. Decoded responses leave it nil.
+	PoolBuf []byte
 }
 
 func (*ReadResp) Type() MsgType { return MsgReadResp }
@@ -307,6 +313,12 @@ func (m *ReadResp) Decode(d *Decoder) {
 	m.Data = d.Bytes()
 	m.EOF = d.Bool()
 }
+
+// Own implements Owner: Data may alias a pooled frame buffer.
+func (m *ReadResp) Own() { m.Data = detach(m.Data) }
+
+// encodedSizeHint sizes the frame buffer for the bulk payload.
+func (m *ReadResp) encodedSizeHint() int { return len(m.Data) + 8 }
 
 // WriteReq writes Data at the server-local Offset for Handle.
 type WriteReq struct {
@@ -328,6 +340,12 @@ func (m *WriteReq) Decode(d *Decoder) {
 	m.Offset = d.U64()
 	m.Data = d.Bytes()
 }
+
+// Own implements Owner: Data may alias a pooled frame buffer.
+func (m *WriteReq) Own() { m.Data = detach(m.Data) }
+
+// encodedSizeHint sizes the frame buffer for the bulk payload.
+func (m *WriteReq) encodedSizeHint() int { return len(m.Data) + 24 }
 
 // WriteResp acknowledges the number of bytes durably applied.
 type WriteResp struct{ N uint32 }
@@ -411,6 +429,13 @@ func (m *ActiveReadReq) Decode(d *Decoder) {
 	}
 }
 
+// Own implements Owner: Params and ResumeState may alias a pooled frame
+// buffer.
+func (m *ActiveReadReq) Own() {
+	m.Params = detach(m.Params)
+	m.ResumeState = detach(m.ResumeState)
+}
+
 // Dispositions of an active read, carried in ActiveReadResp.Disposition.
 const (
 	// ActiveDone: the kernel ran to completion on the storage node;
@@ -460,6 +485,15 @@ func (m *ActiveReadResp) Decode(d *Decoder) {
 		m.TraceID = d.U64()
 	}
 }
+
+// Own implements Owner: Result and State may alias a pooled frame buffer.
+func (m *ActiveReadResp) Own() {
+	m.Result = detach(m.Result)
+	m.State = detach(m.State)
+}
+
+// encodedSizeHint sizes the frame buffer for the kernel output.
+func (m *ActiveReadResp) encodedSizeHint() int { return len(m.Result) + len(m.State) + 48 }
 
 // ProbeReq asks a storage server for its load status (the Contention
 // Estimator's periodic probe).
@@ -579,6 +613,9 @@ func (m *TransformReq) Decode(d *Decoder) {
 	}
 }
 
+// Own implements Owner: Params may alias a pooled frame buffer.
+func (m *TransformReq) Own() { m.Params = detach(m.Params) }
+
 // LocalSizeReq asks a data server for the length of its local stream for
 // Handle — the inspection primitive behind fsck and replica repair.
 type LocalSizeReq struct{ Handle uint64 }
@@ -648,6 +685,9 @@ func (m *StatsResp) Decode(d *Decoder) {
 	m.Stats = d.Bytes()
 }
 
+// Own implements Owner: Stats may alias a pooled frame buffer.
+func (m *StatsResp) Own() { m.Stats = detach(m.Stats) }
+
 // TraceFetchReq asks a server for its retained trace events, optionally
 // filtered to one request id or one trace context (0 means no filter).
 type TraceFetchReq struct {
@@ -685,3 +725,6 @@ func (m *TraceFetchResp) Decode(d *Decoder) {
 	m.Node = d.String()
 	m.Events = d.Bytes()
 }
+
+// Own implements Owner: Events may alias a pooled frame buffer.
+func (m *TraceFetchResp) Own() { m.Events = detach(m.Events) }

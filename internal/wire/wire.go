@@ -155,26 +155,43 @@ var (
 	ErrUnknownType   = errors.New("wire: unknown message type")
 )
 
-// WriteMessage encodes m into a frame and writes it to w.
+// sizeHinter lets bulk messages announce an upper bound on their encoded
+// size, so WriteMessage can draw a correctly sized pooled buffer instead
+// of growing by repeated append.
+type sizeHinter interface {
+	encodedSizeHint() int
+}
+
+// WriteMessage encodes m into a frame and writes it to w. The frame is
+// built in a pooled buffer that is recycled before returning, so w must
+// not retain the slice passed to Write (the io.Writer contract).
 func WriteMessage(w io.Writer, m Message) error {
+	hint := 64
+	if s, ok := m.(sizeHinter); ok {
+		hint = s.encodedSizeHint() + 6
+	}
 	var e Encoder
-	e.buf = make([]byte, 6, 64) // room for len+type header
+	e.buf = GetBuf(hint)[:6] // room for len+type header
 	m.Encode(&e)
 	if e.err != nil {
+		PutBuf(e.buf)
 		return e.err
 	}
 	n := len(e.buf) - 4 // frame length excludes the length field itself
 	if n > MaxFrameSize {
+		PutBuf(e.buf)
 		return ErrFrameTooLarge
 	}
 	binary.LittleEndian.PutUint32(e.buf[0:4], uint32(n))
 	binary.LittleEndian.PutUint16(e.buf[4:6], uint16(m.Type()))
 	_, err := w.Write(e.buf)
+	PutBuf(e.buf)
 	return err
 }
 
 // ReadMessage reads one frame from r and decodes it into a freshly
-// allocated message of the announced type.
+// allocated message of the announced type. The fast path uses a
+// FrameReader instead, which recycles its payload buffer across frames.
 func ReadMessage(r io.Reader) (Message, error) {
 	var hdr [6]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -192,6 +209,10 @@ func ReadMessage(r io.Reader) (Message, error) {
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, err
 	}
+	return decodeFrame(t, payload)
+}
+
+func decodeFrame(t MsgType, payload []byte) (Message, error) {
 	m := New(t)
 	if m == nil {
 		return nil, fmt.Errorf("%w: %v", ErrUnknownType, t)
@@ -205,6 +226,86 @@ func ReadMessage(r io.Reader) (Message, error) {
 		return nil, ErrTrailingBytes
 	}
 	return m, nil
+}
+
+// FrameReader decodes frames from one connection, reusing a single pooled
+// payload buffer across frames. Byte-slice fields of a returned message
+// (ReadResp.Data, WriteReq.Data, ActiveReadReq.Params, ...) may alias
+// that buffer and are valid only until the next Read on the same reader;
+// callers that retain a message across frames must call Own on it first.
+// A FrameReader is not safe for concurrent use.
+type FrameReader struct {
+	r   io.Reader
+	buf []byte // pooled; grown on demand, released by Close
+}
+
+// NewFrameReader returns a reader decoding frames from r.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: r}
+}
+
+// Read decodes the next frame. See the type comment for the lifetime of
+// the returned message's byte fields.
+func (fr *FrameReader) Read() (Message, error) {
+	var hdr [6]byte
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n < 2 {
+		return nil, ErrShortPayload
+	}
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	t := MsgType(binary.LittleEndian.Uint16(hdr[4:6]))
+	need := int(n - 2)
+	if cap(fr.buf) < need {
+		if fr.buf != nil {
+			PutBuf(fr.buf)
+		}
+		fr.buf = GetBuf(need)
+	}
+	payload := fr.buf[:need]
+	if _, err := io.ReadFull(fr.r, payload); err != nil {
+		return nil, err
+	}
+	return decodeFrame(t, payload)
+}
+
+// Close releases the reader's pooled buffer. The reader must not be used
+// afterwards, and no message previously returned by Read may still be in
+// use un-Owned.
+func (fr *FrameReader) Close() {
+	if fr.buf != nil {
+		PutBuf(fr.buf)
+		fr.buf = nil
+	}
+}
+
+// Owner is implemented by messages whose decoded byte-slice fields may
+// alias a pooled frame buffer. Own copies those fields into private
+// memory so the message survives the buffer's reuse.
+type Owner interface {
+	Own()
+}
+
+// Own detaches m from any shared decode buffer and returns it. Messages
+// without aliasing fields pass through untouched.
+func Own(m Message) Message {
+	if o, ok := m.(Owner); ok {
+		o.Own()
+	}
+	return m
+}
+
+// detach copies b out of whatever buffer it aliases. Empty slices pass
+// through: they carry no bytes to protect.
+func detach(b []byte) []byte {
+	if len(b) == 0 {
+		return b
+	}
+	return append([]byte(nil), b...)
 }
 
 // New returns a zero message of the given type, or nil if t is unknown.
