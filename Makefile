@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-paper clean
+.PHONY: all build test vet race race-observability check bench bench-telemetry bench-paper clean
 
 all: check
 
@@ -19,13 +19,26 @@ vet:
 race:
 	$(GO) test -race ./...
 
-check: vet race
+# Focused race gate for the observability stack: the telemetry sampler,
+# trace recorder and metrics registry are the packages mutated from every
+# goroutine, so they fail first and fastest under -race. The wire package
+# rides along for the decode fuzz (testing/quick) suite.
+race-observability:
+	$(GO) test -race ./internal/telemetry/ ./internal/trace/ ./internal/metrics/ ./internal/wire/
+
+check: vet race-observability race
 
 # Data-path microbenchmarks (fixed iteration count so runs compare
 # across commits) plus the window-vs-serial matrix (writes BENCH_pr2.json).
 bench:
 	$(GO) test ./internal/pfs/ -run '^$$' -bench 'ReadPath|WritePath' -benchtime 15x -benchmem
 	$(GO) run ./cmd/dosas-bench -exp readpath
+
+# Telemetry overhead: active read path with samplers off, at the default
+# 100ms tick, and at a pathological 1ms tick. The acceptance bar is <1%
+# delta between Off and On.
+bench-telemetry:
+	$(GO) test . -run '^$$' -bench ReadPathTelemetry -benchtime 50x
 
 # Regenerate the paper's tables/figures (simulated experiments) and the
 # live per-scheme decision metrics (BENCH_live.json).

@@ -9,6 +9,7 @@ import (
 	"dosas/internal/core"
 	"dosas/internal/metrics"
 	"dosas/internal/pfs"
+	"dosas/internal/telemetry"
 	"dosas/internal/trace"
 	"dosas/internal/transport"
 )
@@ -118,21 +119,38 @@ type Options struct {
 	// transfers (default pfs.DefaultTransferChunk). Smaller chunks make
 	// the window matter more on high-latency links.
 	TransferChunk int
+	// TelemetryTick is how often each node samples its telemetry probes
+	// into the time-series rings served by Health/Series and dosasctl
+	// top. Zero takes telemetry.DefaultInterval (100 ms); negative
+	// disables node telemetry entirely.
+	TelemetryTick time.Duration
 }
 
 // Cluster is a running DOSAS deployment: one metadata server plus
 // DataServers storage nodes, each running the pfs data service with an
 // Active I/O Runtime attached.
 type Cluster struct {
-	net         transport.Network
-	metaAddr    string
-	dataAddrs   []string
-	servers     []*pfs.Server
-	runtimes    []*core.Runtime
+	net           transport.Network
+	metaAddr      string
+	dataAddrs     []string
+	servers       []*pfs.Server
+	runtimes      []*core.Runtime
 	meta          *pfs.MetaServer
+	metaTele      *telemetry.Sampler
+	dataServers   []*pfs.DataServer
 	stores        []pfs.Store
 	windowDepth   int
 	transferChunk int
+	telemetryTick time.Duration
+}
+
+// newSampler builds one node's telemetry sampler per the cluster's tick
+// convention: zero means the default interval, negative disables.
+func newSampler(tick time.Duration) *telemetry.Sampler {
+	if tick < 0 {
+		return nil
+	}
+	return telemetry.NewSampler(telemetry.Config{Interval: tick})
 }
 
 // StartCluster boots an in-process (or TCP-loopback) cluster and returns
@@ -162,7 +180,7 @@ func StartCluster(o Options) (*Cluster, error) {
 		net = transport.NewDelayed(net, o.LinkDelay)
 	}
 
-	c := &Cluster{net: net, windowDepth: o.WindowDepth, transferChunk: o.TransferChunk}
+	c := &Cluster{net: net, windowDepth: o.WindowDepth, transferChunk: o.TransferChunk, telemetryTick: o.TelemetryTick}
 	ok := false
 	defer func() {
 		if !ok {
@@ -170,9 +188,11 @@ func StartCluster(o Options) (*Cluster, error) {
 		}
 	}()
 
+	c.metaTele = newSampler(o.TelemetryTick)
 	metaCfg := pfs.MetaConfig{
 		NumDataServers:    o.DataServers,
 		DefaultStripeSize: o.StripeSize,
+		Telemetry:         c.metaTele,
 	}
 	if o.DataDir != "" {
 		metaCfg.JournalPath = filepath.Join(o.DataDir, "meta.wal")
@@ -207,7 +227,11 @@ func StartCluster(o Options) (*Cluster, error) {
 		reg := metrics.NewRegistry()
 		tr := trace.NewRecorder(4096)
 		tr.SetNode(node)
-		ds, err := pfs.NewDataServer(pfs.DataConfig{Store: store, Metrics: reg, Node: node, Trace: tr})
+		// The data server and its runtime share one sampler: the runtime
+		// registers the probes and owns the lifecycle, the server serves
+		// the history over the wire.
+		tele := newSampler(o.TelemetryTick)
+		ds, err := pfs.NewDataServer(pfs.DataConfig{Store: store, Metrics: reg, Node: node, Trace: tr, Telemetry: tele})
 		if err != nil {
 			return nil, err
 		}
@@ -220,15 +244,17 @@ func StartCluster(o Options) (*Cluster, error) {
 				IOReservedCores: o.IOReservedCores,
 				Period:          o.EstimatorPeriod,
 			},
-			Pace:    o.Pace,
-			Metrics: reg,
-			Trace:   tr,
-			Node:    node,
+			Pace:      o.Pace,
+			Metrics:   reg,
+			Trace:     tr,
+			Node:      node,
+			Telemetry: tele,
 		})
 		if err != nil {
 			return nil, err
 		}
 		c.runtimes = append(c.runtimes, rt)
+		c.dataServers = append(c.dataServers, ds)
 		ds.SetActiveHandler(rt)
 		dl, err := net.Listen(o.listenAddr(fmt.Sprintf("data-%d", i), i+1))
 		if err != nil {
@@ -264,13 +290,30 @@ func (c *Cluster) DataAddrs() []string { return append([]string(nil), c.dataAddr
 // Connect returns a client file system bound to this cluster using the
 // given scheme.
 func (c *Cluster) Connect(scheme Scheme) (*FS, error) {
-	return connect(c.net, c.metaAddr, c.dataAddrs, scheme, false, c.windowDepth, c.transferChunk)
+	return c.ConnectClient(ClientOptions{Scheme: scheme})
 }
 
 // ConnectPaced is Connect with client-side kernel pacing enabled,
 // matching a cluster started with Options.Pace.
 func (c *Cluster) ConnectPaced(scheme Scheme) (*FS, error) {
-	return connect(c.net, c.metaAddr, c.dataAddrs, scheme, true, c.windowDepth, c.transferChunk)
+	return c.ConnectClient(ClientOptions{Scheme: scheme, Pace: true})
+}
+
+// ConnectClient is Connect with full client options — slow-request
+// detection, flight capture, client telemetry — bound to this cluster's
+// transport and addresses (o.MetaAddr and o.DataAddrs are ignored).
+// Unset window, chunk, and telemetry options inherit the cluster's.
+func (c *Cluster) ConnectClient(o ClientOptions) (*FS, error) {
+	if o.WindowDepth == 0 {
+		o.WindowDepth = c.windowDepth
+	}
+	if o.TransferChunk == 0 {
+		o.TransferChunk = c.transferChunk
+	}
+	if o.TelemetryTick == 0 {
+		o.TelemetryTick = c.telemetryTick
+	}
+	return connect(c.net, c.metaAddr, c.dataAddrs, o)
 }
 
 // TraceDump renders storage node i's request-lifecycle trace: one line
@@ -326,26 +369,49 @@ type ClientOptions struct {
 	// TransferChunk is the per-request chunk size for bulk transfers
 	// (default pfs.DefaultTransferChunk).
 	TransferChunk int
+	// TelemetryTick is how often the client samples its own probes
+	// (pending requests, shipped-bytes rate, bounce rate). Zero takes
+	// telemetry.DefaultInterval (100 ms); negative disables client
+	// telemetry.
+	TelemetryTick time.Duration
+	// SlowThreshold arms the slow-request flight recorder: any ReadEx
+	// slower than this absolute bound captures a diagnostic bundle. Zero
+	// disables the absolute criterion.
+	SlowThreshold time.Duration
+	// SlowFactor flags any ReadEx slower than SlowFactor× the median of
+	// recent reads. Zero disables the relative criterion; with both
+	// criteria zero, no bundles are ever captured.
+	SlowFactor float64
+	// SlowDir, when set, persists captured bundles as JSON under this
+	// directory for dosasctl slow to read from another process.
+	SlowDir string
+	// FlightCapacity bounds the slow-request journal (default 16).
+	FlightCapacity int
 }
 
 // Connect dials an externally managed cluster over TCP.
 func Connect(o ClientOptions) (*FS, error) {
-	return connect(transport.TCP{}, o.MetaAddr, o.DataAddrs, o.Scheme, o.Pace, o.WindowDepth, o.TransferChunk)
+	return connect(transport.TCP{}, o.MetaAddr, o.DataAddrs, o)
 }
 
-func connect(net transport.Network, metaAddr string, dataAddrs []string, scheme Scheme, pace bool, windowDepth, transferChunk int) (*FS, error) {
+func connect(net transport.Network, metaAddr string, dataAddrs []string, o ClientOptions) (*FS, error) {
 	pc, err := pfs.NewClient(pfs.ClientConfig{
-		Net: net, MetaAddr: metaAddr, DataAddrs: dataAddrs, WindowDepth: windowDepth, TransferChunk: transferChunk,
+		Net: net, MetaAddr: metaAddr, DataAddrs: dataAddrs, WindowDepth: o.WindowDepth, TransferChunk: o.TransferChunk,
 	})
 	if err != nil {
 		return nil, err
 	}
 	asc, err := core.NewClient(core.ClientConfig{
-		FS: pc, Scheme: scheme.core(), Pace: pace, WindowDepth: windowDepth,
+		FS: pc, Scheme: o.Scheme.core(), Pace: o.Pace, WindowDepth: o.WindowDepth,
+		Telemetry:      newSampler(o.TelemetryTick),
+		SlowThreshold:  o.SlowThreshold,
+		SlowFactor:     o.SlowFactor,
+		SlowDir:        o.SlowDir,
+		FlightCapacity: o.FlightCapacity,
 	})
 	if err != nil {
 		pc.Close()
 		return nil, err
 	}
-	return &FS{pc: pc, asc: asc, scheme: scheme}, nil
+	return &FS{pc: pc, asc: asc, scheme: o.Scheme}, nil
 }

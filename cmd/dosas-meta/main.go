@@ -21,6 +21,7 @@ import (
 	"syscall"
 
 	"dosas/internal/pfs"
+	"dosas/internal/telemetry"
 	"dosas/internal/transport"
 )
 
@@ -32,12 +33,18 @@ func main() {
 	nData := flag.Int("data-servers", 4, "number of data servers in the cluster")
 	stripe := flag.Uint("stripe", pfs.DefaultStripeSize, "default stripe size in bytes")
 	journal := flag.String("journal", "", "write-ahead journal path (empty = volatile namespace)")
+	teleTick := flag.Duration("telemetry-tick", 0, "telemetry sampling interval (0 = 100ms default, negative = disabled)")
 	flag.Parse()
 
+	var tele *telemetry.Sampler
+	if *teleTick >= 0 {
+		tele = telemetry.NewSampler(telemetry.Config{Interval: *teleTick})
+	}
 	meta, err := pfs.NewMetaServer(pfs.MetaConfig{
 		NumDataServers:    *nData,
 		DefaultStripeSize: uint32(*stripe),
 		JournalPath:       *journal,
+		Telemetry:         tele,
 	})
 	if err != nil {
 		log.Fatal(err)

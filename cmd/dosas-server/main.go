@@ -23,6 +23,7 @@ import (
 	"dosas/internal/core"
 	"dosas/internal/metrics"
 	"dosas/internal/pfs"
+	"dosas/internal/telemetry"
 	"dosas/internal/trace"
 	"dosas/internal/transport"
 )
@@ -39,6 +40,7 @@ func main() {
 	reserved := flag.Int("reserved", 1, "cores reserved for normal I/O service")
 	pace := flag.Bool("pace", false, "pace kernels at calibrated per-core rates")
 	node := flag.String("node", "", "node name stamped on stats and trace exports (default data@ADDR)")
+	teleTick := flag.Duration("telemetry-tick", 0, "telemetry sampling interval (0 = 100ms default, negative = disabled)")
 	flag.Parse()
 	if *node == "" {
 		*node = "data@" + *addr
@@ -71,7 +73,11 @@ func main() {
 	reg := metrics.NewRegistry()
 	tr := trace.NewRecorder(4096)
 	tr.SetNode(*node)
-	ds, err := pfs.NewDataServer(pfs.DataConfig{Store: store, Metrics: reg, Node: *node, Trace: tr})
+	var tele *telemetry.Sampler
+	if *teleTick >= 0 {
+		tele = telemetry.NewSampler(telemetry.Config{Interval: *teleTick})
+	}
+	ds, err := pfs.NewDataServer(pfs.DataConfig{Store: store, Metrics: reg, Node: *node, Trace: tr, Telemetry: tele})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -83,10 +89,11 @@ func main() {
 			TotalCores:      *cores,
 			IOReservedCores: *reserved,
 		},
-		Pace:    *pace,
-		Metrics: reg,
-		Trace:   tr,
-		Node:    *node,
+		Pace:      *pace,
+		Metrics:   reg,
+		Trace:     tr,
+		Node:      *node,
+		Telemetry: tele,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -2,7 +2,8 @@
 //
 // Usage:
 //
-//	dosasctl -meta HOST:PORT -data HOST:PORT[,HOST:PORT...] [-scheme dosas] COMMAND ...
+//	dosasctl -meta HOST:PORT -data HOST:PORT[,HOST:PORT...] [-scheme dosas]
+//	         [-slow-threshold 50ms -slow-dir DIR] COMMAND ...
 //
 // Commands:
 //
@@ -20,6 +21,11 @@
 //	stats [-json]                    dump every node's metric snapshot
 //	trace ID                         stitch the cross-node timeline of one request
 //	                                 (ID is a request id or a distributed trace id)
+//	health                           per-node liveness and resource readiness
+//	top [-once] [WINDOW]             refreshing cluster-wide telemetry view
+//	                                 (-once prints a single frame; WINDOW like 10s)
+//	slow DIR                         print the slow-request flight bundles a client
+//	                                 persisted under DIR (ClientOptions.SlowDir)
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"dosas"
 	"dosas/internal/pfs"
@@ -41,7 +48,7 @@ import (
 
 func usageExit() {
 	fmt.Fprintln(os.Stderr, "usage: dosasctl -meta ADDR -data ADDR[,ADDR...] [-scheme dosas|as|ts] COMMAND ...")
-	fmt.Fprintln(os.Stderr, "commands: ls, stat, put, get, rm, readex, fsck, repair, ops, calibrate, probe, stats, trace")
+	fmt.Fprintln(os.Stderr, "commands: ls, stat, put, get, rm, readex, fsck, repair, ops, calibrate, probe, stats, trace, health, top, slow")
 	os.Exit(2)
 }
 
@@ -52,6 +59,8 @@ func main() {
 	meta := flag.String("meta", "127.0.0.1:7700", "metadata server address")
 	data := flag.String("data", "", "comma-separated data server addresses, in cluster order")
 	schemeName := flag.String("scheme", "dosas", "client scheme for readex: dosas, as, or ts")
+	slowThreshold := flag.Duration("slow-threshold", 0, "flag readex calls slower than this and capture a flight bundle (0 = off)")
+	slowDir := flag.String("slow-dir", "", "directory to persist captured flight bundles (see the slow command)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -87,6 +96,24 @@ func main() {
 		}
 		fmt.Printf("%s: %.1f MB/s per core on this host\n", args[1], rate/1e6)
 		return
+	case "slow":
+		// Reads a client's persisted flight journal from disk; needs no
+		// cluster connection.
+		if len(args) != 2 {
+			log.Fatal("usage: slow DIR")
+		}
+		bundles, err := dosas.ReadSlowBundles(args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(bundles) == 0 {
+			fmt.Println("no slow-request bundles")
+			return
+		}
+		for _, b := range bundles {
+			fmt.Print(dosas.FormatSlowBundle(b))
+		}
+		return
 	}
 
 	dataAddrs := strings.Split(*data, ",")
@@ -94,9 +121,11 @@ func main() {
 		log.Fatal("need -data with at least one storage server address")
 	}
 	fs, err := dosas.Connect(dosas.ClientOptions{
-		MetaAddr:  *meta,
-		DataAddrs: dataAddrs,
-		Scheme:    scheme,
+		MetaAddr:      *meta,
+		DataAddrs:     dataAddrs,
+		Scheme:        scheme,
+		SlowThreshold: *slowThreshold,
+		SlowDir:       *slowDir,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -230,6 +259,25 @@ func main() {
 		}
 	case "probe":
 		probeAll(*meta, dataAddrs)
+	case "health":
+		if !healthAll(fs) {
+			os.Exit(1)
+		}
+	case "top":
+		once := false
+		window := 10 * time.Second
+		for _, a := range args[1:] {
+			if a == "-once" {
+				once = true
+				continue
+			}
+			d, err := time.ParseDuration(a)
+			if err != nil {
+				log.Fatalf("bad WINDOW %q", a)
+			}
+			window = d
+		}
+		topLoop(fs, window, once)
 	case "stats":
 		asJSON := len(args) > 1 && args[1] == "-json"
 		statsAll(*meta, dataAddrs, asJSON)
@@ -428,6 +476,99 @@ func traceOne(dataAddrs []string, id uint64) {
 		log.Fatalf("no events recorded for id %d on any storage node", id)
 	}
 	fmt.Print(dosas.FormatTimeline(evs))
+}
+
+// healthAll prints every node's health report and returns whether the
+// whole cluster is ready.
+func healthAll(fs *dosas.FS) bool {
+	ready := true
+	for _, r := range fs.Health() {
+		status := "ready"
+		if !r.Ready {
+			status = "DEGRADED"
+			ready = false
+		}
+		fmt.Printf("%-8s %-5s %-8s uptime=%s\n",
+			r.Node, r.Role, status, time.Duration(r.UptimeNano).Round(time.Second))
+		for _, c := range r.Checks {
+			mark := "ok"
+			if !c.OK {
+				mark = "FAIL"
+			}
+			fmt.Printf("  %-4s %-12s %s\n", mark, c.Name, c.Detail)
+		}
+	}
+	return ready
+}
+
+// topLoop renders the cluster-wide telemetry view: one frame with -once,
+// else refreshing in place every two seconds until interrupted.
+func topLoop(fs *dosas.FS, window time.Duration, once bool) {
+	for {
+		frame := renderTop(fs, window)
+		if !once {
+			fmt.Print("\033[H\033[2J") // clear screen, cursor home
+		}
+		fmt.Print(frame)
+		if once {
+			return
+		}
+		time.Sleep(2 * time.Second)
+	}
+}
+
+// renderTop formats one frame: per node, each telemetry series with its
+// latest value, window maximum, and a sparkline of the window.
+func renderTop(fs *dosas.FS, window time.Duration) string {
+	byNode, err := fs.Series(window)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "dosas top — %d node(s), window %v\n", len(byNode), window)
+	if err != nil {
+		fmt.Fprintf(&sb, "  series fetch: %v\n", err)
+	}
+	nodes := make([]string, 0, len(byNode))
+	for n := range byNode {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, node := range nodes {
+		fmt.Fprintf(&sb, "%s\n", node)
+		for _, s := range byNode[node] {
+			fmt.Fprintf(&sb, "  %-18s last=%10.2f max=%10.2f %s\n",
+				s.Name, s.Last().Value, s.Max(), sparkline(s, 32))
+		}
+	}
+	return sb.String()
+}
+
+// sparkline draws a series' points as a fixed-width bar strip scaled to
+// the window maximum.
+func sparkline(s dosas.Series, width int) string {
+	if len(s.Points) == 0 {
+		return ""
+	}
+	bars := []rune("▁▂▃▄▅▆▇█")
+	pts := s.Points
+	if len(pts) > width {
+		pts = pts[len(pts)-width:]
+	}
+	max := s.Max()
+	out := make([]rune, len(pts))
+	for i, p := range pts {
+		if max <= 0 {
+			out[i] = bars[0]
+			continue
+		}
+		idx := int(p.Value / max * float64(len(bars)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(bars) {
+			idx = len(bars) - 1
+		}
+		out[i] = bars[idx]
+	}
+	return string(out)
 }
 
 // probeAll dumps every storage node's estimator snapshot.

@@ -35,6 +35,7 @@ func main() {
 	dataDir := flag.String("data", "", "durable data directory (empty = in-memory)")
 	linkRate := flag.Float64("link-rate", 0, "per-node link shaping in bytes/second (0 = unshaped)")
 	pace := flag.Bool("pace", false, "pace kernels at calibrated per-core rates")
+	teleTick := flag.Duration("telemetry-tick", 0, "telemetry sampling interval (0 = 100ms default, negative = disabled)")
 	flag.Parse()
 
 	var policy dosas.Policy
@@ -50,13 +51,14 @@ func main() {
 	}
 
 	cluster, err := dosas.StartCluster(dosas.Options{
-		DataServers: *servers,
-		Policy:      policy,
-		TCP:         true,
-		TCPBasePort: *basePort,
-		LinkRate:    *linkRate,
-		Pace:        *pace,
-		DataDir:     *dataDir,
+		DataServers:   *servers,
+		Policy:        policy,
+		TCP:           true,
+		TCPBasePort:   *basePort,
+		LinkRate:      *linkRate,
+		Pace:          *pace,
+		DataDir:       *dataDir,
+		TelemetryTick: *teleTick,
 	})
 	if err != nil {
 		log.Fatal(err)

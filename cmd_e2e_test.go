@@ -167,6 +167,42 @@ func TestBinariesEndToEnd(t *testing.T) {
 		t.Fatalf("probe output: %s", out)
 	}
 
+	// health sweeps every node's readiness checks; an idle cluster is
+	// fully ready.
+	out = ctl("health")
+	if !strings.Contains(out, "meta") || !strings.Contains(out, "ready") ||
+		!strings.Contains(out, "data@"+dataAddr0) {
+		t.Fatalf("health output: %s", out)
+	}
+	if strings.Contains(out, "DEGRADED") {
+		t.Fatalf("idle cluster reported degraded: %s", out)
+	}
+
+	// top -once prints a single telemetry frame with per-node series.
+	out = ctl("top", "-once", "2s")
+	if !strings.Contains(out, "dosas top") || !strings.Contains(out, "queue.depth") ||
+		!strings.Contains(out, "meta.ops_per_sec") {
+		t.Fatalf("top output: %s", out)
+	}
+
+	// A readex with the flight recorder armed at an impossible threshold
+	// captures exactly one bundle, which the slow command replays.
+	slowDir := filepath.Join(t.TempDir(), "slow")
+	slowArgs := []string{"-meta", metaAddr, "-data", dataList,
+		"-slow-threshold", "1ns", "-slow-dir", slowDir,
+		"readex", "e2e/payload.bin", "sum8"}
+	if out, err := exec.Command(filepath.Join(bin, "dosasctl"), slowArgs...).CombinedOutput(); err != nil {
+		t.Fatalf("slow readex: %v\n%s", err, out)
+	}
+	out = ctl("slow", slowDir)
+	if !strings.Contains(out, "op=sum8") || !strings.Contains(out, "timeline:") ||
+		!strings.Contains(out, "reason=absolute") {
+		t.Fatalf("slow output: %s", out)
+	}
+	if n := strings.Count(out, "trace "); n != 1 {
+		t.Fatalf("slow printed %d bundles, want 1: %s", n, out)
+	}
+
 	// fsck on a replicated file.
 	ctl("put", local, "e2e/replicated.bin", "2", "2")
 	out = ctl("fsck", "e2e/replicated.bin", "deep")

@@ -42,8 +42,12 @@ type FS struct {
 // Scheme reports the scheme this client was connected with.
 func (fs *FS) Scheme() Scheme { return fs.scheme }
 
-// Close releases the client's connections.
-func (fs *FS) Close() { fs.pc.Close() }
+// Close stops the client's telemetry sampler and releases its
+// connections.
+func (fs *FS) Close() {
+	fs.asc.Close()
+	fs.pc.Close()
+}
 
 // CreateOptions tune file creation.
 type CreateOptions struct {

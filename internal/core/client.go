@@ -12,6 +12,7 @@ import (
 	"dosas/internal/kernels"
 	"dosas/internal/metrics"
 	"dosas/internal/pfs"
+	"dosas/internal/telemetry"
 	"dosas/internal/trace"
 	"dosas/internal/wire"
 )
@@ -74,6 +75,24 @@ type ClientConfig struct {
 	// transfer, local execution); a default 1024-event ring stamped with
 	// node "client" is created when nil.
 	Trace *trace.Recorder
+	// Telemetry is the client's time-series sampler. The client registers
+	// its probes (pending requests, shipped-bytes rate, bounce rate) on
+	// it, starts it, and owns it: Close stops it. Nil disables client
+	// telemetry.
+	Telemetry *telemetry.Sampler
+	// SlowThreshold flags any active read slower than this absolute bound
+	// for flight capture. Zero disables the absolute criterion.
+	SlowThreshold time.Duration
+	// SlowFactor flags any active read slower than SlowFactor× the median
+	// of recent reads. Zero disables the relative criterion. With both
+	// criteria zero the flight recorder never captures.
+	SlowFactor float64
+	// SlowDir, when set, persists captured flight bundles as JSON files
+	// under this directory so dosasctl slow can read them from another
+	// process.
+	SlowDir string
+	// FlightCapacity bounds the slow-request journal (default 16).
+	FlightCapacity int
 }
 
 // Client is the Active Storage Client (ASC): it runs on compute nodes,
@@ -86,6 +105,9 @@ type Client struct {
 	nextID    atomic.Uint64
 	traceSeed uint64 // random high bits distinguishing this client process
 	nextTrace atomic.Uint64
+	slow      *telemetry.SlowDetector
+	flight    *telemetry.FlightRecorder
+	closeOnce sync.Once
 
 	mu      sync.Mutex
 	pending map[uint64]pendingReq // the paper's local registration table
@@ -121,12 +143,33 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	}
 	var seed [4]byte
 	_, _ = crand.Read(seed[:]) // on failure the counter alone keeps IDs nonzero
-	return &Client{
+	c := &Client{
 		cfg:       cfg,
 		reg:       cfg.Metrics,
 		traceSeed: uint64(binary.LittleEndian.Uint32(seed[:])) << 32,
 		pending:   make(map[uint64]pendingReq),
-	}, nil
+	}
+	if cfg.SlowThreshold > 0 || cfg.SlowFactor > 0 {
+		c.slow = telemetry.NewSlowDetector(cfg.SlowThreshold, cfg.SlowFactor, 0)
+		fr, err := telemetry.NewFlightRecorder(telemetry.FlightConfig{
+			Capacity: cfg.FlightCapacity, Dir: cfg.SlowDir,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.flight = fr
+	}
+	c.registerProbes()
+	cfg.Telemetry.Start()
+	return c, nil
+}
+
+// Close stops the client's telemetry sampler. Safe to call more than
+// once; a client built without telemetry needs no Close but tolerates
+// one.
+func (c *Client) Close() error {
+	c.closeOnce.Do(func() { c.cfg.Telemetry.Close() })
+	return nil
 }
 
 // mintTraceID returns a new cluster-unique distributed trace id: random
@@ -254,13 +297,15 @@ func (c *Client) ActiveRead(f *pfs.File, off, length uint64, op string, params [
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
+	res := &Result{
 		Completed: true,
 		Output:    combined,
 		Parts:     infos,
 		Elapsed:   time.Since(start),
 		TraceID:   traceID,
-	}, nil
+	}
+	c.observeSlow(res, op, length)
+	return res, nil
 }
 
 // ActiveReadMany runs the same combinable operation over several whole

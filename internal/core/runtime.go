@@ -10,6 +10,7 @@ import (
 	"dosas/internal/kernels"
 	"dosas/internal/metrics"
 	"dosas/internal/pfs"
+	"dosas/internal/telemetry"
 	"dosas/internal/trace"
 	"dosas/internal/wire"
 )
@@ -83,6 +84,14 @@ type RuntimeConfig struct {
 	// Node is this storage node's identity, stamped on trace events
 	// (e.g. "data-0"). Optional.
 	Node string
+	// Telemetry, when set, is the node's time-series sampler. The runtime
+	// registers its load probes on it, starts it, and owns it from then
+	// on: Close stops it. Usually shared with the pfs data server, which
+	// serves its history over the wire. Optional — nil disables sampling.
+	Telemetry *telemetry.Sampler
+	// QueueSat is the queue depth at or above which the node's health
+	// report marks the "queue" check degraded. Defaults to 8.
+	QueueSat int
 }
 
 // Runtime is the Active I/O Runtime (R): it queues active requests,
@@ -153,6 +162,9 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.NewRegistry()
 	}
+	if cfg.QueueSat <= 0 {
+		cfg.QueueSat = 8
+	}
 	if cfg.Trace == nil {
 		cfg.Trace = trace.NewRecorder(1024)
 	}
@@ -185,7 +197,46 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
 		rt.wg.Add(1)
 		go rt.policyLoop()
 	}
+	rt.registerProbes()
+	cfg.Telemetry.Start()
 	return rt, nil
+}
+
+// registerProbes wires the runtime's load signals into its telemetry
+// sampler: the continuous histories behind SeriesFetchReq and the
+// readiness margins behind HealthReq. No-op when no sampler is attached.
+func (rt *Runtime) registerProbes() {
+	s := rt.cfg.Telemetry
+	if s == nil {
+		return
+	}
+	s.Register("queue.depth", func() float64 {
+		st := rt.queue.Stats()
+		return float64(st.NormalLen + st.ActiveLen)
+	})
+	s.Register("inflight", func() float64 {
+		return float64(rt.reg.Gauge("data.inflight").Value())
+	})
+	bytesMoved := func() float64 {
+		return float64(rt.reg.Counter("data.bytes_read").Value() +
+			rt.reg.Counter("data.bytes_written").Value() +
+			rt.reg.Counter("active.bytes_processed").Value())
+	}
+	s.Register("throughput.bps", telemetry.RateProbe(bytesMoved, s.Interval()))
+	bounced := func() float64 {
+		return float64(rt.reg.Counter("active.rejected").Value() +
+			rt.reg.Counter("active.rejected_memory").Value() +
+			rt.reg.Counter("active.bounced_queued").Value())
+	}
+	arrivals := func() float64 { return float64(rt.reg.Counter("active.arrivals").Value()) }
+	s.Register("bounce.rate", telemetry.RatioProbe(bounced, arrivals))
+	s.Register("interrupt.rate", telemetry.RatioProbe(func() float64 {
+		return float64(rt.reg.Counter("active.interrupted").Value())
+	}, arrivals))
+	s.Register("est.error.pct", func() float64 {
+		return rt.reg.Histogram("est.kernel_error_pct").Snapshot().Mean()
+	})
+	s.Register("mem.pressure", func() float64 { return rt.est.MemPressure() })
 }
 
 // Close stops workers; queued requests are bounced. Safe to call more
@@ -194,6 +245,7 @@ func (rt *Runtime) Close() {
 	rt.closeOnce.Do(func() {
 		close(rt.stop)
 		rt.queue.Close()
+		rt.cfg.Telemetry.Close()
 	})
 	rt.wg.Wait()
 	// Anything still queued bounces so clients are not stranded.
@@ -228,6 +280,42 @@ func (rt *Runtime) ModeName() string { return rt.cfg.Mode.String() }
 // Metrics exposes the runtime's metrics registry (shared with the pfs
 // data server when configured that way).
 func (rt *Runtime) Metrics() *metrics.Registry { return rt.reg }
+
+// Telemetry exposes the node's time-series sampler (nil when disabled).
+func (rt *Runtime) Telemetry() *telemetry.Sampler { return rt.cfg.Telemetry }
+
+// healthWindow is how far back the queue readiness check looks in the
+// sampler history: a saturation spike between two health probes still
+// degrades the next report instead of vanishing between ticks.
+const healthWindow = 2 * time.Second
+
+// HealthChecks reports the runtime's per-resource readiness. The pfs data
+// server discovers it through an anonymous interface assertion (the
+// ModeName pattern), so []telemetry.Check — not core types — crosses the
+// package boundary.
+func (rt *Runtime) HealthChecks() []telemetry.Check {
+	checks := []telemetry.Check{
+		{Name: "estimator", OK: true, Detail: fmt.Sprintf("mode %s", rt.cfg.Mode)},
+	}
+	st := rt.queue.Stats()
+	depth := float64(st.NormalLen + st.ActiveLen)
+	// Prefer the recent-window maximum so a burst the queue has already
+	// drained is still visible to an operator probing after the fact.
+	if m, ok := rt.cfg.Telemetry.WindowMax("queue.depth", healthWindow); ok && m > depth {
+		depth = m
+	}
+	qc := telemetry.Check{
+		Name: "queue", OK: depth < float64(rt.cfg.QueueSat),
+		Detail: fmt.Sprintf("depth %.0f (saturation %d)", depth, rt.cfg.QueueSat),
+	}
+	checks = append(checks, qc)
+	p := rt.est.MemPressure()
+	checks = append(checks, telemetry.Check{
+		Name: "memory", OK: p < rt.cfg.MemHighWater,
+		Detail: fmt.Sprintf("pressure %.0f%% (high water %.0f%%)", p*100, rt.cfg.MemHighWater*100),
+	})
+	return checks
+}
 
 // HandleActive implements pfs.ActiveHandler: the arrival path of an active
 // I/O request.

@@ -292,3 +292,39 @@ func TestRegistrySnapshot(t *testing.T) {
 		t.Fatal("empty snapshot counter should read 0")
 	}
 }
+
+// Golden test: the JSON encoding of a Snapshot is deterministic (sorted
+// map keys, stable field order), so dosasctl stats -json is diffable
+// across runs. If this test breaks, the stats export format changed.
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	build := func() Snapshot {
+		r := NewRegistry()
+		// Register in an order unlike the sorted output, to prove sorting.
+		r.Counter("zeta.count").Add(9)
+		r.Counter("active.arrivals").Add(7)
+		r.Counter("data.bytes_read").Add(4096)
+		r.Gauge("queue.depth").Set(3)
+		r.Gauge("data.inflight").Set(1)
+		r.Histogram("lat").Observe(50)
+		return r.Snapshot()
+	}
+	const golden = `{"counters":{"active.arrivals":7,"data.bytes_read":4096,"zeta.count":9},` +
+		`"gauges":{"data.inflight":1,"queue.depth":3},` +
+		`"histograms":{"lat":{"count":1,"mean":50,"min":50,"max":50,"p50":64,"p90":64,"p99":64}}}`
+	first, err := json.Marshal(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != golden {
+		t.Fatalf("snapshot JSON drifted from golden:\n got %s\nwant %s", first, golden)
+	}
+	for i := 0; i < 10; i++ {
+		again, err := json.Marshal(build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(again) != string(first) {
+			t.Fatalf("snapshot JSON not deterministic:\n %s\n vs\n %s", first, again)
+		}
+	}
+}

@@ -58,6 +58,10 @@ func (c *Client) Close() { c.pool.Close() }
 // storage client) can issue their own RPCs over it.
 func (c *Client) Pool() *Pool { return c.pool }
 
+// MetaAddr returns the metadata server's address, for direct calls
+// through Pool (health sweeps, series fetches).
+func (c *Client) MetaAddr() string { return c.cfg.MetaAddr }
+
 // DataAddr returns the address of data server idx.
 func (c *Client) DataAddr(idx uint32) (string, error) {
 	if int(idx) >= len(c.cfg.DataAddrs) {

@@ -3,8 +3,10 @@ package pfs
 import (
 	"encoding/json"
 	"fmt"
+	"time"
 
 	"dosas/internal/metrics"
+	"dosas/internal/telemetry"
 	"dosas/internal/trace"
 	"dosas/internal/wire"
 )
@@ -40,17 +42,23 @@ type DataConfig struct {
 	// TraceFetchReq. Usually shared with the attached active runtime.
 	// Optional.
 	Trace *trace.Recorder
+	// Telemetry is the node's time-series sampler, served to operators
+	// via SeriesFetchReq. Usually shared with (and owned by) the attached
+	// active runtime. Optional.
+	Telemetry *telemetry.Sampler
 }
 
 // DataServer is one storage node's I/O service: it stores the server-local
 // byte streams of striped files and forwards active-storage requests to an
 // attached ActiveHandler.
 type DataServer struct {
-	store  Store
-	reg    *metrics.Registry
-	node   string
-	trace  *trace.Recorder
-	active ActiveHandler
+	store   Store
+	reg     *metrics.Registry
+	node    string
+	trace   *trace.Recorder
+	tele    *telemetry.Sampler
+	started time.Time
+	active  ActiveHandler
 }
 
 // NewDataServer builds a data server over cfg.Store.
@@ -61,7 +69,10 @@ func NewDataServer(cfg DataConfig) (*DataServer, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.NewRegistry()
 	}
-	return &DataServer{store: cfg.Store, reg: cfg.Metrics, node: cfg.Node, trace: cfg.Trace}, nil
+	return &DataServer{
+		store: cfg.Store, reg: cfg.Metrics, node: cfg.Node,
+		trace: cfg.Trace, tele: cfg.Telemetry, started: time.Now(),
+	}, nil
 }
 
 // SetActiveHandler attaches the active-storage runtime. Must be called
@@ -112,9 +123,28 @@ func (ds *DataServer) Handle(msg wire.Message) (wire.Message, error) {
 		return ds.stats()
 	case *wire.TraceFetchReq:
 		return ds.traceFetch(req)
+	case *wire.HealthReq:
+		return ds.health()
+	case *wire.SeriesFetchReq:
+		return serveSeries(ds.node, ds.tele, req)
 	default:
 		return nil, fmt.Errorf("%w: data server got %v", ErrUnsupported, msg.Type())
 	}
+}
+
+// health answers a HealthReq: the store is always checked, and an
+// attached active runtime contributes its per-resource checks (queue
+// saturation, estimator, memory). A plain data server — no runtime —
+// stays Ready: it serves normal I/O fine and clients already degrade
+// active requests to bounce.
+func (ds *DataServer) health() (wire.Message, error) {
+	checks := []telemetry.Check{{Name: "store", OK: true, Detail: "attached"}}
+	if hc, ok := ds.active.(healthChecker); ok {
+		checks = append(checks, hc.HealthChecks()...)
+	} else {
+		checks = append(checks, telemetry.Check{Name: "active", OK: true, Detail: "no runtime attached"})
+	}
+	return encodeHealth(telemetry.HealthReport{Node: ds.node, Role: "data", Checks: checks}, ds.started)
 }
 
 // stats answers a StatsReq with the node's full metric snapshot. The
@@ -151,7 +181,7 @@ func (ds *DataServer) traceFetch(req *wire.TraceFetchReq) (wire.Message, error) 
 	if err != nil {
 		return nil, fmt.Errorf("%w: encoding trace: %v", ErrInvalid, err)
 	}
-	return &wire.TraceFetchResp{Node: ds.node, Events: js}, nil
+	return &wire.TraceFetchResp{Node: ds.node, Events: js, Dropped: ds.trace.Dropped()}, nil
 }
 
 // PostWrite implements the pfs.PostWriter hook: a read or write stays

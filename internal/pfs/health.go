@@ -1,0 +1,57 @@
+package pfs
+
+import (
+	"fmt"
+	"time"
+
+	"dosas/internal/telemetry"
+	"dosas/internal/wire"
+)
+
+// healthChecker is how a data server discovers per-resource readiness
+// from its attached active runtime without importing core (which imports
+// pfs) — the same anonymous-assertion pattern as ModeName in stats.
+type healthChecker interface {
+	HealthChecks() []telemetry.Check
+}
+
+// encodeHealth builds a HealthResp from a report, summarising readiness
+// from the checks.
+func encodeHealth(report telemetry.HealthReport, started time.Time) (*wire.HealthResp, error) {
+	report = report.Summarize()
+	js, err := telemetry.EncodeChecks(report.Checks)
+	if err != nil {
+		return nil, fmt.Errorf("%w: encoding health checks: %v", ErrInvalid, err)
+	}
+	var uptime int64
+	if !started.IsZero() {
+		uptime = time.Since(started).Nanoseconds()
+	}
+	return &wire.HealthResp{
+		Node: report.Node, Role: report.Role, Ready: report.Ready,
+		Checks: js, UptimeNano: uptime,
+	}, nil
+}
+
+// serveSeries answers a SeriesFetchReq from a node's sampler. A nil
+// sampler answers with an empty history rather than an error, so
+// cluster-wide sweeps need no special case for nodes without telemetry.
+func serveSeries(node string, s *telemetry.Sampler, req *wire.SeriesFetchReq) (*wire.SeriesFetchResp, error) {
+	var series []telemetry.Series
+	if s != nil {
+		if len(req.Names) > 0 {
+			for _, name := range req.Names {
+				if ser, ok := s.Get(name, time.Duration(req.WindowNano)); ok {
+					series = append(series, ser)
+				}
+			}
+		} else {
+			series = s.Snapshot(time.Duration(req.WindowNano))
+		}
+	}
+	js, err := telemetry.EncodeSeries(series)
+	if err != nil {
+		return nil, fmt.Errorf("%w: encoding series: %v", ErrInvalid, err)
+	}
+	return &wire.SeriesFetchResp{Node: node, Series: js, TickNano: int64(s.Interval())}, nil
+}

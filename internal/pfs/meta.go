@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"dosas/internal/metrics"
+	"dosas/internal/telemetry"
 	"dosas/internal/wire"
 )
 
@@ -35,6 +36,10 @@ type MetaConfig struct {
 	JournalPath string
 	// Metrics receives operation counters; optional.
 	Metrics *metrics.Registry
+	// Telemetry is the node's time-series sampler, served to operators
+	// via SeriesFetchReq. The metadata server registers its op-rate
+	// probes on it, starts it, and owns it: Close stops it. Optional.
+	Telemetry *telemetry.Sampler
 }
 
 // DefaultStripeSize is the stripe size used when callers pass zero.
@@ -53,6 +58,7 @@ type MetaServer struct {
 	nextHandle uint64
 	journal    *journal
 	now        func() time.Time
+	started    time.Time
 }
 
 // NewMetaServer builds a metadata server, replaying the journal when one is
@@ -74,6 +80,7 @@ func NewMetaServer(cfg MetaConfig) (*MetaServer, error) {
 		byHandle:   make(map[uint64]*FileRec),
 		nextHandle: 1,
 		now:        time.Now,
+		started:    time.Now(),
 	}
 	if cfg.JournalPath != "" {
 		j, err := openJournal(cfg.JournalPath)
@@ -85,14 +92,39 @@ func NewMetaServer(cfg MetaConfig) (*MetaServer, error) {
 			return nil, err
 		}
 	}
+	m.registerProbes()
+	cfg.Telemetry.Start()
 	return m, nil
+}
+
+// registerProbes wires the namespace server's sampler probes: the op
+// rate over all mutating and reading verbs, and the live file count.
+func (m *MetaServer) registerProbes() {
+	s := m.cfg.Telemetry
+	if s == nil {
+		return
+	}
+	ops := func() float64 {
+		var total int64
+		for _, n := range []string{"meta.create", "meta.open", "meta.stat", "meta.remove", "meta.list", "meta.setsize"} {
+			total += m.reg.Counter(n).Value()
+		}
+		return float64(total)
+	}
+	s.Register("meta.ops_per_sec", telemetry.RateProbe(ops, s.Interval()))
+	s.Register("meta.files", func() float64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return float64(len(m.byName))
+	})
 }
 
 // Metrics returns the server's metric registry.
 func (m *MetaServer) Metrics() *metrics.Registry { return m.reg }
 
-// Close releases the journal.
+// Close stops the sampler and releases the journal.
 func (m *MetaServer) Close() error {
+	m.cfg.Telemetry.Close()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.journal != nil {
@@ -124,9 +156,35 @@ func (m *MetaServer) Handle(msg wire.Message) (wire.Message, error) {
 		// The metadata server keeps no per-request trace ring; answer
 		// with an empty set so cluster-wide sweeps need no special case.
 		return &wire.TraceFetchResp{Node: "meta", Events: []byte("[]")}, nil
+	case *wire.HealthReq:
+		return m.health()
+	case *wire.SeriesFetchReq:
+		return serveSeries("meta", m.cfg.Telemetry, req)
 	default:
 		return nil, fmt.Errorf("%w: metadata server got %v", ErrUnsupported, msg.Type())
 	}
+}
+
+// health answers a HealthReq with namespace readiness: the in-memory
+// tables are always live once construction succeeded, and the journal —
+// when configured — must still be open for mutations to be durable.
+func (m *MetaServer) health() (wire.Message, error) {
+	m.mu.Lock()
+	files := len(m.byName)
+	journaled := m.journal != nil
+	m.mu.Unlock()
+	checks := []telemetry.Check{
+		{Name: "namespace", OK: true, Detail: fmt.Sprintf("%d files", files)},
+	}
+	if m.cfg.JournalPath != "" {
+		checks = append(checks, telemetry.Check{
+			Name: "journal", OK: journaled,
+			Detail: m.cfg.JournalPath,
+		})
+	} else {
+		checks = append(checks, telemetry.Check{Name: "journal", OK: true, Detail: "volatile (no journal configured)"})
+	}
+	return encodeHealth(telemetry.HealthReport{Node: "meta", Role: "meta", Checks: checks}, m.started)
 }
 
 // stats answers a StatsReq with the namespace server's metric snapshot.

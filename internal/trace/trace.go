@@ -133,13 +133,14 @@ type Event struct {
 // Recorder is a fixed-capacity ring of events. A nil *Recorder is valid
 // and records nothing, so callers need no nil checks at call sites.
 type Recorder struct {
-	mu   sync.Mutex
-	ring []Event
-	next int
-	full bool
-	seq  uint64
-	node string
-	now  func() time.Time
+	mu      sync.Mutex
+	ring    []Event
+	next    int
+	full    bool
+	seq     uint64
+	dropped uint64 // events overwritten after the ring wrapped
+	node    string
+	now     func() time.Time
 }
 
 // NewRecorder returns a recorder keeping the last capacity events
@@ -193,6 +194,11 @@ func (r *Recorder) RecordEvent(ev Event) {
 	if ev.Node == "" {
 		ev.Node = r.node
 	}
+	if r.full {
+		// The slot being written still holds the oldest retained event;
+		// overwriting it loses history.
+		r.dropped++
+	}
 	r.ring[r.next] = ev
 	r.next++
 	if r.next == len(r.ring) {
@@ -200,6 +206,17 @@ func (r *Recorder) RecordEvent(ev Event) {
 		r.full = true
 	}
 	r.mu.Unlock()
+}
+
+// Dropped reports how many events were evicted because the ring wrapped —
+// non-zero means Snapshot's timeline is incomplete. Safe on nil.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
 }
 
 // Snapshot returns the retained events in chronological order.
@@ -237,11 +254,19 @@ func (r *Recorder) Len() int {
 	return r.next
 }
 
-// WriteTo dumps the retained events as one line each.
+// WriteTo dumps the retained events as one line each, with a trailer
+// noting any events the ring evicted (an incomplete timeline).
 func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
 	var total int64
 	for _, e := range r.Snapshot() {
 		n, err := fmt.Fprintf(w, "%s%s\n", e.Time.Format("15:04:05.000"), FormatEvent(e))
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	if d := r.Dropped(); d > 0 {
+		n, err := fmt.Fprintf(w, "... %d older events dropped (ring wrapped)\n", d)
 		total += int64(n)
 		if err != nil {
 			return total, err

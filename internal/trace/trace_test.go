@@ -46,6 +46,34 @@ func TestRingEviction(t *testing.T) {
 	}
 }
 
+func TestDroppedCountsEvictions(t *testing.T) {
+	r := NewRecorder(16)
+	for i := 0; i < 16; i++ {
+		r.Record(KindArrive, uint64(i), "op", 1, "")
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("dropped = %d before the ring wrapped, want 0", r.Dropped())
+	}
+	for i := 16; i < 40; i++ {
+		r.Record(KindArrive, uint64(i), "op", 1, "")
+	}
+	if r.Dropped() != 24 {
+		t.Fatalf("dropped = %d, want 24 (40 recorded, 16 retained)", r.Dropped())
+	}
+	var nr *Recorder
+	if nr.Dropped() != 0 {
+		t.Error("nil recorder Dropped != 0")
+	}
+	// WriteTo surfaces the eviction so operators see incompleteness.
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "24 older events dropped") {
+		t.Errorf("WriteTo output missing dropped trailer:\n%s", sb.String())
+	}
+}
+
 func TestNilRecorderIsSafe(t *testing.T) {
 	var r *Recorder
 	r.Record(KindArrive, 1, "x", 0, "") // must not panic

@@ -712,6 +712,10 @@ func (m *TraceFetchReq) Decode(d *Decoder) {
 type TraceFetchResp struct {
 	Node   string
 	Events []byte // JSON-encoded []trace.Event
+	// Dropped counts events the serving node's trace ring overwrote
+	// before this fetch — non-zero means the timeline may be incomplete.
+	// Optional trailing field: old-format frames omit it.
+	Dropped uint64
 }
 
 func (*TraceFetchResp) Type() MsgType { return MsgTraceFetchResp }
@@ -719,12 +723,114 @@ func (*TraceFetchResp) Type() MsgType { return MsgTraceFetchResp }
 func (m *TraceFetchResp) Encode(e *Encoder) {
 	e.PutString(m.Node)
 	e.PutBytes(m.Events)
+	e.PutU64(m.Dropped)
 }
 
 func (m *TraceFetchResp) Decode(d *Decoder) {
 	m.Node = d.String()
 	m.Events = d.Bytes()
+	if d.Remaining() > 0 {
+		m.Dropped = d.U64()
+	}
 }
 
 // Own implements Owner: Events may alias a pooled frame buffer.
 func (m *TraceFetchResp) Own() { m.Events = detach(m.Events) }
+
+// HealthReq asks a server for liveness plus per-resource readiness. Any
+// well-formed response means the node is live; the checks inside say
+// whether it is also ready (queue not saturated, estimator attached,
+// memory below the high-water mark).
+type HealthReq struct{}
+
+func (*HealthReq) Type() MsgType   { return MsgHealthReq }
+func (*HealthReq) Encode(*Encoder) {}
+func (*HealthReq) Decode(*Decoder) {}
+
+// HealthResp carries one node's health report. Checks is the JSON
+// encoding of []telemetry.Check; keeping it opaque here lets the check
+// set evolve without touching the wire format (the StatsResp pattern).
+type HealthResp struct {
+	Node   string // node identity, e.g. "data-0" or "meta"
+	Role   string // "data" or "meta"
+	Ready  bool   // conjunction of all checks
+	Checks []byte // JSON-encoded []telemetry.Check
+	// UptimeNano is how long the serving process has been up. Optional
+	// trailing field: old-format frames omit it and still decode.
+	UptimeNano int64
+}
+
+func (*HealthResp) Type() MsgType { return MsgHealthResp }
+
+func (m *HealthResp) Encode(e *Encoder) {
+	e.PutString(m.Node)
+	e.PutString(m.Role)
+	e.PutBool(m.Ready)
+	e.PutBytes(m.Checks)
+	e.PutI64(m.UptimeNano)
+}
+
+func (m *HealthResp) Decode(d *Decoder) {
+	m.Node = d.String()
+	m.Role = d.String()
+	m.Ready = d.Bool()
+	m.Checks = d.Bytes()
+	if d.Remaining() > 0 {
+		m.UptimeNano = d.I64()
+	}
+}
+
+// Own implements Owner: Checks may alias a pooled frame buffer.
+func (m *HealthResp) Own() { m.Checks = detach(m.Checks) }
+
+// SeriesFetchReq asks a server for its telemetry sampler's retained
+// history, restricted to the trailing window (WindowNano <= 0 means
+// everything retained) and optionally to named series (empty means all).
+type SeriesFetchReq struct {
+	WindowNano int64
+	Names      []string
+}
+
+func (*SeriesFetchReq) Type() MsgType { return MsgSeriesFetchReq }
+
+func (m *SeriesFetchReq) Encode(e *Encoder) {
+	e.PutI64(m.WindowNano)
+	e.PutStrings(m.Names)
+}
+
+func (m *SeriesFetchReq) Decode(d *Decoder) {
+	m.WindowNano = d.I64()
+	m.Names = d.Strings()
+}
+
+// SeriesFetchResp returns the matching series as a JSON array of
+// telemetry.Series, stamped with the serving node's identity.
+type SeriesFetchResp struct {
+	Node   string
+	Series []byte // JSON-encoded []telemetry.Series
+	// TickNano is the serving sampler's tick interval, so consumers can
+	// turn point counts into durations. Optional trailing field.
+	TickNano int64
+}
+
+func (*SeriesFetchResp) Type() MsgType { return MsgSeriesFetchResp }
+
+func (m *SeriesFetchResp) Encode(e *Encoder) {
+	e.PutString(m.Node)
+	e.PutBytes(m.Series)
+	e.PutI64(m.TickNano)
+}
+
+func (m *SeriesFetchResp) Decode(d *Decoder) {
+	m.Node = d.String()
+	m.Series = d.Bytes()
+	if d.Remaining() > 0 {
+		m.TickNano = d.I64()
+	}
+}
+
+// Own implements Owner: Series may alias a pooled frame buffer.
+func (m *SeriesFetchResp) Own() { m.Series = detach(m.Series) }
+
+// encodedSizeHint sizes the frame buffer for the history payload.
+func (m *SeriesFetchResp) encodedSizeHint() int { return len(m.Series) + len(m.Node) + 24 }

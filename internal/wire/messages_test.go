@@ -65,7 +65,13 @@ func TestAllMessagesRoundTrip(t *testing.T) {
 		&StatsResp{Node: "data-0", Role: "data", Mode: "dosas",
 			Stats: []byte(`{"counters":{"active.arrivals":3}}`)},
 		&TraceFetchReq{ReqID: 7, TraceID: 0xCAFE0001},
-		&TraceFetchResp{Node: "data-0", Events: []byte(`[]`)},
+		&TraceFetchResp{Node: "data-0", Events: []byte(`[]`), Dropped: 42},
+		&HealthReq{},
+		&HealthResp{Node: "data-0", Role: "data", Ready: false,
+			Checks: []byte(`[{"name":"queue","ok":false}]`), UptimeNano: 5e9},
+		&SeriesFetchReq{WindowNano: 2e9, Names: []string{"queue.depth", "bounce.rate"}},
+		&SeriesFetchResp{Node: "data-0", TickNano: 1e8,
+			Series: []byte(`[{"name":"queue.depth","points":[{"t":1,"v":2}]}]`)},
 	}
 	seen := make(map[MsgType]bool)
 	for _, m := range msgs {
@@ -84,21 +90,30 @@ func TestAllMessagesRoundTrip(t *testing.T) {
 	}
 }
 
-// Frames written by peers that predate the trailing TraceID field must
-// still decode, with TraceID defaulting to zero. TraceID is always the
-// final 8 encoded bytes of these messages, so an old-format frame is the
-// new-format frame truncated by 8 with its length prefix reduced to match.
+// Frames written by peers that predate a trailing optional field must
+// still decode, with that field defaulting to zero. Each such field is
+// always the final 8 encoded bytes of its message, so an old-format frame
+// is the new-format frame truncated by 8 with its length prefix reduced
+// to match.
 func TestOldFormatFramesDecode(t *testing.T) {
-	cases := []Message{
-		&ActiveReadReq{RequestID: 11, Handle: 2, Offset: 64, Length: 1 << 20,
-			Op: "sum8", Params: []byte{1}, ResumeState: []byte{2, 3}, TraceID: 0xCAFE},
-		&ActiveReadResp{RequestID: 11, Disposition: ActiveDone,
-			Result: []byte{4}, Processed: 512, TraceID: 0xCAFE},
-		&CancelReq{RequestID: 11, TraceID: 0xCAFE},
-		&TransformReq{RequestID: 12, SrcHandle: 2, Offset: 64, Length: 1 << 20,
-			Op: "gaussian2d", Params: []byte{7}, DstHandle: 3, DstOffset: 64, TraceID: 0xCAFE},
+	cases := []struct {
+		m     Message
+		field string // the trailing optional field old peers omit
+	}{
+		{&ActiveReadReq{RequestID: 11, Handle: 2, Offset: 64, Length: 1 << 20,
+			Op: "sum8", Params: []byte{1}, ResumeState: []byte{2, 3}, TraceID: 0xCAFE}, "TraceID"},
+		{&ActiveReadResp{RequestID: 11, Disposition: ActiveDone,
+			Result: []byte{4}, Processed: 512, TraceID: 0xCAFE}, "TraceID"},
+		{&CancelReq{RequestID: 11, TraceID: 0xCAFE}, "TraceID"},
+		{&TransformReq{RequestID: 12, SrcHandle: 2, Offset: 64, Length: 1 << 20,
+			Op: "gaussian2d", Params: []byte{7}, DstHandle: 3, DstOffset: 64, TraceID: 0xCAFE}, "TraceID"},
+		{&TraceFetchResp{Node: "data-0", Events: []byte(`[]`), Dropped: 17}, "Dropped"},
+		{&HealthResp{Node: "data-0", Role: "data", Ready: true,
+			Checks: []byte(`[]`), UptimeNano: 123456789}, "UptimeNano"},
+		{&SeriesFetchResp{Node: "data-0", Series: []byte(`[]`), TickNano: 1e8}, "TickNano"},
 	}
-	for _, m := range cases {
+	for _, tc := range cases {
+		m := tc.m
 		var buf bytes.Buffer
 		if err := WriteMessage(&buf, m); err != nil {
 			t.Fatalf("WriteMessage(%v): %v", m.Type(), err)
@@ -110,8 +125,9 @@ func TestOldFormatFramesDecode(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: old-format frame rejected: %v", m.Type(), err)
 		}
-		// Old peers never sent a TraceID, so the decode must yield zero.
-		reflect.ValueOf(m).Elem().FieldByName("TraceID").SetUint(0)
+		// Old peers never sent the trailing field, so decode yields zero.
+		f := reflect.ValueOf(m).Elem().FieldByName(tc.field)
+		f.Set(reflect.Zero(f.Type()))
 		if !reflect.DeepEqual(normalise(got), normalise(m)) {
 			t.Errorf("%v: old-format decode mismatch:\n got %#v\nwant %#v", m.Type(), got, m)
 		}

@@ -44,6 +44,11 @@ func TestReadMessageSurvivesCorruptedFrames(t *testing.T) {
 			&StatsResp{Node: "data-0", Role: "data", Mode: "dosas",
 				Stats: []byte(`{"counters":{"x":1}}`)},
 			&TraceFetchReq{ReqID: rng.Uint64(), TraceID: rng.Uint64()},
+			&HealthResp{Node: "data-0", Role: "data", Ready: true,
+				Checks: []byte(`[{"name":"queue","ok":true}]`), UptimeNano: rng.Int63()},
+			&SeriesFetchReq{WindowNano: rng.Int63(), Names: []string{"queue.depth"}},
+			&SeriesFetchResp{Node: "data-0", TickNano: rng.Int63(),
+				Series: []byte(`[{"name":"queue.depth","points":[{"t":1,"v":2}]}]`)},
 		}
 		for _, msg := range msgs {
 			var buf bytes.Buffer

@@ -79,46 +79,56 @@ const (
 	MsgTraceFetchReq
 	MsgTraceFetchResp
 
+	// Telemetry: health probes and time-series history fetch.
+	MsgHealthReq
+	MsgHealthResp
+	MsgSeriesFetchReq
+	MsgSeriesFetchResp
+
 	msgSentinel // keep last
 )
 
 var msgNames = map[MsgType]string{
-	MsgInvalid:        "invalid",
-	MsgError:          "error",
-	MsgPing:           "ping",
-	MsgPong:           "pong",
-	MsgCreateReq:      "create.req",
-	MsgCreateResp:     "create.resp",
-	MsgOpenReq:        "open.req",
-	MsgOpenResp:       "open.resp",
-	MsgStatReq:        "stat.req",
-	MsgStatResp:       "stat.resp",
-	MsgRemoveReq:      "remove.req",
-	MsgRemoveResp:     "remove.resp",
-	MsgListReq:        "list.req",
-	MsgListResp:       "list.resp",
-	MsgSetSizeReq:     "setsize.req",
-	MsgSetSizeResp:    "setsize.resp",
-	MsgReadReq:        "read.req",
-	MsgReadResp:       "read.resp",
-	MsgWriteReq:       "write.req",
-	MsgWriteResp:      "write.resp",
-	MsgTruncReq:       "trunc.req",
-	MsgTruncResp:      "trunc.resp",
-	MsgActiveReadReq:  "activeread.req",
-	MsgActiveReadResp: "activeread.resp",
-	MsgProbeReq:       "probe.req",
-	MsgProbeResp:      "probe.resp",
-	MsgCancelReq:      "cancel.req",
-	MsgCancelResp:     "cancel.resp",
-	MsgTransformReq:   "transform.req",
-	MsgTransformResp:  "transform.resp",
-	MsgLocalSizeReq:   "localsize.req",
-	MsgLocalSizeResp:  "localsize.resp",
-	MsgStatsReq:       "stats.req",
-	MsgStatsResp:      "stats.resp",
-	MsgTraceFetchReq:  "tracefetch.req",
-	MsgTraceFetchResp: "tracefetch.resp",
+	MsgInvalid:         "invalid",
+	MsgError:           "error",
+	MsgPing:            "ping",
+	MsgPong:            "pong",
+	MsgCreateReq:       "create.req",
+	MsgCreateResp:      "create.resp",
+	MsgOpenReq:         "open.req",
+	MsgOpenResp:        "open.resp",
+	MsgStatReq:         "stat.req",
+	MsgStatResp:        "stat.resp",
+	MsgRemoveReq:       "remove.req",
+	MsgRemoveResp:      "remove.resp",
+	MsgListReq:         "list.req",
+	MsgListResp:        "list.resp",
+	MsgSetSizeReq:      "setsize.req",
+	MsgSetSizeResp:     "setsize.resp",
+	MsgReadReq:         "read.req",
+	MsgReadResp:        "read.resp",
+	MsgWriteReq:        "write.req",
+	MsgWriteResp:       "write.resp",
+	MsgTruncReq:        "trunc.req",
+	MsgTruncResp:       "trunc.resp",
+	MsgActiveReadReq:   "activeread.req",
+	MsgActiveReadResp:  "activeread.resp",
+	MsgProbeReq:        "probe.req",
+	MsgProbeResp:       "probe.resp",
+	MsgCancelReq:       "cancel.req",
+	MsgCancelResp:      "cancel.resp",
+	MsgTransformReq:    "transform.req",
+	MsgTransformResp:   "transform.resp",
+	MsgLocalSizeReq:    "localsize.req",
+	MsgLocalSizeResp:   "localsize.resp",
+	MsgStatsReq:        "stats.req",
+	MsgStatsResp:       "stats.resp",
+	MsgTraceFetchReq:   "tracefetch.req",
+	MsgTraceFetchResp:  "tracefetch.resp",
+	MsgHealthReq:       "health.req",
+	MsgHealthResp:      "health.resp",
+	MsgSeriesFetchReq:  "seriesfetch.req",
+	MsgSeriesFetchResp: "seriesfetch.resp",
 }
 
 // String returns a human-readable name for the message type.
@@ -381,6 +391,14 @@ func New(t MsgType) Message {
 		return new(TraceFetchReq)
 	case MsgTraceFetchResp:
 		return new(TraceFetchResp)
+	case MsgHealthReq:
+		return new(HealthReq)
+	case MsgHealthResp:
+		return new(HealthResp)
+	case MsgSeriesFetchReq:
+		return new(SeriesFetchReq)
+	case MsgSeriesFetchResp:
+		return new(SeriesFetchResp)
 	default:
 		return nil
 	}

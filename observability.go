@@ -4,9 +4,12 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"dosas/internal/metrics"
+	"dosas/internal/telemetry"
 	"dosas/internal/trace"
+	"dosas/internal/wire"
 )
 
 // TraceEvent is one recorded lifecycle event: a span of a distributed
@@ -152,6 +155,194 @@ func (c *Cluster) DecisionMetrics() DecisionMetrics {
 	}
 	return AggregateDecisions(snaps)
 }
+
+// HealthCheck is one named readiness check inside a node's health
+// report (queue saturation, memory pressure, journal, …).
+type HealthCheck = telemetry.Check
+
+// HealthReport is one node's liveness and per-resource readiness, as
+// served by the HealthReq wire message. Ready is the conjunction of its
+// checks.
+type HealthReport = telemetry.HealthReport
+
+// SeriesPoint is one sampled (time, value) pair of a telemetry series.
+type SeriesPoint = telemetry.Point
+
+// Series is one named telemetry time series — a window of a node's
+// ring-buffered samples (queue depth, bounce rate, throughput, …).
+type Series = telemetry.Series
+
+// SlowBundle is one slow-request diagnostic capture: the stitched
+// cross-node timeline, disposition, and telemetry window of a ReadEx
+// that tripped the client's slow detector.
+type SlowBundle = telemetry.Bundle
+
+// FormatSlowBundle renders a bundle as the multi-line report dosasctl
+// slow prints.
+func FormatSlowBundle(b SlowBundle) string { return telemetry.FormatBundle(b) }
+
+// ReadSlowBundles loads the bundles a client persisted under dir (see
+// ClientOptions.SlowDir), oldest first — how dosasctl slow inspects
+// another process's flight journal.
+func ReadSlowBundles(dir string) ([]SlowBundle, error) { return telemetry.ReadBundles(dir) }
+
+// decodeHealthResp unpacks a wire health response into the public
+// report form.
+func decodeHealthResp(hr *wire.HealthResp) (HealthReport, error) {
+	checks, err := telemetry.DecodeChecks(hr.Checks)
+	if err != nil {
+		return HealthReport{}, err
+	}
+	return HealthReport{
+		Node: hr.Node, Role: hr.Role, Ready: hr.Ready,
+		Checks: checks, UptimeNano: hr.UptimeNano,
+	}, nil
+}
+
+// unreachableReport is the synthetic not-ready report a health sweep
+// records for a node that could not be asked.
+func unreachableReport(node, role string, err error) HealthReport {
+	return HealthReport{
+		Node: node, Role: role, Ready: false,
+		Checks: []HealthCheck{{Name: "reachable", OK: false, Detail: err.Error()}},
+	}
+}
+
+// Health reports every node's liveness and per-resource readiness —
+// metadata server first, then storage nodes in layout order. It runs
+// in-process through the same handlers that serve HealthReq on the
+// wire, so the answer matches what dosasctl health sees.
+func (c *Cluster) Health() []HealthReport {
+	reports := make([]HealthReport, 0, len(c.dataServers)+1)
+	if c.meta != nil {
+		reports = append(reports, handlerHealth(c.meta, "meta", "meta"))
+	}
+	for i, ds := range c.dataServers {
+		reports = append(reports, handlerHealth(ds, fmt.Sprintf("data-%d", i), "data"))
+	}
+	return reports
+}
+
+// handlerHealth asks one in-process server for its health report.
+func handlerHealth(h interface {
+	Handle(wire.Message) (wire.Message, error)
+}, node, role string) HealthReport {
+	resp, err := h.Handle(&wire.HealthReq{})
+	if err != nil {
+		return unreachableReport(node, role, err)
+	}
+	hr, ok := resp.(*wire.HealthResp)
+	if !ok {
+		return unreachableReport(node, role, fmt.Errorf("dosas: unexpected health response %v", resp.Type()))
+	}
+	rep, err := decodeHealthResp(hr)
+	if err != nil {
+		return unreachableReport(node, role, err)
+	}
+	return rep
+}
+
+// Series returns the trailing window of every node's telemetry history,
+// keyed by node name ("meta", "data-0", …). Nodes without a sampler
+// (Options.TelemetryTick < 0) are omitted. window ≤ 0 means the full
+// retained history.
+func (c *Cluster) Series(window time.Duration) map[string][]Series {
+	out := make(map[string][]Series, len(c.runtimes)+1)
+	if c.metaTele != nil {
+		out["meta"] = c.metaTele.Snapshot(window)
+	}
+	for i, rt := range c.runtimes {
+		if s := rt.Telemetry(); s != nil {
+			out[fmt.Sprintf("data-%d", i)] = s.Snapshot(window)
+		}
+	}
+	return out
+}
+
+// nodeAddrs enumerates the cluster's nodes as (name, address) pairs in
+// sweep order: metadata server first, then storage nodes.
+func (fs *FS) nodeAddrs() []struct{ name, role, addr string } {
+	out := []struct{ name, role, addr string }{{"meta", "meta", fs.pc.MetaAddr()}}
+	for i := 0; i < fs.pc.NumDataServers(); i++ {
+		addr, err := fs.pc.DataAddr(uint32(i))
+		if err != nil {
+			continue
+		}
+		out = append(out, struct{ name, role, addr string }{fmt.Sprintf("data-%d", i), "data", addr})
+	}
+	return out
+}
+
+// Health sweeps every node of the connected cluster over the wire and
+// reports liveness plus per-resource readiness. Unreachable nodes come
+// back as not-ready reports with a failing "reachable" check rather
+// than an error — a health sweep of a degraded cluster must not itself
+// fail.
+func (fs *FS) Health() []HealthReport {
+	var out []HealthReport
+	for _, n := range fs.nodeAddrs() {
+		resp, err := fs.pc.Pool().Call(n.addr, &wire.HealthReq{})
+		if err != nil {
+			out = append(out, unreachableReport(n.name, n.role, err))
+			continue
+		}
+		hr, ok := resp.(*wire.HealthResp)
+		if !ok {
+			out = append(out, unreachableReport(n.name, n.role, fmt.Errorf("dosas: unexpected health response %v", resp.Type())))
+			continue
+		}
+		rep, err := decodeHealthResp(hr)
+		if err != nil {
+			out = append(out, unreachableReport(n.name, n.role, err))
+			continue
+		}
+		out = append(out, rep)
+	}
+	return out
+}
+
+// Series fetches the trailing window of every node's telemetry history
+// over the wire, keyed by node name. names, when given, restrict the
+// fetch to those series. Unreachable nodes are skipped (they surface in
+// Health); decode failures are reported.
+func (fs *FS) Series(window time.Duration, names ...string) (map[string][]Series, error) {
+	out := make(map[string][]Series)
+	for _, n := range fs.nodeAddrs() {
+		resp, err := fs.pc.Pool().Call(n.addr, &wire.SeriesFetchReq{WindowNano: int64(window), Names: names})
+		if err != nil {
+			continue
+		}
+		sf, ok := resp.(*wire.SeriesFetchResp)
+		if !ok {
+			return out, fmt.Errorf("dosas: unexpected series response %v", resp.Type())
+		}
+		series, err := telemetry.DecodeSeries(sf.Series)
+		if err != nil {
+			return out, fmt.Errorf("dosas: %s: %w", n.name, err)
+		}
+		name := sf.Node
+		if name == "" {
+			name = n.name
+		}
+		out[name] = series
+	}
+	return out, nil
+}
+
+// ClientSeries returns the trailing window of this client's own
+// telemetry history (pending requests, shipped-bytes rate, bounce
+// rate), or nil when client telemetry is disabled.
+func (fs *FS) ClientSeries(window time.Duration) []Series {
+	if s := fs.asc.Telemetry(); s != nil {
+		return s.Snapshot(window)
+	}
+	return nil
+}
+
+// SlowBundles returns the flight recorder's journaled slow-request
+// bundles, oldest first. Empty unless the client was connected with
+// SlowThreshold or SlowFactor set.
+func (fs *FS) SlowBundles() []SlowBundle { return fs.asc.SlowBundles() }
 
 // AggregateDecisions computes cluster-wide decision metrics from
 // per-node snapshots (local registries or StatsResp payloads alike).

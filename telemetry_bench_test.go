@@ -1,0 +1,67 @@
+package dosas_test
+
+// Telemetry overhead benchmarks. The acceptance bar for the continuous
+// telemetry pipeline is <1% added latency on the active read path; run
+//
+//	go test -run '^$' -bench ReadPathTelemetry -benchtime 50x
+//
+// and compare the Off/On ns/op. The samplers fire on their own tick
+// goroutine and the read path only touches lock-free counters, so the
+// delta is expected to sit in the benchmark noise floor.
+
+import (
+	"testing"
+	"time"
+
+	"dosas"
+	"dosas/internal/workload"
+)
+
+func benchReadPathTelemetry(b *testing.B, tick time.Duration) {
+	b.Helper()
+	c, err := dosas.StartCluster(dosas.Options{
+		DataServers:   2,
+		Policy:        dosas.AlwaysAccept,
+		TelemetryTick: tick,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	fs, err := c.ConnectClient(dosas.ClientOptions{Scheme: dosas.DOSAS, TelemetryTick: tick})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fs.Close()
+
+	const size = 1 << 20
+	f, err := fs.Create("bench.bin")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := f.WriteAt(workload.RandomBytes(size, 7), 0); err != nil {
+		b.Fatal(err)
+	}
+
+	b.SetBytes(size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.ReadEx("sum8", nil, 0, size); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadPathTelemetryOff is the baseline: samplers disabled on
+// every node and on the client.
+func BenchmarkReadPathTelemetryOff(b *testing.B) { benchReadPathTelemetry(b, -1) }
+
+// BenchmarkReadPathTelemetryOn runs the samplers at the default 100ms
+// tick, the production configuration.
+func BenchmarkReadPathTelemetryOn(b *testing.B) { benchReadPathTelemetry(b, 0) }
+
+// BenchmarkReadPathTelemetryFast runs a pathologically hot 1ms tick to
+// bound the worst case.
+func BenchmarkReadPathTelemetryFast(b *testing.B) {
+	benchReadPathTelemetry(b, time.Millisecond)
+}
