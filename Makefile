@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-observability check bench bench-telemetry bench-paper clean
+.PHONY: all build test vet race race-observability replay-determinism check bench bench-telemetry bench-paper clean
 
 all: check
 
@@ -20,13 +20,24 @@ race:
 	$(GO) test -race ./...
 
 # Focused race gate for the observability stack: the telemetry sampler,
-# trace recorder and metrics registry are the packages mutated from every
-# goroutine, so they fail first and fastest under -race. The wire package
-# rides along for the decode fuzz (testing/quick) suite.
+# trace recorder, metrics registry and decision-audit ring are the
+# packages mutated from every goroutine, so they fail first and fastest
+# under -race. The wire package rides along for the decode fuzz
+# (testing/quick) suite.
 race-observability:
-	$(GO) test -race ./internal/telemetry/ ./internal/trace/ ./internal/metrics/ ./internal/wire/
+	$(GO) test -race ./internal/telemetry/ ./internal/trace/ ./internal/metrics/ ./internal/wire/ ./internal/audit/
 
-check: vet race-observability race
+# Counterfactual replay must be byte-deterministic: the same decision log
+# and policy set produce the same report JSON on every run (no map
+# iteration, no wall clock in the scoring path). Replays the committed
+# golden log twice and diffs the outputs byte for byte.
+replay-determinism:
+	$(GO) run ./cmd/dosasctl whatif -log internal/audit/testdata/golden_log.json -json > /tmp/dosas-replay-a.json
+	$(GO) run ./cmd/dosasctl whatif -log internal/audit/testdata/golden_log.json -json > /tmp/dosas-replay-b.json
+	cmp /tmp/dosas-replay-a.json /tmp/dosas-replay-b.json
+	@echo "replay-determinism: OK (byte-identical reports)"
+
+check: vet race-observability replay-determinism race
 
 # Data-path microbenchmarks (fixed iteration count so runs compare
 # across commits) plus the window-vs-serial matrix (writes BENCH_pr2.json).

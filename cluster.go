@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"dosas/internal/audit"
 	"dosas/internal/core"
 	"dosas/internal/metrics"
 	"dosas/internal/pfs"
@@ -76,6 +77,10 @@ type Options struct {
 	// Policy is the storage nodes' scheduling behaviour (default
 	// Dynamic).
 	Policy Policy
+	// Solver names the scheduling algorithm dynamic-mode nodes run:
+	// "exhaustive", "maxgain" (default), "all-active" or "all-normal".
+	// Ignored by the static policies.
+	Solver string
 	// StripeSize is the default stripe size for new files (default
 	// 64 KiB).
 	StripeSize uint32
@@ -167,6 +172,15 @@ func StartCluster(o Options) (*Cluster, error) {
 		}
 	}
 
+	var solver core.Solver
+	if o.Solver != "" {
+		s, err := core.SolverByName(o.Solver)
+		if err != nil {
+			return nil, err
+		}
+		solver = s
+	}
+
 	var net transport.Network
 	if o.TCP {
 		net = transport.TCP{}
@@ -231,13 +245,19 @@ func StartCluster(o Options) (*Cluster, error) {
 		// registers the probes and owns the lifecycle, the server serves
 		// the history over the wire.
 		tele := newSampler(o.TelemetryTick)
-		ds, err := pfs.NewDataServer(pfs.DataConfig{Store: store, Metrics: reg, Node: node, Trace: tr, Telemetry: tele})
+		// Likewise the decision audit ring: the runtime appends and
+		// resolves records, the server answers DecisionLogReq from it.
+		alog := audit.NewLog(4096)
+		alog.SetNode(node)
+		ds, err := pfs.NewDataServer(pfs.DataConfig{Store: store, Metrics: reg, Node: node, Trace: tr, Telemetry: tele, Audit: alog})
 		if err != nil {
 			return nil, err
 		}
 		rt, err := core.NewRuntime(core.RuntimeConfig{
-			Store: store,
-			Mode:  o.Policy.mode(),
+			Store:  store,
+			Mode:   o.Policy.mode(),
+			Solver: solver,
+			Audit:  alog,
 			Estimator: core.EstimatorConfig{
 				BW:              o.NetworkBandwidth,
 				TotalCores:      o.TotalCores,

@@ -26,6 +26,7 @@
 //	live      live-mode TS/AS/DOSAS on a real in-process cluster
 //	ce-period live ablation: Contention Estimator responsiveness
 //	readpath  pipelined read path, window vs serial (writes BENCH_pr2.json)
+//	whatif    counterfactual replay of a live decision log (writes BENCH_whatif.json)
 //	all       everything simulated (excludes the live experiments)
 //
 // Simulated experiments run the calibrated discrete-event model at full
@@ -101,6 +102,7 @@ func main() {
 		"live":      live,
 		"ce-period": cePeriod,
 		"readpath":  readPath,
+		"whatif":    whatif,
 	}
 	order := []string{"table3", "fig2", "fig5", "fig6", "table4",
 		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
@@ -601,6 +603,117 @@ func liveRun(scheme dosas.Scheme, n, reqBytes int) (time.Duration, dosas.Decisio
 		}
 	}
 	return time.Since(start), cluster.DecisionMetrics(), nil
+}
+
+// whatif records a live contention run under the Exhaustive solver and
+// then replays the resulting decision log under every replay policy,
+// scoring each counterfactual against the recorded measured costs. The
+// "recorded" and "exhaustive" rows should agree with the log exactly
+// (zero regret beyond the oracle's); the static policies show what
+// always-accept and always-bounce would have cost on the same arrivals.
+func whatif() {
+	header("What-if: counterfactual replay of a live Exhaustive-solver decision log")
+	const d = 4 << 20
+	scales := []int{1, 2, 4, 8}
+	kernels.SetRate("sum8", 20e6)
+	defer kernels.ResetRates()
+
+	cluster, err := dosas.StartCluster(dosas.Options{
+		DataServers: 1,
+		Policy:      dosas.Dynamic,
+		Solver:      "exhaustive",
+		LinkRate:    30e6,
+		Pace:        true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	fs, err := cluster.ConnectPaced(dosas.DOSAS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fs.Close()
+	f, err := fs.Create("whatif/data", dosas.CreateOptions{Width: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxN := scales[len(scales)-1]
+	if _, err := f.WriteAt(workload.RandomBytes(maxN*d, 7), 0); err != nil {
+		log.Fatal(err)
+	}
+	// The live experiment's contention sweep: lone requests favour the
+	// storage node, deep batches favour bouncing, so the log holds both
+	// kinds of decision for the replays to disagree over.
+	for _, n := range scales {
+		done := make(chan error, n)
+		for r := 0; r < n; r++ {
+			go func(r int) {
+				_, err := f.ReadEx("sum8", nil, uint64(r*d), uint64(d))
+				done <- err
+			}(r)
+		}
+		for r := 0; r < n; r++ {
+			if err := <-done; err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	records := cluster.DecisionLogAll()
+	if len(records) == 0 {
+		log.Fatal("whatif: the run recorded no decisions")
+	}
+	fmt.Printf("recorded %d solver invocations on %d arrival(s) sweep %v\n\n",
+		len(records), sumInts(scales), scales)
+
+	var reports []dosas.ReplayReport
+	fmt.Printf("%-12s %10s %8s %8s %10s %10s %10s\n",
+		"policy", "decisions", "bounce", "agree", "total", "oracle", "regret")
+	for _, policy := range dosas.ReplayPolicies() {
+		rep, err := dosas.ReplayDecisions(records, policy, dosas.ReplayOverrides{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		reports = append(reports, rep)
+		fmt.Printf("%-12s %10d %7.0f%% %7.0f%% %9.2fs %9.2fs %9.2fs\n",
+			rep.Policy, rep.Decisions, rep.BounceRate*100, rep.AgreementRate*100,
+			rep.TotalSeconds, rep.OracleSeconds, rep.RegretSeconds)
+	}
+	// One perturbed environment alongside the policy sweep: the recorded
+	// choices replayed over a 10× faster network, where bouncing is
+	// nearly free and always-bounce should close on the oracle.
+	fast := dosas.ReplayOverrides{BW: 10 * 118e6}
+	for _, policy := range []string{"recorded", "all-normal"} {
+		rep, err := dosas.ReplayDecisions(records, policy, fast)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reports = append(reports, rep)
+		fmt.Printf("%-12s %10d %7.0f%% %7.0f%% %9.2fs %9.2fs %9.2fs  (bw ×10)\n",
+			rep.Policy, rep.Decisions, rep.BounceRate*100, rep.AgreementRate*100,
+			rep.TotalSeconds, rep.OracleSeconds, rep.RegretSeconds)
+	}
+
+	blob, err := dosas.EncodeReplayReports(reports)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const out = "BENCH_whatif.json"
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote %d counterfactual reports to %s\n", len(reports), out)
+	fmt.Println("(expect recorded ≡ exhaustive with zero mutual disagreement, and the")
+	fmt.Println(" static policies to pay regret on whichever side the sweep stressed)")
+}
+
+func sumInts(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
 }
 
 // readPath measures the sliding-window data path (PR 2) against the

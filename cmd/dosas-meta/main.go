@@ -21,6 +21,7 @@ import (
 	"syscall"
 
 	"dosas/internal/pfs"
+	"dosas/internal/pprofserve"
 	"dosas/internal/telemetry"
 	"dosas/internal/transport"
 )
@@ -34,7 +35,14 @@ func main() {
 	stripe := flag.Uint("stripe", pfs.DefaultStripeSize, "default stripe size in bytes")
 	journal := flag.String("journal", "", "write-ahead journal path (empty = volatile namespace)")
 	teleTick := flag.Duration("telemetry-tick", 0, "telemetry sampling interval (0 = 100ms default, negative = disabled)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060; empty = disabled)")
 	flag.Parse()
+
+	if addr, err := pprofserve.Serve(*pprofAddr); err != nil {
+		log.Fatal(err)
+	} else if addr != "" {
+		log.Printf("pprof: http://%s/debug/pprof/", addr)
+	}
 
 	var tele *telemetry.Sampler
 	if *teleTick >= 0 {

@@ -20,9 +20,11 @@ import (
 	"os/signal"
 	"syscall"
 
+	"dosas/internal/audit"
 	"dosas/internal/core"
 	"dosas/internal/metrics"
 	"dosas/internal/pfs"
+	"dosas/internal/pprofserve"
 	"dosas/internal/telemetry"
 	"dosas/internal/trace"
 	"dosas/internal/transport"
@@ -35,13 +37,21 @@ func main() {
 	addr := flag.String("addr", ":7710", "TCP listen address")
 	storeDir := flag.String("store", "", "stripe store directory (empty = in-memory)")
 	policy := flag.String("policy", "dosas", "scheduling policy: dosas, as, or ts")
+	solverName := flag.String("solver", "", "dynamic-mode scheduling algorithm: exhaustive, maxgain (default), all-active, all-normal")
 	bw := flag.Float64("bw", 118e6, "network bandwidth the estimator assumes, bytes/second")
 	cores := flag.Int("cores", 2, "storage node core count")
 	reserved := flag.Int("reserved", 1, "cores reserved for normal I/O service")
 	pace := flag.Bool("pace", false, "pace kernels at calibrated per-core rates")
 	node := flag.String("node", "", "node name stamped on stats and trace exports (default data@ADDR)")
 	teleTick := flag.Duration("telemetry-tick", 0, "telemetry sampling interval (0 = 100ms default, negative = disabled)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060; empty = disabled)")
 	flag.Parse()
+
+	if addr, err := pprofserve.Serve(*pprofAddr); err != nil {
+		log.Fatal(err)
+	} else if addr != "" {
+		log.Printf("pprof: http://%s/debug/pprof/", addr)
+	}
 	if *node == "" {
 		*node = "data@" + *addr
 	}
@@ -56,6 +66,14 @@ func main() {
 		mode = core.ModeAlwaysBounce
 	default:
 		log.Fatalf("unknown -policy %q (want dosas, as, or ts)", *policy)
+	}
+	var solver core.Solver
+	if *solverName != "" {
+		s, err := core.SolverByName(*solverName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		solver = s
 	}
 
 	var store pfs.Store
@@ -77,13 +95,17 @@ func main() {
 	if *teleTick >= 0 {
 		tele = telemetry.NewSampler(telemetry.Config{Interval: *teleTick})
 	}
-	ds, err := pfs.NewDataServer(pfs.DataConfig{Store: store, Metrics: reg, Node: *node, Trace: tr, Telemetry: tele})
+	alog := audit.NewLog(4096)
+	alog.SetNode(*node)
+	ds, err := pfs.NewDataServer(pfs.DataConfig{Store: store, Metrics: reg, Node: *node, Trace: tr, Telemetry: tele, Audit: alog})
 	if err != nil {
 		log.Fatal(err)
 	}
 	rt, err := core.NewRuntime(core.RuntimeConfig{
-		Store: store,
-		Mode:  mode,
+		Store:  store,
+		Mode:   mode,
+		Solver: solver,
+		Audit:  alog,
 		Estimator: core.EstimatorConfig{
 			BW:              *bw,
 			TotalCores:      *cores,

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"dosas"
+)
+
+// runAuditCommand dispatches the decision-audit commands: explain (print
+// per-decision rationale), whatif (counterfactual replay) and audit
+// (dump the raw log as JSON). Each reads its decision log either from a
+// -log FILE — no cluster needed, the offline path the golden tests and
+// make replay-determinism use — or by sweeping the connected cluster via
+// connect().
+func runAuditCommand(args []string, connect func() *dosas.FS) {
+	switch args[0] {
+	case "explain":
+		cmdExplain(args[1:], connect)
+	case "whatif":
+		cmdWhatif(args[1:], connect)
+	case "audit":
+		cmdAuditDump(args[1:], connect)
+	}
+}
+
+// loadDecisions fetches records from file (when set) or from the cluster.
+// limit and traceID filter per node on the wire path and in-process on
+// the file path, so both paths answer the same question.
+func loadDecisions(file string, limit, traceID uint64, connect func() *dosas.FS) []dosas.DecisionRecord {
+	if file != "" {
+		blob, err := os.ReadFile(file)
+		if err != nil {
+			log.Fatal(err)
+		}
+		records, err := dosas.DecodeDecisions(blob)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if traceID != 0 {
+			records = dosas.FilterDecisionsTrace(records, traceID)
+		}
+		if limit > 0 {
+			records = dosas.LastDecisions(records, int(limit))
+		}
+		return records
+	}
+	fs := connect()
+	defer fs.Close()
+	records, dropped, err := fs.DecisionLog(limit, traceID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if dropped > 0 {
+		fmt.Fprintf(os.Stderr, "note: %d older decisions already overwritten in the nodes' rings\n", dropped)
+	}
+	return records
+}
+
+func cmdExplain(args []string, connect func() *dosas.FS) {
+	fl := flag.NewFlagSet("explain", flag.ExitOnError)
+	logFile := fl.String("log", "", "read decisions from this JSON file instead of the cluster")
+	fl.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: explain [-log FILE] [last N | TRACEID]")
+		fl.PrintDefaults()
+	}
+	fl.Parse(args)
+
+	var limit, traceID uint64
+	switch rest := fl.Args(); {
+	case len(rest) == 0:
+		// Everything retained.
+	case rest[0] == "last":
+		if len(rest) != 2 {
+			fl.Usage()
+			os.Exit(2)
+		}
+		n, err := strconv.ParseUint(rest[1], 10, 64)
+		if err != nil {
+			log.Fatalf("bad N %q", rest[1])
+		}
+		limit = n
+	case len(rest) == 1:
+		id, err := strconv.ParseUint(rest[0], 0, 64)
+		if err != nil {
+			log.Fatalf("bad TRACEID %q", rest[0])
+		}
+		traceID = id
+	default:
+		fl.Usage()
+		os.Exit(2)
+	}
+
+	records := loadDecisions(*logFile, limit, traceID, connect)
+	if len(records) == 0 {
+		fmt.Println("no decisions recorded")
+		return
+	}
+	fmt.Print(dosas.FormatDecisions(records))
+}
+
+func cmdWhatif(args []string, connect func() *dosas.FS) {
+	fl := flag.NewFlagSet("whatif", flag.ExitOnError)
+	logFile := fl.String("log", "", "read decisions from this JSON file instead of the cluster")
+	policies := fl.String("policy", strings.Join(dosas.ReplayPolicies(), ","),
+		"comma-separated replay policies")
+	bw := fl.Float64("bw", 0, "override network bandwidth (bytes/s; 0 = as recorded)")
+	storageScale := fl.Float64("storage-scale", 0, "multiply storage rates by this factor (0 = as recorded)")
+	computeScale := fl.Float64("compute-scale", 0, "multiply compute rates by this factor (0 = as recorded)")
+	asJSON := fl.Bool("json", false, "emit the full reports as JSON")
+	fl.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: whatif [-policy p1,p2,...] [-log FILE] [-bw BPS] [-storage-scale X] [-compute-scale X] [-json]")
+		fl.PrintDefaults()
+	}
+	fl.Parse(args)
+	if fl.NArg() != 0 {
+		fl.Usage()
+		os.Exit(2)
+	}
+
+	records := loadDecisions(*logFile, 0, 0, connect)
+	if len(records) == 0 {
+		fmt.Println("no decisions recorded")
+		return
+	}
+	ov := dosas.ReplayOverrides{BW: *bw, StorageScale: *storageScale, ComputeScale: *computeScale}
+	var reports []dosas.ReplayReport
+	for _, p := range strings.Split(*policies, ",") {
+		rep, err := dosas.ReplayDecisions(records, strings.TrimSpace(p), ov)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reports = append(reports, rep)
+	}
+	if *asJSON {
+		out, err := dosas.EncodeReplayReports(reports)
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(out)
+		return
+	}
+	for _, rep := range reports {
+		printWhatif(rep)
+	}
+}
+
+// printWhatif renders one counterfactual report as a two-line summary.
+func printWhatif(rep dosas.ReplayReport) {
+	fmt.Printf("%-11s decisions=%d accept=%d bounce=%d (%.1f%%)  agree=%.1f%%\n",
+		rep.Policy, rep.Decisions, rep.Accepted, rep.Bounced,
+		100*rep.BounceRate, 100*rep.AgreementRate)
+	fmt.Printf("            total=%.3fs oracle=%.3fs regret=%.3fs (mean %.3fs",
+		rep.TotalSeconds, rep.OracleSeconds, rep.RegretSeconds, rep.MeanRegret)
+	if rep.MaxRegret > 0 {
+		fmt.Printf(", max %.3fs", rep.MaxRegret)
+		if rep.MaxRegretTrace != 0 {
+			fmt.Printf(" trace=%#x", rep.MaxRegretTrace)
+		} else if rep.MaxRegretReq != 0 {
+			fmt.Printf(" req=%d", rep.MaxRegretReq)
+		}
+	}
+	fmt.Println(")")
+}
+
+func cmdAuditDump(args []string, connect func() *dosas.FS) {
+	fl := flag.NewFlagSet("audit", flag.ExitOnError)
+	logFile := fl.String("log", "", "read decisions from this JSON file instead of the cluster")
+	limit := fl.Uint64("limit", 0, "keep only the trailing N decisions per node (0 = all)")
+	traceID := fl.Uint64("trace", 0, "restrict to decisions involving this trace id (0 = all)")
+	fl.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: audit [-log FILE] [-limit N] [-trace ID]   (JSON to stdout; save for later whatif -log)")
+		fl.PrintDefaults()
+	}
+	fl.Parse(args)
+	if fl.NArg() != 0 {
+		fl.Usage()
+		os.Exit(2)
+	}
+	records := loadDecisions(*logFile, *limit, *traceID, connect)
+	out, err := dosas.EncodeDecisions(records)
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(out)
+	fmt.Println()
+}

@@ -26,6 +26,13 @@
 //	                                 (-once prints a single frame; WINDOW like 10s)
 //	slow DIR                         print the slow-request flight bundles a client
 //	                                 persisted under DIR (ClientOptions.SlowDir)
+//	explain [-log FILE] [last N|ID]  print each scheduling decision's rationale:
+//	                                 predicted vs actual costs, margin to the
+//	                                 decision boundary, env at decision time
+//	whatif [-policy p1,p2] [-log FILE] replay the decision log under alternative
+//	                                 policies/environments and score the regret
+//	audit [-log FILE]                dump the decision log as JSON (save the
+//	                                 output for later explain/whatif -log)
 package main
 
 import (
@@ -48,7 +55,7 @@ import (
 
 func usageExit() {
 	fmt.Fprintln(os.Stderr, "usage: dosasctl -meta ADDR -data ADDR[,ADDR...] [-scheme dosas|as|ts] COMMAND ...")
-	fmt.Fprintln(os.Stderr, "commands: ls, stat, put, get, rm, readex, fsck, repair, ops, calibrate, probe, stats, trace, health, top, slow")
+	fmt.Fprintln(os.Stderr, "commands: ls, stat, put, get, rm, readex, fsck, repair, ops, calibrate, probe, stats, trace, health, top, slow, explain, whatif, audit")
 	os.Exit(2)
 }
 
@@ -113,6 +120,24 @@ func main() {
 		for _, b := range bundles {
 			fmt.Print(dosas.FormatSlowBundle(b))
 		}
+		return
+	}
+
+	// Decision-audit commands connect lazily: with -log FILE they run
+	// entirely offline.
+	switch args[0] {
+	case "explain", "whatif", "audit":
+		runAuditCommand(args, func() *dosas.FS {
+			addrs := strings.Split(*data, ",")
+			if *data == "" || len(addrs) == 0 {
+				log.Fatal("need -data with at least one storage server address (or -log FILE)")
+			}
+			fs, err := dosas.Connect(dosas.ClientOptions{MetaAddr: *meta, DataAddrs: addrs, Scheme: scheme})
+			if err != nil {
+				log.Fatal(err)
+			}
+			return fs
+		})
 		return
 	}
 

@@ -23,6 +23,7 @@ import (
 	"syscall"
 
 	"dosas"
+	"dosas/internal/pprofserve"
 )
 
 func main() {
@@ -32,11 +33,19 @@ func main() {
 	servers := flag.Int("servers", 4, "number of storage nodes")
 	basePort := flag.Int("base-port", 7700, "metadata server port; storage nodes follow")
 	policyName := flag.String("policy", "dosas", "scheduling policy: dosas, as, or ts")
+	solverName := flag.String("solver", "", "dynamic-mode scheduling algorithm: exhaustive, maxgain (default), all-active, all-normal")
 	dataDir := flag.String("data", "", "durable data directory (empty = in-memory)")
 	linkRate := flag.Float64("link-rate", 0, "per-node link shaping in bytes/second (0 = unshaped)")
 	pace := flag.Bool("pace", false, "pace kernels at calibrated per-core rates")
 	teleTick := flag.Duration("telemetry-tick", 0, "telemetry sampling interval (0 = 100ms default, negative = disabled)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060; empty = disabled)")
 	flag.Parse()
+
+	if addr, err := pprofserve.Serve(*pprofAddr); err != nil {
+		log.Fatal(err)
+	} else if addr != "" {
+		log.Printf("pprof: http://%s/debug/pprof/", addr)
+	}
 
 	var policy dosas.Policy
 	switch *policyName {
@@ -53,6 +62,7 @@ func main() {
 	cluster, err := dosas.StartCluster(dosas.Options{
 		DataServers:   *servers,
 		Policy:        policy,
+		Solver:        *solverName,
 		TCP:           true,
 		TCPBasePort:   *basePort,
 		LinkRate:      *linkRate,

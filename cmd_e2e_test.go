@@ -144,6 +144,34 @@ func TestBinariesEndToEnd(t *testing.T) {
 		t.Fatalf("trace output lacks scheduling decision: %s", out)
 	}
 
+	// explain renders the storage nodes' decision rationale for that same
+	// readex: one decision line with the solver's verdict and margin.
+	out = ctl("explain")
+	if !strings.Contains(out, "decision ") || !strings.Contains(out, "solver=") ||
+		!strings.Contains(out, "sum8") || !strings.Contains(out, "margin=") {
+		t.Fatalf("explain output: %s", out)
+	}
+	if !strings.Contains(out, "RUN-ACTIVE") && !strings.Contains(out, "BOUNCE") {
+		t.Fatalf("explain output lacks a disposition: %s", out)
+	}
+
+	// audit dumps the same log as JSON; whatif -log replays that dump
+	// offline under every policy, so the full record→export→replay loop
+	// runs over the wire and through a file.
+	auditFile := filepath.Join(t.TempDir(), "decisions.json")
+	if err := os.WriteFile(auditFile, []byte(ctl("audit")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = ctl("whatif", "-log", auditFile)
+	for _, policy := range []string{"recorded", "exhaustive", "maxgain", "all-active", "all-normal"} {
+		if !strings.Contains(out, policy) {
+			t.Fatalf("whatif output lacks policy %s: %s", policy, out)
+		}
+	}
+	if !strings.Contains(out, "regret=") || !strings.Contains(out, "oracle=") {
+		t.Fatalf("whatif output lacks scoring: %s", out)
+	}
+
 	// get round-trips the bytes.
 	fetched := filepath.Join(t.TempDir(), "fetched.bin")
 	ctl("get", "e2e/payload.bin", fetched)
@@ -219,5 +247,33 @@ func TestBinariesEndToEnd(t *testing.T) {
 	if out := ctl("ls", "e2e/"); !strings.Contains(out, "e2e/replicated.bin") ||
 		strings.Contains(out, "payload") {
 		t.Fatalf("ls after rm: %q", out)
+	}
+}
+
+// TestCtlExplainGolden pins dosasctl explain's offline rendering to the
+// committed golden transcript: the CLI must print exactly what
+// audit.FormatRecords produces for the golden log, byte for byte.
+// Regenerate both fixtures with `go test ./internal/audit -run Golden
+// -update` after an intentional format change.
+func TestCtlExplainGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs binaries")
+	}
+	bin := filepath.Join(t.TempDir(), "dosasctl")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/dosasctl")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	got, err := exec.Command(bin, "explain",
+		"-log", filepath.Join("internal", "audit", "testdata", "golden_log.json")).Output()
+	if err != nil {
+		t.Fatalf("explain: %v", err)
+	}
+	want, err := os.ReadFile(filepath.Join("internal", "audit", "testdata", "golden_explain.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("explain output diverged from golden_explain.txt:\n--- got ---\n%s\n--- want ---\n%s", got, want)
 	}
 }

@@ -1,0 +1,89 @@
+package audit
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// fmtRate renders a bytes/second rate in MB/s.
+func fmtRate(bps float64) string { return fmt.Sprintf("%.1f MB/s", bps/1e6) }
+
+// fmtSize renders a byte count in MB (the paper's working unit).
+func fmtSize(b uint64) string { return fmt.Sprintf("%.1f MB", float64(b)/1e6) }
+
+// verdict names one side of the bounce/run decision.
+func verdict(accept bool) string {
+	if accept {
+		return "RUN-ACTIVE"
+	}
+	return "BOUNCE"
+}
+
+// FormatRecord renders one decision record as the multi-line rationale
+// `dosasctl explain` prints: the environment at decision time, the
+// objective values the solver weighed, every request's predicted costs
+// and margin to the decision boundary, and — when resolved — the
+// measured outcome next to the prediction. Output is deterministic for a
+// given record (timestamps render in UTC).
+func FormatRecord(r Record) string {
+	var b strings.Builder
+	ts := time.Unix(0, r.TimeUnixNano).UTC().Format(time.RFC3339Nano)
+	fmt.Fprintf(&b, "decision %d  %s  node=%s  solver=%s  trigger=%s\n",
+		r.Seq, ts, r.Node, r.Solver, r.Trigger)
+	fmt.Fprintf(&b, "  env: bw=%s  S=%s  C=%s  queued=%d running=%d\n",
+		fmtRate(r.Env.BW), fmtRate(r.Env.StorageRate), fmtRate(r.Env.ComputeRate),
+		r.Queued, r.Running)
+	fmt.Fprintf(&b, "  objective: chosen=%.3fs  all-active=%.3fs  all-normal=%.3fs\n",
+		r.PredChosen, r.PredAllActive, r.PredAllNormal)
+	for _, f := range r.Reqs {
+		marker := "   "
+		if f.Newcomer {
+			marker = " → "
+		}
+		id := fmt.Sprintf("sched=%d", f.SchedID)
+		if f.ReqID != 0 {
+			id = fmt.Sprintf("req=%d", f.ReqID)
+		}
+		if f.TraceID != 0 {
+			id += fmt.Sprintf(" trace=%#x", f.TraceID)
+		}
+		fmt.Fprintf(&b, "%s%s %s %s: %s  x=%.3fs y=%.3fs c=%.3fs gain=%.3fs",
+			marker, id, f.Op, fmtSize(f.Bytes), verdict(f.Accept),
+			f.PredActive, f.PredNormal, f.PredClient, f.Gain)
+		if f.FlipDelta != 0 {
+			fmt.Fprintf(&b, " margin=%.3fs", f.FlipDelta)
+		}
+		b.WriteByte('\n')
+	}
+	if o := r.Outcome; o != nil {
+		fmt.Fprintf(&b, "  outcome: %s", o.Disposition)
+		if o.KernelNS > 0 {
+			fmt.Fprintf(&b, "  kernel=%.3fs", float64(o.KernelNS)/1e9)
+			if nc := r.Newcomer(); nc != nil && nc.PredActive > 0 {
+				errPct := 100 * (float64(o.KernelNS)/1e9 - nc.PredActive) / nc.PredActive
+				fmt.Fprintf(&b, " (predicted x=%.3fs, error %+.0f%%)", nc.PredActive, errPct)
+			}
+		}
+		if o.QueueWaitNS > 0 {
+			fmt.Fprintf(&b, "  queue-wait=%.3fs", float64(o.QueueWaitNS)/1e9)
+		}
+		if o.Processed > 0 {
+			fmt.Fprintf(&b, "  processed=%s", fmtSize(o.Processed))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatRecords renders a record sequence separated by blank lines.
+func FormatRecords(records []Record) string {
+	var b strings.Builder
+	for i, r := range records {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(FormatRecord(r))
+	}
+	return b.String()
+}

@@ -1,0 +1,289 @@
+package audit_test
+
+// Golden decision-log fixture and the cross-checks that keep this package
+// honest against core: the fixture under testdata/ is the committed log
+// that make replay-determinism and the dosasctl explain golden test run
+// against, and it is generated here (go test ./internal/audit -run Golden
+// -update) with the real Exhaustive solver choosing the recorded
+// dispositions, exactly as the runtime would.
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dosas/internal/audit"
+	"dosas/internal/core"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenBase keeps the fixture's timestamps fixed and readable.
+const goldenBase = int64(1_700_000_000_000_000_000)
+
+// goldenFeature fills the predicted costs of one request under env, the
+// same derivation the runtime's recordDecision performs.
+func goldenFeature(env audit.Env, f audit.Feature) audit.Feature {
+	f.PredActive = env.XCost(f)
+	f.PredNormal = env.YCost(f)
+	f.PredClient = env.ClientCost(f)
+	f.Gain = f.PredActive - f.PredNormal
+	return f
+}
+
+// goldenRecord runs the real Exhaustive solver over the batch, stamps the
+// chosen assignment and flip-delta margins, and computes the objective
+// values — a faithful offline reconstruction of one runtime decision.
+func goldenRecord(seq uint64, trigger string, env audit.Env, queued, running int, feats []audit.Feature) audit.Record {
+	policy := core.ReplayPolicy(core.Exhaustive{})
+	accept := policy.Decide(feats, env)
+	for i := range feats {
+		feats[i].Accept = accept[i]
+	}
+	chosen := env.TotalTime(feats, accept)
+	all := make([]bool, len(feats))
+	none := make([]bool, len(feats))
+	for i := range all {
+		all[i] = true
+	}
+	for i := range feats {
+		accept[i] = !accept[i]
+		feats[i].FlipDelta = env.TotalTime(feats, accept) - chosen
+		accept[i] = !accept[i]
+	}
+	return audit.Record{
+		Seq:           seq,
+		TimeUnixNano:  goldenBase + int64(seq)*1_000_000_000,
+		Node:          "data-0",
+		Solver:        "exhaustive",
+		Trigger:       trigger,
+		Env:           env,
+		Queued:        queued,
+		Running:       running,
+		Reqs:          feats,
+		PredChosen:    chosen,
+		PredAllActive: env.TotalTime(feats, all),
+		PredAllNormal: env.TotalTime(feats, none),
+	}
+}
+
+// goldenRecords is the committed contention-storm log: a lone Gaussian
+// request, a four-deep Gaussian pile-up (the paper's crossover point), a
+// mixed SUM/Gaussian batch whose accepted newcomer is later interrupted,
+// and one periodic re-evaluation sweep.
+func goldenRecords() []audit.Record {
+	env := audit.Env{BW: 118e6, StorageRate: 80e6, ComputeRate: 80e6}
+	gauss := func(sched, req, trace uint64, newcomer bool) audit.Feature {
+		return goldenFeature(env, audit.Feature{
+			SchedID: sched, ReqID: req, TraceID: trace, Op: "gaussian2d",
+			Bytes: 128e6, ResultBytes: 29,
+			StorageRate: 80e6, ComputeRate: 80e6, Newcomer: newcomer,
+		})
+	}
+	sum := func(sched, req, trace uint64, bytes uint64) audit.Feature {
+		return goldenFeature(env, audit.Feature{
+			SchedID: sched, ReqID: req, TraceID: trace, Op: "sum8",
+			Bytes: bytes, ResultBytes: 8,
+			StorageRate: 860e6, ComputeRate: 860e6,
+		})
+	}
+
+	r1 := goldenRecord(1, audit.TriggerAdmit, env, 0, 0,
+		[]audit.Feature{gauss(1<<62+1, 1, 0xa1, true)})
+	// It ran here; the kernel came in 5% over the estimate.
+	r1.Outcome = &audit.Outcome{
+		Disposition: audit.DispDone,
+		KernelNS:    int64(1.05 * r1.Reqs[0].PredActive * 1e9),
+		QueueWaitNS: 1_000_000,
+		Processed:   128e6,
+	}
+
+	r2 := goldenRecord(2, audit.TriggerAdmit, env, 3, 0, []audit.Feature{
+		gauss(2, 2, 0xa2, false),
+		gauss(3, 3, 0xa3, false),
+		gauss(4, 4, 0xa4, false),
+		gauss(1<<62+5, 5, 0xa5, true),
+	})
+	r2.Outcome = &audit.Outcome{Disposition: audit.DispBounced}
+
+	r3 := goldenRecord(3, audit.TriggerAdmit, env, 0, 1, []audit.Feature{
+		sum(6, 6, 0xa6, 64e6), // running, 64 MB left
+		gauss(1<<62+7, 7, 0xa7, true),
+	})
+	// Accepted, then interrupted mid-kernel by a later re-evaluation:
+	// the bounce-after-interrupt disposition replay must not mistake for
+	// a full measurement.
+	r3.Outcome = &audit.Outcome{
+		Disposition: audit.DispInterrupted,
+		KernelNS:    800_000_000,
+		QueueWaitNS: 3_000_000,
+		Processed:   64e6,
+	}
+
+	r4 := goldenRecord(4, audit.TriggerReevaluate, env, 2, 1, []audit.Feature{
+		sum(6, 6, 0xa6, 32e6),
+		gauss(8, 8, 0xa8, false),
+		gauss(9, 9, 0xa9, false),
+	})
+
+	return []audit.Record{r1, r2, r3, r4}
+}
+
+func goldenPath(t *testing.T, name string) string {
+	t.Helper()
+	return filepath.Join("testdata", name)
+}
+
+func compareGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := goldenPath(t, name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from the committed golden (regenerate with -update if intended)\ngot:\n%s", name, got)
+	}
+}
+
+// TestGoldenLogFixture pins the committed decision log byte-for-byte and
+// proves it decodes back to exactly the in-memory records.
+func TestGoldenLogFixture(t *testing.T) {
+	recs := goldenRecords()
+	data, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	compareGolden(t, "golden_log.json", data)
+
+	decoded, err := audit.DecodeRecords(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(decoded, recs) {
+		t.Fatal("fixture does not round-trip through DecodeRecords")
+	}
+}
+
+// TestGoldenExplainRendering pins the human-readable rationale dosasctl
+// explain prints for the fixture.
+func TestGoldenExplainRendering(t *testing.T) {
+	compareGolden(t, "golden_explain.txt", []byte(audit.FormatRecords(goldenRecords())))
+}
+
+// TestGoldenWhatifReport pins the full counterfactual report for the
+// fixture across the replay policies the CLI exposes — the same bytes
+// make replay-determinism compares.
+func TestGoldenWhatifReport(t *testing.T) {
+	recs := goldenRecords()
+	var reports []audit.Report
+	for _, name := range []string{"recorded", "exhaustive", "maxgain", "all-active", "all-normal"} {
+		p, err := core.PolicyByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, audit.Replay(recs, p, audit.Overrides{}))
+	}
+	out, err := audit.EncodeReports(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "golden_whatif.json", out)
+}
+
+// TestAuditCostsMatchCore pins the restated Eq. 5–7 formulas to core's:
+// any drift between the two cost models would silently skew every replay.
+func TestAuditCostsMatchCore(t *testing.T) {
+	f := func(bytes, result uint32, s8, c8, bw8 uint8) bool {
+		env := audit.Env{
+			BW:          float64(bw8%200+1) * 1e6,
+			StorageRate: float64(s8%200+1) * 1e6,
+			ComputeRate: float64(c8%200+1) * 1e6,
+		}
+		cenv := core.Env{BW: env.BW, StorageRate: env.StorageRate, ComputeRate: env.ComputeRate}
+		af := audit.Feature{Bytes: uint64(bytes), ResultBytes: uint64(result)}
+		cr := core.Request{Bytes: uint64(bytes), ResultBytes: uint64(result)}
+		eq := func(a, b float64) bool { return math.Abs(a-b) <= 1e-12*math.Max(1, math.Abs(b)) }
+		return eq(env.XCost(af), cenv.XCost(cr)) &&
+			eq(env.YCost(af), cenv.YCost(cr)) &&
+			eq(env.ClientCost(af), cenv.ClientCost(cr))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStaticSolversAreFixedPointsUnderReplay: a log recorded under
+// AllActive (or AllNormal) replayed under the same policy reproduces
+// every disposition — the satellite property pinning replay fidelity.
+func TestStaticSolversAreFixedPointsUnderReplay(t *testing.T) {
+	env := audit.Env{BW: 118e6, StorageRate: 80e6, ComputeRate: 80e6}
+	build := func(accept bool) []audit.Record {
+		var recs []audit.Record
+		for i := uint64(1); i <= 8; i++ {
+			f := goldenFeature(env, audit.Feature{
+				SchedID: i, ReqID: i, TraceID: 0xb0 + i, Op: "gaussian2d",
+				Bytes: i * 16e6, ResultBytes: 29, Newcomer: true, Accept: accept,
+			})
+			recs = append(recs, audit.Record{
+				Seq: i, TimeUnixNano: goldenBase + int64(i), Solver: "static",
+				Trigger: audit.TriggerAdmit, Env: env, Reqs: []audit.Feature{f},
+			})
+		}
+		return recs
+	}
+	active := audit.Replay(build(true), core.ReplayPolicy(core.AllActive{}), audit.Overrides{})
+	if active.AgreementRate != 1 || active.Bounced != 0 {
+		t.Fatalf("all-active not a fixed point: %+v", active)
+	}
+	normal := audit.Replay(build(false), core.ReplayPolicy(core.AllNormal{}), audit.Overrides{})
+	if normal.AgreementRate != 1 || normal.Accepted != 0 {
+		t.Fatalf("all-normal not a fixed point: %+v", normal)
+	}
+}
+
+// TestExhaustiveAndMaxGainAgreeOnReplayedLogs: replaying any small-batch
+// log, the closed-form MaxGain matches the oracle's objective value —
+// the replay-side face of the core solver property test.
+func TestExhaustiveAndMaxGainAgreeOnReplayedLogs(t *testing.T) {
+	env := audit.Env{BW: 118e6, StorageRate: 80e6, ComputeRate: 80e6}
+	var recs []audit.Record
+	for i := uint64(1); i <= 8; i++ {
+		var feats []audit.Feature
+		for j := uint64(0); j <= i%4; j++ {
+			feats = append(feats, goldenFeature(env, audit.Feature{
+				SchedID: 10*i + j, Op: "gaussian2d",
+				Bytes: (i + j*3) * 23e6, ResultBytes: 29,
+				Newcomer: j == i%4,
+			}))
+		}
+		recs = append(recs, audit.Record{
+			Seq: i, Solver: "exhaustive", Trigger: audit.TriggerAdmit,
+			Env: env, Reqs: feats,
+		})
+	}
+	ex := audit.Replay(recs, core.ReplayPolicy(core.Exhaustive{}), audit.Overrides{})
+	mg := audit.Replay(recs, core.ReplayPolicy(core.MaxGain{}), audit.Overrides{})
+	if ex.Decisions != mg.Decisions || ex.Decisions == 0 {
+		t.Fatalf("decision counts differ: %d vs %d", ex.Decisions, mg.Decisions)
+	}
+	if math.Abs(ex.TotalSeconds-mg.TotalSeconds) > 1e-9 {
+		t.Fatalf("objective mismatch: exhaustive %.9f vs maxgain %.9f",
+			ex.TotalSeconds, mg.TotalSeconds)
+	}
+}

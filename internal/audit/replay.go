@@ -1,0 +1,239 @@
+package audit
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Policy is a scheduling algorithm as the replay engine sees it: the same
+// shape as core.Solver, restated on audit types so this package stays
+// below core. core.ReplayPolicy adapts any real solver into one, so
+// counterfactuals run the production MaxGain/Exhaustive code, not a
+// re-implementation.
+type Policy interface {
+	Name() string
+	// Decide returns accept[i] == true when request i should run on the
+	// storage node under env.
+	Decide(reqs []Feature, env Env) []bool
+}
+
+// Recorded is the identity policy: it replays exactly the decisions in
+// the log. Replaying it must reproduce the recorded dispositions
+// bit-for-bit (the fixed-point property the tests pin down), and its
+// report is the baseline the counterfactuals are compared against.
+type Recorded struct{}
+
+// Name implements Policy.
+func (Recorded) Name() string { return "recorded" }
+
+// Decide implements Policy by echoing each feature's recorded assignment.
+func (Recorded) Decide(reqs []Feature, _ Env) []bool {
+	out := make([]bool, len(reqs))
+	for i, f := range reqs {
+		out[i] = f.Accept
+	}
+	return out
+}
+
+// Overrides perturbs the recorded environment before replay — the
+// "modified EstimatorConfig" axis of a what-if: a different calibrated
+// network bandwidth, or storage/compute nodes faster or slower than the
+// estimator believed. Zero fields leave the recorded values untouched.
+type Overrides struct {
+	// BW replaces the recorded network bandwidth (bytes/second).
+	BW float64 `json:"bw,omitempty"`
+	// StorageScale multiplies every storage rate (0.5 = half as fast).
+	// Measured kernel times are rescaled by 1/StorageScale to match.
+	StorageScale float64 `json:"storage_scale,omitempty"`
+	// ComputeScale multiplies every compute rate.
+	ComputeScale float64 `json:"compute_scale,omitempty"`
+}
+
+func (o Overrides) env(e Env) Env {
+	if o.BW > 0 {
+		e.BW = o.BW
+	}
+	if o.StorageScale > 0 {
+		e.StorageRate *= o.StorageScale
+	}
+	if o.ComputeScale > 0 {
+		e.ComputeRate *= o.ComputeScale
+	}
+	return e
+}
+
+func (o Overrides) feature(f Feature) Feature {
+	if o.StorageScale > 0 {
+		f.StorageRate *= o.StorageScale
+	}
+	if o.ComputeScale > 0 {
+		f.ComputeRate *= o.ComputeScale
+	}
+	return f
+}
+
+// Verdict scores one replayed admission decision. Costs are seconds.
+type Verdict struct {
+	Seq     uint64 `json:"seq"`
+	ReqID   uint64 `json:"req_id"`
+	TraceID uint64 `json:"trace_id,omitempty"`
+	Op      string `json:"op"`
+	Bytes   uint64 `json:"bytes"`
+	// RecordedAccept is what the logged solver chose; ReplayedAccept is
+	// what this policy chooses on the same batch.
+	RecordedAccept bool `json:"recorded_accept"`
+	ReplayedAccept bool `json:"replayed_accept"`
+	// ActiveCost is the request's cost if run on the storage node —
+	// measured kernel time when the log has one, the Eq. 5 prediction
+	// otherwise. BounceCost is transfer plus client compute (Eqs. 6+7).
+	ActiveCost float64 `json:"active_cost"`
+	BounceCost float64 `json:"bounce_cost"`
+	// Measured reports whether ActiveCost came from a real measurement.
+	Measured bool `json:"measured,omitempty"`
+	// Cost is the replayed choice's cost; Regret is Cost minus the
+	// pointwise oracle (the cheaper of the two sides), ≥ 0.
+	Cost   float64 `json:"cost"`
+	Regret float64 `json:"regret"`
+}
+
+// Report is the deterministic summary of one counterfactual replay.
+type Report struct {
+	Policy    string    `json:"policy"`
+	Overrides Overrides `json:"overrides"`
+	// Records is how many solver invocations the log held; Decisions how
+	// many of them admitted a newcomer (the unit replay scores).
+	Records   int `json:"records"`
+	Decisions int `json:"decisions"`
+	Accepted  int `json:"accepted"`
+	Bounced   int `json:"bounced"`
+	// BounceRate is Bounced/Decisions.
+	BounceRate float64 `json:"bounce_rate"`
+	// Agreements counts decisions where the policy matches the recorded
+	// choice; AgreementRate is the fraction.
+	Agreements    int     `json:"agreements"`
+	AgreementRate float64 `json:"agreement_rate"`
+	// KernelSeconds is storage-node kernel time the policy would consume
+	// (Σ ActiveCost over accepted); TotalSeconds sums every decision's
+	// chosen cost; OracleSeconds is the pointwise-optimal total.
+	KernelSeconds float64 `json:"kernel_seconds"`
+	TotalSeconds  float64 `json:"total_seconds"`
+	OracleSeconds float64 `json:"oracle_seconds"`
+	RegretSeconds float64 `json:"regret_seconds"`
+	MeanRegret    float64 `json:"mean_regret"`
+	MaxRegret     float64 `json:"max_regret"`
+	// MaxRegretReq locates the worst decision for the operator.
+	MaxRegretReq   uint64    `json:"max_regret_req,omitempty"`
+	MaxRegretTrace uint64    `json:"max_regret_trace,omitempty"`
+	PerRequest     []Verdict `json:"per_request"`
+}
+
+// Replay re-runs every admission decision in records under policy and
+// the environment overrides, scoring each counterfactual choice with the
+// recorded actual costs where the log has them. The iteration order and
+// all arithmetic are deterministic: replaying the same log twice yields
+// byte-identical reports (the make replay-determinism gate).
+//
+// Scoring is pointwise: each decision is charged the cost of the side it
+// picked (measured kernel time + result transfer for run-active when the
+// request really ran here; the Eq. 5–7 predictions under the overridden
+// env otherwise), and regret is measured against the per-request oracle
+// that always picks the cheaper side. The batch max-client-cost coupling
+// of Eq. 4 is deliberately dropped — it needs the counterfactual queue
+// state, which a log of real decisions cannot provide.
+func Replay(records []Record, policy Policy, ov Overrides) Report {
+	rep := Report{Policy: policy.Name(), Overrides: ov, Records: len(records)}
+	for ri := range records {
+		r := &records[ri]
+		if r.Trigger != TriggerAdmit {
+			continue
+		}
+		nc := r.Newcomer()
+		if nc == nil {
+			continue
+		}
+		env := ov.env(r.Env)
+		feats := make([]Feature, len(r.Reqs))
+		for i, f := range r.Reqs {
+			feats[i] = ov.feature(f)
+		}
+		decision := policy.Decide(feats, env)
+		accept := false
+		for i := range feats {
+			if feats[i].Newcomer {
+				accept = decision[i]
+				break
+			}
+		}
+
+		f := ov.feature(*nc)
+		active := env.XCost(f)
+		measured := false
+		if o := r.Outcome; o != nil && o.KernelNS > 0 &&
+			(o.Disposition == DispDone || o.Disposition == DispInterrupted) &&
+			o.Processed == nc.Bytes {
+			// A full measured kernel run beats any prediction. Partial
+			// (interrupted) runs are not extrapolated.
+			sec := float64(o.KernelNS) / 1e9
+			if ov.StorageScale > 0 {
+				sec /= ov.StorageScale
+			}
+			active = sec + float64(f.ResultBytes)/env.BW
+			measured = true
+		}
+		bounce := env.YCost(f) + env.ClientCost(f)
+
+		cost := bounce
+		if accept {
+			cost = active
+		}
+		oracle := active
+		if bounce < oracle {
+			oracle = bounce
+		}
+		v := Verdict{
+			Seq: r.Seq, ReqID: nc.ReqID, TraceID: nc.TraceID,
+			Op: nc.Op, Bytes: nc.Bytes,
+			RecordedAccept: nc.Accept, ReplayedAccept: accept,
+			ActiveCost: active, BounceCost: bounce, Measured: measured,
+			Cost: cost, Regret: cost - oracle,
+		}
+		rep.Decisions++
+		if accept {
+			rep.Accepted++
+			rep.KernelSeconds += active
+		} else {
+			rep.Bounced++
+		}
+		if accept == nc.Accept {
+			rep.Agreements++
+		}
+		rep.TotalSeconds += cost
+		rep.OracleSeconds += oracle
+		rep.RegretSeconds += v.Regret
+		if v.Regret > rep.MaxRegret {
+			rep.MaxRegret = v.Regret
+			rep.MaxRegretReq = v.ReqID
+			rep.MaxRegretTrace = v.TraceID
+		}
+		rep.PerRequest = append(rep.PerRequest, v)
+	}
+	if rep.Decisions > 0 {
+		rep.BounceRate = float64(rep.Bounced) / float64(rep.Decisions)
+		rep.AgreementRate = float64(rep.Agreements) / float64(rep.Decisions)
+		rep.MeanRegret = rep.RegretSeconds / float64(rep.Decisions)
+	}
+	return rep
+}
+
+// EncodeReports marshals replay reports as stable, indented JSON — the
+// byte-for-byte comparable artifact behind make replay-determinism.
+func EncodeReports(reports []Report) ([]byte, error) {
+	if reports == nil {
+		reports = []Report{}
+	}
+	out, err := json.MarshalIndent(reports, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("audit: encoding reports: %w", err)
+	}
+	return append(out, '\n'), nil
+}

@@ -1,0 +1,174 @@
+package audit
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// threshold is a toy policy for unit tests: accept when the predicted
+// active cost beats the predicted normal cost. Real solvers come in via
+// core.ReplayPolicy (exercised from the core package's tests to keep the
+// import direction audit ← core).
+type threshold struct{}
+
+func (threshold) Name() string { return "threshold" }
+func (threshold) Decide(reqs []Feature, env Env) []bool {
+	out := make([]bool, len(reqs))
+	for i, f := range reqs {
+		out[i] = env.XCost(f) <= env.YCost(f)+env.ClientCost(f)
+	}
+	return out
+}
+
+// admitRecord builds one admit decision over a single newcomer of the
+// given size under env, recorded with the given accept choice.
+func admitRecord(seq uint64, env Env, bytes uint64, accept bool) Record {
+	f := Feature{
+		SchedID: seq, ReqID: seq, TraceID: 0xa000 + seq, Op: "gaussian2d",
+		Bytes: bytes, ResultBytes: 29,
+		Accept: accept, Newcomer: true,
+	}
+	f.PredActive = env.XCost(f)
+	f.PredNormal = env.YCost(f)
+	f.PredClient = env.ClientCost(f)
+	f.Gain = f.PredActive - f.PredNormal
+	return Record{
+		Seq: seq, TimeUnixNano: int64(seq), Solver: "maxgain",
+		Trigger: TriggerAdmit, Env: env, Reqs: []Feature{f},
+	}
+}
+
+func TestRecordedPolicyIsFixedPoint(t *testing.T) {
+	env := Env{BW: 118e6, StorageRate: 80e6, ComputeRate: 80e6}
+	records := []Record{
+		admitRecord(1, env, 128e6, true),
+		admitRecord(2, env, 64e6, false),
+		admitRecord(3, env, 256e6, true),
+	}
+	rep := Replay(records, Recorded{}, Overrides{})
+	if rep.Decisions != 3 || rep.AgreementRate != 1 {
+		t.Fatalf("recorded replay diverged: %+v", rep)
+	}
+	for i, v := range rep.PerRequest {
+		if v.ReplayedAccept != records[i].Reqs[0].Accept {
+			t.Errorf("decision %d flipped", i)
+		}
+	}
+	if rep.Bounced != 1 || rep.BounceRate != 1.0/3.0 {
+		t.Errorf("bounce accounting: %+v", rep)
+	}
+}
+
+func TestReplaySkipsReevaluateAndUnresolvedNewcomers(t *testing.T) {
+	env := Env{BW: 118e6, StorageRate: 80e6, ComputeRate: 80e6}
+	reev := Record{Seq: 2, Solver: "maxgain", Trigger: TriggerReevaluate, Env: env,
+		Reqs: []Feature{{SchedID: 9, Op: "sum8", Bytes: 1e6, Accept: true}}}
+	records := []Record{admitRecord(1, env, 128e6, true), reev}
+	rep := Replay(records, Recorded{}, Overrides{})
+	if rep.Records != 2 || rep.Decisions != 1 {
+		t.Fatalf("records/decisions = %d/%d", rep.Records, rep.Decisions)
+	}
+}
+
+func TestReplayRegretNonNegativeAndOracleBound(t *testing.T) {
+	env := Env{BW: 118e6, StorageRate: 80e6, ComputeRate: 640e6}
+	var records []Record
+	for i := uint64(1); i <= 20; i++ {
+		records = append(records, admitRecord(i, env, i*17e6, i%3 == 0))
+	}
+	for _, p := range []Policy{Recorded{}, threshold{}} {
+		rep := Replay(records, p, Overrides{})
+		if rep.RegretSeconds < 0 || rep.MaxRegret < 0 {
+			t.Fatalf("%s: negative regret: %+v", p.Name(), rep)
+		}
+		if rep.TotalSeconds < rep.OracleSeconds-1e-9 {
+			t.Fatalf("%s: beat the oracle: total %.6f < oracle %.6f",
+				p.Name(), rep.TotalSeconds, rep.OracleSeconds)
+		}
+		if math.Abs(rep.TotalSeconds-rep.OracleSeconds-rep.RegretSeconds) > 1e-9 {
+			t.Fatalf("%s: regret identity broken", p.Name())
+		}
+	}
+	// The threshold policy picks the pointwise-cheaper side by
+	// construction, so its regret must be exactly zero here.
+	if rep := Replay(records, threshold{}, Overrides{}); rep.RegretSeconds != 0 {
+		t.Errorf("threshold regret = %v", rep.RegretSeconds)
+	}
+}
+
+func TestReplayUsesMeasuredKernelTime(t *testing.T) {
+	env := Env{BW: 118e6, StorageRate: 80e6, ComputeRate: 80e6}
+	r := admitRecord(1, env, 128e6, true)
+	// The kernel really took 3× the prediction: with a measured cost the
+	// oracle flips to bouncing, so keeping the request is pure regret.
+	measured := int64(3 * r.Reqs[0].PredActive * 1e9)
+	r.Outcome = &Outcome{Disposition: DispDone, KernelNS: measured, Processed: 128e6}
+	rep := Replay([]Record{r}, Recorded{}, Overrides{})
+	v := rep.PerRequest[0]
+	if !v.Measured {
+		t.Fatal("measured cost not used")
+	}
+	wantActive := float64(measured)/1e9 + 29/env.BW
+	if math.Abs(v.ActiveCost-wantActive) > 1e-9 {
+		t.Errorf("active cost %.6f, want %.6f", v.ActiveCost, wantActive)
+	}
+	if v.Regret <= 0 {
+		t.Errorf("regret = %v, want > 0 (active was the wrong call)", v.Regret)
+	}
+
+	// A partial (interrupted) run must not be treated as a full measure.
+	r2 := admitRecord(2, env, 128e6, true)
+	r2.Outcome = &Outcome{Disposition: DispInterrupted, KernelNS: 5e8, Processed: 64e6}
+	rep2 := Replay([]Record{r2}, Recorded{}, Overrides{})
+	if rep2.PerRequest[0].Measured {
+		t.Error("partial kernel run used as a full measurement")
+	}
+}
+
+func TestReplayOverrides(t *testing.T) {
+	env := Env{BW: 118e6, StorageRate: 80e6, ComputeRate: 80e6}
+	r := admitRecord(1, env, 128e6, true)
+	base := Replay([]Record{r}, threshold{}, Overrides{})
+	// An (absurdly) fast network makes bouncing free: the threshold
+	// policy must flip to bounce.
+	fat := Replay([]Record{r}, threshold{}, Overrides{BW: 1e12, ComputeScale: 100})
+	if base.PerRequest[0].ReplayedAccept != true || fat.PerRequest[0].ReplayedAccept != false {
+		t.Fatalf("override did not flip the decision: base=%v fat=%v",
+			base.PerRequest[0].ReplayedAccept, fat.PerRequest[0].ReplayedAccept)
+	}
+	// StorageScale rescales a measured kernel time.
+	r.Outcome = &Outcome{Disposition: DispDone, KernelNS: 1_600_000_000, Processed: 128e6}
+	half := Replay([]Record{r}, Recorded{}, Overrides{StorageScale: 0.5})
+	wantActive := 1.6/0.5 + 29/env.BW
+	if got := half.PerRequest[0].ActiveCost; math.Abs(got-wantActive) > 1e-9 {
+		t.Errorf("scaled measured cost %.6f, want %.6f", got, wantActive)
+	}
+}
+
+func TestReplayDeterministic(t *testing.T) {
+	env := Env{BW: 118e6, StorageRate: 80e6, ComputeRate: 160e6}
+	var records []Record
+	for i := uint64(1); i <= 50; i++ {
+		r := admitRecord(i, env, (i%7+1)*31e6, i%2 == 0)
+		if i%3 == 0 {
+			r.Outcome = &Outcome{Disposition: DispDone, KernelNS: int64(i) * 1e7, Processed: r.Reqs[0].Bytes}
+		}
+		records = append(records, r)
+	}
+	run := func() []byte {
+		reports := []Report{
+			Replay(records, Recorded{}, Overrides{}),
+			Replay(records, threshold{}, Overrides{StorageScale: 0.5}),
+		}
+		out, err := EncodeReports(reports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("two replays of the same log differ byte-for-byte")
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -42,6 +44,34 @@ type EstimatorConfig struct {
 	// once; above MemHighWater of it, dynamic scheduling bounces new
 	// active requests. Defaults to 1 GiB.
 	MemBudget uint64
+}
+
+// Validate rejects configurations that would make the estimator silently
+// misbehave: a zero or negative bandwidth turns every cost formula into
+// nonsense (Env.Valid() only catches it after the fact, per decision),
+// and negative core counts or thresholds are always caller bugs. Zero
+// values for the other fields mean "use the default" and stay legal.
+// Validate is called on the raw config, before defaults are applied.
+func (c EstimatorConfig) Validate() error {
+	if c.BW <= 0 || math.IsNaN(c.BW) || math.IsInf(c.BW, 0) {
+		return fmt.Errorf("core: estimator BW must be a positive bandwidth in bytes/s, got %v", c.BW)
+	}
+	if c.TotalCores < 0 {
+		return fmt.Errorf("core: estimator TotalCores must not be negative, got %d", c.TotalCores)
+	}
+	if c.IOReservedCores < -1 {
+		return fmt.Errorf("core: estimator IOReservedCores must be >= -1, got %d", c.IOReservedCores)
+	}
+	if c.ComputeCores < 0 {
+		return fmt.Errorf("core: estimator ComputeCores must not be negative, got %d", c.ComputeCores)
+	}
+	if c.LoadAlpha < 0 || math.IsNaN(c.LoadAlpha) {
+		return fmt.Errorf("core: estimator LoadAlpha must not be negative, got %v", c.LoadAlpha)
+	}
+	if c.Period < 0 {
+		return fmt.Errorf("core: estimator Period must not be negative, got %v", c.Period)
+	}
+	return nil
 }
 
 func (c *EstimatorConfig) applyDefaults() {
@@ -92,13 +122,18 @@ type Estimator struct {
 
 // NewEstimator builds a CE over the node's queue and metrics registry.
 // The registry's "data.inflight" gauge (maintained by the pfs data server)
-// supplies normal-I/O pressure.
-func NewEstimator(cfg EstimatorConfig, q *ioqueue.Queue, reg *metrics.Registry) *Estimator {
+// supplies normal-I/O pressure. The configuration is validated first; a
+// nonsensical config (zero bandwidth, negative cores) is an error here
+// rather than silent mis-scheduling later.
+func NewEstimator(cfg EstimatorConfig, q *ioqueue.Queue, reg *metrics.Registry) (*Estimator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg.applyDefaults()
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
-	return &Estimator{cfg: cfg, queue: q, reg: reg, memBudget: cfg.MemBudget}
+	return &Estimator{cfg: cfg, queue: q, reg: reg, memBudget: cfg.MemBudget}, nil
 }
 
 // Config returns the estimator's effective (defaulted) configuration.

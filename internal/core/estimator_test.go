@@ -10,7 +10,11 @@ import (
 func testEstimator(cfg EstimatorConfig) (*Estimator, *ioqueue.Queue, *metrics.Registry) {
 	q := ioqueue.New()
 	reg := metrics.NewRegistry()
-	return NewEstimator(cfg, q, reg), q, reg
+	e, err := NewEstimator(cfg, q, reg)
+	if err != nil {
+		panic(err)
+	}
+	return e, q, reg
 }
 
 func TestEstimatorDefaults(t *testing.T) {

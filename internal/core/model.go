@@ -36,6 +36,10 @@ type Request struct {
 	ResultBytes uint64 // h(d_i): bytes shipped back if processed actively
 	StorageRate float64
 	ComputeRate float64
+	// Op names the request's kernel. Informational: solvers ignore it,
+	// but the decision audit log records it so replayed feature vectors
+	// stay attributable to an operation.
+	Op string
 }
 
 func (e Env) storageRate(r Request) float64 {

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"dosas/internal/audit"
+)
+
+// replayPolicy adapts a real Solver to the audit replay engine's Policy
+// interface, converting audit features back into scheduler Requests. The
+// point is fidelity: a counterfactual replay runs the production solver
+// code, not a restatement of it.
+type replayPolicy struct{ s Solver }
+
+// ReplayPolicy wraps a solver for use with audit.Replay.
+func ReplayPolicy(s Solver) audit.Policy { return replayPolicy{s: s} }
+
+// Name implements audit.Policy.
+func (p replayPolicy) Name() string { return p.s.Name() }
+
+// Decide implements audit.Policy.
+func (p replayPolicy) Decide(reqs []audit.Feature, env audit.Env) []bool {
+	creqs := make([]Request, len(reqs))
+	for i, f := range reqs {
+		creqs[i] = Request{
+			ID:          f.SchedID,
+			Op:          f.Op,
+			Bytes:       f.Bytes,
+			ResultBytes: f.ResultBytes,
+			StorageRate: f.StorageRate,
+			ComputeRate: f.ComputeRate,
+		}
+	}
+	return p.s.Solve(creqs, Env{BW: env.BW, StorageRate: env.StorageRate, ComputeRate: env.ComputeRate})
+}
+
+// SolverByName maps a policy name to a solver: "exhaustive", "maxgain",
+// "all-active", "all-normal". The names double as the -policy vocabulary
+// of dosasctl whatif and the -solver vocabulary of the daemons.
+func SolverByName(name string) (Solver, error) {
+	switch strings.ToLower(name) {
+	case "exhaustive":
+		return Exhaustive{}, nil
+	case "maxgain", "max-gain":
+		return MaxGain{}, nil
+	case "all-active", "allactive":
+		return AllActive{}, nil
+	case "all-normal", "allnormal":
+		return AllNormal{}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown solver %q (want exhaustive, maxgain, all-active or all-normal)", name)
+	}
+}
+
+// PolicyByName maps a replay policy name to an audit Policy: any solver
+// name accepted by SolverByName, plus "recorded" (replay the log's own
+// decisions).
+func PolicyByName(name string) (audit.Policy, error) {
+	if strings.EqualFold(name, "recorded") {
+		return audit.Recorded{}, nil
+	}
+	s, err := SolverByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return ReplayPolicy(s), nil
+}

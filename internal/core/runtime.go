@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dosas/internal/audit"
 	"dosas/internal/ioqueue"
 	"dosas/internal/kernels"
 	"dosas/internal/metrics"
@@ -81,6 +82,11 @@ type RuntimeConfig struct {
 	// Trace receives request lifecycle events; a default 1024-event ring
 	// is created when nil.
 	Trace *trace.Recorder
+	// Audit receives one decision record per solver invocation (the
+	// input to counterfactual replay); a default 4096-record ring is
+	// created when nil. Usually shared with the pfs data server, which
+	// serves it over the wire.
+	Audit *audit.Log
 	// Node is this storage node's identity, stamped on trace events
 	// (e.g. "data-0"). Optional.
 	Node string
@@ -127,6 +133,7 @@ type task struct {
 	traceID   uint64
 	arrived   time.Time     // when the task entered the queue
 	predicted time.Duration // estimator's forecast kernel time
+	auditSeq  uint64        // decision record awaiting this task's outcome (0 = none)
 }
 
 // length returns the task's input size in bytes.
@@ -135,6 +142,14 @@ func (t *task) length() uint64 {
 		return t.xform.Length
 	}
 	return t.req.Length
+}
+
+// clientReqID returns the task's client-visible request id.
+func (t *task) clientReqID() uint64 {
+	if t.xform != nil {
+		return t.xform.RequestID
+	}
+	return t.req.RequestID
 }
 
 type taskResult struct {
@@ -171,8 +186,22 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
 	if cfg.Node != "" && cfg.Trace.Node() == "" {
 		cfg.Trace.SetNode(cfg.Node)
 	}
+	if cfg.Audit == nil {
+		cfg.Audit = audit.NewLog(4096)
+	}
+	if cfg.Node != "" && cfg.Audit.Node() == "" {
+		cfg.Audit.SetNode(cfg.Node)
+	}
+	if cfg.Estimator.BW == 0 {
+		// A zero-value RuntimeConfig must keep working: zero means "the
+		// Discfarm default" here, while NewEstimator rejects it outright.
+		cfg.Estimator.BW = 118e6
+	}
 	q := ioqueue.New()
-	est := NewEstimator(cfg.Estimator, q, cfg.Metrics)
+	est, err := NewEstimator(cfg.Estimator, q, cfg.Metrics)
+	if err != nil {
+		return nil, err
+	}
 	if cfg.ActiveCores <= 0 {
 		c := est.Config()
 		cfg.ActiveCores = c.TotalCores - c.IOReservedCores
@@ -251,6 +280,7 @@ func (rt *Runtime) Close() {
 	// Anything still queued bounces so clients are not stranded.
 	for _, it := range rt.queue.DrainActive() {
 		t := it.Payload.(*task)
+		rt.cfg.Audit.Resolve(t.auditSeq, audit.Outcome{Disposition: audit.DispShutdown})
 		if t.xform != nil {
 			rt.respond(t, nil, fmt.Errorf("%w: runtime shutting down", pfs.ErrUnsupported))
 			continue
@@ -268,6 +298,9 @@ func (rt *Runtime) Estimator() *Estimator { return rt.est }
 
 // Trace exposes the node's lifecycle-event recorder.
 func (rt *Runtime) Trace() *trace.Recorder { return rt.cfg.Trace }
+
+// Audit exposes the node's decision audit log.
+func (rt *Runtime) Audit() *audit.Log { return rt.cfg.Audit }
 
 // Mode returns the runtime's scheduling mode.
 func (rt *Runtime) Mode() Mode { return rt.cfg.Mode }
@@ -341,6 +374,7 @@ func (rt *Runtime) HandleActive(req *wire.ActiveReadReq) (*wire.ActiveReadResp, 
 	}
 	decisionStart := time.Now()
 	var admitNote string
+	var auditSeq uint64
 	switch rt.cfg.Mode {
 	case ModeAlwaysBounce:
 		return reject("active.rejected", "static ts policy", time.Since(decisionStart)), nil
@@ -351,9 +385,11 @@ func (rt *Runtime) HandleActive(req *wire.ActiveReadReq) (*wire.ActiveReadResp, 
 			return reject("active.rejected_memory",
 				fmt.Sprintf("memory pressure %.0f%%", p*100), time.Since(decisionStart)), nil
 		}
-		ok, note := rt.admit(req)
+		ok, note, seq := rt.admit(req)
 		admitNote = note
+		auditSeq = seq
 		if !ok {
+			rt.cfg.Audit.Resolve(seq, audit.Outcome{Disposition: audit.DispBounced})
 			return reject("active.rejected", note, time.Since(decisionStart)), nil
 		}
 	}
@@ -371,6 +407,7 @@ func (rt *Runtime) HandleActive(req *wire.ActiveReadReq) (*wire.ActiveReadResp, 
 		traceID:   req.TraceID,
 		arrived:   time.Now(),
 		predicted: rt.predictKernel(req.Op, req.Length),
+		auditSeq:  auditSeq,
 	}
 	rt.mu.Lock()
 	rt.queued[t.id] = t
@@ -386,6 +423,7 @@ func (rt *Runtime) HandleActive(req *wire.ActiveReadReq) (*wire.ActiveReadResp, 
 		rt.mu.Lock()
 		delete(rt.queued, t.id)
 		rt.mu.Unlock()
+		rt.cfg.Audit.Resolve(auditSeq, audit.Outcome{Disposition: audit.DispShutdown})
 		return &wire.ActiveReadResp{
 			RequestID: req.RequestID, Disposition: wire.ActiveRejected, TraceID: req.TraceID,
 		}, nil
@@ -510,27 +548,101 @@ func (rt *Runtime) executeTransform(t *task) (wire.Message, error) {
 
 // admit runs the scheduling algorithm over the node's current active set
 // plus the newcomer and reports whether the newcomer should run here,
-// along with the estimator's reasoning for the trace.
-func (rt *Runtime) admit(req *wire.ActiveReadReq) (bool, string) {
+// along with the estimator's reasoning for the trace and the sequence
+// number of the decision's audit record (0 when no solver ran).
+func (rt *Runtime) admit(req *wire.ActiveReadReq) (bool, string, uint64) {
 	newReq, reqs := rt.schedulerView(req)
 	if len(reqs) == 0 {
-		return true, "empty active set"
+		return true, "empty active set", 0
 	}
 	env := rt.est.Env(req.Op)
 	if !env.Valid() {
-		return true, "no calibration" // behave like plain active storage
+		return true, "no calibration", 0 // behave like plain active storage
 	}
 	assignment := rt.cfg.Solver.Solve(reqs, env)
+	seq := rt.recordDecision(audit.TriggerAdmit, env, reqs, assignment, newReq, req)
 	for i, r := range reqs {
 		if r.ID == newReq {
 			// The estimator's reasoning: serve actively here (x) vs
 			// ship raw and compute on the client (y), over k requests.
 			note := fmt.Sprintf("x=%.3fs y=%.3fs gain=%.3fs k=%d",
 				env.XCost(r), env.YCost(r), env.Gain(r), len(reqs))
-			return assignment[i], note
+			return assignment[i], note, seq
 		}
 	}
-	return true, "newcomer not in scheduler view"
+	return true, "newcomer not in scheduler view", seq
+}
+
+// flipDeltaMax bounds the batch size for which per-request decision
+// margins are computed: each margin costs one extra objective evaluation,
+// so a pathological queue does not turn recording into O(k²) work.
+const flipDeltaMax = 64
+
+// recordDecision appends one solver invocation to the audit log: the env
+// snapshot, every request's feature vector with predicted costs and its
+// margin to the decision boundary, and the three objective values the
+// policy weighed. newcomer/newReq identify the arriving request on admit
+// decisions (0/nil on reevaluation sweeps). Returns the record's seq.
+func (rt *Runtime) recordDecision(trigger string, env Env, reqs []Request, assignment []bool, newcomer uint64, newReq *wire.ActiveReadReq) uint64 {
+	if rt.cfg.Audit == nil {
+		return 0
+	}
+	// Map scheduler ids back to client-visible identities, and capture
+	// the queue depths the decision was made against.
+	type ident struct{ reqID, traceID uint64 }
+	rt.mu.Lock()
+	ids := make(map[uint64]ident, len(rt.queued)+len(rt.running))
+	for id, t := range rt.queued {
+		ids[id] = ident{reqID: t.clientReqID(), traceID: t.traceID}
+	}
+	for id, t := range rt.running {
+		ids[id] = ident{reqID: t.clientReqID(), traceID: t.traceID}
+	}
+	queued, running := len(rt.queued), len(rt.running)
+	rt.mu.Unlock()
+
+	chosen := env.TotalTime(reqs, assignment)
+	feats := make([]audit.Feature, len(reqs))
+	for i, r := range reqs {
+		f := audit.Feature{
+			SchedID:     r.ID,
+			Op:          r.Op,
+			Bytes:       r.Bytes,
+			ResultBytes: r.ResultBytes,
+			StorageRate: r.StorageRate,
+			ComputeRate: r.ComputeRate,
+			PredActive:  env.XCost(r),
+			PredNormal:  env.YCost(r),
+			PredClient:  env.ClientCost(r),
+			Gain:        env.Gain(r),
+			Accept:      assignment[i],
+		}
+		if len(reqs) <= flipDeltaMax {
+			assignment[i] = !assignment[i]
+			f.FlipDelta = env.TotalTime(reqs, assignment) - chosen
+			assignment[i] = !assignment[i]
+		}
+		if newcomer != 0 && r.ID == newcomer && newReq != nil {
+			f.Newcomer = true
+			f.ReqID = newReq.RequestID
+			f.TraceID = newReq.TraceID
+		} else if id, ok := ids[r.ID]; ok {
+			f.ReqID = id.reqID
+			f.TraceID = id.traceID
+		}
+		feats[i] = f
+	}
+	return rt.cfg.Audit.Append(audit.Record{
+		Solver:        rt.cfg.Solver.Name(),
+		Trigger:       trigger,
+		Env:           audit.Env{BW: env.BW, StorageRate: env.StorageRate, ComputeRate: env.ComputeRate},
+		Queued:        queued,
+		Running:       running,
+		Reqs:          feats,
+		PredChosen:    chosen,
+		PredAllActive: env.TimeAllActive(reqs),
+		PredAllNormal: env.TimeAllNormal(reqs),
+	})
 }
 
 // predictKernel is the estimator's forecast of storage-side kernel time
@@ -584,6 +696,7 @@ func (rt *Runtime) requestFor(id uint64, op string, bytes uint64) Request {
 		ResultBytes: result,
 		StorageRate: env.StorageRate,
 		ComputeRate: env.ComputeRate,
+		Op:          op,
 	}
 }
 
@@ -618,6 +731,7 @@ func (rt *Runtime) reevaluate() {
 		return
 	}
 	assignment := rt.cfg.Solver.Solve(reqs, env)
+	rt.recordDecision(audit.TriggerReevaluate, env, reqs, assignment, 0, nil)
 	allActive := env.TimeAllActive(reqs)
 	chosen := env.TotalTime(reqs, assignment)
 	for i, r := range reqs {
@@ -642,6 +756,7 @@ func (rt *Runtime) reevaluate() {
 					Phase: trace.PhaseDecision,
 					Note:  fmt.Sprintf("bounced from queue at re-evaluation, gain %.2fx", allActive/chosen),
 				})
+				rt.cfg.Audit.Resolve(t.auditSeq, audit.Outcome{Disposition: audit.DispBouncedQueued})
 				rt.respond(t, &wire.ActiveReadResp{
 					RequestID:   t.req.RequestID,
 					Disposition: wire.ActiveRejected,
@@ -709,6 +824,9 @@ func (rt *Runtime) worker() {
 		rt.mu.Lock()
 		delete(rt.running, t.id)
 		rt.mu.Unlock()
+		if rerr != nil {
+			rt.cfg.Audit.Resolve(t.auditSeq, audit.Outcome{Disposition: audit.DispError})
+		}
 		rt.respond(t, resp, rerr)
 	}
 }
@@ -770,6 +888,14 @@ func (rt *Runtime) execute(t *task) (*wire.ActiveReadResp, error) {
 				Phase: trace.PhaseKernel, Dur: time.Since(execStart), Predicted: t.predicted,
 				Note: fmt.Sprintf("checkpointed after %d bytes", done),
 			})
+			// The realized disposition of an accepted-then-interrupted
+			// request: it bounced after partial kernel work here.
+			rt.cfg.Audit.Resolve(t.auditSeq, audit.Outcome{
+				Disposition: audit.DispInterrupted,
+				KernelNS:    time.Since(execStart).Nanoseconds(),
+				QueueWaitNS: queueWait.Nanoseconds(),
+				Processed:   done,
+			})
 			return &wire.ActiveReadResp{
 				RequestID:   req.RequestID,
 				Disposition: wire.ActiveInterrupted,
@@ -819,6 +945,14 @@ func (rt *Runtime) execute(t *task) (*wire.ActiveReadResp, error) {
 		ReqID: req.RequestID, Op: req.Op, Bytes: req.Length,
 		Phase: trace.PhaseKernel, Dur: elapsed, Predicted: t.predicted,
 		Note: note,
+	})
+	// Close the audit loop: the decision record now carries the measured
+	// kernel cost next to the prediction it was made on.
+	rt.cfg.Audit.Resolve(t.auditSeq, audit.Outcome{
+		Disposition: audit.DispDone,
+		KernelNS:    elapsed.Nanoseconds(),
+		QueueWaitNS: queueWait.Nanoseconds(),
+		Processed:   done,
 	})
 	return &wire.ActiveReadResp{
 		RequestID:   req.RequestID,
@@ -870,6 +1004,7 @@ func (rt *Runtime) HandleCancel(req *wire.CancelReq) (*wire.CancelResp, error) {
 					Kind: trace.KindCancel, TraceID: t.traceID,
 					ReqID: req.RequestID, Op: t.op, Note: "withdrawn from queue",
 				})
+				rt.cfg.Audit.Resolve(t.auditSeq, audit.Outcome{Disposition: audit.DispCancelled})
 				rt.respond(t, &wire.ActiveReadResp{
 					RequestID:   req.RequestID,
 					Disposition: wire.ActiveRejected,

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"dosas/internal/audit"
 	"dosas/internal/metrics"
 	"dosas/internal/telemetry"
 	"dosas/internal/trace"
@@ -46,6 +47,10 @@ type DataConfig struct {
 	// via SeriesFetchReq. Usually shared with (and owned by) the attached
 	// active runtime. Optional.
 	Telemetry *telemetry.Sampler
+	// Audit is the node's scheduling-decision ring, served to operators
+	// via DecisionLogReq. Usually shared with (and written by) the
+	// attached active runtime. Optional.
+	Audit *audit.Log
 }
 
 // DataServer is one storage node's I/O service: it stores the server-local
@@ -57,6 +62,7 @@ type DataServer struct {
 	node    string
 	trace   *trace.Recorder
 	tele    *telemetry.Sampler
+	audit   *audit.Log
 	started time.Time
 	active  ActiveHandler
 }
@@ -71,7 +77,8 @@ func NewDataServer(cfg DataConfig) (*DataServer, error) {
 	}
 	return &DataServer{
 		store: cfg.Store, reg: cfg.Metrics, node: cfg.Node,
-		trace: cfg.Trace, tele: cfg.Telemetry, started: time.Now(),
+		trace: cfg.Trace, tele: cfg.Telemetry, audit: cfg.Audit,
+		started: time.Now(),
 	}, nil
 }
 
@@ -127,6 +134,8 @@ func (ds *DataServer) Handle(msg wire.Message) (wire.Message, error) {
 		return ds.health()
 	case *wire.SeriesFetchReq:
 		return serveSeries(ds.node, ds.tele, req)
+	case *wire.DecisionLogReq:
+		return ds.decisionLog(req)
 	default:
 		return nil, fmt.Errorf("%w: data server got %v", ErrUnsupported, msg.Type())
 	}
@@ -182,6 +191,25 @@ func (ds *DataServer) traceFetch(req *wire.TraceFetchReq) (wire.Message, error) 
 		return nil, fmt.Errorf("%w: encoding trace: %v", ErrInvalid, err)
 	}
 	return &wire.TraceFetchResp{Node: ds.node, Events: js, Dropped: ds.trace.Dropped()}, nil
+}
+
+// decisionLog answers a DecisionLogReq with the node's retained
+// scheduling decisions. A node with no audit ring attached (plain data
+// server, static modes with recording disabled) answers with an empty
+// set rather than an error, so operators can sweep a mixed cluster.
+func (ds *DataServer) decisionLog(req *wire.DecisionLogReq) (wire.Message, error) {
+	records := ds.audit.Snapshot()
+	if req.TraceID != 0 {
+		records = audit.FilterTrace(records, req.TraceID)
+	}
+	if req.Limit > 0 {
+		records = audit.Last(records, int(req.Limit))
+	}
+	js, err := audit.EncodeRecords(records)
+	if err != nil {
+		return nil, fmt.Errorf("%w: encoding decision log: %v", ErrInvalid, err)
+	}
+	return &wire.DecisionLogResp{Node: ds.node, Records: js, Dropped: ds.audit.Dropped()}, nil
 }
 
 // PostWrite implements the pfs.PostWriter hook: a read or write stays

@@ -1,0 +1,55 @@
+// Package pprofserve starts the standard net/http/pprof debug endpoint
+// for the DOSAS daemons. Profiling is opt-in (the daemons' -pprof-addr
+// flag, empty by default) and meant for loopback use: the endpoint
+// exposes goroutine dumps, heap profiles and symbol tables, so binding
+// it to a public interface would leak internals of the storage node.
+package pprofserve
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+)
+
+// Serve binds addr (e.g. "127.0.0.1:6060"; empty port picks one) and
+// serves the net/http/pprof handlers on it from a background goroutine,
+// returning the bound address. An empty addr is a no-op returning "".
+// Non-loopback hosts are refused — profiling a remote node should go
+// through an SSH tunnel, not an open port.
+func Serve(addr string) (string, error) {
+	if addr == "" {
+		return "", nil
+	}
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "", fmt.Errorf("pprofserve: bad address %q: %w", addr, err)
+	}
+	if !loopback(host) {
+		return "", fmt.Errorf("pprofserve: refusing non-loopback address %q (profiles expose process internals; tunnel in instead)", addr)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("pprofserve: %w", err)
+	}
+	// A dedicated mux: the daemons must not inherit whatever else the
+	// process registered on http.DefaultServeMux.
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go http.Serve(ln, mux) //nolint:errcheck // dies with the process
+	return ln.Addr().String(), nil
+}
+
+// loopback reports whether host names the local machine only.
+func loopback(host string) bool {
+	if strings.EqualFold(host, "localhost") {
+		return true
+	}
+	ip := net.ParseIP(host)
+	return ip != nil && ip.IsLoopback()
+}

@@ -1,0 +1,43 @@
+package pprofserve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServeEmptyAddrIsNoop(t *testing.T) {
+	addr, err := Serve("")
+	if err != nil || addr != "" {
+		t.Fatalf("Serve(\"\") = %q, %v", addr, err)
+	}
+}
+
+func TestServeRefusesNonLoopback(t *testing.T) {
+	for _, addr := range []string{"0.0.0.0:0", "10.1.2.3:6060", "example.com:6060", "garbage"} {
+		if got, err := Serve(addr); err == nil {
+			t.Errorf("Serve(%q) = %q, want refusal", addr, got)
+		}
+	}
+}
+
+func TestServeServesPprofIndex(t *testing.T) {
+	addr, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index: status %d, body %.120s", resp.StatusCode, body)
+	}
+}

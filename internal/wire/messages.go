@@ -834,3 +834,55 @@ func (m *SeriesFetchResp) Own() { m.Series = detach(m.Series) }
 
 // encodedSizeHint sizes the frame buffer for the history payload.
 func (m *SeriesFetchResp) encodedSizeHint() int { return len(m.Series) + len(m.Node) + 24 }
+
+// DecisionLogReq asks a storage node for its scheduler's decision audit
+// log. Limit keeps only the trailing N records (0 means all retained);
+// TraceID restricts to decisions whose batch involved that trace (0 means
+// no filter). Filters compose: trace filter first, then the tail.
+type DecisionLogReq struct {
+	Limit   uint64
+	TraceID uint64
+}
+
+func (*DecisionLogReq) Type() MsgType { return MsgDecisionLogReq }
+
+func (m *DecisionLogReq) Encode(e *Encoder) {
+	e.PutU64(m.Limit)
+	e.PutU64(m.TraceID)
+}
+
+func (m *DecisionLogReq) Decode(d *Decoder) {
+	m.Limit = d.U64()
+	m.TraceID = d.U64()
+}
+
+// DecisionLogResp returns the matching records as a JSON array of
+// audit.Record — opaque here so the record schema can grow without
+// touching the wire format (the HealthResp.Checks pattern). Dropped is
+// how many records the node's ring has overwritten since boot: non-zero
+// means the log is a suffix of the node's true decision history.
+type DecisionLogResp struct {
+	Node    string
+	Records []byte // JSON-encoded []audit.Record
+	Dropped uint64
+}
+
+func (*DecisionLogResp) Type() MsgType { return MsgDecisionLogResp }
+
+func (m *DecisionLogResp) Encode(e *Encoder) {
+	e.PutString(m.Node)
+	e.PutBytes(m.Records)
+	e.PutU64(m.Dropped)
+}
+
+func (m *DecisionLogResp) Decode(d *Decoder) {
+	m.Node = d.String()
+	m.Records = d.Bytes()
+	m.Dropped = d.U64()
+}
+
+// Own implements Owner: Records may alias a pooled frame buffer.
+func (m *DecisionLogResp) Own() { m.Records = detach(m.Records) }
+
+// encodedSizeHint sizes the frame buffer for the log payload.
+func (m *DecisionLogResp) encodedSizeHint() int { return len(m.Records) + len(m.Node) + 24 }

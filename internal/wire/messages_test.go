@@ -6,6 +6,7 @@ import (
 	"io"
 	"reflect"
 	"testing"
+	"testing/quick"
 )
 
 // roundTrip writes m through the framing layer and reads it back.
@@ -72,6 +73,9 @@ func TestAllMessagesRoundTrip(t *testing.T) {
 		&SeriesFetchReq{WindowNano: 2e9, Names: []string{"queue.depth", "bounce.rate"}},
 		&SeriesFetchResp{Node: "data-0", TickNano: 1e8,
 			Series: []byte(`[{"name":"queue.depth","points":[{"t":1,"v":2}]}]`)},
+		&DecisionLogReq{Limit: 32, TraceID: 0xCAFE0003},
+		&DecisionLogResp{Node: "data-0", Dropped: 6,
+			Records: []byte(`[{"seq":1,"solver":"maxgain","trigger":"admit"}]`)},
 	}
 	seen := make(map[MsgType]bool)
 	for _, m := range msgs {
@@ -207,5 +211,24 @@ func TestMsgTypeString(t *testing.T) {
 	}
 	if MsgInvalid.Valid() || !MsgPing.Valid() || msgSentinel.Valid() {
 		t.Error("Valid() boundaries wrong")
+	}
+}
+
+// TestDecisionLogCodecQuick property-checks the decision-log codecs over
+// arbitrary field values, including Records payloads that are not valid
+// JSON — the codec is payload-agnostic by design.
+func TestDecisionLogCodecQuick(t *testing.T) {
+	f := func(limit, trace, dropped uint64, node string, records []byte) bool {
+		req := roundTrip(t, &DecisionLogReq{Limit: limit, TraceID: trace}).(*DecisionLogReq)
+		if req.Limit != limit || req.TraceID != trace {
+			return false
+		}
+		in := &DecisionLogResp{Node: node, Records: records, Dropped: dropped}
+		resp := roundTrip(t, in).(*DecisionLogResp)
+		return resp.Node == node && resp.Dropped == dropped &&
+			bytes.Equal(resp.Records, records)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -49,6 +49,9 @@ func TestReadMessageSurvivesCorruptedFrames(t *testing.T) {
 			&SeriesFetchReq{WindowNano: rng.Int63(), Names: []string{"queue.depth"}},
 			&SeriesFetchResp{Node: "data-0", TickNano: rng.Int63(),
 				Series: []byte(`[{"name":"queue.depth","points":[{"t":1,"v":2}]}]`)},
+			&DecisionLogReq{Limit: rng.Uint64(), TraceID: rng.Uint64()},
+			&DecisionLogResp{Node: "data-0", Dropped: rng.Uint64(),
+				Records: []byte(`[{"seq":1,"solver":"maxgain","trigger":"admit"}]`)},
 		}
 		for _, msg := range msgs {
 			var buf bytes.Buffer

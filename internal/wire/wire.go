@@ -85,6 +85,11 @@ const (
 	MsgSeriesFetchReq
 	MsgSeriesFetchResp
 
+	// Decision audit: fetch the scheduler's decision log for offline
+	// explanation and counterfactual replay.
+	MsgDecisionLogReq
+	MsgDecisionLogResp
+
 	msgSentinel // keep last
 )
 
@@ -129,6 +134,8 @@ var msgNames = map[MsgType]string{
 	MsgHealthResp:      "health.resp",
 	MsgSeriesFetchReq:  "seriesfetch.req",
 	MsgSeriesFetchResp: "seriesfetch.resp",
+	MsgDecisionLogReq:  "decisionlog.req",
+	MsgDecisionLogResp: "decisionlog.resp",
 }
 
 // String returns a human-readable name for the message type.
@@ -399,6 +406,10 @@ func New(t MsgType) Message {
 		return new(SeriesFetchReq)
 	case MsgSeriesFetchResp:
 		return new(SeriesFetchResp)
+	case MsgDecisionLogReq:
+		return new(DecisionLogReq)
+	case MsgDecisionLogResp:
+		return new(DecisionLogResp)
 	default:
 		return nil
 	}
