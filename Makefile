@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-observability replay-determinism check bench bench-telemetry bench-paper clean
+.PHONY: all build test vet race race-observability race-transport replay-determinism check bench bench-telemetry bench-mux bench-paper clean
 
 all: check
 
@@ -27,6 +27,13 @@ race:
 race-observability:
 	$(GO) test -race ./internal/telemetry/ ./internal/trace/ ./internal/metrics/ ./internal/wire/ ./internal/audit/
 
+# Focused race gate for the transport stack: the mux writer's write
+# token, the per-connection demux read loops, and the pool's shared-
+# connection management are the RPC layer's concurrency hot spots. Runs
+# the framing fuzz (testing/quick) suites under -race as well.
+race-transport:
+	$(GO) test -race ./internal/wire/ ./internal/transport/ ./internal/pfs/
+
 # Counterfactual replay must be byte-deterministic: the same decision log
 # and policy set produce the same report JSON on every run (no map
 # iteration, no wall clock in the scoring path). Replays the committed
@@ -37,7 +44,7 @@ replay-determinism:
 	cmp /tmp/dosas-replay-a.json /tmp/dosas-replay-b.json
 	@echo "replay-determinism: OK (byte-identical reports)"
 
-check: vet race-observability replay-determinism race
+check: vet race-observability race-transport replay-determinism race
 
 # Data-path microbenchmarks (fixed iteration count so runs compare
 # across commits) plus the window-vs-serial matrix (writes BENCH_pr2.json).
@@ -50,6 +57,12 @@ bench:
 # delta between Off and On.
 bench-telemetry:
 	$(GO) test . -run '^$$' -bench ReadPathTelemetry -benchtime 50x
+
+# Control-message latency under bulk load, multiplexed vs ordered
+# framing, plus the bulk-throughput no-regression check (writes
+# BENCH_mux.json).
+bench-mux:
+	$(GO) run ./cmd/dosas-bench -exp mux
 
 # Regenerate the paper's tables/figures (simulated experiments) and the
 # live per-scheme decision metrics (BENCH_live.json).

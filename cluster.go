@@ -129,6 +129,10 @@ type Options struct {
 	// top. Zero takes telemetry.DefaultInterval (100 ms); negative
 	// disables node telemetry entirely.
 	TelemetryTick time.Duration
+	// DisableMux makes every server decline the connection-multiplexing
+	// handshake, pinning all RPC to the ordered per-exchange mode
+	// (emulates a pre-mux deployment; used by A/B benchmarks).
+	DisableMux bool
 }
 
 // Cluster is a running DOSAS deployment: one metadata server plus
@@ -221,6 +225,7 @@ func StartCluster(o Options) (*Cluster, error) {
 		return nil, err
 	}
 	ms := pfs.NewServer(ml, meta)
+	ms.SetMux(!o.DisableMux)
 	ms.Start()
 	c.servers = append(c.servers, ms)
 	c.metaAddr = ms.Addr()
@@ -281,6 +286,7 @@ func StartCluster(o Options) (*Cluster, error) {
 			return nil, err
 		}
 		srv := pfs.NewServer(dl, ds)
+		srv.SetMux(!o.DisableMux)
 		srv.Start()
 		c.servers = append(c.servers, srv)
 		c.dataAddrs = append(c.dataAddrs, srv.Addr())
@@ -407,6 +413,9 @@ type ClientOptions struct {
 	SlowDir string
 	// FlightCapacity bounds the slow-request journal (default 16).
 	FlightCapacity int
+	// DisableMux pins the client's pool to ordered per-exchange
+	// connections instead of negotiating multiplexing with the servers.
+	DisableMux bool
 }
 
 // Connect dials an externally managed cluster over TCP.
@@ -417,6 +426,7 @@ func Connect(o ClientOptions) (*FS, error) {
 func connect(net transport.Network, metaAddr string, dataAddrs []string, o ClientOptions) (*FS, error) {
 	pc, err := pfs.NewClient(pfs.ClientConfig{
 		Net: net, MetaAddr: metaAddr, DataAddrs: dataAddrs, WindowDepth: o.WindowDepth, TransferChunk: o.TransferChunk,
+		DisableMux: o.DisableMux,
 	})
 	if err != nil {
 		return nil, err

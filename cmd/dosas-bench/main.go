@@ -27,6 +27,7 @@
 //	ce-period live ablation: Contention Estimator responsiveness
 //	readpath  pipelined read path, window vs serial (writes BENCH_pr2.json)
 //	whatif    counterfactual replay of a live decision log (writes BENCH_whatif.json)
+//	mux       control-message latency under bulk load, mux vs ordered (writes BENCH_mux.json)
 //	all       everything simulated (excludes the live experiments)
 //
 // Simulated experiments run the calibrated discrete-event model at full
@@ -103,6 +104,7 @@ func main() {
 		"ce-period": cePeriod,
 		"readpath":  readPath,
 		"whatif":    whatif,
+		"mux":       muxExp,
 	}
 	order := []string{"table3", "fig2", "fig5", "fig6", "table4",
 		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12",

@@ -36,6 +36,7 @@ func main() {
 	journal := flag.String("journal", "", "write-ahead journal path (empty = volatile namespace)")
 	teleTick := flag.Duration("telemetry-tick", 0, "telemetry sampling interval (0 = 100ms default, negative = disabled)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060; empty = disabled)")
+	noMux := flag.Bool("no-mux", false, "decline connection multiplexing; serve ordered per-exchange RPC only")
 	flag.Parse()
 
 	if addr, err := pprofserve.Serve(*pprofAddr); err != nil {
@@ -64,6 +65,7 @@ func main() {
 		log.Fatal(err)
 	}
 	srv := pfs.NewServer(l, meta)
+	srv.SetMux(!*noMux)
 	log.Printf("serving %d-server namespace on %s (journal=%q)", *nData, srv.Addr(), *journal)
 
 	go func() {

@@ -45,6 +45,7 @@ func main() {
 	node := flag.String("node", "", "node name stamped on stats and trace exports (default data@ADDR)")
 	teleTick := flag.Duration("telemetry-tick", 0, "telemetry sampling interval (0 = 100ms default, negative = disabled)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060; empty = disabled)")
+	noMux := flag.Bool("no-mux", false, "decline connection multiplexing; serve ordered per-exchange RPC only")
 	flag.Parse()
 
 	if addr, err := pprofserve.Serve(*pprofAddr); err != nil {
@@ -128,6 +129,7 @@ func main() {
 		log.Fatal(err)
 	}
 	srv := pfs.NewServer(l, ds)
+	srv.SetMux(!*noMux)
 	log.Printf("serving stripes on %s (policy=%s cores=%d reserved=%d bw=%.0fMB/s pace=%v store=%q)",
 		srv.Addr(), mode, *cores, *reserved, *bw/1e6, *pace, *storeDir)
 

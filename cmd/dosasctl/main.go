@@ -53,6 +53,19 @@ import (
 	"dosas/internal/wire"
 )
 
+// ctlNoMux mirrors the -no-mux flag for the subcommands that build their
+// own raw pools (stats, trace, probe) rather than a full client.
+var ctlNoMux bool
+
+// newCtlPool builds a TCP connection pool honouring -no-mux.
+func newCtlPool() *pfs.Pool {
+	pool := pfs.NewPool(transport.TCP{})
+	if ctlNoMux {
+		pool.DisableMux()
+	}
+	return pool
+}
+
 func usageExit() {
 	fmt.Fprintln(os.Stderr, "usage: dosasctl -meta ADDR -data ADDR[,ADDR...] [-scheme dosas|as|ts] COMMAND ...")
 	fmt.Fprintln(os.Stderr, "commands: ls, stat, put, get, rm, readex, fsck, repair, ops, calibrate, probe, stats, trace, health, top, slow, explain, whatif, audit")
@@ -68,7 +81,9 @@ func main() {
 	schemeName := flag.String("scheme", "dosas", "client scheme for readex: dosas, as, or ts")
 	slowThreshold := flag.Duration("slow-threshold", 0, "flag readex calls slower than this and capture a flight bundle (0 = off)")
 	slowDir := flag.String("slow-dir", "", "directory to persist captured flight bundles (see the slow command)")
+	noMux := flag.Bool("no-mux", false, "use ordered per-exchange connections instead of negotiating multiplexing")
 	flag.Parse()
+	ctlNoMux = *noMux
 	args := flag.Args()
 	if len(args) == 0 {
 		usageExit()
@@ -132,7 +147,7 @@ func main() {
 			if *data == "" || len(addrs) == 0 {
 				log.Fatal("need -data with at least one storage server address (or -log FILE)")
 			}
-			fs, err := dosas.Connect(dosas.ClientOptions{MetaAddr: *meta, DataAddrs: addrs, Scheme: scheme})
+			fs, err := dosas.Connect(dosas.ClientOptions{MetaAddr: *meta, DataAddrs: addrs, Scheme: scheme, DisableMux: ctlNoMux})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -151,6 +166,7 @@ func main() {
 		Scheme:        scheme,
 		SlowThreshold: *slowThreshold,
 		SlowDir:       *slowDir,
+		DisableMux:    ctlNoMux,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -387,7 +403,7 @@ func printReport(rep *dosas.VerifyReport) {
 // statsAll dumps every node's metric snapshot, human-readable or as one
 // JSON object keyed by node name.
 func statsAll(meta string, dataAddrs []string, asJSON bool) {
-	pool := pfs.NewPool(transport.TCP{})
+	pool := newCtlPool()
 	defer pool.Close()
 	type nodeStats struct {
 		Addr  string          `json:"addr"`
@@ -469,7 +485,7 @@ func printSnapshot(s dosas.StatsSnapshot) {
 // prints the stitched cross-node timeline. The ID is tried first as a
 // wire-level request id, then as a distributed trace id.
 func traceOne(dataAddrs []string, id uint64) {
-	pool := pfs.NewPool(transport.TCP{})
+	pool := newCtlPool()
 	defer pool.Close()
 	fetch := func(req *wire.TraceFetchReq) []dosas.TraceEvent {
 		var sets [][]dosas.TraceEvent
@@ -598,7 +614,7 @@ func sparkline(s dosas.Series, width int) string {
 
 // probeAll dumps every storage node's estimator snapshot.
 func probeAll(meta string, dataAddrs []string) {
-	pool := pfs.NewPool(transport.TCP{})
+	pool := newCtlPool()
 	defer pool.Close()
 	if _, err := pool.Call(meta, &wire.Ping{Seq: 1}); err != nil {
 		log.Printf("meta %s: unreachable: %v", meta, err)

@@ -39,6 +39,7 @@ func main() {
 	pace := flag.Bool("pace", false, "pace kernels at calibrated per-core rates")
 	teleTick := flag.Duration("telemetry-tick", 0, "telemetry sampling interval (0 = 100ms default, negative = disabled)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060; empty = disabled)")
+	noMux := flag.Bool("no-mux", false, "decline connection multiplexing; serve ordered per-exchange RPC only")
 	flag.Parse()
 
 	if addr, err := pprofserve.Serve(*pprofAddr); err != nil {
@@ -69,6 +70,7 @@ func main() {
 		Pace:          *pace,
 		DataDir:       *dataDir,
 		TelemetryTick: *teleTick,
+		DisableMux:    *noMux,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -28,6 +28,19 @@ func (c *Client) registerProbes() {
 				c.reg.Counter("asc.migrated").Value())
 		},
 	))
+	// Connection-pool health: how multiplexed the transport is (streams in
+	// flight, priority-lane queue depth) and how often it has to dial.
+	pool := c.cfg.FS.Pool().Metrics()
+	s.Register("pool.mux.streams", func() float64 {
+		return float64(pool.Gauge("pool.mux.streams").Value())
+	})
+	s.Register("pool.mux.queue", func() float64 {
+		return float64(pool.Gauge("pool.mux.queue.control").Value() +
+			pool.Gauge("pool.mux.queue.bulk").Value())
+	})
+	s.Register("pool.dial.rate", telemetry.RateProbe(func() float64 {
+		return float64(pool.Counter("pool.dials").Value())
+	}, s.Interval()))
 }
 
 // Telemetry exposes the client's time-series sampler (nil when disabled).

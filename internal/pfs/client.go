@@ -28,6 +28,10 @@ type ClientConfig struct {
 	// TransferChunk bounds a single Read/Write RPC in bytes. 0 takes the
 	// 4 MiB default; values are clamped under the wire frame limit.
 	TransferChunk int
+	// DisableMux pins the pool to the ordered one-exchange-per-connection
+	// mode instead of negotiating multiplexed connections (debugging and
+	// A/B benchmarks).
+	DisableMux bool
 }
 
 // Client is the file system client: it resolves names at the metadata
@@ -48,7 +52,11 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if len(cfg.DataAddrs) == 0 {
 		return nil, fmt.Errorf("%w: client needs data server addresses", ErrInvalid)
 	}
-	return &Client{cfg: cfg, pool: NewPool(cfg.Net)}, nil
+	pool := NewPool(cfg.Net)
+	if cfg.DisableMux {
+		pool.DisableMux()
+	}
+	return &Client{cfg: cfg, pool: pool}, nil
 }
 
 // Close releases pooled connections.

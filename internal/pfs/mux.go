@@ -1,0 +1,332 @@
+package pfs
+
+// Client side of the mux upgrade (see internal/wire/mux.go for the wire
+// format and Server.serveMux for the peer). Per mux-capable address the
+// Pool keeps a small fixed set of shared connections; every Call and
+// Stream to that address multiplexes onto one of them under a unique
+// stream ID, so a 4 MB stripe transfer no longer blocks a Ping — the
+// writer's control lane preempts bulk segments on the wire.
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"dosas/internal/transport"
+	"dosas/internal/wire"
+)
+
+// MuxConnsPerAddr is how many shared mux connections the pool keeps per
+// mux-capable peer. Two is enough to keep one saturated with bulk while
+// the other stays hot for a dial-free fallback; concurrency comes from
+// multiplexing, not sockets.
+const MuxConnsPerAddr = 2
+
+// errMuxDemoted reports that the peer declined (or flunked) the mux
+// handshake after the pool had assumed it was mux-capable; the caller
+// re-resolves the address, which now routes to ordered mode.
+var errMuxDemoted = errors.New("pfs: peer demoted to ordered mode")
+
+// muxFor resolves addr to its mux peer, or nil when the address must use
+// ordered mode (mux disabled, or the peer previously declined).
+func (p *Pool) muxFor(addr string) (*muxPeer, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, transport.ErrClosed
+	}
+	if p.noMux || p.plain[addr] {
+		return nil, nil
+	}
+	mp := p.peers[addr]
+	if mp == nil {
+		mp = &muxPeer{p: p, addr: addr}
+		p.peers[addr] = mp
+	}
+	return mp, nil
+}
+
+// demote records that addr does not speak mux. reusable, when non-nil, is
+// the handshake connection the peer left in ordered mode — it goes to the
+// idle pool rather than being wasted. Demotion is sticky for the pool's
+// lifetime: a peer upgraded in place starts being multiplexed after the
+// client process (or its Pool) restarts.
+func (p *Pool) demote(addr string, reusable *poolConn) {
+	p.mu.Lock()
+	p.plain[addr] = true
+	delete(p.peers, addr)
+	p.mu.Unlock()
+	p.reg.Counter("pool.mux.fallbacks").Inc()
+	if reusable != nil {
+		p.put(addr, reusable)
+	}
+}
+
+// handshake dials addr and offers the mux upgrade. Exactly one of the
+// returns is non-nil on success: a *muxConn when the peer accepted, a
+// reusable ordered *poolConn when it declined with a HelloResp, and
+// neither when it dropped the connection on the unknown frame type (a
+// pre-handshake binary) — the caller demotes the address either way. A
+// dial failure is a real error: the peer is down, not old.
+func (p *Pool) handshake(addr string) (*muxConn, *poolConn, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, nil, transport.ErrClosed
+	}
+	p.mu.Unlock()
+	c, err := p.Net.Dial(addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	p.reg.Counter("pool.dials").Inc()
+	hello := &wire.HelloReq{MaxVersion: wire.MuxVersion, MaxSegment: wire.DefaultMuxSegment}
+	if err := wire.WriteMessage(c, hello); err != nil {
+		c.Close()
+		return nil, nil, err
+	}
+	resp, err := wire.ReadMessage(c)
+	if err != nil {
+		// Servers that predate the handshake fail to decode the unknown
+		// type and hang up; anything short of a HelloResp means ordered.
+		c.Close()
+		return nil, nil, nil
+	}
+	hr, ok := resp.(*wire.HelloResp)
+	if !ok || hr.Version < wire.MuxVersion {
+		return nil, &poolConn{c: c, fr: wire.NewFrameReader(c)}, nil
+	}
+	p.reg.Counter("pool.mux.handshakes").Inc()
+	return newMuxConn(p, c, clampSegment(hr.MaxSegment)), nil, nil
+}
+
+// muxPeer manages the shared connections to one mux-capable address.
+type muxPeer struct {
+	p    *Pool
+	addr string
+	rr   uint32 // round-robin cursor over conns
+
+	mu    sync.Mutex
+	conns [MuxConnsPerAddr]*muxConn
+}
+
+// conn returns a live shared connection for the peer, dialing (and
+// handshaking) lazily. fresh reports that the connection was established
+// by this very call — a transport failure on it is real, not staleness.
+func (mp *muxPeer) conn() (mc *muxConn, fresh bool, err error) {
+	slot := int(atomic.AddUint32(&mp.rr, 1)) % MuxConnsPerAddr
+	mp.mu.Lock()
+	defer mp.mu.Unlock()
+	if mc = mp.conns[slot]; mc != nil && !mc.dead() {
+		return mc, false, nil
+	}
+	mc, plain, err := mp.p.handshake(mp.addr)
+	if err != nil {
+		return nil, false, err
+	}
+	if mc == nil {
+		mp.p.demote(mp.addr, plain)
+		return nil, false, errMuxDemoted
+	}
+	mp.conns[slot] = mc
+	return mc, true, nil
+}
+
+// call runs one request/response exchange over a shared connection,
+// retrying once on a fresh connection when an inherited one turns out to
+// be stale (exactly the ordered pool's stale-idle-conn semantics).
+func (mp *muxPeer) call(req wire.Message) (wire.Message, error) {
+	p := mp.p
+	for attempt := 0; ; attempt++ {
+		mc, fresh, err := mp.conn()
+		if err != nil {
+			return nil, err
+		}
+		var res muxResult
+		_, ch, err := mc.send(req)
+		if err == nil {
+			res = <-ch
+			err = res.err
+		}
+		if err != nil {
+			if !fresh && attempt == 0 {
+				p.reg.Counter("pool.stale.retries").Inc()
+				continue
+			}
+			return nil, fmt.Errorf("pfs: call %s %v: %w", mp.addr, req.Type(), err)
+		}
+		p.reg.Counter("pool.mux.calls").Inc()
+		if em, ok := res.msg.(*wire.ErrorMsg); ok {
+			re := &RemoteError{Code: em.Code, Op: em.Op, Detail: em.Detail}
+			wire.PutBuf(res.buf)
+			return nil, re
+		}
+		wire.Own(res.msg) // detach before the pooled frame buffer is recycled
+		wire.PutBuf(res.buf)
+		return res.msg, nil
+	}
+}
+
+// closeAll tears down the peer's shared connections (Pool.Close).
+func (mp *muxPeer) closeAll() {
+	mp.mu.Lock()
+	defer mp.mu.Unlock()
+	for i, mc := range mp.conns {
+		if mc != nil {
+			mc.c.Close() // read loop notices and fails in-flight calls
+			mp.conns[i] = nil
+		}
+	}
+}
+
+// muxResult is a completed exchange delivered to the caller's channel.
+// buf is the pooled buffer msg may alias; the receiver recycles it.
+type muxResult struct {
+	msg wire.Message
+	buf []byte
+	err error
+}
+
+// muxConn is one shared multiplexed connection: a priority-aware writer,
+// a demux read loop, and the table of in-flight calls keyed by stream ID.
+// Exactly one of {read loop, write-failure callback, forget, fail} removes
+// a call from the table and owns delivering its result.
+type muxConn struct {
+	p  *Pool
+	c  net.Conn
+	mw *wire.MuxWriter
+
+	mu    sync.Mutex
+	calls map[uint32]chan muxResult
+	next  uint32
+	err   error
+}
+
+func newMuxConn(p *Pool, c net.Conn, segment int) *muxConn {
+	mc := &muxConn{p: p, c: c, calls: make(map[uint32]chan muxResult)}
+	mw := wire.NewMuxWriter(c, segment)
+	ctrl := p.reg.Gauge("pool.mux.queue.control")
+	bulk := p.reg.Gauge("pool.mux.queue.bulk")
+	mw.DepthHook = func(class uint8, delta int) {
+		if class == wire.ClassControl {
+			ctrl.Add(int64(delta))
+		} else {
+			bulk.Add(int64(delta))
+		}
+	}
+	mw.OnError = func(error) {
+		// A dead writer means a dead conn: closing it unblocks the read
+		// loop, which fails every in-flight call.
+		c.Close()
+	}
+	mc.mw = mw
+	go mc.readLoop()
+	return mc
+}
+
+func (mc *muxConn) dead() bool {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return mc.err != nil
+}
+
+// send registers a new stream and enqueues req on it. The response (or
+// the transport failure) is delivered exactly once on the returned
+// channel, which is buffered so no deliverer ever blocks.
+func (mc *muxConn) send(req wire.Message) (uint32, chan muxResult, error) {
+	ch := make(chan muxResult, 1)
+	mc.mu.Lock()
+	if mc.err != nil {
+		err := mc.err
+		mc.mu.Unlock()
+		return 0, nil, err
+	}
+	mc.next++
+	id := mc.next
+	mc.calls[id] = ch
+	mc.mu.Unlock()
+	mc.p.reg.Gauge("pool.mux.streams").Add(1)
+	mc.mw.Enqueue(req, id, func(err error) { //nolint:errcheck // failure delivered via ch
+		if err != nil {
+			mc.resolve(id, muxResult{err: err})
+		}
+	})
+	return id, ch, nil
+}
+
+// resolve removes stream id from the table and, if it was still there,
+// delivers res on its channel. Losing the race (someone else resolved or
+// forgot the stream) is fine — exactly one delivery happens.
+func (mc *muxConn) resolve(id uint32, res muxResult) {
+	mc.mu.Lock()
+	ch, ok := mc.calls[id]
+	if ok {
+		delete(mc.calls, id)
+	}
+	mc.mu.Unlock()
+	if !ok {
+		return
+	}
+	mc.p.reg.Gauge("pool.mux.streams").Add(-1)
+	ch <- res
+}
+
+// forget abandons stream id (Stream.Release with responses still in
+// flight): if the response has not arrived, the read loop will drop it.
+func (mc *muxConn) forget(id uint32) {
+	mc.mu.Lock()
+	_, ok := mc.calls[id]
+	if ok {
+		delete(mc.calls, id)
+	}
+	mc.mu.Unlock()
+	if ok {
+		mc.p.reg.Gauge("pool.mux.streams").Add(-1)
+	}
+}
+
+// readLoop demultiplexes responses to their callers until the connection
+// dies, then fails everything still in flight.
+func (mc *muxConn) readLoop() {
+	mr := wire.NewMuxReader(mc.c)
+	defer mr.Close()
+	for {
+		f, err := mr.Read()
+		if err != nil {
+			mc.fail(err)
+			return
+		}
+		mc.mu.Lock()
+		ch, ok := mc.calls[f.Stream]
+		if ok {
+			delete(mc.calls, f.Stream)
+		}
+		mc.mu.Unlock()
+		if !ok {
+			wire.PutBuf(f.Buf) // abandoned stream (Released before Recv)
+			continue
+		}
+		mc.p.reg.Gauge("pool.mux.streams").Add(-1)
+		ch <- muxResult{msg: f.Msg, buf: f.Buf}
+	}
+}
+
+// fail marks the connection dead and delivers err to every in-flight
+// call. Runs once, from the read loop.
+func (mc *muxConn) fail(err error) {
+	mc.mu.Lock()
+	if mc.err == nil {
+		mc.err = err
+	}
+	calls := mc.calls
+	mc.calls = make(map[uint32]chan muxResult)
+	mc.mu.Unlock()
+	mc.c.Close()
+	for _, ch := range calls {
+		mc.p.reg.Gauge("pool.mux.streams").Add(-1)
+		ch <- muxResult{err: err}
+	}
+	mc.mw.Close() //nolint:errcheck // conn already dead
+}

@@ -8,10 +8,13 @@ package pfs
 import (
 	"errors"
 	"fmt"
+	"os"
+	"time"
 
 	"net"
 	"sync"
 
+	"dosas/internal/metrics"
 	"dosas/internal/transport"
 	"dosas/internal/wire"
 )
@@ -47,17 +50,33 @@ func IsExists(err error) bool {
 	return errors.As(err, &re) && re.Code == wire.StatusExists
 }
 
-// Pool is a client-side connection pool. Each in-flight Call or Stream
-// owns one connection (requests and responses are strictly paired per
-// connection, as in HTTP/1.1 — including pipelined streams, where the
-// server answers in request order), so concurrency is bounded only by how
-// many connections the peer accepts.
+// Pool is the client-side connection manager. Against mux-capable peers
+// (negotiated per address by a HelloReq/HelloResp handshake, see mux.go)
+// all calls and streams share a small fixed set of multiplexed
+// connections per peer, responses complete out of order, and control
+// messages preempt in-flight bulk transfers on the wire. Against peers
+// that decline — or predate — the handshake, the pool falls back to the
+// classic mode: one strictly ordered exchange per connection, idle
+// connections cached per address.
 type Pool struct {
 	Net transport.Network
 
 	mu     sync.Mutex
-	idle   map[string][]*poolConn
+	idle   map[string][]idleConn
+	peers  map[string]*muxPeer
+	plain  map[string]bool // peers that declined or failed the mux handshake
 	closed bool
+	noMux  bool
+
+	reg        *metrics.Registry
+	idleTTL    time.Duration // ordered conns idle longer are dropped
+	probeAfter time.Duration // ordered conns idle longer are liveness-probed
+}
+
+// idleConn is an ordered-mode connection cached for reuse.
+type idleConn struct {
+	pc    *poolConn
+	since time.Time
 }
 
 // poolConn pairs a connection with its frame reader, so the reader's
@@ -72,22 +91,90 @@ func (pc *poolConn) close() {
 	pc.fr.Close()
 }
 
-// NewPool returns a pool dialing through n.
-func NewPool(n transport.Network) *Pool {
-	return &Pool{Net: n, idle: make(map[string][]*poolConn)}
+// alive cheaply checks whether an idle ordered connection is still open:
+// a 1 ms read must time out with nothing delivered. Any byte (a stale
+// frame?) or any other outcome (EOF, reset) means the conn is unusable.
+func (pc *poolConn) alive() bool {
+	if err := pc.c.SetReadDeadline(time.Now().Add(time.Millisecond)); err != nil {
+		return false
+	}
+	var b [1]byte
+	n, err := pc.c.Read(b[:])
+	pc.c.SetReadDeadline(time.Time{}) //nolint:errcheck // best effort reset
+	return n == 0 && errors.Is(err, os.ErrDeadlineExceeded)
 }
 
-// maxIdlePerAddr bounds how many spare connections are kept per peer.
+// Idle-reaping defaults. A connection idle past defaultIdleTTL is assumed
+// dead (servers restart, NATs expire); one idle past defaultProbeAfter is
+// probed before reuse so the first call after a server restart does not
+// eat a failed round trip plus redial.
+const (
+	defaultIdleTTL    = 60 * time.Second
+	defaultProbeAfter = 1 * time.Second
+)
+
+// NewPool returns a pool dialing through n.
+func NewPool(n transport.Network) *Pool {
+	return &Pool{
+		Net:        n,
+		idle:       make(map[string][]idleConn),
+		peers:      make(map[string]*muxPeer),
+		plain:      make(map[string]bool),
+		reg:        metrics.NewRegistry(),
+		idleTTL:    defaultIdleTTL,
+		probeAfter: defaultProbeAfter,
+	}
+}
+
+// DisableMux pins the pool to ordered mode: no handshake is attempted and
+// every exchange owns its connection. Call before the first use.
+func (p *Pool) DisableMux() {
+	p.mu.Lock()
+	p.noMux = true
+	p.mu.Unlock()
+}
+
+// Metrics exposes the pool's counters (pool.dials, pool.idle.reuse,
+// pool.stale.retries, pool.mux.* — see DESIGN.md §10).
+func (p *Pool) Metrics() *metrics.Registry { return p.reg }
+
+// SetIdleTTL overrides the idle-connection reaping knobs (tests).
+func (p *Pool) SetIdleTTL(ttl, probeAfter time.Duration) {
+	p.mu.Lock()
+	p.idleTTL, p.probeAfter = ttl, probeAfter
+	p.mu.Unlock()
+}
+
+// maxIdlePerAddr bounds how many spare ordered connections are kept per
+// peer.
 const maxIdlePerAddr = 8
 
 // Call sends req to addr and waits for the response. A wire.ErrorMsg
-// response is converted into a *RemoteError. When a pooled connection
-// turns out to be stale (its server restarted since it was idled), the
-// call transparently retries once on a fresh dial; a failure on a fresh
-// connection is reported as-is. The response is detached (wire.Own) from
-// the connection's decode buffer, so callers may retain it freely; bulk
-// transfers that want to avoid that copy use Stream instead.
+// response is converted into a *RemoteError. When a shared mux connection
+// or a pooled ordered connection turns out to be stale (its server
+// restarted since it was established), the call transparently retries
+// once on a fresh dial; a failure on a fresh connection is reported
+// as-is. The response is detached (wire.Own) from the connection's decode
+// buffer, so callers may retain it freely; bulk transfers that want to
+// avoid that copy use Stream instead.
 func (p *Pool) Call(addr string, req wire.Message) (wire.Message, error) {
+	for {
+		mp, err := p.muxFor(addr)
+		if err != nil {
+			return nil, err
+		}
+		if mp == nil {
+			return p.callOrdered(addr, req)
+		}
+		resp, err := mp.call(req)
+		if errors.Is(err, errMuxDemoted) {
+			continue // peer fell back to ordered mode mid-flight
+		}
+		return resp, err
+	}
+}
+
+func (p *Pool) callOrdered(addr string, req wire.Message) (wire.Message, error) {
 	for {
 		pc, pooled, err := p.get(addr)
 		if err != nil {
@@ -97,6 +184,7 @@ func (p *Pool) Call(addr string, req wire.Message) (wire.Message, error) {
 		if err != nil {
 			pc.close()
 			if pooled {
+				p.reg.Counter("pool.stale.retries").Inc()
 				continue // stale idle connection: retry on a fresh dial
 			}
 			return nil, fmt.Errorf("pfs: call %s %v: %w", addr, req.Type(), err)
@@ -118,30 +206,45 @@ func (p *Pool) roundTrip(pc *poolConn, req wire.Message) (wire.Message, error) {
 }
 
 func (p *Pool) get(addr string) (*poolConn, bool, error) {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		return nil, false, transport.ErrClosed
-	}
-	conns := p.idle[addr]
-	if n := len(conns); n > 0 {
-		pc := conns[n-1]
+	for {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return nil, false, transport.ErrClosed
+		}
+		ttl, probeAfter := p.idleTTL, p.probeAfter
+		conns := p.idle[addr]
+		n := len(conns)
+		if n == 0 {
+			p.mu.Unlock()
+			break
+		}
+		ic := conns[n-1]
 		p.idle[addr] = conns[:n-1]
 		p.mu.Unlock()
-		return pc, true, nil
+		// Reap outside the lock: anything idle past the TTL is presumed
+		// dead, anything idle a while is probed before reuse.
+		age := time.Since(ic.since)
+		if age > ttl || (age > probeAfter && !ic.pc.alive()) {
+			p.reg.Counter("pool.idle.expired").Inc()
+			ic.pc.close()
+			continue
+		}
+		p.reg.Counter("pool.idle.reuse").Inc()
+		return ic.pc, true, nil
 	}
-	p.mu.Unlock()
 	c, err := p.Net.Dial(addr)
 	if err != nil {
 		return nil, false, err
 	}
+	p.reg.Counter("pool.dials").Inc()
 	return &poolConn{c: c, fr: wire.NewFrameReader(c)}, false, nil
 }
 
 func (p *Pool) put(addr string, pc *poolConn) {
 	p.mu.Lock()
 	if !p.closed && len(p.idle[addr]) < maxIdlePerAddr {
-		p.idle[addr] = append(p.idle[addr], pc)
+		p.idle[addr] = append(p.idle[addr], idleConn{pc: pc, since: time.Now()})
 		p.mu.Unlock()
 		return
 	}
@@ -149,50 +252,101 @@ func (p *Pool) put(addr string, pc *poolConn) {
 	pc.close()
 }
 
-// Close drops all idle connections. In-flight calls are unaffected.
+// Close drops all idle ordered connections and every shared mux
+// connection. In-flight ordered calls are unaffected; in-flight mux calls
+// fail with a transport error.
 func (p *Pool) Close() {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.closed = true
-	for _, conns := range p.idle {
-		for _, pc := range conns {
-			pc.close()
+	idle := p.idle
+	peers := p.peers
+	p.idle = make(map[string][]idleConn)
+	p.peers = make(map[string]*muxPeer)
+	p.mu.Unlock()
+	for _, conns := range idle {
+		for _, ic := range conns {
+			ic.pc.close()
 		}
 	}
-	p.idle = make(map[string][]*poolConn)
+	for _, mp := range peers {
+		mp.closeAll()
+	}
 }
 
-// Stream is a pipelined exchange on one pooled connection: the caller may
-// Send several requests before Recving their responses, which the server
-// answers strictly in request order. This is how the sliding-window data
-// path keeps multiple chunks in flight per server. A Stream is not safe
-// for concurrent use.
+// Stream is a pipelined exchange: the caller may Send several requests
+// before Recving their responses, which arrive in request order. This is
+// how the sliding-window data path keeps multiple chunks in flight per
+// server. Over a mux connection the stream's requests share the wire with
+// every other call to that peer (each request is its own mux stream;
+// Recv restores request order from the demux); in ordered mode the stream
+// owns one pooled connection, as before. A Stream is not safe for
+// concurrent use.
 type Stream struct {
 	p      *Pool
 	addr   string
-	pc     *poolConn
-	pooled bool // conn came from the idle set (may be stale)
+	pooled bool // conn predates this stream (may be stale)
 	sent   int  // responses still owed by the server
 	broken bool
+
+	// ordered mode
+	pc *poolConn
+
+	// mux mode
+	mc      *muxConn
+	pending []pendingCall
+	prev    []byte // pooled buffer backing the last Recv'd message
 }
 
-// Stream opens a pipelined exchange with addr, reusing an idle pooled
-// connection when one is available. The caller must finish with Release.
+// pendingCall is one in-flight mux request of a Stream.
+type pendingCall struct {
+	id uint32
+	ch chan muxResult
+}
+
+// Stream opens a pipelined exchange with addr: over the peer's shared mux
+// connection when it speaks mux, otherwise on an (ideally idle pooled)
+// ordered connection. The caller must finish with Release.
 func (p *Pool) Stream(addr string) (*Stream, error) {
-	pc, pooled, err := p.get(addr)
-	if err != nil {
-		return nil, err
+	for {
+		mp, err := p.muxFor(addr)
+		if err != nil {
+			return nil, err
+		}
+		if mp == nil {
+			pc, pooled, err := p.get(addr)
+			if err != nil {
+				return nil, err
+			}
+			return &Stream{p: p, addr: addr, pc: pc, pooled: pooled}, nil
+		}
+		mc, fresh, err := mp.conn()
+		if errors.Is(err, errMuxDemoted) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &Stream{p: p, addr: addr, mc: mc, pooled: !fresh}, nil
 	}
-	return &Stream{p: p, addr: addr, pc: pc, pooled: pooled}, nil
 }
 
-// Pooled reports whether the stream rides a previously idle connection —
+// Pooled reports whether the stream rides a connection that predates it —
 // callers use it to decide whether a transport failure warrants one retry
 // on a fresh dial (the connection may simply have gone stale).
 func (s *Stream) Pooled() bool { return s.pooled }
 
 // Send writes one request frame without waiting for its response.
 func (s *Stream) Send(req wire.Message) error {
+	if s.mc != nil {
+		id, ch, err := s.mc.send(req)
+		if err != nil {
+			s.broken = true
+			return err
+		}
+		s.pending = append(s.pending, pendingCall{id: id, ch: ch})
+		s.sent++
+		return nil
+	}
 	if err := wire.WriteMessage(s.pc.c, req); err != nil {
 		s.broken = true
 		return err
@@ -204,9 +358,33 @@ func (s *Stream) Send(req wire.Message) error {
 // Recv reads the next response in request order. A wire.ErrorMsg is
 // converted to *RemoteError (the stream stays usable: the server keeps
 // answering pipelined requests after an error response). The returned
-// message may alias the stream's decode buffer and is valid only until
-// the next Recv or Release; callers that retain it must wire.Own it.
+// message may alias a pooled decode buffer and is valid only until the
+// next Recv or Release; callers that retain it must wire.Own it.
 func (s *Stream) Recv() (wire.Message, error) {
+	if s.mc != nil {
+		if len(s.pending) == 0 {
+			return nil, errors.New("pfs: Recv with no pending Send")
+		}
+		if s.prev != nil {
+			wire.PutBuf(s.prev)
+			s.prev = nil
+		}
+		next := s.pending[0]
+		s.pending = s.pending[1:]
+		res := <-next.ch
+		s.sent--
+		if res.err != nil {
+			s.broken = true
+			return nil, res.err
+		}
+		if em, ok := res.msg.(*wire.ErrorMsg); ok {
+			re := &RemoteError{Code: em.Code, Op: em.Op, Detail: em.Detail}
+			wire.PutBuf(res.buf)
+			return nil, re
+		}
+		s.prev = res.buf
+		return res.msg, nil
+	}
 	resp, err := s.pc.fr.Read()
 	if err != nil {
 		s.broken = true
@@ -219,11 +397,33 @@ func (s *Stream) Recv() (wire.Message, error) {
 	return resp, nil
 }
 
-// Release finishes the stream. A healthy, fully drained connection (every
-// Send matched by a Recv) returns to the idle pool; anything else — a
-// transport error or responses still in flight — closes it, because the
-// next user could not tell stale responses from its own.
+// Release finishes the stream. In mux mode there is nothing to pool —
+// the connection is shared — so Release only recycles buffers and
+// abandons still-pending responses (the demux drops them on arrival). In
+// ordered mode a healthy, fully drained connection returns to the idle
+// pool; anything else closes it, because the next user could not tell
+// stale responses from its own.
 func (s *Stream) Release() {
+	if s.mc != nil {
+		if s.prev != nil {
+			wire.PutBuf(s.prev)
+			s.prev = nil
+		}
+		for _, pc := range s.pending {
+			s.mc.forget(pc.id)
+			select {
+			case res := <-pc.ch:
+				// Response landed before the forget; recycle its buffer.
+				wire.PutBuf(res.buf)
+			default:
+				// Not yet arrived (the demux will drop it), or arriving
+				// right now — in that razor-thin window the buffer is
+				// left for the GC, which is safe, just a pool miss.
+			}
+		}
+		s.pending = nil
+		return
+	}
 	if s.broken || s.sent != 0 {
 		s.pc.close()
 		return
@@ -281,11 +481,15 @@ var (
 	ErrUnsupported = errors.New("pfs: unsupported operation")
 )
 
-// Server accepts connections on a listener and dispatches each request to
-// a Handler, one goroutine per connection.
+// Server accepts connections on a listener and dispatches requests to a
+// Handler. A connection starts in ordered mode (one request at a time,
+// served serially); a client HelloReq may upgrade it to mux mode, where
+// requests on the connection are handled concurrently under a bounded
+// semaphore and responses complete out of order.
 type Server struct {
 	l       transport.Listener
 	h       Handler
+	noMux   bool
 	mu      sync.Mutex
 	conns   map[net.Conn]struct{}
 	closing bool
@@ -296,6 +500,11 @@ type Server struct {
 func NewServer(l transport.Listener, h Handler) *Server {
 	return &Server{l: l, h: h, conns: make(map[net.Conn]struct{}), done: make(chan struct{})}
 }
+
+// SetMux enables or disables the mux upgrade (it is enabled by default;
+// disabling makes the server decline every HelloReq, emulating an
+// un-upgraded peer). Call before Start.
+func (s *Server) SetMux(enabled bool) { s.noMux = !enabled }
 
 // Addr returns the listener's bound address.
 func (s *Server) Addr() string { return s.l.Addr() }
@@ -330,6 +539,18 @@ func (s *Server) Run() error {
 // Start runs the server in a new goroutine and returns immediately.
 func (s *Server) Start() { go s.Run() } //nolint:errcheck // accept-loop errors surface via Close
 
+// safeHandle dispatches one request, converting a handler panic into an
+// error so a bad request cannot take down the connection (ordered mode)
+// or the whole shared connection (mux mode).
+func safeHandle(h Handler, req wire.Message) (resp wire.Message, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp, err = nil, fmt.Errorf("handler panic: %v", r)
+		}
+	}()
+	return h.Handle(req)
+}
+
 func (s *Server) serveConn(c net.Conn) {
 	defer func() {
 		c.Close()
@@ -348,8 +569,23 @@ func (s *Server) serveConn(c net.Conn) {
 		if err != nil {
 			return // EOF or protocol error: drop the connection
 		}
+		if hello, ok := req.(*wire.HelloReq); ok {
+			if s.noMux || hello.MaxVersion < wire.MuxVersion {
+				if wire.WriteMessage(c, &wire.HelloResp{Version: 0}) != nil {
+					return
+				}
+				continue // connection stays ordered
+			}
+			seg := clampSegment(hello.MaxSegment)
+			resp := &wire.HelloResp{Version: wire.MuxVersion, MaxSegment: uint32(seg)}
+			if wire.WriteMessage(c, resp) != nil {
+				return
+			}
+			s.serveMux(c, seg, pw)
+			return
+		}
 		var werr error
-		resp, herr := s.h.Handle(req)
+		resp, herr := safeHandle(s.h, req)
 		if herr != nil {
 			resp = ToErrorMsg(req.Type().String(), herr)
 		}
@@ -366,6 +602,71 @@ func (s *Server) serveConn(c net.Conn) {
 			return
 		}
 	}
+}
+
+// clampSegment bounds a peer-proposed segment size to sane values.
+func clampSegment(n uint32) int {
+	if n < wire.MinMuxSegment {
+		return wire.MinMuxSegment
+	}
+	if n > wire.DefaultMuxSegment {
+		return wire.DefaultMuxSegment
+	}
+	return int(n)
+}
+
+// muxServerConcurrency bounds concurrently executing handlers per mux
+// connection. The read loop acquires a slot before spawning, so a flood
+// of requests backpressures onto the socket instead of goroutines.
+const muxServerConcurrency = 32
+
+// serveMux serves one upgraded connection: requests dispatch concurrently,
+// each response is enqueued to the priority-aware writer under its
+// request's stream ID. PostWrite accounting matches ordered mode — the
+// callback fires after the response is on the wire (or has failed), once
+// per request.
+func (s *Server) serveMux(c net.Conn, segment int, pw PostWriter) {
+	mw := wire.NewMuxWriter(c, segment)
+	mr := wire.NewMuxReader(c)
+	defer mr.Close()
+	sem := make(chan struct{}, muxServerConcurrency)
+	var wg sync.WaitGroup
+	for {
+		f, err := mr.Read()
+		if err != nil {
+			break // EOF or protocol error: stop reading, flush what's in flight
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(f wire.MuxFrame) {
+			defer func() { <-sem; wg.Done() }()
+			req := f.Msg
+			resp, herr := safeHandle(s.h, req)
+			if herr != nil {
+				resp = ToErrorMsg(req.Type().String(), herr)
+			}
+			if resp == nil {
+				// Ordered mode hangs up on nil responses; a mux conn is
+				// shared with other callers, so answer with an error
+				// instead of tearing everyone down.
+				resp = &wire.ErrorMsg{Code: wire.StatusInternal,
+					Op: req.Type().String(), Detail: "handler returned no response"}
+			}
+			buf := f.Buf
+			mw.Enqueue(resp, f.Stream, func(error) { //nolint:errcheck // done callback handles failure
+				// Runs after the response hit the wire or definitively
+				// failed: either way the exchange is over, so PostWrite
+				// fires exactly once and the request buffer (which req
+				// aliases) is recycled.
+				if pw != nil {
+					pw.PostWrite(req, resp)
+				}
+				wire.PutBuf(buf)
+			})
+		}(f)
+	}
+	wg.Wait()
+	mw.Close()
 }
 
 // Close stops accepting, closes all live connections, and waits for the

@@ -76,6 +76,8 @@ func TestAllMessagesRoundTrip(t *testing.T) {
 		&DecisionLogReq{Limit: 32, TraceID: 0xCAFE0003},
 		&DecisionLogResp{Node: "data-0", Dropped: 6,
 			Records: []byte(`[{"seq":1,"solver":"maxgain","trigger":"admit"}]`)},
+		&HelloReq{MaxVersion: MuxVersion, MaxSegment: DefaultMuxSegment},
+		&HelloResp{Version: MuxVersion, MaxSegment: 64 << 10},
 	}
 	seen := make(map[MsgType]bool)
 	for _, m := range msgs {

@@ -90,6 +90,10 @@ const (
 	MsgDecisionLogReq
 	MsgDecisionLogResp
 
+	// Connection-mode negotiation: upgrade to multiplexed framing (mux.go).
+	MsgHelloReq
+	MsgHelloResp
+
 	msgSentinel // keep last
 )
 
@@ -136,6 +140,8 @@ var msgNames = map[MsgType]string{
 	MsgSeriesFetchResp: "seriesfetch.resp",
 	MsgDecisionLogReq:  "decisionlog.req",
 	MsgDecisionLogResp: "decisionlog.resp",
+	MsgHelloReq:        "hello.req",
+	MsgHelloResp:       "hello.resp",
 }
 
 // String returns a human-readable name for the message type.
@@ -410,6 +416,10 @@ func New(t MsgType) Message {
 		return new(DecisionLogReq)
 	case MsgDecisionLogResp:
 		return new(DecisionLogResp)
+	case MsgHelloReq:
+		return new(HelloReq)
+	case MsgHelloResp:
+		return new(HelloResp)
 	default:
 		return nil
 	}
