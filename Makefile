@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-observability race-transport replay-determinism check bench bench-telemetry bench-mux bench-paper clean
+.PHONY: all build test vet race race-observability race-transport race-alerts replay-determinism check bench bench-telemetry bench-mux bench-paper clean
 
 all: check
 
@@ -34,6 +34,13 @@ race-observability:
 race-transport:
 	$(GO) test -race ./internal/wire/ ./internal/transport/ ./internal/pfs/
 
+# Focused race gate for the operational plane: the event-log ring is
+# written from every subsystem while dosasctl events tails it, and the
+# SLO engine's state machines advance on the sampler goroutine while
+# alert fetches read them. The OpenMetrics renderer reads all three.
+race-alerts:
+	$(GO) test -race ./internal/eventlog/ ./internal/slo/ ./internal/openmetrics/
+
 # Counterfactual replay must be byte-deterministic: the same decision log
 # and policy set produce the same report JSON on every run (no map
 # iteration, no wall clock in the scoring path). Replays the committed
@@ -44,7 +51,7 @@ replay-determinism:
 	cmp /tmp/dosas-replay-a.json /tmp/dosas-replay-b.json
 	@echo "replay-determinism: OK (byte-identical reports)"
 
-check: vet race-observability race-transport replay-determinism race
+check: vet race-observability race-transport race-alerts replay-determinism race
 
 # Data-path microbenchmarks (fixed iteration count so runs compare
 # across commits) plus the window-vs-serial matrix (writes BENCH_pr2.json).

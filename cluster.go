@@ -2,14 +2,19 @@ package dosas
 
 import (
 	"fmt"
+	"io"
+	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
 	"dosas/internal/audit"
 	"dosas/internal/core"
+	"dosas/internal/eventlog"
 	"dosas/internal/metrics"
+	"dosas/internal/openmetrics"
 	"dosas/internal/pfs"
+	"dosas/internal/slo"
 	"dosas/internal/telemetry"
 	"dosas/internal/trace"
 	"dosas/internal/transport"
@@ -133,6 +138,21 @@ type Options struct {
 	// handshake, pinning all RPC to the ordered per-exchange mode
 	// (emulates a pre-mux deployment; used by A/B benchmarks).
 	DisableMux bool
+	// SLORules are the alert rules every node's SLO engine evaluates on
+	// its telemetry tick. Nil takes DefaultSLORules; engines are only
+	// built when node telemetry is enabled (TelemetryTick >= 0).
+	SLORules []SLORule
+	// DisableSLO turns alert evaluation off even when telemetry runs.
+	DisableSLO bool
+	// EventCapacity bounds each node's in-memory event ring (default
+	// 1024).
+	EventCapacity int
+	// EventMirror, when set, additionally receives every node's events
+	// as human-readable lines (e.g. os.Stderr for daemon consoles).
+	EventMirror io.Writer
+	// EventDir, when set, persists each node's events as JSON lines
+	// under EventDir/<node>.events.jsonl.
+	EventDir string
 }
 
 // Cluster is a running DOSAS deployment: one metadata server plus
@@ -146,8 +166,12 @@ type Cluster struct {
 	runtimes      []*core.Runtime
 	meta          *pfs.MetaServer
 	metaTele      *telemetry.Sampler
+	metaEvents    *eventlog.Log
+	metaSLO       *slo.Engine
 	dataServers   []*pfs.DataServer
 	stores        []pfs.Store
+	events        []*eventlog.Log
+	engines       []*slo.Engine
 	windowDepth   int
 	transferChunk int
 	telemetryTick time.Duration
@@ -160,6 +184,41 @@ func newSampler(tick time.Duration) *telemetry.Sampler {
 		return nil
 	}
 	return telemetry.NewSampler(telemetry.Config{Interval: tick})
+}
+
+// newEventLog builds one node's structured event log per the cluster's
+// event options.
+func (o Options) newEventLog(node string) (*eventlog.Log, error) {
+	cfg := eventlog.Config{Node: node, Capacity: o.EventCapacity, Mirror: o.EventMirror}
+	if o.EventDir != "" {
+		if err := os.MkdirAll(o.EventDir, 0o755); err != nil {
+			return nil, err
+		}
+		cfg.Path = filepath.Join(o.EventDir, node+".events.jsonl")
+	}
+	return eventlog.New(cfg)
+}
+
+// newEngine builds one node's SLO engine over its sampler and hooks
+// evaluation to the sampler's tick, so alert rules are re-judged exactly
+// once per fresh telemetry sample. Nil when telemetry or alerting is
+// disabled.
+func (o Options) newEngine(node string, tele *telemetry.Sampler, ev *eventlog.Log, reg *metrics.Registry) (*slo.Engine, error) {
+	if tele == nil || o.DisableSLO {
+		return nil, nil
+	}
+	rules := o.SLORules
+	if rules == nil {
+		rules = slo.DefaultRules()
+	}
+	eng, err := slo.NewEngine(slo.Config{
+		Rules: rules, Sampler: tele, Events: ev, Metrics: reg, Node: node,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tele.OnTick(eng.Eval)
+	return eng, nil
 }
 
 // StartCluster boots an in-process (or TCP-loopback) cluster and returns
@@ -207,10 +266,24 @@ func StartCluster(o Options) (*Cluster, error) {
 	}()
 
 	c.metaTele = newSampler(o.TelemetryTick)
+	metaEvents, err := o.newEventLog("meta")
+	if err != nil {
+		return nil, err
+	}
+	c.metaEvents = metaEvents
+	metaReg := metrics.NewRegistry()
+	metaSLO, err := o.newEngine("meta", c.metaTele, metaEvents, metaReg)
+	if err != nil {
+		return nil, err
+	}
+	c.metaSLO = metaSLO
 	metaCfg := pfs.MetaConfig{
 		NumDataServers:    o.DataServers,
 		DefaultStripeSize: o.StripeSize,
+		Metrics:           metaReg,
 		Telemetry:         c.metaTele,
+		Events:            metaEvents,
+		SLO:               metaSLO,
 	}
 	if o.DataDir != "" {
 		metaCfg.JournalPath = filepath.Join(o.DataDir, "meta.wal")
@@ -254,7 +327,20 @@ func StartCluster(o Options) (*Cluster, error) {
 		// resolves records, the server answers DecisionLogReq from it.
 		alog := audit.NewLog(4096)
 		alog.SetNode(node)
-		ds, err := pfs.NewDataServer(pfs.DataConfig{Store: store, Metrics: reg, Node: node, Trace: tr, Telemetry: tele, Audit: alog})
+		// Events and the alert engine are shared the same way: the runtime
+		// emits lifecycle events and the sampler tick drives evaluation,
+		// while the server answers EventFetchReq/AlertFetchReq from them.
+		ev, err := o.newEventLog(node)
+		if err != nil {
+			return nil, err
+		}
+		c.events = append(c.events, ev)
+		eng, err := o.newEngine(node, tele, ev, reg)
+		if err != nil {
+			return nil, err
+		}
+		c.engines = append(c.engines, eng)
+		ds, err := pfs.NewDataServer(pfs.DataConfig{Store: store, Metrics: reg, Node: node, Trace: tr, Telemetry: tele, Audit: alog, Events: ev, SLO: eng})
 		if err != nil {
 			return nil, err
 		}
@@ -274,6 +360,7 @@ func StartCluster(o Options) (*Cluster, error) {
 			Trace:     tr,
 			Node:      node,
 			Telemetry: tele,
+			Events:    ev,
 		})
 		if err != nil {
 			return nil, err
@@ -375,6 +462,42 @@ func (c *Cluster) Close() {
 		c.meta.Close()
 		c.meta = nil
 	}
+	for _, ev := range c.events {
+		ev.Close()
+	}
+	c.events = nil
+	if c.metaEvents != nil {
+		c.metaEvents.Close()
+		c.metaEvents = nil
+	}
+}
+
+// MetricsSources enumerates every node's exposition inputs for the
+// OpenMetrics endpoint (openmetrics.Render / openmetrics.Handler),
+// metadata server first, then storage nodes in layout order.
+func (c *Cluster) MetricsSources() []openmetrics.Source {
+	var out []openmetrics.Source
+	if c.meta != nil {
+		out = append(out, openmetrics.Source{
+			Node: "meta", Role: "meta",
+			Metrics: c.meta.Metrics(), Telemetry: c.metaTele,
+			SLO: c.metaSLO, Events: c.metaEvents,
+		})
+	}
+	for i, rt := range c.runtimes {
+		src := openmetrics.Source{
+			Node: fmt.Sprintf("data-%d", i), Role: "data",
+			Metrics: rt.Metrics(), Telemetry: rt.Telemetry(),
+		}
+		if i < len(c.engines) {
+			src.SLO = c.engines[i]
+		}
+		if i < len(c.events) {
+			src.Events = c.events[i]
+		}
+		out = append(out, src)
+	}
+	return out
 }
 
 // ClientOptions configures Connect for clusters whose servers run in
@@ -411,6 +534,10 @@ type ClientOptions struct {
 	// SlowDir, when set, persists captured bundles as JSON under this
 	// directory for dosasctl slow to read from another process.
 	SlowDir string
+	// SlowDirBytes caps the total bytes of persisted bundles in SlowDir;
+	// oldest are pruned past it. Zero takes the package default;
+	// negative disables the cap.
+	SlowDirBytes int64
 	// FlightCapacity bounds the slow-request journal (default 16).
 	FlightCapacity int
 	// DisableMux pins the client's pool to ordered per-exchange
@@ -437,6 +564,7 @@ func connect(net transport.Network, metaAddr string, dataAddrs []string, o Clien
 		SlowThreshold:  o.SlowThreshold,
 		SlowFactor:     o.SlowFactor,
 		SlowDir:        o.SlowDir,
+		SlowDirBytes:   o.SlowDirBytes,
 		FlightCapacity: o.FlightCapacity,
 	})
 	if err != nil {

@@ -48,6 +48,7 @@ import (
 
 	"dosas"
 	"dosas/internal/core"
+	"dosas/internal/daemonflags"
 	"dosas/internal/kernels"
 	"dosas/internal/sim"
 	"dosas/internal/workload"
@@ -65,8 +66,13 @@ func main() {
 	runs := flag.Int("runs", 10, "noisy repetitions for table4")
 	jsonOut := flag.String("json-out", "BENCH_live.json",
 		"file for the live experiment's per-scheme decision metrics (empty disables)")
+	var common daemonflags.Common
+	common.RegisterBase(flag.CommandLine)
 	flag.Parse()
 	benchJSONOut = *jsonOut
+	if _, err := common.ServeDebug(nil); err != nil {
+		log.Fatal(err)
+	}
 
 	all := map[string]func(){
 		"table3": table3,

@@ -10,6 +10,9 @@
 // The -data-servers count fixes the size of the cluster's data-server
 // table; file layouts stripe over indices [0, N). Clients and dosasctl
 // must be given the data servers' addresses in the same order everywhere.
+//
+// -pprof-addr opens the loopback debug endpoint, which also serves the
+// node's OpenMetrics exposition at /metrics.
 package main
 
 import (
@@ -20,9 +23,12 @@ import (
 	"os/signal"
 	"syscall"
 
+	"dosas/internal/daemonflags"
+	"dosas/internal/eventlog"
+	"dosas/internal/metrics"
+	"dosas/internal/openmetrics"
 	"dosas/internal/pfs"
-	"dosas/internal/pprofserve"
-	"dosas/internal/telemetry"
+	"dosas/internal/slo"
 	"dosas/internal/transport"
 )
 
@@ -34,26 +40,62 @@ func main() {
 	nData := flag.Int("data-servers", 4, "number of data servers in the cluster")
 	stripe := flag.Uint("stripe", pfs.DefaultStripeSize, "default stripe size in bytes")
 	journal := flag.String("journal", "", "write-ahead journal path (empty = volatile namespace)")
-	teleTick := flag.Duration("telemetry-tick", 0, "telemetry sampling interval (0 = 100ms default, negative = disabled)")
-	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060; empty = disabled)")
-	noMux := flag.Bool("no-mux", false, "decline connection multiplexing; serve ordered per-exchange RPC only")
+	var common daemonflags.Common
+	common.RegisterBase(flag.CommandLine)
+	common.RegisterTelemetry(flag.CommandLine)
+	common.RegisterObservability(flag.CommandLine)
 	flag.Parse()
 
-	if addr, err := pprofserve.Serve(*pprofAddr); err != nil {
+	tele := common.Sampler()
+	reg := metrics.NewRegistry()
+
+	evCfg := eventlog.Config{Node: "meta", Capacity: common.EventCapacity, Mirror: os.Stderr}
+	if common.EventDir != "" {
+		if err := os.MkdirAll(common.EventDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		evCfg.Path = common.EventDir + "/meta.events.jsonl"
+	}
+	events, err := eventlog.New(evCfg)
+	if err != nil {
 		log.Fatal(err)
-	} else if addr != "" {
-		log.Printf("pprof: http://%s/debug/pprof/", addr)
+	}
+	defer events.Close()
+
+	var engine *slo.Engine
+	if tele != nil {
+		rules, err := common.Rules()
+		if err != nil {
+			log.Fatal(err)
+		}
+		engine, err = slo.NewEngine(slo.Config{
+			Rules: rules, Sampler: tele, Events: events, Metrics: reg, Node: "meta",
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tele.OnTick(engine.Eval)
 	}
 
-	var tele *telemetry.Sampler
-	if *teleTick >= 0 {
-		tele = telemetry.NewSampler(telemetry.Config{Interval: *teleTick})
+	if addr, err := common.ServeDebug(func() []openmetrics.Source {
+		return []openmetrics.Source{{
+			Node: "meta", Role: "meta",
+			Metrics: reg, Telemetry: tele, SLO: engine, Events: events,
+		}}
+	}); err != nil {
+		log.Fatal(err)
+	} else if addr != "" {
+		events.Info("meta", "debug endpoint up", "url", "http://"+addr+"/debug/pprof/", "metrics", "http://"+addr+"/metrics")
 	}
+
 	meta, err := pfs.NewMetaServer(pfs.MetaConfig{
 		NumDataServers:    *nData,
 		DefaultStripeSize: uint32(*stripe),
 		JournalPath:       *journal,
+		Metrics:           reg,
 		Telemetry:         tele,
+		Events:            events,
+		SLO:               engine,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -65,8 +107,9 @@ func main() {
 		log.Fatal(err)
 	}
 	srv := pfs.NewServer(l, meta)
-	srv.SetMux(!*noMux)
-	log.Printf("serving %d-server namespace on %s (journal=%q)", *nData, srv.Addr(), *journal)
+	srv.SetMux(!common.NoMux)
+	events.Info("meta", "serving namespace",
+		"addr", srv.Addr(), "data_servers", fmt.Sprint(*nData), "journal", *journal)
 
 	go func() {
 		hup := make(chan os.Signal, 1)
@@ -74,8 +117,6 @@ func main() {
 		for range hup {
 			if err := meta.CompactJournal(); err != nil {
 				log.Printf("journal compaction failed: %v", err)
-			} else {
-				log.Print("journal compacted")
 			}
 		}
 	}()
@@ -84,7 +125,7 @@ func main() {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		fmt.Fprintln(os.Stderr)
-		log.Print("shutting down")
+		events.Info("meta", "shutting down")
 		srv.Close()
 	}()
 	if err := srv.Run(); err != transport.ErrClosed {

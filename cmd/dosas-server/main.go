@@ -10,6 +10,10 @@
 // scheduling behaviour: "dosas" (dynamic), "as" (always run kernels here),
 // or "ts" (always bounce). -pace throttles kernels to their calibrated
 // rates, useful when emulating the paper's testbed on faster hardware.
+//
+// -pprof-addr opens the loopback debug endpoint, which also serves the
+// node's OpenMetrics exposition at /metrics. -slo-rules overrides the
+// built-in alert rules; dosasctl alerts and events read the results.
 package main
 
 import (
@@ -22,10 +26,12 @@ import (
 
 	"dosas/internal/audit"
 	"dosas/internal/core"
+	"dosas/internal/daemonflags"
+	"dosas/internal/eventlog"
 	"dosas/internal/metrics"
+	"dosas/internal/openmetrics"
 	"dosas/internal/pfs"
-	"dosas/internal/pprofserve"
-	"dosas/internal/telemetry"
+	"dosas/internal/slo"
 	"dosas/internal/trace"
 	"dosas/internal/transport"
 )
@@ -43,16 +49,12 @@ func main() {
 	reserved := flag.Int("reserved", 1, "cores reserved for normal I/O service")
 	pace := flag.Bool("pace", false, "pace kernels at calibrated per-core rates")
 	node := flag.String("node", "", "node name stamped on stats and trace exports (default data@ADDR)")
-	teleTick := flag.Duration("telemetry-tick", 0, "telemetry sampling interval (0 = 100ms default, negative = disabled)")
-	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060; empty = disabled)")
-	noMux := flag.Bool("no-mux", false, "decline connection multiplexing; serve ordered per-exchange RPC only")
+	var common daemonflags.Common
+	common.RegisterBase(flag.CommandLine)
+	common.RegisterTelemetry(flag.CommandLine)
+	common.RegisterObservability(flag.CommandLine)
 	flag.Parse()
 
-	if addr, err := pprofserve.Serve(*pprofAddr); err != nil {
-		log.Fatal(err)
-	} else if addr != "" {
-		log.Printf("pprof: http://%s/debug/pprof/", addr)
-	}
 	if *node == "" {
 		*node = "data@" + *addr
 	}
@@ -92,13 +94,56 @@ func main() {
 	reg := metrics.NewRegistry()
 	tr := trace.NewRecorder(4096)
 	tr.SetNode(*node)
-	var tele *telemetry.Sampler
-	if *teleTick >= 0 {
-		tele = telemetry.NewSampler(telemetry.Config{Interval: *teleTick})
-	}
+	tele := common.Sampler()
 	alog := audit.NewLog(4096)
 	alog.SetNode(*node)
-	ds, err := pfs.NewDataServer(pfs.DataConfig{Store: store, Metrics: reg, Node: *node, Trace: tr, Telemetry: tele, Audit: alog})
+
+	// The event log tees to stderr so the daemon console keeps its
+	// running commentary while dosasctl events reads the same ring over
+	// the wire.
+	evCfg := eventlog.Config{Node: *node, Capacity: common.EventCapacity, Mirror: os.Stderr}
+	if common.EventDir != "" {
+		if err := os.MkdirAll(common.EventDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		evCfg.Path = common.EventDir + "/" + *node + ".events.jsonl"
+	}
+	events, err := eventlog.New(evCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer events.Close()
+
+	var engine *slo.Engine
+	if tele != nil {
+		rules, err := common.Rules()
+		if err != nil {
+			log.Fatal(err)
+		}
+		engine, err = slo.NewEngine(slo.Config{
+			Rules: rules, Sampler: tele, Events: events, Metrics: reg, Node: *node,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tele.OnTick(engine.Eval)
+	}
+
+	if addr, err := common.ServeDebug(func() []openmetrics.Source {
+		return []openmetrics.Source{{
+			Node: *node, Role: "data",
+			Metrics: reg, Telemetry: tele, SLO: engine, Events: events,
+		}}
+	}); err != nil {
+		log.Fatal(err)
+	} else if addr != "" {
+		events.Info("server", "debug endpoint up", "url", "http://"+addr+"/debug/pprof/", "metrics", "http://"+addr+"/metrics")
+	}
+
+	ds, err := pfs.NewDataServer(pfs.DataConfig{
+		Store: store, Metrics: reg, Node: *node, Trace: tr,
+		Telemetry: tele, Audit: alog, Events: events, SLO: engine,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -117,6 +162,7 @@ func main() {
 		Trace:     tr,
 		Node:      *node,
 		Telemetry: tele,
+		Events:    events,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -129,16 +175,18 @@ func main() {
 		log.Fatal(err)
 	}
 	srv := pfs.NewServer(l, ds)
-	srv.SetMux(!*noMux)
-	log.Printf("serving stripes on %s (policy=%s cores=%d reserved=%d bw=%.0fMB/s pace=%v store=%q)",
-		srv.Addr(), mode, *cores, *reserved, *bw/1e6, *pace, *storeDir)
+	srv.SetMux(!common.NoMux)
+	events.Info("server", "serving stripes",
+		"addr", srv.Addr(), "policy", mode.String(),
+		"cores", fmt.Sprint(*cores), "reserved", fmt.Sprint(*reserved),
+		"bw_mbps", fmt.Sprintf("%.0f", *bw/1e6), "pace", fmt.Sprint(*pace), "store", *storeDir)
 
 	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		fmt.Fprintln(os.Stderr)
-		log.Print("shutting down")
+		events.Info("server", "shutting down")
 		log.Printf("final metrics:\n%s", reg.Dump())
 		srv.Close()
 	}()

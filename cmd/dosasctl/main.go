@@ -22,6 +22,12 @@
 //	trace ID                         stitch the cross-node timeline of one request
 //	                                 (ID is a request id or a distributed trace id)
 //	health                           per-node liveness and resource readiness
+//	alerts [-json]                   every node's SLO alert table (exit 1 if any
+//	                                 rule is firing)
+//	events [-follow] [-level L] [-n N] merged cluster event timeline; -follow
+//	                                 tails new events, -level filters
+//	                                 (debug|info|warn|error), -n keeps the
+//	                                 newest N per node
 //	top [-once] [WINDOW]             refreshing cluster-wide telemetry view
 //	                                 (-once prints a single frame; WINDOW like 10s)
 //	slow DIR                         print the slow-request flight bundles a client
@@ -47,6 +53,7 @@ import (
 	"time"
 
 	"dosas"
+	"dosas/internal/daemonflags"
 	"dosas/internal/pfs"
 	"dosas/internal/trace"
 	"dosas/internal/transport"
@@ -68,7 +75,7 @@ func newCtlPool() *pfs.Pool {
 
 func usageExit() {
 	fmt.Fprintln(os.Stderr, "usage: dosasctl -meta ADDR -data ADDR[,ADDR...] [-scheme dosas|as|ts] COMMAND ...")
-	fmt.Fprintln(os.Stderr, "commands: ls, stat, put, get, rm, readex, fsck, repair, ops, calibrate, probe, stats, trace, health, top, slow, explain, whatif, audit")
+	fmt.Fprintln(os.Stderr, "commands: ls, stat, put, get, rm, readex, fsck, repair, ops, calibrate, probe, stats, trace, health, alerts, events, top, slow, explain, whatif, audit")
 	os.Exit(2)
 }
 
@@ -81,9 +88,13 @@ func main() {
 	schemeName := flag.String("scheme", "dosas", "client scheme for readex: dosas, as, or ts")
 	slowThreshold := flag.Duration("slow-threshold", 0, "flag readex calls slower than this and capture a flight bundle (0 = off)")
 	slowDir := flag.String("slow-dir", "", "directory to persist captured flight bundles (see the slow command)")
-	noMux := flag.Bool("no-mux", false, "use ordered per-exchange connections instead of negotiating multiplexing")
+	var common daemonflags.Common
+	common.RegisterBase(flag.CommandLine)
 	flag.Parse()
-	ctlNoMux = *noMux
+	ctlNoMux = common.NoMux
+	if _, err := common.ServeDebug(nil); err != nil {
+		log.Fatal(err)
+	}
 	args := flag.Args()
 	if len(args) == 0 {
 		usageExit()
@@ -304,6 +315,45 @@ func main() {
 		if !healthAll(fs) {
 			os.Exit(1)
 		}
+	case "alerts":
+		asJSON := len(args) > 1 && args[1] == "-json"
+		if !alertsAll(fs, asJSON) {
+			os.Exit(1)
+		}
+	case "events":
+		follow := false
+		min := dosas.EventDebug
+		limit := 0
+		rest := args[1:]
+		for i := 0; i < len(rest); i++ {
+			switch rest[i] {
+			case "-follow":
+				follow = true
+			case "-level":
+				i++
+				if i >= len(rest) {
+					log.Fatal("usage: events [-follow] [-level debug|info|warn|error] [-n N]")
+				}
+				lv, err := dosas.ParseEventLevel(rest[i])
+				if err != nil {
+					log.Fatal(err)
+				}
+				min = lv
+			case "-n":
+				i++
+				if i >= len(rest) {
+					log.Fatal("usage: events [-follow] [-level debug|info|warn|error] [-n N]")
+				}
+				n, err := strconv.Atoi(rest[i])
+				if err != nil || n < 0 {
+					log.Fatalf("bad -n %q", rest[i])
+				}
+				limit = n
+			default:
+				log.Fatalf("unknown events option %q", rest[i])
+			}
+		}
+		eventsLoop(fs, min, limit, follow)
 	case "top":
 		once := false
 		window := 10 * time.Second
@@ -540,6 +590,60 @@ func healthAll(fs *dosas.FS) bool {
 		}
 	}
 	return ready
+}
+
+// alertsAll prints every node's SLO alert table and returns whether no
+// rule is currently firing.
+func alertsAll(fs *dosas.FS, asJSON bool) bool {
+	alerts, err := fs.Alerts()
+	if err != nil {
+		log.Fatal(err)
+	}
+	firing := 0
+	for _, a := range alerts {
+		if a.State == "firing" {
+			firing++
+		}
+	}
+	if asJSON {
+		out, err := json.MarshalIndent(alerts, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(out))
+		return firing == 0
+	}
+	fmt.Print(dosas.FormatAlerts(alerts))
+	return firing == 0
+}
+
+// eventsLoop prints the cluster's merged event timeline once, or — with
+// follow — keeps tailing each node from its sequence cursor.
+func eventsLoop(fs *dosas.FS, min dosas.EventLevel, limit int, follow bool) {
+	cursors := make(map[string]uint64)
+	printPages := func(pages []dosas.EventsPage) {
+		sets := make([][]dosas.Event, 0, len(pages))
+		for _, p := range pages {
+			sets = append(sets, p.Events)
+			cursors[p.Node] = p.NextSeq
+		}
+		for _, ev := range dosas.MergeEvents(sets...) {
+			fmt.Println(dosas.FormatEvent(ev))
+		}
+	}
+	pages, err := fs.Events(nil, min, limit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printPages(pages)
+	for follow {
+		time.Sleep(time.Second)
+		pages, err := fs.Events(cursors, min, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printPages(pages)
+	}
 }
 
 // topLoop renders the cluster-wide telemetry view: one frame with -once,

@@ -11,6 +11,10 @@
 // The metadata server listens on base-port and storage node i on
 // base-port+1+i. On startup dosasd prints the exact dosasctl invocation
 // for the cluster.
+//
+// -pprof-addr opens the loopback debug endpoint, which also serves the
+// whole cluster's OpenMetrics exposition at /metrics — every node's
+// metrics, telemetry, and alert states under node labels.
 package main
 
 import (
@@ -23,7 +27,7 @@ import (
 	"syscall"
 
 	"dosas"
-	"dosas/internal/pprofserve"
+	"dosas/internal/daemonflags"
 )
 
 func main() {
@@ -37,16 +41,11 @@ func main() {
 	dataDir := flag.String("data", "", "durable data directory (empty = in-memory)")
 	linkRate := flag.Float64("link-rate", 0, "per-node link shaping in bytes/second (0 = unshaped)")
 	pace := flag.Bool("pace", false, "pace kernels at calibrated per-core rates")
-	teleTick := flag.Duration("telemetry-tick", 0, "telemetry sampling interval (0 = 100ms default, negative = disabled)")
-	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060; empty = disabled)")
-	noMux := flag.Bool("no-mux", false, "decline connection multiplexing; serve ordered per-exchange RPC only")
+	var common daemonflags.Common
+	common.RegisterBase(flag.CommandLine)
+	common.RegisterTelemetry(flag.CommandLine)
+	common.RegisterObservability(flag.CommandLine)
 	flag.Parse()
-
-	if addr, err := pprofserve.Serve(*pprofAddr); err != nil {
-		log.Fatal(err)
-	} else if addr != "" {
-		log.Printf("pprof: http://%s/debug/pprof/", addr)
-	}
 
 	var policy dosas.Policy
 	switch *policyName {
@@ -60,6 +59,11 @@ func main() {
 		log.Fatalf("unknown -policy %q (want dosas, as, or ts)", *policyName)
 	}
 
+	rules, err := common.Rules()
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	cluster, err := dosas.StartCluster(dosas.Options{
 		DataServers:   *servers,
 		Policy:        policy,
@@ -69,13 +73,23 @@ func main() {
 		LinkRate:      *linkRate,
 		Pace:          *pace,
 		DataDir:       *dataDir,
-		TelemetryTick: *teleTick,
-		DisableMux:    *noMux,
+		TelemetryTick: common.TelemetryTick,
+		DisableMux:    common.NoMux,
+		SLORules:      rules,
+		EventCapacity: common.EventCapacity,
+		EventMirror:   os.Stderr,
+		EventDir:      common.EventDir,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer cluster.Close()
+
+	if addr, err := common.ServeDebug(cluster.MetricsSources); err != nil {
+		log.Fatal(err)
+	} else if addr != "" {
+		fmt.Printf("debug endpoint:  http://%s/debug/pprof/ and http://%s/metrics\n", addr, addr)
+	}
 
 	fmt.Printf("metadata server: %s\n", cluster.MetaAddr())
 	for i, addr := range cluster.DataAddrs() {

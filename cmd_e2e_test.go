@@ -6,7 +6,9 @@ package dosas_test
 
 import (
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -68,9 +70,11 @@ func TestBinariesEndToEnd(t *testing.T) {
 			cmd.Wait()
 		})
 	}
+	pprofAddr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
 	startDaemon("dosas-meta", "-addr", metaAddr, "-data-servers", "2",
 		"-journal", filepath.Join(t.TempDir(), "meta.wal"))
-	startDaemon("dosas-server", "-addr", dataAddr0, "-store", t.TempDir())
+	startDaemon("dosas-server", "-addr", dataAddr0, "-store", t.TempDir(),
+		"-pprof-addr", pprofAddr)
 	startDaemon("dosas-server", "-addr", dataAddr1, "-store", t.TempDir())
 	waitDialable(t, metaAddr)
 	waitDialable(t, dataAddr0)
@@ -204,6 +208,56 @@ func TestBinariesEndToEnd(t *testing.T) {
 	}
 	if strings.Contains(out, "DEGRADED") {
 		t.Fatalf("idle cluster reported degraded: %s", out)
+	}
+
+	// alerts on an idle cluster: every node's built-in rules are listed,
+	// none firing, and the command exits zero.
+	out = ctl("alerts")
+	if !strings.Contains(out, "bounce-budget-burn") || !strings.Contains(out, "queue-saturation") {
+		t.Fatalf("alerts output lacks built-in rules: %s", out)
+	}
+	if strings.Contains(out, "FIRING") {
+		t.Fatalf("idle cluster has firing alerts: %s", out)
+	}
+
+	// events tails the merged structured logs: the storage nodes logged
+	// their startup, the meta its journal replay.
+	out = ctl("events", "-n", "200")
+	if !strings.Contains(out, "serving stripes") || !strings.Contains(out, "serving namespace") {
+		t.Fatalf("events output lacks startup markers: %s", out)
+	}
+	if !strings.Contains(out, "data@"+dataAddr0) || !strings.Contains(out, "meta") {
+		t.Fatalf("events output lacks node identities: %s", out)
+	}
+
+	// The debug endpoint serves the node's OpenMetrics exposition: typed,
+	// node-labeled families with the OpenMetrics terminator.
+	waitDialable(t, pprofAddr)
+	resp, err := http.Get("http://" + pprofAddr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "openmetrics-text") {
+		t.Fatalf("metrics content-type = %q", ct)
+	}
+	om := string(body)
+	for _, want := range []string{
+		"# TYPE dosas_telemetry gauge",
+		"# TYPE dosas_slo_alert gauge",
+		`node="data@` + dataAddr0 + `"`,
+		`role="data"`,
+	} {
+		if !strings.Contains(om, want) {
+			t.Fatalf("/metrics missing %q:\n%.2000s", want, om)
+		}
+	}
+	if !strings.HasSuffix(om, "# EOF\n") {
+		t.Fatalf("/metrics not terminated with # EOF: %q", om[len(om)-40:])
 	}
 
 	// top -once prints a single telemetry frame with per-node series.

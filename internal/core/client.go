@@ -91,6 +91,10 @@ type ClientConfig struct {
 	// under this directory so dosasctl slow can read them from another
 	// process.
 	SlowDir string
+	// SlowDirBytes caps the total size of persisted flight bundles in
+	// SlowDir; oldest bundles are pruned past it. Zero takes
+	// telemetry.DefaultDirMaxBytes; negative disables the cap.
+	SlowDirBytes int64
 	// FlightCapacity bounds the slow-request journal (default 16).
 	FlightCapacity int
 }
@@ -153,6 +157,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		c.slow = telemetry.NewSlowDetector(cfg.SlowThreshold, cfg.SlowFactor, 0)
 		fr, err := telemetry.NewFlightRecorder(telemetry.FlightConfig{
 			Capacity: cfg.FlightCapacity, Dir: cfg.SlowDir,
+			DirMaxBytes: cfg.SlowDirBytes,
 		})
 		if err != nil {
 			return nil, err

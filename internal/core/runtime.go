@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dosas/internal/audit"
+	"dosas/internal/eventlog"
 	"dosas/internal/ioqueue"
 	"dosas/internal/kernels"
 	"dosas/internal/metrics"
@@ -98,6 +99,10 @@ type RuntimeConfig struct {
 	// QueueSat is the queue depth at or above which the node's health
 	// report marks the "queue" check degraded. Defaults to 8.
 	QueueSat int
+	// Events, when set, receives the runtime's structured lifecycle
+	// events (start, shutdown). Usually shared with the pfs data server,
+	// which serves the ring over the wire. Optional.
+	Events *eventlog.Log
 }
 
 // Runtime is the Active I/O Runtime (R): it queues active requests,
@@ -228,6 +233,10 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
 	}
 	rt.registerProbes()
 	cfg.Telemetry.Start()
+	cfg.Events.Info("runtime", "active runtime started",
+		"mode", cfg.Mode.String(),
+		"cores", fmt.Sprint(cfg.ActiveCores),
+		"solver", cfg.Solver.Name())
 	return rt, nil
 }
 
@@ -262,6 +271,14 @@ func (rt *Runtime) registerProbes() {
 	s.Register("interrupt.rate", telemetry.RatioProbe(func() float64 {
 		return float64(rt.reg.Counter("active.interrupted").Value())
 	}, arrivals))
+	// Per-tick deltas feed the SLO engine's burn-rate windows: unlike the
+	// cumulative ratios above, a window sum over deltas goes back to zero
+	// once a storm passes, so alerts can resolve.
+	s.Register("bounce.delta", telemetry.DeltaProbe(bounced))
+	s.Register("arrivals.delta", telemetry.DeltaProbe(arrivals))
+	s.Register("interrupt.delta", telemetry.DeltaProbe(func() float64 {
+		return float64(rt.reg.Counter("active.interrupted").Value())
+	}))
 	s.Register("est.error.pct", func() float64 {
 		return rt.reg.Histogram("est.kernel_error_pct").Snapshot().Mean()
 	})
@@ -272,6 +289,8 @@ func (rt *Runtime) registerProbes() {
 // than once.
 func (rt *Runtime) Close() {
 	rt.closeOnce.Do(func() {
+		rt.cfg.Events.Info("runtime", "active runtime stopping",
+			"mode", rt.cfg.Mode.String())
 		close(rt.stop)
 		rt.queue.Close()
 		rt.cfg.Telemetry.Close()

@@ -1,0 +1,97 @@
+// Package daemonflags holds the command-line flags every DOSAS daemon
+// shares — the debug endpoint, transport mode, telemetry cadence, and
+// the observability plane (event log and SLO rules) — so the five
+// binaries register identical names with identical semantics instead of
+// five drifting copies.
+package daemonflags
+
+import (
+	"flag"
+	"time"
+
+	"dosas/internal/openmetrics"
+	"dosas/internal/pprofserve"
+	"dosas/internal/slo"
+	"dosas/internal/telemetry"
+)
+
+// Common is the shared flag set. Register the groups a daemon needs,
+// call flag.Parse, then use the accessor helpers.
+type Common struct {
+	// PprofAddr is -pprof-addr: the loopback debug endpoint carrying
+	// net/http/pprof and /metrics. Empty disables it.
+	PprofAddr string
+	// NoMux is -no-mux: decline connection multiplexing.
+	NoMux bool
+	// TelemetryTick is -telemetry-tick: the sampler interval (0 = the
+	// 100 ms default, negative = telemetry disabled).
+	TelemetryTick time.Duration
+	// SLORulesPath is -slo-rules: a JSON rule file overriding the
+	// built-in alert rules. Empty keeps the defaults.
+	SLORulesPath string
+	// EventCapacity is -event-capacity: each node's in-memory event
+	// ring size (0 = the 1024 default).
+	EventCapacity int
+	// EventDir is -events-dir: where nodes persist events as JSON
+	// lines (empty = in-memory only).
+	EventDir string
+}
+
+// RegisterBase installs the flags every binary shares: the debug
+// endpoint and the transport mode.
+func (c *Common) RegisterBase(fs *flag.FlagSet) {
+	fs.StringVar(&c.PprofAddr, "pprof-addr", "",
+		"serve net/http/pprof and /metrics on this loopback address (e.g. 127.0.0.1:6060; empty = disabled)")
+	fs.BoolVar(&c.NoMux, "no-mux", false,
+		"decline connection multiplexing; use ordered per-exchange RPC only")
+}
+
+// RegisterTelemetry installs -telemetry-tick.
+func (c *Common) RegisterTelemetry(fs *flag.FlagSet) {
+	fs.DurationVar(&c.TelemetryTick, "telemetry-tick", 0,
+		"telemetry sampling interval (0 = 100ms default, negative = disabled)")
+}
+
+// RegisterObservability installs the event-log and SLO flags.
+func (c *Common) RegisterObservability(fs *flag.FlagSet) {
+	fs.StringVar(&c.SLORulesPath, "slo-rules", "",
+		"JSON alert-rule file overriding the built-in SLO rules")
+	fs.IntVar(&c.EventCapacity, "event-capacity", 0,
+		"per-node in-memory event ring size (0 = 1024 default)")
+	fs.StringVar(&c.EventDir, "events-dir", "",
+		"persist per-node events as JSON lines under this directory (empty = in-memory only)")
+}
+
+// Sampler builds a telemetry sampler per the -telemetry-tick
+// convention: zero means the default interval, negative disables.
+func (c *Common) Sampler() *telemetry.Sampler {
+	if c.TelemetryTick < 0 {
+		return nil
+	}
+	return telemetry.NewSampler(telemetry.Config{Interval: c.TelemetryTick})
+}
+
+// Rules resolves -slo-rules: the file's validated rules when given, the
+// built-in defaults otherwise.
+func (c *Common) Rules() ([]slo.Rule, error) {
+	if c.SLORulesPath == "" {
+		return slo.DefaultRules(), nil
+	}
+	return slo.LoadRules(c.SLORulesPath)
+}
+
+// ServeDebug starts the -pprof-addr endpoint with /metrics rendering
+// sources, returning the bound address ("" when disabled). sources is
+// re-evaluated per scrape, so gauges and alert states stay live.
+func (c *Common) ServeDebug(sources func() []openmetrics.Source) (string, error) {
+	if c.PprofAddr == "" {
+		return "", nil
+	}
+	extra := []pprofserve.Endpoint{}
+	if sources != nil {
+		extra = append(extra, pprofserve.Endpoint{
+			Path: "/metrics", Handler: openmetrics.Handler(sources),
+		})
+	}
+	return pprofserve.Serve(c.PprofAddr, extra...)
+}

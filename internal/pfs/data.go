@@ -6,7 +6,9 @@ import (
 	"time"
 
 	"dosas/internal/audit"
+	"dosas/internal/eventlog"
 	"dosas/internal/metrics"
+	"dosas/internal/slo"
 	"dosas/internal/telemetry"
 	"dosas/internal/trace"
 	"dosas/internal/wire"
@@ -51,6 +53,13 @@ type DataConfig struct {
 	// via DecisionLogReq. Usually shared with (and written by) the
 	// attached active runtime. Optional.
 	Audit *audit.Log
+	// Events is the node's structured event log, served to operators via
+	// EventFetchReq. Usually shared with the attached active runtime.
+	// Optional.
+	Events *eventlog.Log
+	// SLO is the node's alert engine, served via AlertFetchReq and
+	// contributing readiness checks to HealthReq. Optional.
+	SLO *slo.Engine
 }
 
 // DataServer is one storage node's I/O service: it stores the server-local
@@ -63,6 +72,8 @@ type DataServer struct {
 	trace   *trace.Recorder
 	tele    *telemetry.Sampler
 	audit   *audit.Log
+	events  *eventlog.Log
+	slo     *slo.Engine
 	started time.Time
 	active  ActiveHandler
 }
@@ -78,6 +89,7 @@ func NewDataServer(cfg DataConfig) (*DataServer, error) {
 	return &DataServer{
 		store: cfg.Store, reg: cfg.Metrics, node: cfg.Node,
 		trace: cfg.Trace, tele: cfg.Telemetry, audit: cfg.Audit,
+		events: cfg.Events, slo: cfg.SLO,
 		started: time.Now(),
 	}, nil
 }
@@ -136,6 +148,10 @@ func (ds *DataServer) Handle(msg wire.Message) (wire.Message, error) {
 		return serveSeries(ds.node, ds.tele, req)
 	case *wire.DecisionLogReq:
 		return ds.decisionLog(req)
+	case *wire.EventFetchReq:
+		return serveEvents(ds.node, ds.events, req)
+	case *wire.AlertFetchReq:
+		return serveAlerts(ds.node, ds.slo)
 	default:
 		return nil, fmt.Errorf("%w: data server got %v", ErrUnsupported, msg.Type())
 	}
@@ -152,6 +168,15 @@ func (ds *DataServer) health() (wire.Message, error) {
 		checks = append(checks, hc.HealthChecks()...)
 	} else {
 		checks = append(checks, telemetry.Check{Name: "active", OK: true, Detail: "no runtime attached"})
+	}
+	// Firing alerts fail readiness: an operator looking at health sees
+	// which rule is breaching, not just a red light.
+	checks = append(checks, ds.slo.Checks()...)
+	if dropped := ds.tele.Dropped(); dropped > 0 {
+		checks = append(checks, telemetry.Check{
+			Name: "telemetry", OK: true,
+			Detail: fmt.Sprintf("%d ring samples overwritten", dropped),
+		})
 	}
 	return encodeHealth(telemetry.HealthReport{Node: ds.node, Role: "data", Checks: checks}, ds.started)
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"time"
 
+	"dosas/internal/eventlog"
+	"dosas/internal/slo"
 	"dosas/internal/telemetry"
 	"dosas/internal/wire"
 )
@@ -53,5 +55,32 @@ func serveSeries(node string, s *telemetry.Sampler, req *wire.SeriesFetchReq) (*
 	if err != nil {
 		return nil, fmt.Errorf("%w: encoding series: %v", ErrInvalid, err)
 	}
-	return &wire.SeriesFetchResp{Node: node, Series: js, TickNano: int64(s.Interval())}, nil
+	return &wire.SeriesFetchResp{
+		Node: node, Series: js,
+		TickNano: int64(s.Interval()), Dropped: s.Dropped(),
+	}, nil
+}
+
+// serveEvents answers an EventFetchReq from a node's event log. A nil
+// log answers with an empty tail, mirroring serveSeries.
+func serveEvents(node string, l *eventlog.Log, req *wire.EventFetchReq) (*wire.EventFetchResp, error) {
+	events := l.Snapshot(req.SinceSeq, eventlog.Level(req.MinLevel), int(req.Limit))
+	js, err := eventlog.EncodeEvents(events)
+	if err != nil {
+		return nil, fmt.Errorf("%w: encoding events: %v", ErrInvalid, err)
+	}
+	return &wire.EventFetchResp{
+		Node: node, Events: js,
+		NextSeq: l.NextSeq(), Dropped: l.Dropped(),
+	}, nil
+}
+
+// serveAlerts answers an AlertFetchReq from a node's SLO engine. A nil
+// engine answers with an empty table.
+func serveAlerts(node string, e *slo.Engine) (*wire.AlertFetchResp, error) {
+	js, err := slo.EncodeAlerts(e.Alerts())
+	if err != nil {
+		return nil, fmt.Errorf("%w: encoding alerts: %v", ErrInvalid, err)
+	}
+	return &wire.AlertFetchResp{Node: node, Alerts: js}, nil
 }

@@ -1,0 +1,180 @@
+package pfs
+
+import (
+	"strings"
+	"testing"
+
+	"dosas/internal/eventlog"
+	"dosas/internal/slo"
+	"dosas/internal/telemetry"
+	"dosas/internal/wire"
+)
+
+// newDroppedSampler builds a sampler whose 2-point ring has already
+// overwritten two samples.
+func newDroppedSampler(t *testing.T) *telemetry.Sampler {
+	t.Helper()
+	s := telemetry.NewSampler(telemetry.Config{Capacity: 2})
+	s.Register("x", func() float64 { return 1 })
+	for i := 0; i < 4; i++ {
+		s.Tick()
+	}
+	if s.Dropped() != 2 {
+		t.Fatalf("sampler dropped = %d, want 2", s.Dropped())
+	}
+	return s
+}
+
+// TestSeriesFetchCarriesDropped checks a data server's series response
+// reports how many ring samples were overwritten, alongside the tick.
+func TestSeriesFetchCarriesDropped(t *testing.T) {
+	tele := newDroppedSampler(t)
+	ds, err := NewDataServer(DataConfig{Store: NewMemStore(), Node: "data-0", Telemetry: tele})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ds.Handle(&wire.SeriesFetchReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf := resp.(*wire.SeriesFetchResp)
+	if sf.Dropped != 2 {
+		t.Fatalf("SeriesFetchResp.Dropped = %d, want 2", sf.Dropped)
+	}
+	if sf.TickNano != int64(tele.Interval()) {
+		t.Fatalf("TickNano = %d, want %d", sf.TickNano, tele.Interval())
+	}
+	series, err := telemetry.DecodeSeries(sf.Series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 || series[0].Name != "x" {
+		t.Fatalf("series = %+v", series)
+	}
+}
+
+// TestHealthSurfacesRingDrops checks the node's health report carries an
+// informational telemetry check once the ring has overwritten samples —
+// without degrading readiness.
+func TestHealthSurfacesRingDrops(t *testing.T) {
+	ds, err := NewDataServer(DataConfig{Store: NewMemStore(), Node: "data-0", Telemetry: newDroppedSampler(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ds.Handle(&wire.HealthReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr := resp.(*wire.HealthResp)
+	if !hr.Ready {
+		t.Fatalf("ring drops degraded readiness: %+v", hr)
+	}
+	checks, err := telemetry.DecodeChecks(hr.Checks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, chk := range checks {
+		if chk.Name == "telemetry" {
+			found = true
+			if !chk.OK || !strings.Contains(chk.Detail, "2 ring samples overwritten") {
+				t.Fatalf("telemetry check = %+v", chk)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no telemetry check in %+v", checks)
+	}
+}
+
+// TestEventAndAlertFetch round-trips a data server's event tail and
+// alert table over their wire messages, including the nil-engine and
+// since-cursor edge cases sweeps depend on.
+func TestEventAndAlertFetch(t *testing.T) {
+	events, err := eventlog.New(eventlog.Config{Node: "data-0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events.Info("test", "first")
+	events.Warn("test", "second")
+
+	tele := telemetry.NewSampler(telemetry.Config{})
+	engine, err := slo.NewEngine(slo.Config{Rules: slo.DefaultRules(), Sampler: tele, Node: "data-0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := NewDataServer(DataConfig{
+		Store: NewMemStore(), Node: "data-0",
+		Telemetry: tele, Events: events, SLO: engine,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := ds.Handle(&wire.EventFetchReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef := resp.(*wire.EventFetchResp)
+	got, err := eventlog.DecodeEvents(ef.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Msg != "first" || got[1].Msg != "second" {
+		t.Fatalf("events = %+v", got)
+	}
+	if ef.NextSeq != 3 {
+		t.Fatalf("NextSeq = %d, want 3", ef.NextSeq)
+	}
+
+	// A cursor past the first event returns only what came later.
+	resp, err = ds.Handle(&wire.EventFetchReq{SinceSeq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = eventlog.DecodeEvents(resp.(*wire.EventFetchResp).Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Msg != "second" {
+		t.Fatalf("cursored events = %+v", got)
+	}
+
+	resp, err = ds.Handle(&wire.AlertFetchReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	af := resp.(*wire.AlertFetchResp)
+	alerts, err := slo.DecodeAlerts(af.Alerts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) != len(slo.DefaultRules()) {
+		t.Fatalf("alerts = %d, want %d rules", len(alerts), len(slo.DefaultRules()))
+	}
+	for _, a := range alerts {
+		if a.Node != "data-0" || a.State != slo.StateInactive {
+			t.Fatalf("alert = %+v", a)
+		}
+	}
+
+	// A server without an event log or engine answers empty, not erroring.
+	bare, err := NewDataServer(DataConfig{Store: NewMemStore(), Node: "data-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = bare.Handle(&wire.EventFetchReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev := resp.(*wire.EventFetchResp); len(ev.Events) > 0 && string(ev.Events) != "null" && string(ev.Events) != "[]" {
+		t.Fatalf("bare event fetch = %q", ev.Events)
+	}
+	resp, err = bare.Handle(&wire.AlertFetchReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al, err := slo.DecodeAlerts(resp.(*wire.AlertFetchResp).Alerts); err != nil || len(al) != 0 {
+		t.Fatalf("bare alert fetch = %v, %v", al, err)
+	}
+}

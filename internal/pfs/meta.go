@@ -8,7 +8,9 @@ import (
 	"sync"
 	"time"
 
+	"dosas/internal/eventlog"
 	"dosas/internal/metrics"
+	"dosas/internal/slo"
 	"dosas/internal/telemetry"
 	"dosas/internal/wire"
 )
@@ -40,6 +42,13 @@ type MetaConfig struct {
 	// via SeriesFetchReq. The metadata server registers its op-rate
 	// probes on it, starts it, and owns it: Close stops it. Optional.
 	Telemetry *telemetry.Sampler
+	// Events is the node's structured event log, served to operators via
+	// EventFetchReq. Startup and journal lifecycle are recorded on it.
+	// Optional.
+	Events *eventlog.Log
+	// SLO is the node's alert engine, served via AlertFetchReq and
+	// contributing readiness checks to HealthReq. Optional.
+	SLO *slo.Engine
 }
 
 // DefaultStripeSize is the stripe size used when callers pass zero.
@@ -91,9 +100,13 @@ func NewMetaServer(cfg MetaConfig) (*MetaServer, error) {
 		if err := j.replay(m.applyEntry); err != nil {
 			return nil, err
 		}
+		cfg.Events.Info("meta", "journal replayed",
+			"path", cfg.JournalPath, "files", fmt.Sprint(len(m.byName)))
 	}
 	m.registerProbes()
 	cfg.Telemetry.Start()
+	cfg.Events.Info("meta", "namespace server started",
+		"data_servers", fmt.Sprint(cfg.NumDataServers))
 	return m, nil
 }
 
@@ -160,6 +173,10 @@ func (m *MetaServer) Handle(msg wire.Message) (wire.Message, error) {
 		return m.health()
 	case *wire.SeriesFetchReq:
 		return serveSeries("meta", m.cfg.Telemetry, req)
+	case *wire.EventFetchReq:
+		return serveEvents("meta", m.cfg.Events, req)
+	case *wire.AlertFetchReq:
+		return serveAlerts("meta", m.cfg.SLO)
 	default:
 		return nil, fmt.Errorf("%w: metadata server got %v", ErrUnsupported, msg.Type())
 	}
@@ -184,6 +201,7 @@ func (m *MetaServer) health() (wire.Message, error) {
 	} else {
 		checks = append(checks, telemetry.Check{Name: "journal", OK: true, Detail: "volatile (no journal configured)"})
 	}
+	checks = append(checks, m.cfg.SLO.Checks()...)
 	return encodeHealth(telemetry.HealthReport{Node: "meta", Role: "meta", Checks: checks}, m.started)
 }
 
@@ -380,7 +398,12 @@ func (m *MetaServer) CompactJournal() error {
 		records = append(records, rec)
 	}
 	sort.Slice(records, func(i, j int) bool { return records[i].Handle < records[j].Handle })
-	return m.journal.compact(m.cfg.JournalPath, records)
+	if err := m.journal.compact(m.cfg.JournalPath, records); err != nil {
+		m.cfg.Events.Error("meta", "journal compaction failed", "err", err.Error())
+		return err
+	}
+	m.cfg.Events.Info("meta", "journal compacted", "files", fmt.Sprint(len(records)))
+	return nil
 }
 
 // Files returns a snapshot of all records, for inspection and tests.

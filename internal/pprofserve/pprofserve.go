@@ -3,6 +3,10 @@
 // flag, empty by default) and meant for loopback use: the endpoint
 // exposes goroutine dumps, heap profiles and symbol tables, so binding
 // it to a public interface would leak internals of the storage node.
+//
+// The same mux carries the daemons' operational endpoints (notably the
+// OpenMetrics exposition at /metrics) so one flag opens the whole debug
+// plane.
 package pprofserve
 
 import (
@@ -13,12 +17,20 @@ import (
 	"strings"
 )
 
+// Endpoint is one extra handler mounted on the debug mux next to the
+// pprof handlers — e.g. {"/metrics", openmetrics.Handler(...)}.
+type Endpoint struct {
+	Path    string
+	Handler http.Handler
+}
+
 // Serve binds addr (e.g. "127.0.0.1:6060"; empty port picks one) and
-// serves the net/http/pprof handlers on it from a background goroutine,
-// returning the bound address. An empty addr is a no-op returning "".
-// Non-loopback hosts are refused — profiling a remote node should go
-// through an SSH tunnel, not an open port.
-func Serve(addr string) (string, error) {
+// serves the net/http/pprof handlers — plus any extra endpoints — on it
+// from a background goroutine, returning the bound address. An empty
+// addr is a no-op returning "". Non-loopback hosts are refused —
+// profiling a remote node should go through an SSH tunnel, not an open
+// port.
+func Serve(addr string, extra ...Endpoint) (string, error) {
 	if addr == "" {
 		return "", nil
 	}
@@ -41,6 +53,12 @@ func Serve(addr string) (string, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, e := range extra {
+		if e.Path == "" || e.Handler == nil {
+			continue
+		}
+		mux.Handle(e.Path, e.Handler)
+	}
 	go http.Serve(ln, mux) //nolint:errcheck // dies with the process
 	return ln.Addr().String(), nil
 }

@@ -44,15 +44,24 @@ type FlightConfig struct {
 	// (dosasctl slow) can read them; the directory is pruned to Capacity
 	// files, oldest first.
 	Dir string
+	// DirMaxBytes bounds the total size of the on-disk journal (default
+	// DefaultDirMaxBytes; negative disables the byte budget). Oldest
+	// bundles are pruned first, so a long contention storm rotates the
+	// journal instead of filling the disk.
+	DirMaxBytes int64
 	// Now overrides the clock, for tests.
 	Now func() time.Time
 }
+
+// DefaultDirMaxBytes is the default on-disk flight-journal byte budget.
+const DefaultDirMaxBytes = 64 << 20
 
 // FlightRecorder is the bounded slow-request journal. A nil
 // *FlightRecorder is valid and drops every capture.
 type FlightRecorder struct {
 	capacity int
 	dir      string
+	maxBytes int64
 	now      func() time.Time
 
 	mu      sync.Mutex
@@ -68,12 +77,18 @@ func NewFlightRecorder(cfg FlightConfig) (*FlightRecorder, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	if cfg.DirMaxBytes == 0 {
+		cfg.DirMaxBytes = DefaultDirMaxBytes
+	}
+	if cfg.DirMaxBytes < 0 {
+		cfg.DirMaxBytes = 0 // negative means unbounded
+	}
 	if cfg.Dir != "" {
 		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 			return nil, fmt.Errorf("telemetry: flight dir: %w", err)
 		}
 	}
-	return &FlightRecorder{capacity: cfg.Capacity, dir: cfg.Dir, now: cfg.Now}, nil
+	return &FlightRecorder{capacity: cfg.Capacity, dir: cfg.Dir, maxBytes: cfg.DirMaxBytes, now: cfg.Now}, nil
 }
 
 // Capture journals one bundle, evicting the oldest past capacity. Disk
@@ -106,19 +121,41 @@ func (fr *FlightRecorder) Capture(b Bundle) error {
 	return fr.pruneDir()
 }
 
-// pruneDir removes the oldest slow-*.json files past capacity. File
-// names embed the capture nanos, so lexical order is capture order.
+// pruneDir removes the oldest slow-*.json files until both the file
+// count is within capacity and the total size is within the byte
+// budget. File names embed the capture nanos, so lexical order is
+// capture order; the newest bundle is always kept even when it alone
+// exceeds the budget.
 func (fr *FlightRecorder) pruneDir() error {
 	files, err := filepath.Glob(filepath.Join(fr.dir, "slow-*.json"))
-	if err != nil || len(files) <= fr.capacity {
+	if err != nil {
 		return err
 	}
 	sort.Strings(files)
+	var total int64
+	sizes := make([]int64, len(files))
+	for i, f := range files {
+		if fi, err := os.Stat(f); err == nil {
+			sizes[i] = fi.Size()
+			total += fi.Size()
+		}
+	}
 	var firstErr error
-	for _, f := range files[:len(files)-fr.capacity] {
-		if err := os.Remove(f); err != nil && firstErr == nil {
+	remove := func(i int) {
+		if err := os.Remove(files[i]); err != nil && !os.IsNotExist(err) && firstErr == nil {
 			firstErr = err
 		}
+		total -= sizes[i]
+	}
+	keepFrom := 0
+	if n := len(files) - fr.capacity; n > 0 {
+		for i := 0; i < n; i++ {
+			remove(i)
+		}
+		keepFrom = n
+	}
+	for i := keepFrom; i < len(files)-1 && fr.maxBytes > 0 && total > fr.maxBytes; i++ {
+		remove(i)
 	}
 	return firstErr
 }

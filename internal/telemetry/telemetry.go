@@ -102,10 +102,12 @@ type Sampler struct {
 	capacity int
 	now      func() time.Time
 
-	mu     sync.Mutex
-	probes []probeEntry
-	rings  map[string]*ring
-	ticks  uint64
+	mu        sync.Mutex
+	probes    []probeEntry
+	rings     map[string]*ring
+	ticks     uint64
+	dropped   uint64
+	listeners []func()
 
 	startOnce sync.Once
 	stopOnce  sync.Once
@@ -255,10 +257,48 @@ func (s *Sampler) Tick() {
 	s.ticks++
 	for i, pe := range probes {
 		if r, ok := s.rings[pe.name]; ok {
+			if r.full {
+				s.dropped++
+			}
 			r.add(Point{UnixNano: now, Value: vals[i]})
 		}
 	}
+	listeners := s.listeners
 	s.mu.Unlock()
+	// Listeners run after the tick's points land, outside the lock for
+	// the same reason probes do: the SLO engine's evaluation reads the
+	// rings back through Get and must not deadlock.
+	for _, f := range listeners {
+		f()
+	}
+}
+
+// OnTick registers f to run at the end of every Tick, after the tick's
+// samples have been recorded. The SLO engine hooks rule evaluation here
+// so alerts are judged against the freshest window. Listeners must not
+// block; they run on the sampler goroutine.
+func (s *Sampler) OnTick(f func()) {
+	if s == nil || f == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Copy-on-write so Tick can release the lock before invoking.
+	ls := make([]func(), len(s.listeners), len(s.listeners)+1)
+	copy(ls, s.listeners)
+	s.listeners = append(ls, f)
+}
+
+// Dropped reports how many samples the rings have overwritten since the
+// sampler was created — non-zero means fetched series are a suffix of
+// the node's true history, mirroring the trace ring's dropped counter.
+func (s *Sampler) Dropped() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
 }
 
 // Ticks reports how many times the sampler has fired.

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -312,5 +313,117 @@ func TestFormatBundle(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("FormatBundle output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestSamplerDroppedCountsOverwrites(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0), step: time.Millisecond}
+	s := NewSampler(Config{Capacity: 4, Now: clk.now})
+	s.Register("a", func() float64 { return 1 })
+	s.Register("b", func() float64 { return 2 })
+	for i := 0; i < 4; i++ {
+		s.Tick()
+	}
+	if s.Dropped() != 0 {
+		t.Fatalf("Dropped before wrap = %d, want 0", s.Dropped())
+	}
+	for i := 0; i < 3; i++ {
+		s.Tick()
+	}
+	// Each wrapped tick overwrites one point in each of the two rings.
+	if s.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", s.Dropped())
+	}
+	var nilSampler *Sampler
+	if nilSampler.Dropped() != 0 {
+		t.Fatal("nil Dropped should be 0")
+	}
+}
+
+func TestSamplerOnTick(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0), step: time.Millisecond}
+	s := NewSampler(Config{Capacity: 4, Now: clk.now})
+	s.Register("x", func() float64 { return 1 })
+	var calls int
+	var sawPoints int
+	s.OnTick(func() {
+		calls++
+		// The tick's sample must already be visible to listeners.
+		ser, _ := s.Get("x", 0)
+		sawPoints = len(ser.Points)
+	})
+	s.Tick()
+	s.Tick()
+	if calls != 2 || sawPoints != 2 {
+		t.Fatalf("calls = %d points = %d, want 2 and 2", calls, sawPoints)
+	}
+	var nilSampler *Sampler
+	nilSampler.OnTick(func() {}) // must not panic
+	s.OnTick(nil)                // ignored
+	s.Tick()
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+func TestFlightRecorderByteBudget(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "slow")
+	clk := &fakeClock{t: time.Unix(2000, 0), step: time.Second}
+	// Large capacity so only the byte budget prunes. Each bundle's JSON
+	// is ~300 bytes with the padded op below.
+	fr, err := NewFlightRecorder(FlightConfig{Capacity: 100, Dir: dir, DirMaxBytes: 1000, Now: clk.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pad := strings.Repeat("x", 200)
+	for i := 0; i < 8; i++ {
+		if err := fr.Capture(Bundle{TraceID: uint64(i + 1), Op: pad}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "slow-*.json"))
+	var total int64
+	for _, f := range files {
+		fi, err := os.Stat(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += fi.Size()
+	}
+	if total > 1000 {
+		t.Fatalf("journal size = %d bytes, want <= 1000", total)
+	}
+	if len(files) == 0 {
+		t.Fatal("budget pruning removed every bundle; newest must survive")
+	}
+	// The survivors are the newest bundles.
+	got, err := ReadBundles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[len(got)-1].TraceID != 8 {
+		t.Fatalf("newest bundle = trace %d, want 8", got[len(got)-1].TraceID)
+	}
+	// In-memory journal is untouched by disk pruning.
+	if fr.Len() != 8 {
+		t.Fatalf("in-memory Len = %d, want 8", fr.Len())
+	}
+}
+
+func TestFlightRecorderNegativeBudgetUnbounded(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "slow")
+	fr, err := NewFlightRecorder(FlightConfig{Capacity: 100, Dir: dir, DirMaxBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pad := strings.Repeat("y", 200)
+	for i := 0; i < 5; i++ {
+		if err := fr.Capture(Bundle{TraceID: uint64(i + 1), Op: pad}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "slow-*.json"))
+	if len(files) != 5 {
+		t.Fatalf("unbounded journal kept %d files, want 5", len(files))
 	}
 }

@@ -811,6 +811,11 @@ type SeriesFetchResp struct {
 	// TickNano is the serving sampler's tick interval, so consumers can
 	// turn point counts into durations. Optional trailing field.
 	TickNano int64
+	// Dropped is how many samples the node's telemetry rings have
+	// overwritten since boot: non-zero means the fetched series are a
+	// suffix of the node's true history (the trace ring convention).
+	// Optional trailing field added after TickNano.
+	Dropped uint64
 }
 
 func (*SeriesFetchResp) Type() MsgType { return MsgSeriesFetchResp }
@@ -819,6 +824,7 @@ func (m *SeriesFetchResp) Encode(e *Encoder) {
 	e.PutString(m.Node)
 	e.PutBytes(m.Series)
 	e.PutI64(m.TickNano)
+	e.PutU64(m.Dropped)
 }
 
 func (m *SeriesFetchResp) Decode(d *Decoder) {
@@ -827,13 +833,16 @@ func (m *SeriesFetchResp) Decode(d *Decoder) {
 	if d.Remaining() > 0 {
 		m.TickNano = d.I64()
 	}
+	if d.Remaining() > 0 {
+		m.Dropped = d.U64()
+	}
 }
 
 // Own implements Owner: Series may alias a pooled frame buffer.
 func (m *SeriesFetchResp) Own() { m.Series = detach(m.Series) }
 
 // encodedSizeHint sizes the frame buffer for the history payload.
-func (m *SeriesFetchResp) encodedSizeHint() int { return len(m.Series) + len(m.Node) + 24 }
+func (m *SeriesFetchResp) encodedSizeHint() int { return len(m.Series) + len(m.Node) + 32 }
 
 // DecisionLogReq asks a storage node for its scheduler's decision audit
 // log. Limit keeps only the trailing N records (0 means all retained);
@@ -931,3 +940,99 @@ func (m *HelloResp) Decode(d *Decoder) {
 	m.Version = d.U32()
 	m.MaxSegment = d.U32()
 }
+
+// EventFetchReq tails a node's structured event ring: events with
+// sequence numbers above SinceSeq (0 means from the oldest retained),
+// at or above MinLevel (eventlog severity ordinal; 0 keeps all), at
+// most Limit newest events (0 means all matching). dosasctl events
+// resumes follow-mode tails by feeding back the previous NextSeq-1.
+type EventFetchReq struct {
+	SinceSeq uint64
+	Limit    uint64
+	MinLevel uint8
+}
+
+func (*EventFetchReq) Type() MsgType { return MsgEventFetchReq }
+
+func (m *EventFetchReq) Encode(e *Encoder) {
+	e.PutU64(m.SinceSeq)
+	e.PutU64(m.Limit)
+	e.PutU8(m.MinLevel)
+}
+
+func (m *EventFetchReq) Decode(d *Decoder) {
+	m.SinceSeq = d.U64()
+	m.Limit = d.U64()
+	m.MinLevel = d.U8()
+}
+
+// EventFetchResp returns the matching events as a JSON array of
+// eventlog.Event — opaque here so the event schema can grow without
+// touching the wire format (the HealthResp.Checks pattern). NextSeq is
+// the node's next event sequence number (feed NextSeq-1 back as
+// SinceSeq to resume); Dropped is how many events the node's ring has
+// overwritten since boot.
+type EventFetchResp struct {
+	Node    string
+	Events  []byte // JSON-encoded []eventlog.Event
+	NextSeq uint64
+	Dropped uint64
+}
+
+func (*EventFetchResp) Type() MsgType { return MsgEventFetchResp }
+
+func (m *EventFetchResp) Encode(e *Encoder) {
+	e.PutString(m.Node)
+	e.PutBytes(m.Events)
+	e.PutU64(m.NextSeq)
+	e.PutU64(m.Dropped)
+}
+
+func (m *EventFetchResp) Decode(d *Decoder) {
+	m.Node = d.String()
+	m.Events = d.Bytes()
+	m.NextSeq = d.U64()
+	m.Dropped = d.U64()
+}
+
+// Own implements Owner: Events may alias a pooled frame buffer.
+func (m *EventFetchResp) Own() { m.Events = detach(m.Events) }
+
+// encodedSizeHint sizes the frame buffer for the event payload.
+func (m *EventFetchResp) encodedSizeHint() int { return len(m.Events) + len(m.Node) + 32 }
+
+// AlertFetchReq asks a node for its SLO engine's current alert table —
+// every rule's state, not just firing ones, so operators see what is
+// being watched.
+type AlertFetchReq struct{}
+
+func (*AlertFetchReq) Type() MsgType { return MsgAlertFetchReq }
+
+func (m *AlertFetchReq) Encode(e *Encoder) {}
+
+func (m *AlertFetchReq) Decode(d *Decoder) {}
+
+// AlertFetchResp returns the node's alerts as a JSON array of
+// slo.Alert, opaque for the same schema-growth reason as events.
+type AlertFetchResp struct {
+	Node   string
+	Alerts []byte // JSON-encoded []slo.Alert
+}
+
+func (*AlertFetchResp) Type() MsgType { return MsgAlertFetchResp }
+
+func (m *AlertFetchResp) Encode(e *Encoder) {
+	e.PutString(m.Node)
+	e.PutBytes(m.Alerts)
+}
+
+func (m *AlertFetchResp) Decode(d *Decoder) {
+	m.Node = d.String()
+	m.Alerts = d.Bytes()
+}
+
+// Own implements Owner: Alerts may alias a pooled frame buffer.
+func (m *AlertFetchResp) Own() { m.Alerts = detach(m.Alerts) }
+
+// encodedSizeHint sizes the frame buffer for the alert payload.
+func (m *AlertFetchResp) encodedSizeHint() int { return len(m.Alerts) + len(m.Node) + 16 }

@@ -78,6 +78,12 @@ func TestAllMessagesRoundTrip(t *testing.T) {
 			Records: []byte(`[{"seq":1,"solver":"maxgain","trigger":"admit"}]`)},
 		&HelloReq{MaxVersion: MuxVersion, MaxSegment: DefaultMuxSegment},
 		&HelloResp{Version: MuxVersion, MaxSegment: 64 << 10},
+		&EventFetchReq{SinceSeq: 17, Limit: 100, MinLevel: 2},
+		&EventFetchResp{Node: "data-0", NextSeq: 42, Dropped: 3,
+			Events: []byte(`[{"seq":1,"level":"warn","sub":"slo","msg":"alert pending"}]`)},
+		&AlertFetchReq{},
+		&AlertFetchResp{Node: "data-0",
+			Alerts: []byte(`[{"rule":"bounce-budget-burn","state":"firing"}]`)},
 	}
 	seen := make(map[MsgType]bool)
 	for _, m := range msgs {
@@ -116,7 +122,7 @@ func TestOldFormatFramesDecode(t *testing.T) {
 		{&TraceFetchResp{Node: "data-0", Events: []byte(`[]`), Dropped: 17}, "Dropped"},
 		{&HealthResp{Node: "data-0", Role: "data", Ready: true,
 			Checks: []byte(`[]`), UptimeNano: 123456789}, "UptimeNano"},
-		{&SeriesFetchResp{Node: "data-0", Series: []byte(`[]`), TickNano: 1e8}, "TickNano"},
+		{&SeriesFetchResp{Node: "data-0", Series: []byte(`[]`), TickNano: 1e8, Dropped: 21}, "Dropped"},
 	}
 	for _, tc := range cases {
 		m := tc.m
@@ -229,6 +235,50 @@ func TestDecisionLogCodecQuick(t *testing.T) {
 		resp := roundTrip(t, in).(*DecisionLogResp)
 		return resp.Node == node && resp.Dropped == dropped &&
 			bytes.Equal(resp.Records, records)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// SeriesFetchResp has gained two trailing optional fields over time
+// (TickNano, then Dropped); a frame from a peer predating both — the
+// new-format frame truncated by 16 — must still decode.
+func TestSeriesFetchRespTwoGenerationsOld(t *testing.T) {
+	m := &SeriesFetchResp{Node: "data-0", Series: []byte(`[]`), TickNano: 1e8, Dropped: 9}
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	old := append([]byte(nil), raw[:len(raw)-16]...)
+	binary.LittleEndian.PutUint32(old[0:4], uint32(len(old)-4))
+	got, err := ReadMessage(bytes.NewReader(old))
+	if err != nil {
+		t.Fatalf("two-generations-old frame rejected: %v", err)
+	}
+	resp := got.(*SeriesFetchResp)
+	if resp.Node != "data-0" || resp.TickNano != 0 || resp.Dropped != 0 {
+		t.Fatalf("decode = %+v, want zero TickNano/Dropped", resp)
+	}
+}
+
+// TestEventAlertCodecQuick property-checks the event/alert codecs over
+// arbitrary field values, including payloads that are not valid JSON —
+// like the decision log, the codec is payload-agnostic by design.
+func TestEventAlertCodecQuick(t *testing.T) {
+	f := func(since, limit, next, dropped uint64, minLevel uint8, node string, payload []byte) bool {
+		req := roundTrip(t, &EventFetchReq{SinceSeq: since, Limit: limit, MinLevel: minLevel}).(*EventFetchReq)
+		if req.SinceSeq != since || req.Limit != limit || req.MinLevel != minLevel {
+			return false
+		}
+		eresp := roundTrip(t, &EventFetchResp{Node: node, Events: payload, NextSeq: next, Dropped: dropped}).(*EventFetchResp)
+		if eresp.Node != node || eresp.NextSeq != next || eresp.Dropped != dropped ||
+			!bytes.Equal(eresp.Events, payload) {
+			return false
+		}
+		aresp := roundTrip(t, &AlertFetchResp{Node: node, Alerts: payload}).(*AlertFetchResp)
+		return aresp.Node == node && bytes.Equal(aresp.Alerts, payload)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

@@ -94,6 +94,12 @@ const (
 	MsgHelloReq
 	MsgHelloResp
 
+	// Operational plane: structured event tail and SLO alert fetch.
+	MsgEventFetchReq
+	MsgEventFetchResp
+	MsgAlertFetchReq
+	MsgAlertFetchResp
+
 	msgSentinel // keep last
 )
 
@@ -142,6 +148,10 @@ var msgNames = map[MsgType]string{
 	MsgDecisionLogResp: "decisionlog.resp",
 	MsgHelloReq:        "hello.req",
 	MsgHelloResp:       "hello.resp",
+	MsgEventFetchReq:   "eventfetch.req",
+	MsgEventFetchResp:  "eventfetch.resp",
+	MsgAlertFetchReq:   "alertfetch.req",
+	MsgAlertFetchResp:  "alertfetch.resp",
 }
 
 // String returns a human-readable name for the message type.
@@ -420,6 +430,14 @@ func New(t MsgType) Message {
 		return new(HelloReq)
 	case MsgHelloResp:
 		return new(HelloResp)
+	case MsgEventFetchReq:
+		return new(EventFetchReq)
+	case MsgEventFetchResp:
+		return new(EventFetchResp)
+	case MsgAlertFetchReq:
+		return new(AlertFetchReq)
+	case MsgAlertFetchResp:
+		return new(AlertFetchResp)
 	default:
 		return nil
 	}

@@ -6,7 +6,9 @@ import (
 	"strings"
 	"time"
 
+	"dosas/internal/eventlog"
 	"dosas/internal/metrics"
+	"dosas/internal/slo"
 	"dosas/internal/telemetry"
 	"dosas/internal/trace"
 	"dosas/internal/wire"
@@ -343,6 +345,161 @@ func (fs *FS) ClientSeries(window time.Duration) []Series {
 // bundles, oldest first. Empty unless the client was connected with
 // SlowThreshold or SlowFactor set.
 func (fs *FS) SlowBundles() []SlowBundle { return fs.asc.SlowBundles() }
+
+// Event is one structured operational event: a leveled, timestamped
+// message with ordered key/value fields, emitted by a node subsystem
+// (runtime, meta, slo) into its bounded in-memory ring.
+type Event = eventlog.Event
+
+// EventLevel is an event's severity (debug, info, warn, error).
+type EventLevel = eventlog.Level
+
+// Event severity levels.
+const (
+	EventDebug = eventlog.Debug
+	EventInfo  = eventlog.Info
+	EventWarn  = eventlog.Warn
+	EventError = eventlog.Error
+)
+
+// ParseEventLevel parses a level name ("debug", "info", "warn",
+// "error").
+func ParseEventLevel(s string) (EventLevel, error) { return eventlog.ParseLevel(s) }
+
+// FormatEvent renders one event as the single line dosasctl events
+// prints.
+func FormatEvent(ev Event) string { return eventlog.FormatEvent(ev) }
+
+// MergeEvents interleaves per-node event sets into one timeline ordered
+// by wall-clock time (ties broken by node, then sequence).
+func MergeEvents(byNode ...[]Event) []Event { return eventlog.Merge(byNode...) }
+
+// SLORule is one declarative alert rule (threshold, rate-of-change, or
+// multi-window burn-rate) evaluated against a node's telemetry rings.
+type SLORule = slo.Rule
+
+// DefaultSLORules returns the built-in rule set every node evaluates
+// when no -slo-rules file overrides it.
+func DefaultSLORules() []SLORule { return slo.DefaultRules() }
+
+// LoadSLORules reads a JSON rule file (see internal/slo for the
+// schema), validating every rule.
+func LoadSLORules(path string) ([]SLORule, error) { return slo.LoadRules(path) }
+
+// ParseSLORules parses and validates a JSON rule list.
+func ParseSLORules(data []byte) ([]SLORule, error) { return slo.ParseRules(data) }
+
+// Alert is the live state of one rule on one node: inactive, pending
+// (breaching but inside its dwell), firing, or resolved.
+type Alert = slo.Alert
+
+// FormatAlerts renders alerts as the aligned table dosasctl alerts
+// prints.
+func FormatAlerts(alerts []Alert) string { return slo.FormatAlerts(alerts) }
+
+// Events returns the cluster's merged event timeline — every node's
+// retained events at or above min, interleaved by time. limit > 0 keeps
+// only the newest limit events per node before merging.
+func (c *Cluster) Events(min EventLevel, limit int) []Event {
+	sets := make([][]Event, 0, len(c.events)+1)
+	if c.metaEvents != nil {
+		sets = append(sets, c.metaEvents.Snapshot(0, min, limit))
+	}
+	for _, ev := range c.events {
+		if ev != nil {
+			sets = append(sets, ev.Snapshot(0, min, limit))
+		}
+	}
+	return MergeEvents(sets...)
+}
+
+// Alerts returns every node's current alert table, metadata server
+// first, then storage nodes in layout order. Nodes without an engine
+// (telemetry disabled) contribute nothing.
+func (c *Cluster) Alerts() []Alert {
+	var out []Alert
+	if c.metaSLO != nil {
+		out = append(out, c.metaSLO.Alerts()...)
+	}
+	for _, eng := range c.engines {
+		if eng != nil {
+			out = append(out, eng.Alerts()...)
+		}
+	}
+	return out
+}
+
+// EventsPage is one node's slice of the event tail, with the cursor to
+// resume tailing from and how many ring entries have been overwritten
+// since the node started.
+type EventsPage struct {
+	Node    string
+	Events  []Event
+	NextSeq uint64
+	Dropped uint64
+}
+
+// Events fetches each node's retained events over the wire. since maps
+// node name to the sequence cursor returned by a previous sweep (nil or
+// a missing key fetches from the start of the ring); min filters by
+// level and limit > 0 keeps only the newest limit events per node.
+// Unreachable nodes and nodes predating the event plane are skipped
+// (they surface in Health); decode failures are reported.
+func (fs *FS) Events(since map[string]uint64, min EventLevel, limit int) ([]EventsPage, error) {
+	var out []EventsPage
+	for _, n := range fs.nodeAddrs() {
+		req := &wire.EventFetchReq{MinLevel: uint8(min), Limit: uint64(limit)}
+		if since != nil {
+			req.SinceSeq = since[n.name]
+		}
+		resp, err := fs.pc.Pool().Call(n.addr, req)
+		if err != nil {
+			continue
+		}
+		ef, ok := resp.(*wire.EventFetchResp)
+		if !ok {
+			return out, fmt.Errorf("dosas: unexpected event response %v", resp.Type())
+		}
+		events, err := eventlog.DecodeEvents(ef.Events)
+		if err != nil {
+			return out, fmt.Errorf("dosas: %s: %w", n.name, err)
+		}
+		name := ef.Node
+		if name == "" {
+			name = n.name
+		}
+		out = append(out, EventsPage{Node: name, Events: events, NextSeq: ef.NextSeq, Dropped: ef.Dropped})
+	}
+	return out, nil
+}
+
+// Alerts fetches every node's current alert table over the wire, in
+// sweep order. Unreachable nodes and nodes predating the alert plane
+// are skipped (they surface in Health); decode failures are reported.
+func (fs *FS) Alerts() ([]Alert, error) {
+	var out []Alert
+	for _, n := range fs.nodeAddrs() {
+		resp, err := fs.pc.Pool().Call(n.addr, &wire.AlertFetchReq{})
+		if err != nil {
+			continue
+		}
+		af, ok := resp.(*wire.AlertFetchResp)
+		if !ok {
+			return out, fmt.Errorf("dosas: unexpected alert response %v", resp.Type())
+		}
+		alerts, err := slo.DecodeAlerts(af.Alerts)
+		if err != nil {
+			return out, fmt.Errorf("dosas: %s: %w", n.name, err)
+		}
+		for i := range alerts {
+			if alerts[i].Node == "" {
+				alerts[i].Node = n.name
+			}
+		}
+		out = append(out, alerts...)
+	}
+	return out, nil
+}
 
 // AggregateDecisions computes cluster-wide decision metrics from
 // per-node snapshots (local registries or StatsResp payloads alike).
