@@ -625,7 +625,11 @@ func eventsLoop(fs *dosas.FS, min dosas.EventLevel, limit int, follow bool) {
 		sets := make([][]dosas.Event, 0, len(pages))
 		for _, p := range pages {
 			sets = append(sets, p.Events)
-			cursors[p.Node] = p.NextSeq
+			// Snapshot cursors are exclusive: feed back NextSeq-1 so
+			// the next event logged (Seq == NextSeq) is not skipped.
+			if p.NextSeq >= 1 {
+				cursors[p.Node] = p.NextSeq - 1
+			}
 		}
 		for _, ev := range dosas.MergeEvents(sets...) {
 			fmt.Println(dosas.FormatEvent(ev))

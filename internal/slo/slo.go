@@ -335,10 +335,14 @@ func (e *Engine) Eval() {
 	for i := range e.states {
 		st := &e.states[i]
 		value, detail, breach, ok := evalRule(e.cfg.Sampler, st.rule)
-		if ok {
-			st.value, st.detail = value, detail
+		if !ok {
+			// The rule abstained (too few points in the window, e.g. a
+			// telemetry stall). Missing data is neither a breach nor a
+			// recovery: hold the current state so a firing alert does
+			// not auto-resolve on a gap.
+			continue
 		}
-		breach = breach && ok
+		st.value, st.detail = value, detail
 		switch {
 		case breach && (st.state == StateInactive || st.state == StateResolved):
 			st.state, st.since, st.breachSince = StatePending, now, now

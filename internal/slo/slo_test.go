@@ -296,6 +296,42 @@ func TestMissingSeriesAbstains(t *testing.T) {
 	}
 }
 
+func TestAbstainHoldsFiringState(t *testing.T) {
+	rules := []Rule{{
+		Name: "queue-sat", Series: "queue.depth", Kind: KindThreshold,
+		Threshold: 5, Window: Duration(time.Second), Severity: "page",
+	}}
+	r := newRig(t, rules)
+	depth := 50.0
+	r.sampler.Register("queue.depth", func() float64 { return depth })
+	for i := 0; i < 5; i++ {
+		r.step(100 * time.Millisecond)
+	}
+	if a := stateOf(t, r.engine, "queue-sat"); a.State != StateFiring {
+		t.Fatalf("breach = %v, want firing (For=0 fires on first breach)", a.State)
+	}
+
+	// Telemetry stalls: the clock advances past the window with no new
+	// samples, so every evaluation abstains. A firing page alert must
+	// hold its state, not auto-resolve on missing data.
+	for i := 0; i < 30; i++ {
+		r.clk.advance(100 * time.Millisecond)
+		r.engine.Eval()
+	}
+	if a := stateOf(t, r.engine, "queue-sat"); a.State != StateFiring {
+		t.Fatalf("after telemetry stall = %v, want still firing", a.State)
+	}
+
+	// Sampling resumes with healthy values: only now does it resolve.
+	depth = 0
+	for i := 0; i < 15; i++ {
+		r.step(100 * time.Millisecond)
+	}
+	if a := stateOf(t, r.engine, "queue-sat"); a.State != StateResolved {
+		t.Fatalf("after recovery = %v, want resolved", a.State)
+	}
+}
+
 func TestValidateAndDefaults(t *testing.T) {
 	r := Rule{Name: "x", Series: "s", Kind: KindThreshold}
 	if err := r.Validate(); err != nil {

@@ -431,7 +431,9 @@ func (c *Cluster) Alerts() []Alert {
 
 // EventsPage is one node's slice of the event tail, with the cursor to
 // resume tailing from and how many ring entries have been overwritten
-// since the node started.
+// since the node started. Node is the client layout name, matching the
+// key of the since map passed to Events; individual events carry the
+// emitting daemon's own node name.
 type EventsPage struct {
 	Node    string
 	Events  []Event
@@ -464,11 +466,11 @@ func (fs *FS) Events(since map[string]uint64, min EventLevel, limit int) ([]Even
 		if err != nil {
 			return out, fmt.Errorf("dosas: %s: %w", n.name, err)
 		}
-		name := ef.Node
-		if name == "" {
-			name = n.name
-		}
-		out = append(out, EventsPage{Node: name, Events: events, NextSeq: ef.NextSeq, Dropped: ef.Dropped})
+		// Key the page by the client layout name — the same key a
+		// caller's since map uses — so resume cursors always match even
+		// if the daemon was configured with a different node name. The
+		// events themselves carry the server-reported name for display.
+		out = append(out, EventsPage{Node: n.name, Events: events, NextSeq: ef.NextSeq, Dropped: ef.Dropped})
 	}
 	return out, nil
 }
