@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-observability race-transport race-alerts replay-determinism check bench bench-telemetry bench-mux bench-paper clean
+.PHONY: all build test vet race race-observability race-transport race-alerts race-store replay-determinism check bench bench-readpath bench-telemetry bench-mux bench-paper clean
 
 all: check
 
@@ -34,6 +34,13 @@ race-observability:
 race-transport:
 	$(GO) test -race ./internal/wire/ ./internal/transport/ ./internal/pfs/
 
+# Focused race gate for the storage layer: the extent store's size cache
+# and refcounted fd cache are hit concurrently by reads, writes,
+# truncates, and in-flight zero-copy payloads pinning descriptors; the
+# cross-validation suite churns all of them under -race.
+race-store:
+	$(GO) test -race -run 'TestExtent|TestFDCache|TestFileStore|TestStore' ./internal/pfs/
+
 # Focused race gate for the operational plane: the event-log ring is
 # written from every subsystem while dosasctl events tails it, and the
 # SLO engine's state machines advance on the sampler goroutine while
@@ -51,13 +58,18 @@ replay-determinism:
 	cmp /tmp/dosas-replay-a.json /tmp/dosas-replay-b.json
 	@echo "replay-determinism: OK (byte-identical reports)"
 
-check: vet race-observability race-transport race-alerts replay-determinism race
+check: vet race-observability race-transport race-store race-alerts replay-determinism race
 
 # Data-path microbenchmarks (fixed iteration count so runs compare
 # across commits) plus the window-vs-serial matrix (writes BENCH_pr2.json).
 bench:
 	$(GO) test ./internal/pfs/ -run '^$$' -bench 'ReadPath|WritePath' -benchtime 15x -benchmem
 	$(GO) run ./cmd/dosas-bench -exp readpath
+
+# Zero-copy serving A/B: user-space copies per served byte for sendbuf
+# vs writev vs sendfile serving (writes BENCH_readpath_zerocopy.json).
+bench-readpath:
+	$(GO) run ./cmd/dosas-bench -exp readpath-zerocopy
 
 # Telemetry overhead: active read path with samplers off, at the default
 # 100ms tick, and at a pathological 1ms tick. The acceptance bar is <1%

@@ -121,6 +121,23 @@ type Options struct {
 	// directory (one subdirectory per storage node) and journals
 	// metadata, making the cluster durable across restarts.
 	DataDir string
+	// StoreBackend picks the on-disk store format when DataDir is set:
+	// "extent" (default; extent files plus the zero-copy read path) or
+	// "file" (the v0 one-file-per-handle layout, kept as the bench
+	// baseline and for pre-extent data directories).
+	StoreBackend string
+	// StoreSync makes disk-backed stores fsync after every write and
+	// truncate (-fsync on the daemons). Off by default: the page cache
+	// absorbs write bursts and the workloads are re-runnable.
+	StoreSync bool
+	// FDCacheSize caps each disk-backed store's open descriptors
+	// (default pfs.DefaultFDCacheSize).
+	FDCacheSize int
+	// PlainReadPath disables the zero-copy serving path on every
+	// storage node: bulk reads stage through pooled buffers and frames
+	// are written contiguously, as before this path existed. Used by
+	// the sendbuf-vs-sendfile A/B benchmarks.
+	PlainReadPath bool
 	// WindowDepth is how many chunk requests clients connected through
 	// this Cluster keep in flight per server connection during bulk
 	// transfers (default pfs.DefaultWindowDepth; 1 disables pipelining).
@@ -306,11 +323,31 @@ func StartCluster(o Options) (*Cluster, error) {
 	for i := 0; i < o.DataServers; i++ {
 		var store pfs.Store
 		if o.DataDir != "" {
-			fs, err := pfs.NewFileStore(filepath.Join(o.DataDir, fmt.Sprintf("data-%d", i)))
-			if err != nil {
-				return nil, err
+			dir := filepath.Join(o.DataDir, fmt.Sprintf("data-%d", i))
+			switch o.StoreBackend {
+			case "", "extent":
+				es, err := pfs.NewExtentStore(pfs.ExtentConfig{
+					Dir:         dir,
+					Sync:        o.StoreSync,
+					FDCacheSize: o.FDCacheSize,
+				})
+				if err != nil {
+					return nil, err
+				}
+				store = es
+			case "file":
+				fs, err := pfs.NewFileStoreConfig(pfs.FileStoreConfig{
+					Dir:         dir,
+					Sync:        o.StoreSync,
+					FDCacheSize: o.FDCacheSize,
+				})
+				if err != nil {
+					return nil, err
+				}
+				store = fs
+			default:
+				return nil, fmt.Errorf("dosas: unknown store backend %q", o.StoreBackend)
 			}
-			store = fs
 		} else {
 			store = pfs.NewMemStore()
 		}
@@ -374,6 +411,11 @@ func StartCluster(o Options) (*Cluster, error) {
 		}
 		srv := pfs.NewServer(dl, ds)
 		srv.SetMux(!o.DisableMux)
+		srv.SetFrameStats(ds.WireStats())
+		if o.PlainReadPath {
+			ds.SetZeroCopy(false)
+			srv.SetPlainWrites(true)
+		}
 		srv.Start()
 		c.servers = append(c.servers, srv)
 		c.dataAddrs = append(c.dataAddrs, srv.Addr())

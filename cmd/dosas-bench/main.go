@@ -25,7 +25,11 @@
 //	trace     trace-driven multi-application mixed stream
 //	live      live-mode TS/AS/DOSAS on a real in-process cluster
 //	ce-period live ablation: Contention Estimator responsiveness
-//	readpath  pipelined read path, window vs serial (writes BENCH_pr2.json)
+//	readpath  pipelined read path, window vs serial (writes BENCH_pr2.json),
+//	          then the zero-copy serving matrix (see readpath-zerocopy)
+//	readpath-zerocopy
+//	          user-space copies per served byte: sendbuf vs writev vs
+//	          sendfile (writes BENCH_readpath_zerocopy.json)
 //	whatif    counterfactual replay of a live decision log (writes BENCH_whatif.json)
 //	mux       control-message latency under bulk load, mux vs ordered (writes BENCH_mux.json)
 //	all       everything simulated (excludes the live experiments)
@@ -108,9 +112,10 @@ func main() {
 		"trace":     trace,
 		"live":      live,
 		"ce-period": cePeriod,
-		"readpath":  readPath,
-		"whatif":    whatif,
-		"mux":       muxExp,
+		"readpath":          readPath,
+		"readpath-zerocopy": readPathZeroCopy,
+		"whatif":            whatif,
+		"mux":               muxExp,
 	}
 	order := []string{"table3", "fig2", "fig5", "fig6", "table4",
 		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
@@ -820,4 +825,9 @@ func readPath() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nwrote window-vs-serial matrix to %s\n", out)
+
+	// The companion measurement: with the pipelining settled, how many
+	// user-space copies does each served byte still pay?
+	fmt.Println()
+	readPathZeroCopy()
 }

@@ -545,7 +545,8 @@ func (c *Client) computeLocally(addr string, handle, offset, length uint64, op s
 	// WindowDepth chunk reads ride the wire concurrently, but the kernel
 	// does not start until the last byte lands.
 	xferStart := time.Now()
-	buf := make([]byte, length)
+	buf := wire.GetBuf(int(length))
+	defer wire.PutBuf(buf)
 	n, err := c.cfg.FS.Pool().ReadWindowed(addr, handle, buf, offset, c.cfg.WindowDepth, c.cfg.ChunkSize)
 	done := uint64(n)
 	c.reg.Counter("asc.bytes_shipped").Add(int64(n))

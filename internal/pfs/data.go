@@ -76,6 +76,14 @@ type DataServer struct {
 	slo     *slo.Engine
 	started time.Time
 	active  ActiveHandler
+
+	// Zero-copy read path state: ranger is the store's RangeReader side
+	// (nil for MemStore), zeroCopy gates the fast path (on by default,
+	// off for A/B benchmarking), wireStats is shared with every framing
+	// writer of this server and mirrored into reg by stats().
+	ranger    RangeReader
+	zeroCopy  bool
+	wireStats wire.FrameStats
 }
 
 // NewDataServer builds a data server over cfg.Store.
@@ -86,13 +94,38 @@ func NewDataServer(cfg DataConfig) (*DataServer, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.NewRegistry()
 	}
-	return &DataServer{
+	ds := &DataServer{
 		store: cfg.Store, reg: cfg.Metrics, node: cfg.Node,
 		trace: cfg.Trace, tele: cfg.Telemetry, audit: cfg.Audit,
 		events: cfg.Events, slo: cfg.SLO,
 		started: time.Now(),
-	}, nil
+	}
+	ds.ranger, _ = cfg.Store.(RangeReader)
+	ds.zeroCopy = true
+	if s := cfg.Telemetry; s != nil && ds.ranger != nil {
+		// How a disk-backed node's read bytes leave it: kernel-moved
+		// (sendfile) vs staged through user space (pooled copies,
+		// inline encodes). Memory-backed nodes skip the series — they
+		// have no zero-copy path to observe.
+		s.Register("zerocopy.sendfile.bps", telemetry.RateProbe(func() float64 {
+			return float64(ds.wireStats.SendfileBytes.Load())
+		}, s.Interval()))
+		s.Register("zerocopy.copied.bps", telemetry.RateProbe(func() float64 {
+			return float64(ds.wireStats.CopiedBytes.Load() + ds.reg.Counter("data.bytes_copied").Value())
+		}, s.Interval()))
+	}
+	return ds, nil
 }
+
+// WireStats exposes the server's frame-transport counters; the RPC
+// server shares this struct across every connection's framing writer.
+func (ds *DataServer) WireStats() *wire.FrameStats { return &ds.wireStats }
+
+// SetZeroCopy gates the by-reference read path (on by default). With it
+// off, bulk reads stage through pooled buffers as before — the bench
+// harness uses this for sendbuf-vs-sendfile comparisons. Call before
+// the server starts handling requests.
+func (ds *DataServer) SetZeroCopy(on bool) { ds.zeroCopy = on }
 
 // SetActiveHandler attaches the active-storage runtime. Must be called
 // before the server starts handling requests.
@@ -185,6 +218,7 @@ func (ds *DataServer) health() (wire.Message, error) {
 // scheduling mode is discovered from the active handler without importing
 // core (which imports pfs): any handler naming its mode qualifies.
 func (ds *DataServer) stats() (wire.Message, error) {
+	ds.SyncWireStats()
 	js, err := json.Marshal(ds.reg.Snapshot())
 	if err != nil {
 		return nil, fmt.Errorf("%w: encoding stats: %v", ErrInvalid, err)
@@ -237,6 +271,24 @@ func (ds *DataServer) decisionLog(req *wire.DecisionLogReq) (wire.Message, error
 	return &wire.DecisionLogResp{Node: ds.node, Records: js, Dropped: ds.audit.Dropped()}, nil
 }
 
+// SyncWireStats mirrors the frame-transport counters into the metrics
+// registry (wire.sendfile_bytes, wire.writev_calls, wire.copied_bytes).
+// The counters are atomics written on the framing hot path; mirroring
+// happens only when a snapshot is taken, keeping the hot path free of
+// registry lookups. The wire StatsReq handler calls it automatically;
+// in-process snapshot consumers (Cluster.Stats) call it directly.
+func (ds *DataServer) SyncWireStats() {
+	set := func(name string, v int64) {
+		c := ds.reg.Counter(name)
+		if d := v - c.Value(); d > 0 {
+			c.Add(d)
+		}
+	}
+	set("wire.sendfile_bytes", ds.wireStats.SendfileBytes.Load())
+	set("wire.writev_calls", ds.wireStats.WritevCalls.Load())
+	set("wire.copied_bytes", ds.wireStats.CopiedBytes.Load())
+}
+
 // PostWrite implements the pfs.PostWriter hook: a read or write stays
 // counted as in flight until its response has left the server, so the
 // "data.inflight" pressure gauge covers the transfer time on slow links.
@@ -249,11 +301,24 @@ func (ds *DataServer) PostWrite(req, resp wire.Message) {
 	case *wire.ReadReq, *wire.WriteReq:
 		ds.reg.Gauge("data.inflight").Add(-1)
 	}
-	if rr, ok := resp.(*wire.ReadResp); ok && rr.PoolBuf != nil {
-		wire.PutBuf(rr.PoolBuf)
-		rr.PoolBuf = nil
+	if rr, ok := resp.(*wire.ReadResp); ok {
+		if rr.PoolBuf != nil {
+			wire.PutBuf(rr.PoolBuf)
+			rr.PoolBuf = nil
+		}
+		if rr.Payload != nil {
+			// Drops the payload's fd-cache references now that the frame
+			// is on the wire (or has definitively failed).
+			rr.Payload.Close() //nolint:errcheck // release-only
+			rr.Payload = nil
+		}
 	}
 }
+
+// zeroCopyMin is the smallest read served by reference: below it the
+// fixed cost of building a payload (fd-cache refs, extra writes for the
+// frame head and tail) outweighs the saved copy.
+const zeroCopyMin = 64 << 10
 
 func (ds *DataServer) read(req *wire.ReadReq) (wire.Message, error) {
 	ds.reg.Counter("data.read").Inc()
@@ -262,6 +327,17 @@ func (ds *DataServer) read(req *wire.ReadReq) (wire.Message, error) {
 		return nil, fmt.Errorf("%w: read of %d bytes exceeds frame budget", ErrInvalid, req.Length)
 	}
 	size := ds.store.Size(req.Handle)
+	if ds.zeroCopy && ds.ranger != nil && req.Length >= zeroCopyMin && req.Offset < size {
+		n := min(uint64(req.Length), size-req.Offset)
+		p, err := ds.ranger.ReadRange(req.Handle, req.Offset, n)
+		if err == nil {
+			ds.reg.Counter("data.bytes_read").Add(int64(n))
+			// Closed in PostWrite once the frame has left the server.
+			return &wire.ReadResp{Payload: p, EOF: req.Offset+n >= size}, nil
+		}
+		// Any failure (a Truncate/Remove race, fd exhaustion) falls back
+		// to the copy path, which re-reads whatever is there now.
+	}
 	buf := wire.GetBuf(int(req.Length)) // returned to the pool in PostWrite
 	n, err := ds.store.ReadAt(req.Handle, buf, req.Offset)
 	if err != nil {
@@ -269,6 +345,9 @@ func (ds *DataServer) read(req *wire.ReadReq) (wire.Message, error) {
 		return nil, err
 	}
 	ds.reg.Counter("data.bytes_read").Add(int64(n))
+	// The store just staged n bytes into a user-space buffer; the wire
+	// layer counts any further copies (wire.copied_bytes).
+	ds.reg.Counter("data.bytes_copied").Add(int64(n))
 	eof := req.Offset+uint64(n) >= size
 	return &wire.ReadResp{Data: buf[:n], EOF: eof, PoolBuf: buf}, nil
 }

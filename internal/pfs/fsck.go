@@ -100,7 +100,9 @@ func (c *Client) Verify(name string, deep bool) (*Report, error) {
 			} else {
 				rep.BytesChecked += want
 			}
+			wire.PutBuf(data)
 		}
+		wire.PutBuf(refData)
 	}
 	return rep, nil
 }
@@ -160,6 +162,7 @@ func (c *Client) Repair(name string) (*Report, error) {
 			}
 			c.pool.Call(addr, &wire.TruncReq{Handle: handle, Size: want}) //nolint:errcheck
 		}
+		wire.PutBuf(data)
 	}
 	return c.Verify(name, true)
 }
@@ -182,15 +185,18 @@ func (c *Client) localSize(server uint32, handle uint64) (uint64, error) {
 }
 
 // readLocalStream fetches [0, length) of a server's local stream over
-// the same sliding-window path the file data plane uses.
+// the same sliding-window path the file data plane uses. The returned
+// slice comes from the wire buffer pool; the caller must hand it back
+// with wire.PutBuf once done comparing or copying.
 func (c *Client) readLocalStream(server uint32, handle, length uint64) ([]byte, error) {
 	addr, err := c.DataAddr(server)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]byte, length)
+	out := wire.GetBuf(int(length))
 	if _, err := c.pool.ReadWindowed(addr, handle, out, 0,
 		c.cfg.WindowDepth, c.cfg.TransferChunk); err != nil {
+		wire.PutBuf(out)
 		return nil, fmt.Errorf("pfs: fsck read: %w", err)
 	}
 	return out, nil

@@ -490,6 +490,8 @@ type Server struct {
 	l       transport.Listener
 	h       Handler
 	noMux   bool
+	stats   *wire.FrameStats
+	plain   bool
 	mu      sync.Mutex
 	conns   map[net.Conn]struct{}
 	closing bool
@@ -505,6 +507,17 @@ func NewServer(l transport.Listener, h Handler) *Server {
 // disabling makes the server decline every HelloReq, emulating an
 // un-upgraded peer). Call before Start.
 func (s *Server) SetMux(enabled bool) { s.noMux = !enabled }
+
+// SetFrameStats shares st with every connection's framing writer, so
+// sendfile/writev/copy accounting lands in one place (the data server's
+// WireStats). Call before Start.
+func (s *Server) SetFrameStats(st *wire.FrameStats) { s.stats = st }
+
+// SetPlainWrites disables the by-reference frame fast paths on every
+// connection: responses are materialized and written contiguously, as
+// before the zero-copy path existed (A/B benchmarking). Call before
+// Start.
+func (s *Server) SetPlainWrites(on bool) { s.plain = on }
 
 // Addr returns the listener's bound address.
 func (s *Server) Addr() string { return s.l.Addr() }
@@ -590,7 +603,7 @@ func (s *Server) serveConn(c net.Conn) {
 			resp = ToErrorMsg(req.Type().String(), herr)
 		}
 		if resp != nil {
-			werr = wire.WriteMessage(c, resp)
+			werr = wire.WriteMessageOpts(c, resp, wire.WriteOptions{Stats: s.stats, Plain: s.plain})
 		}
 		if pw != nil {
 			// Always fires once per handled request — even when the handler
@@ -627,6 +640,8 @@ const muxServerConcurrency = 32
 // per request.
 func (s *Server) serveMux(c net.Conn, segment int, pw PostWriter) {
 	mw := wire.NewMuxWriter(c, segment)
+	mw.Stats = s.stats
+	mw.Plain = s.plain
 	mr := wire.NewMuxReader(c)
 	defer mr.Close()
 	sem := make(chan struct{}, muxServerConcurrency)

@@ -7,11 +7,16 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"dosas/internal/wire"
 )
 
 // Store is a data server's backing object store: one sparse byte stream per
 // file handle (the concatenation of the stripes this server owns, in
 // server-local order). Implementations must be safe for concurrent use.
+//
+// Disk-backed stores additionally implement RangeReader, the extension
+// behind the zero-copy read path.
 type Store interface {
 	// ReadAt fills p from the stream at off. Bytes beyond the stream end
 	// are reported by a short count; holes read as zeros.
@@ -26,6 +31,20 @@ type Store interface {
 	Remove(handle uint64) error
 	// Close releases resources.
 	Close() error
+}
+
+// RangeReader is the optional Store extension for serving bulk reads by
+// reference: instead of staging the bytes through a buffer, the store
+// hands back a wire.Payload describing where they live (extent files,
+// holes), which the framing layer then moves with sendfile/writev. A
+// store without it — MemStore — keeps the pooled-buffer path.
+type RangeReader interface {
+	// ReadRange returns a payload serving exactly n bytes of handle's
+	// stream at off; off+n must not exceed Size at call time (the
+	// payload zero-fills if the stream shrinks afterwards, keeping its
+	// announced length). The caller must Close the payload once the
+	// frame is written — it pins fd-cache references until then.
+	ReadRange(handle uint64, off, n uint64) (wire.Payload, error)
 }
 
 // MemStore keeps streams in memory. It is the default for tests, examples,
@@ -103,55 +122,72 @@ func (s *MemStore) Remove(handle uint64) error {
 func (s *MemStore) Close() error { return nil }
 
 // FileStore keeps each handle's stream in one file under a directory,
-// giving a data server durability across restarts.
+// giving a data server durability across restarts. Open descriptors are
+// held in a capped LRU (see fdCache), so a long-lived server touching
+// many handles stays under its rlimit. ExtentStore is the preferred
+// disk backend — it also serves zero-copy payloads — but FileStore's
+// one-file-per-handle layout remains both as the v0 format and as the
+// bench baseline the zero-copy path is measured against.
 type FileStore struct {
-	dir string
-
-	mu    sync.Mutex
-	files map[uint64]*os.File
+	dir  string
+	sync bool
+	fds  *fdCache
 }
 
-// NewFileStore opens (creating if needed) a store rooted at dir.
+// FileStoreConfig configures a FileStore.
+type FileStoreConfig struct {
+	// Dir roots the store; created if needed.
+	Dir string
+	// FDCacheSize caps lazily opened descriptors (default
+	// DefaultFDCacheSize).
+	FDCacheSize int
+	// Sync fsyncs the backing file after every write. Off by default:
+	// the page cache absorbs write bursts and the paper's workloads are
+	// re-runnable; turn it on (-fsync) for durability-sensitive runs.
+	Sync bool
+}
+
+// NewFileStore opens (creating if needed) a store rooted at dir with
+// default options.
 func NewFileStore(dir string) (*FileStore, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return NewFileStoreConfig(FileStoreConfig{Dir: dir})
+}
+
+// NewFileStoreConfig opens (creating if needed) a store per cfg.
+func NewFileStoreConfig(cfg FileStoreConfig) (*FileStore, error) {
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("pfs: filestore: %w", err)
 	}
-	return &FileStore{dir: dir, files: make(map[uint64]*os.File)}, nil
+	return &FileStore{dir: cfg.Dir, sync: cfg.Sync, fds: newFDCache(cfg.FDCacheSize)}, nil
 }
 
 func (s *FileStore) path(handle uint64) string {
 	return filepath.Join(s.dir, fmt.Sprintf("h%016x.dat", handle))
 }
 
-// file returns the open *os.File for handle, opening or creating it.
-func (s *FileStore) file(handle uint64, create bool) (*os.File, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if f, ok := s.files[handle]; ok {
-		return f, nil
-	}
-	flags := os.O_RDWR
-	if create {
-		flags |= os.O_CREATE
-	}
-	f, err := os.OpenFile(s.path(handle), flags, 0o644)
-	if err != nil {
-		return nil, err
-	}
-	s.files[handle] = f
-	return f, nil
+// file acquires the cached descriptor for handle, opening or creating
+// it. The caller must release the returned entry.
+func (s *FileStore) file(handle uint64, create bool) (*fdEntry, error) {
+	return s.fds.acquire(fdKey{handle: handle}, func() (*os.File, error) {
+		flags := os.O_RDWR
+		if create {
+			flags |= os.O_CREATE
+		}
+		return os.OpenFile(s.path(handle), flags, 0o644)
+	})
 }
 
 // ReadAt implements Store.
 func (s *FileStore) ReadAt(handle uint64, p []byte, off uint64) (int, error) {
-	f, err := s.file(handle, false)
+	e, err := s.file(handle, false)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return 0, nil
 		}
 		return 0, err
 	}
-	n, err := f.ReadAt(p, int64(off))
+	defer s.fds.release(e)
+	n, err := e.f.ReadAt(p, int64(off))
 	if errors.Is(err, io.EOF) {
 		// Short read at end of stream is not an error at this layer.
 		return n, nil
@@ -161,20 +197,26 @@ func (s *FileStore) ReadAt(handle uint64, p []byte, off uint64) (int, error) {
 
 // WriteAt implements Store.
 func (s *FileStore) WriteAt(handle uint64, p []byte, off uint64) (int, error) {
-	f, err := s.file(handle, true)
+	e, err := s.file(handle, true)
 	if err != nil {
 		return 0, err
 	}
-	return f.WriteAt(p, int64(off))
+	defer s.fds.release(e)
+	n, err := e.f.WriteAt(p, int64(off))
+	if err == nil && s.sync {
+		err = e.f.Sync()
+	}
+	return n, err
 }
 
 // Size implements Store.
 func (s *FileStore) Size(handle uint64) uint64 {
-	f, err := s.file(handle, false)
+	e, err := s.file(handle, false)
 	if err != nil {
 		return 0
 	}
-	fi, err := f.Stat()
+	defer s.fds.release(e)
+	fi, err := e.f.Stat()
 	if err != nil {
 		return 0
 	}
@@ -183,24 +225,26 @@ func (s *FileStore) Size(handle uint64) uint64 {
 
 // Truncate implements Store.
 func (s *FileStore) Truncate(handle uint64, size uint64) error {
-	f, err := s.file(handle, false)
+	e, err := s.file(handle, false)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil
 		}
 		return err
 	}
-	return f.Truncate(int64(size))
+	defer s.fds.release(e)
+	if err := e.f.Truncate(int64(size)); err != nil {
+		return err
+	}
+	if s.sync {
+		return e.f.Sync()
+	}
+	return nil
 }
 
 // Remove implements Store.
 func (s *FileStore) Remove(handle uint64) error {
-	s.mu.Lock()
-	if f, ok := s.files[handle]; ok {
-		f.Close()
-		delete(s.files, handle)
-	}
-	s.mu.Unlock()
+	s.fds.invalidate(fdKey{handle: handle})
 	err := os.Remove(s.path(handle))
 	if os.IsNotExist(err) {
 		return nil
@@ -209,15 +253,4 @@ func (s *FileStore) Remove(handle uint64) error {
 }
 
 // Close implements Store.
-func (s *FileStore) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var first error
-	for h, f := range s.files {
-		if err := f.Close(); err != nil && first == nil {
-			first = err
-		}
-		delete(s.files, h)
-	}
-	return first
-}
+func (s *FileStore) Close() error { return s.fds.closeAll() }

@@ -15,9 +15,16 @@ func storeImpls(t *testing.T) map[string]Store {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { fs.Close() })
+	// Small extents so multi-extent paths get exercised by ordinary ops.
+	es, err := NewExtentStore(ExtentConfig{Dir: filepath.Join(t.TempDir(), "ext"), ExtentSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { es.Close() })
 	return map[string]Store{
-		"mem":  NewMemStore(),
-		"file": fs,
+		"mem":    NewMemStore(),
+		"file":   fs,
+		"extent": es,
 	}
 }
 

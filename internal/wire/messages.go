@@ -295,6 +295,13 @@ type ReadResp struct {
 	Data []byte
 	EOF  bool
 
+	// Payload is not part of the wire format: when non-nil the response
+	// body is served by reference from it (disk-backed zero-copy read
+	// path) and Data is nil. The wire bytes are identical either way —
+	// receivers always decode into Data. The sending data server closes
+	// the payload in PostWrite, after the frame has left the connection.
+	Payload Payload
+
 	// PoolBuf is not part of the wire format. When non-nil it is the
 	// pooled buffer Data aliases; the sending data server sets it so the
 	// buffer can be recycled (PutBuf) once the response frame — which is
@@ -305,6 +312,13 @@ type ReadResp struct {
 func (*ReadResp) Type() MsgType { return MsgReadResp }
 
 func (m *ReadResp) Encode(e *Encoder) {
+	if m.Payload != nil {
+		// Inline fallback for writers without a streaming fast path:
+		// materialize the payload into the frame buffer.
+		e.PutPayload(m.Payload)
+		e.PutBool(m.EOF)
+		return
+	}
 	e.PutBytes(m.Data)
 	e.PutBool(m.EOF)
 }
@@ -318,7 +332,21 @@ func (m *ReadResp) Decode(d *Decoder) {
 func (m *ReadResp) Own() { m.Data = detach(m.Data) }
 
 // encodedSizeHint sizes the frame buffer for the bulk payload.
-func (m *ReadResp) encodedSizeHint() int { return len(m.Data) + 8 }
+func (m *ReadResp) encodedSizeHint() int {
+	if m.Payload != nil {
+		return int(m.Payload.Len()) + 8
+	}
+	return len(m.Data) + 8
+}
+
+// bulkRef implements payloadCarrier: the body is Data or Payload.
+func (m *ReadResp) bulkRef() ([]byte, Payload) { return m.Data, m.Payload }
+
+// encodePre implements payloadCarrier: the body's u32 length prefix.
+func (m *ReadResp) encodePre(e *Encoder, bodyLen int) { e.PutU32(uint32(bodyLen)) }
+
+// encodePost implements payloadCarrier: the trailing EOF flag.
+func (m *ReadResp) encodePost(e *Encoder) { e.PutBool(m.EOF) }
 
 // WriteReq writes Data at the server-local Offset for Handle.
 type WriteReq struct {

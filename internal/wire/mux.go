@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"sync"
 )
 
@@ -80,13 +81,35 @@ func ClassOf(t MsgType) uint8 {
 // place immediately before that segment's payload bytes (clobbering the
 // tail of the previous, already-written segment), so each segment goes
 // out as a single contiguous Write with zero copying.
+//
+// A by-reference frame (p != nil) instead keeps only the encoded head
+// and tail in buf — buf[muxHdrSize:muxHdrSize+pre] precedes the body,
+// the rest follows it — and streams the body from p segment by segment:
+// each segment's header (+ any head/tail overlap) goes out as one
+// vectored write, then the body range via the payload's sendfile or
+// staging-copy path. The frame's done callback, not finish, owns the
+// payload's Close (the data server's PostWrite hook).
 type muxFrame struct {
 	t      MsgType
 	stream uint32
 	class  uint8
-	buf    []byte // pooled: [muxHdrSize header room][payload]
+	buf    []byte // pooled: [muxHdrSize header room][payload or head+tail]
 	off    int    // payload bytes already written
 	done   func(error)
+
+	// By-reference body (zero-copy read path).
+	p    Payload
+	pre  int   // head bytes in buf after the header room
+	body int64 // p's length, snapshotted at enqueue
+}
+
+// payloadLen returns the frame's logical payload length: the bytes that
+// travel inside its segments, after their 12-byte headers.
+func (f *muxFrame) payloadLen() int {
+	if f.p != nil {
+		return len(f.buf) - muxHdrSize + int(f.body)
+	}
+	return len(f.buf) - muxHdrSize
 }
 
 func (f *muxFrame) finish(err error) {
@@ -121,6 +144,19 @@ type MuxWriter struct {
 	DepthHook func(class uint8, delta int)
 	OnError   func(error)
 
+	// Stats, if set before the first Enqueue, counts how bulk bodies
+	// moved (sendfile/writev/copied). Plain disables the by-reference
+	// payload path: payload-carrying messages are materialized into
+	// their frame buffer like any other (A/B benchmarking).
+	Stats *FrameStats
+	Plain bool
+
+	// scratch holds the segment header of by-reference frames (their
+	// buf has no room for in-place clobbering); vecs is the reusable
+	// iovec list. Both are touched only by the write-token holder.
+	scratch [muxHdrSize]byte
+	vecs    net.Buffers
+
 	mu       sync.Mutex
 	cond     *sync.Cond
 	control  []*muxFrame
@@ -139,6 +175,7 @@ func NewMuxWriter(w io.Writer, segment int) *MuxWriter {
 		segment = MinMuxSegment
 	}
 	mw := &MuxWriter{w: w, segment: segment, finished: make(chan struct{})}
+	mw.vecs = make(net.Buffers, 0, 4)
 	mw.cond = sync.NewCond(&mw.mu)
 	go mw.loop()
 	return mw
@@ -154,6 +191,11 @@ func NewMuxWriter(w io.Writer, segment int) *MuxWriter {
 // duration of writing this frame (as a plain WriteMessage would), but
 // never behind another caller's queued bulk.
 func (mw *MuxWriter) Enqueue(m Message, stream uint32, done func(error)) error {
+	if pc, ok := m.(payloadCarrier); ok && !mw.Plain {
+		if _, p := pc.bulkRef(); p != nil {
+			return mw.enqueueRef(pc, p, stream, done)
+		}
+	}
 	hint := 64
 	if s, ok := m.(sizeHinter); ok {
 		hint = s.encodedSizeHint() + muxHdrSize
@@ -172,8 +214,48 @@ func (mw *MuxWriter) Enqueue(m Message, stream uint32, done func(error)) error {
 		}
 		return err
 	}
+	if pc, ok := m.(payloadCarrier); ok {
+		// The bulk body was staged through the frame buffer (MemStore
+		// reads, and everything in Plain mode).
+		data, p := pc.bulkRef()
+		if p != nil {
+			mw.Stats.addCopied(p.Len())
+		} else {
+			mw.Stats.addCopied(int64(len(data)))
+		}
+	}
 	f := &muxFrame{t: m.Type(), stream: stream, class: ClassOf(m.Type()), buf: e.buf, done: done}
+	return mw.submit(f)
+}
 
+// enqueueRef queues a by-reference bulk frame: only the head and tail
+// are encoded; the body streams from p at write time.
+func (mw *MuxWriter) enqueueRef(pc payloadCarrier, p Payload, stream uint32, done func(error)) error {
+	body := p.Len()
+	var e Encoder
+	e.buf = GetBuf(64)[:muxHdrSize]
+	pc.encodePre(&e, int(body))
+	pre := len(e.buf) - muxHdrSize
+	pc.encodePost(&e)
+	err := e.err
+	if err == nil && int64(len(e.buf)-muxHdrSize+muxOverhead)+body > MaxFrameSize {
+		err = ErrFrameTooLarge
+	}
+	if err != nil {
+		PutBuf(e.buf)
+		if done != nil {
+			done(err)
+		}
+		return err
+	}
+	f := &muxFrame{t: pc.Type(), stream: stream, class: ClassOf(pc.Type()),
+		buf: e.buf, done: done, p: p, pre: pre, body: body}
+	return mw.submit(f)
+}
+
+// submit queues f and runs the idle fast path or signals the writer
+// goroutine, exactly as Enqueue documents.
+func (mw *MuxWriter) submit(f *muxFrame) error {
 	mw.mu.Lock()
 	if mw.err != nil || mw.closed {
 		werr := mw.err
@@ -203,7 +285,7 @@ func (mw *MuxWriter) Enqueue(m Message, stream uint32, done func(error)) error {
 	}
 	// Idle fast path: write f from this goroutine, skipping the wakeup.
 	mw.writing = true
-	err = mw.drainLocked(f)
+	err := mw.drainLocked(f)
 	mw.writing = false
 	mw.cond.Broadcast()
 	mw.mu.Unlock()
@@ -316,7 +398,7 @@ func (mw *MuxWriter) drainLocked(inlineFor *muxFrame) error {
 // writeSegments writes up to maxSegs segments of f (all of them if
 // maxSegs < 0). Reports whether the frame is fully written.
 func (mw *MuxWriter) writeSegments(f *muxFrame, maxSegs int) (bool, error) {
-	total := len(f.buf) - muxHdrSize
+	total := f.payloadLen()
 	for segs := 0; maxSegs < 0 || segs < maxSegs; segs++ {
 		n := total - f.off
 		var flags uint8
@@ -327,6 +409,16 @@ func (mw *MuxWriter) writeSegments(f *muxFrame, maxSegs int) (bool, error) {
 		if n > mw.segment+mw.segment/4 {
 			n = mw.segment
 			flags = FlagMore
+		}
+		if f.p != nil {
+			if err := mw.writeRefSegment(f, n, flags); err != nil {
+				return false, err
+			}
+			f.off += n
+			if flags == 0 {
+				return true, nil
+			}
+			continue
 		}
 		hdr := f.buf[f.off : f.off+muxHdrSize]
 		binary.LittleEndian.PutUint32(hdr[0:4], uint32(muxOverhead+n))
@@ -343,6 +435,56 @@ func (mw *MuxWriter) writeSegments(f *muxFrame, maxSegs int) (bool, error) {
 		}
 	}
 	return false, nil
+}
+
+// writeRefSegment writes one n-byte segment of a by-reference frame
+// starting at logical payload offset f.off. The segment header and any
+// head/tail bytes it covers are coalesced into one vectored write; the
+// body range streams through the payload (sendfile on TCP, pooled copy
+// elsewhere). The caller holds the write token, so scratch and vecs are
+// exclusively ours.
+func (mw *MuxWriter) writeRefSegment(f *muxFrame, n int, flags uint8) error {
+	hdr := mw.scratch[:]
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(muxOverhead+n))
+	binary.LittleEndian.PutUint16(hdr[4:6], uint16(f.t))
+	binary.LittleEndian.PutUint32(hdr[6:10], f.stream)
+	hdr[10] = f.class
+	hdr[11] = flags
+
+	off, end := f.off, f.off+n
+	bodyEnd := f.pre + int(f.body)
+	bufs := append(mw.vecs[:0], hdr)
+	if off < f.pre {
+		bufs = append(bufs, f.buf[muxHdrSize+off:muxHdrSize+min(end, f.pre)])
+	}
+	var tail []byte // segment's slice of the post-body bytes
+	if end > bodyEnd {
+		ts := max(off, bodyEnd) - bodyEnd
+		tail = f.buf[muxHdrSize+f.pre+ts : muxHdrSize+f.pre+(end-bodyEnd)]
+	}
+	bs, be := max(off, f.pre)-f.pre, min(end, bodyEnd)-f.pre
+	if be > bs {
+		// Flush header (+ head overlap) first, then stream the body.
+		if _, err := bufs.WriteTo(mw.w); err != nil {
+			return err
+		}
+		mw.Stats.addWritev(1)
+		if err := f.p.WriteRange(mw.w, int64(bs), int64(be-bs), mw.Stats); err != nil {
+			return err
+		}
+		if len(tail) > 0 {
+			if _, err := mw.w.Write(tail); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if len(tail) > 0 {
+		bufs = append(bufs, tail)
+	}
+	_, err := bufs.WriteTo(mw.w)
+	mw.Stats.addWritev(1)
+	return err
 }
 
 // retire releases f and tells the depth hook it left the queue.

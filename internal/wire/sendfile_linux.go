@@ -1,0 +1,94 @@
+//go:build linux
+
+package wire
+
+import (
+	"net"
+	"os"
+	"syscall"
+)
+
+// rawSendfile moves up to n bytes from src at offset off into dst with
+// sendfile(2), using the explicit-offset form (non-nil offset pointer) so
+// the transfer never touches src's file-descriptor offset. That matters:
+// the extent store shares cached descriptors across concurrent payloads,
+// and the stdlib fast path (net.TCPConn.ReadFrom) works off the fd's
+// current position, which would race. The write side runs under the
+// runtime poller via RawConn.Write, so EAGAIN parks the goroutine until
+// the socket is writable instead of spinning.
+//
+// Returns handled=false — with nothing consumed — when the kernel or the
+// descriptor pair cannot sendfile (ENOSYS, EINVAL on the first byte); the
+// caller falls back to the staging-copy path. A short written count with
+// a nil error means src ended before n bytes (it shrank); the caller
+// zero-fills the tail.
+func rawSendfile(dst *net.TCPConn, src *os.File, off, n int64, st *FrameStats) (int64, bool, error) {
+	if n <= 0 {
+		return 0, true, nil
+	}
+	dc, err := dst.SyscallConn()
+	if err != nil {
+		return 0, false, nil
+	}
+	sc, err := src.SyscallConn()
+	if err != nil {
+		return 0, false, nil
+	}
+	var (
+		written int64
+		opErr   error
+		handled = true
+	)
+	werr := dc.Write(func(dfd uintptr) bool {
+		again := false
+		cerr := sc.Control(func(sfd uintptr) {
+			for written < n {
+				pos := off + written
+				// Cap each call at 1 GiB, mirroring the kernel's own
+				// per-call transfer limit.
+				chunk := int(min(n-written, 1<<30))
+				m, e := syscall.Sendfile(int(dfd), int(sfd), &pos, chunk)
+				if m > 0 {
+					written += int64(m)
+					st.addSendfile(int64(m))
+				}
+				switch e {
+				case nil:
+					if m == 0 {
+						return // source EOF before n bytes
+					}
+				case syscall.EINTR:
+					// retry
+				case syscall.EAGAIN:
+					again = true
+					return
+				case syscall.ENOSYS, syscall.EINVAL:
+					if written == 0 {
+						handled = false
+					} else {
+						// Mid-transfer refusal: bytes are already on the
+						// wire, the frame cannot be re-sent another way.
+						opErr = e
+					}
+					return
+				default:
+					opErr = e
+					return
+				}
+			}
+		})
+		if cerr != nil && opErr == nil {
+			opErr = cerr
+		}
+		// Returning false parks on the poller until dst is writable,
+		// then re-invokes this func.
+		return !again
+	})
+	if !handled {
+		return 0, false, nil
+	}
+	if opErr == nil {
+		opErr = werr
+	}
+	return written, true, opErr
+}

@@ -1,0 +1,14 @@
+//go:build !linux
+
+package wire
+
+import (
+	"net"
+	"os"
+)
+
+// rawSendfile is unavailable off Linux; payloads take the staging-copy
+// path instead (see FilePayload.writeFileRange).
+func rawSendfile(*net.TCPConn, *os.File, int64, int64, *FrameStats) (int64, bool, error) {
+	return 0, false, nil
+}

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 )
 
 // MsgType identifies the kind of message carried in a frame.
@@ -195,10 +196,44 @@ type sizeHinter interface {
 	encodedSizeHint() int
 }
 
+// WriteOptions selects how WriteMessageOpts moves a bulk body.
+type WriteOptions struct {
+	// Stats, when non-nil, counts sendfile/writev/copied bytes for the
+	// frames written with these options.
+	Stats *FrameStats
+	// Plain disables the by-reference fast paths: every frame is
+	// materialized in the encode buffer and written contiguously,
+	// exactly as WriteMessage always did (A/B benchmarking, and a
+	// belt-and-braces escape hatch).
+	Plain bool
+}
+
 // WriteMessage encodes m into a frame and writes it to w. The frame is
 // built in a pooled buffer that is recycled before returning, so w must
 // not retain the slice passed to Write (the io.Writer contract).
 func WriteMessage(w io.Writer, m Message) error {
+	return WriteMessageOpts(w, m, WriteOptions{})
+}
+
+// WriteMessageOpts is WriteMessage with a by-reference fast path for
+// bulk bodies (payloadCarrier messages): a by-reference Payload is
+// streamed between the encoded frame head and tail — sendfile(2) on TCP,
+// a pooled staging copy elsewhere — and a memory-backed body of at least
+// vectoredMin bytes is coalesced with its head and tail in one vectored
+// write (net.Buffers), skipping the encode copy. Either way the bytes on
+// the wire are identical to the classic framing, so the receiving side
+// is unchanged. Errors after the frame head has been written leave the
+// connection mid-frame and must be treated as fatal by the caller (they
+// already are: both framings drop the connection on write errors).
+func WriteMessageOpts(w io.Writer, m Message, o WriteOptions) error {
+	var carrier payloadCarrier
+	if pc, ok := m.(payloadCarrier); ok {
+		data, p := pc.bulkRef()
+		if !o.Plain && (p != nil || len(data) >= vectoredMin) {
+			return writeCarrierFrame(w, pc, data, p, o.Stats)
+		}
+		carrier = pc
+	}
 	hint := 64
 	if s, ok := m.(sizeHinter); ok {
 		hint = s.encodedSizeHint() + 6
@@ -210,6 +245,15 @@ func WriteMessage(w io.Writer, m Message) error {
 		PutBuf(e.buf)
 		return e.err
 	}
+	if carrier != nil {
+		// The bulk body was staged through the encode buffer.
+		data, p := carrier.bulkRef()
+		if p != nil {
+			o.Stats.addCopied(p.Len())
+		} else {
+			o.Stats.addCopied(int64(len(data)))
+		}
+	}
 	n := len(e.buf) - 4 // frame length excludes the length field itself
 	if n > MaxFrameSize {
 		PutBuf(e.buf)
@@ -218,6 +262,53 @@ func WriteMessage(w io.Writer, m Message) error {
 	binary.LittleEndian.PutUint32(e.buf[0:4], uint32(n))
 	binary.LittleEndian.PutUint16(e.buf[4:6], uint16(m.Type()))
 	_, err := w.Write(e.buf)
+	PutBuf(e.buf)
+	return err
+}
+
+// writeCarrierFrame writes one frame whose bulk body travels by
+// reference. The head (frame header + everything before the body) and
+// tail (everything after) are encoded into one small pooled buffer.
+func writeCarrierFrame(w io.Writer, pc payloadCarrier, data []byte, p Payload, st *FrameStats) error {
+	var body int64
+	if p != nil {
+		body = p.Len()
+	} else {
+		body = int64(len(data))
+	}
+	var e Encoder
+	e.buf = GetBuf(64)[:6]
+	pc.encodePre(&e, int(body))
+	pre := len(e.buf)
+	pc.encodePost(&e)
+	if e.err != nil {
+		PutBuf(e.buf)
+		return e.err
+	}
+	n := int64(len(e.buf)-4) + body
+	if n > MaxFrameSize {
+		PutBuf(e.buf)
+		return ErrFrameTooLarge
+	}
+	binary.LittleEndian.PutUint32(e.buf[0:4], uint32(n))
+	binary.LittleEndian.PutUint16(e.buf[4:6], uint16(pc.Type()))
+	head, tail := e.buf[:pre], e.buf[pre:]
+	var err error
+	if p != nil {
+		if _, err = w.Write(head); err == nil {
+			err = p.WriteRange(w, 0, body, st)
+		}
+		if err == nil && len(tail) > 0 {
+			_, err = w.Write(tail)
+		}
+	} else {
+		bufs := net.Buffers{head, data}
+		if len(tail) > 0 {
+			bufs = append(bufs, tail)
+		}
+		_, err = bufs.WriteTo(w)
+		st.addWritev(1)
+	}
 	PutBuf(e.buf)
 	return err
 }

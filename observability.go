@@ -43,6 +43,9 @@ func (c *Cluster) Stats() map[string]StatsSnapshot {
 		out["meta"] = c.meta.Metrics().Snapshot()
 	}
 	for i, rt := range c.runtimes {
+		if i < len(c.dataServers) {
+			c.dataServers[i].SyncWireStats()
+		}
 		out[fmt.Sprintf("data-%d", i)] = rt.Metrics().Snapshot()
 	}
 	return out
