@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-observability race-transport race-alerts race-store replay-determinism check bench bench-readpath bench-telemetry bench-mux bench-paper clean
+.PHONY: all build test vet race race-observability race-transport race-alerts race-store race-tenant replay-determinism check bench bench-readpath bench-telemetry bench-mux bench-tenant bench-paper clean
 
 all: check
 
@@ -48,6 +48,13 @@ race-store:
 race-alerts:
 	$(GO) test -race ./internal/eventlog/ ./internal/slo/ ./internal/openmetrics/
 
+# Focused race gate for the tenant attribution plane: the per-tenant
+# LRU table is bumped on every request from every connection goroutine
+# while the telemetry tick reads wait shares and dosasctl sweeps
+# snapshots; the queue instrumentation feeding it rides along.
+race-tenant:
+	$(GO) test -race ./internal/tenant/ ./internal/ioqueue/
+
 # Counterfactual replay must be byte-deterministic: the same decision log
 # and policy set produce the same report JSON on every run (no map
 # iteration, no wall clock in the scoring path). Replays the committed
@@ -58,13 +65,14 @@ replay-determinism:
 	cmp /tmp/dosas-replay-a.json /tmp/dosas-replay-b.json
 	@echo "replay-determinism: OK (byte-identical reports)"
 
-check: vet race-observability race-transport race-store race-alerts replay-determinism race
+check: vet race-observability race-transport race-store race-alerts race-tenant replay-determinism race
 
 # Data-path microbenchmarks (fixed iteration count so runs compare
 # across commits) plus the window-vs-serial matrix (writes BENCH_pr2.json).
 bench:
 	$(GO) test ./internal/pfs/ -run '^$$' -bench 'ReadPath|WritePath' -benchtime 15x -benchmem
 	$(GO) run ./cmd/dosas-bench -exp readpath
+	$(GO) run ./cmd/dosas-bench -exp noisy-neighbor
 
 # Zero-copy serving A/B: user-space copies per served byte for sendbuf
 # vs writev vs sendfile serving (writes BENCH_readpath_zerocopy.json).
@@ -82,6 +90,12 @@ bench-telemetry:
 # BENCH_mux.json).
 bench-mux:
 	$(GO) run ./cmd/dosas-bench -exp mux
+
+# Tenant attribution under contention: aggressor/victim queue-wait
+# split, the noisy-neighbor alert, and the attribution plane's A/B
+# overhead (writes BENCH_tenant.json).
+bench-tenant:
+	$(GO) run ./cmd/dosas-bench -exp noisy-neighbor
 
 # Regenerate the paper's tables/figures (simulated experiments) and the
 # live per-scheme decision metrics (BENCH_live.json).

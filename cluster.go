@@ -16,6 +16,7 @@ import (
 	"dosas/internal/pfs"
 	"dosas/internal/slo"
 	"dosas/internal/telemetry"
+	"dosas/internal/tenant"
 	"dosas/internal/trace"
 	"dosas/internal/transport"
 )
@@ -170,6 +171,15 @@ type Options struct {
 	// EventDir, when set, persists each node's events as JSON lines
 	// under EventDir/<node>.events.jsonl.
 	EventDir string
+	// DisableTenants turns per-tenant resource attribution off on every
+	// storage node: no usage table, no tenant.wait.share probe, and
+	// TenantStatsReq answers with an empty report. Used by the
+	// attribution-overhead A/B benchmark.
+	DisableTenants bool
+	// TenantLimit caps each storage node's tenant table; past it the
+	// least-recently-active tenant folds into the "(evicted)" aggregate
+	// row (default tenant.DefaultLimit).
+	TenantLimit int
 }
 
 // Cluster is a running DOSAS deployment: one metadata server plus
@@ -189,6 +199,7 @@ type Cluster struct {
 	stores        []pfs.Store
 	events        []*eventlog.Log
 	engines       []*slo.Engine
+	tenantTables  []*tenant.Table
 	windowDepth   int
 	transferChunk int
 	telemetryTick time.Duration
@@ -219,8 +230,9 @@ func (o Options) newEventLog(node string) (*eventlog.Log, error) {
 // newEngine builds one node's SLO engine over its sampler and hooks
 // evaluation to the sampler's tick, so alert rules are re-judged exactly
 // once per fresh telemetry sample. Nil when telemetry or alerting is
-// disabled.
-func (o Options) newEngine(node string, tele *telemetry.Sampler, ev *eventlog.Log, reg *metrics.Registry) (*slo.Engine, error) {
+// disabled. A non-nil tenant table wires the annotation hook so
+// noisy-neighbor transitions name the dominant tenant in the event log.
+func (o Options) newEngine(node string, tele *telemetry.Sampler, ev *eventlog.Log, reg *metrics.Registry, tab *tenant.Table) (*slo.Engine, error) {
 	if tele == nil || o.DisableSLO {
 		return nil, nil
 	}
@@ -228,9 +240,22 @@ func (o Options) newEngine(node string, tele *telemetry.Sampler, ev *eventlog.Lo
 	if rules == nil {
 		rules = slo.DefaultRules()
 	}
-	eng, err := slo.NewEngine(slo.Config{
+	cfg := slo.Config{
 		Rules: rules, Sampler: tele, Events: ev, Metrics: reg, Node: node,
-	})
+	}
+	if tab != nil {
+		cfg.Annotate = func(rule string) []string {
+			if rule != "noisy-neighbor" {
+				return nil
+			}
+			top, share := tab.TopWait()
+			if top == "" {
+				return nil
+			}
+			return []string{"tenant", top, "share", fmt.Sprintf("%.2f", share)}
+		}
+	}
+	eng, err := slo.NewEngine(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -289,7 +314,7 @@ func StartCluster(o Options) (*Cluster, error) {
 	}
 	c.metaEvents = metaEvents
 	metaReg := metrics.NewRegistry()
-	metaSLO, err := o.newEngine("meta", c.metaTele, metaEvents, metaReg)
+	metaSLO, err := o.newEngine("meta", c.metaTele, metaEvents, metaReg, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -372,12 +397,24 @@ func StartCluster(o Options) (*Cluster, error) {
 			return nil, err
 		}
 		c.events = append(c.events, ev)
-		eng, err := o.newEngine(node, tele, ev, reg)
+		// The tenant table is shared the same way: the data server and
+		// runtime account usage into it, the server answers TenantStatsReq
+		// and the SLO annotation hook reads the dominant waiter from it.
+		var tab *tenant.Table
+		if !o.DisableTenants {
+			limit := o.TenantLimit
+			if limit <= 0 {
+				limit = tenant.DefaultLimit
+			}
+			tab = tenant.NewTable(limit)
+		}
+		c.tenantTables = append(c.tenantTables, tab)
+		eng, err := o.newEngine(node, tele, ev, reg, tab)
 		if err != nil {
 			return nil, err
 		}
 		c.engines = append(c.engines, eng)
-		ds, err := pfs.NewDataServer(pfs.DataConfig{Store: store, Metrics: reg, Node: node, Trace: tr, Telemetry: tele, Audit: alog, Events: ev, SLO: eng})
+		ds, err := pfs.NewDataServer(pfs.DataConfig{Store: store, Metrics: reg, Node: node, Trace: tr, Telemetry: tele, Audit: alog, Events: ev, SLO: eng, Tenants: tab})
 		if err != nil {
 			return nil, err
 		}
@@ -398,6 +435,7 @@ func StartCluster(o Options) (*Cluster, error) {
 			Node:      node,
 			Telemetry: tele,
 			Events:    ev,
+			Tenants:   tab,
 		})
 		if err != nil {
 			return nil, err
@@ -537,6 +575,9 @@ func (c *Cluster) MetricsSources() []openmetrics.Source {
 		if i < len(c.events) {
 			src.Events = c.events[i]
 		}
+		if i < len(c.tenantTables) {
+			src.Tenants = c.tenantTables[i]
+		}
 		out = append(out, src)
 	}
 	return out
@@ -552,6 +593,11 @@ type ClientOptions struct {
 	DataAddrs []string
 	// Scheme selects TS / AS / DOSAS client behaviour.
 	Scheme Scheme
+	// Tenant identifies this client in per-tenant resource attribution:
+	// it is stamped on every request the client issues and storage nodes
+	// account bytes, ops, queue wait and kernel time against it. Empty
+	// means "default".
+	Tenant string
 	// Pace throttles client-side kernel execution to calibrated rates.
 	Pace bool
 	// WindowDepth is how many chunk requests bulk transfers keep in
@@ -595,13 +641,14 @@ func Connect(o ClientOptions) (*FS, error) {
 func connect(net transport.Network, metaAddr string, dataAddrs []string, o ClientOptions) (*FS, error) {
 	pc, err := pfs.NewClient(pfs.ClientConfig{
 		Net: net, MetaAddr: metaAddr, DataAddrs: dataAddrs, WindowDepth: o.WindowDepth, TransferChunk: o.TransferChunk,
-		DisableMux: o.DisableMux,
+		DisableMux: o.DisableMux, Tenant: o.Tenant,
 	})
 	if err != nil {
 		return nil, err
 	}
 	asc, err := core.NewClient(core.ClientConfig{
 		FS: pc, Scheme: o.Scheme.core(), Pace: o.Pace, WindowDepth: o.WindowDepth,
+		Tenant:         o.Tenant,
 		Telemetry:      newSampler(o.TelemetryTick),
 		SlowThreshold:  o.SlowThreshold,
 		SlowFactor:     o.SlowFactor,

@@ -32,6 +32,11 @@
 //	          sendfile (writes BENCH_readpath_zerocopy.json)
 //	whatif    counterfactual replay of a live decision log (writes BENCH_whatif.json)
 //	mux       control-message latency under bulk load, mux vs ordered (writes BENCH_mux.json)
+//	noisy-neighbor
+//	          per-tenant attribution: an aggressor tenant storms one node
+//	          while a victim trickles; checks the queue-wait attribution,
+//	          the noisy-neighbor alert, and the plane's overhead
+//	          (writes BENCH_tenant.json)
 //	all       everything simulated (excludes the live experiments)
 //
 // Simulated experiments run the calibrated discrete-event model at full
@@ -103,19 +108,20 @@ func main() {
 		"fig10": func() {
 			executionFigure("Figure 10: DOSAS vs AS vs TS, 1 GB/request", "gaussian2d", 1024*sim.MB, sim.PaperSchemes)
 		},
-		"fig11":     func() { bandwidthFigure("Figure 11: achieved bandwidth, 256 MB/request", 256*sim.MB) },
-		"fig12":     func() { bandwidthFigure("Figure 12: achieved bandwidth, 512 MB/request", 512*sim.MB) },
-		"solvers":   solvers,
-		"migrate":   migrate,
-		"mixed":     mixed,
-		"skew":      skew,
-		"trace":     trace,
-		"live":      live,
-		"ce-period": cePeriod,
+		"fig11":             func() { bandwidthFigure("Figure 11: achieved bandwidth, 256 MB/request", 256*sim.MB) },
+		"fig12":             func() { bandwidthFigure("Figure 12: achieved bandwidth, 512 MB/request", 512*sim.MB) },
+		"solvers":           solvers,
+		"migrate":           migrate,
+		"mixed":             mixed,
+		"skew":              skew,
+		"trace":             trace,
+		"live":              live,
+		"ce-period":         cePeriod,
 		"readpath":          readPath,
 		"readpath-zerocopy": readPathZeroCopy,
 		"whatif":            whatif,
 		"mux":               muxExp,
+		"noisy-neighbor":    noisyNeighbor,
 	}
 	order := []string{"table3", "fig2", "fig5", "fig6", "table4",
 		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12",

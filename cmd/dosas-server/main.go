@@ -32,6 +32,7 @@ import (
 	"dosas/internal/openmetrics"
 	"dosas/internal/pfs"
 	"dosas/internal/slo"
+	"dosas/internal/tenant"
 	"dosas/internal/trace"
 	"dosas/internal/transport"
 )
@@ -53,6 +54,7 @@ func main() {
 	reserved := flag.Int("reserved", 1, "cores reserved for normal I/O service")
 	pace := flag.Bool("pace", false, "pace kernels at calibrated per-core rates")
 	node := flag.String("node", "", "node name stamped on stats and trace exports (default data@ADDR)")
+	tenantLimit := flag.Int("tenant-limit", tenant.DefaultLimit, "max tenants tracked for resource attribution; 0 disables the tenant plane")
 	var common daemonflags.Common
 	common.RegisterBase(flag.CommandLine)
 	common.RegisterTelemetry(flag.CommandLine)
@@ -127,15 +129,36 @@ func main() {
 	}
 	defer events.Close()
 
+	// The tenant table feeds per-tenant accounting in the data service
+	// and runtime, the dosas_tenant metric families, and the
+	// noisy-neighbor alert annotation.
+	var tenants *tenant.Table
+	if *tenantLimit > 0 {
+		tenants = tenant.NewTable(*tenantLimit)
+	}
+
 	var engine *slo.Engine
 	if tele != nil {
 		rules, err := common.Rules()
 		if err != nil {
 			log.Fatal(err)
 		}
-		engine, err = slo.NewEngine(slo.Config{
+		engCfg := slo.Config{
 			Rules: rules, Sampler: tele, Events: events, Metrics: reg, Node: *node,
-		})
+		}
+		if tenants != nil {
+			engCfg.Annotate = func(rule string) []string {
+				if rule != "noisy-neighbor" {
+					return nil
+				}
+				top, share := tenants.TopWait()
+				if top == "" {
+					return nil
+				}
+				return []string{"tenant", top, "share", fmt.Sprintf("%.2f", share)}
+			}
+		}
+		engine, err = slo.NewEngine(engCfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -145,7 +168,7 @@ func main() {
 	if addr, err := common.ServeDebug(func() []openmetrics.Source {
 		return []openmetrics.Source{{
 			Node: *node, Role: "data",
-			Metrics: reg, Telemetry: tele, SLO: engine, Events: events,
+			Metrics: reg, Telemetry: tele, SLO: engine, Events: events, Tenants: tenants,
 		}}
 	}); err != nil {
 		log.Fatal(err)
@@ -155,7 +178,7 @@ func main() {
 
 	ds, err := pfs.NewDataServer(pfs.DataConfig{
 		Store: store, Metrics: reg, Node: *node, Trace: tr,
-		Telemetry: tele, Audit: alog, Events: events, SLO: engine,
+		Telemetry: tele, Audit: alog, Events: events, SLO: engine, Tenants: tenants,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -176,6 +199,7 @@ func main() {
 		Node:      *node,
 		Telemetry: tele,
 		Events:    events,
+		Tenants:   tenants,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -3,7 +3,7 @@
 // Usage:
 //
 //	dosasctl -meta HOST:PORT -data HOST:PORT[,HOST:PORT...] [-scheme dosas]
-//	         [-slow-threshold 50ms -slow-dir DIR] COMMAND ...
+//	         [-tenant ID] [-slow-threshold 50ms -slow-dir DIR] COMMAND ...
 //
 // Commands:
 //
@@ -30,6 +30,10 @@
 //	                                 newest N per node
 //	top [-once] [WINDOW]             refreshing cluster-wide telemetry view
 //	                                 (-once prints a single frame; WINDOW like 10s)
+//	tenants [-sort bytes|cpu|wait] [-json] [-per-node]
+//	                                 per-tenant resource attribution: bytes, ops,
+//	                                 kernel CPU, and queue wait by tenant ID,
+//	                                 merged cluster-wide (or per node)
 //	slow DIR                         print the slow-request flight bundles a client
 //	                                 persisted under DIR (ClientOptions.SlowDir)
 //	explain [-log FILE] [last N|ID]  print each scheduling decision's rationale:
@@ -75,7 +79,7 @@ func newCtlPool() *pfs.Pool {
 
 func usageExit() {
 	fmt.Fprintln(os.Stderr, "usage: dosasctl -meta ADDR -data ADDR[,ADDR...] [-scheme dosas|as|ts] COMMAND ...")
-	fmt.Fprintln(os.Stderr, "commands: ls, stat, put, get, rm, readex, fsck, repair, ops, calibrate, probe, stats, trace, health, alerts, events, top, slow, explain, whatif, audit")
+	fmt.Fprintln(os.Stderr, "commands: ls, stat, put, get, rm, readex, fsck, repair, ops, calibrate, probe, stats, trace, health, alerts, events, top, tenants, slow, explain, whatif, audit")
 	os.Exit(2)
 }
 
@@ -86,6 +90,7 @@ func main() {
 	meta := flag.String("meta", "127.0.0.1:7700", "metadata server address")
 	data := flag.String("data", "", "comma-separated data server addresses, in cluster order")
 	schemeName := flag.String("scheme", "dosas", "client scheme for readex: dosas, as, or ts")
+	tenantID := flag.String("tenant", "", "tenant ID stamped on every request for per-tenant resource attribution (empty = default)")
 	slowThreshold := flag.Duration("slow-threshold", 0, "flag readex calls slower than this and capture a flight bundle (0 = off)")
 	slowDir := flag.String("slow-dir", "", "directory to persist captured flight bundles (see the slow command)")
 	var common daemonflags.Common
@@ -158,7 +163,7 @@ func main() {
 			if *data == "" || len(addrs) == 0 {
 				log.Fatal("need -data with at least one storage server address (or -log FILE)")
 			}
-			fs, err := dosas.Connect(dosas.ClientOptions{MetaAddr: *meta, DataAddrs: addrs, Scheme: scheme, DisableMux: ctlNoMux})
+			fs, err := dosas.Connect(dosas.ClientOptions{MetaAddr: *meta, DataAddrs: addrs, Scheme: scheme, Tenant: *tenantID, DisableMux: ctlNoMux})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -175,6 +180,7 @@ func main() {
 		MetaAddr:      *meta,
 		DataAddrs:     dataAddrs,
 		Scheme:        scheme,
+		Tenant:        *tenantID,
 		SlowThreshold: *slowThreshold,
 		SlowDir:       *slowDir,
 		DisableMux:    ctlNoMux,
@@ -369,6 +375,32 @@ func main() {
 			window = d
 		}
 		topLoop(fs, window, once)
+	case "tenants":
+		sortKey := ""
+		asJSON, perNode := false, false
+		rest := args[1:]
+		for i := 0; i < len(rest); i++ {
+			switch rest[i] {
+			case "-json":
+				asJSON = true
+			case "-per-node":
+				perNode = true
+			case "-sort":
+				i++
+				if i >= len(rest) {
+					log.Fatal("usage: tenants [-sort bytes|cpu|wait] [-json] [-per-node]")
+				}
+				switch rest[i] {
+				case "bytes", "cpu", "wait", "name":
+					sortKey = rest[i]
+				default:
+					log.Fatalf("bad -sort %q (want bytes, cpu, wait, or name)", rest[i])
+				}
+			default:
+				log.Fatalf("unknown tenants option %q", rest[i])
+			}
+		}
+		tenantsAll(fs, sortKey, asJSON, perNode)
 	case "stats":
 		asJSON := len(args) > 1 && args[1] == "-json"
 		statsAll(*meta, dataAddrs, asJSON)
@@ -615,6 +647,46 @@ func alertsAll(fs *dosas.FS, asJSON bool) bool {
 	}
 	fmt.Print(dosas.FormatAlerts(alerts))
 	return firing == 0
+}
+
+// tenantsAll prints per-tenant resource attribution: the cluster-wide
+// merged table by default, one table per storage node with -per-node,
+// and the raw node reports as JSON with -json.
+func tenantsAll(fs *dosas.FS, sortKey string, asJSON, perNode bool) {
+	reports, err := fs.Tenants()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if asJSON {
+		out, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(out))
+		return
+	}
+	if perNode {
+		for _, r := range reports {
+			fmt.Printf("%s (evicted=%d)\n", r.Node, r.Evicted)
+			dosas.SortTenantUsage(r.Usage, sortKey)
+			fmt.Print(dosas.FormatTenants(r.Usage))
+		}
+		return
+	}
+	merged := dosas.MergeTenantUsage(reports)
+	if len(merged) == 0 {
+		fmt.Println("no tenant usage recorded")
+		return
+	}
+	dosas.SortTenantUsage(merged, sortKey)
+	fmt.Print(dosas.FormatTenants(merged))
+	var evicted uint64
+	for _, r := range reports {
+		evicted += r.Evicted
+	}
+	if evicted > 0 {
+		fmt.Printf("(%d tenant(s) folded into %s across nodes)\n", evicted, dosas.TenantEvicted)
+	}
 }
 
 // eventsLoop prints the cluster's merged event timeline once, or — with

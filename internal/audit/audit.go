@@ -106,6 +106,7 @@ type Feature struct {
 	SchedID     uint64  `json:"sched_id"`
 	ReqID       uint64  `json:"req_id,omitempty"`
 	TraceID     uint64  `json:"trace_id,omitempty"`
+	Tenant      string  `json:"tenant,omitempty"`
 	Op          string  `json:"op"`
 	Bytes       uint64  `json:"bytes"`
 	ResultBytes uint64  `json:"result_bytes"`

@@ -48,6 +48,9 @@ func FormatRecord(r Record) string {
 		if f.TraceID != 0 {
 			id += fmt.Sprintf(" trace=%#x", f.TraceID)
 		}
+		if f.Tenant != "" {
+			id += fmt.Sprintf(" tenant=%s", f.Tenant)
+		}
 		fmt.Fprintf(&b, "%s%s %s %s: %s  x=%.3fs y=%.3fs c=%.3fs gain=%.3fs",
 			marker, id, f.Op, fmtSize(f.Bytes), verdict(f.Accept),
 			f.PredActive, f.PredNormal, f.PredClient, f.Gain)

@@ -54,6 +54,12 @@ type ClientConfig struct {
 	FS *pfs.Client
 	// Scheme selects TS / AS / DOSAS behaviour. Default SchemeDOSAS.
 	Scheme Scheme
+	// Tenant identifies this client's workload on every active request it
+	// issues; storage nodes attribute the resources the request consumes
+	// (queue wait, kernel CPU, bounces) to it. Empty means the default
+	// tenant and keeps the wire format byte-identical to pre-tenant
+	// clients.
+	Tenant string
 	// ChunkSize is the read granularity for client-side kernel
 	// execution. Defaults to 1 MiB.
 	ChunkSize int
@@ -445,7 +451,7 @@ func (c *Client) processRangeReplica(f *pfs.File, lr localRange, server uint32, 
 
 	c.cfg.Trace.RecordEvent(trace.Event{
 		Kind: trace.KindIssue, TraceID: traceID,
-		ReqID: reqID, Op: op, Bytes: lr.length,
+		ReqID: reqID, Op: op, Bytes: lr.length, Tenant: c.cfg.Tenant,
 		Note: fmt.Sprintf("server %d", server),
 	})
 	serverStart := time.Now()
@@ -457,6 +463,7 @@ func (c *Client) processRangeReplica(f *pfs.File, lr localRange, server uint32, 
 		Op:        op,
 		Params:    params,
 		TraceID:   traceID,
+		Tenant:    c.cfg.Tenant,
 	})
 	info.ServerElapsed = time.Since(serverStart)
 	if err != nil {
@@ -694,6 +701,7 @@ func (c *Client) Transform(src *pfs.File, dstName, op string, params []byte) (*p
 				DstHandle: dst.Handle(),
 				DstOffset: lr.offset, // identical layouts: local offsets line up
 				TraceID:   traceID,
+				Tenant:    c.cfg.Tenant,
 			})
 			if err != nil {
 				po.err = err

@@ -70,6 +70,7 @@ func (c *Client) observeSlow(res *Result, op string, length uint64) {
 	c.flight.Capture(telemetry.Bundle{
 		TraceID:     res.TraceID,
 		Op:          op,
+		Tenant:      c.cfg.Tenant,
 		Bytes:       length,
 		Elapsed:     res.Elapsed,
 		Median:      median,

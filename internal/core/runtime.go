@@ -13,6 +13,7 @@ import (
 	"dosas/internal/metrics"
 	"dosas/internal/pfs"
 	"dosas/internal/telemetry"
+	"dosas/internal/tenant"
 	"dosas/internal/trace"
 	"dosas/internal/wire"
 )
@@ -103,6 +104,13 @@ type RuntimeConfig struct {
 	// events (start, shutdown). Usually shared with the pfs data server,
 	// which serves the ring over the wire. Optional.
 	Events *eventlog.Log
+	// Tenants, when set, is the node's per-tenant usage table. The
+	// runtime attributes kernel CPU time, bounces, interrupts, and queue
+	// wait to the requesting tenant, and registers the tenant.wait.share
+	// probe on the sampler. Usually shared with the pfs data server,
+	// which serves it via TenantStatsReq. Optional — nil disables
+	// attribution.
+	Tenants *tenant.Table
 }
 
 // Runtime is the Active I/O Runtime (R): it queues active requests,
@@ -135,6 +143,7 @@ type task struct {
 	interrupt atomic.Bool
 	processed atomic.Uint64 // bytes consumed so far
 	op        string
+	tenant    string
 	traceID   uint64
 	arrived   time.Time     // when the task entered the queue
 	predicted time.Duration // estimator's forecast kernel time
@@ -203,6 +212,7 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
 		cfg.Estimator.BW = 118e6
 	}
 	q := ioqueue.New()
+	q.SetTenants(cfg.Tenants)
 	est, err := NewEstimator(cfg.Estimator, q, cfg.Metrics)
 	if err != nil {
 		return nil, err
@@ -283,6 +293,17 @@ func (rt *Runtime) registerProbes() {
 		return rt.reg.Histogram("est.kernel_error_pct").Snapshot().Mean()
 	})
 	s.Register("mem.pressure", func() float64 { return rt.est.MemPressure() })
+	if tab := rt.cfg.Tenants; tab != nil {
+		// The dominant tenant's share of this tick's queue-wait delta:
+		// 0 unless at least two tenants contended. One fixed series —
+		// per-tenant granularity lives in the tenant table itself
+		// (TenantStatsReq, /metrics), not in the ring, so a cardinality
+		// bomb cannot grow the sampler.
+		s.Register("tenant.wait.share", func() float64 {
+			share, _ := tab.WaitShare()
+			return share
+		})
+	}
 }
 
 // Close stops workers; queued requests are bounced. Safe to call more
@@ -373,18 +394,20 @@ func (rt *Runtime) HealthChecks() []telemetry.Check {
 // I/O request.
 func (rt *Runtime) HandleActive(req *wire.ActiveReadReq) (*wire.ActiveReadResp, error) {
 	rt.reg.Counter("active.arrivals").Inc()
+	rt.cfg.Tenants.Account(req.Tenant, func(s *tenant.Stats) { s.ActiveOps++ })
 	rt.cfg.Trace.RecordEvent(trace.Event{
 		Kind: trace.KindArrive, TraceID: req.TraceID,
-		ReqID: req.RequestID, Op: req.Op, Bytes: req.Length,
+		ReqID: req.RequestID, Op: req.Op, Bytes: req.Length, Tenant: req.Tenant,
 	})
 	if _, err := kernels.New(req.Op); err != nil {
 		return nil, fmt.Errorf("%w: %v", pfs.ErrInvalid, err)
 	}
 	reject := func(counter, note string, decided time.Duration) *wire.ActiveReadResp {
 		rt.reg.Counter(counter).Inc()
+		rt.cfg.Tenants.Account(req.Tenant, func(s *tenant.Stats) { s.Bounces++ })
 		rt.cfg.Trace.RecordEvent(trace.Event{
 			Kind: trace.KindReject, TraceID: req.TraceID,
-			ReqID: req.RequestID, Op: req.Op, Bytes: req.Length,
+			ReqID: req.RequestID, Op: req.Op, Bytes: req.Length, Tenant: req.Tenant,
 			Phase: trace.PhaseDecision, Dur: decided, Note: note,
 		})
 		return &wire.ActiveReadResp{
@@ -414,7 +437,7 @@ func (rt *Runtime) HandleActive(req *wire.ActiveReadReq) (*wire.ActiveReadResp, 
 	}
 	rt.cfg.Trace.RecordEvent(trace.Event{
 		Kind: trace.KindAdmit, TraceID: req.TraceID,
-		ReqID: req.RequestID, Op: req.Op, Bytes: req.Length,
+		ReqID: req.RequestID, Op: req.Op, Bytes: req.Length, Tenant: req.Tenant,
 		Phase: trace.PhaseDecision, Dur: time.Since(decisionStart),
 		Predicted: rt.predictKernel(req.Op, req.Length), Note: admitNote,
 	})
@@ -423,6 +446,7 @@ func (rt *Runtime) HandleActive(req *wire.ActiveReadReq) (*wire.ActiveReadResp, 
 		req:       req,
 		resp:      make(chan taskResult, 1),
 		op:        req.Op,
+		tenant:    req.Tenant,
 		traceID:   req.TraceID,
 		arrived:   time.Now(),
 		predicted: rt.predictKernel(req.Op, req.Length),
@@ -436,6 +460,7 @@ func (rt *Runtime) HandleActive(req *wire.ActiveReadReq) (*wire.ActiveReadResp, 
 		Class:   ioqueue.Active,
 		Op:      req.Op,
 		Bytes:   req.Length,
+		Tenant:  req.Tenant,
 		Payload: t,
 	})
 	if err != nil {
@@ -464,6 +489,7 @@ func (rt *Runtime) HandleActive(req *wire.ActiveReadReq) (*wire.ActiveReadResp, 
 // its output crosses the network.
 func (rt *Runtime) HandleTransform(req *wire.TransformReq) (*wire.TransformResp, error) {
 	rt.reg.Counter("transform.arrivals").Inc()
+	rt.cfg.Tenants.Account(req.Tenant, func(s *tenant.Stats) { s.TransformOps++ })
 	if _, err := kernels.New(req.Op); err != nil {
 		return nil, fmt.Errorf("%w: %v", pfs.ErrInvalid, err)
 	}
@@ -472,6 +498,7 @@ func (rt *Runtime) HandleTransform(req *wire.TransformReq) (*wire.TransformResp,
 		xform:   req,
 		resp:    make(chan taskResult, 1),
 		op:      req.Op,
+		tenant:  req.Tenant,
 		traceID: req.TraceID,
 		arrived: time.Now(),
 	}
@@ -483,6 +510,7 @@ func (rt *Runtime) HandleTransform(req *wire.TransformReq) (*wire.TransformResp,
 		Class:   ioqueue.Active,
 		Op:      req.Op,
 		Bytes:   req.Length,
+		Tenant:  req.Tenant,
 		Payload: t,
 	})
 	if err != nil {
@@ -608,14 +636,17 @@ func (rt *Runtime) recordDecision(trigger string, env Env, reqs []Request, assig
 	}
 	// Map scheduler ids back to client-visible identities, and capture
 	// the queue depths the decision was made against.
-	type ident struct{ reqID, traceID uint64 }
+	type ident struct {
+		reqID, traceID uint64
+		tenant         string
+	}
 	rt.mu.Lock()
 	ids := make(map[uint64]ident, len(rt.queued)+len(rt.running))
 	for id, t := range rt.queued {
-		ids[id] = ident{reqID: t.clientReqID(), traceID: t.traceID}
+		ids[id] = ident{reqID: t.clientReqID(), traceID: t.traceID, tenant: t.tenant}
 	}
 	for id, t := range rt.running {
-		ids[id] = ident{reqID: t.clientReqID(), traceID: t.traceID}
+		ids[id] = ident{reqID: t.clientReqID(), traceID: t.traceID, tenant: t.tenant}
 	}
 	queued, running := len(rt.queued), len(rt.running)
 	rt.mu.Unlock()
@@ -645,9 +676,11 @@ func (rt *Runtime) recordDecision(trigger string, env Env, reqs []Request, assig
 			f.Newcomer = true
 			f.ReqID = newReq.RequestID
 			f.TraceID = newReq.TraceID
+			f.Tenant = newReq.Tenant
 		} else if id, ok := ids[r.ID]; ok {
 			f.ReqID = id.reqID
 			f.TraceID = id.traceID
+			f.Tenant = id.tenant
 		}
 		feats[i] = f
 	}
@@ -769,9 +802,10 @@ func (rt *Runtime) reevaluate() {
 				delete(rt.queued, t.id)
 				rt.mu.Unlock()
 				rt.reg.Counter("active.bounced_queued").Inc()
+				rt.cfg.Tenants.Account(t.tenant, func(s *tenant.Stats) { s.Bounces++ })
 				rt.cfg.Trace.RecordEvent(trace.Event{
 					Kind: trace.KindReject, TraceID: t.traceID,
-					ReqID: t.req.RequestID, Op: t.op, Bytes: r.Bytes,
+					ReqID: t.req.RequestID, Op: t.op, Bytes: r.Bytes, Tenant: t.tenant,
 					Phase: trace.PhaseDecision,
 					Note:  fmt.Sprintf("bounced from queue at re-evaluation, gain %.2fx", allActive/chosen),
 				})
@@ -833,6 +867,8 @@ func (rt *Runtime) worker() {
 		delete(rt.queued, t.id)
 		rt.running[t.id] = t
 		rt.mu.Unlock()
+		rt.cfg.Tenants.Account(t.tenant, func(s *tenant.Stats) { s.Inflight++ })
+		kernelStart := time.Now()
 		var resp wire.Message
 		var rerr error
 		if t.xform != nil {
@@ -840,6 +876,11 @@ func (rt *Runtime) worker() {
 		} else {
 			resp, rerr = rt.execute(t)
 		}
+		kernelElapsed := time.Since(kernelStart)
+		rt.cfg.Tenants.Account(t.tenant, func(s *tenant.Stats) {
+			s.Inflight--
+			s.KernelNanos += uint64(kernelElapsed)
+		})
 		rt.mu.Lock()
 		delete(rt.running, t.id)
 		rt.mu.Unlock()
@@ -868,7 +909,7 @@ func (rt *Runtime) execute(t *task) (*wire.ActiveReadResp, error) {
 	execStart := time.Now()
 	rt.cfg.Trace.RecordEvent(trace.Event{
 		Kind: trace.KindStart, TraceID: t.traceID,
-		ReqID: req.RequestID, Op: req.Op, Bytes: req.Length,
+		ReqID: req.RequestID, Op: req.Op, Bytes: req.Length, Tenant: t.tenant,
 		Phase: trace.PhaseQueueWait, Dur: queueWait, Predicted: t.predicted,
 	})
 	rt.reg.Histogram("active.queue_wait_us").Observe(float64(queueWait.Microseconds()))
@@ -901,9 +942,10 @@ func (rt *Runtime) execute(t *task) (*wire.ActiveReadResp, error) {
 				return nil, cerr
 			}
 			rt.reg.Counter("active.migrated").Inc()
+			rt.cfg.Tenants.Account(t.tenant, func(s *tenant.Stats) { s.Interrupts++ })
 			rt.cfg.Trace.RecordEvent(trace.Event{
 				Kind: trace.KindMigrate, TraceID: t.traceID,
-				ReqID: req.RequestID, Op: req.Op, Bytes: req.Length - done,
+				ReqID: req.RequestID, Op: req.Op, Bytes: req.Length - done, Tenant: t.tenant,
 				Phase: trace.PhaseKernel, Dur: time.Since(execStart), Predicted: t.predicted,
 				Note: fmt.Sprintf("checkpointed after %d bytes", done),
 			})
@@ -961,7 +1003,7 @@ func (rt *Runtime) execute(t *task) (*wire.ActiveReadResp, error) {
 	}
 	rt.cfg.Trace.RecordEvent(trace.Event{
 		Kind: trace.KindComplete, TraceID: t.traceID,
-		ReqID: req.RequestID, Op: req.Op, Bytes: req.Length,
+		ReqID: req.RequestID, Op: req.Op, Bytes: req.Length, Tenant: t.tenant,
 		Phase: trace.PhaseKernel, Dur: elapsed, Predicted: t.predicted,
 		Note: note,
 	})

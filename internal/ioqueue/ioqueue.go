@@ -9,6 +9,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"dosas/internal/tenant"
 )
 
 // Class separates normal from active I/O.
@@ -35,6 +37,8 @@ type Item struct {
 	Op      string // kernel name for active requests
 	Bytes   uint64 // request data size d_i
 	Enqueue time.Time
+	// Tenant attributes the item's queue time to a tenant ("" = default).
+	Tenant string
 	// Payload carries the scheduler-opaque request context (the runtime
 	// stores its task struct here).
 	Payload any
@@ -46,13 +50,14 @@ var ErrClosed = errors.New("ioqueue: closed")
 // Queue is a blocking two-class FIFO. Pop always drains Normal items
 // before Active items; within a class, arrival order is preserved.
 type Queue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	normal deque
-	active deque
-	bytes  [2]uint64
-	closed bool
-	now    func() time.Time
+	mu      sync.Mutex
+	cond    *sync.Cond
+	normal  deque
+	active  deque
+	bytes   [2]uint64
+	closed  bool
+	now     func() time.Time
+	tenants *tenant.Table
 }
 
 // New returns an empty queue.
@@ -60,6 +65,37 @@ func New() *Queue {
 	q := &Queue{now: time.Now}
 	q.cond = sync.NewCond(&q.mu)
 	return q
+}
+
+// SetTenants attaches the node's tenant table: every push raises the
+// item's per-tenant queued gauge, and every dequeue (pop, remove, or
+// drain) lowers it and accrues the item's queue wait. Nil (the default)
+// disables attribution.
+func (q *Queue) SetTenants(t *tenant.Table) {
+	q.mu.Lock()
+	q.tenants = t
+	q.mu.Unlock()
+}
+
+// accountPush is called with q.mu held after item.Enqueue is stamped.
+func (q *Queue) accountPush(item Item) {
+	q.tenants.Account(item.Tenant, func(s *tenant.Stats) { s.Queued++ })
+}
+
+// accountPop is called with q.mu held when an item leaves the queue for
+// any reason.
+func (q *Queue) accountPop(item Item) {
+	if q.tenants == nil {
+		return
+	}
+	wait := q.now().Sub(item.Enqueue)
+	if wait < 0 {
+		wait = 0
+	}
+	q.tenants.Account(item.Tenant, func(s *tenant.Stats) {
+		s.Queued--
+		s.QueueWaitNanos += uint64(wait)
+	})
 }
 
 // Push enqueues item. It returns ErrClosed after Close.
@@ -78,6 +114,7 @@ func (q *Queue) Push(item Item) error {
 		q.active.push(item)
 	}
 	q.bytes[item.Class] += item.Bytes
+	q.accountPush(item)
 	q.cond.Signal()
 	return nil
 }
@@ -108,10 +145,12 @@ func (q *Queue) TryPop() (Item, bool) {
 func (q *Queue) popLocked() (Item, bool) {
 	if it, ok := q.normal.pop(); ok {
 		q.bytes[Normal] -= it.Bytes
+		q.accountPop(it)
 		return it, true
 	}
 	if it, ok := q.active.pop(); ok {
 		q.bytes[Active] -= it.Bytes
+		q.accountPop(it)
 		return it, true
 	}
 	return Item{}, false
@@ -124,10 +163,12 @@ func (q *Queue) Remove(id uint64) (Item, bool) {
 	defer q.mu.Unlock()
 	if it, ok := q.normal.remove(id); ok {
 		q.bytes[Normal] -= it.Bytes
+		q.accountPop(it)
 		return it, true
 	}
 	if it, ok := q.active.remove(id); ok {
 		q.bytes[Active] -= it.Bytes
+		q.accountPop(it)
 		return it, true
 	}
 	return Item{}, false
@@ -145,6 +186,7 @@ func (q *Queue) DrainActive() []Item {
 			break
 		}
 		q.bytes[Active] -= it.Bytes
+		q.accountPop(it)
 		items = append(items, it)
 	}
 	return items

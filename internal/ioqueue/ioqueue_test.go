@@ -4,6 +4,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"dosas/internal/tenant"
 )
 
 func TestFIFOWithinClass(t *testing.T) {
@@ -217,6 +219,58 @@ func TestConcurrentProducersConsumers(t *testing.T) {
 	consumed.Wait()
 	if len(got) != total {
 		t.Fatalf("consumed %d unique items, want %d", len(got), total)
+	}
+}
+
+func TestTenantAccounting(t *testing.T) {
+	q := New()
+	now := time.Unix(100, 0)
+	q.now = func() time.Time { return now }
+	tab := tenant.NewTable(8)
+	q.SetTenants(tab)
+
+	q.Push(Item{ID: 1, Class: Active, Tenant: "a"})
+	q.Push(Item{ID: 2, Class: Active, Tenant: "a"})
+	q.Push(Item{ID: 3, Class: Normal}) // default tenant
+	rows := tab.Snapshot()
+	if len(rows) != 2 || rows[0].Tenant != "a" || rows[0].Queued != 2 || rows[1].Queued != 1 {
+		t.Fatalf("after push: %+v", rows)
+	}
+
+	// Pop after 5ms: queued gauge drops, wait accrues to the right tenant.
+	now = now.Add(5 * time.Millisecond)
+	it, _ := q.TryPop() // normal first → default tenant
+	if it.ID != 3 {
+		t.Fatalf("popped %d, want 3", it.ID)
+	}
+	rows = tab.Snapshot()
+	if rows[1].Queued != 0 || rows[1].QueueWaitNanos != uint64(5*time.Millisecond) {
+		t.Fatalf("default row after pop: %+v", rows[1])
+	}
+
+	// Remove and DrainActive also settle the gauge and accrue wait.
+	now = now.Add(5 * time.Millisecond)
+	if _, ok := q.Remove(1); !ok {
+		t.Fatal("remove failed")
+	}
+	if drained := q.DrainActive(); len(drained) != 1 || drained[0].ID != 2 {
+		t.Fatalf("drained = %+v", drained)
+	}
+	rows = tab.Snapshot()
+	if rows[0].Queued != 0 || rows[0].QueueWaitNanos != uint64(20*time.Millisecond) {
+		t.Fatalf("tenant a after remove+drain: %+v", rows[0])
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not empty: %d", q.Len())
+	}
+}
+
+func TestTenantAccountingDisabled(t *testing.T) {
+	// With no table attached, the queue must behave exactly as before.
+	q := New()
+	q.Push(Item{ID: 1, Class: Active, Tenant: "a"})
+	if it, ok := q.TryPop(); !ok || it.ID != 1 {
+		t.Fatalf("pop = %+v, %v", it, ok)
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"dosas/internal/metrics"
 	"dosas/internal/slo"
 	"dosas/internal/telemetry"
+	"dosas/internal/tenant"
 )
 
 // ContentType is the OpenMetrics media type served on /metrics.
@@ -47,6 +48,10 @@ type Source struct {
 	SLO *slo.Engine
 	// Events contributes the event ring's overwrite count.
 	Events *eventlog.Log
+	// Tenants contributes the dosas_tenant{tenant,resource} usage family
+	// and the tenant-table eviction count. Label cardinality is bounded
+	// by the table itself (LRU-evicted past its limit).
+	Tenants *tenant.Table
 }
 
 // family is one metric family: a TYPE declaration plus sorted samples.
@@ -170,6 +175,51 @@ func collect(src Source, add func(name, typ, help string, s sample)) {
 			"Event-ring entries overwritten before being fetched.", sample{
 				suffix: "_total", labels: base.render(),
 				value: strconv.FormatUint(src.Events.Dropped(), 10)})
+	}
+	if src.Tenants != nil {
+		for _, u := range src.Tenants.Snapshot() {
+			tl := base.with("tenant", u.Tenant)
+			for _, r := range []struct {
+				resource string
+				value    uint64
+			}{
+				{"bytes_read", u.BytesRead},
+				{"bytes_written", u.BytesWritten},
+				{"read_ops", u.ReadOps},
+				{"write_ops", u.WriteOps},
+				{"trunc_ops", u.TruncOps},
+				{"active_ops", u.ActiveOps},
+				{"transform_ops", u.TransformOps},
+				{"kernel_ns", u.KernelNanos},
+				{"bounces", u.Bounces},
+				{"interrupts", u.Interrupts},
+				{"queue_wait_ns", u.QueueWaitNanos},
+			} {
+				if r.value == 0 {
+					continue // keep the exposition to resources the tenant touched
+				}
+				add("dosas_tenant", "gauge",
+					"Per-tenant cumulative resource usage, by resource label.", sample{
+						labels: tl.with("resource", r.resource).render(),
+						value:  strconv.FormatUint(r.value, 10)})
+			}
+			for _, g := range []struct {
+				resource string
+				value    int64
+			}{{"queued", u.Queued}, {"inflight", u.Inflight}} {
+				if g.value == 0 {
+					continue
+				}
+				add("dosas_tenant", "gauge",
+					"Per-tenant cumulative resource usage, by resource label.", sample{
+						labels: tl.with("resource", g.resource).render(),
+						value:  strconv.FormatInt(g.value, 10)})
+			}
+		}
+		add("dosas_tenant_evicted", "counter",
+			"Tenants folded into the (evicted) aggregate when the table overflowed.", sample{
+				suffix: "_total", labels: base.render(),
+				value: strconv.FormatUint(src.Tenants.Evictions(), 10)})
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"dosas/internal/metrics"
 	"dosas/internal/slo"
 	"dosas/internal/telemetry"
+	"dosas/internal/tenant"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -69,8 +70,25 @@ func buildSources(t *testing.T) []Source {
 	metaReg := metrics.NewRegistry()
 	metaReg.Counter("meta.opens").Add(7)
 
+	// Tenant table with hostile names: label values containing every
+	// character the exposition format escapes, plus enough tenants to
+	// trigger one eviction (limit 3 keeps app-a, app-b, and the dirty
+	// name; "victim" folds into the (evicted) row).
+	tab := tenant.NewTable(3)
+	tab.Account("victim", func(st *tenant.Stats) { st.ReadOps = 1; st.BytesRead = 512 })
+	tab.Account("app-a", func(st *tenant.Stats) {
+		st.BytesRead = 4096
+		st.ReadOps = 4
+		st.ActiveOps = 2
+		st.KernelNanos = 1500000
+		st.QueueWaitNanos = 250000
+		st.Inflight = 1
+	})
+	tab.Account("app-b", func(st *tenant.Stats) { st.WriteOps = 3; st.BytesWritten = 9000; st.Bounces = 1 })
+	tab.Account("we\"ird\\te\nnant", func(st *tenant.Stats) { st.TruncOps = 2 })
+
 	return []Source{
-		{Node: "data-0", Role: "data", Metrics: reg, Telemetry: s, SLO: engine, Events: ev},
+		{Node: "data-0", Role: "data", Metrics: reg, Telemetry: s, SLO: engine, Events: ev, Tenants: tab},
 		{Node: "meta", Role: "meta", Metrics: metaReg},
 	}
 }
@@ -192,6 +210,20 @@ func TestRenderIsValidOpenMetrics(t *testing.T) {
 	}
 	if !strings.Contains(out, `dosas_events_dropped_total{node="data-0",role="data"} 3`) {
 		t.Error("event drop counter missing")
+	}
+	// Tenant usage family: resource-labelled samples, with hostile tenant
+	// names escaped per the exposition spec.
+	if !strings.Contains(out, `dosas_tenant{node="data-0",role="data",tenant="app-a",resource="bytes_read"} 4096`) {
+		t.Error("tenant bytes_read sample missing")
+	}
+	if !strings.Contains(out, `dosas_tenant{node="data-0",role="data",tenant="we\"ird\\te\nnant",resource="trunc_ops"} 2`) {
+		t.Error("escaped dirty tenant name sample missing")
+	}
+	if !strings.Contains(out, `tenant="(evicted)"`) {
+		t.Error("evicted fold row missing from tenant family")
+	}
+	if !strings.Contains(out, `dosas_tenant_evicted_total{node="data-0",role="data"} 1`) {
+		t.Error("tenant eviction counter missing")
 	}
 }
 

@@ -32,6 +32,11 @@ type ClientConfig struct {
 	// mode instead of negotiating multiplexed connections (debugging and
 	// A/B benchmarks).
 	DisableMux bool
+	// Tenant identifies this client's workload on every data-path request
+	// (reads, writes, trunc/remove), so storage nodes attribute bytes and
+	// ops to it. Empty means the default tenant and keeps the wire format
+	// byte-identical to pre-tenant clients.
+	Tenant string
 }
 
 // Client is the file system client: it resolves names at the metadata
@@ -56,6 +61,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.DisableMux {
 		pool.DisableMux()
 	}
+	pool.SetTenant(cfg.Tenant)
 	return &Client{cfg: cfg, pool: pool}, nil
 }
 
@@ -191,7 +197,7 @@ func (c *Client) Remove(name string) error {
 			wg.Add(1)
 			go func(addr string, handle uint64) {
 				defer wg.Done()
-				c.pool.Call(addr, &wire.TruncReq{Handle: handle, Remove: true}) //nolint:errcheck
+				c.pool.Call(addr, &wire.TruncReq{Handle: handle, Remove: true, Tenant: c.cfg.Tenant}) //nolint:errcheck
 			}(addr, ReplicaHandle(st.Handle, r))
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"dosas/internal/metrics"
 	"dosas/internal/slo"
 	"dosas/internal/telemetry"
+	"dosas/internal/tenant"
 	"dosas/internal/trace"
 	"dosas/internal/wire"
 )
@@ -60,6 +61,10 @@ type DataConfig struct {
 	// SLO is the node's alert engine, served via AlertFetchReq and
 	// contributing readiness checks to HealthReq. Optional.
 	SLO *slo.Engine
+	// Tenants is the node's per-tenant usage table, fed by the normal
+	// I/O handlers and served via TenantStatsReq. Usually shared with the
+	// attached active runtime. Optional: nil disables attribution.
+	Tenants *tenant.Table
 }
 
 // DataServer is one storage node's I/O service: it stores the server-local
@@ -74,6 +79,7 @@ type DataServer struct {
 	audit   *audit.Log
 	events  *eventlog.Log
 	slo     *slo.Engine
+	tenants *tenant.Table
 	started time.Time
 	active  ActiveHandler
 
@@ -97,7 +103,7 @@ func NewDataServer(cfg DataConfig) (*DataServer, error) {
 	ds := &DataServer{
 		store: cfg.Store, reg: cfg.Metrics, node: cfg.Node,
 		trace: cfg.Trace, tele: cfg.Telemetry, audit: cfg.Audit,
-		events: cfg.Events, slo: cfg.SLO,
+		events: cfg.Events, slo: cfg.SLO, tenants: cfg.Tenants,
 		started: time.Now(),
 	}
 	ds.ranger, _ = cfg.Store.(RangeReader)
@@ -185,6 +191,8 @@ func (ds *DataServer) Handle(msg wire.Message) (wire.Message, error) {
 		return serveEvents(ds.node, ds.events, req)
 	case *wire.AlertFetchReq:
 		return serveAlerts(ds.node, ds.slo)
+	case *wire.TenantStatsReq:
+		return ds.tenantStats()
 	default:
 		return nil, fmt.Errorf("%w: data server got %v", ErrUnsupported, msg.Type())
 	}
@@ -250,6 +258,17 @@ func (ds *DataServer) traceFetch(req *wire.TraceFetchReq) (wire.Message, error) 
 		return nil, fmt.Errorf("%w: encoding trace: %v", ErrInvalid, err)
 	}
 	return &wire.TraceFetchResp{Node: ds.node, Events: js, Dropped: ds.trace.Dropped()}, nil
+}
+
+// tenantStats answers a TenantStatsReq with the node's per-tenant usage
+// table. A node with no table attached answers with an empty set rather
+// than an error, so operators can sweep a mixed cluster.
+func (ds *DataServer) tenantStats() (wire.Message, error) {
+	js, err := tenant.EncodeUsage(ds.tenants.Snapshot())
+	if err != nil {
+		return nil, fmt.Errorf("%w: encoding tenant stats: %v", ErrInvalid, err)
+	}
+	return &wire.TenantStatsResp{Node: ds.node, Evicted: ds.tenants.Evictions(), Usage: js}, nil
 }
 
 // decisionLog answers a DecisionLogReq with the node's retained
@@ -323,6 +342,10 @@ const zeroCopyMin = 64 << 10
 func (ds *DataServer) read(req *wire.ReadReq) (wire.Message, error) {
 	ds.reg.Counter("data.read").Inc()
 	ds.reg.Gauge("data.inflight").Add(1) // released by PostWrite
+	var served uint64                    // bytes attributed to the caller's tenant
+	defer func() {
+		ds.tenants.Account(req.Tenant, func(s *tenant.Stats) { s.ReadOps++; s.BytesRead += served })
+	}()
 	if req.Length > wire.MaxFrameSize-64 {
 		return nil, fmt.Errorf("%w: read of %d bytes exceeds frame budget", ErrInvalid, req.Length)
 	}
@@ -332,6 +355,7 @@ func (ds *DataServer) read(req *wire.ReadReq) (wire.Message, error) {
 		p, err := ds.ranger.ReadRange(req.Handle, req.Offset, n)
 		if err == nil {
 			ds.reg.Counter("data.bytes_read").Add(int64(n))
+			served = n
 			// Closed in PostWrite once the frame has left the server.
 			return &wire.ReadResp{Payload: p, EOF: req.Offset+n >= size}, nil
 		}
@@ -345,6 +369,7 @@ func (ds *DataServer) read(req *wire.ReadReq) (wire.Message, error) {
 		return nil, err
 	}
 	ds.reg.Counter("data.bytes_read").Add(int64(n))
+	served = uint64(n)
 	// The store just staged n bytes into a user-space buffer; the wire
 	// layer counts any further copies (wire.copied_bytes).
 	ds.reg.Counter("data.bytes_copied").Add(int64(n))
@@ -357,14 +382,17 @@ func (ds *DataServer) write(req *wire.WriteReq) (wire.Message, error) {
 	ds.reg.Gauge("data.inflight").Add(1) // released by PostWrite
 	n, err := ds.store.WriteAt(req.Handle, req.Data, req.Offset)
 	if err != nil {
+		ds.tenants.Account(req.Tenant, func(s *tenant.Stats) { s.WriteOps++ })
 		return nil, err
 	}
 	ds.reg.Counter("data.bytes_written").Add(int64(n))
+	ds.tenants.Account(req.Tenant, func(s *tenant.Stats) { s.WriteOps++; s.BytesWritten += uint64(n) })
 	return &wire.WriteResp{N: uint32(n)}, nil
 }
 
 func (ds *DataServer) trunc(req *wire.TruncReq) (wire.Message, error) {
 	ds.reg.Counter("data.trunc").Inc()
+	ds.tenants.Account(req.Tenant, func(s *tenant.Stats) { s.TruncOps++ })
 	if req.Remove {
 		if err := ds.store.Remove(req.Handle); err != nil {
 			return nil, err

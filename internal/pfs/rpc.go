@@ -67,6 +67,7 @@ type Pool struct {
 	plain  map[string]bool // peers that declined or failed the mux handshake
 	closed bool
 	noMux  bool
+	tenant string // stamped on windowed bulk transfers (read/write chunks)
 
 	reg        *metrics.Registry
 	idleTTL    time.Duration // ordered conns idle longer are dropped
@@ -132,6 +133,23 @@ func (p *Pool) DisableMux() {
 	p.mu.Lock()
 	p.noMux = true
 	p.mu.Unlock()
+}
+
+// SetTenant stamps every subsequent windowed bulk transfer (read and
+// write chunks) with the tenant id, so data servers attribute normal-I/O
+// bytes to the issuing workload. Empty (the default) keeps frames
+// byte-identical to pre-tenant clients. Call before the first transfer.
+func (p *Pool) SetTenant(tenant string) {
+	p.mu.Lock()
+	p.tenant = tenant
+	p.mu.Unlock()
+}
+
+// Tenant returns the pool's configured tenant id.
+func (p *Pool) Tenant() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.tenant
 }
 
 // Metrics exposes the pool's counters (pool.dials, pool.idle.reuse,

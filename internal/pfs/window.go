@@ -43,7 +43,7 @@ func (p *Pool) ReadWindowed(addr string, handle uint64, dst []byte, off uint64, 
 		if err != nil {
 			return 0, err
 		}
-		n, err := readStream(s, handle, dst, off, depth, chunk)
+		n, err := readStream(s, handle, dst, off, depth, chunk, p.Tenant())
 		s.Release()
 		if err == nil {
 			return n, nil
@@ -72,7 +72,7 @@ func (p *Pool) WriteWindowed(addr string, handle uint64, src []byte, off uint64,
 		if err != nil {
 			return 0, err
 		}
-		n, err := writeStream(s, handle, src, off, depth, chunk)
+		n, err := writeStream(s, handle, src, off, depth, chunk, p.Tenant())
 		s.Release()
 		if err == nil {
 			return n, nil
@@ -97,13 +97,13 @@ func (p *Pool) WriteWindowed(addr string, handle uint64, src []byte, off uint64,
 // bytes actually received (resync). Short responses always carry at least
 // one byte, so the resync loop makes progress; an empty response is an
 // error, as in the serial path.
-func readStream(s *Stream, handle uint64, dst []byte, off uint64, depth, chunk int) (int, error) {
+func readStream(s *Stream, handle uint64, dst []byte, off uint64, depth, chunk int, tenant string) (int, error) {
 	sent, recvd := 0, 0
 	pending := make([]int, 0, depth)
 	for recvd < len(dst) {
 		for len(pending) < depth && sent < len(dst) {
 			n := min(chunk, len(dst)-sent)
-			req := &wire.ReadReq{Handle: handle, Offset: off + uint64(sent), Length: uint32(n)}
+			req := &wire.ReadReq{Handle: handle, Offset: off + uint64(sent), Length: uint32(n), Tenant: tenant}
 			if err := s.Send(req); err != nil {
 				return recvd, err
 			}
@@ -147,13 +147,13 @@ func readStream(s *Stream, handle uint64, dst []byte, off uint64, depth, chunk i
 // write acknowledgement is an error (as in the serial path: degraded
 // partial writes would silently diverge replicas), but the remaining
 // in-flight responses are drained first so the connection stays poolable.
-func writeStream(s *Stream, handle uint64, src []byte, off uint64, depth, chunk int) (int, error) {
+func writeStream(s *Stream, handle uint64, src []byte, off uint64, depth, chunk int, tenant string) (int, error) {
 	sent, acked := 0, 0
 	pending := make([]int, 0, depth)
 	for acked < len(src) {
 		for len(pending) < depth && sent < len(src) {
 			n := min(chunk, len(src)-sent)
-			req := &wire.WriteReq{Handle: handle, Offset: off + uint64(sent), Data: src[sent : sent+n]}
+			req := &wire.WriteReq{Handle: handle, Offset: off + uint64(sent), Data: src[sent : sent+n], Tenant: tenant}
 			if err := s.Send(req); err != nil {
 				return acked, err
 			}

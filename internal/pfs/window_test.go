@@ -297,7 +297,7 @@ func TestFileRoundTripAcrossWindowDepths(t *testing.T) {
 					t.Fatal(err)
 				}
 				data := make([]byte, 200_000)
-				rand.New(rand.NewSource(int64(depth*10+replicas))).Read(data)
+				rand.New(rand.NewSource(int64(depth*10 + replicas))).Read(data)
 				if _, err := f.WriteAt(data, 0); err != nil {
 					t.Fatal(err)
 				}

@@ -217,6 +217,18 @@ func DefaultRules() []Rule {
 			ShortWindow: Duration(3 * time.Second), LongWindow: Duration(10 * time.Second),
 			For: Duration(500 * time.Millisecond), Severity: "page",
 		},
+		{
+			// One tenant owning ≥75% of per-tick queue wait over both burn
+			// windows. The series is 0 on single-tenant nodes (a lone
+			// tenant is not a neighbor) and absent on nodes without a
+			// tenant table, so the rule abstains there. Factor 1 is
+			// explicit: the objective IS the share bound, and the default
+			// factor of 2 would demand an impossible 150% share.
+			Name: "noisy-neighbor", Series: "tenant.wait.share", Kind: KindBurnRate,
+			Objective: 0.75, Factor: 1,
+			ShortWindow: Duration(3 * time.Second), LongWindow: Duration(10 * time.Second),
+			For: Duration(500 * time.Millisecond), Severity: "warn",
+		},
 	}
 	for i := range rules {
 		if err := rules[i].Validate(); err != nil {
@@ -278,6 +290,11 @@ type Config struct {
 	Metrics *metrics.Registry
 	// Node labels emitted alerts and events.
 	Node string
+	// Annotate, when set, contributes extra key/value pairs (flat
+	// alternating list) to every transition event of the named rule — the
+	// hook through which the tenant plane names the dominant tenant on
+	// noisy-neighbor transitions. Optional.
+	Annotate func(rule string) []string
 	// Now overrides the clock, for tests.
 	Now func() time.Time
 }
@@ -386,6 +403,9 @@ func (e *Engine) transition(st *ruleState, msg string, level eventlog.Level) {
 	}
 	if st.detail != "" {
 		kv = append(kv, "detail", st.detail)
+	}
+	if a := e.cfg.Annotate; a != nil {
+		kv = append(kv, a(st.rule.Name)...)
 	}
 	switch level {
 	case eventlog.Error:

@@ -20,6 +20,7 @@ import (
 type Bundle struct {
 	TraceID  uint64        `json:"trace_id"`
 	Op       string        `json:"op"`
+	Tenant   string        `json:"tenant,omitempty"`
 	Bytes    uint64        `json:"bytes,omitempty"`
 	Elapsed  time.Duration `json:"elapsed_ns"`
 	Median   time.Duration `json:"median_ns,omitempty"`
@@ -213,6 +214,9 @@ func ReadBundles(dir string) ([]Bundle, error) {
 func FormatBundle(b Bundle) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "trace %d op=%s bytes=%d elapsed=%v", b.TraceID, b.Op, b.Bytes, b.Elapsed.Round(time.Microsecond))
+	if b.Tenant != "" {
+		fmt.Fprintf(&sb, " tenant=%s", b.Tenant)
+	}
 	if b.Median > 0 {
 		fmt.Fprintf(&sb, " median=%v", b.Median.Round(time.Microsecond))
 	}

@@ -121,6 +121,8 @@ type Event struct {
 	ReqID   uint64    `json:"req_id"`
 	Op      string    `json:"op,omitempty"`
 	Bytes   uint64    `json:"bytes,omitempty"`
+	// Tenant attributes the event to the requesting tenant ("" = default).
+	Tenant string `json:"tenant,omitempty"`
 	// Phase names the measured stage for span events (Phase* constants).
 	Phase string `json:"phase,omitempty"`
 	// Dur is the measured duration of the phase ending at Time.
@@ -279,6 +281,9 @@ func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
 // in the canonical single-line form shared by WriteTo and dosasctl.
 func FormatEvent(e Event) string {
 	s := fmt.Sprintf(" seq=%d req=%d %-9s op=%s bytes=%d", e.Seq, e.ReqID, e.Kind, e.Op, e.Bytes)
+	if e.Tenant != "" {
+		s += fmt.Sprintf(" tenant=%s", e.Tenant)
+	}
 	if e.Phase != "" {
 		s += fmt.Sprintf(" phase=%s", e.Phase)
 	}

@@ -273,6 +273,11 @@ type ReadReq struct {
 	Handle uint64
 	Offset uint64
 	Length uint32
+	// Tenant attributes this request's resource usage. Optional trailing
+	// field, encoded only when non-empty: an empty tenant IS the default
+	// tenant, so default-tenant clients emit frames byte-identical to
+	// pre-tenant peers and either side of an old/new pairing interops.
+	Tenant string
 }
 
 func (*ReadReq) Type() MsgType { return MsgReadReq }
@@ -281,12 +286,18 @@ func (m *ReadReq) Encode(e *Encoder) {
 	e.PutU64(m.Handle)
 	e.PutU64(m.Offset)
 	e.PutU32(m.Length)
+	if m.Tenant != "" {
+		e.PutString(m.Tenant)
+	}
 }
 
 func (m *ReadReq) Decode(d *Decoder) {
 	m.Handle = d.U64()
 	m.Offset = d.U64()
 	m.Length = d.U32()
+	if d.Remaining() > 0 {
+		m.Tenant = d.String()
+	}
 }
 
 // ReadResp returns the requested bytes. A short Data with EOF set means the
@@ -353,6 +364,9 @@ type WriteReq struct {
 	Handle uint64
 	Offset uint64
 	Data   []byte
+	// Tenant attributes this request. Optional trailing field, encoded
+	// only when non-empty (see ReadReq.Tenant).
+	Tenant string
 }
 
 func (*WriteReq) Type() MsgType { return MsgWriteReq }
@@ -361,19 +375,25 @@ func (m *WriteReq) Encode(e *Encoder) {
 	e.PutU64(m.Handle)
 	e.PutU64(m.Offset)
 	e.PutBytes(m.Data)
+	if m.Tenant != "" {
+		e.PutString(m.Tenant)
+	}
 }
 
 func (m *WriteReq) Decode(d *Decoder) {
 	m.Handle = d.U64()
 	m.Offset = d.U64()
 	m.Data = d.Bytes()
+	if d.Remaining() > 0 {
+		m.Tenant = d.String()
+	}
 }
 
 // Own implements Owner: Data may alias a pooled frame buffer.
 func (m *WriteReq) Own() { m.Data = detach(m.Data) }
 
 // encodedSizeHint sizes the frame buffer for the bulk payload.
-func (m *WriteReq) encodedSizeHint() int { return len(m.Data) + 24 }
+func (m *WriteReq) encodedSizeHint() int { return len(m.Data) + len(m.Tenant) + 28 }
 
 // WriteResp acknowledges the number of bytes durably applied.
 type WriteResp struct{ N uint32 }
@@ -388,6 +408,9 @@ type TruncReq struct {
 	Handle uint64
 	Size   uint64
 	Remove bool
+	// Tenant attributes this request. Optional trailing field, encoded
+	// only when non-empty (see ReadReq.Tenant).
+	Tenant string
 }
 
 func (*TruncReq) Type() MsgType { return MsgTruncReq }
@@ -396,12 +419,18 @@ func (m *TruncReq) Encode(e *Encoder) {
 	e.PutU64(m.Handle)
 	e.PutU64(m.Size)
 	e.PutBool(m.Remove)
+	if m.Tenant != "" {
+		e.PutString(m.Tenant)
+	}
 }
 
 func (m *TruncReq) Decode(d *Decoder) {
 	m.Handle = d.U64()
 	m.Size = d.U64()
 	m.Remove = d.Bool()
+	if d.Remaining() > 0 {
+		m.Tenant = d.String()
+	}
 }
 
 // TruncResp acknowledges a TruncReq.
@@ -429,6 +458,10 @@ type ActiveReadReq struct {
 	// this active read; 0 when the peer predates tracing. Optional
 	// trailing field: old-format frames omit it and still decode.
 	TraceID uint64
+	// Tenant attributes this request. Second-generation optional
+	// trailing field, after TraceID, encoded only when non-empty (see
+	// ReadReq.Tenant).
+	Tenant string
 }
 
 func (*ActiveReadReq) Type() MsgType { return MsgActiveReadReq }
@@ -442,6 +475,9 @@ func (m *ActiveReadReq) Encode(e *Encoder) {
 	e.PutBytes(m.Params)
 	e.PutBytes(m.ResumeState)
 	e.PutU64(m.TraceID)
+	if m.Tenant != "" {
+		e.PutString(m.Tenant)
+	}
 }
 
 func (m *ActiveReadReq) Decode(d *Decoder) {
@@ -454,6 +490,9 @@ func (m *ActiveReadReq) Decode(d *Decoder) {
 	m.ResumeState = d.Bytes()
 	if d.Remaining() > 0 {
 		m.TraceID = d.U64()
+	}
+	if d.Remaining() > 0 {
+		m.Tenant = d.String()
 	}
 }
 
@@ -611,6 +650,10 @@ type TransformReq struct {
 	DstOffset uint64
 	// TraceID is the client-minted trace context. Optional trailing field.
 	TraceID uint64
+	// Tenant attributes this request. Second-generation optional
+	// trailing field, after TraceID, encoded only when non-empty (see
+	// ReadReq.Tenant).
+	Tenant string
 }
 
 func (*TransformReq) Type() MsgType { return MsgTransformReq }
@@ -625,6 +668,9 @@ func (m *TransformReq) Encode(e *Encoder) {
 	e.PutU64(m.DstHandle)
 	e.PutU64(m.DstOffset)
 	e.PutU64(m.TraceID)
+	if m.Tenant != "" {
+		e.PutString(m.Tenant)
+	}
 }
 
 func (m *TransformReq) Decode(d *Decoder) {
@@ -638,6 +684,9 @@ func (m *TransformReq) Decode(d *Decoder) {
 	m.DstOffset = d.U64()
 	if d.Remaining() > 0 {
 		m.TraceID = d.U64()
+	}
+	if d.Remaining() > 0 {
+		m.Tenant = d.String()
 	}
 }
 
@@ -1064,3 +1113,42 @@ func (m *AlertFetchResp) Own() { m.Alerts = detach(m.Alerts) }
 
 // encodedSizeHint sizes the frame buffer for the alert payload.
 func (m *AlertFetchResp) encodedSizeHint() int { return len(m.Alerts) + len(m.Node) + 16 }
+
+// TenantStatsReq asks a node for its per-tenant resource attribution
+// table — who consumed what since the node started.
+type TenantStatsReq struct{}
+
+func (*TenantStatsReq) Type() MsgType   { return MsgTenantStatsReq }
+func (*TenantStatsReq) Encode(*Encoder) {}
+func (*TenantStatsReq) Decode(*Decoder) {}
+
+// TenantStatsResp returns the node's tenant table as a JSON array of
+// tenant.Usage, opaque here so the accounting schema can grow without
+// touching the wire format. Evicted counts tenants folded out of the
+// bounded table since the node started — non-zero means the per-tenant
+// rows are a subset and the "(evicted)" aggregate row holds the rest.
+type TenantStatsResp struct {
+	Node    string
+	Evicted uint64
+	Usage   []byte // JSON-encoded []tenant.Usage
+}
+
+func (*TenantStatsResp) Type() MsgType { return MsgTenantStatsResp }
+
+func (m *TenantStatsResp) Encode(e *Encoder) {
+	e.PutString(m.Node)
+	e.PutU64(m.Evicted)
+	e.PutBytes(m.Usage)
+}
+
+func (m *TenantStatsResp) Decode(d *Decoder) {
+	m.Node = d.String()
+	m.Evicted = d.U64()
+	m.Usage = d.Bytes()
+}
+
+// Own implements Owner: Usage may alias a pooled frame buffer.
+func (m *TenantStatsResp) Own() { m.Usage = detach(m.Usage) }
+
+// encodedSizeHint sizes the frame buffer for the usage payload.
+func (m *TenantStatsResp) encodedSizeHint() int { return len(m.Usage) + len(m.Node) + 24 }

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"io"
 	"reflect"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -43,13 +44,19 @@ func TestAllMessagesRoundTrip(t *testing.T) {
 		&SetSizeReq{Handle: 4, Size: 77},
 		&SetSizeResp{Size: 77},
 		&ReadReq{Handle: 1, Offset: 8192, Length: 4096},
+		&ReadReq{Handle: 1, Offset: 8192, Length: 4096, Tenant: "app-a"},
 		&ReadResp{Data: []byte{9, 9, 9}, EOF: true},
 		&WriteReq{Handle: 1, Offset: 0, Data: []byte("payload")},
+		&WriteReq{Handle: 1, Offset: 0, Data: []byte("payload"), Tenant: "app-a"},
 		&WriteResp{N: 7},
 		&TruncReq{Handle: 5, Size: 10, Remove: true},
+		&TruncReq{Handle: 5, Size: 10, Remove: true, Tenant: "app-a"},
 		&TruncResp{},
 		&ActiveReadReq{RequestID: 11, Handle: 2, Offset: 64, Length: 1 << 20,
 			Op: "sum8", Params: []byte{1}, ResumeState: []byte{2, 3}, TraceID: 0xCAFE0001},
+		&ActiveReadReq{RequestID: 11, Handle: 2, Offset: 64, Length: 1 << 20,
+			Op: "sum8", Params: []byte{1}, ResumeState: []byte{2, 3}, TraceID: 0xCAFE0001,
+			Tenant: "app-a"},
 		&ActiveReadResp{RequestID: 11, Disposition: ActiveInterrupted,
 			Result: []byte{4}, State: []byte{5, 6}, Processed: 512, TraceID: 0xCAFE0001},
 		&ProbeReq{},
@@ -59,6 +66,9 @@ func TestAllMessagesRoundTrip(t *testing.T) {
 		&CancelResp{Found: true},
 		&TransformReq{RequestID: 12, SrcHandle: 2, Offset: 64, Length: 1 << 20,
 			Op: "gaussian2d", Params: []byte{7}, DstHandle: 3, DstOffset: 64, TraceID: 0xCAFE0002},
+		&TransformReq{RequestID: 12, SrcHandle: 2, Offset: 64, Length: 1 << 20,
+			Op: "gaussian2d", Params: []byte{7}, DstHandle: 3, DstOffset: 64, TraceID: 0xCAFE0002,
+			Tenant: "app-a"},
 		&TransformResp{RequestID: 12, Written: 1 << 20},
 		&LocalSizeReq{Handle: 9},
 		&LocalSizeResp{Size: 1 << 30},
@@ -84,6 +94,9 @@ func TestAllMessagesRoundTrip(t *testing.T) {
 		&AlertFetchReq{},
 		&AlertFetchResp{Node: "data-0",
 			Alerts: []byte(`[{"rule":"bounce-budget-burn","state":"firing"}]`)},
+		&TenantStatsReq{},
+		&TenantStatsResp{Node: "data-0", Evicted: 3,
+			Usage: []byte(`[{"tenant":"app-a","bytes_read":4096}]`)},
 	}
 	seen := make(map[MsgType]bool)
 	for _, m := range msgs {
@@ -260,6 +273,137 @@ func TestSeriesFetchRespTwoGenerationsOld(t *testing.T) {
 	resp := got.(*SeriesFetchResp)
 	if resp.Node != "data-0" || resp.TickNano != 0 || resp.Dropped != 0 {
 		t.Fatalf("decode = %+v, want zero TickNano/Dropped", resp)
+	}
+}
+
+// tenantCases enumerates every request envelope carrying the appended
+// tenant field, with the field set.
+func tenantCases() []Message {
+	return []Message{
+		&ReadReq{Handle: 1, Offset: 8192, Length: 4096, Tenant: "app-a"},
+		&WriteReq{Handle: 1, Offset: 64, Data: []byte("payload"), Tenant: "app-a"},
+		&TruncReq{Handle: 5, Size: 10, Remove: true, Tenant: "app-a"},
+		&ActiveReadReq{RequestID: 11, Handle: 2, Offset: 64, Length: 1 << 20,
+			Op: "sum8", Params: []byte{1}, TraceID: 0xCAFE, Tenant: "app-a"},
+		&TransformReq{RequestID: 12, SrcHandle: 2, Offset: 64, Length: 1 << 20,
+			Op: "gaussian2d", Params: []byte{7}, DstHandle: 3, DstOffset: 64,
+			TraceID: 0xCAFE, Tenant: "app-a"},
+	}
+}
+
+// clearTenant zeroes a message's Tenant field and returns it.
+func clearTenant(m Message) Message {
+	reflect.ValueOf(m).Elem().FieldByName("Tenant").SetString("")
+	return m
+}
+
+// Tenant-aware servers must decode pre-tenant clients' frames (tenant
+// defaults to ""), and tenant-aware clients speaking for the default
+// tenant must emit frames pre-tenant servers accept — which the codec
+// guarantees by emitting the old format byte-for-byte when Tenant is
+// empty, since a pre-tenant decoder rejects any trailing bytes.
+func TestTenantFieldOldPeerInterop(t *testing.T) {
+	for _, m := range tenantCases() {
+		tenant := reflect.ValueOf(m).Elem().FieldByName("Tenant").String()
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatalf("WriteMessage(%v): %v", m.Type(), err)
+		}
+		raw := buf.Bytes()
+		// Direction 1: a pre-tenant client's frame is the new frame minus
+		// the appended field (u32 length prefix + bytes); it must decode
+		// with Tenant left empty.
+		cut := 4 + len(tenant)
+		old := append([]byte(nil), raw[:len(raw)-cut]...)
+		binary.LittleEndian.PutUint32(old[0:4], uint32(len(old)-4))
+		got, err := ReadMessage(bytes.NewReader(old))
+		if err != nil {
+			t.Fatalf("%v: pre-tenant frame rejected: %v", m.Type(), err)
+		}
+		if !reflect.DeepEqual(normalise(got), normalise(clearTenant(m))) {
+			t.Errorf("%v: pre-tenant decode mismatch:\n got %#v\nwant %#v", m.Type(), got, m)
+		}
+		// Direction 2: the same message from a default-tenant client
+		// encodes byte-identically to the pre-tenant frame, so a
+		// pre-tenant server (which rejects trailing bytes) accepts it.
+		var defBuf bytes.Buffer
+		if err := WriteMessage(&defBuf, m); err != nil { // m's Tenant now ""
+			t.Fatal(err)
+		}
+		if !bytes.Equal(defBuf.Bytes(), old) {
+			t.Errorf("%v: default-tenant frame differs from pre-tenant format (%d vs %d bytes)",
+				m.Type(), defBuf.Len(), len(old))
+		}
+	}
+}
+
+// The same interop property must hold through the multiplexed framing:
+// a tenant-stamped message reassembles with its tenant, and a
+// default-tenant message reassembles to a payload byte-identical to the
+// pre-tenant encoding.
+func TestTenantFieldMuxFraming(t *testing.T) {
+	pr, pw := io.Pipe()
+	mw := NewMuxWriter(pw, MinMuxSegment)
+	mr := NewMuxReader(pr)
+	defer mr.Close()
+
+	msgs := tenantCases()
+	var wg sync.WaitGroup
+	for i, m := range msgs {
+		wg.Add(1)
+		go func(stream uint32, m Message) {
+			defer wg.Done()
+			if err := mw.Enqueue(m, stream, nil); err != nil {
+				t.Errorf("enqueue %d: %v", stream, err)
+			}
+		}(uint32(i+1), m)
+	}
+	got := make(map[uint32]Message)
+	for range msgs {
+		f, err := mr.Read()
+		if err != nil {
+			t.Fatalf("mux read: %v", err)
+		}
+		Own(f.Msg)
+		PutBuf(f.Buf)
+		got[f.Stream] = f.Msg
+	}
+	wg.Wait()
+	mw.Close()
+	pw.Close()
+	for i, m := range msgs {
+		g := got[uint32(i+1)]
+		if g == nil {
+			t.Fatalf("stream %d never arrived", i+1)
+		}
+		if !reflect.DeepEqual(normalise(g), normalise(m)) {
+			t.Errorf("%v: mux round trip mismatch:\n got %#v\nwant %#v", m.Type(), g, m)
+		}
+		// Empty tenant encodes the pre-tenant payload through this
+		// framing too.
+		var withTenant, without Encoder
+		m.Encode(&withTenant)
+		tenant := reflect.ValueOf(m).Elem().FieldByName("Tenant").String()
+		clearTenant(m).Encode(&without)
+		if len(withTenant.Bytes())-len(without.Bytes()) != 4+len(tenant) {
+			t.Errorf("%v: empty tenant did not shrink payload to the pre-tenant format", m.Type())
+		}
+	}
+}
+
+// TestTenantStatsCodecQuick property-checks the tenant-stats codecs over
+// arbitrary field values, including Usage payloads that are not valid
+// JSON — like the other fetch pairs, the codec is payload-agnostic.
+func TestTenantStatsCodecQuick(t *testing.T) {
+	f := func(evicted uint64, node string, usage []byte) bool {
+		if _, ok := roundTrip(t, &TenantStatsReq{}).(*TenantStatsReq); !ok {
+			return false
+		}
+		resp := roundTrip(t, &TenantStatsResp{Node: node, Evicted: evicted, Usage: usage}).(*TenantStatsResp)
+		return resp.Node == node && resp.Evicted == evicted && bytes.Equal(resp.Usage, usage)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -101,6 +101,10 @@ const (
 	MsgAlertFetchReq
 	MsgAlertFetchResp
 
+	// Tenant attribution plane: per-tenant usage fetch.
+	MsgTenantStatsReq
+	MsgTenantStatsResp
+
 	msgSentinel // keep last
 )
 
@@ -153,6 +157,8 @@ var msgNames = map[MsgType]string{
 	MsgEventFetchResp:  "eventfetch.resp",
 	MsgAlertFetchReq:   "alertfetch.req",
 	MsgAlertFetchResp:  "alertfetch.resp",
+	MsgTenantStatsReq:  "tenantstats.req",
+	MsgTenantStatsResp: "tenantstats.resp",
 }
 
 // String returns a human-readable name for the message type.
@@ -529,6 +535,10 @@ func New(t MsgType) Message {
 		return new(AlertFetchReq)
 	case MsgAlertFetchResp:
 		return new(AlertFetchResp)
+	case MsgTenantStatsReq:
+		return new(TenantStatsReq)
+	case MsgTenantStatsResp:
+		return new(TenantStatsResp)
 	default:
 		return nil
 	}

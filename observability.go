@@ -396,6 +396,17 @@ func ParseSLORules(data []byte) ([]SLORule, error) { return slo.ParseRules(data)
 // (breaching but inside its dwell), firing, or resolved.
 type Alert = slo.Alert
 
+// AlertState is one rule's lifecycle position.
+type AlertState = slo.State
+
+// Alert lifecycle states.
+const (
+	AlertInactive = slo.StateInactive
+	AlertPending  = slo.StatePending
+	AlertFiring   = slo.StateFiring
+	AlertResolved = slo.StateResolved
+)
+
 // FormatAlerts renders alerts as the aligned table dosasctl alerts
 // prints.
 func FormatAlerts(alerts []Alert) string { return slo.FormatAlerts(alerts) }

@@ -1,0 +1,165 @@
+package dosas_test
+
+import (
+	"strings"
+	"testing"
+
+	"dosas"
+	"dosas/internal/workload"
+)
+
+// usageFor finds one tenant's merged cluster-wide usage row.
+func usageFor(rows []dosas.TenantUsage, tenant string) (dosas.TenantUsage, bool) {
+	for _, u := range rows {
+		if u.Tenant == tenant {
+			return u, true
+		}
+	}
+	return dosas.TenantUsage{}, false
+}
+
+// The tenant attribution plane end to end: two labelled clients plus an
+// unlabelled one drive traffic, and both the in-process accessor and
+// the wire sweep attribute bytes, ops, and kernel time to the right
+// tenants.
+func TestTenantAttributionEndToEnd(t *testing.T) {
+	c := startCluster(t, dosas.Options{DataServers: 2, Policy: dosas.AlwaysAccept})
+
+	alpha, err := c.ConnectClient(dosas.ClientOptions{Scheme: dosas.DOSAS, Tenant: "alpha"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer alpha.Close()
+	beta, err := c.ConnectClient(dosas.ClientOptions{Scheme: dosas.TS, Tenant: "beta"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer beta.Close()
+	anon := connect(t, c, dosas.DOSAS) // no tenant: lands on "default"
+
+	f, err := alpha.Create("tenants/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := workload.RandomBytes(400_000, 7)
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ReadEx("sum8", nil, 0, f.Size()); err != nil {
+		t.Fatal(err)
+	}
+
+	bf, err := beta.Open("tenants/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(data))
+	if _, err := bf.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	af, err := anon.Open("tenants/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := af.ReadAt(buf[:1000], 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// In-process view.
+	reports := c.Tenants()
+	if len(reports) != 2 {
+		t.Fatalf("Tenants() returned %d reports, want one per storage node", len(reports))
+	}
+	merged := dosas.MergeTenantUsage(reports)
+
+	a, ok := usageFor(merged, "alpha")
+	if !ok {
+		t.Fatal("no usage row for tenant alpha")
+	}
+	if a.BytesWritten != uint64(len(data)) {
+		t.Errorf("alpha BytesWritten = %d, want %d", a.BytesWritten, len(data))
+	}
+	if a.ActiveOps == 0 {
+		t.Error("alpha issued an active read but ActiveOps = 0")
+	}
+	if a.KernelNanos == 0 {
+		t.Error("alpha ran a kernel but KernelNanos = 0")
+	}
+
+	b, ok := usageFor(merged, "beta")
+	if !ok {
+		t.Fatal("no usage row for tenant beta")
+	}
+	if b.BytesRead != uint64(len(data)) {
+		t.Errorf("beta BytesRead = %d, want %d", b.BytesRead, len(data))
+	}
+	if b.BytesWritten != 0 {
+		t.Errorf("beta wrote nothing but BytesWritten = %d", b.BytesWritten)
+	}
+
+	d, ok := usageFor(merged, "default")
+	if !ok {
+		t.Fatal("unlabelled client not attributed to the default tenant")
+	}
+	if d.BytesRead != 1000 {
+		t.Errorf("default BytesRead = %d, want 1000", d.BytesRead)
+	}
+
+	// Wire view must agree with the in-process view.
+	wireReports, err := anon.Tenants()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireMerged := dosas.MergeTenantUsage(wireReports)
+	for _, tn := range []string{"alpha", "beta", "default"} {
+		local, _ := usageFor(merged, tn)
+		remote, ok := usageFor(wireMerged, tn)
+		if !ok {
+			t.Fatalf("wire sweep missing tenant %s", tn)
+		}
+		if remote.BytesRead != local.BytesRead || remote.BytesWritten != local.BytesWritten {
+			t.Errorf("%s: wire usage %+v != in-process %+v", tn, remote, local)
+		}
+	}
+
+	// Formatting: every tenant appears, sorted by bytes with alpha first.
+	dosas.SortTenantUsage(wireMerged, "bytes")
+	if wireMerged[0].Tenant != "alpha" {
+		t.Errorf("bytes sort put %s first, want alpha", wireMerged[0].Tenant)
+	}
+	table := dosas.FormatTenants(wireMerged)
+	for _, tn := range []string{"TENANT", "alpha", "beta", "default"} {
+		if !strings.Contains(table, tn) {
+			t.Errorf("formatted table missing %q:\n%s", tn, table)
+		}
+	}
+}
+
+// DisableTenants turns the whole plane off: no in-process reports, and
+// the wire sweep answers with empty usage rather than an error.
+func TestTenantAttributionDisabled(t *testing.T) {
+	c := startCluster(t, dosas.Options{DataServers: 1, DisableTenants: true})
+	fs := connect(t, c, dosas.DOSAS)
+
+	f, err := fs.Create("tenants/off")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(workload.RandomBytes(10_000, 3), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := c.Tenants(); len(got) != 0 {
+		t.Errorf("disabled cluster returned %d tenant reports", len(got))
+	}
+	reports, err := fs.Tenants()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if len(r.Usage) != 0 {
+			t.Errorf("%s: disabled node reported usage %+v", r.Node, r.Usage)
+		}
+	}
+}
