@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-observability race-transport race-alerts race-store race-tenant replay-determinism check bench bench-readpath bench-telemetry bench-mux bench-tenant bench-paper clean
+.PHONY: all build test vet race race-observability race-transport race-alerts race-store race-tenant race-tsdb replay-determinism check bench bench-readpath bench-telemetry bench-mux bench-tenant bench-archive bench-paper clean
 
 all: check
 
@@ -55,6 +55,15 @@ race-alerts:
 race-tenant:
 	$(GO) test -race ./internal/tenant/ ./internal/ioqueue/
 
+# Focused race gate for the telemetry archive: chunk files are appended
+# from the sampler tick while queries, pruning, and downsample sealing
+# walk the same state; the crash-reopen property tests churn it all
+# under -race. The range-query plane (wire codec fuzz, cluster sweep)
+# rides along.
+race-tsdb:
+	$(GO) test -race ./internal/tsdb/ ./internal/telemetry/ ./internal/wire/
+	$(GO) test -race -run 'TestQuery|TestFSQuery|TestIncidentReport|TestClusterReport|TestAggregateNodes' .
+
 # Counterfactual replay must be byte-deterministic: the same decision log
 # and policy set produce the same report JSON on every run (no map
 # iteration, no wall clock in the scoring path). Replays the committed
@@ -65,7 +74,7 @@ replay-determinism:
 	cmp /tmp/dosas-replay-a.json /tmp/dosas-replay-b.json
 	@echo "replay-determinism: OK (byte-identical reports)"
 
-check: vet race-observability race-transport race-store race-alerts race-tenant replay-determinism race
+check: vet race-observability race-transport race-store race-alerts race-tenant race-tsdb replay-determinism race
 
 # Data-path microbenchmarks (fixed iteration count so runs compare
 # across commits) plus the window-vs-serial matrix (writes BENCH_pr2.json).
@@ -96,6 +105,12 @@ bench-mux:
 # overhead (writes BENCH_tenant.json).
 bench-tenant:
 	$(GO) run ./cmd/dosas-bench -exp noisy-neighbor
+
+# Durable telemetry archive: A/B overhead of archiving every sampler
+# tick (budget <1%) and restart continuity of the stitched range query
+# (writes BENCH_archive.json).
+bench-archive:
+	$(GO) run ./cmd/dosas-bench -exp archive
 
 # Regenerate the paper's tables/figures (simulated experiments) and the
 # live per-scheme decision metrics (BENCH_live.json).

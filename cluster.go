@@ -19,6 +19,7 @@ import (
 	"dosas/internal/tenant"
 	"dosas/internal/trace"
 	"dosas/internal/transport"
+	"dosas/internal/tsdb"
 )
 
 // Scheme selects how clients issue analysis reads — the paper's three
@@ -171,6 +172,20 @@ type Options struct {
 	// EventDir, when set, persists each node's events as JSON lines
 	// under EventDir/<node>.events.jsonl.
 	EventDir string
+	// EventsMaxBytes caps each node's JSONL event sink (live file plus
+	// one rotated predecessor). Zero takes eventlog.DefaultSinkMaxBytes;
+	// negative disables rotation.
+	EventsMaxBytes int64
+	// ArchiveDir, when set, gives every node a durable telemetry
+	// archive under ArchiveDir/<node>: each sampler tick is persisted
+	// to CRC-framed chunk files with downsampling tiers, served over
+	// RangeQueryReq and queried via Cluster.Query / dosasctl query.
+	// Requires telemetry (TelemetryTick >= 0).
+	ArchiveDir string
+	// ArchiveMaxBytes is each node archive's retention budget across
+	// all tiers. Zero takes tsdb.DefaultMaxBytes; negative is
+	// unbounded.
+	ArchiveMaxBytes int64
 	// DisableTenants turns per-tenant resource attribution off on every
 	// storage node: no usage table, no tenant.wait.share probe, and
 	// TenantStatsReq answers with an empty report. Used by the
@@ -200,6 +215,8 @@ type Cluster struct {
 	events        []*eventlog.Log
 	engines       []*slo.Engine
 	tenantTables  []*tenant.Table
+	archives      []*tsdb.Archive
+	metaArchive   *tsdb.Archive
 	windowDepth   int
 	transferChunk int
 	telemetryTick time.Duration
@@ -211,13 +228,17 @@ func newSampler(tick time.Duration) *telemetry.Sampler {
 	if tick < 0 {
 		return nil
 	}
-	return telemetry.NewSampler(telemetry.Config{Interval: tick})
+	s := telemetry.NewSampler(telemetry.Config{Interval: tick})
+	// Every sampler carries the Go runtime health series (goroutines,
+	// heap in use, GC pause p99) alongside the node's own probes.
+	telemetry.RegisterRuntimeProbes(s)
+	return s
 }
 
 // newEventLog builds one node's structured event log per the cluster's
 // event options.
 func (o Options) newEventLog(node string) (*eventlog.Log, error) {
-	cfg := eventlog.Config{Node: node, Capacity: o.EventCapacity, Mirror: o.EventMirror}
+	cfg := eventlog.Config{Node: node, Capacity: o.EventCapacity, Mirror: o.EventMirror, MaxBytes: o.EventsMaxBytes}
 	if o.EventDir != "" {
 		if err := os.MkdirAll(o.EventDir, 0o755); err != nil {
 			return nil, err
@@ -225,6 +246,32 @@ func (o Options) newEventLog(node string) (*eventlog.Log, error) {
 		cfg.Path = filepath.Join(o.EventDir, node+".events.jsonl")
 	}
 	return eventlog.New(cfg)
+}
+
+// newArchive builds one node's durable telemetry archive under
+// ArchiveDir/<node> and hooks its appender to the sampler's tick. Nil
+// (archive disabled) when ArchiveDir is unset or telemetry is off.
+// Append failures are reported once to the node's event log rather
+// than per tick — a full disk would otherwise flood it.
+func (o Options) newArchive(node string, tele *telemetry.Sampler, ev *eventlog.Log) (*tsdb.Archive, error) {
+	if o.ArchiveDir == "" || tele == nil {
+		return nil, nil
+	}
+	a, err := tsdb.Open(tsdb.Config{
+		Dir:      filepath.Join(o.ArchiveDir, node),
+		MaxBytes: o.ArchiveMaxBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var failed bool
+	tele.OnSamples(func(wallNano, monoNano int64, samples []telemetry.Sample) {
+		if err := a.Append(wallNano, monoNano, samples); err != nil && !failed {
+			failed = true
+			ev.Warn("tsdb", "archive append failed", "err", err.Error())
+		}
+	})
+	return a, nil
 }
 
 // newEngine builds one node's SLO engine over its sampler and hooks
@@ -319,6 +366,11 @@ func StartCluster(o Options) (*Cluster, error) {
 		return nil, err
 	}
 	c.metaSLO = metaSLO
+	metaArchive, err := o.newArchive("meta", c.metaTele, metaEvents)
+	if err != nil {
+		return nil, err
+	}
+	c.metaArchive = metaArchive
 	metaCfg := pfs.MetaConfig{
 		NumDataServers:    o.DataServers,
 		DefaultStripeSize: o.StripeSize,
@@ -326,6 +378,7 @@ func StartCluster(o Options) (*Cluster, error) {
 		Telemetry:         c.metaTele,
 		Events:            metaEvents,
 		SLO:               metaSLO,
+		Archive:           metaArchive,
 	}
 	if o.DataDir != "" {
 		metaCfg.JournalPath = filepath.Join(o.DataDir, "meta.wal")
@@ -414,7 +467,15 @@ func StartCluster(o Options) (*Cluster, error) {
 			return nil, err
 		}
 		c.engines = append(c.engines, eng)
-		ds, err := pfs.NewDataServer(pfs.DataConfig{Store: store, Metrics: reg, Node: node, Trace: tr, Telemetry: tele, Audit: alog, Events: ev, SLO: eng, Tenants: tab})
+		// The archive hooks the shared sampler: every tick the runtime's
+		// probes record is also persisted, so post-restart queries see
+		// the node's pre-crash history.
+		arch, err := o.newArchive(node, tele, ev)
+		if err != nil {
+			return nil, err
+		}
+		c.archives = append(c.archives, arch)
+		ds, err := pfs.NewDataServer(pfs.DataConfig{Store: store, Metrics: reg, Node: node, Trace: tr, Telemetry: tele, Audit: alog, Events: ev, SLO: eng, Tenants: tab, Archive: arch})
 		if err != nil {
 			return nil, err
 		}
@@ -549,6 +610,17 @@ func (c *Cluster) Close() {
 	if c.metaEvents != nil {
 		c.metaEvents.Close()
 		c.metaEvents = nil
+	}
+	// Archives close last: the samplers feeding them stopped when the
+	// runtimes and the meta server shut down above, so the final flush
+	// seals every open downsample bucket.
+	for _, a := range c.archives {
+		a.Close()
+	}
+	c.archives = nil
+	if c.metaArchive != nil {
+		c.metaArchive.Close()
+		c.metaArchive = nil
 	}
 }
 

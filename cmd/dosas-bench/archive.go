@@ -1,0 +1,179 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"dosas"
+	"dosas/internal/workload"
+)
+
+// archiveExp is the durable-telemetry-archive experiment: (a) the A/B
+// overhead check — the same bulk-read workload timed with the archive
+// enabled and disabled, budget <1% — and (b) the crash-continuity
+// check: a cluster archives telemetry, is torn down, restarts on the
+// same archive directory, and a range query must return one series
+// holding both pre- and post-restart samples.
+func archiveExp() {
+	header("Archive: durable telemetry overhead and restart continuity")
+
+	onSec, offSec := archiveOverhead()
+	overheadPct := (onSec - offSec) / offSec * 100
+	verdict := "PASS"
+	if overheadPct >= 1 {
+		verdict = "FAIL"
+	}
+	fmt.Printf("archive overhead:    on=%.4fs off=%.4fs (%.2f%%; budget 1%%: %s)\n",
+		onSec, offSec, overheadPct, verdict)
+
+	pre, post := archiveContinuity()
+	contOK := pre > 0 && post > 0
+	fmt.Printf("restart continuity:  pre-crash=%d post-restart=%d samples (both >0: %v)\n",
+		pre, post, contOK)
+
+	blob, err := json.MarshalIndent(map[string]any{
+		"experiment":           "archive",
+		"overhead_on_seconds":  onSec,
+		"overhead_off_seconds": offSec,
+		"overhead_pct":         overheadPct,
+		"overhead_budget_pct":  1.0,
+		"overhead_pass":        overheadPct < 1,
+		"pre_crash_samples":    pre,
+		"post_restart_samples": post,
+		"continuity_pass":      contOK,
+	}, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const out = "BENCH_archive.json"
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote archive report to %s\n", out)
+	fmt.Println("(expect the A/B to be in the noise — archiving is a few buffered")
+	fmt.Println(" writes per telemetry tick, off the request path — and the restarted")
+	fmt.Println(" cluster's series to reach back before the teardown)")
+}
+
+// archiveOverhead times the same bulk-read workload with the archive
+// hooked to a fast telemetry tick and with it absent (best of several
+// runs each). Appends happen on the sampler tick, never on the request
+// path, so the difference should be measurement noise.
+func archiveOverhead() (onSec, offSec float64) {
+	const fileMB = 64
+	const runs = 11
+	measure := func(dir string) float64 {
+		cluster, err := dosas.StartCluster(dosas.Options{
+			DataServers:   2,
+			Policy:        dosas.AlwaysBounce,
+			TelemetryTick: 10 * time.Millisecond,
+			ArchiveDir:    dir,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cluster.Close()
+		fs, err := cluster.Connect(dosas.TS)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer fs.Close()
+		f, err := fs.Create("archive/bulk", dosas.CreateOptions{Width: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := f.WriteAt(workload.RandomBytes(fileMB<<20, 9), 0); err != nil {
+			log.Fatal(err)
+		}
+		buf := make([]byte, fileMB<<20)
+		if _, err := f.ReadAt(buf, 0); err != nil { // warm caches before timing
+			log.Fatal(err)
+		}
+		best := time.Duration(1<<62 - 1)
+		for r := 0; r < runs; r++ {
+			start := time.Now()
+			if _, err := f.ReadAt(buf, 0); err != nil {
+				log.Fatal(err)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best.Seconds()
+	}
+	offSec = measure("")
+	dir, err := os.MkdirTemp("", "dosas-bench-archive")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	onSec = measure(dir)
+	return onSec, offSec
+}
+
+// archiveContinuity archives a burst of telemetry, tears the cluster
+// down, restarts it on the same archive directory, and counts the
+// queried samples on each side of the restart.
+func archiveContinuity() (pre, post int) {
+	dir, err := os.MkdirTemp("", "dosas-bench-archive")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	opts := dosas.Options{
+		DataServers:   1,
+		Policy:        dosas.AlwaysBounce,
+		TelemetryTick: 5 * time.Millisecond,
+		ArchiveDir:    dir,
+	}
+
+	run := func(until func(res dosas.QueryResult) bool) {
+		cluster, err := dosas.StartCluster(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cluster.Close()
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			res, err := cluster.Query(dosas.RangeQuery{Name: "runtime.goroutines"})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if until(res) {
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		log.Fatal("archive: continuity run never accumulated samples")
+	}
+
+	// First life: archive a burst of ticks, then tear down.
+	run(func(res dosas.QueryResult) bool {
+		n := 0
+		for _, ns := range res.Nodes {
+			n += len(ns.Points)
+		}
+		return n >= 50
+	})
+
+	// Second life on the same directory: wait until fresh samples land,
+	// then split the stitched series at the restart instant.
+	restartNano := time.Now().UnixNano()
+	run(func(res dosas.QueryResult) bool {
+		pre, post = 0, 0
+		for _, ns := range res.Nodes {
+			for _, p := range ns.Points {
+				if p.UnixNano < restartNano {
+					pre++
+				} else {
+					post++
+				}
+			}
+		}
+		return pre > 0 && post > 0
+	})
+	return pre, post
+}

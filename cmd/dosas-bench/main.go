@@ -37,6 +37,9 @@
 //	          while a victim trickles; checks the queue-wait attribution,
 //	          the noisy-neighbor alert, and the plane's overhead
 //	          (writes BENCH_tenant.json)
+//	archive   durable telemetry archive: A/B overhead of archiving every
+//	          sampler tick (budget <1%) and restart continuity of the
+//	          queried series (writes BENCH_archive.json)
 //	all       everything simulated (excludes the live experiments)
 //
 // Simulated experiments run the calibrated discrete-event model at full
@@ -122,6 +125,7 @@ func main() {
 		"whatif":            whatif,
 		"mux":               muxExp,
 		"noisy-neighbor":    noisyNeighbor,
+		"archive":           archiveExp,
 	}
 	order := []string{"table3", "fig2", "fig5", "fig6", "table4",
 		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12",

@@ -24,7 +24,6 @@ import (
 	"syscall"
 
 	"dosas/internal/daemonflags"
-	"dosas/internal/eventlog"
 	"dosas/internal/metrics"
 	"dosas/internal/openmetrics"
 	"dosas/internal/pfs"
@@ -49,18 +48,20 @@ func main() {
 	tele := common.Sampler()
 	reg := metrics.NewRegistry()
 
-	evCfg := eventlog.Config{Node: "meta", Capacity: common.EventCapacity, Mirror: os.Stderr}
-	if common.EventDir != "" {
-		if err := os.MkdirAll(common.EventDir, 0o755); err != nil {
-			log.Fatal(err)
-		}
-		evCfg.Path = common.EventDir + "/meta.events.jsonl"
-	}
-	events, err := eventlog.New(evCfg)
+	events, err := common.EventLog("meta", os.Stderr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer events.Close()
+
+	// The durable telemetry archive persists every sampler tick; it is
+	// deferred before the meta server so it closes after the sampler
+	// stops, sealing the final downsample buckets.
+	archive, err := common.Archive("meta", tele, events)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer archive.Close()
 
 	var engine *slo.Engine
 	if tele != nil {
@@ -96,6 +97,7 @@ func main() {
 		Telemetry:         tele,
 		Events:            events,
 		SLO:               engine,
+		Archive:           archive,
 	})
 	if err != nil {
 		log.Fatal(err)

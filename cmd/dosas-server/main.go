@@ -27,7 +27,6 @@ import (
 	"dosas/internal/audit"
 	"dosas/internal/core"
 	"dosas/internal/daemonflags"
-	"dosas/internal/eventlog"
 	"dosas/internal/metrics"
 	"dosas/internal/openmetrics"
 	"dosas/internal/pfs"
@@ -116,18 +115,20 @@ func main() {
 	// The event log tees to stderr so the daemon console keeps its
 	// running commentary while dosasctl events reads the same ring over
 	// the wire.
-	evCfg := eventlog.Config{Node: *node, Capacity: common.EventCapacity, Mirror: os.Stderr}
-	if common.EventDir != "" {
-		if err := os.MkdirAll(common.EventDir, 0o755); err != nil {
-			log.Fatal(err)
-		}
-		evCfg.Path = common.EventDir + "/" + *node + ".events.jsonl"
-	}
-	events, err := eventlog.New(evCfg)
+	events, err := common.EventLog(*node, os.Stderr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer events.Close()
+
+	// The durable telemetry archive persists every sampler tick; it is
+	// deferred before the runtime so it closes after the sampler stops,
+	// sealing the final downsample buckets.
+	archive, err := common.Archive(*node, tele, events)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer archive.Close()
 
 	// The tenant table feeds per-tenant accounting in the data service
 	// and runtime, the dosas_tenant metric families, and the
@@ -179,6 +180,7 @@ func main() {
 	ds, err := pfs.NewDataServer(pfs.DataConfig{
 		Store: store, Metrics: reg, Node: *node, Trace: tr,
 		Telemetry: tele, Audit: alog, Events: events, SLO: engine, Tenants: tenants,
+		Archive: archive,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -30,6 +30,14 @@
 //	                                 newest N per node
 //	top [-once] [WINDOW]             refreshing cluster-wide telemetry view
 //	                                 (-once prints a single frame; WINDOW like 10s)
+//	query SERIES [-since 1h] [-until 5m] [-step 10s] [-agg avg|min|max|sum|last]
+//	      [-node NAME] [-json]       range-query the durable telemetry archives
+//	                                 (-archive-dir on the daemons): per-node
+//	                                 table and sparklines, -agg merges nodes
+//	report [-alert RULE | -since 1h [-until 5m]] [-step 10s] [-series a,b] [-json]
+//	                                 stitch alert transitions, events, and
+//	                                 archived telemetry into one incident
+//	                                 bundle (-alert centers it on a rule)
 //	tenants [-sort bytes|cpu|wait] [-json] [-per-node]
 //	                                 per-tenant resource attribution: bytes, ops,
 //	                                 kernel CPU, and queue wait by tenant ID,
@@ -79,7 +87,7 @@ func newCtlPool() *pfs.Pool {
 
 func usageExit() {
 	fmt.Fprintln(os.Stderr, "usage: dosasctl -meta ADDR -data ADDR[,ADDR...] [-scheme dosas|as|ts] COMMAND ...")
-	fmt.Fprintln(os.Stderr, "commands: ls, stat, put, get, rm, readex, fsck, repair, ops, calibrate, probe, stats, trace, health, alerts, events, top, tenants, slow, explain, whatif, audit")
+	fmt.Fprintln(os.Stderr, "commands: ls, stat, put, get, rm, readex, fsck, repair, ops, calibrate, probe, stats, trace, health, alerts, events, top, query, report, tenants, slow, explain, whatif, audit")
 	os.Exit(2)
 }
 
@@ -375,6 +383,10 @@ func main() {
 			window = d
 		}
 		topLoop(fs, window, once)
+	case "query":
+		runQuery(fs, args[1:])
+	case "report":
+		runReport(fs, args[1:])
 	case "tenants":
 		sortKey := ""
 		asJSON, perNode := false, false

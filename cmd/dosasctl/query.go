@@ -1,0 +1,158 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"dosas"
+)
+
+const queryUsage = "usage: query SERIES [-since 1h] [-until 5m] [-step 10s] [-agg avg|min|max|sum|last] [-node NAME] [-json]"
+const reportUsage = "usage: report [-alert RULE | -since 1h [-until 5m]] [-step 10s] [-series a,b] [-json]"
+
+// optVal returns the value following option i, advancing the index.
+func optVal(rest []string, i *int, usage string) string {
+	*i++
+	if *i >= len(rest) {
+		log.Fatal(usage)
+	}
+	return rest[*i]
+}
+
+// optDur parses the value following option i as a duration.
+func optDur(rest []string, i *int, usage string) time.Duration {
+	v := optVal(rest, i, usage)
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		log.Fatalf("bad duration %q: %v", v, err)
+	}
+	return d
+}
+
+// runQuery answers dosasctl query: a range query over the cluster's
+// durable telemetry archives, printed as a per-node table with
+// sparklines (plus the aggregated cluster series when -agg is given),
+// or as JSON.
+func runQuery(fs *dosas.FS, rest []string) {
+	if len(rest) == 0 || strings.HasPrefix(rest[0], "-") {
+		log.Fatal(queryUsage)
+	}
+	now := time.Now()
+	q := dosas.RangeQuery{Name: rest[0], From: now.Add(-time.Hour)}
+	asJSON := false
+	rest = rest[1:]
+	for i := 0; i < len(rest); i++ {
+		switch rest[i] {
+		case "-json":
+			asJSON = true
+		case "-since":
+			q.From = now.Add(-optDur(rest, &i, queryUsage))
+		case "-until":
+			q.Until = now.Add(-optDur(rest, &i, queryUsage))
+		case "-step":
+			q.Step = optDur(rest, &i, queryUsage)
+		case "-agg":
+			q.Agg = optVal(rest, &i, queryUsage)
+		case "-node":
+			q.Node = optVal(rest, &i, queryUsage)
+		default:
+			log.Fatalf("unknown query option %q\n%s", rest[i], queryUsage)
+		}
+	}
+	res, err := fs.Query(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if asJSON {
+		out, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(out))
+		return
+	}
+	fmt.Printf("SERIES %s\n", res.Name)
+	if len(res.Nodes) == 0 {
+		fmt.Println("no nodes answered (archives need -archive-dir on the daemons)")
+		return
+	}
+	for _, ns := range res.Nodes {
+		printNodeSeries(ns.Node, ns.Points, ns.EarliestNano)
+	}
+	if res.Agg != "" {
+		printNodeSeries("cluster/"+res.Agg, res.Aggregated, 0)
+	}
+}
+
+// printNodeSeries renders one node's archived window as a stats line
+// with a sparkline, noting the retention horizon when the archive has
+// one.
+func printNodeSeries(name string, points []dosas.SeriesPoint, earliestNano int64) {
+	if len(points) == 0 {
+		fmt.Printf("%-14s (no archived data)\n", name)
+		return
+	}
+	min, max, sum := points[0].Value, points[0].Value, 0.0
+	for _, p := range points {
+		if p.Value < min {
+			min = p.Value
+		}
+		if p.Value > max {
+			max = p.Value
+		}
+		sum += p.Value
+	}
+	span := fmt.Sprintf("%s .. %s",
+		time.Unix(0, points[0].UnixNano).Format("15:04:05"),
+		time.Unix(0, points[len(points)-1].UnixNano).Format("15:04:05"))
+	fmt.Printf("%-14s n=%-5d %s  min=%-8.3g mean=%-8.3g max=%-8.3g %s\n",
+		name, len(points), span, min, sum/float64(len(points)), max,
+		sparkline(dosas.Series{Points: points}, 32))
+	if earliestNano > 0 {
+		fmt.Printf("%-14s history reaches back to %s\n",
+			"", time.Unix(0, earliestNano).Format("2006-01-02 15:04:05"))
+	}
+}
+
+// runReport answers dosasctl report: the stitched incident bundle —
+// alert transitions, event timeline, and archived telemetry — as text
+// or JSON.
+func runReport(fs *dosas.FS, rest []string) {
+	now := time.Now()
+	var o dosas.ReportOptions
+	asJSON := false
+	for i := 0; i < len(rest); i++ {
+		switch rest[i] {
+		case "-json":
+			asJSON = true
+		case "-alert":
+			o.Alert = optVal(rest, &i, reportUsage)
+		case "-since":
+			o.Since = now.Add(-optDur(rest, &i, reportUsage))
+		case "-until":
+			o.Until = now.Add(-optDur(rest, &i, reportUsage))
+		case "-step":
+			o.Step = optDur(rest, &i, reportUsage)
+		case "-series":
+			o.Series = strings.Split(optVal(rest, &i, reportUsage), ",")
+		default:
+			log.Fatalf("unknown report option %q\n%s", rest[i], reportUsage)
+		}
+	}
+	rep, err := fs.Report(o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if asJSON {
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(out))
+		return
+	}
+	fmt.Print(dosas.FormatIncidentReport(rep))
+}

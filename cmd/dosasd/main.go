@@ -72,22 +72,25 @@ func main() {
 	}
 
 	cluster, err := dosas.StartCluster(dosas.Options{
-		DataServers:   *servers,
-		Policy:        policy,
-		Solver:        *solverName,
-		TCP:           true,
-		TCPBasePort:   *basePort,
-		LinkRate:      *linkRate,
-		Pace:          *pace,
-		DataDir:       *dataDir,
-		StoreSync:     *fsync,
-		PlainReadPath: *readPath == "copy",
-		TelemetryTick: common.TelemetryTick,
-		DisableMux:    common.NoMux,
-		SLORules:      rules,
-		EventCapacity: common.EventCapacity,
-		EventMirror:   os.Stderr,
-		EventDir:      common.EventDir,
+		DataServers:     *servers,
+		Policy:          policy,
+		Solver:          *solverName,
+		TCP:             true,
+		TCPBasePort:     *basePort,
+		LinkRate:        *linkRate,
+		Pace:            *pace,
+		DataDir:         *dataDir,
+		StoreSync:       *fsync,
+		PlainReadPath:   *readPath == "copy",
+		TelemetryTick:   common.TelemetryTick,
+		DisableMux:      common.NoMux,
+		SLORules:        rules,
+		EventCapacity:   common.EventCapacity,
+		EventMirror:     os.Stderr,
+		EventDir:        common.EventDir,
+		EventsMaxBytes:  common.EventsMaxBytes,
+		ArchiveDir:      common.ArchiveDir,
+		ArchiveMaxBytes: common.ArchiveMaxBytes,
 	})
 	if err != nil {
 		log.Fatal(err)

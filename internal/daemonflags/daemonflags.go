@@ -7,12 +7,17 @@ package daemonflags
 
 import (
 	"flag"
+	"io"
+	"os"
+	"path/filepath"
 	"time"
 
+	"dosas/internal/eventlog"
 	"dosas/internal/openmetrics"
 	"dosas/internal/pprofserve"
 	"dosas/internal/slo"
 	"dosas/internal/telemetry"
+	"dosas/internal/tsdb"
 )
 
 // Common is the shared flag set. Register the groups a daemon needs,
@@ -35,6 +40,18 @@ type Common struct {
 	// EventDir is -events-dir: where nodes persist events as JSON
 	// lines (empty = in-memory only).
 	EventDir string
+	// EventsMaxBytes is -events-max-bytes: each node's JSONL sink
+	// budget, live file plus one rotated predecessor (0 = the 64 MiB
+	// default, negative = unbounded).
+	EventsMaxBytes int64
+	// ArchiveDir is -archive-dir: where nodes persist every telemetry
+	// tick as durable, CRC-framed chunk files with downsampling tiers
+	// (empty = no archive). Queried by dosasctl query / report.
+	ArchiveDir string
+	// ArchiveMaxBytes is -archive-max-bytes: each node archive's
+	// retention budget across all tiers (0 = the 64 MiB default,
+	// negative = unbounded).
+	ArchiveMaxBytes int64
 }
 
 // RegisterBase installs the flags every binary shares: the debug
@@ -60,6 +77,12 @@ func (c *Common) RegisterObservability(fs *flag.FlagSet) {
 		"per-node in-memory event ring size (0 = 1024 default)")
 	fs.StringVar(&c.EventDir, "events-dir", "",
 		"persist per-node events as JSON lines under this directory (empty = in-memory only)")
+	fs.Int64Var(&c.EventsMaxBytes, "events-max-bytes", 0,
+		"per-node JSONL event sink budget, live file plus one rotation (0 = 64MiB default, negative = unbounded)")
+	fs.StringVar(&c.ArchiveDir, "archive-dir", "",
+		"persist per-node telemetry ticks as a durable archive under this directory (empty = disabled)")
+	fs.Int64Var(&c.ArchiveMaxBytes, "archive-max-bytes", 0,
+		"per-node telemetry archive retention budget (0 = 64MiB default, negative = unbounded)")
 }
 
 // Sampler builds a telemetry sampler per the -telemetry-tick
@@ -68,7 +91,52 @@ func (c *Common) Sampler() *telemetry.Sampler {
 	if c.TelemetryTick < 0 {
 		return nil
 	}
-	return telemetry.NewSampler(telemetry.Config{Interval: c.TelemetryTick})
+	s := telemetry.NewSampler(telemetry.Config{Interval: c.TelemetryTick})
+	// Every daemon's sampler carries the Go runtime health series
+	// (goroutines, heap in use, GC pause p99) alongside its own probes.
+	telemetry.RegisterRuntimeProbes(s)
+	return s
+}
+
+// EventLog builds one node's structured event log per the event flags:
+// ring capacity, optional JSONL sink under -events-dir with the
+// -events-max-bytes rotation budget, and a mirror writer (typically
+// os.Stderr so the daemon console keeps its commentary).
+func (c *Common) EventLog(node string, mirror io.Writer) (*eventlog.Log, error) {
+	cfg := eventlog.Config{Node: node, Capacity: c.EventCapacity, Mirror: mirror, MaxBytes: c.EventsMaxBytes}
+	if c.EventDir != "" {
+		if err := os.MkdirAll(c.EventDir, 0o755); err != nil {
+			return nil, err
+		}
+		cfg.Path = filepath.Join(c.EventDir, node+".events.jsonl")
+	}
+	return eventlog.New(cfg)
+}
+
+// Archive opens node's durable telemetry archive under -archive-dir
+// and hooks its appender to the sampler's tick, so every sample lands
+// on disk as it lands in the ring. Nil (archive disabled) when
+// -archive-dir is unset or telemetry is off. Append failures are
+// reported once to the event log rather than per tick.
+func (c *Common) Archive(node string, tele *telemetry.Sampler, ev *eventlog.Log) (*tsdb.Archive, error) {
+	if c.ArchiveDir == "" || tele == nil {
+		return nil, nil
+	}
+	a, err := tsdb.Open(tsdb.Config{
+		Dir:      filepath.Join(c.ArchiveDir, node),
+		MaxBytes: c.ArchiveMaxBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var failed bool
+	tele.OnSamples(func(wallNano, monoNano int64, samples []telemetry.Sample) {
+		if err := a.Append(wallNano, monoNano, samples); err != nil && !failed {
+			failed = true
+			ev.Warn("tsdb", "archive append failed", "err", err.Error())
+		}
+	})
+	return a, nil
 }
 
 // Rules resolves -slo-rules: the file's validated rules when given, the

@@ -102,9 +102,21 @@ type Config struct {
 	// Path, when set, appends every retained event as one JSON line to
 	// this file (the optional durable sink).
 	Path string
+	// MaxBytes caps the file sink's on-disk footprint across the live
+	// file and its one rotated predecessor (Path + ".1"). When the live
+	// file reaches half the cap it is renamed onto the predecessor —
+	// dropping the oldest half of the retained history, like the flight
+	// recorder's DirMaxBytes pruning — and a fresh file is started, so
+	// the sink never grows without bound. 0 takes DefaultSinkMaxBytes;
+	// negative means unbounded (the pre-rotation behavior).
+	MaxBytes int64
 	// Now overrides the clock for tests.
 	Now func() time.Time
 }
+
+// DefaultSinkMaxBytes bounds the JSONL file sink at 64 MiB — roughly a
+// million events across the live file and its rotated predecessor.
+const DefaultSinkMaxBytes = 64 << 20
 
 // Log is a leveled, bounded, concurrency-safe event log. A nil *Log is
 // a valid no-op: every method works and logging is discarded, so
@@ -117,8 +129,14 @@ type Log struct {
 	full    bool
 	seq     uint64
 	dropped uint64
-	file    *os.File
 	now     func() time.Time
+
+	// The file sink has its own lock so a slow disk stalls only other
+	// file writers, never the ring or the mirror.
+	fileMu   sync.Mutex
+	file     *os.File
+	fileSize int64
+	maxBytes int64
 }
 
 // New creates a Log. It fails only when Config.Path cannot be opened
@@ -132,12 +150,23 @@ func New(cfg Config) (*Log, error) {
 		now = time.Now
 	}
 	l := &Log{cfg: cfg, ring: make([]Event, cfg.Capacity), now: now}
+	switch {
+	case cfg.MaxBytes == 0:
+		l.maxBytes = DefaultSinkMaxBytes
+	case cfg.MaxBytes < 0:
+		l.maxBytes = 0 // unbounded
+	default:
+		l.maxBytes = cfg.MaxBytes
+	}
 	if cfg.Path != "" {
 		f, err := os.OpenFile(cfg.Path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return nil, fmt.Errorf("eventlog: open sink: %w", err)
 		}
 		l.file = f
+		if info, err := f.Stat(); err == nil {
+			l.fileSize = info.Size()
+		}
 	}
 	return l, nil
 }
@@ -147,8 +176,8 @@ func (l *Log) Close() error {
 	if l == nil {
 		return nil
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.fileMu.Lock()
+	defer l.fileMu.Unlock()
 	if l.file == nil {
 		return nil
 	}
@@ -202,18 +231,49 @@ func (l *Log) emit(level Level, sub, msg string, kv []string) {
 		l.next = 0
 		l.full = true
 	}
-	mirror, file := l.cfg.Mirror, l.file
+	mirror := l.cfg.Mirror
 	l.mu.Unlock()
-	// Sinks are written outside the lock: a slow disk or pipe must not
-	// stall concurrent loggers. Per-sink interleaving is acceptable —
+	// Sinks are written outside the ring lock: a slow disk or pipe must
+	// not stall concurrent loggers. Per-sink interleaving is acceptable —
 	// the ring is the ordered record.
 	if mirror != nil {
 		io.WriteString(mirror, FormatEvent(ev)+"\n")
 	}
-	if file != nil {
-		if b, err := json.Marshal(ev); err == nil {
-			file.Write(append(b, '\n'))
+	l.writeSink(ev)
+}
+
+// writeSink appends one event to the JSONL file, rotating first when
+// the live file has reached half the byte budget: the previous rotated
+// file (the oldest half of retained history) is dropped, the live file
+// becomes the rotated one, and a fresh live file is started — so live
+// plus predecessor never exceed the budget while the newest events are
+// always retained.
+func (l *Log) writeSink(ev Event) {
+	l.fileMu.Lock()
+	defer l.fileMu.Unlock()
+	if l.file == nil {
+		return
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	if l.maxBytes > 0 && l.fileSize > 0 && l.fileSize+int64(len(b)) > l.maxBytes/2 {
+		l.file.Close()
+		prev := l.cfg.Path + ".1"
+		os.Remove(prev)
+		os.Rename(l.cfg.Path, prev)
+		f, err := os.OpenFile(l.cfg.Path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			l.file = nil
+			return
 		}
+		l.file = f
+		l.fileSize = 0
+	}
+	if n, err := l.file.Write(b); err == nil {
+		l.fileSize += int64(n)
 	}
 }
 

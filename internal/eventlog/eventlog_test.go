@@ -1,6 +1,8 @@
 package eventlog
 
 import (
+	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -208,5 +210,70 @@ func TestConcurrentLogging(t *testing.T) {
 	}
 	if l.Dropped() != 800-64 {
 		t.Fatalf("Dropped = %d, want %d", l.Dropped(), 800-64)
+	}
+}
+
+// The file sink rotates at half its byte budget, keeping at most the
+// live file plus one predecessor — newest events always survive, total
+// footprint stays under the cap.
+func TestFileSinkRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "events.jsonl")
+	l, err := New(Config{Capacity: 8, Path: path, MaxBytes: 4 << 10, Now: fixedClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pad := strings.Repeat("x", 100)
+	for i := 0; i < 200; i++ {
+		l.Info("spam", "filler", "i", fmt.Sprint(i), "pad", pad)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	live, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, err := os.ReadFile(path + ".1")
+	if err != nil {
+		t.Fatalf("rotation never happened: %v", err)
+	}
+	if total := len(live) + len(prev); total > 4<<10 {
+		t.Fatalf("sink footprint %d exceeds 4KiB budget", total)
+	}
+	// The newest event must be the last line of the live file.
+	lines := strings.Split(strings.TrimSpace(string(live)), "\n")
+	if !strings.Contains(lines[len(lines)-1], `"v":"199"`) {
+		t.Fatalf("newest event missing from live file: %q", lines[len(lines)-1])
+	}
+	// And the two files are contiguous: first line of live follows the
+	// last line of the predecessor with no gap in the padded counter.
+	prevLines := strings.Split(strings.TrimSpace(string(prev)), "\n")
+	var a, b Event
+	if err := json.Unmarshal([]byte(prevLines[len(prevLines)-1]), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Seq != a.Seq+1 {
+		t.Fatalf("rotation dropped events: ...%d | %d...", a.Seq, b.Seq)
+	}
+}
+
+// A negative MaxBytes disables rotation entirely.
+func TestFileSinkUnbounded(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "events.jsonl")
+	l, err := New(Config{Capacity: 8, Path: path, MaxBytes: -1, Now: fixedClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		l.Info("spam", "filler", "pad", strings.Repeat("y", 200))
+	}
+	l.Close()
+	if _, err := os.Stat(path + ".1"); !os.IsNotExist(err) {
+		t.Fatalf("unbounded sink rotated: %v", err)
 	}
 }

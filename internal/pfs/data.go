@@ -12,6 +12,7 @@ import (
 	"dosas/internal/telemetry"
 	"dosas/internal/tenant"
 	"dosas/internal/trace"
+	"dosas/internal/tsdb"
 	"dosas/internal/wire"
 )
 
@@ -65,6 +66,10 @@ type DataConfig struct {
 	// I/O handlers and served via TenantStatsReq. Usually shared with the
 	// attached active runtime. Optional: nil disables attribution.
 	Tenants *tenant.Table
+	// Archive is the node's durable telemetry archive, served via
+	// RangeQueryReq. Owned by the daemon wiring (it hooks the sampler
+	// and closes it); nil when the node runs without -archive-dir.
+	Archive *tsdb.Archive
 }
 
 // DataServer is one storage node's I/O service: it stores the server-local
@@ -80,6 +85,7 @@ type DataServer struct {
 	events  *eventlog.Log
 	slo     *slo.Engine
 	tenants *tenant.Table
+	archive *tsdb.Archive
 	started time.Time
 	active  ActiveHandler
 
@@ -104,7 +110,7 @@ func NewDataServer(cfg DataConfig) (*DataServer, error) {
 		store: cfg.Store, reg: cfg.Metrics, node: cfg.Node,
 		trace: cfg.Trace, tele: cfg.Telemetry, audit: cfg.Audit,
 		events: cfg.Events, slo: cfg.SLO, tenants: cfg.Tenants,
-		started: time.Now(),
+		archive: cfg.Archive, started: time.Now(),
 	}
 	ds.ranger, _ = cfg.Store.(RangeReader)
 	ds.zeroCopy = true
@@ -193,6 +199,8 @@ func (ds *DataServer) Handle(msg wire.Message) (wire.Message, error) {
 		return serveAlerts(ds.node, ds.slo)
 	case *wire.TenantStatsReq:
 		return ds.tenantStats()
+	case *wire.RangeQueryReq:
+		return serveRangeQuery(ds.node, ds.archive, req)
 	default:
 		return nil, fmt.Errorf("%w: data server got %v", ErrUnsupported, msg.Type())
 	}

@@ -7,6 +7,7 @@ import (
 	"dosas/internal/eventlog"
 	"dosas/internal/slo"
 	"dosas/internal/telemetry"
+	"dosas/internal/tsdb"
 	"dosas/internal/wire"
 )
 
@@ -73,6 +74,28 @@ func serveEvents(node string, l *eventlog.Log, req *wire.EventFetchReq) (*wire.E
 		Node: node, Events: js,
 		NextSeq: l.NextSeq(), Dropped: l.Dropped(),
 	}, nil
+}
+
+// serveRangeQuery answers a RangeQueryReq from a node's durable
+// telemetry archive. A nil archive answers with an empty series and a
+// zero retention horizon, so sweeps need no special case for nodes
+// running without -archive-dir. A non-zero StepNano reduces the answer
+// to per-step bucket means before it crosses the wire.
+func serveRangeQuery(node string, a *tsdb.Archive, req *wire.RangeQueryReq) (*wire.RangeQueryResp, error) {
+	points, err := a.Query(req.Name, req.FromNano, req.ToNano)
+	if err != nil {
+		return nil, fmt.Errorf("%w: archive query: %v", ErrInvalid, err)
+	}
+	points = telemetry.Downsample(points, req.StepNano)
+	var series []telemetry.Series
+	if len(points) > 0 {
+		series = []telemetry.Series{{Name: req.Name, Points: points}}
+	}
+	js, err := telemetry.EncodeSeries(series)
+	if err != nil {
+		return nil, fmt.Errorf("%w: encoding series: %v", ErrInvalid, err)
+	}
+	return &wire.RangeQueryResp{Node: node, Series: js, EarliestNano: a.Earliest()}, nil
 }
 
 // serveAlerts answers an AlertFetchReq from a node's SLO engine. A nil

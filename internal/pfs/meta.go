@@ -12,6 +12,7 @@ import (
 	"dosas/internal/metrics"
 	"dosas/internal/slo"
 	"dosas/internal/telemetry"
+	"dosas/internal/tsdb"
 	"dosas/internal/wire"
 )
 
@@ -49,6 +50,10 @@ type MetaConfig struct {
 	// SLO is the node's alert engine, served via AlertFetchReq and
 	// contributing readiness checks to HealthReq. Optional.
 	SLO *slo.Engine
+	// Archive is the node's durable telemetry archive, served via
+	// RangeQueryReq. Owned by the daemon wiring; nil when the node runs
+	// without -archive-dir.
+	Archive *tsdb.Archive
 }
 
 // DefaultStripeSize is the stripe size used when callers pass zero.
@@ -177,6 +182,8 @@ func (m *MetaServer) Handle(msg wire.Message) (wire.Message, error) {
 		return serveEvents("meta", m.cfg.Events, req)
 	case *wire.AlertFetchReq:
 		return serveAlerts("meta", m.cfg.SLO)
+	case *wire.RangeQueryReq:
+		return serveRangeQuery("meta", m.cfg.Archive, req)
 	default:
 		return nil, fmt.Errorf("%w: metadata server got %v", ErrUnsupported, msg.Type())
 	}

@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// Runtime health series registered by RegisterRuntimeProbes. They ride
+// the normal probe path, so they land in the rings, the archive, and
+// the dosas_telemetry OpenMetrics family like any other series.
+const (
+	SeriesGoroutines = "runtime.goroutines"
+	SeriesHeapInuse  = "runtime.heap.inuse"
+	SeriesGCPauseP99 = "runtime.gc.pause.p99.ms"
+)
+
+// RegisterRuntimeProbes adds Go runtime health probes to s: live
+// goroutine count, heap bytes occupied by objects, and the p99 GC
+// pause (milliseconds, over the process lifetime). All three read the
+// runtime/metrics fast path — no stop-the-world, safe at tick rate.
+// Safe on a nil sampler.
+func RegisterRuntimeProbes(s *Sampler) {
+	if s == nil {
+		return
+	}
+	s.Register(SeriesGoroutines, runtimeGauge("/sched/goroutines:goroutines"))
+	s.Register(SeriesHeapInuse, runtimeGauge("/memory/classes/heap/objects:bytes"))
+	s.Register(SeriesGCPauseP99, runtimePauseP99("/sched/pauses/total/gc:seconds"))
+}
+
+// runtimeGauge reads one scalar runtime metric per tick. An unknown
+// metric name (an older runtime) reads as 0 rather than failing.
+func runtimeGauge(name string) Probe {
+	sample := []metrics.Sample{{Name: name}}
+	return func() float64 {
+		metrics.Read(sample)
+		switch sample[0].Value.Kind() {
+		case metrics.KindUint64:
+			return float64(sample[0].Value.Uint64())
+		case metrics.KindFloat64:
+			return sample[0].Value.Float64()
+		}
+		return 0
+	}
+}
+
+// runtimePauseP99 reads a runtime pause histogram and reports its 99th
+// percentile in milliseconds.
+func runtimePauseP99(name string) Probe {
+	sample := []metrics.Sample{{Name: name}}
+	return func() float64 {
+		metrics.Read(sample)
+		if sample[0].Value.Kind() != metrics.KindFloat64Histogram {
+			return 0
+		}
+		return histQuantile(sample[0].Value.Float64Histogram(), 0.99) * 1e3
+	}
+}
+
+// histQuantile returns the upper edge of the bucket holding quantile q
+// of a runtime/metrics histogram (0 when empty). Edges can be ±Inf at
+// the extremes; the finite neighbor is reported instead.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			edge := h.Buckets[i+1]
+			if math.IsInf(edge, 1) {
+				edge = h.Buckets[i]
+			}
+			if math.IsInf(edge, -1) {
+				edge = 0
+			}
+			return edge
+		}
+	}
+	return 0
+}

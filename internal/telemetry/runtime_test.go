@@ -1,0 +1,52 @@
+package telemetry
+
+import (
+	"math"
+	"runtime/metrics"
+	"testing"
+	"time"
+)
+
+// The runtime probes must produce live, sane values through a normal
+// tick: at least one goroutine, a non-trivial heap, a non-negative
+// pause percentile.
+func TestRuntimeProbes(t *testing.T) {
+	s := NewSampler(Config{Interval: time.Hour})
+	RegisterRuntimeProbes(s)
+	s.Tick()
+	snap := s.Snapshot(0)
+	got := map[string]float64{}
+	for _, ser := range snap {
+		got[ser.Name] = ser.Last().Value
+	}
+	if got[SeriesGoroutines] < 1 {
+		t.Fatalf("%s = %v, want >= 1", SeriesGoroutines, got[SeriesGoroutines])
+	}
+	if got[SeriesHeapInuse] <= 0 {
+		t.Fatalf("%s = %v, want > 0", SeriesHeapInuse, got[SeriesHeapInuse])
+	}
+	if p := got[SeriesGCPauseP99]; p < 0 || math.IsNaN(p) {
+		t.Fatalf("%s = %v", SeriesGCPauseP99, p)
+	}
+	RegisterRuntimeProbes(nil) // must not panic
+}
+
+func TestHistQuantile(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{0, 90, 9, 1},
+		Buckets: []float64{math.Inf(-1), 1, 2, 3, math.Inf(1)},
+	}
+	if got := histQuantile(h, 0.5); got != 2 {
+		t.Fatalf("p50 = %v, want 2", got)
+	}
+	if got := histQuantile(h, 0.99); got != 3 {
+		t.Fatalf("p99 = %v, want 3", got)
+	}
+	// The top bucket's +Inf edge falls back to its finite lower edge.
+	if got := histQuantile(h, 1.0); got != 3 {
+		t.Fatalf("p100 = %v, want 3", got)
+	}
+	if got := histQuantile(&metrics.Float64Histogram{}, 0.99); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+}

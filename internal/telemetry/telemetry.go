@@ -26,10 +26,22 @@ const (
 	DefaultCapacity = 600
 )
 
-// Point is one sample: the probe's value at a wall-clock instant.
+// Point is one sample: the probe's value at a wall-clock instant. Mono
+// is the monotonic offset (nanoseconds since the sampler started) of the
+// same instant: wall time is what aligns archived windows across nodes,
+// mono is what keeps one node's points ordered across a clock step. It
+// is omitted from JSON when zero so pre-existing payloads round-trip.
 type Point struct {
 	UnixNano int64   `json:"t"`
 	Value    float64 `json:"v"`
+	Mono     int64   `json:"m,omitempty"`
+}
+
+// Sample is one named value from a tick, the unit handed to OnSamples
+// listeners (the telemetry archive appends these to disk).
+type Sample struct {
+	Name  string
+	Value float64
 }
 
 // Series is the retained history of one metric, oldest point first. It is
@@ -79,6 +91,44 @@ func DecodeSeries(b []byte) ([]Series, error) {
 	return series, nil
 }
 
+// Downsample reduces points to one mean point per step bucket, stamped
+// at the bucket start. Buckets are aligned to the Unix epoch, so two
+// nodes downsampling the same window produce directly comparable
+// grids. step <= 0 returns points unchanged.
+func Downsample(points []Point, stepNano int64) []Point {
+	if stepNano <= 0 || len(points) == 0 {
+		return points
+	}
+	align := func(t int64) int64 {
+		b := t - t%stepNano
+		if t < 0 && t%stepNano != 0 {
+			b -= stepNano
+		}
+		return b
+	}
+	var out []Point
+	var bucket int64
+	var sum float64
+	var n int
+	flush := func() {
+		if n > 0 {
+			out = append(out, Point{UnixNano: bucket, Value: sum / float64(n)})
+		}
+		sum, n = 0, 0
+	}
+	for _, p := range points {
+		b := align(p.UnixNano)
+		if n > 0 && b != bucket {
+			flush()
+		}
+		bucket = b
+		sum += p.Value
+		n++
+	}
+	flush()
+	return out
+}
+
 // Probe reads one instantaneous value. Probes run on the sampler
 // goroutine and must be cheap and non-blocking (atomic loads, short
 // mutexed snapshots).
@@ -102,12 +152,15 @@ type Sampler struct {
 	capacity int
 	now      func() time.Time
 
-	mu        sync.Mutex
-	probes    []probeEntry
-	rings     map[string]*ring
-	ticks     uint64
-	dropped   uint64
-	listeners []func()
+	epoch time.Time
+
+	mu              sync.Mutex
+	probes          []probeEntry
+	rings           map[string]*ring
+	ticks           uint64
+	dropped         uint64
+	listeners       []func()
+	sampleListeners []func(wallNano, monoNano int64, samples []Sample)
 
 	startOnce sync.Once
 	stopOnce  sync.Once
@@ -170,6 +223,7 @@ func NewSampler(cfg Config) *Sampler {
 		interval: cfg.Interval,
 		capacity: cfg.Capacity,
 		now:      cfg.Now,
+		epoch:    cfg.Now(),
 		rings:    make(map[string]*ring),
 		stop:     make(chan struct{}),
 	}
@@ -212,7 +266,15 @@ func (s *Sampler) Start() {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			t := time.NewTicker(s.interval)
+			// Schedule ticks on absolute deadlines (start + n*interval)
+			// rather than a free-running Ticker: a Tick that runs long
+			// shortens the following sleep instead of pushing every later
+			// tick back, so archived sample times stay on the same grid
+			// across nodes under load. When a tick overruns by more than a
+			// whole interval, skip forward on the grid rather than firing
+			// a catch-up burst.
+			next := time.Now().Add(s.interval)
+			t := time.NewTimer(s.interval)
 			defer t.Stop()
 			for {
 				select {
@@ -220,6 +282,16 @@ func (s *Sampler) Start() {
 					return
 				case <-t.C:
 					s.Tick()
+					next = next.Add(s.interval)
+					d := time.Until(next)
+					if d <= 0 {
+						behind := (-d)/s.interval + 1
+						next = next.Add(behind * s.interval)
+						if d = time.Until(next); d <= 0 {
+							d = time.Nanosecond
+						}
+					}
+					t.Reset(d)
 				}
 			}
 		}()
@@ -248,7 +320,9 @@ func (s *Sampler) Tick() {
 	s.mu.Unlock()
 	// Probes run outside the sampler lock: a probe that reads a metrics
 	// registry must not be able to deadlock against a concurrent Snapshot.
-	now := s.now().UnixNano()
+	wall := s.now()
+	now := wall.UnixNano()
+	mono := wall.Sub(s.epoch).Nanoseconds()
 	vals := make([]float64, len(probes))
 	for i, pe := range probes {
 		vals[i] = pe.probe()
@@ -260,14 +334,24 @@ func (s *Sampler) Tick() {
 			if r.full {
 				s.dropped++
 			}
-			r.add(Point{UnixNano: now, Value: vals[i]})
+			r.add(Point{UnixNano: now, Value: vals[i], Mono: mono})
 		}
 	}
 	listeners := s.listeners
+	sampleListeners := s.sampleListeners
 	s.mu.Unlock()
 	// Listeners run after the tick's points land, outside the lock for
 	// the same reason probes do: the SLO engine's evaluation reads the
 	// rings back through Get and must not deadlock.
+	if len(sampleListeners) > 0 {
+		samples := make([]Sample, len(probes))
+		for i, pe := range probes {
+			samples[i] = Sample{Name: pe.name, Value: vals[i]}
+		}
+		for _, f := range sampleListeners {
+			f(now, mono, samples)
+		}
+	}
 	for _, f := range listeners {
 		f()
 	}
@@ -287,6 +371,22 @@ func (s *Sampler) OnTick(f func()) {
 	ls := make([]func(), len(s.listeners), len(s.listeners)+1)
 	copy(ls, s.listeners)
 	s.listeners = append(ls, f)
+}
+
+// OnSamples registers f to receive every tick's materialized samples —
+// the tick's wall and monotonic stamps plus one (name, value) pair per
+// probe. The telemetry archive hooks its appender here. Like OnTick
+// listeners, f runs on the sampler goroutine and must not block.
+func (s *Sampler) OnSamples(f func(wallNano, monoNano int64, samples []Sample)) {
+	if s == nil || f == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ls := make([]func(wallNano, monoNano int64, samples []Sample),
+		len(s.sampleListeners), len(s.sampleListeners)+1)
+	copy(ls, s.sampleListeners)
+	s.sampleListeners = append(ls, f)
 }
 
 // Dropped reports how many samples the rings have overwritten since the

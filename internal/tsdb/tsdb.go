@@ -1,0 +1,847 @@
+// Package tsdb is the per-node durable telemetry archive: every sampler
+// tick is appended to CRC-framed, append-only chunk files so the
+// histories the in-memory rings overwrite after a minute survive
+// restarts and crashes. The design follows the extent store's recovery
+// philosophy — there is no journal to replay and no metadata to trust:
+// an archive directory is reopened by rescanning it, a torn tail on the
+// active chunk is truncated away, and a conf file pins the format
+// parameters chosen at creation so a reopen with different flags cannot
+// silently reinterpret existing chunks.
+//
+// Alongside the raw tier the archive maintains two downsampled tiers —
+// 10 s and 1 m buckets holding min/max/sum/count per series — so range
+// queries over hours stay cheap after byte/age retention has pruned the
+// raw chunks. Queries stitch the tiers: raw points where retained,
+// bucket means for the older range each coarser tier still covers.
+package tsdb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"dosas/internal/telemetry"
+)
+
+// Format and retention defaults.
+const (
+	// DefaultChunkBytes rotates chunks at 1 MiB: small enough that
+	// pruning is fine-grained, large enough that a directory holds few
+	// files.
+	DefaultChunkBytes = 1 << 20
+	// DefaultMaxBytes caps an archive directory at 64 MiB across all
+	// tiers — about a day of 10 Hz raw history for a typical probe set,
+	// and far more once the raw tier has been pruned down to aggregates.
+	DefaultMaxBytes = 64 << 20
+	// maxRecordBytes bounds a single record frame; a length prefix
+	// beyond it is treated as tail corruption, not an allocation order.
+	maxRecordBytes = 4 << 20
+
+	confName = "archive.conf"
+	chunkExt = ".tsc"
+)
+
+// The downsampling tiers. Tier 0 is raw ticks; coarser tiers aggregate
+// into fixed wall-clock buckets so the same bucket boundaries land on
+// every node regardless of when its sampler started.
+const (
+	tierRaw = iota
+	tier10s
+	tier1m
+	numTiers
+)
+
+var tierWidth = [numTiers]int64{
+	tierRaw: 0,
+	tier10s: int64(10 * time.Second),
+	tier1m:  int64(time.Minute),
+}
+
+// Record kinds inside a chunk frame.
+const (
+	recRaw = 1 // one sampler tick: wall+mono stamp, n (name, value) pairs
+	recAgg = 2 // one flushed bucket: tier, bucket start, n (name, min/max/sum/count)
+)
+
+// Config parameterises an Archive. The zero value of every field takes
+// a default; only Dir is required.
+type Config struct {
+	// Dir is the archive directory, created if absent. One directory
+	// belongs to one node.
+	Dir string
+	// ChunkBytes is the chunk rotation threshold; 0 takes
+	// DefaultChunkBytes. Pinned by archive.conf at first creation:
+	// reopening an existing directory always uses the pinned value.
+	ChunkBytes int64
+	// MaxBytes is the total retention budget across all tiers; 0 takes
+	// DefaultMaxBytes, negative is unbounded. Pruning removes the
+	// oldest raw chunks first so coarse history outlives fine history.
+	MaxBytes int64
+	// MaxAge drops chunks wholly older than the horizon; 0 keeps
+	// everything the byte budget allows.
+	MaxAge time.Duration
+	// Now overrides the clock, for tests.
+	Now func() time.Time
+}
+
+// chunk is one on-disk file of a tier. firstNano is embedded in the
+// filename so age ordering and pruning never need to read chunk bodies.
+type chunk struct {
+	seq       uint64
+	firstNano int64
+	path      string
+	size      int64
+}
+
+// tierState is the mutable state of one tier: its chunks oldest-first,
+// the last being the active one the open file appends to (nil until the
+// tier's first record after open).
+type tierState struct {
+	chunks  []chunk
+	f       *os.File
+	nextSeq uint64
+}
+
+// aggCell accumulates one series within one open downsample bucket.
+type aggCell struct {
+	min, max, sum float64
+	count         uint32
+}
+
+// Archive is a durable telemetry store for one node. A nil *Archive is
+// valid, records nothing and answers every query empty, so call sites
+// need no nil checks. All methods are safe for concurrent use.
+type Archive struct {
+	dir        string
+	chunkBytes int64
+	maxBytes   int64
+	maxAge     time.Duration
+	now        func() time.Time
+
+	mu          sync.Mutex
+	tiers       [numTiers]tierState
+	buckets     [numTiers]map[string]*aggCell
+	bucketStart [numTiers]int64
+	appends     uint64
+	prunedFiles uint64
+	closed      bool
+}
+
+// Open creates or reopens the archive at cfg.Dir. Reopening rescans the
+// directory: chunk sets are adopted as found, and the active chunk of
+// each tier is validated record by record with everything after the
+// first bad CRC or short frame truncated away — the crash-recovery
+// contract. An existing archive.conf pins ChunkBytes; a conf that does
+// not parse or names another format version is an error, not a guess.
+func Open(cfg Config) (*Archive, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("tsdb: empty archive dir")
+	}
+	if cfg.ChunkBytes <= 0 {
+		cfg.ChunkBytes = DefaultChunkBytes
+	}
+	if cfg.MaxBytes == 0 {
+		cfg.MaxBytes = DefaultMaxBytes
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("tsdb: %w", err)
+	}
+	chunkBytes, err := pinConf(cfg.Dir, cfg.ChunkBytes)
+	if err != nil {
+		return nil, err
+	}
+	a := &Archive{
+		dir:        cfg.Dir,
+		chunkBytes: chunkBytes,
+		maxBytes:   cfg.MaxBytes,
+		maxAge:     cfg.MaxAge,
+		now:        cfg.Now,
+	}
+	for t := 0; t < numTiers; t++ {
+		if err := a.openTier(t); err != nil {
+			a.Close()
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// pinConf writes archive.conf on first creation and verifies it on
+// reopen, returning the pinned chunk size. Like extent.conf, the pinned
+// value wins over the configured one: chunks already on disk were cut
+// at the pinned size.
+func pinConf(dir string, chunkBytes int64) (int64, error) {
+	path := filepath.Join(dir, confName)
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		line := fmt.Sprintf("v1 chunk=%d tiers=raw,10s,1m\n", chunkBytes)
+		if err := os.WriteFile(path, []byte(line), 0o644); err != nil {
+			return 0, fmt.Errorf("tsdb: %w", err)
+		}
+		return chunkBytes, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("tsdb: %w", err)
+	}
+	fields := strings.Fields(string(b))
+	if len(fields) != 3 || fields[0] != "v1" || fields[2] != "tiers=raw,10s,1m" {
+		return 0, fmt.Errorf("tsdb: %s: unrecognized format %q", path, strings.TrimSpace(string(b)))
+	}
+	n, err := strconv.ParseInt(strings.TrimPrefix(fields[1], "chunk="), 10, 64)
+	if err != nil || !strings.HasPrefix(fields[1], "chunk=") || n <= 0 {
+		return 0, fmt.Errorf("tsdb: %s: bad chunk size %q", path, fields[1])
+	}
+	return n, nil
+}
+
+// openTier scans one tier's chunk files, truncates the active chunk to
+// its valid record prefix, and reopens it for appending.
+func (a *Archive) openTier(tier int) error {
+	entries, err := os.ReadDir(a.dir)
+	if err != nil {
+		return fmt.Errorf("tsdb: %w", err)
+	}
+	ts := &a.tiers[tier]
+	ts.nextSeq = 1
+	for _, e := range entries {
+		seq, firstNano, ok := parseChunkName(e.Name(), tier)
+		if !ok {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			return fmt.Errorf("tsdb: %w", err)
+		}
+		ts.chunks = append(ts.chunks, chunk{
+			seq:       seq,
+			firstNano: firstNano,
+			path:      filepath.Join(a.dir, e.Name()),
+			size:      info.Size(),
+		})
+		if seq >= ts.nextSeq {
+			ts.nextSeq = seq + 1
+		}
+	}
+	sort.Slice(ts.chunks, func(i, j int) bool { return ts.chunks[i].seq < ts.chunks[j].seq })
+	if len(ts.chunks) == 0 {
+		return nil
+	}
+	// Only the chunk that was being appended to can have a torn tail;
+	// older chunks were sealed by a completed rotation.
+	active := &ts.chunks[len(ts.chunks)-1]
+	data, err := os.ReadFile(active.path)
+	if err != nil {
+		return fmt.Errorf("tsdb: %w", err)
+	}
+	valid := scanRecords(data, nil)
+	f, err := os.OpenFile(active.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("tsdb: %w", err)
+	}
+	if int64(valid) < active.size {
+		if err := f.Truncate(int64(valid)); err != nil {
+			f.Close()
+			return fmt.Errorf("tsdb: %w", err)
+		}
+		active.size = int64(valid)
+	}
+	if _, err := f.Seek(active.size, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("tsdb: %w", err)
+	}
+	ts.f = f
+	return nil
+}
+
+// chunkName encodes tier, sequence, and first-record wall time:
+// t0-00000007-01700000000000000000.tsc. Sequence gives append order,
+// the embedded time gives age pruning without reading bodies.
+func chunkName(tier int, seq uint64, firstNano int64) string {
+	return fmt.Sprintf("t%d-%08d-%020d%s", tier, seq, firstNano, chunkExt)
+}
+
+func parseChunkName(name string, tier int) (seq uint64, firstNano int64, ok bool) {
+	prefix := fmt.Sprintf("t%d-", tier)
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, chunkExt) {
+		return 0, 0, false
+	}
+	body := strings.TrimSuffix(strings.TrimPrefix(name, prefix), chunkExt)
+	dash := strings.IndexByte(body, '-')
+	if dash < 0 {
+		return 0, 0, false
+	}
+	s, err1 := strconv.ParseUint(body[:dash], 10, 64)
+	t, err2 := strconv.ParseInt(body[dash+1:], 10, 64)
+	if err1 != nil || err2 != nil {
+		return 0, 0, false
+	}
+	return s, t, true
+}
+
+// Append persists one sampler tick to the raw tier and folds it into
+// the open downsample buckets, flushing any bucket the tick has moved
+// past. It is the Sampler.OnSamples hook target: one buffered write on
+// the sampler goroutine, no fsync (crash durability is "recover the
+// valid prefix", not "never lose a tick").
+func (a *Archive) Append(wallNano, monoNano int64, samples []telemetry.Sample) error {
+	if a == nil || len(samples) == 0 {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return fmt.Errorf("tsdb: archive closed")
+	}
+	a.appends++
+	payload := encodeRaw(wallNano, monoNano, samples)
+	if err := a.writeRecord(tierRaw, wallNano, payload); err != nil {
+		return err
+	}
+	for t := tier10s; t < numTiers; t++ {
+		bucket := bucketStart(wallNano, tierWidth[t])
+		if a.bucketStart[t] != 0 && a.bucketStart[t] != bucket {
+			if err := a.flushBucket(t); err != nil {
+				return err
+			}
+		}
+		if a.buckets[t] == nil {
+			a.buckets[t] = make(map[string]*aggCell)
+		}
+		a.bucketStart[t] = bucket
+		for _, s := range samples {
+			c := a.buckets[t][s.Name]
+			if c == nil {
+				a.buckets[t][s.Name] = &aggCell{min: s.Value, max: s.Value, sum: s.Value, count: 1}
+				continue
+			}
+			if s.Value < c.min {
+				c.min = s.Value
+			}
+			if s.Value > c.max {
+				c.max = s.Value
+			}
+			c.sum += s.Value
+			c.count++
+		}
+	}
+	return nil
+}
+
+// bucketStart aligns t down to the bucket grid. Buckets are aligned to
+// the Unix epoch so every node cuts them at the same wall instants.
+func bucketStart(t, width int64) int64 {
+	b := t - t%width
+	if t < 0 && t%width != 0 {
+		b -= width
+	}
+	return b
+}
+
+// flushBucket writes tier t's open bucket as one agg record and resets
+// it. Partial buckets (flushed at Close, or re-opened after a restart
+// lands in the same wall bucket) simply coexist on disk: queries merge
+// cells for the same bucket start, and min/max/sum/count merge exactly.
+func (a *Archive) flushBucket(t int) error {
+	if len(a.buckets[t]) == 0 {
+		a.bucketStart[t] = 0
+		return nil
+	}
+	payload := encodeAgg(t, a.bucketStart[t], a.buckets[t])
+	start := a.bucketStart[t]
+	a.buckets[t] = nil
+	a.bucketStart[t] = 0
+	return a.writeRecord(t, start, payload)
+}
+
+// writeRecord frames payload with a length and CRC32 and appends it to
+// the tier's active chunk, rotating (and then pruning) when the chunk
+// is full. Callers hold a.mu.
+func (a *Archive) writeRecord(tier int, firstNano int64, payload []byte) error {
+	ts := &a.tiers[tier]
+	if ts.f == nil || (len(ts.chunks) > 0 && ts.chunks[len(ts.chunks)-1].size+int64(len(payload))+8 > a.chunkBytes) {
+		if err := a.rotate(tier, firstNano); err != nil {
+			return err
+		}
+	}
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+	copy(frame[8:], payload)
+	if _, err := ts.f.Write(frame); err != nil {
+		return fmt.Errorf("tsdb: %w", err)
+	}
+	ts.chunks[len(ts.chunks)-1].size += int64(len(frame))
+	return nil
+}
+
+// rotate seals the tier's active chunk and opens a fresh one stamped
+// with the time of the record that forced the rotation.
+func (a *Archive) rotate(tier int, firstNano int64) error {
+	ts := &a.tiers[tier]
+	if ts.f != nil {
+		ts.f.Close()
+		ts.f = nil
+	}
+	c := chunk{seq: ts.nextSeq, firstNano: firstNano}
+	c.path = filepath.Join(a.dir, chunkName(tier, c.seq, firstNano))
+	f, err := os.OpenFile(c.path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("tsdb: %w", err)
+	}
+	ts.nextSeq++
+	ts.f = f
+	ts.chunks = append(ts.chunks, c)
+	a.prune()
+	return nil
+}
+
+// prune enforces the age horizon and the byte budget. A chunk is
+// age-pruned only when the next chunk's first record is already past
+// the horizon — i.e. the whole chunk is older. The byte budget removes
+// oldest chunks finest-tier-first, so an archive over budget degrades
+// to coarser history rather than forgetting the incident entirely. The
+// active chunk of a tier is never pruned. Callers hold a.mu.
+func (a *Archive) prune() {
+	if a.maxAge > 0 {
+		cutoff := a.now().Add(-a.maxAge).UnixNano()
+		for t := 0; t < numTiers; t++ {
+			ts := &a.tiers[t]
+			for len(ts.chunks) > 1 && ts.chunks[1].firstNano <= cutoff {
+				a.removeOldest(ts)
+			}
+		}
+	}
+	if a.maxBytes <= 0 {
+		return
+	}
+	total := int64(0)
+	for t := 0; t < numTiers; t++ {
+		for _, c := range a.tiers[t].chunks {
+			total += c.size
+		}
+	}
+	for t := 0; t < numTiers && total > a.maxBytes; t++ {
+		ts := &a.tiers[t]
+		for len(ts.chunks) > 1 && total > a.maxBytes {
+			total -= ts.chunks[0].size
+			a.removeOldest(ts)
+		}
+	}
+}
+
+func (a *Archive) removeOldest(ts *tierState) {
+	os.Remove(ts.chunks[0].path)
+	ts.chunks = ts.chunks[1:]
+	a.prunedFiles++
+}
+
+// Flush writes the open downsample buckets to disk without waiting for
+// their wall buckets to elapse. Close calls it; a crash simply loses
+// the open buckets from the coarse tiers while the raw tier still holds
+// every tick.
+func (a *Archive) Flush() error {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return nil
+	}
+	var first error
+	for t := tier10s; t < numTiers; t++ {
+		if err := a.flushBucket(t); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close flushes open buckets and closes chunk files. Safe on nil and
+// idempotent.
+func (a *Archive) Close() error {
+	if a == nil {
+		return nil
+	}
+	err := a.Flush()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return nil
+	}
+	a.closed = true
+	for t := 0; t < numTiers; t++ {
+		if f := a.tiers[t].f; f != nil {
+			f.Close()
+			a.tiers[t].f = nil
+		}
+	}
+	return err
+}
+
+// Size reports the archive's current on-disk bytes across all tiers.
+func (a *Archive) Size() int64 {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var total int64
+	for t := 0; t < numTiers; t++ {
+		for _, c := range a.tiers[t].chunks {
+			total += c.size
+		}
+	}
+	return total
+}
+
+// Appends reports how many ticks have been persisted since Open.
+func (a *Archive) Appends() uint64 {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.appends
+}
+
+// PrunedFiles reports how many chunk files retention has removed.
+func (a *Archive) PrunedFiles() uint64 {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.prunedFiles
+}
+
+// Earliest returns the wall time of the oldest record any tier still
+// retains, 0 when the archive is empty — what a range-query response
+// reports so clients can tell "no data" from "pruned".
+func (a *Archive) Earliest() int64 {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var earliest int64
+	for t := 0; t < numTiers; t++ {
+		if cs := a.tiers[t].chunks; len(cs) > 0 {
+			if earliest == 0 || cs[0].firstNano < earliest {
+				earliest = cs[0].firstNano
+			}
+		}
+	}
+	return earliest
+}
+
+// Query returns the named series' points with wall times in
+// [fromNano, toNano], oldest first. The tiers are stitched: the raw
+// tier serves the part of the window it still retains; the part pruned
+// from raw is served from the 10 s tier as bucket means, and likewise
+// the 1 m tier backstops the 10 s tier. Bucket points are stamped with
+// the bucket start.
+func (a *Archive) Query(name string, fromNano, toNano int64) ([]telemetry.Point, error) {
+	if a == nil || fromNano > toNano {
+		return nil, nil
+	}
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil, fmt.Errorf("tsdb: archive closed")
+	}
+	// Snapshot the chunk lists; file reads happen outside the lock. An
+	// append racing a read of the active chunk at worst leaves a short
+	// tail the scanner skips, exactly like crash recovery.
+	var tiers [numTiers][]chunk
+	for t := 0; t < numTiers; t++ {
+		tiers[t] = append([]chunk(nil), a.tiers[t].chunks...)
+	}
+	a.mu.Unlock()
+
+	// Each tier serves [cut(t), cut(t-1)): the raw tier from its
+	// earliest retained record up to the window end, each coarser tier
+	// the older remainder the finer tier no longer covers.
+	cut := toNano + 1
+	var out []telemetry.Point
+	starts := [numTiers]int64{}
+	for t := 0; t < numTiers; t++ {
+		if len(tiers[t]) > 0 {
+			starts[t] = tiers[t][0].firstNano
+		}
+	}
+	for t := 0; t < numTiers; t++ {
+		lo := fromNano
+		if starts[t] != 0 && starts[t] > lo {
+			lo = starts[t]
+		}
+		if len(tiers[t]) == 0 || lo >= cut {
+			continue
+		}
+		pts, err := scanTier(t, tiers[t], name, lo, cut)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pts...)
+		cut = lo
+		if cut <= fromNano {
+			break
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].UnixNano < out[j].UnixNano })
+	return out, nil
+}
+
+// scanTier reads one tier's chunks and extracts the named series'
+// points with wall time in [lo, hi). Coarse tiers merge duplicate
+// bucket records (partial buckets from a flush-at-close plus the
+// post-restart remainder) before emitting means.
+func scanTier(tier int, chunks []chunk, name string, lo, hi int64) ([]telemetry.Point, error) {
+	var out []telemetry.Point
+	var merged map[int64]*aggCell
+	for i, c := range chunks {
+		// A chunk is skippable when it ends before the range starts —
+		// its end is bounded by the next chunk's first record — or
+		// starts after the range ends.
+		if i+1 < len(chunks) && chunks[i+1].firstNano < lo {
+			continue
+		}
+		if c.firstNano >= hi {
+			break
+		}
+		data, err := os.ReadFile(c.path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // pruned between snapshot and read
+			}
+			return nil, fmt.Errorf("tsdb: %w", err)
+		}
+		scanRecords(data, func(kind byte, payload []byte) {
+			switch kind {
+			case recRaw:
+				if tier != tierRaw {
+					return
+				}
+				wall, mono, v, ok := decodeRawSample(payload, name)
+				if ok && wall >= lo && wall < hi {
+					out = append(out, telemetry.Point{UnixNano: wall, Value: v, Mono: mono})
+				}
+			case recAgg:
+				t, start, cell, ok := decodeAggSample(payload, name)
+				if !ok || t != tier || start < lo || start >= hi {
+					return
+				}
+				if merged == nil {
+					merged = make(map[int64]*aggCell)
+				}
+				if c := merged[start]; c != nil {
+					if cell.min < c.min {
+						c.min = cell.min
+					}
+					if cell.max > c.max {
+						c.max = cell.max
+					}
+					c.sum += cell.sum
+					c.count += cell.count
+				} else {
+					cc := cell
+					merged[start] = &cc
+				}
+			}
+		})
+	}
+	for start, c := range merged {
+		out = append(out, telemetry.Point{UnixNano: start, Value: c.sum / float64(c.count)})
+	}
+	return out, nil
+}
+
+// --- record encoding ---
+
+// encodeRaw lays out one tick: kind, wall, mono, n, then n length-
+// prefixed names each followed by the value's float64 bits.
+func encodeRaw(wallNano, monoNano int64, samples []telemetry.Sample) []byte {
+	size := 1 + 8 + 8 + 4
+	for _, s := range samples {
+		size += 2 + len(s.Name) + 8
+	}
+	b := make([]byte, 0, size)
+	b = append(b, recRaw)
+	b = binary.LittleEndian.AppendUint64(b, uint64(wallNano))
+	b = binary.LittleEndian.AppendUint64(b, uint64(monoNano))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(samples)))
+	for _, s := range samples {
+		b = appendName(b, s.Name)
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(s.Value))
+	}
+	return b
+}
+
+// encodeAgg lays out one flushed bucket: kind, tier, bucket start, n,
+// then n names each with min/max/sum/count. Names are sorted so the
+// encoding is deterministic.
+func encodeAgg(tier int, start int64, cells map[string]*aggCell) []byte {
+	names := make([]string, 0, len(cells))
+	for n := range cells {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	size := 1 + 1 + 8 + 4
+	for _, n := range names {
+		size += 2 + len(n) + 8*3 + 4
+	}
+	b := make([]byte, 0, size)
+	b = append(b, recAgg)
+	b = append(b, byte(tier))
+	b = binary.LittleEndian.AppendUint64(b, uint64(start))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(cells)))
+	for _, n := range names {
+		c := cells[n]
+		b = appendName(b, n)
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(c.min))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(c.max))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(c.sum))
+		b = binary.LittleEndian.AppendUint32(b, c.count)
+	}
+	return b
+}
+
+func appendName(b []byte, name string) []byte {
+	if len(name) > math.MaxUint16 {
+		name = name[:math.MaxUint16]
+	}
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(name)))
+	return append(b, name...)
+}
+
+// decodeRawSample scans a raw record for one series, returning the
+// tick's stamps and the series' value when present.
+func decodeRawSample(p []byte, name string) (wall, mono int64, value float64, ok bool) {
+	d := recReader{b: p, off: 1}
+	wall = int64(d.u64())
+	mono = int64(d.u64())
+	n := d.u32()
+	for i := uint32(0); i < n && !d.bad; i++ {
+		nm := d.name()
+		v := math.Float64frombits(d.u64())
+		if nm == name && !d.bad {
+			return wall, mono, v, true
+		}
+	}
+	return 0, 0, 0, false
+}
+
+// decodeAggSample extracts one series' cell from an agg record.
+func decodeAggSample(p []byte, name string) (tier int, start int64, cell aggCell, ok bool) {
+	d := recReader{b: p, off: 1}
+	tier = int(d.u8())
+	start = int64(d.u64())
+	n := d.u32()
+	for i := uint32(0); i < n && !d.bad; i++ {
+		nm := d.name()
+		c := aggCell{
+			min: math.Float64frombits(d.u64()),
+			max: math.Float64frombits(d.u64()),
+			sum: math.Float64frombits(d.u64()),
+		}
+		c.count = d.u32()
+		if nm == name && !d.bad && c.count > 0 {
+			return tier, start, c, true
+		}
+	}
+	return 0, 0, aggCell{}, false
+}
+
+// recReader is a minimal sticky-error cursor over a record payload.
+type recReader struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (d *recReader) take(n int) []byte {
+	if d.bad || d.off+n > len(d.b) {
+		d.bad = true
+		return nil
+	}
+	s := d.b[d.off : d.off+n]
+	d.off += n
+	return s
+}
+
+func (d *recReader) u8() byte {
+	s := d.take(1)
+	if s == nil {
+		return 0
+	}
+	return s[0]
+}
+
+func (d *recReader) u32() uint32 {
+	s := d.take(4)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(s)
+}
+
+func (d *recReader) u64() uint64 {
+	s := d.take(8)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(s)
+}
+
+func (d *recReader) u16() uint16 {
+	s := d.take(2)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(s)
+}
+
+func (d *recReader) name() string {
+	n := int(d.u16())
+	if d.bad {
+		return ""
+	}
+	return string(d.take(n))
+}
+
+// scanRecords walks the frames in a chunk image, invoking fn (when
+// non-nil) for each intact record, and returns the byte length of the
+// valid prefix — everything from the first short frame, oversized
+// length, or CRC mismatch onward is a torn tail.
+func scanRecords(data []byte, fn func(kind byte, payload []byte)) int {
+	off := 0
+	for {
+		if len(data)-off < 8 {
+			return off
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if n == 0 || n > maxRecordBytes || off+8+n > len(data) {
+			return off
+		}
+		payload := data[off+8 : off+8+n]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return off
+		}
+		if fn != nil {
+			fn(payload[0], payload)
+		}
+		off += 8 + n
+	}
+}

@@ -1152,3 +1152,66 @@ func (m *TenantStatsResp) Own() { m.Usage = detach(m.Usage) }
 
 // encodedSizeHint sizes the frame buffer for the usage payload.
 func (m *TenantStatsResp) encodedSizeHint() int { return len(m.Usage) + len(m.Node) + 24 }
+
+// RangeQueryReq asks a node's durable telemetry archive for one series'
+// history over a wall-clock window. StepNano, when non-zero, asks the
+// node to reduce its answer to per-step bucket means before replying —
+// the cheap half of range queries runs next to the data, the cross-node
+// aggregation happens at the client.
+type RangeQueryReq struct {
+	Name     string
+	FromNano int64
+	ToNano   int64
+	StepNano int64
+}
+
+func (*RangeQueryReq) Type() MsgType { return MsgRangeQueryReq }
+
+func (m *RangeQueryReq) Encode(e *Encoder) {
+	e.PutString(m.Name)
+	e.PutI64(m.FromNano)
+	e.PutI64(m.ToNano)
+	e.PutI64(m.StepNano)
+}
+
+func (m *RangeQueryReq) Decode(d *Decoder) {
+	m.Name = d.String()
+	m.FromNano = d.I64()
+	m.ToNano = d.I64()
+	m.StepNano = d.I64()
+}
+
+// RangeQueryResp returns the archived points as a JSON-encoded
+// one-element []telemetry.Series, opaque here like every other
+// telemetry payload so the point schema can grow without touching the
+// wire format. EarliestNano is the oldest instant the node's archive
+// still retains (0 when the node has no archive), so a client can tell
+// "no data in window" from "window predates retention". It is a
+// trailing optional field: frames from peers predating it still decode.
+type RangeQueryResp struct {
+	Node         string
+	Series       []byte // JSON-encoded []telemetry.Series
+	EarliestNano int64
+}
+
+func (*RangeQueryResp) Type() MsgType { return MsgRangeQueryResp }
+
+func (m *RangeQueryResp) Encode(e *Encoder) {
+	e.PutString(m.Node)
+	e.PutBytes(m.Series)
+	e.PutI64(m.EarliestNano)
+}
+
+func (m *RangeQueryResp) Decode(d *Decoder) {
+	m.Node = d.String()
+	m.Series = d.Bytes()
+	if d.Remaining() > 0 {
+		m.EarliestNano = d.I64()
+	}
+}
+
+// Own implements Owner: Series may alias a pooled frame buffer.
+func (m *RangeQueryResp) Own() { m.Series = detach(m.Series) }
+
+// encodedSizeHint sizes the frame buffer for the series payload.
+func (m *RangeQueryResp) encodedSizeHint() int { return len(m.Series) + len(m.Node) + 24 }

@@ -97,6 +97,9 @@ func TestAllMessagesRoundTrip(t *testing.T) {
 		&TenantStatsReq{},
 		&TenantStatsResp{Node: "data-0", Evicted: 3,
 			Usage: []byte(`[{"tenant":"app-a","bytes_read":4096}]`)},
+		&RangeQueryReq{Name: "queue.depth", FromNano: -5e9, ToNano: 9e18, StepNano: 1e10},
+		&RangeQueryResp{Node: "data-0", EarliestNano: 7e9,
+			Series: []byte(`[{"name":"queue.depth","points":[{"t":1,"v":2,"m":3}]}]`)},
 	}
 	seen := make(map[MsgType]bool)
 	for _, m := range msgs {
@@ -426,5 +429,45 @@ func TestEventAlertCodecQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRangeQueryCodecQuick property-checks the range-query codec over
+// arbitrary field values, including negative windows and Series
+// payloads that are not valid JSON — like the other fetch pairs, the
+// codec is payload-agnostic.
+func TestRangeQueryCodecQuick(t *testing.T) {
+	f := func(name, node string, from, to, step, earliest int64, series []byte) bool {
+		req := roundTrip(t, &RangeQueryReq{Name: name, FromNano: from, ToNano: to, StepNano: step}).(*RangeQueryReq)
+		if req.Name != name || req.FromNano != from || req.ToNano != to || req.StepNano != step {
+			return false
+		}
+		resp := roundTrip(t, &RangeQueryResp{Node: node, Series: series, EarliestNano: earliest}).(*RangeQueryResp)
+		return resp.Node == node && resp.EarliestNano == earliest && bytes.Equal(resp.Series, series)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// RangeQueryResp carries EarliestNano as a trailing optional field; a
+// frame from a peer predating it — the new-format frame truncated by
+// 8 — must still decode with the field zero.
+func TestRangeQueryRespOldPeerInterop(t *testing.T) {
+	m := &RangeQueryResp{Node: "data-0", Series: []byte(`[]`), EarliestNano: 7e9}
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	old := append([]byte(nil), raw[:len(raw)-8]...)
+	binary.LittleEndian.PutUint32(old[0:4], uint32(len(old)-4))
+	got, err := ReadMessage(bytes.NewReader(old))
+	if err != nil {
+		t.Fatalf("old-generation frame rejected: %v", err)
+	}
+	resp := got.(*RangeQueryResp)
+	if resp.Node != "data-0" || !bytes.Equal(resp.Series, []byte(`[]`)) || resp.EarliestNano != 0 {
+		t.Fatalf("decode = %+v, want zero EarliestNano", resp)
 	}
 }

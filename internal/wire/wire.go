@@ -105,6 +105,10 @@ const (
 	MsgTenantStatsReq
 	MsgTenantStatsResp
 
+	// Telemetry archive plane: durable range queries.
+	MsgRangeQueryReq
+	MsgRangeQueryResp
+
 	msgSentinel // keep last
 )
 
@@ -159,6 +163,8 @@ var msgNames = map[MsgType]string{
 	MsgAlertFetchResp:  "alertfetch.resp",
 	MsgTenantStatsReq:  "tenantstats.req",
 	MsgTenantStatsResp: "tenantstats.resp",
+	MsgRangeQueryReq:   "rangequery.req",
+	MsgRangeQueryResp:  "rangequery.resp",
 }
 
 // String returns a human-readable name for the message type.
@@ -539,6 +545,10 @@ func New(t MsgType) Message {
 		return new(TenantStatsReq)
 	case MsgTenantStatsResp:
 		return new(TenantStatsResp)
+	case MsgRangeQueryReq:
+		return new(RangeQueryReq)
+	case MsgRangeQueryResp:
+		return new(RangeQueryResp)
 	default:
 		return nil
 	}

@@ -354,6 +354,10 @@ func (fs *FS) SlowBundles() []SlowBundle { return fs.asc.SlowBundles() }
 // (runtime, meta, slo) into its bounded in-memory ring.
 type Event = eventlog.Event
 
+// EventField is one ordered key/value pair of an event's structured
+// context.
+type EventField = eventlog.Field
+
 // EventLevel is an event's severity (debug, info, warn, error).
 type EventLevel = eventlog.Level
 

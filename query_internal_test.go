@@ -1,0 +1,34 @@
+package dosas
+
+import (
+	"reflect"
+	"testing"
+)
+
+// aggregateNodes matches buckets by timestamp and applies each
+// function's definition; nodes missing a bucket don't contribute, and
+// "last" lets later sweep-order nodes override earlier ones.
+func TestAggregateNodes(t *testing.T) {
+	nodes := []NodeSeries{
+		{Node: "data-0", Points: []SeriesPoint{{UnixNano: 10, Value: 2}, {UnixNano: 20, Value: 4}}},
+		{Node: "data-1", Points: []SeriesPoint{{UnixNano: 10, Value: 6}, {UnixNano: 30, Value: 8}}},
+	}
+	cases := map[string][]SeriesPoint{
+		"avg":  {{UnixNano: 10, Value: 4}, {UnixNano: 20, Value: 4}, {UnixNano: 30, Value: 8}},
+		"min":  {{UnixNano: 10, Value: 2}, {UnixNano: 20, Value: 4}, {UnixNano: 30, Value: 8}},
+		"max":  {{UnixNano: 10, Value: 6}, {UnixNano: 20, Value: 4}, {UnixNano: 30, Value: 8}},
+		"sum":  {{UnixNano: 10, Value: 8}, {UnixNano: 20, Value: 4}, {UnixNano: 30, Value: 8}},
+		"last": {{UnixNano: 10, Value: 6}, {UnixNano: 20, Value: 4}, {UnixNano: 30, Value: 8}},
+	}
+	for agg, want := range cases {
+		if got := aggregateNodes(nodes, agg); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s = %+v, want %+v", agg, got, want)
+		}
+	}
+	if got := aggregateNodes(nodes, ""); got != nil {
+		t.Errorf("no-agg = %+v, want nil", got)
+	}
+	if got := aggregateNodes(nil, "avg"); got != nil {
+		t.Errorf("empty = %+v, want nil", got)
+	}
+}
