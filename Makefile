@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-observability race-transport race-alerts race-store race-tenant race-tsdb replay-determinism check bench bench-readpath bench-telemetry bench-mux bench-tenant bench-archive bench-paper clean
+.PHONY: all build test vet race race-observability race-transport race-alerts race-store race-tenant race-tsdb race-qos replay-determinism check bench bench-readpath bench-telemetry bench-mux bench-tenant bench-archive bench-qos bench-paper clean
 
 all: check
 
@@ -64,6 +64,16 @@ race-tsdb:
 	$(GO) test -race ./internal/tsdb/ ./internal/telemetry/ ./internal/wire/
 	$(GO) test -race -run 'TestQuery|TestFSQuery|TestIncidentReport|TestClusterReport|TestAggregateNodes' .
 
+# Focused race gate for the tail-latency isolation plane: the QoS gate's
+# dispatcher binds WDRR elections to slots while cancels withdraw queued
+# tickets, the cancel registry races CancelReqs against registration and
+# both framings' mid-frame zero-fill, and hedged reads race two replica
+# streams (plus server death) over one destination buffer. The latency
+# tracker's EWMA/decay state rides along.
+race-qos:
+	$(GO) test -race -run 'TestQoS|TestCancel|TestServerCancel|TestHedge|TestPrimary|TestReplicaOrder|TestLatency|TestHedgeDelay|TestSizeClass|TestWDRR|TestMetaStorm|TestNoCredit' ./internal/pfs/ ./internal/ioqueue/
+	$(GO) test -race -run 'TestWaitShare|TestReadReqReqID|TestNamespaceTenant' ./internal/tenant/ ./internal/wire/
+
 # Counterfactual replay must be byte-deterministic: the same decision log
 # and policy set produce the same report JSON on every run (no map
 # iteration, no wall clock in the scoring path). Replays the committed
@@ -74,7 +84,7 @@ replay-determinism:
 	cmp /tmp/dosas-replay-a.json /tmp/dosas-replay-b.json
 	@echo "replay-determinism: OK (byte-identical reports)"
 
-check: vet race-observability race-transport race-store race-alerts race-tenant race-tsdb replay-determinism race
+check: vet race-observability race-transport race-store race-alerts race-tenant race-tsdb race-qos replay-determinism race
 
 # Data-path microbenchmarks (fixed iteration count so runs compare
 # across commits) plus the window-vs-serial matrix (writes BENCH_pr2.json).
@@ -111,6 +121,13 @@ bench-tenant:
 # (writes BENCH_archive.json).
 bench-archive:
 	$(GO) run ./cmd/dosas-bench -exp archive
+
+# Tail-latency isolation: weighted-fair admission A/B (victim p99 gated
+# vs ungated vs uncontended) and the hedged-read/replica-selection
+# straggler experiments (writes BENCH_qos.json).
+bench-qos:
+	$(GO) run ./cmd/dosas-bench -exp qos-isolation
+	$(GO) run ./cmd/dosas-bench -exp straggler
 
 # Regenerate the paper's tables/figures (simulated experiments) and the
 # live per-scheme decision metrics (BENCH_live.json).

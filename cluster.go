@@ -195,6 +195,19 @@ type Options struct {
 	// least-recently-active tenant folds into the "(evicted)" aggregate
 	// row (default tenant.DefaultLimit).
 	TenantLimit int
+	// TenantWeights are the per-tenant weighted-fair scheduling weights
+	// applied on every storage node's admission gate and active queue,
+	// and on the metadata server's lookup gate. A weight-2 tenant earns
+	// scheduling credit twice as fast as a weight-1 tenant; absent
+	// tenants weigh 1, and nil means equal weights for everyone.
+	TenantWeights map[string]float64
+	// QoSSlots bounds concurrently admitted requests per storage node's
+	// gate (0 = pfs.DefaultQoSSlots).
+	QoSSlots int
+	// DisableQoS turns the weighted-fair admission gates off on every
+	// node: requests run in arrival order bounded only by the transport,
+	// as before the gates existed (isolation A/B benchmarks).
+	DisableQoS bool
 }
 
 // Cluster is a running DOSAS deployment: one metadata server plus
@@ -379,6 +392,7 @@ func StartCluster(o Options) (*Cluster, error) {
 		Events:            metaEvents,
 		SLO:               metaSLO,
 		Archive:           metaArchive,
+		QoS:               o.qosConfig(),
 	}
 	if o.DataDir != "" {
 		metaCfg.JournalPath = filepath.Join(o.DataDir, "meta.wal")
@@ -475,7 +489,7 @@ func StartCluster(o Options) (*Cluster, error) {
 			return nil, err
 		}
 		c.archives = append(c.archives, arch)
-		ds, err := pfs.NewDataServer(pfs.DataConfig{Store: store, Metrics: reg, Node: node, Trace: tr, Telemetry: tele, Audit: alog, Events: ev, SLO: eng, Tenants: tab, Archive: arch})
+		ds, err := pfs.NewDataServer(pfs.DataConfig{Store: store, Metrics: reg, Node: node, Trace: tr, Telemetry: tele, Audit: alog, Events: ev, SLO: eng, Tenants: tab, Archive: arch, QoS: o.qosConfig()})
 		if err != nil {
 			return nil, err
 		}
@@ -494,9 +508,10 @@ func StartCluster(o Options) (*Cluster, error) {
 			Metrics:   reg,
 			Trace:     tr,
 			Node:      node,
-			Telemetry: tele,
-			Events:    ev,
-			Tenants:   tab,
+			Telemetry:     tele,
+			Events:        ev,
+			Tenants:       tab,
+			TenantWeights: o.TenantWeights,
 		})
 		if err != nil {
 			return nil, err
@@ -521,6 +536,15 @@ func StartCluster(o Options) (*Cluster, error) {
 	}
 	ok = true
 	return c, nil
+}
+
+// qosConfig builds the per-node admission gate config, or nil when QoS
+// is disabled.
+func (o Options) qosConfig() *pfs.QoSConfig {
+	if o.DisableQoS {
+		return nil
+	}
+	return &pfs.QoSConfig{Slots: o.QoSSlots, Weights: o.TenantWeights}
 }
 
 // listenAddr picks the bind address for a server under either transport.
@@ -595,6 +619,10 @@ func (c *Cluster) Close() {
 		s.Close()
 	}
 	c.servers = nil
+	for _, ds := range c.dataServers {
+		ds.Close()
+	}
+	c.dataServers = nil
 	for _, st := range c.stores {
 		st.Close()
 	}
@@ -703,6 +731,12 @@ type ClientOptions struct {
 	// DisableMux pins the client's pool to ordered per-exchange
 	// connections instead of negotiating multiplexing with the servers.
 	DisableMux bool
+	// HedgeAfter enables hedged reads on replicated files: a segment read
+	// still unanswered after this delay is duplicated to the next-best
+	// replica and the loser is cancelled. Used as the fallback trigger
+	// until the per-server latency tracker can derive a quantile-based
+	// one. Zero disables hedging.
+	HedgeAfter time.Duration
 }
 
 // Connect dials an externally managed cluster over TCP.
@@ -713,7 +747,7 @@ func Connect(o ClientOptions) (*FS, error) {
 func connect(net transport.Network, metaAddr string, dataAddrs []string, o ClientOptions) (*FS, error) {
 	pc, err := pfs.NewClient(pfs.ClientConfig{
 		Net: net, MetaAddr: metaAddr, DataAddrs: dataAddrs, WindowDepth: o.WindowDepth, TransferChunk: o.TransferChunk,
-		DisableMux: o.DisableMux, Tenant: o.Tenant,
+		DisableMux: o.DisableMux, Tenant: o.Tenant, HedgeAfter: o.HedgeAfter,
 	})
 	if err != nil {
 		return nil, err

@@ -40,6 +40,12 @@
 //	archive   durable telemetry archive: A/B overhead of archiving every
 //	          sampler tick (budget <1%) and restart continuity of the
 //	          queried series (writes BENCH_archive.json)
+//	qos-isolation
+//	          weighted-fair admission: a batch storm vs a victim tenant
+//	          on one paced disk, gate on/off vs uncontended baseline
+//	          (writes BENCH_qos.json)
+//	straggler hedged reads and latency-aware replica selection under
+//	          staggered disk brownouts (writes BENCH_qos.json)
 //	all       everything simulated (excludes the live experiments)
 //
 // Simulated experiments run the calibrated discrete-event model at full
@@ -126,6 +132,8 @@ func main() {
 		"mux":               muxExp,
 		"noisy-neighbor":    noisyNeighbor,
 		"archive":           archiveExp,
+		"qos-isolation":     qosIsolation,
+		"straggler":         stragglerExp,
 	}
 	order := []string{"table3", "fig2", "fig5", "fig6", "table4",
 		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12",

@@ -1,0 +1,474 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dosas/internal/pfs"
+	"dosas/internal/transport"
+)
+
+// This file holds the tail-latency isolation experiments:
+//
+//	qos-isolation  a batch tenant storms one paced disk while a victim
+//	               issues large reads; the victim's p99 is measured
+//	               uncontended, contended without the QoS gate, and
+//	               contended with weighted-fair admission. Acceptance:
+//	               the gated contended p99 stays within 25% of the
+//	               uncontended baseline.
+//	straggler      a replicated file served by two nodes whose "disk"
+//	               suffers periodic brownouts; hedged reads must cut the
+//	               read p99 at least 2x against the unhedged client while
+//	               duplicating under 5% of the bytes. A third phase shows
+//	               the latency-tracker routing traffic off a persistently
+//	               slow replica.
+//
+// Both write their numbers into BENCH_qos.json (merging, so either order
+// works).
+
+// qosBenchOut is the merged report file both experiments write into.
+const qosBenchOut = "BENCH_qos.json"
+
+// mergeQoSReport folds section into BENCH_qos.json, preserving whatever
+// the other experiment already wrote there.
+func mergeQoSReport(section string, v any) {
+	report := map[string]json.RawMessage{}
+	if raw, err := os.ReadFile(qosBenchOut); err == nil {
+		_ = json.Unmarshal(raw, &report)
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report[section] = b
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(qosBenchOut, append(out, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n  wrote %s (%s)\n", qosBenchOut, section)
+}
+
+// pacedStore emulates one disk head: reads serialize on a mutex and cost
+// wall-clock time proportional to their size. Writes (setup traffic) pass
+// through at memory speed.
+type pacedStore struct {
+	pfs.Store
+	mu  sync.Mutex
+	bps float64 // read bandwidth, bytes/second
+}
+
+func (s *pacedStore) ReadAt(handle uint64, p []byte, off uint64) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, err := s.Store.ReadAt(handle, p, off)
+	if n > 0 && s.bps > 0 {
+		time.Sleep(time.Duration(float64(n) / s.bps * float64(time.Second)))
+	}
+	return n, err
+}
+
+// brownoutStore models device-level interference (a compaction, a scrub,
+// a co-located active task hogging the spindle): while a brownout window
+// is open every read eats a fixed delay; outside windows the store runs
+// at memory speed.
+type brownoutStore struct {
+	pfs.Store
+	until atomic.Int64 // unix nanos; brownout active while now < until
+	slow  time.Duration
+}
+
+func (s *brownoutStore) ReadAt(handle uint64, p []byte, off uint64) (int, error) {
+	if time.Now().UnixNano() < s.until.Load() {
+		time.Sleep(s.slow)
+	}
+	return s.Store.ReadAt(handle, p, off)
+}
+
+func (s *brownoutStore) brownout(d time.Duration) {
+	s.until.Store(time.Now().Add(d).UnixNano())
+}
+
+// qosCluster is an in-process PFS sized for these experiments: one
+// metadata server plus caller-provided data-server stores.
+type qosCluster struct {
+	net   transport.Network
+	addrs []string
+	datas []*pfs.DataServer
+	stop  []func()
+}
+
+func (c *qosCluster) Close() {
+	for i := len(c.stop) - 1; i >= 0; i-- {
+		c.stop[i]()
+	}
+}
+
+func (c *qosCluster) client(cfg pfs.ClientConfig) *pfs.Client {
+	cfg.Net = c.net
+	cfg.MetaAddr = "meta"
+	cfg.DataAddrs = c.addrs
+	cl, err := pfs.NewClient(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.stop = append(c.stop, cl.Close)
+	return cl
+}
+
+func startQoSCluster(stores []pfs.Store, qos *pfs.QoSConfig) *qosCluster {
+	net := transport.NewInproc()
+	c := &qosCluster{net: net}
+	meta, err := pfs.NewMetaServer(pfs.MetaConfig{NumDataServers: len(stores)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ml, err := net.Listen("meta")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ms := pfs.NewServer(ml, meta)
+	ms.Start()
+	c.stop = append(c.stop, ms.Close)
+	for i, st := range stores {
+		ds, err := pfs.NewDataServer(pfs.DataConfig{Store: st, QoS: qos})
+		if err != nil {
+			log.Fatal(err)
+		}
+		addr := fmt.Sprintf("data-%d", i)
+		dl, err := net.Listen(addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv := pfs.NewServer(dl, ds)
+		srv.SetFrameStats(ds.WireStats())
+		srv.Start()
+		c.stop = append(c.stop, srv.Close, ds.Close)
+		c.addrs = append(c.addrs, addr)
+		c.datas = append(c.datas, ds)
+	}
+	return c
+}
+
+func pctl(lats []time.Duration, p float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), lats...)
+	sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+	i := int(p*float64(len(s))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}
+
+func ms(d time.Duration) float64 { return float64(d) / 1e6 }
+
+// --- qos-isolation ----------------------------------------------------
+
+type isolationPhase struct {
+	Label     string  `json:"label"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	Throttled uint64  `json:"gate_throttled"`
+}
+
+// runIsolationPhase measures the victim's read latency distribution on a
+// fresh single-disk cluster. nAggr goroutines of the "batch" tenant
+// saturate the disk with 256 KiB reads while the victim repeatedly pulls
+// a 4 MiB file.
+func runIsolationPhase(label string, qos *pfs.QoSConfig, nAggr int) isolationPhase {
+	const (
+		diskBps    = 256 << 20 // one disk, 256 MB/s
+		victimSize = 4 << 20
+		aggrChunk  = 128 << 10
+		aggrFile   = 16 << 20
+		samples    = 200
+	)
+	cl := startQoSCluster([]pfs.Store{&pacedStore{Store: pfs.NewMemStore(), bps: diskBps}}, qos)
+	defer cl.Close()
+
+	// One transfer chunk per read: the whole 4 MB is a single gate ticket,
+	// so the WDRR round cost is paid once, not per chunk.
+	victim := cl.client(pfs.ClientConfig{Tenant: "victim", TransferChunk: victimSize})
+	vf, err := victim.Create("qos/victim", victimSize, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vbuf := make([]byte, victimSize)
+	rand.New(rand.NewSource(7)).Read(vbuf)
+	if _, err := vf.WriteAt(vbuf, 0); err != nil {
+		log.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	if nAggr > 0 {
+		aggr := cl.client(pfs.ClientConfig{Tenant: "batch", TransferChunk: aggrChunk})
+		af, err := aggr.Create("qos/batch", aggrFile, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := af.WriteAt(make([]byte, aggrFile), 0); err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < nAggr; i++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				buf := make([]byte, aggrChunk)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					off := uint64(rng.Intn(aggrFile/aggrChunk)) * aggrChunk
+					if _, err := af.ReadAt(buf, off); err != nil {
+						return
+					}
+				}
+			}(int64(i))
+		}
+		time.Sleep(100 * time.Millisecond) // let the storm build its queue
+	}
+
+	rbuf := make([]byte, victimSize)
+	for i := 0; i < 20; i++ { // warm connections, buffer pools, and the runtime
+		if _, err := vf.ReadAt(rbuf, 0); err != nil {
+			log.Fatal(err)
+		}
+	}
+	lats := make([]time.Duration, 0, samples)
+	for i := 0; i < samples; i++ {
+		t0 := time.Now()
+		if _, err := vf.ReadAt(rbuf, 0); err != nil {
+			log.Fatal(err)
+		}
+		lats = append(lats, time.Since(t0))
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	ph := isolationPhase{Label: label, P50Ms: ms(pctl(lats, 0.50)), P99Ms: ms(pctl(lats, 0.99))}
+	if g := cl.datas[0].Gate(); g != nil {
+		ph.Throttled = g.Stats().Throttled
+	}
+	fmt.Printf("  %-28s p50 %7.2f ms   p99 %7.2f ms   gate throttled %d\n",
+		label, ph.P50Ms, ph.P99Ms, ph.Throttled)
+	return ph
+}
+
+// qosIsolation runs the weighted-fair admission A/B: does the gate keep a
+// victim tenant's large reads near their uncontended latency while a
+// batch tenant saturates the same disk?
+func qosIsolation() {
+	header("QoS isolation: victim 4 MB reads vs a 16-way batch storm on one 256 MB/s disk")
+	const nAggr = 16
+	// Weight 16 gives the victim a 4 MB grant per WDRR round — one round
+	// covers a whole request, so election never waits on banked credit.
+	gate := &pfs.QoSConfig{Slots: 1, Weights: map[string]float64{"victim": 16}}
+
+	baseline := runIsolationPhase("uncontended (gate on)", gate, 0)
+	ungated := runIsolationPhase("contended, no gate", nil, nAggr)
+	gated := runIsolationPhase("contended, gated 16:1", gate, nAggr)
+
+	ratioGated := gated.P99Ms / baseline.P99Ms
+	ratioUngated := ungated.P99Ms / baseline.P99Ms
+	pass := ratioGated <= 1.25
+	fmt.Printf("\n  victim p99 vs uncontended: no gate %.2fx, gated %.2fx (acceptance <= 1.25x: %v)\n",
+		ratioUngated, ratioGated, pass)
+
+	mergeQoSReport("qos_isolation", map[string]any{
+		"phases":             []isolationPhase{baseline, ungated, gated},
+		"victim_p99_ms":      gated.P99Ms,
+		"baseline_p99_ms":    baseline.P99Ms,
+		"ungated_p99_ms":     ungated.P99Ms,
+		"p99_ratio_gated":    ratioGated,
+		"p99_ratio_ungated":  ratioUngated,
+		"pass_within_25_pct": pass,
+	})
+}
+
+// --- straggler --------------------------------------------------------
+
+type stragglerPhase struct {
+	Label         string  `json:"label"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	HedgeLaunched int64   `json:"hedge_launched"`
+	HedgeWins     int64   `json:"hedge_wins"`
+	DupBytesPct   float64 `json:"dup_bytes_pct"`
+}
+
+// runStragglerPhase measures replicated 1 MB reads (serial 64 KiB chunks,
+// so a cancelled primary only drains one in-flight chunk) on a fresh
+// two-node cluster whose stores suffer staggered brownout windows.
+func runStragglerPhase(label string, hedgeAfter time.Duration) stragglerPhase {
+	const (
+		readSize = 1 << 20
+		samples  = 300
+		gap      = 15 * time.Millisecond
+		slowPer  = 12 * time.Millisecond // per 64 KiB chunk during a brownout
+		window   = 150 * time.Millisecond
+	)
+	stores := []*brownoutStore{
+		{Store: pfs.NewMemStore(), slow: slowPer},
+		{Store: pfs.NewMemStore(), slow: slowPer},
+	}
+	cl := startQoSCluster([]pfs.Store{stores[0], stores[1]}, nil)
+	defer cl.Close()
+
+	c := cl.client(pfs.ClientConfig{
+		Tenant:        "victim",
+		WindowDepth:   1,
+		TransferChunk: 64 << 10,
+		HedgeAfter:    hedgeAfter,
+	})
+	f, err := c.CreateReplicated("strag/f", 4<<20, 2, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data := make([]byte, readSize)
+	rand.New(rand.NewSource(11)).Read(data)
+	if _, err := f.WriteAt(data, 0); err != nil {
+		log.Fatal(err)
+	}
+
+	// Staggered brownouts: co-prime periods so the windows drift over the
+	// run and (rarely) overlap, like real background-task interference.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i, period := range []time.Duration{900 * time.Millisecond, 1300 * time.Millisecond} {
+		wg.Add(1)
+		go func(st *brownoutStore, period, offset time.Duration) {
+			defer wg.Done()
+			t := time.NewTimer(offset)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					st.brownout(window)
+					t.Reset(period)
+				}
+			}
+		}(stores[i], period, time.Duration(i+1)*200*time.Millisecond)
+	}
+
+	rbuf := make([]byte, readSize)
+	for i := 0; i < 3; i++ {
+		if _, err := f.ReadAt(rbuf, 0); err != nil {
+			log.Fatal(err)
+		}
+	}
+	lats := make([]time.Duration, 0, samples)
+	for i := 0; i < samples; i++ {
+		t0 := time.Now()
+		if _, err := f.ReadAt(rbuf, 0); err != nil {
+			log.Fatal(err)
+		}
+		lats = append(lats, time.Since(t0))
+		time.Sleep(gap)
+	}
+	close(stop)
+	wg.Wait()
+
+	reg := c.Pool().Metrics()
+	launched := reg.Counter("pool.hedge.launched").Value()
+	wins := reg.Counter("pool.hedge.wins").Value()
+	dupBytes := reg.Counter("pool.hedge.bytes").Value()
+	totalBytes := int64(samples+3) * readSize
+	ph := stragglerPhase{
+		Label:         label,
+		P50Ms:         ms(pctl(lats, 0.50)),
+		P99Ms:         ms(pctl(lats, 0.99)),
+		HedgeLaunched: launched,
+		HedgeWins:     wins,
+		DupBytesPct:   100 * float64(dupBytes) / float64(totalBytes),
+	}
+	fmt.Printf("  %-10s p50 %7.2f ms   p99 %7.2f ms   hedges %d (wins %d)   dup bytes %.2f%%\n",
+		label, ph.P50Ms, ph.P99Ms, launched, wins, ph.DupBytesPct)
+	return ph
+}
+
+// runSelectionPhase shows the other half of straggler handling: with one
+// replica persistently slow, per-chunk latency feedback must shift reads
+// to the healthy node without any hedging.
+func runSelectionPhase() float64 {
+	const readSize = 256 << 10
+	stores := []*brownoutStore{
+		{Store: pfs.NewMemStore(), slow: 5 * time.Millisecond},
+		{Store: pfs.NewMemStore(), slow: 5 * time.Millisecond},
+	}
+	cl := startQoSCluster([]pfs.Store{stores[0], stores[1]}, nil)
+	defer cl.Close()
+	c := cl.client(pfs.ClientConfig{Tenant: "victim"})
+	f, err := c.CreateReplicated("strag/sel", 4<<20, 2, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data := make([]byte, readSize)
+	if _, err := f.WriteAt(data, 0); err != nil {
+		log.Fatal(err)
+	}
+	slowIdx := int(f.Layout().Servers[0]) // cripple whichever node is primary
+	stores[slowIdx].slow = 5 * time.Millisecond
+	stores[slowIdx].until.Store(time.Now().Add(time.Hour).UnixNano())
+
+	const samples = 100
+	rbuf := make([]byte, readSize)
+	before := cl.datas[slowIdx].Metrics().Counter("data.read").Value()
+	for i := 0; i < samples; i++ {
+		if _, err := f.ReadAt(rbuf, 0); err != nil {
+			log.Fatal(err)
+		}
+	}
+	onSlow := cl.datas[slowIdx].Metrics().Counter("data.read").Value() - before
+	frac := float64(onSlow) / float64(samples)
+	fmt.Printf("  selection: %d/%d reads still hit the persistently slow primary (%.0f%%)\n",
+		onSlow, samples, 100*frac)
+	return frac
+}
+
+// stragglerExp runs the hedged-read A/B plus the replica-selection check.
+func stragglerExp() {
+	header("Straggler mitigation: replicated 1 MB reads under staggered disk brownouts")
+	unhedged := runStragglerPhase("unhedged", 0)
+	hedged := runStragglerPhase("hedged", 25*time.Millisecond)
+	selSlowFrac := runSelectionPhase()
+
+	cut := unhedged.P99Ms / hedged.P99Ms
+	winRate := 0.0
+	if hedged.HedgeLaunched > 0 {
+		winRate = float64(hedged.HedgeWins) / float64(hedged.HedgeLaunched)
+	}
+	pass := cut >= 2 && hedged.DupBytesPct < 5
+	fmt.Printf("\n  p99 cut %.1fx, hedge win rate %.0f%%, duplicate bytes %.2f%% (acceptance >=2x and <5%%: %v)\n",
+		cut, 100*winRate, hedged.DupBytesPct, pass)
+
+	mergeQoSReport("straggler", map[string]any{
+		"phases":               []stragglerPhase{unhedged, hedged},
+		"p99_cut":              cut,
+		"hedge_win_rate":       winRate,
+		"dup_bytes_pct":        hedged.DupBytesPct,
+		"selection_slow_frac":  selSlowFrac,
+		"pass_p99_2x_dup_5pct": pass,
+	})
+}

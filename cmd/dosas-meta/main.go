@@ -43,7 +43,17 @@ func main() {
 	common.RegisterBase(flag.CommandLine)
 	common.RegisterTelemetry(flag.CommandLine)
 	common.RegisterObservability(flag.CommandLine)
+	common.RegisterQoS(flag.CommandLine)
 	flag.Parse()
+
+	weights, err := common.TenantWeights()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var qos *pfs.QoSConfig
+	if !common.NoQoS {
+		qos = &pfs.QoSConfig{Slots: common.QoSSlots, Weights: weights}
+	}
 
 	tele := common.Sampler()
 	reg := metrics.NewRegistry()
@@ -98,6 +108,7 @@ func main() {
 		Events:            events,
 		SLO:               engine,
 		Archive:           archive,
+		QoS:               qos,
 	})
 	if err != nil {
 		log.Fatal(err)

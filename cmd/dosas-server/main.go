@@ -58,7 +58,17 @@ func main() {
 	common.RegisterBase(flag.CommandLine)
 	common.RegisterTelemetry(flag.CommandLine)
 	common.RegisterObservability(flag.CommandLine)
+	common.RegisterQoS(flag.CommandLine)
 	flag.Parse()
+
+	weights, err := common.TenantWeights()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var qos *pfs.QoSConfig
+	if !common.NoQoS {
+		qos = &pfs.QoSConfig{Slots: common.QoSSlots, Weights: weights}
+	}
 
 	if *node == "" {
 		*node = "data@" + *addr
@@ -180,11 +190,12 @@ func main() {
 	ds, err := pfs.NewDataServer(pfs.DataConfig{
 		Store: store, Metrics: reg, Node: *node, Trace: tr,
 		Telemetry: tele, Audit: alog, Events: events, SLO: engine, Tenants: tenants,
-		Archive: archive,
+		Archive: archive, QoS: qos,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer ds.Close()
 	rt, err := core.NewRuntime(core.RuntimeConfig{
 		Store:  store,
 		Mode:   mode,
@@ -195,13 +206,14 @@ func main() {
 			TotalCores:      *cores,
 			IOReservedCores: *reserved,
 		},
-		Pace:      *pace,
-		Metrics:   reg,
-		Trace:     tr,
-		Node:      *node,
-		Telemetry: tele,
-		Events:    events,
-		Tenants:   tenants,
+		Pace:          *pace,
+		Metrics:       reg,
+		Trace:         tr,
+		Node:          *node,
+		Telemetry:     tele,
+		Events:        events,
+		Tenants:       tenants,
+		TenantWeights: weights,
 	})
 	if err != nil {
 		log.Fatal(err)

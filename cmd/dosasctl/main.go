@@ -103,6 +103,7 @@ func main() {
 	slowDir := flag.String("slow-dir", "", "directory to persist captured flight bundles (see the slow command)")
 	var common daemonflags.Common
 	common.RegisterBase(flag.CommandLine)
+	common.RegisterHedge(flag.CommandLine)
 	flag.Parse()
 	ctlNoMux = common.NoMux
 	if _, err := common.ServeDebug(nil); err != nil {
@@ -192,6 +193,7 @@ func main() {
 		SlowThreshold: *slowThreshold,
 		SlowDir:       *slowDir,
 		DisableMux:    ctlNoMux,
+		HedgeAfter:    common.HedgeAfter,
 	})
 	if err != nil {
 		log.Fatal(err)

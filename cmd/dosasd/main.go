@@ -47,7 +47,13 @@ func main() {
 	common.RegisterBase(flag.CommandLine)
 	common.RegisterTelemetry(flag.CommandLine)
 	common.RegisterObservability(flag.CommandLine)
+	common.RegisterQoS(flag.CommandLine)
 	flag.Parse()
+
+	weights, err := common.TenantWeights()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	var policy dosas.Policy
 	switch *policyName {
@@ -91,6 +97,9 @@ func main() {
 		EventsMaxBytes:  common.EventsMaxBytes,
 		ArchiveDir:      common.ArchiveDir,
 		ArchiveMaxBytes: common.ArchiveMaxBytes,
+		TenantWeights:   weights,
+		QoSSlots:        common.QoSSlots,
+		DisableQoS:      common.NoQoS,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -111,6 +111,14 @@ type RuntimeConfig struct {
 	// which serves it via TenantStatsReq. Optional — nil disables
 	// attribution.
 	Tenants *tenant.Table
+	// TenantWeights are the active queue's weighted-fair scheduling
+	// weights: a weight-2 tenant's active requests earn credit twice as
+	// fast as a weight-1 tenant's. Absent tenants weigh 1; nil means
+	// equal weights.
+	TenantWeights map[string]float64
+	// QueueQuantum overrides the active queue's per-round WDRR credit in
+	// bytes (0 = ioqueue.DefaultQuantum).
+	QueueQuantum int
 }
 
 // Runtime is the Active I/O Runtime (R): it queues active requests,
@@ -213,6 +221,10 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
 	}
 	q := ioqueue.New()
 	q.SetTenants(cfg.Tenants)
+	q.SetWeights(cfg.TenantWeights)
+	if cfg.QueueQuantum > 0 {
+		q.SetQuantum(cfg.QueueQuantum)
+	}
 	est, err := NewEstimator(cfg.Estimator, q, cfg.Metrics)
 	if err != nil {
 		return nil, err
@@ -305,6 +317,11 @@ func (rt *Runtime) registerProbes() {
 		})
 	}
 }
+
+// QoSStats exposes the active queue's occupancy and weighted-fair
+// counters. The pfs data server (which sees this runtime only as an
+// ActiveHandler) folds them into the node's qos.* telemetry.
+func (rt *Runtime) QoSStats() ioqueue.Stats { return rt.queue.Stats() }
 
 // Close stops workers; queued requests are bounced. Safe to call more
 // than once.

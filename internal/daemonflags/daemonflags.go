@@ -7,9 +7,12 @@ package daemonflags
 
 import (
 	"flag"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 
 	"dosas/internal/eventlog"
@@ -52,6 +55,18 @@ type Common struct {
 	// retention budget across all tiers (0 = the 64 MiB default,
 	// negative = unbounded).
 	ArchiveMaxBytes int64
+	// TenantWeightsSpec is -tenant-weights: per-tenant weighted-fair
+	// scheduling weights as "tenant=weight,tenant=weight". Empty means
+	// equal weights for everyone.
+	TenantWeightsSpec string
+	// QoSSlots is -qos-slots: concurrently admitted requests per node
+	// gate (0 = the built-in default).
+	QoSSlots int
+	// NoQoS is -no-qos: disable the weighted-fair admission gates.
+	NoQoS bool
+	// HedgeAfter is -hedge-after: the client-side hedged-read fallback
+	// trigger on replicated files (0 = hedging disabled).
+	HedgeAfter time.Duration
 }
 
 // RegisterBase installs the flags every binary shares: the debug
@@ -83,6 +98,57 @@ func (c *Common) RegisterObservability(fs *flag.FlagSet) {
 		"persist per-node telemetry ticks as a durable archive under this directory (empty = disabled)")
 	fs.Int64Var(&c.ArchiveMaxBytes, "archive-max-bytes", 0,
 		"per-node telemetry archive retention budget (0 = 64MiB default, negative = unbounded)")
+}
+
+// RegisterQoS installs the server-side isolation flags: the per-tenant
+// scheduling weights and the admission-gate knobs.
+func (c *Common) RegisterQoS(fs *flag.FlagSet) {
+	fs.StringVar(&c.TenantWeightsSpec, "tenant-weights", "",
+		`per-tenant weighted-fair scheduling weights, "tenant=weight,tenant=weight" (empty = equal weights)`)
+	fs.IntVar(&c.QoSSlots, "qos-slots", 0,
+		"concurrently admitted requests per node admission gate (0 = built-in default)")
+	fs.BoolVar(&c.NoQoS, "no-qos", false,
+		"disable the weighted-fair admission gates (requests run in arrival order)")
+}
+
+// RegisterHedge installs the client-side -hedge-after flag.
+func (c *Common) RegisterHedge(fs *flag.FlagSet) {
+	fs.DurationVar(&c.HedgeAfter, "hedge-after", 0,
+		"duplicate a replicated read to the next-best replica after this delay and cancel the loser (0 = disabled)")
+}
+
+// TenantWeights parses -tenant-weights into the weight map consumed by
+// the admission gates. Nil (equal weights) for the empty spec.
+func (c *Common) TenantWeights() (map[string]float64, error) {
+	return ParseTenantWeights(c.TenantWeightsSpec)
+}
+
+// ParseTenantWeights parses a "tenant=weight,tenant=weight" spec.
+func ParseTenantWeights(spec string) (map[string]float64, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	m := make(map[string]float64)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return nil, fmt.Errorf("tenant-weights: %q is not tenant=weight", part)
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("tenant-weights: %q needs a positive weight", part)
+		}
+		m[name] = w
+	}
+	if len(m) == 0 {
+		return nil, nil
+	}
+	return m, nil
 }
 
 // Sampler builds a telemetry sampler per the -telemetry-tick

@@ -296,3 +296,178 @@ func TestDequeCompaction(t *testing.T) {
 		}
 	}
 }
+
+// --- WDRR tests ---
+
+// Two tenants with equal weights and equal item sizes must interleave
+// instead of draining in arrival order.
+func TestWDRRInterleavesTenants(t *testing.T) {
+	q := New()
+	q.SetQuantum(100)
+	for i := 0; i < 4; i++ {
+		q.Push(Item{ID: uint64(i + 1), Class: Active, Tenant: "a", Bytes: 100})
+	}
+	for i := 0; i < 4; i++ {
+		q.Push(Item{ID: uint64(i + 11), Class: Active, Tenant: "b", Bytes: 100})
+	}
+	var tenants []string
+	for i := 0; i < 8; i++ {
+		it, ok := q.TryPop()
+		if !ok {
+			t.Fatalf("pop %d failed", i)
+		}
+		tenants = append(tenants, it.Tenant)
+	}
+	// A strict FIFO would give aaaabbbb; WDRR must alternate service.
+	var aRun int
+	for _, tn := range tenants {
+		if tn == "a" {
+			aRun++
+			if aRun >= 4 {
+				t.Fatalf("tenant a served 4 in a row: %v", tenants)
+			}
+		} else {
+			aRun = 0
+		}
+	}
+}
+
+// A tenant with weight 3 must receive about 3x the bytes of a weight-1
+// tenant over a contended drain.
+func TestWDRRWeights(t *testing.T) {
+	q := New()
+	q.SetQuantum(64 << 10)
+	q.SetWeights(map[string]float64{"big": 3, "small": 1})
+	const itemSize = 64 << 10
+	for i := 0; i < 64; i++ {
+		q.Push(Item{ID: uint64(1000 + i), Class: Normal, Tenant: "big", Bytes: itemSize})
+		q.Push(Item{ID: uint64(2000 + i), Class: Normal, Tenant: "small", Bytes: itemSize})
+	}
+	// Drain the first half of the backlog and count by tenant.
+	counts := map[string]int{}
+	for i := 0; i < 64; i++ {
+		it, ok := q.TryPop()
+		if !ok {
+			t.Fatalf("pop %d failed", i)
+		}
+		counts[it.Tenant]++
+	}
+	if counts["big"] < 40 || counts["big"] > 56 {
+		t.Fatalf("weight-3 tenant got %d of 64 slots, want ~48 (3:1)", counts["big"])
+	}
+}
+
+// Meta class drains after Normal but before Active.
+func TestMetaClassOrdering(t *testing.T) {
+	q := New()
+	q.Push(Item{ID: 1, Class: Active})
+	q.Push(Item{ID: 2, Class: Meta})
+	q.Push(Item{ID: 3, Class: Normal})
+	var order []uint64
+	for i := 0; i < 3; i++ {
+		it, _ := q.TryPop()
+		order = append(order, it.ID)
+	}
+	if order[0] != 3 || order[1] != 2 || order[2] != 1 {
+		t.Fatalf("order = %v, want [3 2 1]", order)
+	}
+	st := q.Stats()
+	if st.MetaLen != 0 || st.Throttled != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// Zero-byte metadata ops still consume credit (the min-cost floor), so a
+// stat storm from one tenant cannot starve another tenant's meta ops.
+func TestMetaStormFairness(t *testing.T) {
+	q := New()
+	for i := 0; i < 100; i++ {
+		q.Push(Item{ID: uint64(i + 1), Class: Meta, Tenant: "storm"})
+	}
+	q.Push(Item{ID: 999, Class: Meta, Tenant: "victim"})
+	// The victim's single op must surface within roughly one round of
+	// credit (quantum/minCost items), not behind all 100 storm ops.
+	limit := int(2*DefaultQuantum/minCost) + 2
+	for i := 0; i < limit; i++ {
+		it, ok := q.TryPop()
+		if !ok {
+			t.Fatal("queue empty early")
+		}
+		if it.ID == 999 {
+			return
+		}
+	}
+	t.Fatalf("victim meta op not served within %d pops", limit)
+}
+
+// Throttled and DeficitBytes surface via Stats when shaping bites.
+func TestQoSStats(t *testing.T) {
+	q := New()
+	q.SetQuantum(10)
+	q.Push(Item{ID: 1, Class: Active, Tenant: "a", Bytes: 100 << 10})
+	q.Push(Item{ID: 2, Class: Active, Tenant: "b", Bytes: 100 << 10})
+	for i := 0; i < 2; i++ {
+		if _, ok := q.TryPop(); !ok {
+			t.Fatalf("pop %d failed", i)
+		}
+	}
+	if st := q.Stats(); st.Throttled == 0 {
+		t.Fatalf("expected throttle events, stats = %+v", st)
+	}
+	// DeficitBytes reflects banked credit while tenants are queued.
+	q2 := New()
+	q2.SetQuantum(1 << 20)
+	q2.Push(Item{ID: 1, Class: Normal, Tenant: "a", Bytes: 4 << 20})
+	q2.Push(Item{ID: 2, Class: Normal, Tenant: "b", Bytes: 4 << 20})
+	if st := q2.Stats(); st.Tenants != 2 {
+		t.Fatalf("tenants = %d, want 2", st.Tenants)
+	}
+}
+
+// An idle tenant must not bank unbounded credit: after its queue empties
+// it rejoins with a fresh bucket.
+func TestNoCreditBanking(t *testing.T) {
+	q := New()
+	q.SetQuantum(100)
+	q.Push(Item{ID: 1, Class: Active, Tenant: "a", Bytes: 100})
+	if it, _ := q.TryPop(); it.ID != 1 {
+		t.Fatal("pop failed")
+	}
+	if st := q.Stats(); st.DeficitBytes != 0 {
+		t.Fatalf("credit banked across idle: %+v", st)
+	}
+}
+
+// PendingActive keeps global arrival order across tenant buckets.
+func TestSnapshotArrivalOrder(t *testing.T) {
+	q := New()
+	q.Push(Item{ID: 1, Class: Active, Tenant: "b"})
+	q.Push(Item{ID: 2, Class: Active, Tenant: "a"})
+	q.Push(Item{ID: 3, Class: Active, Tenant: "b"})
+	snap := q.PendingActive()
+	if len(snap) != 3 || snap[0].ID != 1 || snap[1].ID != 2 || snap[2].ID != 3 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+// Remove out of a multi-tenant ring keeps counters consistent.
+func TestRemoveMultiTenant(t *testing.T) {
+	q := New()
+	q.Push(Item{ID: 1, Class: Active, Tenant: "a", Bytes: 10})
+	q.Push(Item{ID: 2, Class: Active, Tenant: "b", Bytes: 20})
+	q.Push(Item{ID: 3, Class: Active, Tenant: "a", Bytes: 30})
+	if it, ok := q.Remove(2); !ok || it.Bytes != 20 {
+		t.Fatalf("remove = %+v %v", it, ok)
+	}
+	if st := q.Stats(); st.ActiveLen != 2 || st.ActiveBytes != 40 || st.Tenants != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	ids := map[uint64]bool{}
+	for i := 0; i < 2; i++ {
+		it, _ := q.TryPop()
+		ids[it.ID] = true
+	}
+	if !ids[1] || !ids[3] {
+		t.Fatalf("ids = %v", ids)
+	}
+}

@@ -2,7 +2,9 @@ package pfs
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"time"
 
 	"dosas/internal/transport"
 	"dosas/internal/wire"
@@ -37,6 +39,14 @@ type ClientConfig struct {
 	// ops to it. Empty means the default tenant and keeps the wire format
 	// byte-identical to pre-tenant clients.
 	Tenant string
+	// HedgeAfter enables hedged reads on replicated files: when the
+	// fastest replica has not finished a segment within the delay, the
+	// read is duplicated to the next-best replica and the loser is
+	// cancelled. The configured value is the fallback trigger, used until
+	// the per-server latency tracker has enough samples to derive a
+	// quantile-based one (≈p95 of observed chunk latency). Zero disables
+	// hedging.
+	HedgeAfter time.Duration
 }
 
 // Client is the file system client: it resolves names at the metadata
@@ -146,7 +156,7 @@ func (f *File) SetSize(size uint64) error {
 
 // Open looks an existing file up by name.
 func (c *Client) Open(name string) (*File, error) {
-	resp, err := c.pool.Call(c.cfg.MetaAddr, &wire.OpenReq{Name: name})
+	resp, err := c.pool.Call(c.cfg.MetaAddr, &wire.OpenReq{Name: name, Tenant: c.cfg.Tenant})
 	if err != nil {
 		return nil, err
 	}
@@ -159,7 +169,7 @@ func (c *Client) Open(name string) (*File, error) {
 
 // Stat returns the metadata record for name.
 func (c *Client) Stat(name string) (*wire.StatResp, error) {
-	resp, err := c.pool.Call(c.cfg.MetaAddr, &wire.StatReq{Name: name})
+	resp, err := c.pool.Call(c.cfg.MetaAddr, &wire.StatReq{Name: name, Tenant: c.cfg.Tenant})
 	if err != nil {
 		return nil, err
 	}
@@ -207,7 +217,7 @@ func (c *Client) Remove(name string) error {
 
 // List returns names with the given prefix in lexical order.
 func (c *Client) List(prefix string) ([]string, error) {
-	resp, err := c.pool.Call(c.cfg.MetaAddr, &wire.ListReq{Prefix: prefix})
+	resp, err := c.pool.Call(c.cfg.MetaAddr, &wire.ListReq{Prefix: prefix, Tenant: c.cfg.Tenant})
 	if err != nil {
 		return nil, err
 	}
@@ -277,11 +287,19 @@ func (f *File) ReadAt(p []byte, off uint64) (int, error) {
 }
 
 // readSegment pulls one server-local range, chunked under the frame
-// limit, failing over to surviving replicas when a server is unreachable.
+// limit. Replicas are tried in expected-latency order (straggler-aware:
+// the pool's tracker scores each candidate server for this request size,
+// unknown and long-idle servers scoring best), failing over to the next
+// on error. With hedging enabled, the second-best replica is raced
+// against a primary that blows through its latency budget.
 func (f *File) readSegment(dst []byte, seg Segment) error {
+	order := f.replicaOrder(seg, len(dst))
+	if f.c.cfg.HedgeAfter > 0 && len(order) > 1 {
+		return f.readSegmentHedged(dst, seg, order)
+	}
 	var lastErr error
-	for r := 0; r < f.layout.ReplicaCount(); r++ {
-		if err := f.readSegmentReplica(dst, seg, r); err != nil {
+	for _, r := range order {
+		if err := f.readSegmentReplica(dst, seg, r, nil); err != nil {
 			lastErr = err
 			continue
 		}
@@ -290,21 +308,149 @@ func (f *File) readSegment(dst []byte, seg Segment) error {
 	return lastErr
 }
 
+// replicaOrder returns the segment's replica indices sorted by the
+// latency tracker's score for this request size (ties keep layout order,
+// so an unmeasured cluster behaves exactly as before).
+func (f *File) replicaOrder(seg Segment, bytes int) []int {
+	reps := f.layout.ReplicaCount()
+	order := make([]int, reps)
+	for i := range order {
+		order[i] = i
+	}
+	if reps == 1 {
+		return order
+	}
+	lat := f.c.pool.Latency()
+	score := make([]float64, reps)
+	for i := range score {
+		addr, err := f.c.DataAddr(ReplicaServer(f.layout, seg.Slot, i))
+		if err == nil {
+			score[i] = lat.Score(addr, bytes)
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool { return score[order[a]] < score[order[b]] })
+	return order
+}
+
 // readSegmentReplica reads the segment from replica r through the
 // sliding-window path, keeping WindowDepth chunks in flight. Chained
 // placement guarantees the replica's local offsets equal the primary's.
-func (f *File) readSegmentReplica(dst []byte, seg Segment, r int) error {
+// ctl, when non-nil, makes the read cancellable (hedging).
+func (f *File) readSegmentReplica(dst []byte, seg Segment, r int, ctl *ReadControl) error {
 	addr, err := f.c.DataAddr(ReplicaServer(f.layout, seg.Slot, r))
 	if err != nil {
 		return err
 	}
 	handle := ReplicaHandle(f.handle, r)
-	_, err = f.c.pool.ReadWindowed(addr, handle, dst, seg.LocalOffset,
-		f.c.cfg.WindowDepth, f.c.cfg.TransferChunk)
+	_, err = f.c.pool.ReadWindowedCtl(addr, handle, dst, seg.LocalOffset,
+		f.c.cfg.WindowDepth, f.c.cfg.TransferChunk, ctl)
 	if err != nil {
 		return fmt.Errorf("pfs: read replica %d: %w", r, err)
 	}
 	return nil
+}
+
+// readSegmentHedged reads the segment from the best-scored replica, and —
+// if that replica has not delivered within the hedge delay — duplicates
+// the read to the second-best into scratch space, cancelling whichever
+// copy loses. dst is only ever written by the primary read and by the
+// final scratch copy after the primary goroutine has exited, so a losing
+// primary's zero-filled cancelled bytes can never clobber winning data.
+func (f *File) readSegmentHedged(dst []byte, seg Segment, order []int) error {
+	pool := f.c.pool
+	prim, hedge := order[0], order[1]
+	primAddr, err := f.c.DataAddr(ReplicaServer(f.layout, seg.Slot, prim))
+	if err != nil {
+		return err
+	}
+	primCtl := pool.NewReadControl(primAddr)
+	primDone := make(chan error, 1)
+	go func() { primDone <- f.readSegmentReplica(dst, seg, prim, primCtl) }()
+
+	delay := pool.Latency().HedgeDelay(primAddr, len(dst), f.c.cfg.HedgeAfter)
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	select {
+	case err := <-primDone:
+		if err == nil {
+			return nil
+		}
+		return f.readFailover(dst, seg, order[1:], err)
+	case <-timer.C:
+	}
+
+	// Primary is straggling: race the hedge replica into scratch space.
+	hedgeAddr, err := f.c.DataAddr(ReplicaServer(f.layout, seg.Slot, hedge))
+	if err != nil {
+		// Cannot hedge; fall back to waiting for the primary alone.
+		if perr := <-primDone; perr != nil {
+			return f.readFailover(dst, seg, order[1:], perr)
+		}
+		return nil
+	}
+	pool.reg.Counter("pool.hedge.launched").Inc()
+	scratch := wire.GetBuf(len(dst))[:len(dst)]
+	hedgeCtl := pool.NewReadControl(hedgeAddr)
+	hedgeDone := make(chan error, 1)
+	go func() {
+		n, herr := pool.ReadWindowedCtl(hedgeAddr, ReplicaHandle(f.handle, hedge),
+			scratch, seg.LocalOffset, f.c.cfg.WindowDepth, f.c.cfg.TransferChunk, hedgeCtl)
+		pool.reg.Counter("pool.hedge.bytes").Add(int64(n))
+		hedgeDone <- herr
+	}()
+
+	select {
+	case perr := <-primDone:
+		if perr == nil {
+			// Primary won after all: reclaim the hedge's bandwidth and
+			// recycle its scratch once its window loop has let go of it.
+			pool.reg.Counter("pool.hedge.cancelled").Inc()
+			hedgeCtl.Cancel()
+			go func() {
+				<-hedgeDone
+				wire.PutBuf(scratch)
+			}()
+			return nil
+		}
+		// Primary failed outright; the hedge is now the only copy running.
+		if herr := <-hedgeDone; herr == nil {
+			copy(dst, scratch)
+			wire.PutBuf(scratch)
+			pool.reg.Counter("pool.hedge.wins").Inc()
+			return nil
+		}
+		wire.PutBuf(scratch)
+		return f.readFailover(dst, seg, order[2:], perr)
+	case herr := <-hedgeDone:
+		if herr == nil {
+			// Hedge won: cancel the primary and wait for its goroutine to
+			// stop touching dst before installing the winning bytes.
+			primCtl.Cancel()
+			<-primDone
+			copy(dst, scratch)
+			wire.PutBuf(scratch)
+			pool.reg.Counter("pool.hedge.wins").Inc()
+			return nil
+		}
+		// Hedge failed; primary keeps running.
+		wire.PutBuf(scratch)
+		if perr := <-primDone; perr != nil {
+			return f.readFailover(dst, seg, order[2:], perr)
+		}
+		return nil
+	}
+}
+
+// readFailover walks the remaining replicas in order after a failure.
+func (f *File) readFailover(dst []byte, seg Segment, rest []int, lastErr error) error {
+	for _, r := range rest {
+		if err := f.readSegmentReplica(dst, seg, r, nil); err != nil {
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	return lastErr
 }
 
 // WriteAt stores p at off, fanning segments out in parallel, then records

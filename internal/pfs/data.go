@@ -3,10 +3,12 @@ package pfs
 import (
 	"encoding/json"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"dosas/internal/audit"
 	"dosas/internal/eventlog"
+	"dosas/internal/ioqueue"
 	"dosas/internal/metrics"
 	"dosas/internal/slo"
 	"dosas/internal/telemetry"
@@ -70,6 +72,10 @@ type DataConfig struct {
 	// RangeQueryReq. Owned by the daemon wiring (it hooks the sampler
 	// and closes it); nil when the node runs without -archive-dir.
 	Archive *tsdb.Archive
+	// QoS, when non-nil, gates every read and write through a
+	// weighted-fair admission queue (see QoSGate). Nil disables
+	// enforcement: requests serve in arrival order, as before.
+	QoS *QoSConfig
 }
 
 // DataServer is one storage node's I/O service: it stores the server-local
@@ -87,7 +93,11 @@ type DataServer struct {
 	tenants *tenant.Table
 	archive *tsdb.Archive
 	started time.Time
-	active  ActiveHandler
+	// active is the attached runtime (an ActiveHandler), behind an
+	// atomic: the telemetry sampler's qos.* probes read it from their
+	// own goroutine, and cluster wiring attaches the runtime after the
+	// sampler has already started ticking.
+	active atomic.Value
 
 	// Zero-copy read path state: ranger is the store's RangeReader side
 	// (nil for MemStore), zeroCopy gates the fast path (on by default,
@@ -96,6 +106,17 @@ type DataServer struct {
 	ranger    RangeReader
 	zeroCopy  bool
 	wireStats wire.FrameStats
+
+	// QoS enforcement: gate admits reads/writes in weighted-fair order
+	// (nil = disabled), cancels tracks in-flight normal reads by ReqID.
+	gate    *QoSGate
+	cancels cancelRegistry
+}
+
+// qosStatser lets the data server fold an attached runtime's queue QoS
+// counters into the node's qos.* telemetry without importing core.
+type qosStatser interface {
+	QoSStats() ioqueue.Stats
 }
 
 // NewDataServer builds a data server over cfg.Store.
@@ -114,6 +135,26 @@ func NewDataServer(cfg DataConfig) (*DataServer, error) {
 	}
 	ds.ranger, _ = cfg.Store.(RangeReader)
 	ds.zeroCopy = true
+	if cfg.QoS != nil {
+		ds.gate = NewQoSGate(*cfg.QoS)
+		ds.gate.SetTenants(cfg.Tenants)
+	}
+	if s := cfg.Telemetry; s != nil && ds.gate != nil {
+		// Weighted-fair QoS activity, node-wide: the admission gate's
+		// queue plus (when a runtime is attached) the active queue.
+		// qos.throttled is heads-deferred-for-credit per second — the
+		// shaping actually biting; qos.deficit is banked credit in bytes.
+		s.Register("qos.throttled", telemetry.RateProbe(func() float64 {
+			return float64(ds.qosStats().Throttled)
+		}, s.Interval()))
+		s.Register("qos.deficit", func() float64 {
+			return float64(ds.qosStats().DeficitBytes)
+		})
+		s.Register("qos.queued", func() float64 {
+			st := ds.gate.Stats()
+			return float64(st.NormalLen + st.MetaLen + st.ActiveLen)
+		})
+	}
 	if s := cfg.Telemetry; s != nil && ds.ranger != nil {
 		// How a disk-backed node's read bytes leave it: kernel-moved
 		// (sendfile) vs staged through user space (pooled copies,
@@ -129,6 +170,26 @@ func NewDataServer(cfg DataConfig) (*DataServer, error) {
 	return ds, nil
 }
 
+// qosStats sums the admission gate's queue counters with an attached
+// runtime's, so one telemetry series covers the whole node.
+func (ds *DataServer) qosStats() ioqueue.Stats {
+	st := ds.gate.Stats()
+	if qs, ok := ds.activeHandler().(qosStatser); ok {
+		rt := qs.QoSStats()
+		st.Throttled += rt.Throttled
+		st.DeficitBytes += rt.DeficitBytes
+	}
+	return st
+}
+
+// Gate exposes the admission gate (nil when QoS is disabled) — tests
+// and the bench harness inspect its stats.
+func (ds *DataServer) Gate() *QoSGate { return ds.gate }
+
+// Close releases the admission gate's dispatcher. The server remains
+// usable — subsequent requests are admitted immediately (fail open).
+func (ds *DataServer) Close() { ds.gate.Close() }
+
 // WireStats exposes the server's frame-transport counters; the RPC
 // server shares this struct across every connection's framing writer.
 func (ds *DataServer) WireStats() *wire.FrameStats { return &ds.wireStats }
@@ -141,7 +202,13 @@ func (ds *DataServer) SetZeroCopy(on bool) { ds.zeroCopy = on }
 
 // SetActiveHandler attaches the active-storage runtime. Must be called
 // before the server starts handling requests.
-func (ds *DataServer) SetActiveHandler(h ActiveHandler) { ds.active = h }
+func (ds *DataServer) SetActiveHandler(h ActiveHandler) { ds.active.Store(h) }
+
+// activeHandler returns the attached runtime, or nil when none is.
+func (ds *DataServer) activeHandler() ActiveHandler {
+	h, _ := ds.active.Load().(ActiveHandler)
+	return h
+}
 
 // Store exposes the backing store, for the active runtime to read stripes
 // locally (the whole point of active storage: no network hop to the data).
@@ -162,25 +229,22 @@ func (ds *DataServer) Handle(msg wire.Message) (wire.Message, error) {
 	case *wire.TruncReq:
 		return ds.trunc(req)
 	case *wire.ActiveReadReq:
-		if ds.active == nil {
-			return nil, fmt.Errorf("%w: no active runtime attached", ErrUnsupported)
+		if h := ds.activeHandler(); h != nil {
+			return h.HandleActive(req)
 		}
-		return ds.active.HandleActive(req)
+		return nil, fmt.Errorf("%w: no active runtime attached", ErrUnsupported)
 	case *wire.ProbeReq:
-		if ds.active == nil {
-			return &wire.ProbeResp{}, nil
+		if h := ds.activeHandler(); h != nil {
+			return h.HandleProbe()
 		}
-		return ds.active.HandleProbe()
+		return &wire.ProbeResp{}, nil
 	case *wire.CancelReq:
-		if ds.active == nil {
-			return &wire.CancelResp{}, nil
-		}
-		return ds.active.HandleCancel(req)
+		return ds.cancel(req)
 	case *wire.TransformReq:
-		if ds.active == nil {
-			return nil, fmt.Errorf("%w: no active runtime attached", ErrUnsupported)
+		if h := ds.activeHandler(); h != nil {
+			return h.HandleTransform(req)
 		}
-		return ds.active.HandleTransform(req)
+		return nil, fmt.Errorf("%w: no active runtime attached", ErrUnsupported)
 	case *wire.LocalSizeReq:
 		return &wire.LocalSizeResp{Size: ds.store.Size(req.Handle)}, nil
 	case *wire.StatsReq:
@@ -213,7 +277,7 @@ func (ds *DataServer) Handle(msg wire.Message) (wire.Message, error) {
 // active requests to bounce.
 func (ds *DataServer) health() (wire.Message, error) {
 	checks := []telemetry.Check{{Name: "store", OK: true, Detail: "attached"}}
-	if hc, ok := ds.active.(healthChecker); ok {
+	if hc, ok := ds.activeHandler().(healthChecker); ok {
 		checks = append(checks, hc.HealthChecks()...)
 	} else {
 		checks = append(checks, telemetry.Check{Name: "active", OK: true, Detail: "no runtime attached"})
@@ -240,7 +304,7 @@ func (ds *DataServer) stats() (wire.Message, error) {
 		return nil, fmt.Errorf("%w: encoding stats: %v", ErrInvalid, err)
 	}
 	mode := ""
-	if m, ok := ds.active.(interface{ ModeName() string }); ok {
+	if m, ok := ds.activeHandler().(interface{ ModeName() string }); ok {
 		mode = m.ModeName()
 	}
 	return &wire.StatsResp{Node: ds.node, Role: "data", Mode: mode, Stats: js}, nil
@@ -324,8 +388,13 @@ func (ds *DataServer) SyncWireStats() {
 // where the read path's pooled buffer is recycled: the response frame is
 // a copy of it, so once the frame has been written the buffer is free.
 func (ds *DataServer) PostWrite(req, resp wire.Message) {
-	switch req.(type) {
-	case *wire.ReadReq, *wire.WriteReq:
+	switch r := req.(type) {
+	case *wire.ReadReq:
+		ds.reg.Gauge("data.inflight").Add(-1)
+		if r.ReqID != 0 {
+			ds.cancels.unregister(r.ReqID)
+		}
+	case *wire.WriteReq:
 		ds.reg.Gauge("data.inflight").Add(-1)
 	}
 	if rr, ok := resp.(*wire.ReadResp); ok {
@@ -347,6 +416,23 @@ func (ds *DataServer) PostWrite(req, resp wire.Message) {
 // frame head and tail) outweighs the saved copy.
 const zeroCopyMin = 64 << 10
 
+// cancel answers a CancelReq: normal-read registry first, then the
+// active runtime. Hedge-tagged ids (HedgeIDBit) belong exclusively to
+// the registry — an unknown one leaves a tombstone so the ReadReq it
+// raced stops before serving (mux handlers dispatch concurrently, so
+// the cancel can overtake its target).
+func (ds *DataServer) cancel(req *wire.CancelReq) (wire.Message, error) {
+	if ds.cancels.cancel(req.RequestID) {
+		ds.reg.Counter("data.cancel").Inc()
+		return &wire.CancelResp{Found: true}, nil
+	}
+	h := ds.activeHandler()
+	if req.RequestID&HedgeIDBit != 0 || h == nil {
+		return &wire.CancelResp{}, nil
+	}
+	return h.HandleCancel(req)
+}
+
 func (ds *DataServer) read(req *wire.ReadReq) (wire.Message, error) {
 	ds.reg.Counter("data.read").Inc()
 	ds.reg.Gauge("data.inflight").Add(1) // released by PostWrite
@@ -354,6 +440,28 @@ func (ds *DataServer) read(req *wire.ReadReq) (wire.Message, error) {
 	defer func() {
 		ds.tenants.Account(req.Tenant, func(s *tenant.Stats) { s.ReadOps++; s.BytesRead += served })
 	}()
+	// Cancellable read: register before the gate so a CancelReq can
+	// withdraw the ticket while it queues. PostWrite unregisters.
+	var cs *cancelState
+	if req.ReqID != 0 {
+		cs = ds.cancels.register(req.ReqID)
+	}
+	if ds.gate != nil {
+		tk := ds.gate.Enqueue(ioqueue.Normal, req.Tenant, uint64(req.Length))
+		if cs != nil {
+			ds.cancels.attach(cs, tk, ds.gate)
+		}
+		if !tk.Wait() {
+			ds.reg.Counter("data.read_cancelled").Inc()
+			return nil, fmt.Errorf("read %d: %w", req.ReqID, ErrCancelled)
+		}
+		defer tk.Release()
+	}
+	if cs != nil && cs.flag.Load() {
+		// Cancelled between admission and service: answer small.
+		ds.reg.Counter("data.read_cancelled").Inc()
+		return nil, fmt.Errorf("read %d: %w", req.ReqID, ErrCancelled)
+	}
 	if req.Length > wire.MaxFrameSize-64 {
 		return nil, fmt.Errorf("%w: read of %d bytes exceeds frame budget", ErrInvalid, req.Length)
 	}
@@ -365,7 +473,11 @@ func (ds *DataServer) read(req *wire.ReadReq) (wire.Message, error) {
 			ds.reg.Counter("data.bytes_read").Add(int64(n))
 			served = n
 			// Closed in PostWrite once the frame has left the server.
-			return &wire.ReadResp{Payload: p, EOF: req.Offset+n >= size}, nil
+			resp := &wire.ReadResp{Payload: p, EOF: req.Offset+n >= size}
+			if cs != nil {
+				resp.Cancelled = &cs.flag
+			}
+			return resp, nil
 		}
 		// Any failure (a Truncate/Remove race, fd exhaustion) falls back
 		// to the copy path, which re-reads whatever is there now.
@@ -382,12 +494,21 @@ func (ds *DataServer) read(req *wire.ReadReq) (wire.Message, error) {
 	// layer counts any further copies (wire.copied_bytes).
 	ds.reg.Counter("data.bytes_copied").Add(int64(n))
 	eof := req.Offset+uint64(n) >= size
-	return &wire.ReadResp{Data: buf[:n], EOF: eof, PoolBuf: buf}, nil
+	resp := &wire.ReadResp{Data: buf[:n], EOF: eof, PoolBuf: buf}
+	if cs != nil {
+		resp.Cancelled = &cs.flag
+	}
+	return resp, nil
 }
 
 func (ds *DataServer) write(req *wire.WriteReq) (wire.Message, error) {
 	ds.reg.Counter("data.write").Inc()
 	ds.reg.Gauge("data.inflight").Add(1) // released by PostWrite
+	if ds.gate != nil {
+		tk := ds.gate.Enqueue(ioqueue.Normal, req.Tenant, uint64(len(req.Data)))
+		tk.Wait() // writes are not cancellable; Wait always grants
+		defer tk.Release()
+	}
 	n, err := ds.store.WriteAt(req.Handle, req.Data, req.Offset)
 	if err != nil {
 		ds.tenants.Account(req.Tenant, func(s *tenant.Stats) { s.WriteOps++ })

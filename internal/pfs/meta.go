@@ -9,9 +9,11 @@ import (
 	"time"
 
 	"dosas/internal/eventlog"
+	"dosas/internal/ioqueue"
 	"dosas/internal/metrics"
 	"dosas/internal/slo"
 	"dosas/internal/telemetry"
+	"dosas/internal/tenant"
 	"dosas/internal/tsdb"
 	"dosas/internal/wire"
 )
@@ -54,6 +56,13 @@ type MetaConfig struct {
 	// RangeQueryReq. Owned by the daemon wiring; nil when the node runs
 	// without -archive-dir.
 	Archive *tsdb.Archive
+	// QoS, when non-nil, admits namespace lookups (open/stat/list)
+	// through a weighted-fair gate on the metadata class, so one
+	// tenant's stat storm queues against its own credit instead of
+	// starving everyone's path resolution.
+	QoS *QoSConfig
+	// Tenants receives gate queue-wait accounting; optional.
+	Tenants *tenant.Table
 }
 
 // DefaultStripeSize is the stripe size used when callers pass zero.
@@ -63,8 +72,9 @@ const DefaultStripeSize = 64 << 10
 // create/open/stat/remove/list plus size tracking, with round-robin layout
 // assignment over the cluster's data servers.
 type MetaServer struct {
-	cfg MetaConfig
-	reg *metrics.Registry
+	cfg  MetaConfig
+	reg  *metrics.Registry
+	gate *QoSGate // nil when QoS is disabled
 
 	mu         sync.Mutex
 	byName     map[string]*FileRec
@@ -95,6 +105,10 @@ func NewMetaServer(cfg MetaConfig) (*MetaServer, error) {
 		nextHandle: 1,
 		now:        time.Now,
 		started:    time.Now(),
+	}
+	if cfg.QoS != nil {
+		m.gate = NewQoSGate(*cfg.QoS)
+		m.gate.SetTenants(cfg.Tenants)
 	}
 	if cfg.JournalPath != "" {
 		j, err := openJournal(cfg.JournalPath)
@@ -135,14 +149,40 @@ func (m *MetaServer) registerProbes() {
 		defer m.mu.Unlock()
 		return float64(len(m.byName))
 	})
+	if m.gate != nil {
+		s.Register("qos.throttled", telemetry.RateProbe(func() float64 {
+			return float64(m.gate.Stats().Throttled)
+		}, s.Interval()))
+		s.Register("qos.deficit", func() float64 {
+			return float64(m.gate.Stats().DeficitBytes)
+		})
+		s.Register("qos.queued", func() float64 {
+			return float64(m.gate.Stats().MetaLen)
+		})
+	}
+}
+
+// admit passes one namespace lookup through the metadata QoS gate.
+// Namespace ops are priced flat — one stat costs what one stat costs —
+// so the WDRR credit divides lookup slots, not bytes.
+func (m *MetaServer) admit(tenantID string) (*Ticket, error) {
+	if m.gate == nil {
+		return nil, nil
+	}
+	tk := m.gate.Enqueue(ioqueue.Meta, tenantID, 1)
+	if !tk.Wait() {
+		return nil, fmt.Errorf("%w: metadata lookup", ErrCancelled)
+	}
+	return tk, nil
 }
 
 // Metrics returns the server's metric registry.
 func (m *MetaServer) Metrics() *metrics.Registry { return m.reg }
 
-// Close stops the sampler and releases the journal.
+// Close stops the sampler, the QoS gate, and releases the journal.
 func (m *MetaServer) Close() error {
 	m.cfg.Telemetry.Close()
+	m.gate.Close()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.journal != nil {
@@ -282,6 +322,11 @@ func (m *MetaServer) create(req *wire.CreateReq) (wire.Message, error) {
 
 func (m *MetaServer) open(req *wire.OpenReq) (wire.Message, error) {
 	m.reg.Counter("meta.open").Inc()
+	tk, err := m.admit(req.Tenant)
+	if err != nil {
+		return nil, err
+	}
+	defer tk.Release()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	rec, ok := m.byName[req.Name]
@@ -293,6 +338,11 @@ func (m *MetaServer) open(req *wire.OpenReq) (wire.Message, error) {
 
 func (m *MetaServer) stat(req *wire.StatReq) (wire.Message, error) {
 	m.reg.Counter("meta.stat").Inc()
+	tk, err := m.admit(req.Tenant)
+	if err != nil {
+		return nil, err
+	}
+	defer tk.Release()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	rec, ok := m.byName[req.Name]
@@ -325,6 +375,11 @@ func (m *MetaServer) remove(req *wire.RemoveReq) (wire.Message, error) {
 
 func (m *MetaServer) list(req *wire.ListReq) (wire.Message, error) {
 	m.reg.Counter("meta.list").Inc()
+	tk, err := m.admit(req.Tenant)
+	if err != nil {
+		return nil, err
+	}
+	defer tk.Release()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var names []string

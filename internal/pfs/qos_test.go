@@ -1,0 +1,562 @@
+package pfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dosas/internal/ioqueue"
+	"dosas/internal/transport"
+	"dosas/internal/wire"
+)
+
+// TestQoSGateWeightedOrder pins the gate's admission order to WDRR: with
+// the single slot held, queued tenants drain proportionally to their
+// weights, not in arrival order.
+func TestQoSGateWeightedOrder(t *testing.T) {
+	g := NewQoSGate(QoSConfig{
+		Slots:   1,
+		Quantum: 4096,
+		Weights: map[string]float64{"a": 2, "b": 1},
+	})
+	defer g.Close()
+
+	// Occupy the only slot so everything below queues behind it.
+	hold := g.Enqueue(ioqueue.Normal, "warm", 1)
+	if !hold.Wait() {
+		t.Fatal("warm ticket not admitted")
+	}
+
+	order := make(chan string, 8)
+	var wg sync.WaitGroup
+	enq := func(tenant string) {
+		tk := g.Enqueue(ioqueue.Normal, tenant, 4096)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if tk.Wait() {
+				order <- tenant
+				tk.Release()
+			}
+		}()
+	}
+	// Arrival order alternates so FIFO admission would yield a,b,a,b...
+	for i := 0; i < 4; i++ {
+		enq("a")
+		enq("b")
+	}
+	hold.Release()
+	wg.Wait()
+	close(order)
+
+	var got []string
+	for tenant := range order {
+		got = append(got, tenant)
+	}
+	if len(got) != 8 {
+		t.Fatalf("granted %d tickets, want 8", len(got))
+	}
+	// First WDRR round: weight-2 "a" gets two grants per one of "b".
+	firstA := 0
+	for _, tenant := range got[:3] {
+		if tenant == "a" {
+			firstA++
+		}
+	}
+	if firstA != 2 {
+		t.Errorf("first round grants = %v, want 2×a + 1×b in the first 3", got[:3])
+	}
+}
+
+// TestQoSGateCancelWhileQueued: a queued ticket withdrawn by Cancel must
+// wake its waiter with false, consume no slot, and leave the gate
+// serving later arrivals.
+func TestQoSGateCancelWhileQueued(t *testing.T) {
+	g := NewQoSGate(QoSConfig{Slots: 1})
+	defer g.Close()
+
+	hold := g.Enqueue(ioqueue.Normal, "warm", 1)
+	if !hold.Wait() {
+		t.Fatal("warm ticket not admitted")
+	}
+	victim := g.Enqueue(ioqueue.Normal, "a", 4096)
+	if !g.Cancel(victim) {
+		t.Fatal("Cancel of a queued ticket reported not found")
+	}
+	if victim.Wait() {
+		t.Fatal("cancelled ticket was admitted")
+	}
+	victim.Release() // must be a harmless no-op without a slot
+
+	// Cancelling again — or cancelling an already-granted ticket — is a
+	// polite no-op.
+	if g.Cancel(victim) {
+		t.Error("second Cancel reported found")
+	}
+	if g.Cancel(hold) {
+		t.Error("Cancel of a granted ticket reported found")
+	}
+
+	next := g.Enqueue(ioqueue.Normal, "b", 4096)
+	hold.Release()
+	if !next.Wait() {
+		t.Fatal("ticket after a cancellation never admitted")
+	}
+	next.Release()
+}
+
+// A nil gate (QoS disabled) admits everything immediately and never
+// panics — the serving path calls it unconditionally.
+func TestQoSGateNilFailOpen(t *testing.T) {
+	var g *QoSGate
+	tk := g.Enqueue(ioqueue.Normal, "a", 1)
+	if !tk.Wait() {
+		t.Fatal("nil gate did not admit")
+	}
+	tk.Release()
+	g.SetTenants(nil)
+	g.Close()
+	if st := g.Stats(); st.NormalLen != 0 {
+		t.Errorf("nil gate stats = %+v", st)
+	}
+	if g.Cancel(tk) {
+		t.Error("nil gate Cancel reported found")
+	}
+}
+
+// TestCancelRegistryTombstone covers the mux dispatch race where the
+// CancelReq overtakes its ReadReq: the unknown hedge-tagged id leaves a
+// flagged tombstone, the late register picks it up, and expired
+// tombstones are swept.
+func TestCancelRegistryTombstone(t *testing.T) {
+	var r cancelRegistry
+	now := time.Unix(1000, 0)
+	r.now = func() time.Time { return now }
+
+	id := HedgeIDBit | 7
+	if r.cancel(id) {
+		t.Fatal("cancel of unknown id reported found")
+	}
+	cs := r.register(id)
+	if !cs.flag.Load() {
+		t.Fatal("register after cancel lost the tombstone flag")
+	}
+	r.unregister(id)
+
+	// Non-hedge ids never tombstone: the active runtime owns that space.
+	if r.cancel(42) {
+		t.Fatal("cancel of unknown active id reported found")
+	}
+	if len(r.m) != 0 {
+		t.Fatalf("active-id cancel left %d registry entries", len(r.m))
+	}
+
+	// A tombstone whose ReadReq never arrives is swept after the TTL.
+	r.cancel(HedgeIDBit | 8)
+	now = now.Add(tombstoneTTL + time.Second)
+	r.cancel(HedgeIDBit | 9) // sweep happens on the next unknown cancel
+	r.mu.Lock()
+	_, stale := r.m[HedgeIDBit|8]
+	r.mu.Unlock()
+	if stale {
+		t.Error("expired tombstone survived the sweep")
+	}
+}
+
+// TestServerCancelBeforeRead drives the tombstone race end to end: a
+// CancelReq arriving before its ReadReq must make the read answer
+// StatusCancelled instead of serving withdrawn bytes.
+func TestServerCancelBeforeRead(t *testing.T) {
+	tc := startCluster(t, 1)
+	pool := tc.client.Pool()
+
+	id := HedgeIDBit | 99
+	resp, err := pool.Call("data-0", &wire.CancelReq{RequestID: id})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.(*wire.CancelResp).Found {
+		t.Fatal("cancel of a not-yet-arrived read reported found")
+	}
+	_, err = pool.Call("data-0", &wire.ReadReq{Handle: 1, Length: 4096, ReqID: id})
+	if !IsCancelled(err) {
+		t.Fatalf("read after cancel = %v, want cancelled", err)
+	}
+	if v := tc.datas[0].Metrics().Counter("data.read_cancelled").Value(); v != 1 {
+		t.Errorf("data.read_cancelled = %d, want 1", v)
+	}
+}
+
+// TestCancelInFlightReadZeroFills cancels a windowed read while chunk
+// requests are pipelined against a slow store, in both framings. The
+// server must stop serving real bytes for the chunks it had already
+// accepted — zero-filling their committed frame space — and the
+// in-flight accounting must drain back to zero. Over mux this exercises
+// the concurrently-dispatched handlers racing the CancelReq; over the
+// ordered framing, the cancel poll at frame-write time.
+func TestCancelInFlightReadZeroFills(t *testing.T) {
+	for _, mux := range []bool{true, false} {
+		name := "ordered"
+		if mux {
+			name = "mux"
+		}
+		t.Run(name, func(t *testing.T) {
+			net := transport.NewInproc()
+			st := &slowStore{Store: NewMemStore()}
+			st.delay.Store(int64(300 * time.Millisecond))
+			ds, err := NewDataServer(DataConfig{Store: st})
+			if err != nil {
+				t.Fatal(err)
+			}
+			l, err := net.Listen("data-0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv := NewServer(l, ds)
+			srv.SetFrameStats(ds.WireStats())
+			srv.Start()
+			defer srv.Close()
+
+			data := make([]byte, 1<<20)
+			rand.New(rand.NewSource(7)).Read(data)
+			if _, err := st.WriteAt(1, data, 0); err != nil {
+				t.Fatal(err)
+			}
+
+			p := NewPool(net)
+			if !mux {
+				p.DisableMux()
+			}
+			defer p.Close()
+
+			dst := make([]byte, len(data))
+			ctl := p.NewReadControl("data-0")
+			done := make(chan error, 1)
+			go func() {
+				_, err := p.ReadWindowedCtl("data-0", 1, dst, 0, 4, 256<<10, ctl)
+				done <- err
+			}()
+			// All four chunk requests fit one window round, so by now every
+			// one is registered at the server and stuck in the slow store —
+			// the cancel lands squarely on in-flight reads.
+			time.Sleep(100 * time.Millisecond)
+			ctl.Cancel()
+
+			select {
+			case err := <-done:
+				if !IsCancelled(err) {
+					t.Fatalf("cancelled read returned %v, want cancelled", err)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("cancelled read never returned")
+			}
+
+			// The server observed the cancellation while frames were on the
+			// wire: committed bytes were zero-filled, not served.
+			waitFor(t, "cancelled bytes recorded", func() bool {
+				return ds.WireStats().CancelledBytes.Load() > 0
+			})
+			// And the pressure gauge is conserved once everything drains.
+			waitFor(t, "data.inflight back to 0", func() bool {
+				return ds.Metrics().Gauge("data.inflight").Value() == 0
+			})
+		})
+	}
+}
+
+func waitFor(t *testing.T, what string, ok func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !ok() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// slowStore delays reads only: writes replicate at full speed, so a
+// straggling node is indistinguishable from a healthy one until it has
+// to serve.
+type slowStore struct {
+	Store
+	delay atomic.Int64 // nanoseconds per ReadAt
+}
+
+func (s *slowStore) ReadAt(handle uint64, p []byte, off uint64) (int, error) {
+	if d := s.delay.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	return s.Store.ReadAt(handle, p, off)
+}
+
+// hedgeCluster is a 2-server cluster whose per-server read latency can
+// be dialed up after layout placement is known.
+type hedgeCluster struct {
+	*testCluster
+	stores []*slowStore
+}
+
+func startHedgeCluster(t *testing.T, hedgeAfter time.Duration) *hedgeCluster {
+	t.Helper()
+	const nData = 2
+	net := transport.NewInproc()
+	meta, err := NewMetaServer(MetaConfig{NumDataServers: nData})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml, err := net.Listen("meta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := NewServer(ml, meta)
+	ms.Start()
+	t.Cleanup(ms.Close)
+
+	hc := &hedgeCluster{testCluster: &testCluster{meta: meta}}
+	var addrs []string
+	for i := 0; i < nData; i++ {
+		st := &slowStore{Store: NewMemStore()}
+		ds, err := NewDataServer(DataConfig{Store: st})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := fmt.Sprintf("data-%d", i)
+		dl, err := net.Listen(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := NewServer(dl, ds)
+		srv.Start()
+		t.Cleanup(srv.Close)
+		addrs = append(addrs, addr)
+		hc.stores = append(hc.stores, st)
+		hc.datas = append(hc.datas, ds)
+		hc.servers = append(hc.servers, srv)
+	}
+	c, err := NewClient(ClientConfig{
+		Net: net, MetaAddr: "meta", DataAddrs: addrs, HedgeAfter: hedgeAfter,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	hc.client = c
+	return hc
+}
+
+// writeReplicated creates a width-1, 2-replica file and returns it with
+// its primary server index (layout placement decides which node that is).
+func (hc *hedgeCluster) writeReplicated(t *testing.T, data []byte) (*File, int) {
+	t.Helper()
+	f, err := hc.client.CreateReplicated("hedge/f", 1<<20, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	return f, int(f.Layout().Servers[0])
+}
+
+// TestHedgedReadWinsOnSlowReplica: with the primary straggling well past
+// the hedge delay, the duplicate read from the second replica must win
+// and deliver correct bytes, with the race visible in the pool counters.
+func TestHedgedReadWinsOnSlowReplica(t *testing.T) {
+	hc := startHedgeCluster(t, 15*time.Millisecond)
+	data := make([]byte, 256<<10)
+	rand.New(rand.NewSource(11)).Read(data)
+	f, prim := hc.writeReplicated(t, data)
+	hc.stores[prim].delay.Store(int64(250 * time.Millisecond))
+
+	got := make([]byte, len(data))
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("hedged read corrupted data")
+	}
+	reg := hc.client.Pool().Metrics()
+	if v := reg.Counter("pool.hedge.launched").Value(); v < 1 {
+		t.Errorf("pool.hedge.launched = %d, want >= 1", v)
+	}
+	if v := reg.Counter("pool.hedge.wins").Value(); v < 1 {
+		t.Errorf("pool.hedge.wins = %d, want >= 1", v)
+	}
+	if v := reg.Counter("pool.hedge.bytes").Value(); v < int64(len(data)) {
+		t.Errorf("pool.hedge.bytes = %d, want >= %d (winning copy accounted)", v, len(data))
+	}
+}
+
+// TestHedgeSurvivesPrimaryDeath kills the primary's server while the
+// hedge is in flight: the hedge copy must complete the read.
+func TestHedgeSurvivesPrimaryDeath(t *testing.T) {
+	hc := startHedgeCluster(t, 10*time.Millisecond)
+	data := make([]byte, 128<<10)
+	rand.New(rand.NewSource(12)).Read(data)
+	f, prim := hc.writeReplicated(t, data)
+	hc.stores[prim].delay.Store(int64(2 * time.Second))
+	hc.stores[1-prim].delay.Store(int64(80 * time.Millisecond))
+
+	got := make([]byte, len(data))
+	done := make(chan error, 1)
+	go func() {
+		_, err := f.ReadAt(got, 0)
+		done <- err
+	}()
+	reg := hc.client.Pool().Metrics()
+	waitFor(t, "hedge launch", func() bool {
+		return reg.Counter("pool.hedge.launched").Value() >= 1
+	})
+	hc.servers[prim].Close() // primary node dies mid-read
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("read with dead primary = %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("read never completed after primary death")
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("failover read corrupted data")
+	}
+	if v := reg.Counter("pool.hedge.wins").Value(); v < 1 {
+		t.Errorf("pool.hedge.wins = %d, want >= 1", v)
+	}
+}
+
+// TestPrimarySurvivesHedgeDeath is the mirror image: the hedge target
+// dies while its duplicate read is in flight, and the straggling — but
+// alive — primary must still finish the read.
+func TestPrimarySurvivesHedgeDeath(t *testing.T) {
+	hc := startHedgeCluster(t, 10*time.Millisecond)
+	data := make([]byte, 128<<10)
+	rand.New(rand.NewSource(13)).Read(data)
+	f, prim := hc.writeReplicated(t, data)
+	hc.stores[prim].delay.Store(int64(300 * time.Millisecond))
+	hc.stores[1-prim].delay.Store(int64(300 * time.Millisecond))
+
+	got := make([]byte, len(data))
+	done := make(chan error, 1)
+	go func() {
+		_, err := f.ReadAt(got, 0)
+		done <- err
+	}()
+	reg := hc.client.Pool().Metrics()
+	waitFor(t, "hedge launch", func() bool {
+		return reg.Counter("pool.hedge.launched").Value() >= 1
+	})
+	hc.servers[1-prim].Close() // hedge target dies mid-flight
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("read with dead hedge target = %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("read never completed after hedge death")
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read corrupted data after hedge death")
+	}
+	if v := reg.Counter("pool.hedge.wins").Value(); v != 0 {
+		t.Errorf("pool.hedge.wins = %d, want 0 (primary finished)", v)
+	}
+}
+
+// TestReplicaOrderAvoidsStraggler: once the latency tracker has evidence
+// that the primary is slow, plain (un-hedged) reads route to the faster
+// replica without any failure having occurred.
+func TestReplicaOrderAvoidsStraggler(t *testing.T) {
+	hc := startHedgeCluster(t, 0) // hedging off: pure selection
+	data := make([]byte, 64<<10)
+	rand.New(rand.NewSource(14)).Read(data)
+	f, prim := hc.writeReplicated(t, data)
+
+	primAddr := fmt.Sprintf("data-%d", prim)
+	lat := hc.client.Pool().Latency()
+	for i := 0; i < 8; i++ {
+		lat.Observe(primAddr, len(data), 50*time.Millisecond)
+	}
+
+	before := hc.datas[prim].Metrics().Counter("data.read").Value()
+	got := make([]byte, len(data))
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("re-routed read corrupted data")
+	}
+	if after := hc.datas[prim].Metrics().Counter("data.read").Value(); after != before {
+		t.Errorf("straggler served %d reads, want 0 (replica order should avoid it)", after-before)
+	}
+	if v := hc.datas[1-prim].Metrics().Counter("data.read").Value(); v < 1 {
+		t.Errorf("fast replica served %d reads, want >= 1", v)
+	}
+}
+
+// TestQoSGatedClusterEndToEnd smoke-tests the full serving path with
+// admission gates on: reads and writes still round-trip, and the gate's
+// stats register traffic.
+func TestQoSGatedClusterEndToEnd(t *testing.T) {
+	net := transport.NewInproc()
+	qos := &QoSConfig{Slots: 2, Weights: map[string]float64{"app-a": 4}}
+	meta, err := NewMetaServer(MetaConfig{NumDataServers: 1, QoS: qos})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml, _ := net.Listen("meta")
+	ms := NewServer(ml, meta)
+	ms.Start()
+	t.Cleanup(ms.Close)
+
+	ds, err := NewDataServer(DataConfig{Store: NewMemStore(), QoS: qos})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ds.Close)
+	dl, _ := net.Listen("data-0")
+	srv := NewServer(dl, ds)
+	srv.Start()
+	t.Cleanup(srv.Close)
+
+	c, err := NewClient(ClientConfig{
+		Net: net, MetaAddr: "meta", DataAddrs: []string{"data-0"}, Tenant: "app-a",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	f, err := c.Create("qos/x", 4096, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 32<<10)
+	rand.New(rand.NewSource(15)).Read(data)
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("gated round trip corrupted data")
+	}
+	if _, err := c.Stat("qos/x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.List("qos/"); err != nil {
+		t.Fatal(err)
+	}
+	if errors.Is(err, ErrCancelled) {
+		t.Fatal("uncontended gated traffic must never cancel")
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"dosas/internal/metrics"
 	"dosas/internal/transport"
@@ -50,6 +51,17 @@ func IsExists(err error) bool {
 	return errors.As(err, &re) && re.Code == wire.StatusExists
 }
 
+// IsCancelled reports whether err means the request was withdrawn by a
+// CancelReq, local or remote — the expected outcome for a hedged read's
+// losing replica, not a failure.
+func IsCancelled(err error) bool {
+	if errors.Is(err, ErrCancelled) {
+		return true
+	}
+	var re *RemoteError
+	return errors.As(err, &re) && re.Code == wire.StatusCancelled
+}
+
 // Pool is the client-side connection manager. Against mux-capable peers
 // (negotiated per address by a HelloReq/HelloResp handshake, see mux.go)
 // all calls and streams share a small fixed set of multiplexed
@@ -72,6 +84,12 @@ type Pool struct {
 	reg        *metrics.Registry
 	idleTTL    time.Duration // ordered conns idle longer are dropped
 	probeAfter time.Duration // ordered conns idle longer are liveness-probed
+
+	// lat scores per-server chunk latency for replica selection and
+	// hedge-delay derivation; reqIDs mints HedgeIDBit-tagged ids for
+	// cancellable windowed reads.
+	lat    *LatencyTracker
+	reqIDs atomic.Uint64
 }
 
 // idleConn is an ordered-mode connection cached for reuse.
@@ -116,7 +134,7 @@ const (
 
 // NewPool returns a pool dialing through n.
 func NewPool(n transport.Network) *Pool {
-	return &Pool{
+	p := &Pool{
 		Net:        n,
 		idle:       make(map[string][]idleConn),
 		peers:      make(map[string]*muxPeer),
@@ -124,8 +142,21 @@ func NewPool(n transport.Network) *Pool {
 		reg:        metrics.NewRegistry(),
 		idleTTL:    defaultIdleTTL,
 		probeAfter: defaultProbeAfter,
+		lat:        NewLatencyTracker(),
 	}
+	// Seed the read-id counter so ids from distinct client pools hitting
+	// the same server registry are disjoint in practice.
+	p.reqIDs.Store(uint64(time.Now().UnixNano()))
+	return p
 }
+
+// Latency exposes the pool's per-server latency tracker (replica scoring,
+// hedge delays, tests).
+func (p *Pool) Latency() *LatencyTracker { return p.lat }
+
+// nextReqID mints a cluster-unique, HedgeIDBit-tagged request id for a
+// cancellable windowed read.
+func (p *Pool) nextReqID() uint64 { return p.reqIDs.Add(1) | HedgeIDBit }
 
 // DisableMux pins the pool to ordered mode: no handshake is attempted and
 // every exchange owns its connection. Call before the first use.
@@ -487,6 +518,8 @@ func ToErrorMsg(op string, err error) *wire.ErrorMsg {
 		code = wire.StatusInvalid
 	case errors.Is(err, ErrUnsupported):
 		code = wire.StatusUnsupported
+	case errors.Is(err, ErrCancelled):
+		code = wire.StatusCancelled
 	}
 	return &wire.ErrorMsg{Code: code, Op: op, Detail: err.Error()}
 }
@@ -497,6 +530,7 @@ var (
 	ErrExists      = errors.New("pfs: already exists")
 	ErrInvalid     = errors.New("pfs: invalid argument")
 	ErrUnsupported = errors.New("pfs: unsupported operation")
+	ErrCancelled   = errors.New("pfs: request cancelled")
 )
 
 // Server accepts connections on a listener and dispatches requests to a

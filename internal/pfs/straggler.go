@@ -1,0 +1,131 @@
+package pfs
+
+// Client-side straggler awareness. Replicated reads used to walk
+// replicas in layout order, so a slow-but-alive node kept serving every
+// request it nominally owned. The tracker keeps a latency EWMA (mean
+// and variance) per (server, request-size-class), fed by the sliding
+// window's per-chunk timings, and the striping client orders replicas
+// by expected latency instead. Estimates decay toward optimism with
+// age, so a node that recovered — or was never measured — wins traffic
+// back instead of being exiled by its own history.
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"time"
+)
+
+const (
+	// latAlpha is the EWMA smoothing factor per observation.
+	latAlpha = 0.3
+	// latHalflife is how fast an idle estimate decays toward the
+	// optimistic zero score: a node unmeasured for one halflife looks
+	// half as slow as its last estimate.
+	latHalflife = 2 * time.Second
+	// latMinSamples is how many observations a (node,class) needs before
+	// its quantile estimate drives the hedge delay.
+	latMinSamples = 8
+)
+
+// LatencyTracker aggregates per-chunk service times by server address
+// and size class. Safe for concurrent use.
+type LatencyTracker struct {
+	mu  sync.Mutex
+	m   map[latKey]*latEntry
+	now func() time.Time
+}
+
+type latKey struct {
+	addr  string
+	class uint8
+}
+
+type latEntry struct {
+	mean float64 // ns
+	vari float64 // ns²
+	n    uint64
+	last time.Time
+}
+
+// NewLatencyTracker returns an empty tracker.
+func NewLatencyTracker() *LatencyTracker {
+	return &LatencyTracker{m: make(map[latKey]*latEntry), now: time.Now}
+}
+
+// sizeClass buckets request sizes by power of two above a 4 KiB
+// granule, so a 4 MiB bulk chunk and a 1-byte probe never share an
+// estimate.
+func sizeClass(n int) uint8 {
+	if n <= 0 {
+		return 0
+	}
+	return uint8(bits.Len(uint(n) >> 12))
+}
+
+// Observe folds one measured service time into the (addr, size) EWMA.
+func (lt *LatencyTracker) Observe(addr string, bytes int, d time.Duration) {
+	if lt == nil || d < 0 {
+		return
+	}
+	k := latKey{addr: addr, class: sizeClass(bytes)}
+	x := float64(d)
+	lt.mu.Lock()
+	e := lt.m[k]
+	if e == nil {
+		e = &latEntry{mean: x}
+		lt.m[k] = e
+	} else {
+		dev := x - e.mean
+		e.mean += latAlpha * dev
+		e.vari = (1 - latAlpha) * (e.vari + latAlpha*dev*dev)
+	}
+	e.n++
+	e.last = lt.now()
+	lt.mu.Unlock()
+}
+
+// Score returns the decayed expected latency (in nanoseconds) for a
+// request of the given size against addr. Zero is the optimum: unknown
+// servers score zero, and stale estimates halve per halflife, so both
+// get retried rather than permanently shunned.
+func (lt *LatencyTracker) Score(addr string, bytes int) float64 {
+	if lt == nil {
+		return 0
+	}
+	k := latKey{addr: addr, class: sizeClass(bytes)}
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	e := lt.m[k]
+	if e == nil || e.n == 0 {
+		return 0
+	}
+	age := lt.now().Sub(e.last)
+	if age <= 0 {
+		return e.mean
+	}
+	return e.mean * math.Exp2(-float64(age)/float64(latHalflife))
+}
+
+// HedgeDelay derives the hedged-read trigger for a request of the given
+// size against addr: roughly the EWMA's p95 (mean + 1.65σ, floored at
+// 2×mean so a tight distribution doesn't hedge on every jitter).
+// fallback is returned until the estimate has latMinSamples
+// observations — and always when the tracker is nil.
+func (lt *LatencyTracker) HedgeDelay(addr string, bytes int, fallback time.Duration) time.Duration {
+	if lt == nil {
+		return fallback
+	}
+	k := latKey{addr: addr, class: sizeClass(bytes)}
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	e := lt.m[k]
+	if e == nil || e.n < latMinSamples {
+		return fallback
+	}
+	d := e.mean + 1.65*math.Sqrt(e.vari)
+	if floor := 2 * e.mean; d < floor {
+		d = floor
+	}
+	return time.Duration(d)
+}

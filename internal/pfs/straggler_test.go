@@ -1,0 +1,117 @@
+package pfs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSizeClassBuckets(t *testing.T) {
+	if sizeClass(1) != sizeClass(4095) {
+		t.Error("sub-4KiB probes must share a class")
+	}
+	if sizeClass(4096) != sizeClass(5000) {
+		t.Error("same power-of-two bucket split")
+	}
+	if sizeClass(4<<10) == sizeClass(4<<20) {
+		t.Error("a 4 KiB probe and a 4 MiB chunk must not share an estimate")
+	}
+	if sizeClass(0) != 0 || sizeClass(-1) != 0 {
+		t.Error("degenerate sizes must map to class 0")
+	}
+}
+
+func TestLatencyScoreDecays(t *testing.T) {
+	lt := NewLatencyTracker()
+	now := time.Unix(1000, 0)
+	lt.now = func() time.Time { return now }
+
+	const sz = 64 << 10
+	lt.Observe("slow", sz, 10*time.Millisecond)
+	fresh := lt.Score("slow", sz)
+	if fresh != float64(10*time.Millisecond) {
+		t.Fatalf("fresh score = %v, want 10ms in ns", fresh)
+	}
+	// Unknown servers are optimistic: they win traffic until measured.
+	if s := lt.Score("unknown", sz); s != 0 {
+		t.Errorf("unknown score = %v, want 0", s)
+	}
+	// Size classes are independent estimates.
+	if s := lt.Score("slow", 4<<20); s != 0 {
+		t.Errorf("other-class score = %v, want 0", s)
+	}
+
+	// One halflife later the estimate has halved; idle nodes earn their
+	// way back instead of being exiled by history.
+	now = now.Add(latHalflife)
+	if s := lt.Score("slow", sz); math.Abs(s-fresh/2) > fresh/1000 {
+		t.Errorf("score after one halflife = %v, want ~%v", s, fresh/2)
+	}
+	now = now.Add(3 * latHalflife)
+	if s := lt.Score("slow", sz); s >= fresh/8 {
+		t.Errorf("score after four halflives = %v, want < %v", s, fresh/8)
+	}
+}
+
+func TestLatencyEWMAConverges(t *testing.T) {
+	lt := NewLatencyTracker()
+	lt.now = func() time.Time { return time.Unix(1000, 0) } // frozen: no decay
+	const sz = 64 << 10
+	for i := 0; i < 16; i++ {
+		lt.Observe("n", sz, 10*time.Millisecond)
+	}
+	if s := lt.Score("n", sz); s != float64(10*time.Millisecond) {
+		t.Errorf("steady-state score = %v, want exactly 10ms", s)
+	}
+	// A regime change pulls the mean toward the new level.
+	for i := 0; i < 16; i++ {
+		lt.Observe("n", sz, 40*time.Millisecond)
+	}
+	s := lt.Score("n", sz)
+	if s < float64(35*time.Millisecond) || s > float64(40*time.Millisecond) {
+		t.Errorf("post-shift score = %v, want near 40ms", s)
+	}
+}
+
+func TestHedgeDelayQuantile(t *testing.T) {
+	frozen := func() time.Time { return time.Unix(1000, 0) }
+	lt := NewLatencyTracker()
+	lt.now = frozen
+	const sz = 64 << 10
+	fallback := 25 * time.Millisecond
+
+	// Below the sample floor the configured fallback rules.
+	for i := 0; i < latMinSamples-1; i++ {
+		lt.Observe("n", sz, 10*time.Millisecond)
+	}
+	if d := lt.HedgeDelay("n", sz, fallback); d != fallback {
+		t.Fatalf("under-sampled delay = %v, want fallback %v", d, fallback)
+	}
+	// A tight distribution floors at 2× the mean: jitter alone must not
+	// trigger duplicate reads.
+	lt.Observe("n", sz, 10*time.Millisecond)
+	if d := lt.HedgeDelay("n", sz, fallback); d != 20*time.Millisecond {
+		t.Errorf("tight-distribution delay = %v, want 2×mean = 20ms", d)
+	}
+	// A nil tracker (no measurements anywhere) always falls back.
+	var nilLT *LatencyTracker
+	if d := nilLT.HedgeDelay("n", sz, fallback); d != fallback {
+		t.Errorf("nil tracker delay = %v, want fallback", d)
+	}
+
+	// High variance pushes the trigger above the floor: hedge only past
+	// the estimated p95.
+	spread := NewLatencyTracker()
+	spread.now = frozen
+	for i := 0; i < 8; i++ {
+		d := 5 * time.Millisecond
+		if i%2 == 1 {
+			d = 45 * time.Millisecond
+		}
+		spread.Observe("j", sz, d)
+	}
+	mean := time.Duration(spread.Score("j", sz))
+	if d := spread.HedgeDelay("j", sz, fallback); d <= 2*mean {
+		t.Errorf("jittery delay = %v, want above the 2×mean floor (mean %v)", d, mean)
+	}
+}

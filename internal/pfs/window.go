@@ -3,6 +3,8 @@ package pfs
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"time"
 
 	"dosas/internal/wire"
 )
@@ -34,6 +36,15 @@ func normWindow(depth, chunk int) (int, int) {
 // dial when a pooled connection turns out to be stale before anything was
 // received. Depth or chunk <= 0 take the defaults.
 func (p *Pool) ReadWindowed(addr string, handle uint64, dst []byte, off uint64, depth, chunk int) (int, error) {
+	return p.ReadWindowedCtl(addr, handle, dst, off, depth, chunk, nil)
+}
+
+// ReadWindowedCtl is ReadWindowed with an attached cancellation control:
+// when ctl is non-nil every chunk request carries a cluster-unique ReqID
+// registered with ctl, and a concurrent ctl.Cancel() both stops issuing
+// new chunks and asks the server to truncate the in-flight ones. Used by
+// hedged reads to reclaim the losing replica's bandwidth.
+func (p *Pool) ReadWindowedCtl(addr string, handle uint64, dst []byte, off uint64, depth, chunk int, ctl *ReadControl) (int, error) {
 	if len(dst) == 0 {
 		return 0, nil
 	}
@@ -43,18 +54,92 @@ func (p *Pool) ReadWindowed(addr string, handle uint64, dst []byte, off uint64, 
 		if err != nil {
 			return 0, err
 		}
-		n, err := readStream(s, handle, dst, off, depth, chunk, p.Tenant())
+		n, err := p.readStream(s, addr, handle, dst, off, depth, chunk, ctl)
 		s.Release()
 		if err == nil {
 			return n, nil
 		}
-		if n == 0 && s.Pooled() && !isRemote(err) {
+		if n == 0 && s.Pooled() && !isRemote(err) && !errors.Is(err, ErrCancelled) {
 			continue // stale idle connection: retry on a fresh dial
 		}
-		if isRemote(err) {
+		if isRemote(err) || errors.Is(err, ErrCancelled) {
 			return n, err
 		}
 		return n, fmt.Errorf("pfs: windowed read %s: %w", addr, err)
+	}
+}
+
+// ReadControl lets one windowed read be cancelled from another goroutine.
+// It tracks the ReqIDs currently in flight on the wire; Cancel marks the
+// control stopped (the window loop checks between chunks) and fires a
+// CancelReq per in-flight id so the server stops moving bytes the caller
+// has already decided to discard.
+type ReadControl struct {
+	p    *Pool
+	addr string
+
+	mu       sync.Mutex
+	inflight map[uint64]struct{}
+	stopped  bool
+}
+
+// NewReadControl returns a control for windowed reads against addr.
+func (p *Pool) NewReadControl(addr string) *ReadControl {
+	return &ReadControl{p: p, addr: addr, inflight: make(map[uint64]struct{})}
+}
+
+// add registers an in-flight ReqID. Reports false when the control is
+// already stopped — the caller must not send the request.
+func (rc *ReadControl) add(id uint64) bool {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.stopped {
+		return false
+	}
+	rc.inflight[id] = struct{}{}
+	return true
+}
+
+// done removes a ReqID whose response has fully arrived.
+func (rc *ReadControl) done(id uint64) {
+	rc.mu.Lock()
+	delete(rc.inflight, id)
+	rc.mu.Unlock()
+}
+
+// aborted reports whether Cancel has been called.
+func (rc *ReadControl) aborted() bool {
+	if rc == nil {
+		return false
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.stopped
+}
+
+// Cancel stops the read: no further chunks are issued, and every chunk
+// currently on the wire gets a best-effort CancelReq (asynchronous — the
+// server zero-fills whatever it had not yet sent, and the reader discards
+// the response). Idempotent.
+func (rc *ReadControl) Cancel() {
+	if rc == nil {
+		return
+	}
+	rc.mu.Lock()
+	if rc.stopped {
+		rc.mu.Unlock()
+		return
+	}
+	rc.stopped = true
+	ids := make([]uint64, 0, len(rc.inflight))
+	for id := range rc.inflight {
+		ids = append(ids, id)
+	}
+	rc.mu.Unlock()
+	for _, id := range ids {
+		go func(id uint64) {
+			rc.p.Call(rc.addr, &wire.CancelReq{RequestID: id}) //nolint:errcheck // best effort
+		}(id)
 	}
 }
 
@@ -87,9 +172,18 @@ func (p *Pool) WriteWindowed(addr string, handle uint64, src []byte, off uint64,
 	}
 }
 
+// chunkReq is one in-flight request of the sliding read window.
+type chunkReq struct {
+	n      int
+	id     uint64 // ReqID on the wire; 0 when no control is attached
+	sentAt time.Time
+}
+
 // readStream runs the sliding read window over one stream. Responses are
 // consumed inside the loop — each chunk is copied into dst before the
 // next Recv reuses the decode buffer — so no Own copy is ever taken.
+// Every chunk's send→recv time feeds the pool's latency tracker, which is
+// what replica scoring and hedge delays are derived from.
 //
 // A short-but-nonzero response means the stream held fewer bytes at that
 // offset than requested, which invalidates the offsets of every request
@@ -97,17 +191,42 @@ func (p *Pool) WriteWindowed(addr string, handle uint64, src []byte, off uint64,
 // bytes actually received (resync). Short responses always carry at least
 // one byte, so the resync loop makes progress; an empty response is an
 // error, as in the serial path.
-func readStream(s *Stream, handle uint64, dst []byte, off uint64, depth, chunk int, tenant string) (int, error) {
+func (p *Pool) readStream(s *Stream, addr string, handle uint64, dst []byte, off uint64, depth, chunk int, ctl *ReadControl) (int, error) {
+	tenant := p.Tenant()
 	sent, recvd := 0, 0
-	pending := make([]int, 0, depth)
+	pending := make([]chunkReq, 0, depth)
+	finish := func(id uint64) {
+		if ctl != nil {
+			ctl.done(id)
+		}
+	}
+	abort := func() (int, error) {
+		drainStream(s, len(pending)) //nolint:errcheck // result discarded anyway
+		for _, cr := range pending {
+			finish(cr.id)
+		}
+		return recvd, fmt.Errorf("read %s at local offset %d: %w", addr, off+uint64(recvd), ErrCancelled)
+	}
 	for recvd < len(dst) {
 		for len(pending) < depth && sent < len(dst) {
+			if ctl.aborted() {
+				return abort()
+			}
 			n := min(chunk, len(dst)-sent)
+			cr := chunkReq{n: n, sentAt: time.Now()}
 			req := &wire.ReadReq{Handle: handle, Offset: off + uint64(sent), Length: uint32(n), Tenant: tenant}
+			if ctl != nil {
+				cr.id = p.nextReqID()
+				req.ReqID = cr.id
+				if !ctl.add(cr.id) {
+					return abort()
+				}
+			}
 			if err := s.Send(req); err != nil {
+				finish(cr.id)
 				return recvd, err
 			}
-			pending = append(pending, n)
+			pending = append(pending, cr)
 			sent += n
 		}
 		resp, err := s.Recv()
@@ -115,26 +234,47 @@ func readStream(s *Stream, handle uint64, dst []byte, off uint64, depth, chunk i
 			if isRemote(err) {
 				drainStream(s, len(pending)-1) //nolint:errcheck // conn health only
 			}
+			for _, cr := range pending {
+				finish(cr.id)
+			}
+			if IsCancelled(err) {
+				return recvd, fmt.Errorf("read %s: %w", addr, ErrCancelled)
+			}
 			return recvd, err
 		}
-		expect := pending[0]
+		head := pending[0]
 		pending = pending[1:]
+		finish(head.id)
+		expect := head.n
 		rr, ok := resp.(*wire.ReadResp)
 		if !ok {
 			return recvd, fmt.Errorf("read: unexpected response %v", resp.Type())
 		}
+		p.lat.Observe(addr, expect, time.Since(head.sentAt))
 		if len(rr.Data) == 0 {
 			drainStream(s, len(pending)) //nolint:errcheck // conn health only
+			for _, cr := range pending {
+				finish(cr.id)
+			}
 			return recvd, fmt.Errorf("read: no data at local offset %d", off+uint64(recvd))
 		}
 		if len(rr.Data) > expect {
 			return recvd, fmt.Errorf("read: got %d bytes for a %d-byte request", len(rr.Data), expect)
+		}
+		if ctl.aborted() {
+			// Cancelled mid-window: the remaining responses may already be
+			// server-side zero-filled, and the caller is discarding this
+			// buffer. Do not copy possibly-poisoned bytes over real ones.
+			return abort()
 		}
 		k := copy(dst[recvd:], rr.Data)
 		recvd += k
 		if k < expect {
 			if err := drainStream(s, len(pending)); err != nil {
 				return recvd, err
+			}
+			for _, cr := range pending {
+				finish(cr.id)
 			}
 			pending = pending[:0]
 			sent = recvd

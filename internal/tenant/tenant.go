@@ -350,8 +350,15 @@ func (t *Table) WaitShare() (share float64, top string) {
 		// Contention persists (two-plus tenants queued) but no wait
 		// posted this tick — waits post at dequeue, which is coarser
 		// than the sampling tick. Carry the last measurement forward
-		// rather than reporting a spurious all-clear.
-		return t.lastShare, t.lastTop
+		// rather than reporting a spurious all-clear — but only while
+		// the carried dominant tenant is still part of the contention.
+		// Once it has drained its queue, pinning its old share would
+		// hold a resolved noisy-neighbor alert firing forever.
+		if e := t.entries[t.lastTop]; e != nil && e.stats.Queued > 0 {
+			return t.lastShare, t.lastTop
+		}
+		t.lastTop, t.lastShare = "", 0
+		return 0, ""
 	}
 	share = float64(max) / float64(total)
 	t.lastTop, t.lastShare = top, share

@@ -190,3 +190,36 @@ func TestTableConcurrency(t *testing.T) {
 		t.Errorf("total = %d, want 8000", total)
 	}
 }
+
+// The carried-forward noisy-neighbor share must clear once the dominant
+// tenant drains its queue, even while other tenants keep contending.
+// Before the fix, a tick with contention but no posted wait pinned the
+// stale top/share forever and the resolved alert never cleared.
+func TestWaitShareCarryForwardClearsWhenTopDrains(t *testing.T) {
+	tab := NewTable(8)
+	tab.Account("a", func(s *Stats) { s.QueueWaitNanos += 900 })
+	tab.Account("b", func(s *Stats) { s.QueueWaitNanos += 100 })
+	if share, top := tab.WaitShare(); top != "a" || share != 0.9 {
+		t.Fatalf("setup share = %v/%q, want 0.9/a", share, top)
+	}
+
+	// Quiet tick, dominant tenant still queued: the measurement carries.
+	tab.Account("a", func(s *Stats) { s.Queued++ })
+	tab.Account("b", func(s *Stats) { s.Queued++ })
+	if share, top := tab.WaitShare(); top != "a" || share != 0.9 {
+		t.Fatalf("carried share = %v/%q, want 0.9/a", share, top)
+	}
+
+	// The aggressor drains; two other tenants still contend, no wait
+	// posts this tick. The stale share must not be pinned.
+	tab.Account("a", func(s *Stats) { s.Queued-- })
+	tab.Account("c", func(s *Stats) { s.Queued++ })
+	if share, top := tab.WaitShare(); share != 0 || top != "" {
+		t.Errorf("post-drain share = %v/%q, want 0/\"\"", share, top)
+	}
+
+	// And it stays clear on subsequent quiet ticks.
+	if share, top := tab.WaitShare(); share != 0 || top != "" {
+		t.Errorf("steady-state share = %v/%q, want 0/\"\"", share, top)
+	}
+}

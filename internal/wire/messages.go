@@ -1,5 +1,7 @@
 package wire
 
+import "sync/atomic"
+
 // Status codes carried by ErrorMsg. These travel on the wire; append only.
 const (
 	StatusOK uint32 = iota
@@ -152,11 +154,28 @@ func (m *CreateResp) Decode(d *Decoder) {
 }
 
 // OpenReq looks a file up by name.
-type OpenReq struct{ Name string }
+type OpenReq struct {
+	Name string
+	// Tenant attributes this lookup for metadata QoS. Optional trailing
+	// field, encoded only when non-empty (see ReadReq.Tenant).
+	Tenant string
+}
 
-func (*OpenReq) Type() MsgType       { return MsgOpenReq }
-func (m *OpenReq) Encode(e *Encoder) { e.PutString(m.Name) }
-func (m *OpenReq) Decode(d *Decoder) { m.Name = d.String() }
+func (*OpenReq) Type() MsgType { return MsgOpenReq }
+
+func (m *OpenReq) Encode(e *Encoder) {
+	e.PutString(m.Name)
+	if m.Tenant != "" {
+		e.PutString(m.Tenant)
+	}
+}
+
+func (m *OpenReq) Decode(d *Decoder) {
+	m.Name = d.String()
+	if d.Remaining() > 0 {
+		m.Tenant = d.String()
+	}
+}
 
 // OpenResp returns everything a client needs to address a file's stripes.
 type OpenResp struct {
@@ -180,11 +199,28 @@ func (m *OpenResp) Decode(d *Decoder) {
 }
 
 // StatReq asks for file metadata by name.
-type StatReq struct{ Name string }
+type StatReq struct {
+	Name string
+	// Tenant attributes this stat for metadata QoS. Optional trailing
+	// field, encoded only when non-empty (see ReadReq.Tenant).
+	Tenant string
+}
 
-func (*StatReq) Type() MsgType       { return MsgStatReq }
-func (m *StatReq) Encode(e *Encoder) { e.PutString(m.Name) }
-func (m *StatReq) Decode(d *Decoder) { m.Name = d.String() }
+func (*StatReq) Type() MsgType { return MsgStatReq }
+
+func (m *StatReq) Encode(e *Encoder) {
+	e.PutString(m.Name)
+	if m.Tenant != "" {
+		e.PutString(m.Tenant)
+	}
+}
+
+func (m *StatReq) Decode(d *Decoder) {
+	m.Name = d.String()
+	if d.Remaining() > 0 {
+		m.Tenant = d.String()
+	}
+}
 
 // StatResp carries file metadata.
 type StatResp struct {
@@ -226,11 +262,28 @@ func (m *RemoveResp) Encode(e *Encoder) { e.PutU64(m.Handle) }
 func (m *RemoveResp) Decode(d *Decoder) { m.Handle = d.U64() }
 
 // ListReq enumerates files whose names start with Prefix.
-type ListReq struct{ Prefix string }
+type ListReq struct {
+	Prefix string
+	// Tenant attributes this listing for metadata QoS. Optional trailing
+	// field, encoded only when non-empty (see ReadReq.Tenant).
+	Tenant string
+}
 
-func (*ListReq) Type() MsgType       { return MsgListReq }
-func (m *ListReq) Encode(e *Encoder) { e.PutString(m.Prefix) }
-func (m *ListReq) Decode(d *Decoder) { m.Prefix = d.String() }
+func (*ListReq) Type() MsgType { return MsgListReq }
+
+func (m *ListReq) Encode(e *Encoder) {
+	e.PutString(m.Prefix)
+	if m.Tenant != "" {
+		e.PutString(m.Tenant)
+	}
+}
+
+func (m *ListReq) Decode(d *Decoder) {
+	m.Prefix = d.String()
+	if d.Remaining() > 0 {
+		m.Tenant = d.String()
+	}
+}
 
 // ListResp carries matching names in lexical order.
 type ListResp struct{ Names []string }
@@ -278,6 +331,14 @@ type ReadReq struct {
 	// tenant, so default-tenant clients emit frames byte-identical to
 	// pre-tenant peers and either side of an old/new pairing interops.
 	Tenant string
+	// ReqID, when non-zero, registers this read for cancellation: a
+	// CancelReq carrying the same id makes the server stop serving it
+	// (queued reads are dropped, in-flight responses zero-fill their
+	// remaining segments). Hedged reads mint these so the losing replica
+	// can be withdrawn. Third-generation optional trailing field, after
+	// Tenant; when ReqID is set an empty tenant is encoded explicitly so
+	// the fields stay positional.
+	ReqID uint64
 }
 
 func (*ReadReq) Type() MsgType { return MsgReadReq }
@@ -286,8 +347,11 @@ func (m *ReadReq) Encode(e *Encoder) {
 	e.PutU64(m.Handle)
 	e.PutU64(m.Offset)
 	e.PutU32(m.Length)
-	if m.Tenant != "" {
+	if m.Tenant != "" || m.ReqID != 0 {
 		e.PutString(m.Tenant)
+	}
+	if m.ReqID != 0 {
+		e.PutU64(m.ReqID)
 	}
 }
 
@@ -297,6 +361,9 @@ func (m *ReadReq) Decode(d *Decoder) {
 	m.Length = d.U32()
 	if d.Remaining() > 0 {
 		m.Tenant = d.String()
+	}
+	if d.Remaining() > 0 {
+		m.ReqID = d.U64()
 	}
 }
 
@@ -318,6 +385,14 @@ type ReadResp struct {
 	// buffer can be recycled (PutBuf) once the response frame — which is
 	// a copy — has been written. Decoded responses leave it nil.
 	PoolBuf []byte
+
+	// Cancelled is not part of the wire format. When non-nil the frame
+	// writers check it between bulk segments: once it reads true the
+	// remaining body bytes are zero-filled instead of served, so a
+	// cancelled read stops consuming disk and memory bandwidth promptly
+	// while the frame stays protocol-complete (its length was already
+	// committed). Receivers never see it.
+	Cancelled *atomic.Bool
 }
 
 func (*ReadResp) Type() MsgType { return MsgReadResp }
@@ -358,6 +433,10 @@ func (m *ReadResp) encodePre(e *Encoder, bodyLen int) { e.PutU32(uint32(bodyLen)
 
 // encodePost implements payloadCarrier: the trailing EOF flag.
 func (m *ReadResp) encodePost(e *Encoder) { e.PutBool(m.EOF) }
+
+// cancelFlag implements cancelCarrier: the frame writers poll this
+// between segments.
+func (m *ReadResp) cancelFlag() *atomic.Bool { return m.Cancelled }
 
 // WriteReq writes Data at the server-local Offset for Handle.
 type WriteReq struct {

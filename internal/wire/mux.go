@@ -29,6 +29,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 )
 
 // MuxVersion is the highest mux protocol version this build speaks.
@@ -101,6 +102,11 @@ type muxFrame struct {
 	p    Payload
 	pre  int   // head bytes in buf after the header room
 	body int64 // p's length, snapshotted at enqueue
+
+	// cancel, when non-nil, is polled between segments: once true the
+	// remaining body bytes go out as zeros (a withdrawn hedged read stops
+	// consuming store bandwidth while the stream stays well-formed).
+	cancel *atomic.Bool
 }
 
 // payloadLen returns the frame's logical payload length: the bytes that
@@ -192,8 +198,14 @@ func NewMuxWriter(w io.Writer, segment int) *MuxWriter {
 // never behind another caller's queued bulk.
 func (mw *MuxWriter) Enqueue(m Message, stream uint32, done func(error)) error {
 	if pc, ok := m.(payloadCarrier); ok && !mw.Plain {
-		if _, p := pc.bulkRef(); p != nil {
+		data, p := pc.bulkRef()
+		if p != nil {
 			return mw.enqueueRef(pc, p, stream, done)
+		}
+		if cancelFlagOf(pc) != nil {
+			// Cancellable memory-backed bulk: record the body's offsets so
+			// a mid-frame cancel can zero exactly the body bytes.
+			return mw.enqueueData(pc, data, stream, done)
 		}
 	}
 	hint := 64
@@ -224,7 +236,38 @@ func (mw *MuxWriter) Enqueue(m Message, stream uint32, done func(error)) error {
 			mw.Stats.addCopied(int64(len(data)))
 		}
 	}
-	f := &muxFrame{t: m.Type(), stream: stream, class: ClassOf(m.Type()), buf: e.buf, done: done}
+	f := &muxFrame{t: m.Type(), stream: stream, class: ClassOf(m.Type()), buf: e.buf, done: done,
+		cancel: cancelFlagOf(m)}
+	return mw.submit(f)
+}
+
+// enqueueData queues a memory-backed bulk frame that may be withdrawn
+// mid-write. Unlike the generic path, the body's position inside the
+// buffer is recorded (pre/body), so writeSegments can zero-fill the
+// remaining body bytes on cancellation without clobbering the envelope
+// fields around them — the stream must stay decodable.
+func (mw *MuxWriter) enqueueData(pc payloadCarrier, data []byte, stream uint32, done func(error)) error {
+	var e Encoder
+	e.buf = GetBuf(64 + len(data))[:muxHdrSize]
+	pc.encodePre(&e, len(data))
+	pre := len(e.buf) - muxHdrSize
+	e.buf = append(e.buf, data...)
+	pc.encodePost(&e)
+	err := e.err
+	if err == nil && len(e.buf)-muxHdrSize+muxOverhead > MaxFrameSize {
+		err = ErrFrameTooLarge
+	}
+	if err != nil {
+		PutBuf(e.buf)
+		if done != nil {
+			done(err)
+		}
+		return err
+	}
+	mw.Stats.addCopied(int64(len(data)))
+	f := &muxFrame{t: pc.Type(), stream: stream, class: ClassOf(pc.Type()),
+		buf: e.buf, done: done, pre: pre, body: int64(len(data)),
+		cancel: cancelFlagOf(pc)}
 	return mw.submit(f)
 }
 
@@ -249,7 +292,8 @@ func (mw *MuxWriter) enqueueRef(pc payloadCarrier, p Payload, stream uint32, don
 		return err
 	}
 	f := &muxFrame{t: pc.Type(), stream: stream, class: ClassOf(pc.Type()),
-		buf: e.buf, done: done, p: p, pre: pre, body: body}
+		buf: e.buf, done: done, p: p, pre: pre, body: body,
+		cancel: cancelFlagOf(pc)}
 	return mw.submit(f)
 }
 
@@ -426,6 +470,17 @@ func (mw *MuxWriter) writeSegments(f *muxFrame, maxSegs int) (bool, error) {
 		binary.LittleEndian.PutUint32(hdr[6:10], f.stream)
 		hdr[10] = f.class
 		hdr[11] = flags
+		if cancelled(f.cancel) {
+			// Withdrawn mid-frame: the remaining segments still go out (the
+			// peer expects them) but the body bytes they carry are zeroed,
+			// segment by segment. The envelope fields around the body are
+			// left intact so the frame still decodes.
+			bs, be := max(f.off, f.pre), min(f.off+n, f.pre+int(f.body))
+			if be > bs {
+				clear(f.buf[muxHdrSize+bs : muxHdrSize+be])
+				mw.Stats.addCancelled(int64(be - bs))
+			}
+		}
 		if _, err := mw.w.Write(f.buf[f.off : f.off+muxHdrSize+n]); err != nil {
 			return false, err
 		}
@@ -469,7 +524,14 @@ func (mw *MuxWriter) writeRefSegment(f *muxFrame, n int, flags uint8) error {
 			return err
 		}
 		mw.Stats.addWritev(1)
-		if err := f.p.WriteRange(mw.w, int64(bs), int64(be-bs), mw.Stats); err != nil {
+		if cancelled(f.cancel) {
+			// Withdrawn mid-frame: the segment's body range goes out as
+			// zeros instead of touching the store.
+			mw.Stats.addCancelled(int64(be - bs))
+			if err := writeZeros(mw.w, int64(be-bs), mw.Stats); err != nil {
+				return err
+			}
+		} else if err := f.p.WriteRange(mw.w, int64(bs), int64(be-bs), mw.Stats); err != nil {
 			return err
 		}
 		if len(tail) > 0 {

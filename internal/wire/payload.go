@@ -62,6 +62,10 @@ type FrameStats struct {
 	// by the framing layer: inline frame encodes of bulk bodies and the
 	// pooled-copy fallback for payloads on non-TCP connections.
 	CopiedBytes atomic.Int64
+	// CancelledBytes counts body bytes zero-filled because the response
+	// was cancelled mid-frame (hedged-read loser withdrawal): bandwidth
+	// the frame still owed the wire but the backing store never served.
+	CancelledBytes atomic.Int64
 }
 
 // The add helpers are nil-safe so framing code needs no stats plumbing
@@ -84,6 +88,31 @@ func (s *FrameStats) addCopied(n int64) {
 		s.CopiedBytes.Add(n)
 	}
 }
+
+func (s *FrameStats) addCancelled(n int64) {
+	if s != nil && n > 0 {
+		s.CancelledBytes.Add(n)
+	}
+}
+
+// cancelCarrier is implemented by messages that expose a cancellation
+// flag the frame writers poll between bulk segments (ReadResp). A nil
+// flag means not cancellable.
+type cancelCarrier interface {
+	cancelFlag() *atomic.Bool
+}
+
+// cancelFlagOf extracts the cancel flag from a message, nil when the
+// message is not cancellable.
+func cancelFlagOf(m Message) *atomic.Bool {
+	if cc, ok := m.(cancelCarrier); ok {
+		return cc.cancelFlag()
+	}
+	return nil
+}
+
+// cancelled is a nil-safe flag check.
+func cancelled(f *atomic.Bool) bool { return f != nil && f.Load() }
 
 // payloadCarrier is implemented by bulk messages whose wire body is a
 // single length-prefixed byte string that the framing layers may write by

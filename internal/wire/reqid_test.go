@@ -1,0 +1,114 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// ReadReq grew a second trailing optional field (ReqID) behind Tenant.
+// The codec must keep all three vintages interoperable: bare frames,
+// tenant-stamped frames, and id-stamped frames.
+func TestReadReqReqIDRoundTrip(t *testing.T) {
+	cases := []*ReadReq{
+		{Handle: 1, Offset: 64, Length: 4096},
+		{Handle: 1, Offset: 64, Length: 4096, Tenant: "app-a"},
+		{Handle: 1, Offset: 64, Length: 4096, ReqID: 1<<63 | 7},
+		{Handle: 1, Offset: 64, Length: 4096, Tenant: "app-a", ReqID: 1<<63 | 7},
+	}
+	for _, m := range cases {
+		got := roundTrip(t, m).(*ReadReq)
+		if got.Handle != m.Handle || got.Offset != m.Offset || got.Length != m.Length ||
+			got.Tenant != m.Tenant || got.ReqID != m.ReqID {
+			t.Errorf("round trip mismatch: got %+v want %+v", got, m)
+		}
+	}
+}
+
+// A ReqID-stamped frame must still be positional: when ReqID is set with
+// an empty tenant, the tenant field is encoded explicitly (as "") so the
+// decoder cannot misread the id as a tenant string.
+func TestReadReqReqIDForcesTenantField(t *testing.T) {
+	m := &ReadReq{Handle: 9, Offset: 0, Length: 512, ReqID: 1<<63 | 42}
+	got := roundTrip(t, m).(*ReadReq)
+	if got.Tenant != "" || got.ReqID != m.ReqID {
+		t.Fatalf("got tenant=%q reqid=%d, want empty tenant and id %d", got.Tenant, got.ReqID, m.ReqID)
+	}
+}
+
+// Frames without the trailing fields — what a pre-ReqID peer emits —
+// must decode with both left zero, and a bare new-client frame must be
+// byte-identical to the old format.
+func TestReadReqPreReqIDInterop(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, &ReadReq{Handle: 3, Offset: 128, Length: 256, Tenant: "x", ReqID: 5}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Strip the trailing u64 ReqID: a tenant-era frame.
+	old := append([]byte(nil), raw[:len(raw)-8]...)
+	binary.LittleEndian.PutUint32(old[0:4], uint32(len(old)-4))
+	got, err := ReadMessage(bytes.NewReader(old))
+	if err != nil {
+		t.Fatalf("tenant-era frame rejected: %v", err)
+	}
+	rr := got.(*ReadReq)
+	if rr.Tenant != "x" || rr.ReqID != 0 {
+		t.Fatalf("tenant-era decode: tenant=%q reqid=%d, want x/0", rr.Tenant, rr.ReqID)
+	}
+
+	// A bare request still encodes the original three-field format.
+	var bare, withID bytes.Buffer
+	if err := WriteMessage(&bare, &ReadReq{Handle: 3, Offset: 128, Length: 256}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMessage(&withID, &ReadReq{Handle: 3, Offset: 128, Length: 256, ReqID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if bare.Len() != withID.Len()-8-4 { // id adds u64 + the forced empty tenant's u32 length
+		t.Fatalf("bare frame %dB, id frame %dB: unexpected layout", bare.Len(), withID.Len())
+	}
+}
+
+// The namespace lookups grew trailing tenant fields for metadata QoS;
+// same interop contract as the data-path messages.
+func TestNamespaceTenantRoundTrip(t *testing.T) {
+	cases := []Message{
+		&OpenReq{Name: "a/b"},
+		&OpenReq{Name: "a/b", Tenant: "app-a"},
+		&StatReq{Name: "a/b"},
+		&StatReq{Name: "a/b", Tenant: "app-a"},
+		&ListReq{Prefix: "a/"},
+		&ListReq{Prefix: "a/", Tenant: "app-a"},
+	}
+	for _, m := range cases {
+		got := roundTrip(t, m)
+		switch want := m.(type) {
+		case *OpenReq:
+			g := got.(*OpenReq)
+			if g.Name != want.Name || g.Tenant != want.Tenant {
+				t.Errorf("OpenReq mismatch: %+v vs %+v", g, want)
+			}
+		case *StatReq:
+			g := got.(*StatReq)
+			if g.Name != want.Name || g.Tenant != want.Tenant {
+				t.Errorf("StatReq mismatch: %+v vs %+v", g, want)
+			}
+		case *ListReq:
+			g := got.(*ListReq)
+			if g.Prefix != want.Prefix || g.Tenant != want.Tenant {
+				t.Errorf("ListReq mismatch: %+v vs %+v", g, want)
+			}
+		}
+	}
+	// Default-tenant lookups stay byte-identical to the old single-string
+	// format so pre-QoS metadata servers keep accepting them.
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, &OpenReq{Name: "nm"}); err != nil {
+		t.Fatal(err)
+	}
+	// frame = u32 len + u16 type + u32 strlen + bytes
+	if want := 4 + 2 + 4 + 2; buf.Len() != want {
+		t.Fatalf("bare OpenReq frame = %dB, want the pre-QoS %dB", buf.Len(), want)
+	}
+}

@@ -305,10 +305,34 @@ func writeCarrierFrame(w io.Writer, pc payloadCarrier, data []byte, p Payload, s
 	binary.LittleEndian.PutUint32(e.buf[0:4], uint32(n))
 	binary.LittleEndian.PutUint16(e.buf[4:6], uint16(pc.Type()))
 	head, tail := e.buf[:pre], e.buf[pre:]
+	flag := cancelFlagOf(pc)
 	var err error
 	if p != nil {
 		if _, err = w.Write(head); err == nil {
-			err = p.WriteRange(w, 0, body, st)
+			// Stream the body in bounded slices, polling the cancel flag
+			// between them: a withdrawn read stops hitting the store and
+			// zero-fills the rest of the frame (its length is committed).
+			for off := int64(0); off < body && err == nil; {
+				if cancelled(flag) {
+					st.addCancelled(body - off)
+					err = writeZeros(w, body-off, st)
+					break
+				}
+				k := min(body-off, carrierSegment)
+				err = p.WriteRange(w, off, k, st)
+				off += k
+			}
+		}
+		if err == nil && len(tail) > 0 {
+			_, err = w.Write(tail)
+		}
+	} else if cancelled(flag) {
+		// Memory-backed body already cancelled: the bytes are in hand, but
+		// zero-fill anyway so the receiver can never act on a withdrawn
+		// read's data and accounting sees the cancellation.
+		st.addCancelled(body)
+		if _, err = w.Write(head); err == nil {
+			err = writeZeros(w, body, st)
 		}
 		if err == nil && len(tail) > 0 {
 			_, err = w.Write(tail)
@@ -324,6 +348,11 @@ func writeCarrierFrame(w io.Writer, pc payloadCarrier, data []byte, p Payload, s
 	PutBuf(e.buf)
 	return err
 }
+
+// carrierSegment bounds how many body bytes the ordered framing moves
+// between cancel-flag polls — the mux framing's segment granularity,
+// applied to the contiguous path.
+const carrierSegment int64 = 256 << 10
 
 // ReadMessage reads one frame from r and decodes it into a freshly
 // allocated message of the announced type. The fast path uses a
